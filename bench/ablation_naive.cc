@@ -1,0 +1,70 @@
+// §5.2 "Effectiveness of optimizations": the relation-finding data structures vs the
+// naive enumerate-everything baseline, plus the §2 grammar-parser comparison.
+//
+// The paper gives the naive learner an hour per WAN role and reports universal
+// non-termination; this harness uses a configurable budget (CONCORD_NAIVE_TIMEOUT
+// seconds, default 5) — the point is the asymptotic gap, visible at any budget.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/baseline/naive.h"
+#include "src/baseline/strict_parser.h"
+#include "src/learn/learner.h"
+#include "src/learn/relational.h"
+#include "src/util/stopwatch.h"
+
+int main() {
+  using namespace concord;
+  double timeout = 5.0;
+  if (const char* env = std::getenv("CONCORD_NAIVE_TIMEOUT")) {
+    timeout = std::atof(env);
+  }
+  std::printf("Optimization ablation: optimized relational mining vs naive enumeration\n");
+  std::printf("(naive budget %.0fs per dataset; the paper used 1 hour and saw universal "
+              "timeouts)\n\n",
+              timeout);
+  std::printf("%-8s %10s %12s %12s %10s %14s %10s\n", "Dataset", "Optimized", "Naive",
+              "Verdict", "Slowdown", "Candidates", "Examined");
+
+  for (const std::string& role : BenchRoles()) {
+    GeneratedCorpus corpus = BenchCorpus(role);
+    Dataset dataset = ParseCorpus(corpus);
+    auto indexes = BuildIndexes(dataset);
+    LearnOptions options = BenchLearnOptions();
+
+    Stopwatch fast_watch;
+    auto fast = MineRelational(dataset, indexes, options);
+    double fast_seconds = fast_watch.ElapsedSeconds();
+
+    NaiveStats stats;
+    auto slow = MineRelationalNaive(dataset, indexes, options, timeout, &stats);
+
+    char naive_time[32];
+    std::snprintf(naive_time, sizeof(naive_time), "%.2fs", stats.elapsed_seconds);
+    char slowdown[32];
+    if (slow.has_value() && fast_seconds > 0.0) {
+      std::snprintf(slowdown, sizeof(slowdown), "%.0fx", stats.elapsed_seconds / fast_seconds);
+    } else {
+      std::snprintf(slowdown, sizeof(slowdown), ">%.0fx", timeout / std::max(1e-3, fast_seconds));
+    }
+    std::printf("%-8s %9.2fs %12s %12s %10s %14zu %10zu\n", corpus.role.c_str(), fast_seconds,
+                slow.has_value() ? naive_time : "-", slow.has_value() ? "finished" : "TIMEOUT",
+                slowdown, stats.total_candidates, stats.candidate_pairs);
+    (void)fast;
+  }
+  std::printf("\n(Naive cost grows quadratically in the parameter count while the optimized\n"
+              "miner stays near-linear; raise CONCORD_BENCH_SCALE to watch the naive side\n"
+              "hit the timeout while the optimized one stays in seconds.)\n");
+
+  std::printf("\nGrammar-parser baseline (the paper's Batfish observation, §2):\n");
+  std::printf("%-8s %22s\n", "Dataset", "lines recognized");
+  for (const std::string& role : BenchRoles()) {
+    GeneratedCorpus corpus = BenchCorpus(role);
+    StrictParseResult result = StrictParse(corpus.configs);
+    std::printf("%-8s %20.1f%%\n", corpus.role.c_str(), 100.0 * result.RecognizedFraction());
+  }
+  std::printf("\n(Concord consumes 100%% of lines by construction; a fixed grammar sees "
+              "roughly half.)\n");
+  return 0;
+}

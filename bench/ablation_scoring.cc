@@ -1,0 +1,52 @@
+// Design-choice ablation: the informativeness scoring threshold (§3.5).
+//
+// Sweeping the relational score threshold trades precision against contract count and
+// coverage: at 0 every coincidental co-occurrence becomes a contract (the paper's
+// Challenge 3); high thresholds keep only strongly-evidenced relations. Precision is
+// measured exactly against the generator's ground-truth ledger.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/check/checker.h"
+#include "src/learn/learner.h"
+
+int main() {
+  using namespace concord;
+  const double kThresholds[] = {0.0, 1.0, 2.0, 4.0, 8.0, 16.0};
+  std::printf("Scoring-threshold ablation (relational contracts; scale=%d)\n\n", BenchScale());
+  for (const std::string& role : {std::string("E1"), std::string("W1")}) {
+    GeneratedCorpus corpus = BenchCorpus(role);
+    Dataset dataset = ParseCorpus(corpus);
+    std::printf("%s:\n%-10s %10s %10s %10s %10s\n", corpus.role.c_str(), "threshold",
+                "learned", "true-pos", "precision", "coverage");
+    for (double threshold : kThresholds) {
+      LearnOptions options = BenchLearnOptions();
+      options.score_threshold = threshold;
+      options.learn_present = false;  // Isolate the relational categories.
+      options.learn_ordering = false;
+      options.learn_type = false;
+      options.learn_sequence = false;
+      options.learn_unique = false;
+      Learner learner(options);
+      ContractSet set = learner.Learn(dataset).set;
+      size_t tp = 0;
+      for (const Contract& c : set.contracts) {
+        if (corpus.truth.IsTruePositive(c, dataset.patterns)) {
+          ++tp;
+        }
+      }
+      Checker checker(&set, &dataset.patterns);
+      CheckResult result = checker.Check(dataset);
+      double precision = set.contracts.empty()
+                             ? 0.0
+                             : 100.0 * static_cast<double>(tp) /
+                                   static_cast<double>(set.contracts.size());
+      std::printf("%-10.1f %10zu %10zu %9.1f%% %9.1f%%\n", threshold, set.contracts.size(),
+                  tp, precision, result.CoveragePercent());
+    }
+    std::printf("\n");
+  }
+  std::printf("(Expected shape: precision rises with the threshold while coverage decays\n"
+              "slowly — the paper's default of 4.0 sits at the knee.)\n");
+  return 0;
+}

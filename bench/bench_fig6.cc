@@ -1,0 +1,77 @@
+// Figure 6: Concord's runtime scales linearly with the number of configurations.
+//
+// Variable-sized subsets of the large WAN roles are learned+checked; runtimes are
+// normalized against the full-set runtime and averaged over seeds (the shaded region
+// in the paper is the standard deviation). A linear trend means normalized runtime
+// tracks the normalized config count.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/check/checker.h"
+#include "src/learn/learner.h"
+#include "src/stats/stats.h"
+#include "src/util/stopwatch.h"
+
+namespace {
+
+double LearnCheckSeconds(const concord::GeneratedCorpus& corpus, size_t num_configs) {
+  using namespace concord;
+  GeneratedCorpus subset;
+  subset.role = corpus.role;
+  subset.metadata = corpus.metadata;
+  subset.configs.assign(corpus.configs.begin(),
+                        corpus.configs.begin() + static_cast<long>(num_configs));
+  Stopwatch watch;
+  Dataset dataset = ParseCorpus(subset);
+  Learner learner(BenchLearnOptions());
+  LearnResult result = learner.Learn(dataset);
+  Checker checker(&result.set, &dataset.patterns);
+  checker.Check(dataset);
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace concord;
+  const std::vector<std::string> roles = {"W4", "W5", "W6"};
+  const std::vector<double> fractions = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  constexpr int kSeeds = 3;
+
+  std::printf("Figure 6: normalized runtime vs normalized number of configurations\n");
+  std::printf("(combined learn+check over %zu WAN roles x %d seeds; linear trend expected)\n\n",
+              roles.size(), kSeeds);
+  std::printf("%-10s %12s %10s\n", "fraction", "runtime", "stddev");
+
+  // Collect per-(role, seed) full-set baselines, then normalized runtimes.
+  std::vector<std::vector<double>> normalized(fractions.size());
+  for (const std::string& role : roles) {
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      GeneratedCorpus corpus = BenchCorpus(role, BenchScale(), static_cast<uint64_t>(seed));
+      double full = LearnCheckSeconds(corpus, corpus.configs.size());
+      if (full <= 0.0) {
+        continue;
+      }
+      for (size_t i = 0; i < fractions.size(); ++i) {
+        size_t count = static_cast<size_t>(fractions[i] * static_cast<double>(corpus.configs.size()));
+        if (count == 0) {
+          count = 1;
+        }
+        normalized[i].push_back(LearnCheckSeconds(corpus, count) / full);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    std::printf("%-10.1f %12.3f %10.3f\n", fractions[i], Mean(normalized[i]),
+                Stddev(normalized[i]));
+  }
+
+  // Simple linearity verdict: compare the runtime at 0.5 to half the full runtime.
+  double mid = Mean(normalized[4]);
+  std::printf("\nlinearity: normalized runtime at 0.5 fraction = %.3f (1.0 would be "
+              "quadratic-ish, 0.5 is perfectly linear)\n",
+              mid);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 3: dataset overview — configuration lines, extracted patterns and parameters,
+// `concord learn` runtime, and `concord check` runtime for each dataset (RQ1).
+//
+// Absolute numbers depend on CONCORD_BENCH_SCALE and the host; the paper's shape to
+// look for is (a) learn/check complete in seconds even on the largest roles, and
+// (b) the W4/W6-class roles dominate the line counts.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/check/checker.h"
+#include "src/contracts/contract_io.h"
+#include "src/learn/learner.h"
+#include "src/util/stopwatch.h"
+
+int main() {
+  using namespace concord;
+  std::printf("Table 3: dataset overview and learn/check runtimes (scale=%d)\n\n",
+              BenchScale());
+  std::printf("%-8s %10s %10s %12s %10s %10s\n", "Dataset", "Lines", "Patterns",
+              "Parameters", "Learn", "Check");
+
+  for (const std::string& role : BenchRoles()) {
+    GeneratedCorpus corpus = BenchCorpus(role);
+
+    // Learn time includes parsing/embedding/extraction, as in the paper.
+    Stopwatch learn_watch;
+    Dataset dataset = ParseCorpus(corpus);
+    Learner learner(BenchLearnOptions());
+    LearnResult result = learner.Learn(dataset);
+    double learn_seconds = learn_watch.ElapsedSeconds();
+
+    // Check time likewise re-parses the test configurations.
+    Stopwatch check_watch;
+    Dataset tests = ParseCorpus(corpus);
+    std::string json = SerializeContracts(result.set, dataset.patterns);
+    std::string error;
+    auto loaded = ParseContracts(json, &tests.patterns, &error);
+    Checker checker(&*loaded, &tests.patterns);
+    CheckResult check = checker.Check(tests);
+    double check_seconds = check_watch.ElapsedSeconds();
+
+    std::printf("%-8s %10zu %10zu %12zu %9.2fs %9.2fs\n", corpus.role.c_str(),
+                dataset.TotalLines(), dataset.patterns.size(), dataset.TotalParameters(),
+                learn_seconds, check_seconds);
+    (void)check;
+  }
+  std::printf("\n(Times include parsing, context embedding, extraction, mining,\n"
+              "minimization, and checking, as in the paper.)\n");
+  return 0;
+}

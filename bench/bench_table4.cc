@@ -1,0 +1,63 @@
+// Table 4: contracts learned per category and total configuration coverage for each
+// dataset (RQ2). Relational contracts split into E(quality), C(ontains), A(ffix) as
+// in the paper.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/check/checker.h"
+#include "src/learn/learner.h"
+
+int main() {
+  using namespace concord;
+  std::printf("Table 4: contracts learned and coverage per dataset (scale=%d)\n\n",
+              BenchScale());
+  std::printf("%-8s %8s %6s %6s %5s %5s %7s %7s %7s %8s\n", "Dataset", "Present", "Ord",
+              "Type", "Unq", "Seq", "Rel-E", "Rel-C", "Rel-A", "Cov");
+
+  std::map<std::string, size_t> totals;
+  for (const std::string& role : BenchRoles()) {
+    GeneratedCorpus corpus = BenchCorpus(role);
+    Dataset dataset = ParseCorpus(corpus);
+    Learner learner(BenchLearnOptions());
+    ContractSet set = learner.Learn(dataset).set;
+
+    size_t rel_e = 0, rel_c = 0, rel_a = 0;
+    for (const Contract& c : set.contracts) {
+      if (c.kind != ContractKind::kRelational) {
+        continue;
+      }
+      if (c.relation == RelationKind::kEquals) {
+        ++rel_e;
+      } else if (c.relation == RelationKind::kContains) {
+        ++rel_c;
+      } else {
+        ++rel_a;
+      }
+    }
+
+    Checker checker(&set, &dataset.patterns);
+    CheckResult result = checker.Check(dataset);
+
+    std::printf("%-8s %8zu %6zu %6zu %5zu %5zu %7zu %7zu %7zu %7.1f%%\n", corpus.role.c_str(),
+                set.CountKind(ContractKind::kPresent), set.CountKind(ContractKind::kOrdering),
+                set.CountKind(ContractKind::kType), set.CountKind(ContractKind::kUnique),
+                set.CountKind(ContractKind::kSequence), rel_e, rel_c, rel_a,
+                result.CoveragePercent());
+
+    totals["present"] += set.CountKind(ContractKind::kPresent);
+    totals["ord"] += set.CountKind(ContractKind::kOrdering);
+    totals["type"] += set.CountKind(ContractKind::kType);
+    totals["unq"] += set.CountKind(ContractKind::kUnique);
+    totals["seq"] += set.CountKind(ContractKind::kSequence);
+    totals["rel_e"] += rel_e;
+    totals["rel_c"] += rel_c;
+    totals["rel_a"] += rel_a;
+  }
+  std::printf("%-8s %8zu %6zu %6zu %5zu %5zu %7zu %7zu %7zu %8s\n", "Total",
+              totals["present"], totals["ord"], totals["type"], totals["unq"], totals["seq"],
+              totals["rel_e"], totals["rel_c"], totals["rel_a"], "-");
+  std::printf("\n(Shape to match the paper: a few thousand contracts cover the majority\n"
+              "of lines; edge datasets reach higher coverage than WAN roles.)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 6: manual-review sample sizes per contract category (§5.4).
+//
+// From the judge's precision prior p (fraction of scores >= 6), Cochran's formula at
+// 95% confidence / 5% target margin with finite-population correction gives the
+// number of contracts to review; a 150-review cap raises the achieved margin E, which
+// must stay under 10%. Categories with fewer than 10 contracts are reviewed in full.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/group_util.h"
+#include "src/oracle/judge.h"
+#include "src/stats/stats.h"
+
+namespace {
+
+void PrintGroup(const concord::GroupData& group) {
+  using namespace concord;
+  HeuristicJudge judge(2026);
+  std::map<std::string, std::vector<int>> scores;
+  for (size_t i = 0; i < group.sets.size(); ++i) {
+    for (const Contract& c : group.sets[i].contracts) {
+      scores[PaperCategory(c)].push_back(
+          judge.Score(c, group.datasets[i].patterns, group.corpora[i].truth));
+    }
+  }
+  std::printf("%s group:\n", group.name.c_str());
+  std::printf("%-10s %8s %8s %8s %8s\n", "Category", "N", "p-est", "n_adj", "E");
+  for (const char* category : PaperCategories()) {
+    const auto it = scores.find(category);
+    if (it == scores.end() || it->second.empty()) {
+      std::printf("%-10s %8d %8s %8s %8s\n", category, 0, "-", "-", "-");
+      continue;
+    }
+    const std::vector<int>& s = it->second;
+    int positives = 0;
+    for (int score : s) {
+      if (score >= 6) {
+        ++positives;
+      }
+    }
+    double p = static_cast<double>(positives) / static_cast<double>(s.size());
+    SamplePlan plan = PlanReview(p, static_cast<int>(s.size()));
+    std::printf("%-10s %8zu %7.2f%% %8d %7.1f%%\n", category, s.size(), 100.0 * p,
+                plan.n_adjusted, 100.0 * plan.margin);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace concord;
+  std::printf("Table 6: required manual review samples (95%% confidence, 5%% target "
+              "margin, cap 150) (scale=%d)\n\n",
+              BenchScale());
+  PrintGroup(LearnGroup("Edge", EdgeRoles()));
+  PrintGroup(LearnGroup("WAN", WanRoles()));
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Shared infrastructure for the experiment harnesses.
+//
+// Every bench binary reproduces one table or figure from the paper's evaluation (§5)
+// on the synthetic corpora of src/datagen. Dataset shapes follow Table 3's relative
+// sizes (E1 smallest ... W4/W6 largest); CONCORD_BENCH_SCALE multiplies device counts
+// to approach paper-scale line counts when desired.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/datagen/edge_gen.h"
+#include "src/datagen/wan_gen.h"
+#include "src/learn/options.h"
+
+namespace concord {
+
+inline int BenchScale() {
+  const char* env = std::getenv("CONCORD_BENCH_SCALE");
+  if (env != nullptr) {
+    int scale = std::atoi(env);
+    if (scale >= 1) {
+      return scale;
+    }
+  }
+  return 1;
+}
+
+// The ten evaluation datasets (Table 3 rows).
+inline const std::vector<std::string>& BenchRoles() {
+  static const std::vector<std::string> kRoles = {"E1", "E2", "W1", "W2", "W3",
+                                                  "W4", "W5", "W6", "W7", "W8"};
+  return kRoles;
+}
+
+// Generates one role's corpus at the benchmark scale. Relative sizes mirror Table 3:
+// the edge datasets are small, W4–W6 are the million-line-class roles.
+inline GeneratedCorpus BenchCorpus(const std::string& role, int scale = BenchScale(),
+                                   uint64_t seed = 1) {
+  if (role == "E1" || role == "E2") {
+    EdgeOptions options;
+    options.role = role == "E1" ? EdgeRole::kLeaf : EdgeRole::kTor;
+    options.sites = (role == "E1" ? 4 : 8) * scale;
+    options.devices_per_site = role == "E1" ? 4 : 8;
+    options.seed = seed;
+    return GenerateEdge(options);
+  }
+  WanOptions options;
+  options.role = role[1] - '0';
+  options.seed = seed;
+  switch (options.role) {
+    case 1:
+      options.devices = 40 * scale;
+      options.scale = 2;
+      break;
+    case 2:
+      options.devices = 40 * scale;
+      options.scale = 2;
+      break;
+    case 3:
+      options.devices = 36 * scale;
+      options.scale = 2;
+      break;
+    case 4:
+      options.devices = 80 * scale;
+      options.scale = 4;
+      break;
+    case 5:
+      options.devices = 64 * scale;
+      options.scale = 4;
+      break;
+    case 6:
+      options.devices = 80 * scale;
+      options.scale = 4;
+      break;
+    case 7:
+      options.devices = 32 * scale;
+      options.scale = 2;
+      break;
+    default:
+      options.devices = 12 * scale;
+      options.scale = 1;
+      break;
+  }
+  return GenerateWan(options);
+}
+
+// The paper's default learning parameters (§4).
+inline LearnOptions BenchLearnOptions() {
+  LearnOptions options;
+  options.support = 5;
+  options.confidence = 0.96;
+  options.score_threshold = 4.0;
+  return options;
+}
+
+// The eight contract categories of Figure 9 / Tables 6-7 (relational split three
+// ways).
+inline const char* PaperCategory(const Contract& contract) {
+  switch (contract.kind) {
+    case ContractKind::kPresent:
+      return "Present";
+    case ContractKind::kOrdering:
+      return "Ordered";
+    case ContractKind::kType:
+      return "Type";
+    case ContractKind::kSequence:
+      return "Sequence";
+    case ContractKind::kUnique:
+      return "Unique";
+    case ContractKind::kRelational:
+      switch (contract.relation) {
+        case RelationKind::kEquals:
+          return "Equality";
+        case RelationKind::kContains:
+          return "Contains";
+        default:
+          return "Affix";
+      }
+  }
+  return "Present";
+}
+
+inline const std::vector<const char*>& PaperCategories() {
+  static const std::vector<const char*> kCategories = {
+      "Equality", "Contains", "Unique", "Present", "Sequence", "Type", "Ordered", "Affix"};
+  return kCategories;
+}
+
+}  // namespace concord
+
+#endif  // BENCH_BENCH_UTIL_H_

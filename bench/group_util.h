@@ -1,0 +1,42 @@
+// Group learning for the precision experiments (Figure 9, Tables 6-7): the paper
+// reports per-category numbers for the Edge and WAN dataset groups.
+#ifndef BENCH_GROUP_UTIL_H_
+#define BENCH_GROUP_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/learn/learner.h"
+
+namespace concord {
+
+struct GroupData {
+  std::string name;
+  // Parallel vectors; datasets own the pattern tables the contracts reference.
+  std::vector<GeneratedCorpus> corpora;
+  std::vector<Dataset> datasets;
+  std::vector<ContractSet> sets;
+};
+
+inline GroupData LearnGroup(const std::string& name, const std::vector<std::string>& roles) {
+  GroupData group;
+  group.name = name;
+  for (const std::string& role : roles) {
+    group.corpora.push_back(BenchCorpus(role));
+    group.datasets.push_back(ParseCorpus(group.corpora.back()));
+    Learner learner(BenchLearnOptions());
+    group.sets.push_back(learner.Learn(group.datasets.back()).set);
+  }
+  return group;
+}
+
+inline std::vector<std::string> EdgeRoles() { return {"E1", "E2"}; }
+inline std::vector<std::string> WanRoles() {
+  return {"W1", "W2", "W3", "W4", "W5", "W6", "W7", "W8"};
+}
+
+}  // namespace concord
+
+#endif  // BENCH_GROUP_UTIL_H_

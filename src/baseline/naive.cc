@@ -1,0 +1,260 @@
+#include "src/baseline/naive.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "src/relations/score.h"
+#include "src/util/stopwatch.h"
+
+namespace concord {
+
+namespace {
+
+struct Node {
+  PatternId pattern;
+  uint16_t param;
+  Transform transform;
+  ValueType type;
+};
+
+bool IsPrefixType(ValueType t) { return t == ValueType::kPfx4 || t == ValueType::kPfx6; }
+bool IsAddrOrPrefix(ValueType t) {
+  return t == ValueType::kIp4 || t == ValueType::kIp6 || IsPrefixType(t);
+}
+
+// Witness check mirroring the optimized miner's semantics exactly (zero-informative
+// witnesses do not count; affixes must be proper and >= 2 chars).
+bool WitnessValid(RelationKind rel, const std::string& key1, const Value& v1,
+                  const std::string& key2, const Value& v2, std::string* diversity_key,
+                  double* score) {
+  switch (rel) {
+    case RelationKind::kEquals:
+      if (key1 != key2 || KeyScore(key1) <= 0.0) {
+        return false;
+      }
+      *diversity_key = key1;
+      *score = KeyScore(key1);
+      return true;
+    case RelationKind::kContains: {
+      int witness_len = 0;
+      bool v6 = false;
+      if (v2.type() == ValueType::kPfx4) {
+        witness_len = v2.AsPfx4().prefix_len();
+        if (v1.type() == ValueType::kIp4) {
+          if (!v2.AsPfx4().Contains(v1.AsIp4())) {
+            return false;
+          }
+        } else if (v1.type() == ValueType::kPfx4) {
+          if (!v2.AsPfx4().Contains(v1.AsPfx4())) {
+            return false;
+          }
+        } else {
+          return false;
+        }
+      } else if (v2.type() == ValueType::kPfx6) {
+        v6 = true;
+        witness_len = v2.AsPfx6().prefix_len();
+        if (v1.type() == ValueType::kIp6) {
+          if (!v2.AsPfx6().Contains(v1.AsIp6())) {
+            return false;
+          }
+        } else if (v1.type() == ValueType::kPfx6) {
+          if (!v2.AsPfx6().Contains(v1.AsPfx6())) {
+            return false;
+          }
+        } else {
+          return false;
+        }
+      } else {
+        return false;
+      }
+      if (witness_len <= 0) {
+        return false;
+      }
+      *diversity_key = v1.ToString();
+      *score = PrefixScore(witness_len, v6);
+      return true;
+    }
+    case RelationKind::kStartsWith:
+    case RelationKind::kPrefixOf:
+    case RelationKind::kEndsWith:
+    case RelationKind::kSuffixOf: {
+      if (key1.size() < 2 || key2.size() < 2) {
+        return false;
+      }
+      const std::string* longer = &key1;
+      const std::string* shorter = &key2;
+      if (rel == RelationKind::kPrefixOf || rel == RelationKind::kSuffixOf) {
+        longer = &key2;
+        shorter = &key1;
+      }
+      if (shorter->size() >= longer->size()) {
+        return false;
+      }
+      bool from_start =
+          rel == RelationKind::kStartsWith || rel == RelationKind::kPrefixOf;
+      bool matches = from_start
+                         ? longer->compare(0, shorter->size(), *shorter) == 0
+                         : longer->compare(longer->size() - shorter->size(),
+                                           shorter->size(), *shorter) == 0;
+      if (!matches || KeyScore(*shorter) <= 0.0) {
+        return false;
+      }
+      *diversity_key = *shorter;
+      *score = KeyScore(*shorter);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<Contract>> MineRelationalNaive(
+    const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+    const LearnOptions& options, double timeout_seconds, NaiveStats* stats) {
+  Stopwatch watch;
+  std::vector<uint32_t> config_counts = CountConfigsPerPattern(dataset, indexes);
+
+  // Enumerate every node present anywhere in the dataset.
+  std::vector<Node> nodes;
+  {
+    std::unordered_set<uint64_t> seen;
+    auto consider = [&](const ParsedLine& line) {
+      const PatternInfo& info = dataset.patterns.Get(line.pattern);
+      for (uint16_t param = 0; param < info.param_types.size(); ++param) {
+        for (const Transform& t : TransformsFor(info.param_types[param])) {
+          uint64_t key = (static_cast<uint64_t>(line.pattern) << 32) |
+                         (static_cast<uint64_t>(param) << 16) |
+                         (static_cast<uint64_t>(t.kind) << 8) | t.arg;
+          if (seen.insert(key).second) {
+            nodes.push_back(Node{line.pattern, param, t, info.param_types[param]});
+          }
+        }
+      }
+    };
+    for (const ParsedConfig& config : dataset.configs) {
+      for (const ParsedLine& line : config.lines) {
+        consider(line);
+      }
+    }
+    for (const ParsedLine& line : dataset.metadata) {
+      consider(line);
+    }
+  }
+
+  static const RelationKind kAllRelations[] = {
+      RelationKind::kEquals,     RelationKind::kContains,  RelationKind::kStartsWith,
+      RelationKind::kPrefixOf,   RelationKind::kEndsWith,  RelationKind::kSuffixOf,
+  };
+
+  if (stats != nullptr) {
+    stats->total_candidates = nodes.size() * nodes.size() * 6;
+  }
+
+  std::vector<Contract> out;
+  size_t examined = 0;
+  for (const Node& n1 : nodes) {
+    if (static_cast<int>(config_counts[n1.pattern]) < options.support) {
+      continue;
+    }
+    for (const Node& n2 : nodes) {
+      if (n1.pattern == n2.pattern && n1.param == n2.param && n1.transform == n2.transform) {
+        continue;
+      }
+      for (RelationKind rel : kAllRelations) {
+        // Static type compatibility pruning (the naive miner still knows types).
+        if (rel == RelationKind::kContains &&
+            (!(n1.transform == IdTransform()) || !(n2.transform == IdTransform()) ||
+             !IsAddrOrPrefix(n1.type) || !IsPrefixType(n2.type))) {
+          continue;
+        }
+        if (rel != RelationKind::kEquals && rel != RelationKind::kContains &&
+            (!(n1.transform == IdTransform()) || !(n2.transform == IdTransform()))) {
+          continue;
+        }
+        ++examined;
+        if ((examined & 0x3ff) == 0 && watch.ElapsedSeconds() > timeout_seconds) {
+          if (stats != nullptr) {
+            stats->candidate_pairs = examined;
+            stats->timed_out = true;
+            stats->elapsed_seconds = watch.ElapsedSeconds();
+          }
+          return std::nullopt;
+        }
+
+        uint32_t holds = 0;
+        double score = 0.0;
+        std::unordered_set<std::string> diversity;
+        for (const ConfigIndex& index : indexes) {
+          auto it1 = index.by_pattern.find(n1.pattern);
+          if (it1 == index.by_pattern.end()) {
+            continue;
+          }
+          auto it2 = index.by_pattern.find(n2.pattern);
+          bool all = true;
+          for (uint32_t i : it1->second) {
+            const ParsedLine& l1 = *index.lines[i];
+            auto key1 = n1.transform.Apply(l1.values[n1.param]);
+            if (!key1) {
+              all = false;
+              break;
+            }
+            bool found = false;
+            if (it2 != index.by_pattern.end()) {
+              for (uint32_t j : it2->second) {
+                const ParsedLine& l2 = *index.lines[j];
+                auto key2 = n2.transform.Apply(l2.values[n2.param]);
+                if (!key2) {
+                  continue;
+                }
+                std::string diversity_key;
+                double instance_score = 0.0;
+                if (WitnessValid(rel, *key1, l1.values[n1.param], *key2, l2.values[n2.param],
+                                 &diversity_key, &instance_score)) {
+                  found = true;
+                  if (diversity.insert(diversity_key).second) {
+                    score += instance_score;
+                  }
+                  break;
+                }
+              }
+            }
+            if (!found) {
+              all = false;
+              break;
+            }
+          }
+          if (all) {
+            ++holds;
+          }
+        }
+
+        uint32_t support = config_counts[n1.pattern];
+        double conf = static_cast<double>(holds) / static_cast<double>(support);
+        if (conf >= options.confidence && score >= options.score_threshold) {
+          Contract c;
+          c.kind = ContractKind::kRelational;
+          c.pattern = n1.pattern;
+          c.param = n1.param;
+          c.transform1 = n1.transform;
+          c.relation = rel;
+          c.pattern2 = n2.pattern;
+          c.param2 = n2.param;
+          c.transform2 = n2.transform;
+          c.support = static_cast<int>(support);
+          c.confidence = conf;
+          c.score = score;
+          out.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->candidate_pairs = examined;
+    stats->elapsed_seconds = watch.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace concord

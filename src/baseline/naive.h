@@ -1,0 +1,36 @@
+// Naive relational learning baseline (§3.3, §5.2 "effectiveness of optimizations").
+//
+// Classic association rule mining enumerates every candidate rule: here, every ordered
+// pair of (pattern, param, transform) nodes times every relation, each verified
+// against every configuration by scanning values. The candidate count grows
+// quadratically with the number of parameters, which is why the paper reports
+// non-termination (>1 hour) on every WAN role. The function takes a wall-clock budget
+// and reports how far it got; on small inputs it must produce exactly the contracts of
+// the optimized miner (tested), which makes the ablation apples-to-apples.
+#ifndef SRC_BASELINE_NAIVE_H_
+#define SRC_BASELINE_NAIVE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/learn/index.h"
+#include "src/learn/options.h"
+
+namespace concord {
+
+struct NaiveStats {
+  size_t candidate_pairs = 0;   // Candidate (node1, relation, node2) pairs examined.
+  size_t total_candidates = 0;  // Full candidate space size (examined or not).
+  bool timed_out = false;
+  double elapsed_seconds = 0.0;
+};
+
+// Returns nullopt when the time budget expires before the search completes.
+std::optional<std::vector<Contract>> MineRelationalNaive(
+    const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+    const LearnOptions& options, double timeout_seconds, NaiveStats* stats = nullptr);
+
+}  // namespace concord
+
+#endif  // SRC_BASELINE_NAIVE_H_

@@ -1,0 +1,58 @@
+#include "src/baseline/strict_parser.h"
+
+#include "src/util/io.h"
+#include "src/util/strings.h"
+
+namespace concord {
+
+namespace {
+
+// The fixed command grammar: classic, widely-implemented commands. Vendor extensions
+// (EVPN segments, vxlan mappings, route distinguishers, policy-options, QoS, flow
+// monitors, ...) are deliberately absent — the point of the baseline.
+const char* const kKnownPrefixes[] = {
+    "hostname ",        "interface ",      "ip address ",      "ip route ",
+    "router bgp ",      "router isis ",    "neighbor ",        "description ",
+    "mtu ",             "speed ",          "ntp server ",      "logging host ",
+    "shutdown",         "no shutdown",     "switchport ",      "vrf ",
+    "maximum-paths ",   "router-id ",      "ip access-list ",  "permit ",
+    "deny ",            "banner ",         "snmp ",            "aggregate-address ",
+};
+
+}  // namespace
+
+bool StrictParserRecognizes(const std::string& line) {
+  std::string_view t = Trim(line);
+  if (t.empty() || t == "!") {
+    return false;
+  }
+  // Junos-style `set <stanza> ...`: the grammar knows the classic stanzas too.
+  if (t.rfind("set ", 0) == 0) {
+    t = t.substr(4);
+  }
+  for (const char* prefix : kKnownPrefixes) {
+    if (t.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StrictParseResult StrictParse(const std::vector<GeneratedConfig>& configs) {
+  StrictParseResult result;
+  for (const GeneratedConfig& config : configs) {
+    for (const std::string& line : SplitLines(config.text)) {
+      std::string_view t = Trim(line);
+      if (t.empty() || t == "!") {
+        continue;
+      }
+      ++result.total_lines;
+      if (StrictParserRecognizes(line)) {
+        ++result.recognized_lines;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace concord

@@ -1,0 +1,36 @@
+// Grammar-first parsing baseline (§2 "Challenge 2").
+//
+// The paper reports that Batfish — the most comprehensive conventional configuration
+// parser — recognized only ~50% of the example configurations' lines, making any
+// downstream analysis blind to the rest. This baseline models that approach: a fixed
+// grammar of known command forms; a line is "recognized" iff it matches one. Concord,
+// by contrast, consumes every line as unstructured text.
+#ifndef SRC_BASELINE_STRICT_PARSER_H_
+#define SRC_BASELINE_STRICT_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/datagen/corpus.h"
+
+namespace concord {
+
+struct StrictParseResult {
+  size_t total_lines = 0;       // Non-blank, non-separator lines.
+  size_t recognized_lines = 0;  // Lines matching the fixed grammar.
+
+  double RecognizedFraction() const {
+    return total_lines == 0
+               ? 0.0
+               : static_cast<double>(recognized_lines) / static_cast<double>(total_lines);
+  }
+};
+
+// True if the fixed grammar recognizes this (trimmed) line.
+bool StrictParserRecognizes(const std::string& line);
+
+StrictParseResult StrictParse(const std::vector<GeneratedConfig>& configs);
+
+}  // namespace concord
+
+#endif  // SRC_BASELINE_STRICT_PARSER_H_

@@ -1,0 +1,441 @@
+#include "src/check/checker.h"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/thread_pool.h"
+
+namespace concord {
+
+std::string_view CoverageKindName(CoverageKind kind) {
+  switch (kind) {
+    case CoverageKind::kPresent:
+      return "present";
+    case CoverageKind::kOrdering:
+      return "ordering";
+    case CoverageKind::kUnique:
+      return "unique";
+    case CoverageKind::kSequence:
+      return "sequence";
+    case CoverageKind::kRelEquality:
+      return "rel-equality";
+    case CoverageKind::kRelContains:
+      return "rel-contains";
+    case CoverageKind::kRelAffix:
+      return "rel-affix";
+  }
+  return "present";
+}
+
+std::optional<CoverageKind> CoverageKindOf(const Contract& contract) {
+  switch (contract.kind) {
+    case ContractKind::kPresent:
+      return CoverageKind::kPresent;
+    case ContractKind::kOrdering:
+      return CoverageKind::kOrdering;
+    case ContractKind::kUnique:
+      return CoverageKind::kUnique;
+    case ContractKind::kSequence:
+      return CoverageKind::kSequence;
+    case ContractKind::kType:
+      return std::nullopt;
+    case ContractKind::kRelational:
+      switch (contract.relation) {
+        case RelationKind::kEquals:
+          return CoverageKind::kRelEquality;
+        case RelationKind::kContains:
+          return CoverageKind::kRelContains;
+        default:
+          return CoverageKind::kRelAffix;
+      }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Per-config coverage bitmask, one byte per line; bit i = CoverageKind i.
+using CoverFlags = std::vector<uint8_t>;
+
+void MarkCovered(CoverFlags* flags, const ConfigIndex& index, uint32_t line,
+                 CoverageKind kind) {
+  if (line < index.own_line_count) {
+    (*flags)[line] |= static_cast<uint8_t>(1u << static_cast<uint8_t>(kind));
+  }
+}
+
+// Does the relation hold between the forall-side line l1 and exists-side line l2 of
+// `contract`? Keys are the transformed canonical strings; containment evaluates on the
+// actual typed values.
+bool RelationHolds(const Contract& contract, const std::string& key1, const Value& value1,
+                   const std::string& key2, const Value& value2) {
+  switch (contract.relation) {
+    case RelationKind::kEquals:
+      return key1 == key2;
+    case RelationKind::kContains: {
+      // value2 (a prefix) must contain value1 (an address or narrower prefix).
+      if (value2.type() == ValueType::kPfx4) {
+        if (value1.type() == ValueType::kIp4) {
+          return value2.AsPfx4().Contains(value1.AsIp4());
+        }
+        if (value1.type() == ValueType::kPfx4) {
+          return value2.AsPfx4().Contains(value1.AsPfx4());
+        }
+        return false;
+      }
+      if (value2.type() == ValueType::kPfx6) {
+        if (value1.type() == ValueType::kIp6) {
+          return value2.AsPfx6().Contains(value1.AsIp6());
+        }
+        if (value1.type() == ValueType::kPfx6) {
+          return value2.AsPfx6().Contains(value1.AsPfx6());
+        }
+        return false;
+      }
+      return false;
+    }
+    case RelationKind::kStartsWith:
+      return key1.size() > key2.size() && key1.compare(0, key2.size(), key2) == 0;
+    case RelationKind::kPrefixOf:
+      return key2.size() > key1.size() && key2.compare(0, key1.size(), key1) == 0;
+    case RelationKind::kEndsWith:
+      return key1.size() > key2.size() &&
+             key1.compare(key1.size() - key2.size(), key2.size(), key2) == 0;
+    case RelationKind::kSuffixOf:
+      return key2.size() > key1.size() &&
+             key2.compare(key2.size() - key1.size(), key1.size(), key1) == 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+CheckResult Checker::Check(const Dataset& dataset, bool measure_coverage) const {
+  CheckResult result;
+  std::vector<ConfigIndex> indexes = BuildIndexes(dataset);
+  std::vector<CoverFlags> cover(indexes.size());
+  for (size_t ci = 0; ci < indexes.size(); ++ci) {
+    cover[ci].assign(indexes[ci].lines.size(), 0);
+    result.total_lines += indexes[ci].own_line_count;
+  }
+
+  // Type contracts grouped by untyped pattern for a single pass over lines.
+  struct TypeRule {
+    uint16_t param;
+    ValueType invalid;
+    size_t contract_index;
+  };
+  std::unordered_map<std::string, std::vector<TypeRule>> type_rules;
+
+  // Unique contracts track first occurrences globally.
+  struct UniqueState {
+    size_t contract_index;
+    std::unordered_map<Value, std::pair<size_t, int>, ValueHash> first;  // config, line no.
+  };
+  std::vector<UniqueState> unique_states;
+
+  for (size_t k = 0; k < set_->contracts.size(); ++k) {
+    const Contract& c = set_->contracts[k];
+    if (c.kind == ContractKind::kType) {
+      type_rules[c.untyped_pattern].push_back(TypeRule{c.param, c.invalid_type, k});
+    } else if (c.kind == ContractKind::kUnique) {
+      unique_states.push_back(UniqueState{k, {}});
+    }
+  }
+
+  // Configurations are independent for every category except unique (handled in a
+  // global pass below), so the per-config work shards across the pool.
+  std::vector<std::vector<Violation>> per_config_violations(indexes.size());
+  auto check_config = [&](size_t ci) {
+    const ConfigIndex& index = indexes[ci];
+    const std::string& config_name = index.config->name;
+    CoverFlags& flags = cover[ci];
+
+    auto violate = [&](size_t contract_index, int line_number, std::string message) {
+      per_config_violations[ci].push_back(
+          Violation{contract_index, config_name, line_number, std::move(message)});
+    };
+
+    // ---- Type contracts: one pass over lines. ----
+    if (!type_rules.empty()) {
+      for (uint32_t li = 0; li < index.lines.size(); ++li) {
+        const ParsedLine& line = *index.lines[li];
+        const PatternInfo& info = table_->Get(line.pattern);
+        auto it = type_rules.find(info.untyped);
+        if (it == type_rules.end()) {
+          continue;
+        }
+        for (const TypeRule& rule : it->second) {
+          if (rule.param < info.param_types.size() &&
+              info.param_types[rule.param] == rule.invalid) {
+            violate(rule.contract_index, line.line_number,
+                    "mistyped value: parameter " + PatternTable::ParamName(rule.param) +
+                        " has disallowed type [" + std::string(ValueTypeName(rule.invalid)) +
+                        "] in pattern " + info.untyped);
+          }
+        }
+      }
+    }
+
+    // ---- Per-contract checks. ----
+    for (size_t k = 0; k < set_->contracts.size(); ++k) {
+      const Contract& c = set_->contracts[k];
+      switch (c.kind) {
+        case ContractKind::kType:
+          break;  // Handled above.
+
+        case ContractKind::kPresent: {
+          auto it = index.by_pattern.find(c.pattern);
+          if (it == index.by_pattern.end() || it->second.empty()) {
+            violate(k, 0, "missing line matching pattern " + table_->Get(c.pattern).text);
+          } else if (measure_coverage && it->second.size() == 1) {
+            MarkCovered(&flags, index, it->second[0], CoverageKind::kPresent);
+          }
+          break;
+        }
+
+        case ContractKind::kOrdering: {
+          auto it = index.by_pattern.find(c.pattern);
+          if (it == index.by_pattern.end()) {
+            break;  // Vacuous.
+          }
+          bool stream_constant = table_->Get(c.pattern).is_constant;
+          for (uint32_t i : it->second) {
+            if (i >= index.own_line_count) {
+              continue;  // Metadata has no meaningful adjacency.
+            }
+            uint32_t j;
+            bool in_range;
+            if (c.successor) {
+              j = i + 1;
+              in_range = j < index.own_line_count;
+            } else {
+              in_range = i > 0;
+              j = in_range ? i - 1 : 0;
+            }
+            PatternId neighbor = kInvalidPattern;
+            if (in_range) {
+              neighbor = stream_constant ? index.lines[j]->const_pattern
+                                         : index.lines[j]->pattern;
+            }
+            if (neighbor != c.pattern2) {
+              violate(k, index.lines[i]->line_number,
+                      std::string("line is not immediately ") +
+                          (c.successor ? "followed" : "preceded") + " by a line matching " +
+                          table_->Get(c.pattern2).text);
+            } else if (measure_coverage) {
+              // Strict removal semantics: removing the witness j only violates the
+              // contract if the line sliding into its place does NOT also match p2.
+              PatternId replacement = kInvalidPattern;
+              if (c.successor) {
+                if (j + 1 < index.own_line_count) {
+                  replacement = stream_constant ? index.lines[j + 1]->const_pattern
+                                                : index.lines[j + 1]->pattern;
+                }
+              } else if (j > 0) {
+                replacement = stream_constant ? index.lines[j - 1]->const_pattern
+                                              : index.lines[j - 1]->pattern;
+              }
+              if (replacement != c.pattern2) {
+                MarkCovered(&flags, index, j, CoverageKind::kOrdering);
+              }
+            }
+          }
+          break;
+        }
+
+        case ContractKind::kSequence: {
+          auto it = index.by_pattern.find(c.pattern);
+          if (it == index.by_pattern.end() || it->second.size() < 2) {
+            break;
+          }
+          const std::vector<uint32_t>& occ = it->second;
+          bool holds = true;
+          bool have_step = false;
+          BigInt step;
+          int direction = 0;
+          for (size_t m = 1; m < occ.size(); ++m) {
+            const BigInt& prev = index.lines[occ[m - 1]]->values[c.param].AsBigInt();
+            const BigInt& cur = index.lines[occ[m]]->values[c.param].AsBigInt();
+            int dir = cur.Compare(prev);
+            BigInt diff = cur.AbsDiff(prev);
+            bool ok = dir != 0 && (!have_step || (diff == step && dir == direction));
+            if (!ok) {
+              holds = false;
+              violate(k, index.lines[occ[m]]->line_number,
+                      "breaks the equidistant sequence of parameter " +
+                          PatternTable::ParamName(c.param) + " (value " +
+                          cur.ToDecimal() + ")");
+              break;
+            }
+            if (!have_step) {
+              step = diff;
+              direction = dir;
+              have_step = true;
+            }
+          }
+          if (holds && measure_coverage && occ.size() >= 4) {
+            for (size_t m = 1; m + 1 < occ.size(); ++m) {
+              MarkCovered(&flags, index, occ[m], CoverageKind::kSequence);
+            }
+          }
+          break;
+        }
+
+        case ContractKind::kUnique:
+          break;  // Handled globally below.
+
+        case ContractKind::kRelational: {
+          auto it1 = index.by_pattern.find(c.pattern);
+          if (it1 == index.by_pattern.end()) {
+            break;  // Vacuous.
+          }
+          // Witness key/value list for the exists side, computed once per config.
+          struct Witness {
+            std::string key;
+            const Value* value;
+            uint32_t line;
+          };
+          std::vector<Witness> witnesses;
+          auto it2 = index.by_pattern.find(c.pattern2);
+          if (it2 != index.by_pattern.end()) {
+            for (uint32_t j : it2->second) {
+              const ParsedLine& l2 = *index.lines[j];
+              if (c.param2 >= l2.values.size()) {
+                continue;
+              }
+              auto key2 = c.transform2.Apply(l2.values[c.param2]);
+              if (key2) {
+                witnesses.push_back(Witness{std::move(*key2), &l2.values[c.param2], j});
+              }
+            }
+          }
+          for (uint32_t i : it1->second) {
+            const ParsedLine& l1 = *index.lines[i];
+            if (c.param >= l1.values.size()) {
+              continue;
+            }
+            auto key1 = c.transform1.Apply(l1.values[c.param]);
+            if (!key1) {
+              continue;
+            }
+            uint32_t sole_witness = 0;
+            int found = 0;
+            for (const Witness& w : witnesses) {
+              if (w.line != i &&
+                  RelationHolds(c, *key1, l1.values[c.param], w.key, *w.value)) {
+                ++found;
+                sole_witness = w.line;
+                if (found > 1 && !measure_coverage) {
+                  break;
+                }
+              } else if (w.line == i &&
+                         RelationHolds(c, *key1, l1.values[c.param], w.key, *w.value)) {
+                // Intra-line witness (different parameter of the same line).
+                ++found;
+                sole_witness = w.line;
+              }
+            }
+            if (found == 0) {
+              violate(k, l1.line_number,
+                      "no line matching " + table_->Get(c.pattern2).text + " satisfies " +
+                          std::string(RelationKindName(c.relation)) + " with value " +
+                          l1.values[c.param].ToString());
+            } else if (found == 1 && measure_coverage && sole_witness != i) {
+              // An intra-line witness disappears together with the forall line
+              // (vacuous), so it cannot count as coverage.
+              auto kind = CoverageKindOf(c);
+              if (kind) {
+                MarkCovered(&flags, index, sole_witness, *kind);
+              }
+            }
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  if (parallelism_ != 1 && indexes.size() > 1) {
+    ThreadPool pool(parallelism_ < 0 ? 0 : static_cast<size_t>(parallelism_));
+    pool.ParallelFor(indexes.size(), check_config);
+  } else {
+    for (size_t ci = 0; ci < indexes.size(); ++ci) {
+      check_config(ci);
+    }
+  }
+  for (std::vector<Violation>& vs : per_config_violations) {
+    for (Violation& v : vs) {
+      result.violations.push_back(std::move(v));
+    }
+  }
+
+  // ---- Unique contracts: global pass. ----
+  for (UniqueState& state : unique_states) {
+    const Contract& c = set_->contracts[state.contract_index];
+    for (size_t ci = 0; ci < indexes.size(); ++ci) {
+      const ConfigIndex& index = indexes[ci];
+      auto it = index.by_pattern.find(c.pattern);
+      if (it == index.by_pattern.end()) {
+        continue;
+      }
+      for (uint32_t i : it->second) {
+        if (i >= index.own_line_count) {
+          continue;  // Metadata is shared text; skip.
+        }
+        const ParsedLine& line = *index.lines[i];
+        if (c.param >= line.values.size()) {
+          continue;
+        }
+        auto [pos, inserted] =
+            state.first.emplace(line.values[c.param], std::make_pair(ci, line.line_number));
+        if (!inserted && pos->second.first != ci) {
+          result.violations.push_back(Violation{
+              state.contract_index, index.config->name, line.line_number,
+              "value " + line.values[c.param].ToString() + " reuses a unique parameter (first seen in " +
+                  indexes[pos->second.first].config->name + ":" +
+                  std::to_string(pos->second.second) + ")"});
+        } else if (!inserted) {
+          result.violations.push_back(
+              Violation{state.contract_index, index.config->name, line.line_number,
+                        "value " + line.values[c.param].ToString() +
+                            " duplicated within the configuration (line " +
+                            std::to_string(pos->second.second) + ")"});
+        }
+        if (measure_coverage) {
+          MarkCovered(&cover[ci], index, i, CoverageKind::kUnique);
+        }
+      }
+    }
+  }
+
+  // ---- Fold coverage. ----
+  if (measure_coverage) {
+    result.per_config.reserve(indexes.size());
+    for (size_t ci = 0; ci < indexes.size(); ++ci) {
+      const ConfigIndex& index = indexes[ci];
+      ConfigCoverage per;
+      per.config = index.config->name;
+      per.line_numbers.reserve(index.own_line_count);
+      per.kind_bits.reserve(index.own_line_count);
+      for (uint32_t li = 0; li < index.own_line_count; ++li) {
+        uint8_t bits = cover[ci][li];
+        per.line_numbers.push_back(index.lines[li]->line_number);
+        per.kind_bits.push_back(bits);
+        if (bits != 0) {
+          ++result.covered_lines;
+        }
+        for (size_t kind = 0; kind < kNumCoverageKinds; ++kind) {
+          if (bits & (1u << kind)) {
+            ++result.covered_by_kind[kind];
+          }
+        }
+      }
+      result.per_config.push_back(std::move(per));
+    }
+  }
+  return result;
+}
+
+}  // namespace concord

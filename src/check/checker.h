@@ -1,0 +1,112 @@
+// Contract checking (§3.8) and configuration coverage (§3.9).
+//
+// Checking evaluates every contract against every test configuration and reports
+// violations localized to specific lines. Coverage asks the complementary question:
+// which configuration lines are actually *tested* by the contract set? The paper's
+// definition — a line is covered iff removing it would violate at least one contract —
+// is applied analytically per category:
+//
+// Removal is interpreted in the *pattern-stream* model the learner operates on:
+// deleting a line removes one element of the (pattern, values) sequence and leaves
+// every other element's embedded pattern intact. (Physically deleting a block header
+// from indented text would additionally re-parent its children — an editing artifact
+// outside the contract model.)
+//
+//   present     the only line matching the pattern is covered;
+//   ordering    the witness line (the required successor/predecessor) is covered;
+//   sequence    interior elements of runs of length >= 4 are covered (removing an
+//               endpoint, or the middle of a 3-run, leaves an equidistant run);
+//   relational  a witness line is covered when it is the sole witness for some
+//               forall-side line;
+//   unique      removal can never violate uniqueness, so — matching the nonzero Unq
+//               column of Table 5 — lines carrying a uniquely-constrained parameter
+//               are counted as tested;
+//   type        by definition contributes no coverage (§5.3).
+#ifndef SRC_CHECK_CHECKER_H_
+#define SRC_CHECK_CHECKER_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/learn/index.h"
+#include "src/pattern/parser.h"
+
+namespace concord {
+
+struct Violation {
+  size_t contract_index = 0;  // Into ContractSet::contracts.
+  std::string config;
+  int line_number = 0;  // 1-based; 0 for whole-file violations (missing pattern).
+  std::string message;
+};
+
+// Coverage attribution categories (the columns of Table 5).
+enum class CoverageKind : uint8_t {
+  kPresent = 0,
+  kOrdering,
+  kUnique,
+  kSequence,
+  kRelEquality,
+  kRelContains,
+  kRelAffix,
+};
+inline constexpr size_t kNumCoverageKinds = 7;
+
+std::string_view CoverageKindName(CoverageKind kind);
+
+// Coverage category of a contract; nullopt for type contracts (never cover).
+std::optional<CoverageKind> CoverageKindOf(const Contract& contract);
+
+// Per-line coverage for one configuration (§3.9: Concord "reports the coverage of
+// each line"). `kind_bits` bit i corresponds to CoverageKind i; 0 means untested.
+struct ConfigCoverage {
+  std::string config;
+  std::vector<int> line_numbers;    // 1-based source line numbers, in order.
+  std::vector<uint8_t> kind_bits;   // Parallel to line_numbers.
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+
+  size_t total_lines = 0;    // Config lines (metadata excluded).
+  size_t covered_lines = 0;  // Union over all categories.
+  std::array<size_t, kNumCoverageKinds> covered_by_kind{};
+  std::vector<ConfigCoverage> per_config;  // Filled when coverage is measured.
+
+  double CoveragePercent() const {
+    return total_lines == 0 ? 0.0
+                            : 100.0 * static_cast<double>(covered_lines) /
+                                  static_cast<double>(total_lines);
+  }
+  double CoveragePercent(CoverageKind kind) const {
+    return total_lines == 0 ? 0.0
+                            : 100.0 * static_cast<double>(covered_by_kind[static_cast<size_t>(
+                                          kind)]) /
+                                  static_cast<double>(total_lines);
+  }
+};
+
+class Checker {
+ public:
+  // Both referents must outlive the checker. The table must be the one `dataset`'s
+  // patterns live in (contracts loaded from a file must have been interned into it).
+  // `parallelism` shards per-config checking across worker threads (1 = serial,
+  // 0 or negative = hardware concurrency), mirroring the CLI's --parallelism flag.
+  Checker(const ContractSet* set, const PatternTable* table, int parallelism = 1)
+      : set_(set), table_(table), parallelism_(parallelism) {}
+
+  // Checks every contract and measures coverage. `measure_coverage` false skips the
+  // (more expensive) coverage pass.
+  CheckResult Check(const Dataset& dataset, bool measure_coverage = true) const;
+
+ private:
+  const ContractSet* set_;
+  const PatternTable* table_;
+  int parallelism_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_CHECK_CHECKER_H_

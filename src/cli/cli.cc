@@ -1,0 +1,247 @@
+#include "src/cli/cli.h"
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/check/checker.h"
+#include "src/contracts/contract_io.h"
+#include "src/contracts/suppression.h"
+#include "src/learn/learner.h"
+#include "src/pattern/lexer.h"
+#include "src/pattern/parser.h"
+#include "src/report/report.h"
+#include "src/util/argparse.h"
+#include "src/util/glob.h"
+#include "src/util/io.h"
+#include "src/util/stopwatch.h"
+
+namespace concord {
+
+namespace {
+
+void AddCommonFlags(ArgParser* parser) {
+  parser->AddFlag("configs", "glob pattern for configuration files (repeatable)");
+  parser->AddFlag("metadata", "glob pattern for metadata files (repeatable, §3.7)");
+  parser->AddFlag("lexer", "file with custom lexer token definitions (`name regex` lines)");
+  parser->AddBoolFlag("no-embedding", "disable context embedding (§3.1)");
+  parser->AddBoolFlag("constants", "enable constant learning of exact line text (§4)");
+  parser->AddBoolFlag("quiet", "suppress the textual summary");
+}
+
+struct LoadedInputs {
+  Lexer lexer;
+  Dataset dataset;
+};
+
+// Expands globs, parses configs and metadata into a dataset.
+bool LoadInputs(const ArgParser& args, bool embed_context, bool constants, LoadedInputs* inputs,
+                std::ostream& err) {
+  if (!args.Has("configs")) {
+    err << "error: --configs is required\n";
+    return false;
+  }
+  if (args.Has("lexer")) {
+    std::string error;
+    if (!inputs->lexer.LoadDefinitions(ReadFile(args.Get("lexer")), &error)) {
+      err << "error: bad lexer definition: " << error << "\n";
+      return false;
+    }
+  }
+  ParseOptions options;
+  options.embed_context = embed_context;
+  options.constants = constants;
+  ConfigParser parser(&inputs->lexer, &inputs->dataset.patterns, options);
+
+  std::vector<std::string> files;
+  for (const std::string& pattern : args.GetAll("configs")) {
+    for (std::string& f : ExpandGlob(pattern)) {
+      files.push_back(std::move(f));
+    }
+  }
+  if (files.empty()) {
+    err << "error: no configuration files match the given globs\n";
+    return false;
+  }
+  for (const std::string& file : files) {
+    inputs->dataset.configs.push_back(parser.Parse(file, ReadFile(file)));
+  }
+  for (const std::string& pattern : args.GetAll("metadata")) {
+    for (const std::string& file : ExpandGlob(pattern)) {
+      for (ParsedLine& line : parser.ParseMetadata(ReadFile(file))) {
+        inputs->dataset.metadata.push_back(std::move(line));
+      }
+    }
+  }
+  return true;
+}
+
+int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  ArgParser args;
+  AddCommonFlags(&args);
+  args.AddFlag("out", "output contract file", "contracts.json");
+  args.AddFlag("support", "minimum supporting configurations S", "5");
+  args.AddFlag("confidence", "required holding fraction C", "0.96");
+  args.AddFlag("score-threshold", "relational informativeness threshold", "4.0");
+  args.AddFlag("parallelism", "worker threads (0 = all cores)", "1");
+  args.AddFlag("disable", "disable a category: present|ordering|type|sequence|unique|relational");
+  args.AddBoolFlag("no-minimize", "skip relational contract minimization (§3.6)");
+  if (!args.Parse(argc, argv, 2)) {
+    err << "error: " << args.error() << "\n" << args.Usage();
+    return 2;
+  }
+
+  LearnOptions options;
+  options.support = static_cast<int>(args.GetInt("support").value_or(5));
+  options.confidence = args.GetDouble("confidence").value_or(0.96);
+  options.score_threshold = args.GetDouble("score-threshold").value_or(4.0);
+  options.constants = args.GetBool("constants");
+  options.minimize = !args.GetBool("no-minimize");
+  options.parallelism = static_cast<int>(args.GetInt("parallelism").value_or(1));
+  for (const std::string& category : args.GetAll("disable")) {
+    if (category == "present") {
+      options.learn_present = false;
+    } else if (category == "ordering") {
+      options.learn_ordering = false;
+    } else if (category == "type") {
+      options.learn_type = false;
+    } else if (category == "sequence") {
+      options.learn_sequence = false;
+    } else if (category == "unique") {
+      options.learn_unique = false;
+    } else if (category == "relational") {
+      options.learn_relational = false;
+    } else {
+      err << "error: unknown category to disable: " << category << "\n";
+      return 2;
+    }
+  }
+
+  bool embed = !args.GetBool("no-embedding");
+  LoadedInputs inputs;
+  if (!LoadInputs(args, embed, options.constants, &inputs, err)) {
+    return 2;
+  }
+
+  Stopwatch watch;
+  Learner learner(options);
+  LearnResult result = learner.Learn(inputs.dataset);
+  result.set.embed_context = embed;
+  WriteFile(args.Get("out"), SerializeContracts(result.set, inputs.dataset.patterns));
+
+  if (!args.GetBool("quiet")) {
+    out << "configs: " << inputs.dataset.configs.size() << "\n"
+        << "lines: " << inputs.dataset.TotalLines() << "\n"
+        << "patterns: " << inputs.dataset.patterns.size() << "\n"
+        << "parameters: " << inputs.dataset.TotalParameters() << "\n"
+        << "contracts: " << result.set.contracts.size() << "\n";
+    for (ContractKind kind :
+         {ContractKind::kPresent, ContractKind::kOrdering, ContractKind::kType,
+          ContractKind::kSequence, ContractKind::kUnique, ContractKind::kRelational}) {
+      out << "  " << ContractKindName(kind) << ": " << result.set.CountKind(kind) << "\n";
+    }
+    if (result.relational_before_minimize > 0) {
+      out << "minimization: " << result.relational_before_minimize << " -> "
+          << result.relational_after_minimize << " relational contracts\n";
+    }
+    out << "learn time: " << watch.ElapsedSeconds() << "s\n"
+        << "wrote " << args.Get("out") << "\n";
+  }
+  return 0;
+}
+
+int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  ArgParser args;
+  AddCommonFlags(&args);
+  args.AddFlag("contracts", "contract file produced by `concord learn`", "contracts.json");
+  args.AddFlag("json-out", "write the JSON violation report to this file");
+  args.AddFlag("html-out", "write the HTML violation report to this file");
+  args.AddFlag("coverage-out", "write the per-line coverage listing to this file (§3.9)");
+  args.AddFlag("suppress", "file of contract keys to suppress (operator feedback, §4)");
+  args.AddFlag("parallelism", "worker threads for checking (0 = all cores)", "1");
+  args.AddBoolFlag("no-coverage", "skip coverage measurement (§3.9)");
+  if (!args.Parse(argc, argv, 2)) {
+    err << "error: " << args.error() << "\n" << args.Usage();
+    return 2;
+  }
+
+  std::string contracts_text;
+  try {
+    contracts_text = ReadFile(args.Get("contracts"));
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  LoadedInputs inputs;
+  // Parse contracts first so the set's recorded parse options drive config parsing.
+  PatternTable scratch;
+  std::string error;
+  auto preview = ParseContracts(contracts_text, &scratch, &error);
+  if (!preview) {
+    err << "error: cannot parse contracts: " << error << "\n";
+    return 2;
+  }
+  bool embed = preview->embed_context && !args.GetBool("no-embedding");
+  bool constants = preview->constants_mode || args.GetBool("constants");
+  if (!LoadInputs(args, embed, constants, &inputs, err)) {
+    return 2;
+  }
+  auto set = ParseContracts(contracts_text, &inputs.dataset.patterns, &error);
+  if (!set) {
+    err << "error: cannot parse contracts: " << error << "\n";
+    return 2;
+  }
+  if (args.Has("suppress")) {
+    SuppressionList suppressions = SuppressionList::Parse(ReadFile(args.Get("suppress")));
+    size_t dropped = suppressions.Apply(&*set, inputs.dataset.patterns);
+    if (!args.GetBool("quiet")) {
+      out << "suppressed " << dropped << " contract(s)\n";
+    }
+  }
+
+  Stopwatch watch;
+  int parallelism = static_cast<int>(args.GetInt("parallelism").value_or(1));
+  Checker checker(&*set, &inputs.dataset.patterns, parallelism);
+  CheckResult result = checker.Check(inputs.dataset, !args.GetBool("no-coverage"));
+
+  if (args.Has("json-out")) {
+    WriteFile(args.Get("json-out"), ReportJson(result, *set, inputs.dataset.patterns));
+  }
+  if (args.Has("html-out")) {
+    WriteFile(args.Get("html-out"), ReportHtml(result, *set, inputs.dataset.patterns));
+  }
+  if (args.Has("coverage-out")) {
+    WriteFile(args.Get("coverage-out"), CoverageReportText(result));
+  }
+  if (!args.GetBool("quiet")) {
+    out << ReportText(result, *set, inputs.dataset.patterns);
+    out << "check time: " << watch.ElapsedSeconds() << "s\n";
+  }
+  return result.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    err << "usage: concord <learn|check> [flags]\n";
+    return 2;
+  }
+  std::string mode = argv[1];
+  try {
+    if (mode == "learn") {
+      return RunLearn(argc, argv, out, err);
+    }
+    if (mode == "check") {
+      return RunCheck(argc, argv, out, err);
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  err << "error: unknown mode '" << mode << "' (expected learn or check)\n";
+  return 2;
+}
+
+}  // namespace concord

@@ -1,0 +1,17 @@
+// The `concord` command line tool (§4): `concord learn` and `concord check`.
+//
+// Exposed as a function so tests can drive the CLI in-process.
+#ifndef SRC_CLI_CLI_H_
+#define SRC_CLI_CLI_H_
+
+#include <ostream>
+
+namespace concord {
+
+// Runs the CLI. Returns the process exit code: 0 on success, 1 when `check` found
+// violations, 2 on usage or input errors.
+int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace concord
+
+#endif  // SRC_CLI_CLI_H_

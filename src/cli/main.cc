@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "src/cli/cli.h"
+
+int main(int argc, char** argv) {
+  return concord::RunConcord(argc, argv, std::cout, std::cerr);
+}

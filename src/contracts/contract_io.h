@@ -1,0 +1,32 @@
+// Contract set (de)serialization (§4: `concord learn` emits contracts as JSON).
+//
+// The file format is self-contained: contracts carry pattern *text*, and loading a
+// file re-interns those patterns into the checker's table. Interning from text must
+// reconstruct the same parameter metadata the config parser would produce, so the
+// canonical text is parsed for its typed holes.
+#ifndef SRC_CONTRACTS_CONTRACT_IO_H_
+#define SRC_CONTRACTS_CONTRACT_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/contracts/contract.h"
+#include "src/pattern/pattern_table.h"
+
+namespace concord {
+
+// Interns a canonical pattern text (as found in a contract file), deriving the
+// parameter types and untyped form from the `[name:type]` holes in the text.
+PatternId InternPatternText(PatternTable* table, const std::string& text);
+
+// Renders the contract set as pretty-printed JSON.
+std::string SerializeContracts(const ContractSet& set, const PatternTable& table);
+
+// Parses a contract file produced by SerializeContracts, interning referenced patterns
+// into `table`. Returns nullopt and fills *error on malformed input.
+std::optional<ContractSet> ParseContracts(const std::string& json, PatternTable* table,
+                                          std::string* error = nullptr);
+
+}  // namespace concord
+
+#endif  // SRC_CONTRACTS_CONTRACT_IO_H_

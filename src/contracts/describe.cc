@@ -1,0 +1,134 @@
+#include "src/contracts/describe.h"
+
+#include <sstream>
+
+#include "src/util/strings.h"
+
+namespace concord {
+
+namespace {
+
+// Renders a pattern for prose: context path dropped to the innermost two segments,
+// named holes shown as `<type>`.
+std::string ProsePattern(const PatternTable& table, PatternId id) {
+  const PatternInfo& info = table.Get(id);
+  std::string text = info.text;
+  if (!text.empty() && text[0] == '=') {
+    // Constant patterns may contain literal '/' inside values; show the whole path.
+    return "the exact line `" + text.substr(1) + "`";
+  }
+  // Keep at most the last two path segments for context.
+  size_t cut = text.rfind('/', 0) == 0 ? 1 : 0;  // Drop the leading root slash.
+  int seen = 0;
+  for (size_t i = text.size(); i-- > 0;) {
+    if (text[i] == '/') {
+      ++seen;
+      if (seen == 2) {
+        cut = i + 1;
+        break;
+      }
+    }
+  }
+  std::string tail = text.substr(cut);
+  // `[a:num]` -> `<num>`.
+  std::string out;
+  size_t i = 0;
+  while (i < tail.size()) {
+    if (tail[i] == '[') {
+      size_t close = tail.find(']', i);
+      size_t colon = tail.find(':', i);
+      if (close != std::string::npos) {
+        std::string inner = colon != std::string::npos && colon < close
+                                ? tail.substr(colon + 1, close - colon - 1)
+                                : tail.substr(i + 1, close - i - 1);
+        out += "<" + inner + ">";
+        i = close + 1;
+        continue;
+      }
+    }
+    out.push_back(tail[i]);
+    ++i;
+  }
+  return "`" + out + "`";
+}
+
+std::string ProseTransform(const Transform& t, const std::string& operand) {
+  switch (t.kind) {
+    case TransformKind::kId:
+      return operand;
+    case TransformKind::kHex:
+      return operand + " in hex";
+    case TransformKind::kMacSegment:
+      return "segment " + std::to_string(t.arg) + " of " + operand;
+    case TransformKind::kIpOctet:
+      return "octet " + std::to_string(t.arg) + " of " + operand;
+    case TransformKind::kPfxAddr:
+      return "the network address of " + operand;
+    case TransformKind::kPfxLen:
+      return "the prefix length of " + operand;
+  }
+  return operand;
+}
+
+}  // namespace
+
+std::string DescribeContract(const Contract& contract, const PatternTable& table) {
+  std::ostringstream out;
+  switch (contract.kind) {
+    case ContractKind::kPresent:
+      out << "every configuration contains " << ProsePattern(table, contract.pattern);
+      break;
+    case ContractKind::kOrdering:
+      out << "every " << ProsePattern(table, contract.pattern) << " is immediately "
+          << (contract.successor ? "followed" : "preceded") << " by "
+          << ProsePattern(table, contract.pattern2);
+      break;
+    case ContractKind::kType:
+      out << "parameter " << PatternTable::ParamName(contract.param) << " of `"
+          << contract.untyped_pattern << "` must not be a ["
+          << ValueTypeName(contract.invalid_type) << "]";
+      break;
+    case ContractKind::kSequence:
+      out << "the values of parameter " << PatternTable::ParamName(contract.param) << " in "
+          << ProsePattern(table, contract.pattern)
+          << " form an equidistant sequence within each configuration";
+      break;
+    case ContractKind::kUnique:
+      out << "the value of parameter " << PatternTable::ParamName(contract.param) << " in "
+          << ProsePattern(table, contract.pattern)
+          << " is unique across all configurations";
+      break;
+    case ContractKind::kRelational: {
+      std::string lhs = ProseTransform(
+          contract.transform1, "its value " + PatternTable::ParamName(contract.param));
+      std::string rhs = ProseTransform(
+          contract.transform2, "value " + PatternTable::ParamName(contract.param2));
+      out << "every " << ProsePattern(table, contract.pattern) << " has a "
+          << ProsePattern(table, contract.pattern2) << " whose " << rhs << " ";
+      switch (contract.relation) {
+        case RelationKind::kEquals:
+          out << "equals " << lhs;
+          break;
+        case RelationKind::kContains:
+          out << "contains " << lhs;
+          break;
+        case RelationKind::kStartsWith:
+          out << "is a prefix of " << lhs;
+          break;
+        case RelationKind::kPrefixOf:
+          out << "starts with " << lhs;
+          break;
+        case RelationKind::kEndsWith:
+          out << "is a suffix of " << lhs;
+          break;
+        case RelationKind::kSuffixOf:
+          out << "ends with " << lhs;
+          break;
+      }
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace concord

@@ -1,0 +1,18 @@
+// English rendering of learned contracts (the paper's Table 8 presents contracts as
+// one-line English descriptions for operator review).
+#ifndef SRC_CONTRACTS_DESCRIBE_H_
+#define SRC_CONTRACTS_DESCRIBE_H_
+
+#include <string>
+
+#include "src/contracts/contract.h"
+
+namespace concord {
+
+// One-sentence, operator-facing description, e.g.
+//   "every `vlan <num>` has a `rd <ip4>:<num>` whose value b ends with its value a".
+std::string DescribeContract(const Contract& contract, const PatternTable& table);
+
+}  // namespace concord
+
+#endif  // SRC_CONTRACTS_DESCRIBE_H_

@@ -1,0 +1,34 @@
+#include "src/contracts/suppression.h"
+
+#include <algorithm>
+
+#include "src/util/io.h"
+#include "src/util/strings.h"
+
+namespace concord {
+
+SuppressionList SuppressionList::Parse(const std::string& text) {
+  SuppressionList list;
+  for (const std::string& raw : SplitLines(text)) {
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    list.keys_.insert(std::string(line));
+  }
+  return list;
+}
+
+size_t SuppressionList::Apply(ContractSet* set, const PatternTable& table) const {
+  if (keys_.empty()) {
+    return 0;
+  }
+  size_t before = set->contracts.size();
+  set->contracts.erase(
+      std::remove_if(set->contracts.begin(), set->contracts.end(),
+                     [&](const Contract& c) { return Contains(c.Key(table)); }),
+      set->contracts.end());
+  return before - set->contracts.size();
+}
+
+}  // namespace concord

@@ -1,0 +1,36 @@
+// Operator feedback: suppressing false-positive contracts (§4).
+//
+// The paper's HTML UI lets operators mark learned contracts as false positives so
+// future runs ignore them. The durable form of that feedback is a suppression file:
+// one contract identity key per line (as emitted in the JSON violation report),
+// '#' comments and blank lines ignored. Keys are built from pattern text, so they are
+// stable across runs and machines.
+#ifndef SRC_CONTRACTS_SUPPRESSION_H_
+#define SRC_CONTRACTS_SUPPRESSION_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "src/contracts/contract.h"
+
+namespace concord {
+
+class SuppressionList {
+ public:
+  // Parses the file contents; malformed lines cannot exist (any text is a key).
+  static SuppressionList Parse(const std::string& text);
+
+  void Add(const std::string& key) { keys_.insert(key); }
+  bool Contains(const std::string& key) const { return keys_.count(key) > 0; }
+  size_t size() const { return keys_.size(); }
+
+  // Removes suppressed contracts from the set; returns how many were dropped.
+  size_t Apply(ContractSet* set, const PatternTable& table) const;
+
+ private:
+  std::unordered_set<std::string> keys_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_CONTRACTS_SUPPRESSION_H_

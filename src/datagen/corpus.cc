@@ -1,0 +1,30 @@
+#include "src/datagen/corpus.h"
+
+#include "src/util/io.h"
+
+namespace concord {
+
+size_t GeneratedCorpus::TotalLines() const {
+  size_t total = 0;
+  for (const GeneratedConfig& config : configs) {
+    total += SplitLines(config.text).size();
+  }
+  return total;
+}
+
+Dataset ParseCorpus(const GeneratedCorpus& corpus, ParseOptions options, const Lexer* lexer) {
+  static const Lexer kDefaultLexer;
+  Dataset dataset;
+  ConfigParser parser(lexer != nullptr ? lexer : &kDefaultLexer, &dataset.patterns, options);
+  for (const GeneratedConfig& config : corpus.configs) {
+    dataset.configs.push_back(parser.Parse(config.name, config.text));
+  }
+  for (const GeneratedConfig& meta : corpus.metadata) {
+    for (ParsedLine& line : parser.ParseMetadata(meta.text)) {
+      dataset.metadata.push_back(std::move(line));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace concord

@@ -1,0 +1,329 @@
+#include "src/datagen/edge_gen.h"
+
+#include <sstream>
+
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace concord {
+
+namespace {
+
+struct SitePolicy {
+  int site_id;
+  std::vector<int> vlan_ids;
+  std::vector<int> vnis;
+  std::vector<std::string> vrf_names;
+  std::string mgmt_gateway;
+};
+
+// Site ids are deliberately non-equidistant (real deployments are not numbered
+// arithmetically, and an accidental progression would read as a sequence contract).
+int SiteId(int site_index) { return 4 * site_index + (site_index % 3); }
+
+SitePolicy MakeSitePolicy(int site_index, const EdgeOptions& options) {
+  SitePolicy policy;
+  int site = SiteId(site_index);
+  policy.site_id = site;
+  policy.mgmt_gateway = "172.16." + std::to_string(site) + ".1";
+  for (int k = 0; k < options.vlans_per_site; ++k) {
+    // Irregular vlan spacing (growing gaps) — intentionally not a sequence.
+    int vlan = 1000 + site * 37 + 7 * k * (k + 3);
+    policy.vlan_ids.push_back(vlan);
+    // VNIs are allocated independently of the vlan number (no shared digits to learn
+    // spurious affix relations from) and with growing gaps (no accidental sequence).
+    policy.vnis.push_back(50000 + site * 211 + 13 * k * (k + 1));
+    policy.vrf_names.push_back("NF-" + std::to_string(site) + "-" + std::to_string(k));
+  }
+  return policy;
+}
+
+std::string MetadataJson(const SitePolicy& policy) {
+  std::ostringstream out;
+  out << "{\n  \"siteId\": " << policy.site_id << ",\n  \"mgmtGateway\": \""
+      << policy.mgmt_gateway << "\",\n  \"nfInfos\": [\n";
+  for (size_t k = 0; k < policy.vlan_ids.size(); ++k) {
+    out << "    {\"vrfName\": \"" << policy.vrf_names[k] << "\", \"vlanId\": "
+        << policy.vlan_ids[k] << ", \"vni\": " << policy.vnis[k] << "}";
+    out << (k + 1 < policy.vlan_ids.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string DeviceConfig(const SitePolicy& policy, int device, const EdgeOptions& options,
+                         SplitMix64& rng) {
+  int site = policy.site_id;
+  std::string device_id = std::to_string(site) + "." + std::to_string(device);
+  std::string loopback = "10." + std::to_string(site) + "." + std::to_string(device) + ".1";
+  std::string role_tag = options.role == EdgeRole::kLeaf ? "L" : "T";
+  bool drift_drop_logging = rng.Chance(options.drift_rate);
+  bool mistyped_ntp = rng.Chance(options.type_noise_rate);
+  bool has_model_line = rng.Chance(options.optional_feature_rate);
+
+  std::ostringstream out;
+  // One combined device number so the hostname carries a single globally-unique
+  // parameter (site and device alone both repeat).
+  out << "hostname EDGE-" << role_tag << (site * 100 + device) << "\n";
+  out << "!\n";
+  out << "ntp server 10.250.0.1" << (mistyped_ntp ? "/32" : "") << "\n";
+  out << "ntp server 10.250.0.2\n";
+  if (!drift_drop_logging) {
+    out << "logging host 10.251.0." << site << "\n";
+  }
+  if (has_model_line) {
+    out << "service routing protocols model multi-agent\n";
+  }
+  out << "!\n";
+  out << "vrf instance MGMT\n";
+  out << "!\n";
+  out << "interface Management1\n";
+  out << "   vrf MGMT\n";
+  out << "   ip address 172.16." << site << "." << (10 + device) << "/24\n";
+  out << "!\n";
+  out << "interface Loopback0\n";
+  out << "   ip address " << loopback << "\n";
+  out << "!\n";
+
+  // Port channels carry the EVPN route target whose last MAC segment is the channel
+  // number in hex (Figure 1 contract 1). Only leaves run EVPN port channels.
+  if (options.role == EdgeRole::kLeaf) {
+    for (size_t k = 0; k < policy.vlan_ids.size(); ++k) {
+      int channel = 100 + static_cast<int>(k) * 10 + device;
+      out << "interface Port-Channel" << channel << "\n";
+      out << "   switchport mode trunk\n";
+      out << "   evpn ether-segment\n";
+      out << "      route-target import 00:00:0c:d3:00:" << ToHex(channel) << "\n";
+      out << "!\n";
+    }
+  }
+
+  for (int e = 1; e <= options.ethernets; ++e) {
+    out << "interface Ethernet" << e << "\n";
+    out << "   description link-" << site << "-" << device << "-" << e << "\n";
+    out << "   speed " << options.speed_gbps << "g\n";
+    out << "   mtu 9214\n";
+    out << "!\n";
+  }
+
+  // Loopback prefix list: device /32 first, then the site block and a default.
+  out << "ip prefix-list loopback\n";
+  out << "   seq 10 permit " << loopback << "/32\n";
+  out << "   seq 20 permit 10." << site << ".0.0/16\n";
+  out << "   seq 30 permit 10.250.0.0/16\n";
+  out << "   seq 40 permit 0.0.0.0/0\n";
+  out << "!\n";
+  // A second list with the same inner line shape: only context embedding keeps its
+  // seq entries distinct from the loopback list's (the Figure 7 effect).
+  out << "ip prefix-list PRIVATE\n";
+  out << "   seq 10 permit 10.0.0.0/8\n";
+  out << "   seq 20 permit 172.16.0.0/12\n";
+  out << "   seq 30 permit 192.168.0.0/16\n";
+  out << "!\n";
+  // Route-map pair whose blocks contain identical line shapes in *different* orders;
+  // merged (unembedded) patterns lose both their presence and ordering contracts.
+  out << "route-map RM-CORE-IN permit 10\n";
+  out << "   set local-preference 200\n";
+  out << "   match community CL-GLOBAL\n";
+  out << "!\n";
+  out << "route-map RM-CORE-OUT permit 10\n";
+  out << "   match community CL-GLOBAL\n";
+  out << "   set local-preference 400\n";
+  out << "!\n";
+  out << "snmp-server source " << loopback << "\n";
+  out << "!\n";
+
+  // Management static routes: next hops covered by the MGMT aggregate (RQ4 ex. 1).
+  out << "ip route vrf MGMT 0.0.0.0/0 " << policy.mgmt_gateway << "\n";
+  out << "ip route vrf MGMT 172.20." << site << ".0/24 " << policy.mgmt_gateway << "\n";
+  // Device-specific routes unrelated to anything else (the untestable residue the
+  // paper observes in §5.3). The first two draw from a tiny shared pool so the prefix
+  // parameter is visibly non-unique across the role.
+  static const char* kSharedNoise[] = {"10.66.1.0/24", "10.66.2.0/24", "10.66.3.0/24"};
+  for (int j = 0; j < 4; ++j) {
+    std::string pfx = j < 2 ? kSharedNoise[rng.Below(3)]
+                            : "10." + std::to_string(rng.Range(1, 220)) + "." +
+                                  std::to_string(rng.Range(0, 250)) + ".0/24";
+    out << "ip route " << pfx << " 192.0.2." << rng.Range(1, 60) << "\n";
+  }
+  out << "!\n";
+
+  out << "router bgp 65" << (100 + site) << "\n";
+  out << "   router-id " << loopback << "\n";
+  out << "   maximum-paths 64 ecmp 64\n";
+  out << "   redistribute connected\n";
+  out << "   neighbor SPINE peer-group\n";
+  out << "   vrf MGMT\n";
+  out << "      aggregate-address 172.16." << site << ".0/24\n";
+  for (size_t k = 0; k < policy.vlan_ids.size(); ++k) {
+    int vlan = policy.vlan_ids[k];
+    out << "   vlan " << vlan << "\n";
+    out << "      rd " << loopback << ":10" << vlan << "\n";
+    out << "      route-target both " << vlan << ":100\n";
+  }
+  out << "!\n";
+
+  if (options.role == EdgeRole::kLeaf) {
+    for (size_t k = 0; k < policy.vlan_ids.size(); ++k) {
+      out << "vxlan vlan " << policy.vlan_ids[k] << " vni " << policy.vnis[k] << "\n";
+    }
+    out << "!\n";
+    // SVI per NF vlan: one more carrier of the vlan id (grows the Figure 5 clique).
+    for (size_t k = 0; k < policy.vlan_ids.size(); ++k) {
+      out << "interface Vlan" << policy.vlan_ids[k] << "\n";
+      out << "   no autostate\n";
+      out << "!\n";
+    }
+  }
+  return out.str();
+}
+
+GroundTruth EdgeTruth(EdgeRole role) {
+  GroundTruth truth;
+  // Figure 1 contract 1: channel number (hex) == MAC segment 6.
+  if (role == EdgeRole::kLeaf) {
+    truth.DeclareEqualityClass({NodeSpec{"interface Port-Channel[a:num]", 0},
+                                NodeSpec{"route-target import [a:mac]", 0}});
+  }
+  // The loopback-address family: every member carries the device loopback.
+  const std::vector<NodeSpec> loopback_class = {
+      NodeSpec{"interface Loopback[num]/ip address", 0},
+      NodeSpec{"router-id [a:ip4]", 0},
+      NodeSpec{"rd [a:ip4]:[b:num]", 0},
+      NodeSpec{"seq [a:num] permit [b:pfx4]", 1},
+      NodeSpec{"snmp-server source", 0},
+  };
+  truth.DeclareEqualityClass(loopback_class);
+  // The vlan-id family.
+  const std::vector<NodeSpec> vlan_class = {
+      NodeSpec{"/vlan [a:num]", 0},
+      NodeSpec{"interface Vlan[a:num]", 0},
+      NodeSpec{"vxlan vlan [a:num] vni [b:num]", 0},
+      NodeSpec{"route-target both [a:num]:[b:num]", 0},
+      NodeSpec{"@meta/nfInfos/vlanId", 0},
+  };
+  truth.DeclareEqualityClass(vlan_class);
+  // VNI: vxlan line and metadata.
+  truth.DeclareEqualityClass(
+      {NodeSpec{"vxlan vlan [a:num] vni [b:num]", 1}, NodeSpec{"@meta/nfInfos/vni", 0}});
+  // Management gateway: static route next hops equal the metadata gateway.
+  truth.DeclareEqualityClass(
+      {NodeSpec{"ip route vrf MGMT", 1}, NodeSpec{"@meta/mgmtGateway", 0}});
+  // The management /24: the (canonicalized) management interface prefix and the MGMT
+  // aggregate are the same network.
+  truth.DeclareEqualityClass({NodeSpec{"interface Management[num]/ip address", 0},
+                              NodeSpec{"aggregate-address", 0}});
+  // Site id octets appear across management/loopback/logging addresses, names, and
+  // metadata — a single large equivalence class by construction.
+  truth.DeclareEqualityClass({NodeSpec{"ip address [a:ip4]", 0},
+                              NodeSpec{"interface Management[num]/ip address", 0},
+                              NodeSpec{"logging host", 0},
+                              NodeSpec{"aggregate-address", 0},
+                              NodeSpec{"ip route vrf MGMT", -1},
+                              NodeSpec{"@meta/mgmtGateway", 0},
+                              NodeSpec{"@meta/siteId", 0},
+                              NodeSpec{"@meta/nfInfos/vrfName", 0},
+                              NodeSpec{"description link-", 0},
+                              NodeSpec{"router-id", 0},
+                              NodeSpec{"interface Loopback[num]/ip address", 0},
+                              NodeSpec{"rd [a:ip4]:[b:num]", 0}});
+
+  // Containment: every loopback-family address sits in the prefix list; textually, an
+  // address is also a string prefix of its /32 list entry.
+  for (const NodeSpec& member : loopback_class) {
+    if (member.pattern_substring.find("seq") == std::string::npos) {
+      truth.DeclareRelation(RelationKind::kContains, member,
+                            NodeSpec{"seq [a:num] permit [b:pfx4]", 1});
+      truth.DeclareRelation(RelationKind::kPrefixOf, member,
+                            NodeSpec{"seq [a:num] permit [b:pfx4]", 1});
+    }
+  }
+  truth.DeclareRelation(RelationKind::kContains, NodeSpec{"ntp server", 0},
+                        NodeSpec{"seq [a:num] permit [b:pfx4]", 1});
+  truth.DeclareRelation(RelationKind::kContains, NodeSpec{"ip route vrf MGMT", 1},
+                        NodeSpec{"aggregate-address", 0});
+  truth.DeclareRelation(RelationKind::kContains, NodeSpec{"ip route vrf MGMT", 1},
+                        NodeSpec{"interface Management[num]/ip address", 0});
+  truth.DeclareRelation(RelationKind::kContains, NodeSpec{"ip address [a:ip4]", 0},
+                        NodeSpec{"seq [a:num] permit [b:pfx4]", 1});
+  truth.DeclareRelation(RelationKind::kContains,
+                        NodeSpec{"interface Management[num]/ip address", 0},
+                        NodeSpec{"aggregate-address", 0});
+  truth.DeclareRelation(RelationKind::kContains, NodeSpec{"aggregate-address", 0},
+                        NodeSpec{"interface Management[num]/ip address", 0});
+  // Vlan id is a suffix of the rd value (Figure 1 contract 3) — for every carrier of
+  // the vlan id.
+  for (const NodeSpec& member : vlan_class) {
+    truth.DeclareRelation(RelationKind::kSuffixOf, member, NodeSpec{"rd [a:ip4]:[b:num]", 1});
+  }
+
+  // The PRIVATE list is the RFC1918 space: it covers the fabric's entire addressing
+  // plan by construction.
+  for (const char* carrier :
+       {"ip address", "ip route", "logging host", "aggregate-address", "router-id",
+        "@meta/mgmtGateway", "ntp server", "rd [a:ip4]"}) {
+    truth.DeclareRelation(RelationKind::kContains, NodeSpec{carrier, -1},
+                          NodeSpec{"PRIVATE", -1});
+  }
+
+  // Unique resources.
+  truth.DeclareUnique(NodeSpec{"hostname EDGE-", -1});
+  truth.DeclareUnique(NodeSpec{"snmp-server source", -1});
+  truth.DeclareUnique(NodeSpec{"interface Loopback[num]/ip address", 0});
+  truth.DeclareUnique(NodeSpec{"interface Management[num]/ip address", 0});
+  truth.DeclareUnique(NodeSpec{"rd [a:ip4]:[b:num]", -1});
+  truth.DeclareUnique(NodeSpec{"router-id", 0});
+
+  // Prefix list seq numbers, front-panel port numbers, and port-channel numbers are
+  // genuinely sequential within a device.
+  truth.DeclareSequence("seq [a:num] permit");
+  truth.DeclareSequence("interface Ethernet[a:num]");
+  truth.DeclareSequence("description link-");
+  truth.DeclareSequence("interface Port-Channel[a:num]");
+
+  // Semantically ordered blocks (the rest of the template's fixed order is
+  // "technically interchangeable" — the paper's explanation for ordering's low
+  // precision).
+  truth.DeclareOrderedBlock({"evpn ether-segment", "route-target import"});
+  truth.DeclareOrderedBlock({"redistribute connected", "neighbor SPINE peer-group"});
+  truth.DeclareOrderedBlock({"seq [a:num] permit"});
+  truth.DeclareOrderedBlock({"interface Loopback[a:num]", "interface Loopback[num]/ip address"});
+  truth.DeclareOrderedBlock({"ip prefix-list loopback", "seq [a:num] permit"});
+  truth.DeclareOrderedBlock({"ip prefix-list PRIVATE", "seq [a:num] permit"});
+  truth.DeclareOrderedBlock({"router bgp [a:num]", "router-id"});
+  truth.DeclareOrderedBlock({"vlan [a:num]", "rd [a:ip4]", "route-target both"});
+  truth.DeclareOrderedBlock({"interface Management[a:num]", "vrf MGMT", "ip address"});
+
+  // Optional features: present contracts about them are not intents. (The logging
+  // host line is dropped by *drift*, i.e. misconfiguration — it stays intentional.)
+  truth.DeclareOptionalPattern("service routing protocols");
+
+  // Planted mistypes.
+  truth.DeclareTypeNoise("ntp server");
+  return truth;
+}
+
+}  // namespace
+
+GeneratedCorpus GenerateEdge(const EdgeOptions& options) {
+  GeneratedCorpus corpus;
+  corpus.role = options.role == EdgeRole::kLeaf ? "E1" : "E2";
+  corpus.truth = EdgeTruth(options.role);
+  SplitMix64 rng(options.seed ^ (options.role == EdgeRole::kLeaf ? 0x1111 : 0x2222));
+
+  for (int site = 1; site <= options.sites; ++site) {
+    SitePolicy policy = MakeSitePolicy(site, options);
+    corpus.metadata.push_back(
+        GeneratedConfig{"site" + std::to_string(site) + ".meta.json", MetadataJson(policy)});
+    for (int device = 1; device <= options.devices_per_site; ++device) {
+      SplitMix64 device_rng = rng.Fork();
+      std::string name = corpus.role + "-site" + std::to_string(site) + "-dev" +
+                         std::to_string(device) + ".cfg";
+      corpus.configs.push_back(
+          GeneratedConfig{name, DeviceConfig(policy, device, options, device_rng)});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace concord

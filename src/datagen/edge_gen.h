@@ -1,0 +1,48 @@
+// Synthetic mobile near-edge datacenter configurations (§2, §5.1 roles E1/E2).
+//
+// Each "site" is one leaf-spine deployment generated from a per-site metadata policy
+// file (the §3.7 metadata input). Devices use an Arista-EOS-style indented syntax and
+// plant, by construction, every relationship class the paper's examples rely on:
+//
+//   * port-channel id encoded in hex as the last EVPN route-target MAC segment
+//     (Figure 1 contract 1);
+//   * loopback addresses permitted by the loopback prefix list (contract 2);
+//   * vlan ids as suffixes of route distinguishers (contract 3);
+//   * management static-route next hops covered by the MGMT aggregate (RQ4 ex. 1);
+//   * BGP vlan blocks mirroring the metadata's nfInfos (RQ4 ex. 2);
+//   * `redistribute connected` immediately followed by the spine peer-group neighbor
+//     (RQ4 ex. 3);
+//   * unique hostnames/loopbacks, sequential prefix-list seq numbers, optional
+//     boilerplate, and a small rate of planted type noise and operational drift.
+//
+// Every intent is declared in the returned GroundTruth ledger.
+#ifndef SRC_DATAGEN_EDGE_GEN_H_
+#define SRC_DATAGEN_EDGE_GEN_H_
+
+#include <cstdint>
+
+#include "src/datagen/corpus.h"
+
+namespace concord {
+
+enum class EdgeRole { kLeaf, kTor };  // E1 / E2.
+
+struct EdgeOptions {
+  EdgeRole role = EdgeRole::kLeaf;
+  int sites = 6;
+  int devices_per_site = 4;   // SKU: 8 vs 16 ToRs in the paper; scaled down by default.
+  int vlans_per_site = 4;     // nfInfos entries in the site metadata.
+  int ethernets = 8;          // Front-panel ports per device.
+  int speed_gbps = 100;       // SKU: 100 vs 400.
+  double drift_rate = 0.02;   // Probability a device drops an optional line.
+  double type_noise_rate = 0.01;  // Probability of a planted mistyped value.
+  double optional_feature_rate = 0.97;  // Fraction of devices carrying optional gear
+                                        // (1.0 makes the corpus fully uniform).
+  uint64_t seed = 1;
+};
+
+GeneratedCorpus GenerateEdge(const EdgeOptions& options);
+
+}  // namespace concord
+
+#endif  // SRC_DATAGEN_EDGE_GEN_H_

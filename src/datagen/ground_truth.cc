@@ -1,0 +1,170 @@
+#include "src/datagen/ground_truth.h"
+
+namespace concord {
+
+bool NodeSpec::Matches(const std::string& pattern_text, int param_index) const {
+  if (pattern_text.find(pattern_substring) == std::string::npos) {
+    return false;
+  }
+  return param == -1 || param == param_index;
+}
+
+void GroundTruth::DeclareEqualityClass(std::vector<NodeSpec> nodes) {
+  equality_classes_.push_back(std::move(nodes));
+}
+
+void GroundTruth::DeclareRelation(RelationKind kind, NodeSpec forall, NodeSpec exists) {
+  relations_.push_back(Relation{kind, std::move(forall), std::move(exists)});
+}
+
+void GroundTruth::DeclareUnique(NodeSpec node) { uniques_.push_back(std::move(node)); }
+
+void GroundTruth::DeclareSequence(const std::string& pattern_substring) {
+  sequences_.push_back(pattern_substring);
+}
+
+void GroundTruth::DeclareOrderedBlock(std::vector<std::string> pattern_substrings) {
+  ordered_blocks_.push_back(std::move(pattern_substrings));
+}
+
+void GroundTruth::DeclareOptionalPattern(const std::string& substring) {
+  optional_patterns_.push_back(substring);
+}
+
+void GroundTruth::DeclareTypeNoise(const std::string& untyped_substring) {
+  type_noise_.push_back(untyped_substring);
+}
+
+void GroundTruth::Merge(const GroundTruth& other) {
+  equality_classes_.insert(equality_classes_.end(), other.equality_classes_.begin(),
+                           other.equality_classes_.end());
+  relations_.insert(relations_.end(), other.relations_.begin(), other.relations_.end());
+  uniques_.insert(uniques_.end(), other.uniques_.begin(), other.uniques_.end());
+  sequences_.insert(sequences_.end(), other.sequences_.begin(), other.sequences_.end());
+  ordered_blocks_.insert(ordered_blocks_.end(), other.ordered_blocks_.begin(),
+                         other.ordered_blocks_.end());
+  optional_patterns_.insert(optional_patterns_.end(), other.optional_patterns_.begin(),
+                            other.optional_patterns_.end());
+  type_noise_.insert(type_noise_.end(), other.type_noise_.begin(), other.type_noise_.end());
+}
+
+namespace {
+
+// The symmetric spelling of a directed relation: forall/exists sides swap.
+RelationKind Converse(RelationKind kind) {
+  switch (kind) {
+    case RelationKind::kStartsWith:
+      return RelationKind::kPrefixOf;
+    case RelationKind::kPrefixOf:
+      return RelationKind::kStartsWith;
+    case RelationKind::kEndsWith:
+      return RelationKind::kSuffixOf;
+    case RelationKind::kSuffixOf:
+      return RelationKind::kEndsWith;
+    case RelationKind::kEquals:
+    case RelationKind::kContains:
+      return kind;
+  }
+  return kind;
+}
+
+}  // namespace
+
+bool GroundTruth::IsTruePositive(const Contract& contract, const PatternTable& table) const {
+  switch (contract.kind) {
+    case ContractKind::kPresent: {
+      const std::string& text = table.Get(contract.pattern).text;
+      for (const std::string& optional : optional_patterns_) {
+        if (text.find(optional) != std::string::npos) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    case ContractKind::kOrdering: {
+      const std::string& t1 = table.Get(contract.pattern).text;
+      const std::string& t2 = table.Get(contract.pattern2).text;
+      for (const auto& block : ordered_blocks_) {
+        bool first = false, second = false;
+        for (const std::string& sub : block) {
+          if (t1.find(sub) != std::string::npos) {
+            first = true;
+          }
+          if (t2.find(sub) != std::string::npos) {
+            second = true;
+          }
+        }
+        if (first && second) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    case ContractKind::kType: {
+      for (const std::string& sub : type_noise_) {
+        if (contract.untyped_pattern.find(sub) != std::string::npos) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    case ContractKind::kSequence: {
+      const std::string& text = table.Get(contract.pattern).text;
+      for (const std::string& sub : sequences_) {
+        if (text.find(sub) != std::string::npos) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    case ContractKind::kUnique: {
+      const std::string& text = table.Get(contract.pattern).text;
+      for (const NodeSpec& spec : uniques_) {
+        if (spec.Matches(text, contract.param)) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    case ContractKind::kRelational: {
+      const std::string& t1 = table.Get(contract.pattern).text;
+      const std::string& t2 = table.Get(contract.pattern2).text;
+      if (contract.relation == RelationKind::kEquals) {
+        for (const auto& cls : equality_classes_) {
+          bool left = false, right = false;
+          for (const NodeSpec& spec : cls) {
+            if (spec.Matches(t1, contract.param)) {
+              left = true;
+            }
+            if (spec.Matches(t2, contract.param2)) {
+              right = true;
+            }
+          }
+          if (left && right) {
+            return true;
+          }
+        }
+      }
+      for (const Relation& rel : relations_) {
+        if (rel.kind == contract.relation && rel.forall.Matches(t1, contract.param) &&
+            rel.exists.Matches(t2, contract.param2)) {
+          return true;
+        }
+        // Same planted fact in the converse spelling.
+        if (Converse(rel.kind) == contract.relation && rel.exists.Matches(t1, contract.param) &&
+            rel.forall.Matches(t2, contract.param2)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace concord

@@ -1,0 +1,78 @@
+// Ground-truth invariant ledger for synthetic corpora.
+//
+// The paper measures precision (Table 7) by human review of learned contracts; our
+// synthetic substitute is exact: generators *declare* every relationship they plant,
+// and a learned contract is a true positive iff it corresponds to a declared intent.
+// Matching is substring-based over canonical pattern text, which keeps declarations
+// robust to context-path details.
+#ifndef SRC_DATAGEN_GROUND_TRUTH_H_
+#define SRC_DATAGEN_GROUND_TRUTH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/pattern/pattern_table.h"
+
+namespace concord {
+
+// Identifies a parameter occurrence by a pattern-text substring plus parameter index
+// (-1 matches any parameter).
+struct NodeSpec {
+  std::string pattern_substring;
+  int param = -1;
+
+  bool Matches(const std::string& pattern_text, int param_index) const;
+};
+
+class GroundTruth {
+ public:
+  // Parameters in one class carry the same underlying quantity (possibly via
+  // transforms); equality contracts between any two members are intentional.
+  void DeclareEqualityClass(std::vector<NodeSpec> nodes);
+
+  // A directed intentional relation (contains / affix); also accepts the learned
+  // contract in the symmetric spelling (kEndsWith <-> kSuffixOf etc.) with sides
+  // swapped, since both spellings express the same planted fact.
+  void DeclareRelation(RelationKind kind, NodeSpec forall, NodeSpec exists);
+
+  void DeclareUnique(NodeSpec node);
+  void DeclareSequence(const std::string& pattern_substring);
+
+  // Lines matching these substrings belong to one semantically ordered block;
+  // ordering contracts whose two patterns fall in the same block are intentional.
+  void DeclareOrderedBlock(std::vector<std::string> pattern_substrings);
+
+  // Patterns containing this substring are optional features: present contracts about
+  // them are false positives.
+  void DeclareOptionalPattern(const std::string& substring);
+
+  // A type contract on an untyped pattern containing this substring flags planted
+  // type noise and is a true positive.
+  void DeclareTypeNoise(const std::string& untyped_substring);
+
+  // Labels a learned contract against the declared intents.
+  bool IsTruePositive(const Contract& contract, const PatternTable& table) const;
+
+  // Merges another ledger (e.g. several sites / roles into one corpus).
+  void Merge(const GroundTruth& other);
+
+ private:
+  struct Relation {
+    RelationKind kind;
+    NodeSpec forall;
+    NodeSpec exists;
+  };
+
+  std::vector<std::vector<NodeSpec>> equality_classes_;
+  std::vector<Relation> relations_;
+  std::vector<NodeSpec> uniques_;
+  std::vector<std::string> sequences_;
+  std::vector<std::vector<std::string>> ordered_blocks_;
+  std::vector<std::string> optional_patterns_;
+  std::vector<std::string> type_noise_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_DATAGEN_GROUND_TRUTH_H_

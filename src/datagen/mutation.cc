@@ -1,0 +1,280 @@
+#include "src/datagen/mutation.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/util/io.h"
+#include "src/util/strings.h"
+
+namespace concord {
+
+std::string_view MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kDropLine:
+      return "drop-line";
+    case MutationKind::kCorruptValue:
+      return "corrupt-value";
+    case MutationKind::kSwapAdjacentLines:
+      return "swap-adjacent-lines";
+    case MutationKind::kDuplicateUniqueValue:
+      return "duplicate-unique-value";
+    case MutationKind::kRetypeValue:
+      return "retype-value";
+    case MutationKind::kBreakSequence:
+      return "break-sequence";
+  }
+  return "drop-line";
+}
+
+namespace {
+
+std::vector<std::string> Lines(const GeneratedConfig& config) {
+  return SplitLines(config.text);
+}
+
+void StoreLines(GeneratedConfig* config, const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  config->text = std::move(out);
+}
+
+bool IsContentLine(const std::string& line) {
+  std::string_view t = Trim(line);
+  return !t.empty() && t != "!";
+}
+
+// Position of the first digit run in `line` (not part of an earlier token scan; a
+// plain digit run is enough for corruption purposes). npos when none.
+size_t FindNumber(const std::string& line, size_t* length) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (IsDigit(line[i])) {
+      size_t j = i;
+      while (j < line.size() && IsDigit(line[j])) {
+        ++j;
+      }
+      *length = j - i;
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::optional<Mutation> MutationEngine::Apply(GeneratedCorpus* corpus, MutationKind kind) {
+  if (corpus->configs.empty()) {
+    return std::nullopt;
+  }
+  // Try a bounded number of random placements.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    size_t ci = rng_.Below(corpus->configs.size());
+    GeneratedConfig& config = corpus->configs[ci];
+    std::vector<std::string> lines = Lines(config);
+    if (lines.empty()) {
+      continue;
+    }
+    size_t li = rng_.Below(lines.size());
+    Mutation m;
+    m.kind = kind;
+    m.config_name = config.name;
+
+    switch (kind) {
+      case MutationKind::kDropLine: {
+        if (!IsContentLine(lines[li])) {
+          continue;
+        }
+        m.description = "dropped line: " + std::string(Trim(lines[li]));
+        m.line_number = static_cast<int>(li) + 1;
+        lines.erase(lines.begin() + static_cast<long>(li));
+        StoreLines(&config, lines);
+        return m;
+      }
+
+      case MutationKind::kCorruptValue: {
+        size_t length = 0;
+        size_t pos = FindNumber(lines[li], &length);
+        if (pos == std::string::npos || !IsContentLine(lines[li])) {
+          continue;
+        }
+        std::string old_value = lines[li].substr(pos, length);
+        uint64_t value = ParseUint64(old_value).value_or(0);
+        std::string new_value = std::to_string(value + 1 + rng_.Below(7));
+        m.description = "corrupted value " + old_value + " -> " + new_value + " in: " +
+                        std::string(Trim(lines[li]));
+        m.line_number = static_cast<int>(li) + 1;
+        lines[li] = lines[li].substr(0, pos) + new_value + lines[li].substr(pos + length);
+        StoreLines(&config, lines);
+        return m;
+      }
+
+      case MutationKind::kSwapAdjacentLines: {
+        if (li + 1 >= lines.size() || !IsContentLine(lines[li]) ||
+            !IsContentLine(lines[li + 1]) || Trim(lines[li]) == Trim(lines[li + 1])) {
+          continue;
+        }
+        m.description = "swapped lines: " + std::string(Trim(lines[li])) + " <-> " +
+                        std::string(Trim(lines[li + 1]));
+        m.line_number = static_cast<int>(li) + 1;
+        std::swap(lines[li], lines[li + 1]);
+        StoreLines(&config, lines);
+        return m;
+      }
+
+      case MutationKind::kDuplicateUniqueValue: {
+        // Copy this config's hostname line into another config.
+        if (corpus->configs.size() < 2 || Trim(lines[li]).substr(0, 8) != "hostname") {
+          continue;
+        }
+        size_t cj = rng_.Below(corpus->configs.size());
+        if (cj == ci) {
+          continue;
+        }
+        GeneratedConfig& other = corpus->configs[cj];
+        std::vector<std::string> other_lines = Lines(other);
+        for (size_t oj = 0; oj < other_lines.size(); ++oj) {
+          if (Trim(other_lines[oj]).substr(0, 8) == "hostname") {
+            m.config_name = other.name;
+            m.line_number = static_cast<int>(oj) + 1;
+            m.description = "duplicated unique value: " + std::string(Trim(lines[li])) +
+                            " (copied into " + other.name + ")";
+            other_lines[oj] = lines[li];
+            StoreLines(&other, other_lines);
+            return m;
+          }
+        }
+        continue;
+      }
+
+      case MutationKind::kRetypeValue: {
+        // Turn a bare IPv4 address into a /32 prefix (the classic mistype of §3.4).
+        std::string_view t = Trim(lines[li]);
+        size_t best = std::string::npos;
+        size_t best_len = 0;
+        // Find "d.d.d.d" not followed by '/'.
+        for (size_t i = 0; i + 6 < lines[li].size(); ++i) {
+          if (!IsDigit(lines[li][i]) || (i > 0 && (IsDigit(lines[li][i - 1]) ||
+                                                   lines[li][i - 1] == '.'))) {
+            continue;
+          }
+          size_t j = i;
+          int dots = 0;
+          while (j < lines[li].size() && (IsDigit(lines[li][j]) || lines[li][j] == '.')) {
+            if (lines[li][j] == '.') {
+              ++dots;
+            }
+            ++j;
+          }
+          if (dots == 3 && (j >= lines[li].size() || lines[li][j] != '/')) {
+            best = i;
+            best_len = j - i;
+            break;
+          }
+        }
+        if (best == std::string::npos || t.empty()) {
+          continue;
+        }
+        m.description = "retyped address to prefix in: " + std::string(Trim(lines[li]));
+        m.line_number = static_cast<int>(li) + 1;
+        lines[li] = lines[li].substr(0, best + best_len) + "/32" +
+                    lines[li].substr(best + best_len);
+        StoreLines(&config, lines);
+        return m;
+      }
+
+      case MutationKind::kBreakSequence: {
+        std::string_view t = Trim(lines[li]);
+        if (t.substr(0, 4) != "seq ") {
+          continue;
+        }
+        size_t pos = lines[li].find("seq ") + 4;
+        size_t length = 0;
+        size_t digits = FindNumber(lines[li].substr(pos), &length);
+        if (digits != 0) {
+          continue;
+        }
+        std::string old_value = lines[li].substr(pos, length);
+        uint64_t value = ParseUint64(old_value).value_or(0) + 5;
+        m.description = "broke sequence: seq " + old_value + " -> seq " +
+                        std::to_string(value);
+        m.line_number = static_cast<int>(li) + 1;
+        lines[li] = lines[li].substr(0, pos) + std::to_string(value) +
+                    lines[li].substr(pos + length);
+        StoreLines(&config, lines);
+        return m;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Finds the first config containing `needle` and applies `edit` to its line list.
+std::optional<Mutation> EditFirstMatch(
+    GeneratedCorpus* corpus, const std::string& needle, MutationKind kind,
+    const std::function<int(std::vector<std::string>&, size_t)>& edit,
+    const std::string& description) {
+  for (GeneratedConfig& config : corpus->configs) {
+    std::vector<std::string> lines = SplitLines(config.text);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].find(needle) != std::string::npos) {
+        int line_number = edit(lines, i);
+        std::string out;
+        for (const std::string& line : lines) {
+          out += line;
+          out += '\n';
+        }
+        config.text = std::move(out);
+        Mutation m;
+        m.kind = kind;
+        m.config_name = config.name;
+        m.line_number = line_number;
+        m.description = description;
+        return m;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Mutation> ReplayMissingAggregate(GeneratedCorpus* corpus) {
+  return EditFirstMatch(
+      corpus, "aggregate-address", MutationKind::kDropLine,
+      [](std::vector<std::string>& lines, size_t i) {
+        lines.erase(lines.begin() + static_cast<long>(i));
+        return static_cast<int>(i) + 1;
+      },
+      "service regression omitted the MGMT aggregate-address (incident 1)");
+}
+
+std::optional<Mutation> ReplaySpuriousVlan(GeneratedCorpus* corpus) {
+  return EditFirstMatch(
+      corpus, "   vlan ", MutationKind::kCorruptValue,
+      [](std::vector<std::string>& lines, size_t i) {
+        // Insert a vlan block that no metadata policy defines.
+        lines.insert(lines.begin() + static_cast<long>(i),
+                     {"   vlan 999", "      rd 10.0.0.99:10999",
+                      "      route-target both 999:100"});
+        return static_cast<int>(i) + 1;
+      },
+      "SKU change wrongly added layer-2 vlan blocks (incident 2)");
+}
+
+std::optional<Mutation> ReplayVrfReorder(GeneratedCorpus* corpus) {
+  return EditFirstMatch(
+      corpus, "redistribute connected", MutationKind::kSwapAdjacentLines,
+      [](std::vector<std::string>& lines, size_t i) {
+        lines.insert(lines.begin() + static_cast<long>(i) + 1,
+                     "   neighbor 10.0.0.250 remote-as 65999");
+        return static_cast<int>(i) + 2;
+      },
+      "incorrect VRF push inserted config between redistribute and peer-group "
+      "(incident 3)");
+}
+
+}  // namespace concord

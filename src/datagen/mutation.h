@@ -1,0 +1,61 @@
+// Ground-truth bug injection (§5.4 precision experiments, §5.5 incident replays).
+//
+// Mutations edit generated configuration *text*, exactly like the real
+// misconfigurations Concord targets: dropped lines, corrupted values, reordered
+// blocks, duplicated unique resources, mistyped values, broken sequence numbers.
+// Each application returns a record of what changed so experiments can verify that
+// the checker localizes the right line.
+#ifndef SRC_DATAGEN_MUTATION_H_
+#define SRC_DATAGEN_MUTATION_H_
+
+#include <optional>
+#include <string>
+
+#include "src/datagen/corpus.h"
+#include "src/util/rng.h"
+
+namespace concord {
+
+enum class MutationKind {
+  kDropLine,
+  kCorruptValue,
+  kSwapAdjacentLines,
+  kDuplicateUniqueValue,
+  kRetypeValue,
+  kBreakSequence,
+};
+
+std::string_view MutationKindName(MutationKind kind);
+
+struct Mutation {
+  MutationKind kind = MutationKind::kDropLine;
+  std::string config_name;
+  int line_number = 0;  // 1-based line the mutation touched (post-edit position).
+  std::string description;
+};
+
+class MutationEngine {
+ public:
+  explicit MutationEngine(uint64_t seed) : rng_(seed) {}
+
+  // Applies one mutation of `kind` at a random eligible location; nullopt when the
+  // corpus has no eligible site (e.g. no sequences to break).
+  std::optional<Mutation> Apply(GeneratedCorpus* corpus, MutationKind kind);
+
+ private:
+  SplitMix64 rng_;
+};
+
+// §5.5 incident replays; each requires an edge corpus from GenerateEdge.
+// Example 1: the MGMT aggregate-address line is dropped, leaving static-route next
+// hops uncovered.
+std::optional<Mutation> ReplayMissingAggregate(GeneratedCorpus* corpus);
+// Example 2: an extra BGP vlan block is pushed that exists in no metadata policy.
+std::optional<Mutation> ReplaySpuriousVlan(GeneratedCorpus* corpus);
+// Example 3: erroneous config is inserted between `redistribute connected` and the
+// spine peer-group neighbor line, breaking the ordering contract.
+std::optional<Mutation> ReplayVrfReorder(GeneratedCorpus* corpus);
+
+}  // namespace concord
+
+#endif  // SRC_DATAGEN_MUTATION_H_

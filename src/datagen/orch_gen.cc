@@ -1,0 +1,81 @@
+#include "src/datagen/orch_gen.h"
+
+#include <sstream>
+
+#include "src/util/rng.h"
+
+namespace concord {
+
+namespace {
+
+std::string NodeYaml(int cluster, int node, const OrchOptions& options, SplitMix64& rng) {
+  int cluster_id = 100 + cluster * 13;
+  // The node ordinal is globally unique (clusters never share it), so the name's
+  // second parameter alone carries node identity.
+  int node_id = cluster * 50 + node + 1;
+  std::string node_name = "node-" + std::to_string(cluster_id) + "-" + std::to_string(node_id);
+  std::ostringstream out;
+  out << "service: nf-router\n";
+  out << "clusterId: " << cluster_id << "\n";
+  out << "nodeName: " << node_name << "\n";
+  out << "listen:\n";
+  out << "  port: 8443\n";
+  out << "  adminPort: 9443\n";
+  out << "upstreams:\n";
+  for (int u = 0; u < options.upstreams; ++u) {
+    out << "  - name: core-" << static_cast<char>('a' + u) << "\n";
+    out << "    address: 10." << cluster_id << "." << u << ".1\n";
+    out << "    port: " << (7000 + u * 100) << "\n";
+  }
+  out << "limits:\n";
+  out << "  maxConnections: 4096\n";
+  out << "  queueDepth: " << (rng.Chance(0.9) ? 512 : 1024) << "\n";
+  out << "tls:\n";
+  out << "  certFile: /etc/certs/" << node_name << ".pem\n";
+  out << "  keyFile: /etc/certs/" << node_name << ".key\n";
+  return out.str();
+}
+
+GroundTruth OrchTruth() {
+  GroundTruth truth;
+  // Node identity: the nodeName's (clusterId, node) numbers recur in the TLS paths.
+  truth.DeclareEqualityClass({NodeSpec{"nodeName: node-", -1}, NodeSpec{"certFile", -1},
+                              NodeSpec{"keyFile", -1}});
+  truth.DeclareUnique(NodeSpec{"nodeName: node-", -1});
+  truth.DeclareUnique(NodeSpec{"certFile", -1});
+  truth.DeclareUnique(NodeSpec{"keyFile", -1});
+  // Cluster identity: clusterId appears in the node name and in every upstream
+  // address octet.
+  truth.DeclareEqualityClass({NodeSpec{"clusterId", 0}, NodeSpec{"nodeName: node-", 0},
+                              NodeSpec{"upstreams:/address", -1},
+                              NodeSpec{"certFile", 0}, NodeSpec{"keyFile", 0}});
+  // Upstream port steps are a genuine arithmetic progression (7000, 7100, ...).
+  truth.DeclareSequence("upstreams:/port");
+  // The fixed blocks (listen:, limits:, upstream item shape) are ordered by design.
+  truth.DeclareOrderedBlock({"listen:", "port"});
+  truth.DeclareOrderedBlock({"name core-", "address", "port"});
+  truth.DeclareOrderedBlock({"certFile", "keyFile"});
+  // queueDepth is genuinely bimodal (512 vs 1024 tuning): nothing about it is intent.
+  truth.DeclareOptionalPattern("queueDepth");
+  return truth;
+}
+
+}  // namespace
+
+GeneratedCorpus GenerateOrchestration(const OrchOptions& options) {
+  GeneratedCorpus corpus;
+  corpus.role = "Y1";
+  corpus.truth = OrchTruth();
+  SplitMix64 rng(options.seed ^ 0x5a5a);
+  for (int cluster = 0; cluster < options.clusters; ++cluster) {
+    for (int node = 0; node < options.nodes_per_cluster; ++node) {
+      SplitMix64 node_rng = rng.Fork();
+      corpus.configs.push_back(GeneratedConfig{
+          "svc-" + std::to_string(cluster) + "-" + std::to_string(node) + ".yaml",
+          NodeYaml(cluster, node, options, node_rng)});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace concord

@@ -1,0 +1,31 @@
+// Synthetic application-layer orchestration configurations in YAML.
+//
+// The paper's introduction motivates contracts for orchestration frameworks (its §3.1
+// lists YAML among the formats the context-embedding pass understands); the evaluated
+// datasets are router configs, so this corpus is an extension that exercises the YAML
+// path end-to-end: hierarchical keys, list items, per-node service descriptors with
+// planted cross-key relationships.
+#ifndef SRC_DATAGEN_ORCH_GEN_H_
+#define SRC_DATAGEN_ORCH_GEN_H_
+
+#include <cstdint>
+
+#include "src/datagen/corpus.h"
+
+namespace concord {
+
+struct OrchOptions {
+  int clusters = 5;
+  int nodes_per_cluster = 5;
+  int upstreams = 3;
+  uint64_t seed = 1;
+};
+
+// One YAML service descriptor per node. Planted intents (all declared in the ledger):
+// unique node names echoed by the TLS material paths, cluster ids appearing in every
+// upstream address, constant listen ports, and a fixed upstream list shape.
+GeneratedCorpus GenerateOrchestration(const OrchOptions& options);
+
+}  // namespace concord
+
+#endif  // SRC_DATAGEN_ORCH_GEN_H_

@@ -1,0 +1,435 @@
+#include "src/datagen/wan_gen.h"
+
+#include <sstream>
+
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace concord {
+
+namespace {
+
+// Emits either hierarchical (indent) or flat (`set ...`) syntax from the same
+// structural calls, mirroring the two vendor families in the paper's WAN.
+class ConfigWriter {
+ public:
+  explicit ConfigWriter(bool flat) : flat_(flat) {}
+
+  void Enter(const std::string& header) {
+    if (!flat_) {
+      Indent();
+      out_ << header << "\n";
+    }
+    context_.push_back(header);
+  }
+
+  void Leave() {
+    context_.pop_back();
+    if (!flat_ && context_.empty()) {
+      out_ << "!\n";
+    }
+  }
+
+  void Line(const std::string& text) {
+    if (flat_) {
+      out_ << "set";
+      for (const std::string& c : context_) {
+        out_ << ' ' << c;
+      }
+      out_ << ' ' << text << "\n";
+    } else {
+      Indent();
+      out_ << text << "\n";
+    }
+  }
+
+  // A top-level line outside any block.
+  void Top(const std::string& text) {
+    if (flat_) {
+      out_ << "set " << text << "\n";
+    } else {
+      out_ << text << "\n";
+    }
+  }
+
+  void Bang() {
+    if (!flat_) {
+      out_ << "!\n";
+    }
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Indent() {
+    for (size_t i = 0; i < context_.size(); ++i) {
+      out_ << "   ";
+    }
+  }
+
+  bool flat_;
+  std::vector<std::string> context_;
+  std::ostringstream out_;
+};
+
+struct RoleSpec {
+  std::string name;        // "W1".."W8".
+  bool flat;
+  int interfaces;          // Per device (before scale).
+  int neighbors;           // BGP peers per device (before scale).
+  bool perimeter_acls;     // Symmetric in/out filters (Table 8).
+  bool bogon_lists;        // INTERNAL subsumes BOGON (Table 8).
+  bool dual_stack_policy;  // IPv4 policy implies IPv6 policy (Table 8).
+  bool vlans;              // Metro-style vlan mappings.
+  int magic_lines;         // "Magic constant" block length (constants learning).
+};
+
+RoleSpec SpecFor(int role) {
+  switch (role) {
+    case 1:
+      return {"W1", false, 4, 4, true, true, true, false, 4};
+    case 2:
+      return {"W2", false, 2, 10, false, false, true, false, 3};
+    case 3:
+      return {"W3", false, 8, 0, false, false, false, false, 5};
+    case 4:
+      return {"W4", true, 6, 4, true, false, false, false, 4};
+    case 5:
+      return {"W5", true, 3, 12, false, true, false, false, 3};
+    case 6:
+      return {"W6", true, 12, 0, false, false, false, true, 6};
+    case 7:
+      return {"W7", true, 2, 0, false, false, false, false, 4};
+    default:
+      return {"W8", true, 2, 2, false, false, false, false, 2};
+  }
+}
+
+const char* kRfc1918[] = {"10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16"};
+
+// Magic-constant values: device-independent, role-specific, deliberately "large"
+// numbers so they are not noise-filtered — yet unrelated to anything else, so only
+// constant learning covers their lines.
+int MagicValue(int role, int j) { return 4000 + role * 131 + j * j * 5 + j; }
+
+std::string DeviceConfig(const RoleSpec& spec, int role, int device, int scale,
+                         double drift_rate, SplitMix64& rng) {
+  ConfigWriter w(spec.flat);
+  int site = 100 + role;
+  std::string loopback = "10." + std::to_string(site) + "." + std::to_string(device) + ".1";
+  bool drop_magic_line = rng.Chance(drift_rate);
+
+  w.Top("hostname wan" + std::to_string(role) + "-r" + std::to_string(device));
+  w.Bang();
+
+  // Loopback / router identity.
+  w.Enter("interface Loopback0");
+  w.Line("ip address " + loopback);
+  w.Leave();
+
+  // Data-plane interfaces with role-wide-unique addresses (Table 8 example 5). Two
+  // "firmware generations" render the attributes in different orders — fleets are
+  // heterogeneous, which keeps template ordering from covering everything and makes
+  // many adjacency pairs coincidental (the §5.4 ordering-imprecision effect).
+  bool alt_order = device % 2 == 1;
+  int interfaces = spec.interfaces * scale;
+  for (int i = 1; i <= interfaces; ++i) {
+    // Slot/port numbering: ports cycle within slots, so interface ids are not an
+    // arithmetic progression (no accidental sequence contracts — WAN ports are not
+    // allocated like edge front panels).
+    int slot = 1 + (i - 1) / 4;
+    int port = (i - 1) % 4;
+    std::string ifname = "Ethernet" + std::to_string(slot) + "/" + std::to_string(port);
+    w.Enter("interface " + ifname);
+    std::string description = "description core-" + std::to_string(role) + "-" +
+                              std::to_string(device) + "-" + std::to_string(slot) + "-" +
+                              std::to_string(port);
+    std::string address = "ip address 172." + std::to_string(16 + role) + "." +
+                          std::to_string(device) + "." + std::to_string(i * 4 + 1) + "/30";
+    if (alt_order) {
+      w.Line("mtu 9214");
+      w.Line(description);
+      w.Line(address);
+    } else {
+      w.Line(description);
+      w.Line(address);
+      w.Line("mtu 9214");
+    }
+    if (spec.dual_stack_policy) {
+      // Dual-stack fleets: a role-wide-unique v6 /64 per interface (the fourth group
+      // encodes device and port, so the canonicalized prefix stays distinct).
+      w.Line("ipv6 address 2001:db8:" + std::to_string(role) + ":" +
+             std::to_string(device * 16 + i) + "::1/64");
+    }
+    if (spec.vlans) {
+      int vid = 100 + ((device + i * 7) % 64) * 3;
+      w.Line("vlan members v" + std::to_string(vid));
+    }
+    w.Leave();
+  }
+
+  if (spec.vlans) {
+    for (int i = 1; i <= interfaces; ++i) {
+      int vid = 100 + ((device + i * 7) % 64) * 3;
+      w.Enter("vlans v" + std::to_string(vid));
+      w.Line("vlan-id " + std::to_string(vid));
+      w.Leave();
+    }
+  }
+
+  // Symmetric perimeter ACLs (Table 8 example 2).
+  if (spec.perimeter_acls) {
+    int terms = 3 * scale;
+    w.Enter("ip access-list extended PERIM-IN");
+    for (int j = 0; j < terms; ++j) {
+      int host = 2 + (device * 13 + j * 29) % 250;
+      w.Line("permit ip any host 198.51.100." + std::to_string(host));
+    }
+    w.Leave();
+    w.Enter("ip access-list extended PERIM-OUT");
+    for (int j = 0; j < terms; ++j) {
+      int host = 2 + (device * 13 + j * 29) % 250;
+      w.Line("permit ip host 198.51.100." + std::to_string(host) + " any");
+    }
+    w.Leave();
+  }
+
+  // Internal address space subsumes the RFC1918 bogon space (Table 8 example 3).
+  if (spec.bogon_lists) {
+    w.Enter("ip prefix-list BOGON");
+    for (int j = 0; j < 3; ++j) {
+      w.Line("seq " + std::to_string(10 * (j + 1)) + " deny " + kRfc1918[j]);
+    }
+    w.Leave();
+    w.Enter("ip prefix-list INTERNAL");
+    for (int j = 0; j < 3; ++j) {
+      w.Line("seq " + std::to_string(10 * (j + 1)) + " permit " + kRfc1918[j]);
+    }
+    w.Line("seq 40 permit 10." + std::to_string(site) + ".0.0/16");
+    w.Leave();
+  }
+
+  // BGP.
+  if (spec.neighbors > 0) {
+    int neighbors = spec.neighbors * scale;
+    w.Enter("router bgp 65" + std::to_string(role) + "00");
+    w.Line("router-id " + loopback);
+    if (role == 2) {
+      w.Line("cluster-id " + loopback);
+    }
+    for (int j = 0; j < neighbors; ++j) {
+      // Quadratic spacing: peer ASNs are not an arithmetic progression.
+      int asn = 64600 + ((role == 5 ? device * 31 : 0) + j * (j + 5)) % 900;
+      std::string peer = role == 5
+                             ? "203.0." + std::to_string(device) + "." + std::to_string(2 + j)
+                             : "203.0.113." + std::to_string(2 + j);
+      w.Line("neighbor " + peer + " remote-as " + std::to_string(asn));
+      w.Line("neighbor " + peer + " update-source Loopback0");
+      if (spec.dual_stack_policy) {
+        w.Line("neighbor " + peer + " route-map RM-" + std::to_string(asn) + " in");
+        w.Line("neighbor " + peer + " route-map-v6 RMV6-" + std::to_string(asn) + " in");
+      }
+      if (role == 5) {
+        w.Line("neighbor " + peer + " prefix-list PL-" + std::to_string(asn) + " in");
+      }
+    }
+    w.Leave();
+  }
+
+  // Core IGP (W3).
+  if (role == 3) {
+    w.Enter("router isis CORE");
+    w.Line("net 49.0001.0000." + std::to_string(1000 + device) + ".00");
+    w.Line("is-type level-2");
+    w.Line("metric-style wide");
+    w.Leave();
+    w.Enter("mpls traffic-eng");
+    w.Line("reoptimize 300");
+    w.Leave();
+  }
+
+  // Route-map pair with identical inner line shapes in different orders. In the
+  // hierarchical roles only context embedding keeps the two blocks' lines distinct;
+  // in the flat roles the `set route-map RM-... ` context is part of the line text
+  // anyway — exactly why Figure 7 shows no embedding gain for W4-W8.
+  w.Enter("route-map RM-CORE-IN permit 10");
+  w.Line("local-preference 200");
+  w.Line("community CL-GLOBAL");
+  w.Leave();
+  w.Enter("route-map RM-CORE-OUT permit 10");
+  w.Line("community CL-GLOBAL");
+  w.Line("local-preference 400");
+  w.Leave();
+
+  // Role-global "magic constant" policy block: one pattern repeated with constant,
+  // device-independent values. Only constant learning covers these lines.
+  w.Enter(spec.flat ? "policy-options community CL-GLOBAL" : "ip community-list CL-GLOBAL");
+  for (int j = 0; j < spec.magic_lines; ++j) {
+    if (drop_magic_line && j == spec.magic_lines - 1) {
+      continue;  // Operational drift.
+    }
+    w.Line("permit 65000:" + std::to_string(MagicValue(role, j)));
+  }
+  w.Leave();
+
+  // Per-device static routes and shared-risk link groups: unique to the device and
+  // unrelated to everything else — the paper's explanation for the untestable residue
+  // of configuration lines (§5.3: "a majority are static routes and shared risk link
+  // groups, unique per device and simultaneously unrelated to the rest").
+  int noise_routes = 4 + (spec.interfaces + spec.neighbors) * scale / 2;
+  for (int j = 0; j < noise_routes; ++j) {
+    std::string pfx;
+    if (j < 2) {
+      // Drawn from a tiny pool so the prefix parameter is demonstrably *not* unique
+      // across the role (otherwise a coincidental unique contract would cover these).
+      static const char* kShared[] = {"10.66.1.0/24", "10.66.2.0/24", "10.66.3.0/24"};
+      pfx = kShared[rng.Below(3)];
+    } else {
+      pfx = "10." + std::to_string(rng.Range(1, 220)) + "." + std::to_string(rng.Range(0, 250)) +
+            ".0/24";
+    }
+    w.Top("ip route " + pfx + " 192.0.2." + std::to_string(rng.Range(1, 60)));
+  }
+  int srlg_lines = 2 * scale;
+  for (int j = 1; j <= srlg_lines; ++j) {
+    w.Top("srlg Ethernet" + std::to_string(j * (j + 2)) + " value " +
+          std::to_string(100 + (device % 4) * 7 + j * (j + 1) / 2));
+  }
+
+  // Optional feature snippets: most devices carry them, some do not, so presence is
+  // real but not universal (operational heterogeneity).
+  struct Snippet {
+    const char* header;
+    const char* line;
+  };
+  static const Snippet kSnippets[] = {
+      {"flow monitor-map IPFIX", "cache timeout rate-limit 2000"},
+      {"control-plane", "service-policy input COPP"},
+      {"router pim", "rp-address 10.253.0.1"},
+      {"ip sla responder", "udp-echo port 17001"},
+      {"lldp", "timer 30"},
+      {"spanning-tree mst", "priority 8192"},
+      {"qos shaper EGRESS", "rate percent 80"},
+      {"macsec profile WANSEC", "key-server priority 16"},
+  };
+  for (size_t j = 0; j < sizeof(kSnippets) / sizeof(kSnippets[0]); ++j) {
+    // Role-dependent subset so roles differ in pattern mix; ~88% of devices carry it.
+    if ((role + j) % 3 == 0 || rng.Chance(0.12)) {
+      continue;
+    }
+    w.Enter(kSnippets[j].header);
+    w.Line(kSnippets[j].line);
+    w.Leave();
+  }
+
+  // Management plumbing, with a small planted type-noise rate (an address mistyped as
+  // a prefix — the §3.4 "type error" class).
+  bool mistyped_ntp = rng.Chance(0.02);
+  w.Top("ntp server 10.255." + std::to_string(role) + ".1" + (mistyped_ntp ? "/32" : ""));
+  w.Top("ntp server 10.255." + std::to_string(role) + ".2");
+  if (role == 7) {
+    w.Top("syslog host 10.254." + std::to_string(role) + ".9");
+    w.Top("snmp community monitoring-station");
+    w.Top("login message unauthorized-access-prohibited");
+  }
+  w.Bang();
+  return w.str();
+}
+
+GroundTruth WanTruth(const RoleSpec& spec, int role) {
+  GroundTruth truth;
+  // Device-identity resources: the device number / loopback address is carried by the
+  // hostname, loopback, router-id, cluster-id, interface descriptions, and interface
+  // addresses (substring specs are syntax-robust: indent and flat patterns both
+  // contain them, at different parameter positions).
+  truth.DeclareUnique(NodeSpec{"hostname wan", -1});
+  truth.DeclareUnique(NodeSpec{"interface Loopback", -1});
+  truth.DeclareUnique(NodeSpec{"router-id", -1});
+  truth.DeclareUnique(NodeSpec{"cluster-id", -1});
+  truth.DeclareUnique(NodeSpec{"interface Ethernet", -1});  // v4 and v6 addresses.
+  truth.DeclareEqualityClass({NodeSpec{"interface Loopback", -1}, NodeSpec{"router-id", -1},
+                              NodeSpec{"cluster-id", -1}, NodeSpec{"hostname wan", -1},
+                              NodeSpec{"description core-", -1},
+                              NodeSpec{"interface Ethernet", -1}});
+  // Peer identity: every line of a neighbor block carries the peer address, and the
+  // peer ASN recurs in the policy/prefix-list names.
+  truth.DeclareEqualityClass({NodeSpec{"neighbor [", -1}, NodeSpec{"route-map RM-", -1},
+                              NodeSpec{"route-map-v6 RMV6-", -1},
+                              NodeSpec{"prefix-list PL-", -1}});
+  if (spec.perimeter_acls) {
+    truth.DeclareEqualityClass({NodeSpec{"PERIM-IN", -1}, NodeSpec{"PERIM-OUT", -1}});
+  }
+  if (spec.bogon_lists) {
+    truth.DeclareEqualityClass({NodeSpec{"BOGON", -1}, NodeSpec{"INTERNAL", -1}});
+    truth.DeclareRelation(RelationKind::kContains, NodeSpec{"BOGON", -1},
+                          NodeSpec{"INTERNAL", -1});
+    truth.DeclareSequence("seq [a:num]");
+    // The INTERNAL/BOGON space covers the fleet's own addressing by design.
+    for (const char* carrier : {"ip address", "router-id", "interface Loopback", "ip route"}) {
+      truth.DeclareRelation(RelationKind::kContains, NodeSpec{carrier, -1},
+                            NodeSpec{"INTERNAL", -1});
+      truth.DeclareRelation(RelationKind::kContains, NodeSpec{carrier, -1},
+                            NodeSpec{"BOGON", -1});
+    }
+  }
+  if (role == 5) {
+    truth.DeclareUnique(NodeSpec{"neighbor [", -1});
+    // Peering addresses embed the device number (203.0.<device>.x) by design.
+    truth.DeclareEqualityClass({NodeSpec{"neighbor [", -1}, NodeSpec{"hostname wan", -1},
+                                NodeSpec{"interface Loopback", -1}});
+  }
+  if (spec.vlans) {
+    truth.DeclareEqualityClass({NodeSpec{"vlan members v", -1}, NodeSpec{"vlans v", -1},
+                                NodeSpec{"vlan-id", -1}});
+  }
+  if (role == 3) {
+    // ISIS NET ids lex fully into numeric segments; the device segment is unique.
+    truth.DeclareUnique(NodeSpec{"net [a:num].[b:num]", -1});
+  }
+  // Roles with at most four ports use a single slot, so port numbers are a genuine
+  // 0..3 progression.
+  truth.DeclareSequence("interface Ethernet[a:num]/[b:num]");
+  // Semantically ordered structures: neighbor blocks (remote-as first), list headers
+  // immediately followed by their first entry, loopback definitions.
+  truth.DeclareOrderedBlock({"remote-as", "update-source", "route-map"});
+  truth.DeclareOrderedBlock({"seq [a:num]"});
+  truth.DeclareOrderedBlock({"PERIM-IN", "permit ip any host"});
+  truth.DeclareOrderedBlock({"PERIM-OUT", "permit ip host"});
+  truth.DeclareOrderedBlock({"prefix-list BOGON", "deny"});
+  truth.DeclareOrderedBlock({"prefix-list INTERNAL", "permit"});
+  truth.DeclareOrderedBlock({"interface Loopback", "ip address"});
+  truth.DeclareOrderedBlock({"vlans v", "vlan-id"});
+  truth.DeclareTypeNoise("ntp server");
+  // Magic block drift makes its last line optional, and the feature snippets are
+  // genuinely optional equipment.
+  truth.DeclareOptionalPattern("65000:" + std::to_string(MagicValue(role, SpecFor(role).magic_lines - 1)));
+  for (const char* snippet : {"flow monitor-map", "control-plane", "service-policy",
+                              "router pim", "rp-address", "ip sla", "udp-echo", "lldp",
+                              "timer 30", "spanning-tree", "priority", "qos shaper", "rate percent",
+                              "macsec", "key-server"}) {
+    truth.DeclareOptionalPattern(snippet);
+  }
+  return truth;
+}
+
+}  // namespace
+
+bool WanRoleIsFlat(int role) { return SpecFor(role).flat; }
+
+GeneratedCorpus GenerateWan(const WanOptions& options) {
+  RoleSpec spec = SpecFor(options.role);
+  GeneratedCorpus corpus;
+  corpus.role = spec.name;
+  corpus.truth = WanTruth(spec, options.role);
+  SplitMix64 rng(options.seed ^ (static_cast<uint64_t>(options.role) << 8));
+  for (int device = 0; device < options.devices; ++device) {
+    SplitMix64 device_rng = rng.Fork();
+    corpus.configs.push_back(GeneratedConfig{
+        spec.name + "-r" + std::to_string(device) + ".cfg",
+        DeviceConfig(spec, options.role, device, options.scale, options.drift_rate,
+                     device_rng)});
+  }
+  return corpus;
+}
+
+}  // namespace concord

@@ -1,0 +1,43 @@
+// Synthetic wide-area network configurations (§5.1 roles W1–W8).
+//
+// The paper's WAN spans thousands of routers across eight device roles on multiple
+// vendors. We reproduce the structural traits that drive the evaluation:
+//
+//   * W1–W3 use a hierarchical indent syntax (IOS-like); W4–W8 use a flat `set ...`
+//     syntax (Junos-like) whose lines already carry full context — the reason those
+//     roles gain nothing from context embedding in Figure 7;
+//   * roles differ in feature mix (edge ACLs, route-reflector neighbor lists, core
+//     IGP, peering policies, aggregation, management, lab), so pattern/parameter
+//     counts vary widely as in Table 3;
+//   * planted invariants mirror Table 8: symmetric perimeter ACLs, internal address
+//     space subsuming RFC1918 bogons, IPv4 policies implying IPv6 counterparts, and
+//     role-wide unique interface addresses;
+//   * every role carries "magic constant" global policy blocks — repeated-pattern
+//     lines with device-independent values — which only constant learning (§4) can
+//     cover, driving the Figure 7 constants bar;
+//   * a small operational drift rate makes a few devices deviate.
+#ifndef SRC_DATAGEN_WAN_GEN_H_
+#define SRC_DATAGEN_WAN_GEN_H_
+
+#include <cstdint>
+
+#include "src/datagen/corpus.h"
+
+namespace concord {
+
+struct WanOptions {
+  int role = 1;        // 1..8 -> W1..W8.
+  int devices = 24;    // Routers in the role.
+  int scale = 1;       // Multiplies repeated elements (interfaces, neighbors, ...).
+  double drift_rate = 0.02;
+  uint64_t seed = 1;
+};
+
+GeneratedCorpus GenerateWan(const WanOptions& options);
+
+// True for roles whose syntax is flat (context embedding cannot help): W4–W8.
+bool WanRoleIsFlat(int role);
+
+}  // namespace concord
+
+#endif  // SRC_DATAGEN_WAN_GEN_H_

@@ -1,0 +1,236 @@
+#include "src/format/embed.h"
+
+#include "src/format/json.h"
+#include "src/util/io.h"
+#include "src/util/strings.h"
+
+namespace concord {
+
+std::string_view FormatCategoryName(FormatCategory format) {
+  switch (format) {
+    case FormatCategory::kJson:
+      return "json";
+    case FormatCategory::kYaml:
+      return "yaml";
+    case FormatCategory::kIndent:
+      return "indent";
+    case FormatCategory::kFlat:
+      return "flat";
+    case FormatCategory::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Indentation width with tabs counted as 4 columns.
+int IndentWidth(std::string_view line) {
+  int width = 0;
+  for (char c : line) {
+    if (c == ' ') {
+      ++width;
+    } else if (c == '\t') {
+      width += 4;
+    } else {
+      break;
+    }
+  }
+  return width;
+}
+
+bool LooksLikeYamlLine(std::string_view trimmed) {
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return true;  // Comments/blanks are format-neutral; do not penalize.
+  }
+  if (trimmed.rfind("- ", 0) == 0 || trimmed == "-") {
+    return true;
+  }
+  // `key:` or `key: value`, where key has no spaces.
+  size_t colon = trimmed.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return false;
+  }
+  std::string_view key = trimmed.substr(0, colon);
+  if (key.find(' ') != std::string_view::npos) {
+    return false;
+  }
+  return colon + 1 == trimmed.size() || trimmed[colon + 1] == ' ';
+}
+
+EmbeddedFile EmbedIndent(const std::vector<std::string>& lines, bool yaml) {
+  EmbeddedFile out;
+  out.format = yaml ? FormatCategory::kYaml : FormatCategory::kIndent;
+  struct Frame {
+    int indent;
+    std::string text;
+  };
+  std::vector<Frame> stack;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view raw = lines[i];
+    std::string_view trimmed = Trim(raw);
+    if (trimmed.empty()) {
+      continue;
+    }
+    int indent = IndentWidth(raw);
+    if (yaml) {
+      // Fold `- ` list markers into the indentation so element fields nest under
+      // the list's key line.
+      while (trimmed.rfind("- ", 0) == 0) {
+        indent += 2;
+        trimmed = TrimLeft(trimmed.substr(2));
+      }
+      if (trimmed.empty() || trimmed[0] == '#') {
+        continue;
+      }
+    }
+    while (!stack.empty() && stack.back().indent >= indent) {
+      stack.pop_back();
+    }
+    ContextLine line;
+    line.line_number = static_cast<int>(i) + 1;
+    line.text = std::string(trimmed);
+    line.parents.reserve(stack.size());
+    for (const Frame& frame : stack) {
+      line.parents.push_back(frame.text);
+    }
+    out.lines.push_back(std::move(line));
+    stack.push_back(Frame{indent, std::string(trimmed)});
+  }
+  return out;
+}
+
+EmbeddedFile EmbedFlat(const std::vector<std::string>& lines) {
+  EmbeddedFile out;
+  out.format = FormatCategory::kFlat;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view trimmed = Trim(lines[i]);
+    if (trimmed.empty()) {
+      continue;
+    }
+    ContextLine line;
+    line.line_number = static_cast<int>(i) + 1;
+    line.text = std::string(trimmed);
+    out.lines.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::string ScalarText(const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return v.AsBool() ? "true" : "false";
+    case JsonValue::Kind::kNumber:
+      return v.NumberSpelling();
+    case JsonValue::Kind::kString:
+      return v.AsString();
+    default:
+      return "";
+  }
+}
+
+void EmbedJsonValue(const JsonValue& value, const std::string& key,
+                    std::vector<std::string>& parents, EmbeddedFile* out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kObject: {
+      parents.push_back(key);
+      for (const auto& [k, v] : value.members()) {
+        EmbedJsonValue(v, k, parents, out);
+      }
+      parents.pop_back();
+      break;
+    }
+    case JsonValue::Kind::kArray: {
+      for (const JsonValue& item : value.items()) {
+        EmbedJsonValue(item, key, parents, out);
+      }
+      break;
+    }
+    default: {
+      ContextLine line;
+      line.line_number = static_cast<int>(out->lines.size()) + 1;
+      line.text = key.empty() ? ScalarText(value) : key + " " + ScalarText(value);
+      // Skip the synthetic root parent (empty key).
+      for (const std::string& p : parents) {
+        if (!p.empty()) {
+          line.parents.push_back(p);
+        }
+      }
+      out->lines.push_back(std::move(line));
+    }
+  }
+}
+
+EmbeddedFile EmbedJson(const JsonValue& doc) {
+  EmbeddedFile out;
+  out.format = FormatCategory::kJson;
+  std::vector<std::string> parents;
+  EmbedJsonValue(doc, "", parents, &out);
+  return out;
+}
+
+}  // namespace
+
+FormatCategory DetectFormat(const std::string& text) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return FormatCategory::kUnknown;
+  }
+  if (trimmed[0] == '{' || trimmed[0] == '[') {
+    if (JsonValue::Parse(text).has_value()) {
+      return FormatCategory::kJson;
+    }
+  }
+  std::vector<std::string> lines = SplitLines(text);
+  size_t non_blank = 0;
+  size_t yamlish = 0;
+  bool any_indent = false;
+  for (const std::string& line : lines) {
+    std::string_view t = Trim(line);
+    if (t.empty()) {
+      continue;
+    }
+    ++non_blank;
+    if (LooksLikeYamlLine(t)) {
+      ++yamlish;
+    }
+    if (IndentWidth(line) > 0) {
+      any_indent = true;
+    }
+  }
+  if (non_blank == 0) {
+    return FormatCategory::kUnknown;
+  }
+  if (static_cast<double>(yamlish) / static_cast<double>(non_blank) >= 0.8) {
+    return FormatCategory::kYaml;
+  }
+  return any_indent ? FormatCategory::kIndent : FormatCategory::kFlat;
+}
+
+EmbeddedFile EmbedText(const std::string& text) {
+  return EmbedTextAs(text, DetectFormat(text));
+}
+
+EmbeddedFile EmbedTextAs(const std::string& text, FormatCategory format) {
+  switch (format) {
+    case FormatCategory::kJson: {
+      auto doc = JsonValue::Parse(text);
+      if (doc.has_value()) {
+        return EmbedJson(*doc);
+      }
+      return EmbedFlat(SplitLines(text));  // Fall back for unparsable input.
+    }
+    case FormatCategory::kYaml:
+      return EmbedIndent(SplitLines(text), /*yaml=*/true);
+    case FormatCategory::kIndent:
+      return EmbedIndent(SplitLines(text), /*yaml=*/false);
+    case FormatCategory::kFlat:
+    case FormatCategory::kUnknown:
+      return EmbedFlat(SplitLines(text));
+  }
+  return EmbedFlat(SplitLines(text));
+}
+
+}  // namespace concord

@@ -1,0 +1,56 @@
+// Format detection and context embedding (§3.1).
+//
+// Concord treats configurations as unstructured text, but hierarchy matters: the line
+// `ip address 10.14.14.34` only relates to the loopback prefix list because it appears
+// under `interface Loopback0`. Before lexing, each file is classified into one of a
+// small number of format categories and every line is annotated with its chain of
+// parent lines:
+//
+//   * Indent  — parents are the enclosing lines of smaller indentation (Figure 3).
+//   * YAML    — same indentation discipline; `- ` list markers fold into the indent.
+//   * JSON    — the document is parsed and one logical line is synthesized per scalar
+//               leaf, with the object keys on the path as parents.
+//   * Flat    — every line stands alone (Junos-style `set ...` syntax already carries
+//               its full context in the line).
+//
+// The paper observes that despite thousands of configuration dialects, the number of
+// ways hierarchy is expressed is tiny — this module is the complete list it supports.
+#ifndef SRC_FORMAT_EMBED_H_
+#define SRC_FORMAT_EMBED_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace concord {
+
+enum class FormatCategory { kJson, kYaml, kIndent, kFlat, kUnknown };
+
+std::string_view FormatCategoryName(FormatCategory format);
+
+// One configuration line with its embedded context chain.
+struct ContextLine {
+  std::vector<std::string> parents;  // Raw parent texts, outermost first.
+  std::string text;                  // The line's own raw text, trimmed.
+  int line_number = 0;               // 1-based line in the source file (synthesized
+                                     // sequence number for JSON inputs).
+};
+
+struct EmbeddedFile {
+  FormatCategory format = FormatCategory::kUnknown;
+  std::vector<ContextLine> lines;
+};
+
+// Classifies the file's format category. Empty input yields kUnknown.
+FormatCategory DetectFormat(const std::string& text);
+
+// Detects the format and embeds context into every (non-blank) line.
+EmbeddedFile EmbedText(const std::string& text);
+
+// Embeds with a caller-chosen category; used by the --no-embedding ablation (which
+// passes kFlat) and by tests.
+EmbeddedFile EmbedTextAs(const std::string& text, FormatCategory format);
+
+}  // namespace concord
+
+#endif  // SRC_FORMAT_EMBED_H_

@@ -1,0 +1,508 @@
+#include "src/format/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace concord {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    v.string_ = std::to_string(static_cast<int64_t>(d));
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    v.string_ = buf;
+  }
+  return v;
+}
+
+JsonValue JsonValue::Number(int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.string_ = std::to_string(i);
+  return v;
+}
+
+JsonValue JsonValue::NumberRaw(std::string spelling) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.string_ = std::move(spelling);
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+double JsonValue::AsDouble() const {
+  try {
+    return std::stod(string_);
+  } catch (...) {
+    return 0.0;
+  }
+}
+
+int64_t JsonValue::AsInt() const {
+  auto v = ParseInt64(string_);
+  if (v) {
+    return *v;
+  }
+  return static_cast<int64_t>(AsDouble());
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::string> JsonValue::GetString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return std::nullopt;
+  }
+  return v->AsString();
+}
+
+std::optional<int64_t> JsonValue::GetInt(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return std::nullopt;
+  }
+  return v->AsInt();
+}
+
+std::optional<double> JsonValue::GetDouble(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return std::nullopt;
+  }
+  return v->AsDouble();
+}
+
+std::optional<bool> JsonValue::GetBool(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_bool()) {
+    return std::nullopt;
+  }
+  return v->AsBool();
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    SkipWhitespace();
+    auto value = ParseValue();
+    SkipWhitespace();
+    if (value && pos_ != text_.size()) {
+      Fail("trailing content");
+      value = std::nullopt;
+    }
+    if (!value && error != nullptr) {
+      *error = error_ + " at offset " + std::to_string(pos_);
+    }
+    return value;
+  }
+
+ private:
+  void Fail(std::string message) {
+    if (error_.empty()) {
+      error_ = std::move(message);
+    }
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && IsSpace(text_[pos_])) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  std::optional<JsonValue> ParseValue() {
+    if (AtEnd()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        auto s = ParseString();
+        if (!s) {
+          return std::nullopt;
+        }
+        return JsonValue::String(std::move(*s));
+      }
+      case 't':
+        return ParseKeyword("true", JsonValue::Bool(true));
+      case 'f':
+        return ParseKeyword("false", JsonValue::Bool(false));
+      case 'n':
+        return ParseKeyword("null", JsonValue::Null());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseKeyword(std::string_view word, JsonValue value) {
+    if (text_.substr(pos_, word.size()) != word) {
+      Fail("invalid literal");
+      return std::nullopt;
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (!AtEnd() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    size_t digits_start = pos_;
+    while (!AtEnd() && IsDigit(text_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ == digits_start) {
+      Fail("invalid number");
+      return std::nullopt;
+    }
+    if (!AtEnd() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac_start = pos_;
+      while (!AtEnd() && IsDigit(text_[pos_])) {
+        ++pos_;
+      }
+      if (pos_ == frac_start) {
+        Fail("invalid number");
+        return std::nullopt;
+      }
+    }
+    if (!AtEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp_start = pos_;
+      while (!AtEnd() && IsDigit(text_[pos_])) {
+        ++pos_;
+      }
+      if (pos_ == exp_start) {
+        Fail("invalid number");
+        return std::nullopt;
+      }
+    }
+    return JsonValue::NumberRaw(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::optional<std::string> ParseString() {
+    ++pos_;  // Consume '"'.
+    std::string out;
+    while (!AtEnd()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated unicode escape");
+            return std::nullopt;
+          }
+          auto code = ParseHex(text_.substr(pos_, 4));
+          if (!code) {
+            Fail("invalid unicode escape");
+            return std::nullopt;
+          }
+          pos_ += 4;
+          uint32_t cp = static_cast<uint32_t>(*code);
+          // UTF-8 encode the BMP code point (surrogate pairs are not combined; config
+          // text in this domain is ASCII in practice).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default:
+          Fail("invalid escape");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    ++pos_;  // Consume '['.
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (!AtEnd() && text_[pos_] == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      SkipWhitespace();
+      auto value = ParseValue();
+      if (!value) {
+        return std::nullopt;
+      }
+      arr.Append(std::move(*value));
+      SkipWhitespace();
+      if (AtEnd()) {
+        Fail("unterminated array");
+        return std::nullopt;
+      }
+      char c = text_[pos_++];
+      if (c == ']') {
+        return arr;
+      }
+      if (c != ',') {
+        Fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    ++pos_;  // Consume '{'.
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (!AtEnd() && text_[pos_] == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != '"') {
+        Fail("expected object key");
+        return std::nullopt;
+      }
+      auto key = ParseString();
+      if (!key) {
+        return std::nullopt;
+      }
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != ':') {
+        Fail("expected ':'");
+        return std::nullopt;
+      }
+      ++pos_;
+      SkipWhitespace();
+      auto value = ParseValue();
+      if (!value) {
+        return std::nullopt;
+      }
+      obj.Set(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (AtEnd()) {
+        Fail("unterminated object");
+        return std::nullopt;
+      }
+      char c = text_[pos_++];
+      if (c == '}') {
+        return obj;
+      }
+      if (c != ',') {
+        Fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+void EscapeString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text, std::string* error) {
+  return JsonParser(text).Parse(error);
+}
+
+std::string JsonValue::Serialize(int indent) const {
+  std::string out;
+  SerializeTo(&out, indent, 0);
+  return out;
+}
+
+void JsonValue::SerializeTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      break;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      out->append(string_);
+      break;
+    case Kind::kString:
+      EscapeString(string_, out);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        newline(depth + 1);
+        array_[i].SerializeTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        newline(depth + 1);
+        EscapeString(object_[i].first, out);
+        out->push_back(':');
+        if (indent > 0) {
+          out->push_back(' ');
+        }
+        object_[i].second.SerializeTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace concord

@@ -1,0 +1,84 @@
+// A small JSON document model with parser and serializer.
+//
+// Used in three places: context embedding of JSON-formatted configurations (§3.1),
+// the learned-contract file format (the paper's tool emits contracts as JSON, §4), and
+// the machine-readable violation report. Numbers keep their original spelling so that
+// round-tripping a config never alters values the lexer will type.
+#ifndef SRC_FORMAT_JSON_H_
+#define SRC_FORMAT_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace concord {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Number(int64_t i);
+  static JsonValue NumberRaw(std::string spelling);  // Pre-rendered numeric text.
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool AsBool() const { return bool_; }
+  const std::string& AsString() const { return string_; }
+  const std::string& NumberSpelling() const { return string_; }
+  double AsDouble() const;
+  int64_t AsInt() const;
+
+  // Array access.
+  std::vector<JsonValue>& items() { return array_; }
+  const std::vector<JsonValue>& items() const { return array_; }
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+
+  // Object access. Members keep insertion order.
+  std::vector<std::pair<std::string, JsonValue>>& members() { return object_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return object_; }
+  void Set(std::string key, JsonValue v);
+  const JsonValue* Find(std::string_view key) const;  // nullptr when absent.
+
+  // Convenience typed getters returning nullopt on missing key or wrong kind.
+  std::optional<std::string> GetString(std::string_view key) const;
+  std::optional<int64_t> GetInt(std::string_view key) const;
+  std::optional<double> GetDouble(std::string_view key) const;
+  std::optional<bool> GetBool(std::string_view key) const;
+
+  // Parses a document; returns nullopt and fills *error (with offset) on failure.
+  static std::optional<JsonValue> Parse(std::string_view text, std::string* error = nullptr);
+
+  // Serialization. `indent` <= 0 gives compact output.
+  std::string Serialize(int indent = 0) const;
+
+ private:
+  void SerializeTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::string string_;  // String payload or number spelling.
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_FORMAT_JSON_H_

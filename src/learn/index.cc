@@ -1,0 +1,42 @@
+#include "src/learn/index.h"
+
+namespace concord {
+
+std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset) {
+  std::vector<ConfigIndex> indexes;
+  indexes.reserve(dataset.configs.size());
+  for (const ParsedConfig& config : dataset.configs) {
+    ConfigIndex index;
+    index.config = &config;
+    index.own_line_count = config.lines.size();
+    index.lines.reserve(config.lines.size() + dataset.metadata.size());
+    for (const ParsedLine& line : config.lines) {
+      index.lines.push_back(&line);
+    }
+    for (const ParsedLine& line : dataset.metadata) {
+      index.lines.push_back(&line);
+    }
+    for (uint32_t i = 0; i < index.lines.size(); ++i) {
+      const ParsedLine& line = *index.lines[i];
+      index.by_pattern[line.pattern].push_back(i);
+      if (line.const_pattern != kInvalidPattern) {
+        index.by_pattern[line.const_pattern].push_back(i);
+      }
+    }
+    indexes.push_back(std::move(index));
+  }
+  return indexes;
+}
+
+std::vector<uint32_t> CountConfigsPerPattern(const Dataset& dataset,
+                                             const std::vector<ConfigIndex>& indexes) {
+  std::vector<uint32_t> counts(dataset.patterns.size(), 0);
+  for (const ConfigIndex& index : indexes) {
+    for (const auto& [pattern, lines] : index.by_pattern) {
+      ++counts[pattern];
+    }
+  }
+  return counts;
+}
+
+}  // namespace concord

@@ -1,0 +1,38 @@
+// Per-configuration indexes shared by all miners and by the checker.
+//
+// Metadata lines (§3.7) are logically appended to every configuration: `lines` exposes
+// the config's own lines followed by the dataset's metadata lines, and `by_pattern`
+// covers both. Ordering miners must only look at the config's own region
+// (`own_line_count`), since metadata has no meaningful adjacency with config text.
+#ifndef SRC_LEARN_INDEX_H_
+#define SRC_LEARN_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pattern/parser.h"
+
+namespace concord {
+
+struct ConfigIndex {
+  const ParsedConfig* config = nullptr;
+  std::vector<const ParsedLine*> lines;  // Own lines, then metadata lines.
+  size_t own_line_count = 0;
+
+  // Line indices per pattern id; includes constant patterns when present.
+  std::unordered_map<PatternId, std::vector<uint32_t>> by_pattern;
+
+  bool ContainsPattern(PatternId id) const { return by_pattern.count(id) > 0; }
+};
+
+// Builds one index per configuration.
+std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset);
+
+// Number of configurations whose index contains each pattern (dense by PatternId).
+std::vector<uint32_t> CountConfigsPerPattern(const Dataset& dataset,
+                                             const std::vector<ConfigIndex>& indexes);
+
+}  // namespace concord
+
+#endif  // SRC_LEARN_INDEX_H_

@@ -1,0 +1,78 @@
+#include "src/learn/learner.h"
+
+#include <algorithm>
+
+#include "src/learn/index.h"
+#include "src/learn/miners.h"
+#include "src/learn/relational.h"
+#include "src/minimize/minimize.h"
+#include "src/util/thread_pool.h"
+
+namespace concord {
+
+LearnResult Learner::Learn(const Dataset& dataset) const {
+  std::vector<ConfigIndex> indexes = BuildIndexes(dataset);
+
+  // Category miners are independent; shard them across the pool.
+  std::vector<std::vector<Contract>> results(6);
+  std::vector<std::function<void()>> jobs;
+  if (options_.learn_present) {
+    jobs.push_back([&] { results[0] = MinePresent(dataset, indexes, options_); });
+  }
+  if (options_.learn_ordering) {
+    jobs.push_back([&] { results[1] = MineOrdering(dataset, indexes, options_); });
+  }
+  if (options_.learn_type) {
+    jobs.push_back([&] { results[2] = MineType(dataset, indexes, options_); });
+  }
+  if (options_.learn_sequence) {
+    jobs.push_back([&] { results[3] = MineSequence(dataset, indexes, options_); });
+  }
+  if (options_.learn_unique) {
+    jobs.push_back([&] { results[4] = MineUnique(dataset, indexes, options_); });
+  }
+  if (options_.learn_relational) {
+    jobs.push_back([&] { results[5] = MineRelational(dataset, indexes, options_); });
+  }
+
+  if (options_.parallelism != 1 && jobs.size() > 1) {
+    ThreadPool pool(static_cast<size_t>(std::max(0, options_.parallelism)));
+    for (auto& job : jobs) {
+      pool.Submit(std::move(job));
+    }
+    pool.Wait();
+  } else {
+    for (auto& job : jobs) {
+      job();
+    }
+  }
+
+  std::vector<Contract> all;
+  for (std::vector<Contract>& r : results) {
+    for (Contract& c : r) {
+      all.push_back(std::move(c));
+    }
+  }
+
+  LearnResult result;
+  if (options_.minimize) {
+    MinimizeResult minimized = MinimizeContracts(std::move(all));
+    result.set.contracts = std::move(minimized.contracts);
+    result.relational_before_minimize = minimized.relational_before;
+    result.relational_after_minimize = minimized.relational_after;
+  } else {
+    result.set.contracts = std::move(all);
+  }
+  result.set.constants_mode = options_.constants;
+  // Deterministic output order: by kind, then by identity key.
+  std::sort(result.set.contracts.begin(), result.set.contracts.end(),
+            [&dataset](const Contract& a, const Contract& b) {
+              if (a.kind != b.kind) {
+                return a.kind < b.kind;
+              }
+              return a.Key(dataset.patterns) < b.Key(dataset.patterns);
+            });
+  return result;
+}
+
+}  // namespace concord

@@ -1,0 +1,30 @@
+// The `concord learn` entry point: runs every enabled miner over a dataset and returns
+// the (optionally minimized) contract set.
+#ifndef SRC_LEARN_LEARNER_H_
+#define SRC_LEARN_LEARNER_H_
+
+#include "src/contracts/contract.h"
+#include "src/learn/options.h"
+#include "src/pattern/parser.h"
+
+namespace concord {
+
+struct LearnResult {
+  ContractSet set;
+  size_t relational_before_minimize = 0;
+  size_t relational_after_minimize = 0;
+};
+
+class Learner {
+ public:
+  explicit Learner(LearnOptions options) : options_(options) {}
+
+  LearnResult Learn(const Dataset& dataset) const;
+
+ private:
+  LearnOptions options_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_LEARN_LEARNER_H_

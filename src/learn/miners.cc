@@ -1,0 +1,335 @@
+#include "src/learn/miners.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace concord {
+
+std::vector<Contract> MinePresent(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                                  const LearnOptions& options) {
+  std::vector<Contract> out;
+  if (indexes.empty()) {
+    return out;
+  }
+  std::vector<uint32_t> counts = CountConfigsPerPattern(dataset, indexes);
+  const double total = static_cast<double>(indexes.size());
+  for (PatternId id = 0; id < counts.size(); ++id) {
+    uint32_t count = counts[id];
+    if (count == 0) {
+      continue;
+    }
+    double fraction = static_cast<double>(count) / total;
+    if (static_cast<int>(count) >= options.support && fraction >= options.confidence) {
+      Contract c;
+      c.kind = ContractKind::kPresent;
+      c.pattern = id;
+      c.support = static_cast<int>(count);
+      c.confidence = fraction;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Key for an ordering candidate.
+struct OrderKey {
+  PatternId p1;
+  PatternId p2;
+  bool successor;
+
+  bool operator<(const OrderKey& o) const {
+    if (p1 != o.p1) {
+      return p1 < o.p1;
+    }
+    if (p2 != o.p2) {
+      return p2 < o.p2;
+    }
+    return successor < o.successor;
+  }
+};
+
+// Pattern id of a line in the same stream (constant vs normal) as `stream_constant`.
+PatternId StreamPattern(const ParsedLine& line, bool stream_constant) {
+  return stream_constant ? line.const_pattern : line.pattern;
+}
+
+}  // namespace
+
+std::vector<Contract> MineOrdering(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                                   const LearnOptions& options) {
+  std::vector<Contract> out;
+  if (indexes.empty()) {
+    return out;
+  }
+  std::vector<uint32_t> config_counts = CountConfigsPerPattern(dataset, indexes);
+  std::map<OrderKey, uint32_t> holds;
+
+  for (const ConfigIndex& index : indexes) {
+    for (const auto& [p, occurrences] : index.by_pattern) {
+      bool stream_constant = dataset.patterns.Get(p).is_constant;
+      // Candidate common follower / predecessor across every occurrence of p within
+      // the config's own region.
+      PatternId follower = kInvalidPattern;
+      PatternId predecessor = kInvalidPattern;
+      bool follower_ok = true;
+      bool predecessor_ok = true;
+      bool any = false;
+      for (uint32_t i : occurrences) {
+        if (i >= index.own_line_count) {
+          continue;  // Metadata region.
+        }
+        any = true;
+        PatternId next = (i + 1 < index.own_line_count)
+                             ? StreamPattern(*index.lines[i + 1], stream_constant)
+                             : kInvalidPattern;
+        PatternId prev =
+            (i > 0) ? StreamPattern(*index.lines[i - 1], stream_constant) : kInvalidPattern;
+        if (follower == kInvalidPattern && follower_ok) {
+          follower = next;
+        }
+        if (next != follower || next == kInvalidPattern) {
+          follower_ok = false;
+        }
+        if (predecessor == kInvalidPattern && predecessor_ok) {
+          predecessor = prev;
+        }
+        if (prev != predecessor || prev == kInvalidPattern) {
+          predecessor_ok = false;
+        }
+      }
+      if (!any) {
+        continue;
+      }
+      if (follower_ok && follower != p) {
+        ++holds[OrderKey{p, follower, /*successor=*/true}];
+      }
+      if (predecessor_ok && predecessor != p) {
+        ++holds[OrderKey{p, predecessor, /*successor=*/false}];
+      }
+    }
+  }
+
+  for (const auto& [key, hold_count] : holds) {
+    uint32_t support = config_counts[key.p1];
+    uint32_t partner_support = config_counts[key.p2];
+    if (static_cast<int>(support) < options.support ||
+        static_cast<int>(partner_support) < options.support) {
+      continue;
+    }
+    double conf = static_cast<double>(hold_count) / static_cast<double>(support);
+    if (conf < options.confidence) {
+      continue;
+    }
+    Contract c;
+    c.kind = ContractKind::kOrdering;
+    c.pattern = key.p1;
+    c.pattern2 = key.p2;
+    c.successor = key.successor;
+    c.support = static_cast<int>(support);
+    c.confidence = conf;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Contract> MineType(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                               const LearnOptions& options) {
+  std::vector<Contract> out;
+  // Per untyped pattern: per parameter, use counts per value type; plus the number of
+  // configurations in which the untyped pattern occurs.
+  struct Group {
+    std::vector<std::map<ValueType, uint32_t>> per_param;
+    uint32_t total_uses = 0;
+    uint32_t config_count = 0;
+  };
+  std::unordered_map<std::string, Group> groups;
+
+  auto account_line = [&](const ParsedLine& line, uint32_t weight) {
+    const PatternInfo& info = dataset.patterns.Get(line.pattern);
+    if (info.is_constant || info.param_types.empty()) {
+      return;
+    }
+    Group& g = groups[info.untyped];
+    if (g.per_param.size() < info.param_types.size()) {
+      g.per_param.resize(info.param_types.size());
+    }
+    g.total_uses += weight;
+    for (size_t i = 0; i < info.param_types.size(); ++i) {
+      g.per_param[i][info.param_types[i]] += weight;
+    }
+  };
+
+  for (const ParsedConfig& config : dataset.configs) {
+    for (const ParsedLine& line : config.lines) {
+      account_line(line, 1);
+    }
+  }
+  for (const ParsedLine& line : dataset.metadata) {
+    account_line(line, 1);
+  }
+
+  // Config support per untyped pattern.
+  for (const ConfigIndex& index : indexes) {
+    std::unordered_set<std::string> seen;
+    for (const auto& [p, lines] : index.by_pattern) {
+      const PatternInfo& info = dataset.patterns.Get(p);
+      if (!info.is_constant && !info.param_types.empty()) {
+        seen.insert(info.untyped);
+      }
+    }
+    for (const std::string& untyped : seen) {
+      ++groups[untyped].config_count;
+    }
+  }
+
+  for (const auto& [untyped, group] : groups) {
+    if (static_cast<int>(group.config_count) < options.support ||
+        static_cast<int>(group.total_uses) < options.support) {
+      continue;
+    }
+    for (size_t param = 0; param < group.per_param.size(); ++param) {
+      const auto& type_counts = group.per_param[param];
+      if (type_counts.size() < 2) {
+        continue;  // A single observed type is the norm, not a violation.
+      }
+      for (const auto& [type, uses] : type_counts) {
+        double fraction = static_cast<double>(uses) / static_cast<double>(group.total_uses);
+        if (fraction < 1.0 - options.confidence) {
+          Contract c;
+          c.kind = ContractKind::kType;
+          c.untyped_pattern = untyped;
+          c.param = static_cast<uint16_t>(param);
+          c.invalid_type = type;
+          c.support = static_cast<int>(group.config_count);
+          c.confidence = 1.0 - fraction;
+          out.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Contract> MineSequence(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                                   const LearnOptions& options) {
+  std::vector<Contract> out;
+  struct Stats {
+    uint32_t eligible = 0;  // Configs with >= 2 instances.
+    uint32_t holds = 0;     // ... that are equidistant and strictly monotonic.
+    uint32_t strong = 0;    // Configs with >= 3 instances (real evidence).
+  };
+  std::map<std::pair<PatternId, uint16_t>, Stats> stats;
+
+  for (const ConfigIndex& index : indexes) {
+    for (const auto& [p, occurrences] : index.by_pattern) {
+      const PatternInfo& info = dataset.patterns.Get(p);
+      if (info.is_constant || occurrences.size() < 2) {
+        continue;
+      }
+      for (uint16_t param = 0; param < info.param_types.size(); ++param) {
+        if (info.param_types[param] != ValueType::kNum) {
+          continue;
+        }
+        bool holds = true;
+        bool have_step = false;
+        BigInt step;
+        int direction = 0;
+        for (size_t k = 1; k < occurrences.size() && holds; ++k) {
+          const BigInt& prev = index.lines[occurrences[k - 1]]->values[param].AsBigInt();
+          const BigInt& cur = index.lines[occurrences[k]]->values[param].AsBigInt();
+          int dir = cur.Compare(prev);
+          BigInt diff = cur.AbsDiff(prev);
+          if (dir == 0) {
+            holds = false;  // Repeated values are "constant", not a sequence.
+            break;
+          }
+          if (!have_step) {
+            step = diff;
+            direction = dir;
+            have_step = true;
+          } else if (!(diff == step) || dir != direction) {
+            holds = false;
+          }
+        }
+        Stats& s = stats[{p, param}];
+        ++s.eligible;
+        if (holds) {
+          ++s.holds;
+        }
+        if (occurrences.size() >= 3) {
+          ++s.strong;
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, s] : stats) {
+    if (static_cast<int>(s.strong) < options.support) {
+      continue;
+    }
+    double conf = static_cast<double>(s.holds) / static_cast<double>(s.eligible);
+    if (conf < options.confidence) {
+      continue;
+    }
+    Contract c;
+    c.kind = ContractKind::kSequence;
+    c.pattern = key.first;
+    c.param = key.second;
+    c.support = static_cast<int>(s.eligible);
+    c.confidence = conf;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Contract> MineUnique(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                                 const LearnOptions& options) {
+  std::vector<Contract> out;
+  std::vector<uint32_t> config_counts = CountConfigsPerPattern(dataset, indexes);
+
+  struct Stats {
+    std::unordered_set<Value, ValueHash> distinct;
+    uint32_t total = 0;
+  };
+  std::map<std::pair<PatternId, uint16_t>, Stats> stats;
+
+  // Uniqueness is measured across configs over their own lines; metadata is shared
+  // text and would trivially repeat per config.
+  for (const ParsedConfig& config : dataset.configs) {
+    for (const ParsedLine& line : config.lines) {
+      const PatternInfo& info = dataset.patterns.Get(line.pattern);
+      for (uint16_t param = 0; param < info.param_types.size(); ++param) {
+        if (info.param_types[param] == ValueType::kBool) {
+          continue;  // Two possible values can never be globally unique.
+        }
+        Stats& s = stats[{line.pattern, param}];
+        s.distinct.insert(line.values[param]);
+        ++s.total;
+      }
+    }
+  }
+
+  for (const auto& [key, s] : stats) {
+    if (static_cast<int>(config_counts[key.first]) < options.support ||
+        static_cast<int>(s.total) < options.support) {
+      continue;
+    }
+    double conf = static_cast<double>(s.distinct.size()) / static_cast<double>(s.total);
+    if (conf < options.confidence) {
+      continue;
+    }
+    Contract c;
+    c.kind = ContractKind::kUnique;
+    c.pattern = key.first;
+    c.param = key.second;
+    c.support = static_cast<int>(config_counts[key.first]);
+    c.confidence = conf;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace concord

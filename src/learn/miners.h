@@ -1,0 +1,41 @@
+// Miners for the non-relational contract categories (§3.4).
+//
+// Each miner takes the dataset, the per-config indexes, and the learning options, and
+// returns the contracts of its category that meet the support/confidence thresholds.
+#ifndef SRC_LEARN_MINERS_H_
+#define SRC_LEARN_MINERS_H_
+
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/learn/index.h"
+#include "src/learn/options.h"
+
+namespace concord {
+
+// `exists l ~ p`: p appears in >= C% of configurations (and in >= S of them).
+// Includes constant patterns when constants mode parsed them.
+std::vector<Contract> MinePresent(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                                  const LearnOptions& options);
+
+// Immediate successor/predecessor contracts: whenever p1 matches, the next (previous)
+// line matches p2. Metadata lines are excluded (no meaningful adjacency).
+std::vector<Contract> MineOrdering(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                                   const LearnOptions& options);
+
+// `!(exists l ~ u with param i of type T)`: T is used in < (100 - C)% of the uses of
+// the type-erased pattern u.
+std::vector<Contract> MineType(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                               const LearnOptions& options);
+
+// Numeric parameter values are equidistant within each configuration.
+std::vector<Contract> MineSequence(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                                   const LearnOptions& options);
+
+// Parameter values are globally unique across all configurations.
+std::vector<Contract> MineUnique(const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
+                                 const LearnOptions& options);
+
+}  // namespace concord
+
+#endif  // SRC_LEARN_MINERS_H_

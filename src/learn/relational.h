@@ -1,0 +1,48 @@
+// Relational contract learning (§3.5).
+//
+// Naively, candidate relational contracts are every (pattern, param, transform) pair
+// with every relation — quadratic in the tens of thousands of parameters real configs
+// carry. Concord instead discovers candidates from *actual matches*:
+//
+//   Pass 1 (per configuration): insert every transformed parameter value into the
+//   relation-finding structures — equality hash index, prefix trie, forward and
+//   reversed affix tries.
+//
+//   Pass 2 (per configuration): look each value up, producing candidate (forall,
+//   relation, exists) keys together with the forall-side line that found a witness.
+//   Per config, a candidate holds when *every* line of the forall pattern found a
+//   witness.
+//
+// Candidates are aggregated across configurations; a contract is learned when it meets
+// support S, confidence C, and the cumulative informativeness threshold (diversity-
+// aggregated over distinct witness keys, §3.5 "reducing false positives").
+#ifndef SRC_LEARN_RELATIONAL_H_
+#define SRC_LEARN_RELATIONAL_H_
+
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/learn/index.h"
+#include "src/learn/options.h"
+
+namespace concord {
+
+std::vector<Contract> MineRelational(const Dataset& dataset,
+                                     const std::vector<ConfigIndex>& indexes,
+                                     const LearnOptions& options);
+
+// Statistics used by the §5.2 optimization ablation: how many candidate keys were
+// examined (exposed for benchmarks; learning itself only needs the contracts).
+struct RelationalMiningStats {
+  size_t candidate_keys = 0;
+  size_t match_events = 0;
+};
+
+std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
+                                              const std::vector<ConfigIndex>& indexes,
+                                              const LearnOptions& options,
+                                              RelationalMiningStats* stats);
+
+}  // namespace concord
+
+#endif  // SRC_LEARN_RELATIONAL_H_

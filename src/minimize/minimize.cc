@@ -1,0 +1,274 @@
+#include "src/minimize/minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace concord {
+
+namespace {
+
+uint64_t PackNode(PatternId pattern, uint16_t param, Transform t) {
+  return (static_cast<uint64_t>(pattern) << 32) | (static_cast<uint64_t>(param) << 16) |
+         (static_cast<uint64_t>(t.kind) << 8) | t.arg;
+}
+
+struct NodeInfo {
+  PatternId pattern;
+  uint16_t param;
+  Transform transform;
+};
+
+// Iterative Tarjan SCC.
+class TarjanScc {
+ public:
+  explicit TarjanScc(const std::vector<std::vector<int>>& adj) : adj_(adj) {
+    int n = static_cast<int>(adj.size());
+    index_.assign(n, -1);
+    low_.assign(n, 0);
+    on_stack_.assign(n, false);
+    component_.assign(n, -1);
+    for (int v = 0; v < n; ++v) {
+      if (index_[v] == -1) {
+        Run(v);
+      }
+    }
+  }
+
+  const std::vector<int>& component() const { return component_; }
+  int num_components() const { return num_components_; }
+
+ private:
+  void Run(int root) {
+    struct Frame {
+      int v;
+      size_t edge;
+    };
+    std::vector<Frame> call_stack{{root, 0}};
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      int v = frame.v;
+      if (frame.edge == 0) {
+        index_[v] = low_[v] = next_index_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool descended = false;
+      while (frame.edge < adj_[v].size()) {
+        int w = adj_[v][frame.edge++];
+        if (index_[w] == -1) {
+          call_stack.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) {
+          low_[v] = std::min(low_[v], index_[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      if (low_[v] == index_[v]) {
+        int c = num_components_++;
+        while (true) {
+          int w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          component_[w] = c;
+          if (w == v) {
+            break;
+          }
+        }
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        int parent = call_stack.back().v;
+        low_[parent] = std::min(low_[parent], low_[v]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<int>>& adj_;
+  std::vector<int> index_, low_, component_;
+  std::vector<int> stack_;
+  std::vector<bool> on_stack_;
+  int next_index_ = 0;
+  int num_components_ = 0;
+};
+
+// Minimizes the contracts of one transitive relation kind; appends survivors to *out.
+void MinimizeGroup(RelationKind kind, const std::vector<Contract>& contracts,
+                   std::vector<Contract>* out) {
+  // Node interning.
+  std::unordered_map<uint64_t, int> node_ids;
+  std::vector<NodeInfo> nodes;
+  auto intern = [&](PatternId pattern, uint16_t param, Transform t) {
+    uint64_t key = PackNode(pattern, param, t);
+    auto [it, inserted] = node_ids.emplace(key, static_cast<int>(nodes.size()));
+    if (inserted) {
+      nodes.push_back(NodeInfo{pattern, param, t});
+    }
+    return it->second;
+  };
+
+  struct Edge {
+    int from;
+    int to;
+    size_t contract;  // Index into `contracts`.
+  };
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < contracts.size(); ++i) {
+    const Contract& c = contracts[i];
+    int u = intern(c.pattern, c.param, c.transform1);
+    int v = intern(c.pattern2, c.param2, c.transform2);
+    if (u != v) {
+      edges.push_back(Edge{u, v, i});
+    }
+    // Self-loop contracts (same node both sides) cannot occur: the miner excludes them.
+  }
+
+  int n = static_cast<int>(nodes.size());
+  std::vector<std::vector<int>> adj(n);
+  for (const Edge& e : edges) {
+    adj[e.from].push_back(e.to);
+  }
+
+  TarjanScc scc(adj);
+  const std::vector<int>& comp = scc.component();
+  int num_comp = scc.num_components();
+
+  // Members per component, in node order.
+  std::vector<std::vector<int>> members(num_comp);
+  for (int v = 0; v < n; ++v) {
+    members[comp[v]].push_back(v);
+  }
+
+  // Existing intra-component edges, for cycle construction.
+  std::map<std::pair<int, int>, size_t> intra;  // (u, v) -> contract index.
+  std::map<std::pair<int, int>, size_t> inter;  // (comp u, comp v) -> best contract.
+  for (const Edge& e : edges) {
+    if (comp[e.from] == comp[e.to]) {
+      intra.emplace(std::make_pair(e.from, e.to), e.contract);
+    } else {
+      auto key = std::make_pair(comp[e.from], comp[e.to]);
+      auto it = inter.find(key);
+      if (it == inter.end() || contracts[e.contract].score > contracts[it->second].score) {
+        inter[key] = e.contract;
+      }
+    }
+  }
+
+  // Cycle per non-trivial component. Equality is symmetric, so a missing cycle edge can
+  // be synthesized from any representative member contract; other (affix) relations are
+  // strict orders whose SCCs are always singletons.
+  for (int c = 0; c < num_comp; ++c) {
+    const std::vector<int>& ms = members[c];
+    if (ms.size() < 2) {
+      continue;
+    }
+    if (kind != RelationKind::kEquals) {
+      // Defensive: keep every internal edge rather than synthesize an invalid one.
+      for (const auto& [uv, idx] : intra) {
+        if (comp[uv.first] == c) {
+          out->push_back(contracts[idx]);
+        }
+      }
+      continue;
+    }
+    // Representative stats for synthesized edges.
+    size_t representative = 0;
+    bool have_rep = false;
+    for (const auto& [uv, idx] : intra) {
+      if (comp[uv.first] == c) {
+        representative = idx;
+        have_rep = true;
+        break;
+      }
+    }
+    for (size_t k = 0; k < ms.size(); ++k) {
+      int u = ms[k];
+      int v = ms[(k + 1) % ms.size()];
+      auto it = intra.find(std::make_pair(u, v));
+      if (it != intra.end()) {
+        out->push_back(contracts[it->second]);
+        continue;
+      }
+      Contract c2;
+      if (have_rep) {
+        c2 = contracts[representative];
+      }
+      c2.kind = ContractKind::kRelational;
+      c2.relation = RelationKind::kEquals;
+      c2.pattern = nodes[u].pattern;
+      c2.param = nodes[u].param;
+      c2.transform1 = nodes[u].transform;
+      c2.pattern2 = nodes[v].pattern;
+      c2.param2 = nodes[v].param;
+      c2.transform2 = nodes[v].transform;
+      out->push_back(std::move(c2));
+    }
+  }
+
+  // Condensed DAG + transitive reduction over inter-component edges.
+  std::vector<std::vector<int>> dag(num_comp);
+  for (const auto& [key, idx] : inter) {
+    dag[key.first].push_back(key.second);
+  }
+  // Tarjan emits components in reverse topological order: every edge goes from a
+  // higher component id to a lower one, so ascending id order is topological for
+  // "process successors first".
+  size_t words = (static_cast<size_t>(num_comp) + 63) / 64;
+  std::vector<std::vector<uint64_t>> reach(num_comp, std::vector<uint64_t>(words, 0));
+  auto test = [&](int u, int v) {
+    return (reach[u][static_cast<size_t>(v) / 64] >> (static_cast<size_t>(v) % 64)) & 1;
+  };
+  auto set_bit = [&](int u, int v) {
+    reach[u][static_cast<size_t>(v) / 64] |= uint64_t{1} << (static_cast<size_t>(v) % 64);
+  };
+  for (int u = 0; u < num_comp; ++u) {
+    for (int v : dag[u]) {
+      set_bit(u, v);
+      for (size_t w = 0; w < words; ++w) {
+        reach[u][w] |= reach[v][w];
+      }
+    }
+  }
+  for (const auto& [key, idx] : inter) {
+    int u = key.first;
+    int v = key.second;
+    bool redundant = false;
+    for (int w : dag[u]) {
+      if (w != v && test(w, v)) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) {
+      out->push_back(contracts[idx]);
+    }
+  }
+}
+
+}  // namespace
+
+MinimizeResult MinimizeContracts(std::vector<Contract> contracts) {
+  MinimizeResult result;
+  std::map<RelationKind, std::vector<Contract>> groups;
+  for (Contract& c : contracts) {
+    if (c.kind == ContractKind::kRelational && IsTransitiveRelation(c.relation)) {
+      ++result.relational_before;
+      groups[c.relation].push_back(std::move(c));
+    } else {
+      result.contracts.push_back(std::move(c));
+    }
+  }
+  size_t before_pass_through = result.contracts.size();
+  for (const auto& [kind, group] : groups) {
+    MinimizeGroup(kind, group, &result.contracts);
+  }
+  result.relational_after = result.contracts.size() - before_pass_through;
+  return result;
+}
+
+}  // namespace concord

@@ -1,0 +1,32 @@
+// Relational contract minimization via graph transitive reduction (§3.6, Figure 5).
+//
+// Transitive relations (equality, affixes) generate up to n^2 contracts over n mutually
+// related parameters. Minimization builds a directed graph with one node per (pattern,
+// param, transform) and one edge per learned contract, computes strongly connected
+// components, replaces each component's internal edges by a simple cycle, condenses,
+// and transitively reduces the resulting DAG. Bug-finding power is preserved: any
+// violation that broke a removed edge still breaks an edge on the path that implied it.
+//
+// Only same-relation edges compose, so the graph is built and reduced per relation
+// kind; non-transitive relations (contains) and all other contract categories pass
+// through untouched.
+#ifndef SRC_MINIMIZE_MINIMIZE_H_
+#define SRC_MINIMIZE_MINIMIZE_H_
+
+#include <vector>
+
+#include "src/contracts/contract.h"
+
+namespace concord {
+
+struct MinimizeResult {
+  std::vector<Contract> contracts;  // The reduced full set.
+  size_t relational_before = 0;     // Transitive-relational contracts before/after,
+  size_t relational_after = 0;      // for the Figure 8 reduction factor.
+};
+
+MinimizeResult MinimizeContracts(std::vector<Contract> contracts);
+
+}  // namespace concord
+
+#endif  // SRC_MINIMIZE_MINIMIZE_H_

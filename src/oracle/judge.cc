@@ -1,0 +1,45 @@
+#include "src/oracle/judge.h"
+
+#include <functional>
+
+#include "src/util/rng.h"
+
+namespace concord {
+
+int HeuristicJudge::Score(const Contract& contract, const PatternTable& table,
+                          const GroundTruth& truth) const {
+  bool is_tp = truth.IsTruePositive(contract, table);
+  // Deterministic noise stream keyed by the contract identity.
+  SplitMix64 rng(seed_ ^ std::hash<std::string>{}(contract.Key(table)));
+  bool misjudge = rng.Chance(misjudge_rate_);
+  bool judged_valid = is_tp != misjudge;
+  if (judged_valid) {
+    // Valid contracts score 6..10, weighted toward confident highs; strong supporting
+    // statistics push the score up, mirroring how an expert reads evidence.
+    int base = 7 + static_cast<int>(rng.Below(3));  // 7..9.
+    if (contract.support >= 20 && contract.confidence >= 0.99) {
+      ++base;
+    }
+    if (contract.kind == ContractKind::kRelational && contract.score < 6.0) {
+      --base;
+    }
+    return std::min(10, std::max(6, base));
+  }
+  int base = 2 + static_cast<int>(rng.Below(3));  // 2..4.
+  if (contract.confidence < 0.97) {
+    --base;
+  }
+  return std::min(5, std::max(1, base));
+}
+
+std::vector<int> HeuristicJudge::ScoreAll(const ContractSet& set, const PatternTable& table,
+                                          const GroundTruth& truth) const {
+  std::vector<int> scores;
+  scores.reserve(set.contracts.size());
+  for (const Contract& contract : set.contracts) {
+    scores.push_back(Score(contract, table, truth));
+  }
+  return scores;
+}
+
+}  // namespace concord

@@ -1,0 +1,42 @@
+// LLM-judge substitute for the Figure 9 / Table 6 methodology.
+//
+// The paper prompts GPT-4 to score each learned contract 1–10 as an *initial rough
+// estimate* of precision, used only to size the statistically-significant manual
+// review. We cannot ship GPT-4, but we have something it does not: exact ground truth
+// from the generators. The HeuristicJudge grades a contract from the ledger and then
+// perturbs the grade with calibrated, deterministic noise — including occasional
+// misjudgments across the 5/6 decision boundary — so the downstream sample-size
+// machinery sees the same kind of imperfect prior the paper's LLM provides.
+#ifndef SRC_ORACLE_JUDGE_H_
+#define SRC_ORACLE_JUDGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/datagen/ground_truth.h"
+
+namespace concord {
+
+class HeuristicJudge {
+ public:
+  // `misjudge_rate` is the probability of scoring across the true/false boundary.
+  explicit HeuristicJudge(uint64_t seed, double misjudge_rate = 0.08)
+      : seed_(seed), misjudge_rate_(misjudge_rate) {}
+
+  // Deterministic per (seed, contract identity): 1..10, >= 6 meaning "likely valid".
+  int Score(const Contract& contract, const PatternTable& table,
+            const GroundTruth& truth) const;
+
+  // Scores a whole set.
+  std::vector<int> ScoreAll(const ContractSet& set, const PatternTable& table,
+                            const GroundTruth& truth) const;
+
+ private:
+  uint64_t seed_;
+  double misjudge_rate_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_ORACLE_JUDGE_H_

@@ -1,0 +1,91 @@
+#include "src/pattern/parser.h"
+
+namespace concord {
+
+size_t Dataset::TotalLines() const {
+  size_t total = 0;
+  for (const ParsedConfig& config : configs) {
+    total += config.lines.size();
+  }
+  return total;
+}
+
+size_t Dataset::TotalParameters() const {
+  size_t total = 0;
+  for (size_t id = 0; id < patterns.size(); ++id) {
+    const PatternInfo& info = patterns.Get(static_cast<PatternId>(id));
+    if (!info.is_constant) {
+      total += info.param_types.size();
+    }
+  }
+  return total;
+}
+
+ConfigParser::ConfigParser(const Lexer* lexer, PatternTable* table, ParseOptions options)
+    : lexer_(lexer), table_(table), options_(options) {}
+
+const std::string& ConfigParser::ParentPattern(const std::string& raw) {
+  auto it = parent_cache_.find(raw);
+  if (it != parent_cache_.end()) {
+    return it->second;
+  }
+  LineLex lex = lexer_->Lex(raw);
+  return parent_cache_.emplace(raw, std::move(lex.pattern_unnamed)).first->second;
+}
+
+ParsedConfig ConfigParser::ParseEmbedded(const std::string& name, const EmbeddedFile& embedded,
+                                         const std::string& context_root) {
+  ParsedConfig config;
+  config.name = name;
+  config.format = embedded.format;
+  config.lines.reserve(embedded.lines.size());
+
+  for (const ContextLine& line : embedded.lines) {
+    // Context prefix from the (unnamed) parent patterns.
+    std::string context = context_root;
+    for (const std::string& parent : line.parents) {
+      context += "/";
+      context += ParentPattern(parent);
+    }
+    context += "/";
+
+    LineLex lex = lexer_->Lex(line.text);
+    ParsedLine parsed;
+    parsed.line_number = line.line_number;
+    parsed.values = std::move(lex.values);
+
+    std::vector<ValueType> types;
+    types.reserve(parsed.values.size());
+    for (const Value& v : parsed.values) {
+      types.push_back(v.type());
+    }
+    parsed.pattern = table_->Intern(context + lex.pattern_named, context + lex.untyped,
+                                    context + lex.pattern_unnamed, std::move(types));
+
+    if (options_.constants) {
+      // Exact-line pattern: context plus the raw text, no parameters.
+      std::string const_text = "=" + context + line.text;
+      parsed.const_pattern =
+          table_->Intern(const_text, const_text, const_text, {}, /*is_constant=*/true);
+    }
+    config.lines.push_back(std::move(parsed));
+  }
+  return config;
+}
+
+ParsedConfig ConfigParser::Parse(const std::string& name, const std::string& text) {
+  EmbeddedFile embedded = options_.embed_context
+                              ? EmbedText(text)
+                              : EmbedTextAs(text, FormatCategory::kFlat);
+  return ParseEmbedded(name, embedded, "");
+}
+
+std::vector<ParsedLine> ConfigParser::ParseMetadata(const std::string& text) {
+  EmbeddedFile embedded = options_.embed_context
+                              ? EmbedText(text)
+                              : EmbedTextAs(text, FormatCategory::kFlat);
+  ParsedConfig config = ParseEmbedded("@meta", embedded, "@meta");
+  return std::move(config.lines);
+}
+
+}  // namespace concord

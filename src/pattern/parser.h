@@ -1,0 +1,82 @@
+// Configuration parsing pipeline: raw text -> embedded lines -> interned patterns.
+//
+// This composes §3.1 (context embedding) and §3.2 (pattern/value extraction) into the
+// representation every miner operates on. The canonical pattern of a line is
+//
+//   "/" + parent patterns (types only, no captures) joined by "/" + leaf pattern
+//
+// exactly as rendered in Figure 3 — e.g.
+// `/router bgp [num]/vlan [num]/rd [a:ip4]:[b:num]`. Parent parameters are deliberately
+// not captured (footnote 2 of the paper): real relationships to a parent value are
+// learned from the parent's own line.
+#ifndef SRC_PATTERN_PARSER_H_
+#define SRC_PATTERN_PARSER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/format/embed.h"
+#include "src/pattern/lexer.h"
+#include "src/pattern/pattern_table.h"
+#include "src/value/value.h"
+
+namespace concord {
+
+// One lexed configuration line.
+struct ParsedLine {
+  PatternId pattern = kInvalidPattern;
+  PatternId const_pattern = kInvalidPattern;  // Exact-text pattern (constants mode).
+  std::vector<Value> values;
+  int line_number = 0;  // 1-based in the source file.
+};
+
+struct ParsedConfig {
+  std::string name;
+  FormatCategory format = FormatCategory::kUnknown;
+  std::vector<ParsedLine> lines;
+};
+
+// A full training or test corpus sharing one pattern table.
+struct Dataset {
+  PatternTable patterns;
+  std::vector<ParsedConfig> configs;
+  std::vector<ParsedLine> metadata;  // §3.7: logically appended to every config.
+
+  size_t TotalLines() const;
+  size_t TotalParameters() const;  // Sum of parameter counts over unique patterns.
+};
+
+struct ParseOptions {
+  bool embed_context = true;  // False = the Figure 7 "baseline" ablation.
+  bool constants = false;     // Also intern exact-line constant patterns (§4).
+};
+
+class ConfigParser {
+ public:
+  // `lexer` and `table` must outlive the parser.
+  ConfigParser(const Lexer* lexer, PatternTable* table, ParseOptions options);
+
+  // Parses one configuration file.
+  ParsedConfig Parse(const std::string& name, const std::string& text);
+
+  // Parses a metadata file; lines are rooted under the "@meta" context so learned
+  // contracts render as `@meta/nfInfos/...` (§3.7).
+  std::vector<ParsedLine> ParseMetadata(const std::string& text);
+
+ private:
+  ParsedConfig ParseEmbedded(const std::string& name, const EmbeddedFile& embedded,
+                             const std::string& context_root);
+
+  // Parent raw text -> unnamed pattern text (memoized; parents repeat heavily).
+  const std::string& ParentPattern(const std::string& raw);
+
+  const Lexer* lexer_;
+  PatternTable* table_;
+  ParseOptions options_;
+  std::unordered_map<std::string, std::string> parent_cache_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_PATTERN_PARSER_H_

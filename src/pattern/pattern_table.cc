@@ -1,0 +1,31 @@
+#include "src/pattern/pattern_table.h"
+
+namespace concord {
+
+PatternId PatternTable::Intern(const std::string& text, std::string untyped,
+                               std::string unnamed, std::vector<ValueType> param_types,
+                               bool is_constant) {
+  auto it = by_text_.find(text);
+  if (it != by_text_.end()) {
+    return it->second;
+  }
+  PatternId id = static_cast<PatternId>(infos_.size());
+  infos_.push_back(PatternInfo{text, std::move(untyped), std::move(unnamed),
+                               std::move(param_types), is_constant});
+  by_text_.emplace(text, id);
+  return id;
+}
+
+PatternId PatternTable::Find(const std::string& text) const {
+  auto it = by_text_.find(text);
+  return it == by_text_.end() ? kInvalidPattern : it->second;
+}
+
+std::string PatternTable::ParamName(size_t index) {
+  if (index < 26) {
+    return std::string(1, static_cast<char>('a' + index));
+  }
+  return "p" + std::to_string(index);
+}
+
+}  // namespace concord

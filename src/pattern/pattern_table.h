@@ -1,0 +1,57 @@
+// Interned typed patterns (§3.2).
+//
+// Every configuration line lexes to a *pattern* — its text with data values replaced by
+// typed holes — plus the extracted values. Patterns include the embedded context path,
+// e.g. `/interface Port-Channel[num]/evpn ether-segment/route-target import [a:mac]`.
+// Patterns repeat heavily (thousands of lines share a handful of patterns), so they are
+// interned once into a PatternTable and referenced by dense 32-bit ids everywhere else;
+// all learning data structures key on PatternId.
+#ifndef SRC_PATTERN_PATTERN_TABLE_H_
+#define SRC_PATTERN_PATTERN_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/value/value.h"
+
+namespace concord {
+
+using PatternId = uint32_t;
+inline constexpr PatternId kInvalidPattern = 0xffffffffu;
+
+struct PatternInfo {
+  std::string text;                    // Canonical named form, with context path.
+  std::string untyped;                 // Types erased: `ip address [a:?]` (type contracts).
+  std::string unnamed;                 // Names erased: `ip address [ip4]` — the form the
+                                       // pattern takes when it appears as a *context*
+                                       // segment of its children's patterns.
+  std::vector<ValueType> param_types;  // Leaf parameter types, in capture order.
+  bool is_constant = false;            // Constant-learning pattern (exact line text).
+};
+
+class PatternTable {
+ public:
+  // Interns a pattern, returning a stable id. The metadata fields are only consulted
+  // on first insertion.
+  PatternId Intern(const std::string& text, std::string untyped, std::string unnamed,
+                   std::vector<ValueType> param_types, bool is_constant = false);
+
+  // Looks up an existing pattern id by canonical text; kInvalidPattern when absent.
+  PatternId Find(const std::string& text) const;
+
+  const PatternInfo& Get(PatternId id) const { return infos_[id]; }
+  size_t size() const { return infos_.size(); }
+
+  // Name of the `index`-th parameter ('a', 'b', ..., then p26, p27, ...).
+  static std::string ParamName(size_t index);
+
+ private:
+  std::unordered_map<std::string, PatternId> by_text_;
+  std::vector<PatternInfo> infos_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_PATTERN_PATTERN_TABLE_H_

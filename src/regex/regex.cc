@@ -1,0 +1,549 @@
+#include "src/regex/regex.h"
+
+#include <memory>
+
+#include "src/util/strings.h"
+
+namespace concord {
+
+namespace {
+
+constexpr int kMaxRepeatExpansion = 256;  // Cap for {m,n} to bound NFA size.
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  enum class Kind { kClass, kConcat, kAlternate, kRepeat };
+
+  Kind kind;
+  std::bitset<256> char_class;    // kClass.
+  std::vector<NodePtr> children;  // kConcat / kAlternate.
+  NodePtr child;                  // kRepeat.
+  int min = 0;
+  int max = 0;  // -1 means unbounded.
+};
+
+NodePtr MakeClass(std::bitset<256> bits) {
+  auto n = std::make_unique<Node>();
+  n->kind = Node::Kind::kClass;
+  n->char_class = bits;
+  return n;
+}
+
+std::bitset<256> SingleChar(unsigned char c) {
+  std::bitset<256> bits;
+  bits.set(c);
+  return bits;
+}
+
+std::bitset<256> DigitClass() {
+  std::bitset<256> bits;
+  for (char c = '0'; c <= '9'; ++c) {
+    bits.set(static_cast<unsigned char>(c));
+  }
+  return bits;
+}
+
+std::bitset<256> WordClass() {
+  std::bitset<256> bits = DigitClass();
+  for (char c = 'a'; c <= 'z'; ++c) {
+    bits.set(static_cast<unsigned char>(c));
+  }
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    bits.set(static_cast<unsigned char>(c));
+  }
+  bits.set(static_cast<unsigned char>('_'));
+  return bits;
+}
+
+std::bitset<256> SpaceClass() {
+  std::bitset<256> bits;
+  for (char c : {' ', '\t', '\r', '\n', '\f', '\v'}) {
+    bits.set(static_cast<unsigned char>(c));
+  }
+  return bits;
+}
+
+std::bitset<256> AnyClass() {
+  std::bitset<256> bits;
+  bits.set();
+  bits.reset(static_cast<unsigned char>('\n'));
+  return bits;
+}
+
+// Recursive-descent parser over the pattern.
+class Parser {
+ public:
+  explicit Parser(std::string_view pattern) : pattern_(pattern) {}
+
+  NodePtr Parse(std::string* error) {
+    NodePtr node = ParseAlternation();
+    if (!failed_ && pos_ != pattern_.size()) {
+      Fail("unexpected character");
+    }
+    if (failed_) {
+      if (error != nullptr) {
+        *error = error_ + " at offset " + std::to_string(pos_);
+      }
+      return nullptr;
+    }
+    return node;
+  }
+
+ private:
+  void Fail(std::string message) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = std::move(message);
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+
+  NodePtr ParseAlternation() {
+    auto node = std::make_unique<Node>();
+    node->kind = Node::Kind::kAlternate;
+    node->children.push_back(ParseConcat());
+    while (!failed_ && !AtEnd() && Peek() == '|') {
+      ++pos_;
+      node->children.push_back(ParseConcat());
+    }
+    if (node->children.size() == 1) {
+      return std::move(node->children[0]);
+    }
+    return node;
+  }
+
+  NodePtr ParseConcat() {
+    auto node = std::make_unique<Node>();
+    node->kind = Node::Kind::kConcat;
+    while (!failed_ && !AtEnd() && Peek() != '|' && Peek() != ')') {
+      node->children.push_back(ParseRepeat());
+    }
+    return node;  // Empty concat is the epsilon pattern.
+  }
+
+  NodePtr ParseRepeat() {
+    NodePtr atom = ParseAtom();
+    while (!failed_ && !AtEnd()) {
+      char c = Peek();
+      int min = 0, max = 0;
+      if (c == '*') {
+        min = 0;
+        max = -1;
+        ++pos_;
+      } else if (c == '+') {
+        min = 1;
+        max = -1;
+        ++pos_;
+      } else if (c == '?') {
+        min = 0;
+        max = 1;
+        ++pos_;
+      } else if (c == '{') {
+        if (!ParseBounds(&min, &max)) {
+          return atom;
+        }
+      } else {
+        break;
+      }
+      auto rep = std::make_unique<Node>();
+      rep->kind = Node::Kind::kRepeat;
+      rep->child = std::move(atom);
+      rep->min = min;
+      rep->max = max;
+      atom = std::move(rep);
+    }
+    return atom;
+  }
+
+  // Parses "{m}", "{m,}", or "{m,n}" starting at '{'.
+  bool ParseBounds(int* min, int* max) {
+    size_t start = pos_;
+    ++pos_;  // Consume '{'.
+    int m = ParseNumber();
+    if (m < 0) {
+      pos_ = start;
+      Fail("malformed repetition bound");
+      return false;
+    }
+    *min = m;
+    *max = m;
+    if (!AtEnd() && Peek() == ',') {
+      ++pos_;
+      if (!AtEnd() && Peek() == '}') {
+        *max = -1;
+      } else {
+        int n = ParseNumber();
+        if (n < 0 || n < m) {
+          Fail("malformed repetition bound");
+          return false;
+        }
+        *max = n;
+      }
+    }
+    if (AtEnd() || Peek() != '}') {
+      Fail("unterminated repetition bound");
+      return false;
+    }
+    ++pos_;
+    if (*min > kMaxRepeatExpansion || (*max > 0 && *max > kMaxRepeatExpansion)) {
+      Fail("repetition bound too large");
+      return false;
+    }
+    return true;
+  }
+
+  int ParseNumber() {
+    if (AtEnd() || !IsDigit(Peek())) {
+      return -1;
+    }
+    int value = 0;
+    while (!AtEnd() && IsDigit(Peek()) && value < 100000) {
+      value = value * 10 + (Peek() - '0');
+      ++pos_;
+    }
+    return value;
+  }
+
+  NodePtr ParseAtom() {
+    if (AtEnd()) {
+      Fail("expected atom");
+      return MakeClass({});
+    }
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      NodePtr inner = ParseAlternation();
+      if (AtEnd() || Peek() != ')') {
+        Fail("unbalanced parenthesis");
+        return inner;
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '[') {
+      return ParseClass();
+    }
+    if (c == '\\') {
+      return MakeClass(ParseEscape());
+    }
+    if (c == '.') {
+      ++pos_;
+      return MakeClass(AnyClass());
+    }
+    if (c == '*' || c == '+' || c == '?' || c == ')') {
+      Fail("dangling metacharacter");
+      return MakeClass({});
+    }
+    ++pos_;
+    return MakeClass(SingleChar(static_cast<unsigned char>(c)));
+  }
+
+  std::bitset<256> ParseEscape() {
+    ++pos_;  // Consume '\'.
+    if (AtEnd()) {
+      Fail("trailing backslash");
+      return {};
+    }
+    char c = pattern_[pos_++];
+    switch (c) {
+      case 'd':
+        return DigitClass();
+      case 'D':
+        return ~DigitClass();
+      case 'w':
+        return WordClass();
+      case 'W':
+        return ~WordClass();
+      case 's':
+        return SpaceClass();
+      case 'S':
+        return ~SpaceClass();
+      case 'n':
+        return SingleChar('\n');
+      case 't':
+        return SingleChar('\t');
+      case 'r':
+        return SingleChar('\r');
+      default:
+        return SingleChar(static_cast<unsigned char>(c));
+    }
+  }
+
+  NodePtr ParseClass() {
+    ++pos_;  // Consume '['.
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      negate = true;
+      ++pos_;
+    }
+    std::bitset<256> bits;
+    bool first = true;
+    while (!AtEnd() && (first || Peek() != ']')) {
+      first = false;
+      std::bitset<256> item;
+      char lo;
+      if (Peek() == '\\') {
+        item = ParseEscape();
+        if (item.count() != 1) {
+          bits |= item;  // \d etc. inside a class; no ranges over these.
+          continue;
+        }
+        lo = static_cast<char>([&item] {
+          for (int i = 0; i < 256; ++i) {
+            if (item.test(i)) {
+              return i;
+            }
+          }
+          return 0;
+        }());
+      } else {
+        lo = Peek();
+        ++pos_;
+      }
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < pattern_.size() && pattern_[pos_ + 1] != ']') {
+        ++pos_;  // Consume '-'.
+        char hi = pattern_[pos_];
+        if (hi == '\\') {
+          ++pos_;
+          if (AtEnd()) {
+            Fail("trailing backslash in class");
+            break;
+          }
+          hi = pattern_[pos_];
+        }
+        ++pos_;
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(lo)) {
+          Fail("inverted class range");
+          break;
+        }
+        for (int ch = static_cast<unsigned char>(lo); ch <= static_cast<unsigned char>(hi); ++ch) {
+          bits.set(ch);
+        }
+      } else {
+        bits.set(static_cast<unsigned char>(lo));
+      }
+    }
+    if (AtEnd() || Peek() != ']') {
+      Fail("unterminated character class");
+      return MakeClass({});
+    }
+    ++pos_;
+    if (negate) {
+      bits = ~bits;
+    }
+    return MakeClass(bits);
+  }
+
+  std::string_view pattern_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace
+
+// Thompson construction. Compilation re-walks AST subtrees for bounded repetition so
+// state duplication happens naturally.
+namespace {
+
+struct Fragment {
+  int start;
+  int accept;  // A state with no outgoing edges yet; callers patch `next`.
+};
+
+class Builder {
+ public:
+  explicit Builder(std::vector<Regex::State>* states) : states_(states) {}
+
+  int NewState() {
+    states_->push_back({});
+    return static_cast<int>(states_->size()) - 1;
+  }
+
+  Fragment CompileNode(const Node& node) {
+    switch (node.kind) {
+      case Node::Kind::kClass: {
+        int s = NewState();
+        int a = NewState();
+        (*states_)[s].consuming = true;
+        (*states_)[s].char_class = node.char_class;
+        (*states_)[s].next = a;
+        return {s, a};
+      }
+      case Node::Kind::kConcat: {
+        if (node.children.empty()) {
+          int s = NewState();
+          return {s, s};
+        }
+        Fragment all = CompileNode(*node.children[0]);
+        for (size_t i = 1; i < node.children.size(); ++i) {
+          Fragment next = CompileNode(*node.children[i]);
+          (*states_)[all.accept].next = next.start;
+          all.accept = next.accept;
+        }
+        return all;
+      }
+      case Node::Kind::kAlternate: {
+        int accept = NewState();
+        int start = -1;
+        int prev_split = -1;
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          Fragment frag = CompileNode(*node.children[i]);
+          (*states_)[frag.accept].next = accept;
+          if (i + 1 < node.children.size()) {
+            int split = NewState();
+            (*states_)[split].next = frag.start;
+            if (start == -1) {
+              start = split;
+            }
+            if (prev_split != -1) {
+              (*states_)[prev_split].next2 = split;
+            }
+            prev_split = split;
+          } else {
+            if (prev_split != -1) {
+              (*states_)[prev_split].next2 = frag.start;
+            }
+            if (start == -1) {
+              start = frag.start;
+            }
+          }
+        }
+        return {start, accept};
+      }
+      case Node::Kind::kRepeat:
+        return CompileRepeat(node);
+    }
+    int s = NewState();
+    return {s, s};
+  }
+
+ private:
+  Fragment CompileRepeat(const Node& node) {
+    int start = NewState();
+    int tail = start;  // Current accept to chain from.
+    // Mandatory copies.
+    for (int i = 0; i < node.min; ++i) {
+      Fragment frag = CompileNode(*node.child);
+      (*states_)[tail].next = frag.start;
+      tail = frag.accept;
+    }
+    if (node.max == -1) {
+      // Kleene tail: split -> child -> back to split | out.
+      int split = NewState();
+      int accept = NewState();
+      (*states_)[tail].next = split;
+      Fragment frag = CompileNode(*node.child);
+      (*states_)[split].next = frag.start;
+      (*states_)[split].next2 = accept;
+      (*states_)[frag.accept].next = split;
+      return {start, accept};
+    }
+    // (max - min) optional copies.
+    int accept = NewState();
+    for (int i = node.min; i < node.max; ++i) {
+      Fragment frag = CompileNode(*node.child);
+      int split = NewState();
+      (*states_)[tail].next = split;
+      (*states_)[split].next = frag.start;
+      (*states_)[split].next2 = accept;
+      tail = frag.accept;
+    }
+    (*states_)[tail].next = accept;
+    return {start, accept};
+  }
+
+  std::vector<Regex::State>* states_;
+};
+
+}  // namespace
+
+std::optional<Regex> Regex::Compile(std::string_view pattern, std::string* error) {
+  Parser parser(pattern);
+  NodePtr ast = parser.Parse(error);
+  if (ast == nullptr) {
+    return std::nullopt;
+  }
+  Regex re;
+  re.pattern_ = std::string(pattern);
+  Builder builder(&re.states_);
+  Fragment frag = builder.CompileNode(*ast);
+  re.start_ = frag.start;
+  re.accept_ = frag.accept;
+  return re;
+}
+
+void Regex::AddEpsilonClosure(int state, uint32_t stamp, std::vector<uint32_t>& seen,
+                              std::vector<int>& out) const {
+  if (state < 0 || seen[state] == stamp) {
+    return;
+  }
+  seen[state] = stamp;
+  const State& s = states_[state];
+  if (s.consuming) {
+    out.push_back(state);
+    return;
+  }
+  out.push_back(state);  // Non-consuming states matter for accept detection.
+  AddEpsilonClosure(s.next, stamp, seen, out);
+  AddEpsilonClosure(s.next2, stamp, seen, out);
+}
+
+std::optional<size_t> Regex::MatchPrefix(std::string_view s, size_t pos) const {
+  Scratch scratch;
+  return MatchPrefix(s, pos, &scratch);
+}
+
+std::optional<size_t> Regex::MatchPrefix(std::string_view s, size_t pos,
+                                         Scratch* scratch) const {
+  if (scratch->seen.size() < states_.size() || scratch->stamp > 0xfffffff0u) {
+    scratch->seen.assign(states_.size(), 0);
+    scratch->stamp = 0;
+  }
+  std::vector<uint32_t>& seen = scratch->seen;
+  uint32_t& stamp = scratch->stamp;
+  std::vector<int>& current = scratch->current;
+  std::vector<int>& next = scratch->next;
+  current.clear();
+  next.clear();
+
+  ++stamp;
+  AddEpsilonClosure(start_, stamp, seen, current);
+
+  std::optional<size_t> best;
+  auto check_accept = [&](const std::vector<int>& set, size_t len) {
+    for (int st : set) {
+      if (st == accept_) {
+        best = len;
+        return;
+      }
+    }
+  };
+  check_accept(current, 0);
+
+  for (size_t i = pos; i < s.size() && !current.empty(); ++i) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    next.clear();
+    ++stamp;
+    for (int st : current) {
+      const State& state = states_[st];
+      if (state.consuming && state.char_class.test(c)) {
+        AddEpsilonClosure(state.next, stamp, seen, next);
+      }
+    }
+    current.swap(next);
+    check_accept(current, i - pos + 1);
+  }
+  return best;
+}
+
+bool Regex::FullMatch(std::string_view s) const {
+  auto len = MatchPrefix(s, 0);
+  return len.has_value() && *len == s.size();
+}
+
+}  // namespace concord

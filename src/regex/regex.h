@@ -1,0 +1,71 @@
+// A small regular expression engine (parser -> Thompson NFA -> set simulation).
+//
+// Concord's lexer is extensible: users supply custom token definitions as regular
+// expressions (Table 1, "user-defined patterns above the dotted line"). The engine
+// supports exactly the constructs those definitions use — literals, '.', character
+// classes with ranges and negation, escapes (\d \w \s and punctuation), grouping,
+// alternation, and the quantifiers * + ? {n} {m,n} — with leftmost-longest prefix
+// matching. Matching is linear-time in the input (no backtracking), which matters
+// because the lexer probes every whitespace-delimited token of millions of lines.
+#ifndef SRC_REGEX_REGEX_H_
+#define SRC_REGEX_REGEX_H_
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace concord {
+
+class Regex {
+ public:
+  // Compiles `pattern`; returns nullopt and fills *error on malformed syntax.
+  static std::optional<Regex> Compile(std::string_view pattern, std::string* error = nullptr);
+
+  // True if the regex matches the entire string.
+  bool FullMatch(std::string_view s) const;
+
+  // Reusable simulation buffers. The lexer probes custom tokens at many positions of
+  // millions of lines; passing a Scratch avoids reallocating the state sets per probe.
+  struct Scratch {
+    std::vector<uint32_t> seen;
+    uint32_t stamp = 0;
+    std::vector<int> current;
+    std::vector<int> next;
+  };
+
+  // Longest match starting exactly at s[pos]; nullopt when nothing matches
+  // (a zero-length match yields 0).
+  std::optional<size_t> MatchPrefix(std::string_view s, size_t pos) const;
+  std::optional<size_t> MatchPrefix(std::string_view s, size_t pos, Scratch* scratch) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  // NFA state: up to two epsilon successors, or one consuming transition guarded by a
+  // 256-bit character class. Public only so the out-of-line Thompson builder can
+  // construct states; not part of the supported API.
+  struct State {
+    bool consuming = false;
+    std::bitset<256> char_class;  // Valid when consuming.
+    int next = -1;                // Successor (consuming) or epsilon successor 1.
+    int next2 = -1;               // Epsilon successor 2.
+  };
+
+ private:
+  Regex() = default;
+
+  void AddEpsilonClosure(int state, uint32_t stamp, std::vector<uint32_t>& seen,
+                         std::vector<int>& out) const;
+
+  std::string pattern_;
+  std::vector<State> states_;
+  int start_ = 0;
+  int accept_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_REGEX_REGEX_H_

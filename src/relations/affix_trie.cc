@@ -1,0 +1,57 @@
+#include "src/relations/affix_trie.h"
+
+#include <algorithm>
+
+namespace concord {
+
+AffixTrie::AffixTrie(bool reversed) : reversed_(reversed) { nodes_.resize(1); }
+
+void AffixTrie::Insert(const std::string& key, ParamRef ref) {
+  if (key.empty()) {
+    return;  // Empty keys are affixes of everything; pure noise.
+  }
+  std::string walk = key;
+  if (reversed_) {
+    std::reverse(walk.begin(), walk.end());
+  }
+  int32_t node = 0;
+  for (char c : walk) {
+    auto it = nodes_[node].children.find(c);
+    if (it == nodes_[node].children.end()) {
+      int32_t fresh = static_cast<int32_t>(nodes_.size());
+      nodes_[node].children.emplace(c, fresh);
+      nodes_.push_back(Node{});
+      node = fresh;
+    } else {
+      node = it->second;
+    }
+  }
+  nodes_[node].terminals.push_back(ref);
+  ++num_keys_;
+}
+
+void AffixTrie::FindAffixesOf(const std::string& query, std::vector<Hit>* out) const {
+  std::string walk = query;
+  if (reversed_) {
+    std::reverse(walk.begin(), walk.end());
+  }
+  int32_t node = 0;
+  for (size_t depth = 0; depth < walk.size(); ++depth) {
+    // Terminals at `depth` are proper affixes (length `depth` < query length) once we
+    // are past the root; the root's terminals would be empty keys, never inserted.
+    if (depth > 0) {
+      for (const ParamRef& ref : nodes_[node].terminals) {
+        out->push_back(Hit{ref, static_cast<int>(depth)});
+      }
+    }
+    auto it = nodes_[node].children.find(walk[depth]);
+    if (it == nodes_[node].children.end()) {
+      return;
+    }
+    node = it->second;
+  }
+  // Note: terminals at the final node have length == query length (equality), which is
+  // deliberately not reported.
+}
+
+}  // namespace concord

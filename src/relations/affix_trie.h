@@ -1,0 +1,51 @@
+// Character trie for affix (startswith / endswith) relation search (§3.5).
+//
+// Forward mode answers: which inserted keys are a *proper prefix* of my query string?
+// Reversed mode (keys and queries reversed internally) answers the same for suffixes,
+// which drives contracts like Figure 1's 3: `endswith(str(l2.b), str(l1.a))` — the
+// vlan id "251" is a suffix of the route distinguisher's "10251". One pass inserts
+// every canonical key; a second pass walks each key through the trie, collecting all
+// shorter keys it extends — O(length) per probe instead of comparing all pairs.
+#ifndef SRC_RELATIONS_AFFIX_TRIE_H_
+#define SRC_RELATIONS_AFFIX_TRIE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relations/param_ref.h"
+
+namespace concord {
+
+class AffixTrie {
+ public:
+  struct Hit {
+    ParamRef ref;
+    int affix_len;  // Length of the shared (shorter) key, for scoring.
+  };
+
+  // `reversed` selects endswith mode.
+  explicit AffixTrie(bool reversed);
+
+  void Insert(const std::string& key, ParamRef ref);
+
+  // All inserted keys that are a proper affix of `query` (strictly shorter, length
+  // >= 1; equality is the equality relation's job, not affix's).
+  void FindAffixesOf(const std::string& query, std::vector<Hit>* out) const;
+
+  size_t num_keys() const { return num_keys_; }
+
+ private:
+  struct Node {
+    std::unordered_map<char, int32_t> children;
+    std::vector<ParamRef> terminals;
+  };
+
+  std::vector<Node> nodes_;
+  bool reversed_;
+  size_t num_keys_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_RELATIONS_AFFIX_TRIE_H_

@@ -1,0 +1,40 @@
+// Hash index for equality relation search (§3.5).
+//
+// Every transformed parameter value of a configuration is inserted under its canonical
+// key in one pass; any bucket with occurrences of two different (pattern, param,
+// transform) nodes is a candidate equality relation. This replaces the quadratic
+// all-pairs comparison of naive rule mining with a single hash-grouping pass.
+#ifndef SRC_RELATIONS_EQUALITY_INDEX_H_
+#define SRC_RELATIONS_EQUALITY_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relations/param_ref.h"
+
+namespace concord {
+
+class EqualityIndex {
+ public:
+  void Insert(const std::string& key, ParamRef ref) { buckets_[key].push_back(ref); }
+
+  // nullptr when the key is absent.
+  const std::vector<ParamRef>* Lookup(const std::string& key) const {
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  const std::unordered_map<std::string, std::vector<ParamRef>>& buckets() const {
+    return buckets_;
+  }
+
+  size_t num_keys() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<ParamRef>> buckets_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_RELATIONS_EQUALITY_INDEX_H_

@@ -1,0 +1,29 @@
+// A reference to one transformed parameter occurrence inside a configuration.
+//
+// (pattern, param, transform) is the node identity used by relation search and by the
+// minimization graph of §3.6 (Figure 5); `line` locates the concrete occurrence for
+// witness counting and error reporting.
+#ifndef SRC_RELATIONS_PARAM_REF_H_
+#define SRC_RELATIONS_PARAM_REF_H_
+
+#include <cstdint>
+
+#include "src/pattern/pattern_table.h"
+#include "src/relations/transform.h"
+
+namespace concord {
+
+struct ParamRef {
+  PatternId pattern = kInvalidPattern;
+  uint16_t param = 0;
+  Transform transform;
+  uint32_t line = 0;  // Index into the per-config line sequence.
+
+  bool SameParam(const ParamRef& o) const {
+    return pattern == o.pattern && param == o.param && transform == o.transform;
+  }
+};
+
+}  // namespace concord
+
+#endif  // SRC_RELATIONS_PARAM_REF_H_

@@ -1,0 +1,138 @@
+#include "src/relations/transform.h"
+
+#include "src/util/strings.h"
+
+namespace concord {
+
+std::string Transform::Name() const {
+  switch (kind) {
+    case TransformKind::kId:
+      return "id";
+    case TransformKind::kHex:
+      return "hex";
+    case TransformKind::kMacSegment:
+      return "segment(" + std::to_string(arg) + ")";
+    case TransformKind::kIpOctet:
+      return "octet(" + std::to_string(arg) + ")";
+    case TransformKind::kPfxAddr:
+      return "addr";
+    case TransformKind::kPfxLen:
+      return "len";
+  }
+  return "id";
+}
+
+std::optional<Transform> Transform::FromName(const std::string& name) {
+  if (name == "id") {
+    return Transform{TransformKind::kId, 0};
+  }
+  if (name == "hex") {
+    return Transform{TransformKind::kHex, 0};
+  }
+  if (name == "addr") {
+    return Transform{TransformKind::kPfxAddr, 0};
+  }
+  if (name == "len") {
+    return Transform{TransformKind::kPfxLen, 0};
+  }
+  auto parse_arg = [&name](std::string_view prefix) -> std::optional<uint8_t> {
+    if (name.rfind(prefix, 0) != 0 || name.back() != ')') {
+      return std::nullopt;
+    }
+    auto n = ParseUint64(std::string_view(name).substr(prefix.size(),
+                                                       name.size() - prefix.size() - 1));
+    if (!n || *n > 16) {
+      return std::nullopt;
+    }
+    return static_cast<uint8_t>(*n);
+  };
+  if (auto arg = parse_arg("segment(")) {
+    return Transform{TransformKind::kMacSegment, *arg};
+  }
+  if (auto arg = parse_arg("octet(")) {
+    return Transform{TransformKind::kIpOctet, *arg};
+  }
+  return std::nullopt;
+}
+
+bool Transform::AppliesTo(ValueType type) const {
+  switch (kind) {
+    case TransformKind::kId:
+      return true;
+    case TransformKind::kHex:
+      return type == ValueType::kNum;
+    case TransformKind::kMacSegment:
+      return type == ValueType::kMac && arg >= 1 && arg <= 6;
+    case TransformKind::kIpOctet:
+      return type == ValueType::kIp4 && arg >= 1 && arg <= 4;
+    case TransformKind::kPfxAddr:
+    case TransformKind::kPfxLen:
+      return type == ValueType::kPfx4 || type == ValueType::kPfx6;
+  }
+  return false;
+}
+
+std::optional<std::string> Transform::Apply(const Value& value) const {
+  if (!AppliesTo(value.type())) {
+    return std::nullopt;
+  }
+  switch (kind) {
+    case TransformKind::kId:
+      return value.ToString();
+    case TransformKind::kHex:
+      return value.AsBigInt().ToHexString();
+    case TransformKind::kMacSegment:
+      return value.AsMac().SegmentHex(arg);
+    case TransformKind::kIpOctet:
+      return std::to_string(value.AsIp4().Octet(arg));
+    case TransformKind::kPfxAddr:
+      return value.type() == ValueType::kPfx4 ? value.AsPfx4().address().ToString()
+                                              : value.AsPfx6().address().ToString();
+    case TransformKind::kPfxLen:
+      return std::to_string(value.type() == ValueType::kPfx4 ? value.AsPfx4().prefix_len()
+                                                             : value.AsPfx6().prefix_len());
+  }
+  return std::nullopt;
+}
+
+const std::vector<Transform>& TransformsFor(ValueType type) {
+  static const std::vector<Transform> kIdOnly = {IdTransform()};
+  static const std::vector<Transform> kNum = {
+      IdTransform(),
+      {TransformKind::kHex, 0},
+  };
+  static const std::vector<Transform> kMac = [] {
+    std::vector<Transform> t = {IdTransform()};
+    for (uint8_t i = 1; i <= 6; ++i) {
+      t.push_back({TransformKind::kMacSegment, i});
+    }
+    return t;
+  }();
+  static const std::vector<Transform> kIp4 = [] {
+    std::vector<Transform> t = {IdTransform()};
+    for (uint8_t i = 1; i <= 4; ++i) {
+      t.push_back({TransformKind::kIpOctet, i});
+    }
+    return t;
+  }();
+  static const std::vector<Transform> kPfx = {
+      IdTransform(),
+      {TransformKind::kPfxAddr, 0},
+      {TransformKind::kPfxLen, 0},
+  };
+  switch (type) {
+    case ValueType::kNum:
+      return kNum;
+    case ValueType::kMac:
+      return kMac;
+    case ValueType::kIp4:
+      return kIp4;
+    case ValueType::kPfx4:
+    case ValueType::kPfx6:
+      return kPfx;
+    default:
+      return kIdOnly;
+  }
+}
+
+}  // namespace concord

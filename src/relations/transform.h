@@ -1,0 +1,61 @@
+// Data transformations (§3.5).
+//
+// Relational contracts may relate *transformed* values: Figure 1 contract 1 compares
+// the port-channel number rendered in hex against the last MAC segment. Concord
+// enumerates a small set of transformations per parameter type before relation search;
+// each transformation renders the value into a canonical string key, and two values are
+// related by equality/affix when their keys are. The identity transformation's key is
+// the value's canonical text, so `str(num)` from the paper coincides with `id` here and
+// is not enumerated separately.
+#ifndef SRC_RELATIONS_TRANSFORM_H_
+#define SRC_RELATIONS_TRANSFORM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/value/value.h"
+
+namespace concord {
+
+enum class TransformKind : uint8_t {
+  kId,          // Canonical text of the value.
+  kHex,         // num -> lower-case hex without leading zeros (hex(110) = "6e").
+  kMacSegment,  // mac -> hex of segment `arg` (1-based), leading zeros stripped.
+  kIpOctet,     // ip4 -> decimal octet `arg` (1-based from the left).
+  kPfxAddr,     // pfx4/pfx6 -> the network address text.
+  kPfxLen,      // pfx4/pfx6 -> the prefix length in decimal.
+};
+
+struct Transform {
+  TransformKind kind = TransformKind::kId;
+  uint8_t arg = 0;  // Segment / octet index for kMacSegment / kIpOctet.
+
+  bool operator==(const Transform& o) const { return kind == o.kind && arg == o.arg; }
+  bool operator<(const Transform& o) const {
+    return kind != o.kind ? kind < o.kind : arg < o.arg;
+  }
+
+  // Display name as used in contract text: "id", "hex", "segment(6)", "octet(3)", ...
+  std::string Name() const;
+
+  // Parses a Name() back; nullopt for unknown spellings.
+  static std::optional<Transform> FromName(const std::string& name);
+
+  // Renders the transformed canonical key; nullopt when the transform does not apply
+  // to the value's type.
+  std::optional<std::string> Apply(const Value& value) const;
+
+  // True when this transform is meaningful for `type`.
+  bool AppliesTo(ValueType type) const;
+};
+
+inline Transform IdTransform() { return Transform{TransformKind::kId, 0}; }
+
+// All transforms Concord enumerates for a parameter of the given type, identity first.
+const std::vector<Transform>& TransformsFor(ValueType type);
+
+}  // namespace concord
+
+#endif  // SRC_RELATIONS_TRANSFORM_H_

@@ -1,0 +1,37 @@
+// Violation and coverage reporting (§4).
+//
+// `concord check` emits a machine-readable JSON report and, optionally, a
+// self-contained HTML page for viewing, filtering, and searching violations — the
+// operator-facing surface the paper describes for dismissing false positives.
+#ifndef SRC_REPORT_REPORT_H_
+#define SRC_REPORT_REPORT_H_
+
+#include <string>
+
+#include "src/check/checker.h"
+#include "src/contracts/contract.h"
+
+namespace concord {
+
+// JSON document with per-violation contract text, config, line, and message, plus the
+// coverage summary.
+std::string ReportJson(const CheckResult& result, const ContractSet& set,
+                       const PatternTable& table);
+
+// Self-contained HTML page (inline CSS/JS; no external assets) with a search box and
+// per-category filters.
+std::string ReportHtml(const CheckResult& result, const ContractSet& set,
+                       const PatternTable& table);
+
+// Terse terminal summary: violation counts per category and the coverage table.
+std::string ReportText(const CheckResult& result, const ContractSet& set,
+                       const PatternTable& table);
+
+// Per-line coverage listing (§3.9): for every configuration line, the covering
+// contract categories or "untested". Guides the development of new contract
+// categories, as the paper suggests.
+std::string CoverageReportText(const CheckResult& result);
+
+}  // namespace concord
+
+#endif  // SRC_REPORT_REPORT_H_

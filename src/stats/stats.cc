@@ -1,0 +1,98 @@
+#include "src/stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace concord {
+
+double CochranSampleSize(double z, double p, double margin) {
+  return z * z * p * (1.0 - p) / (margin * margin);
+}
+
+double FpcAdjust(double n, double population) {
+  if (population <= 0.0) {
+    return 0.0;
+  }
+  return n / (1.0 + n / population);
+}
+
+double AchievedMargin(double z, double p, double n, double population) {
+  if (n <= 0.0) {
+    return 1.0;
+  }
+  double variance = p * (1.0 - p) / n;
+  if (population > 1.0 && n < population) {
+    variance *= (population - n) / (population - 1.0);
+  } else if (n >= population) {
+    return 0.0;
+  }
+  return z * std::sqrt(variance);
+}
+
+SamplePlan PlanReview(double p_estimate, int population, double z, double target_margin,
+                      int cap) {
+  SamplePlan plan;
+  if (population <= 0) {
+    return plan;
+  }
+  if (population < 10) {
+    plan.n_adjusted = population;
+    plan.margin = 0.0;
+    return plan;
+  }
+  // A degenerate prior (p = 0 or 1) would plan zero reviews; clamp so extreme priors
+  // still get a sanity sample.
+  p_estimate = std::min(0.95, std::max(0.05, p_estimate));
+  double n = CochranSampleSize(z, p_estimate, target_margin);
+  double adjusted = FpcAdjust(n, population);
+  int n_final = static_cast<int>(std::ceil(adjusted));
+  n_final = std::min({n_final, cap, population});
+  plan.n_adjusted = n_final;
+  plan.margin = AchievedMargin(z, p_estimate, n_final, population);
+  return plan;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += (x - mean) * (x - mean);
+  }
+  return std::sqrt(sum / static_cast<double>(xs.size() - 1));
+}
+
+std::map<int, double> ScoreCdf(const std::vector<int>& scores) {
+  std::map<int, double> out;
+  if (scores.empty()) {
+    for (int s = 1; s <= 10; ++s) {
+      out[s] = 0.0;
+    }
+    return out;
+  }
+  for (int s = 1; s <= 10; ++s) {
+    size_t count = 0;
+    for (int score : scores) {
+      if (score >= s) {
+        ++count;
+      }
+    }
+    out[s] = static_cast<double>(count) / static_cast<double>(scores.size());
+  }
+  return out;
+}
+
+}  // namespace concord

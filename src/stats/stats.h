@@ -1,0 +1,42 @@
+// Statistics for the §5.4 precision methodology (Table 6) and for the benchmark
+// harnesses (means, stddevs, CDFs).
+#ifndef SRC_STATS_STATS_H_
+#define SRC_STATS_STATS_H_
+
+#include <map>
+#include <vector>
+
+namespace concord {
+
+// Cochran's sample-size formula: n = z^2 * p * (1 - p) / E^2.
+double CochranSampleSize(double z, double p, double margin);
+
+// Finite population correction: n_adj = n / (1 + n / N).
+double FpcAdjust(double n, double population);
+
+// Margin of error achieved by reviewing `n` samples from a population of `N` given
+// proportion estimate p (inverse of the above with FPC).
+double AchievedMargin(double z, double p, double n, double population);
+
+struct SamplePlan {
+  int n_adjusted = 0;   // Contracts to review manually.
+  double margin = 0.0;  // Achieved error E.
+};
+
+// The paper's procedure: n from Cochran at confidence z and target margin, FPC for the
+// finite contract population, capped at `cap` reviews (cap slightly raises E; the
+// paper keeps it under 10%). Populations of fewer than 10 contracts are reviewed
+// exhaustively (margin 0).
+SamplePlan PlanReview(double p_estimate, int population, double z = 1.96,
+                      double target_margin = 0.05, int cap = 150);
+
+double Mean(const std::vector<double>& xs);
+double Stddev(const std::vector<double>& xs);
+
+// Complementary cumulative counts for integer scores 1..10: fraction of samples with
+// score >= s, as plotted in Figure 9's CDFs.
+std::map<int, double> ScoreCdf(const std::vector<int>& scores);
+
+}  // namespace concord
+
+#endif  // SRC_STATS_STATS_H_

@@ -1,0 +1,144 @@
+#include "src/util/glob.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace concord {
+
+namespace {
+
+// Matches a character class starting at pattern[pos] (the '['). On success sets
+// `next` to the index just past ']' and returns whether `c` is in the class.
+// On malformed input returns false and leaves `next` at pos + 1 (treat '[' literally).
+bool MatchClass(std::string_view pattern, size_t pos, char c, size_t* next, bool* ok) {
+  size_t i = pos + 1;
+  bool negate = false;
+  if (i < pattern.size() && (pattern[i] == '!' || pattern[i] == '^')) {
+    negate = true;
+    ++i;
+  }
+  bool matched = false;
+  bool first = true;
+  while (i < pattern.size() && (first || pattern[i] != ']')) {
+    first = false;
+    char lo = pattern[i];
+    if (i + 2 < pattern.size() && pattern[i + 1] == '-' && pattern[i + 2] != ']') {
+      char hi = pattern[i + 2];
+      if (c >= lo && c <= hi) {
+        matched = true;
+      }
+      i += 3;
+    } else {
+      if (c == lo) {
+        matched = true;
+      }
+      ++i;
+    }
+  }
+  if (i >= pattern.size()) {
+    *ok = false;
+    *next = pos + 1;
+    return false;
+  }
+  *ok = true;
+  *next = i + 1;  // Skip ']'.
+  return negate ? !matched : matched;
+}
+
+bool MatchImpl(std::string_view pattern, size_t pi, std::string_view path, size_t si) {
+  while (pi < pattern.size()) {
+    char pc = pattern[pi];
+    if (pc == '*') {
+      bool double_star = pi + 1 < pattern.size() && pattern[pi + 1] == '*';
+      size_t after = pi + (double_star ? 2 : 1);
+      // Try every split point; '*' cannot cross '/', '**' can.
+      for (size_t k = si; k <= path.size(); ++k) {
+        if (MatchImpl(pattern, after, path, k)) {
+          return true;
+        }
+        if (k < path.size() && !double_star && path[k] == '/') {
+          break;
+        }
+      }
+      return false;
+    }
+    if (si >= path.size()) {
+      return false;
+    }
+    if (pc == '?') {
+      if (path[si] == '/') {
+        return false;
+      }
+      ++pi;
+      ++si;
+      continue;
+    }
+    if (pc == '[') {
+      size_t next = 0;
+      bool ok = false;
+      bool in_class = MatchClass(pattern, pi, path[si], &next, &ok);
+      if (ok) {
+        if (!in_class) {
+          return false;
+        }
+        pi = next;
+        ++si;
+        continue;
+      }
+      // Malformed class: fall through and treat '[' as a literal.
+    }
+    if (pc != path[si]) {
+      return false;
+    }
+    ++pi;
+    ++si;
+  }
+  return si == path.size();
+}
+
+bool HasMeta(std::string_view s) {
+  return s.find_first_of("*?[") != std::string_view::npos;
+}
+
+}  // namespace
+
+bool GlobMatch(std::string_view pattern, std::string_view path) {
+  return MatchImpl(pattern, 0, path, 0);
+}
+
+std::vector<std::string> ExpandGlob(const std::string& pattern) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  if (!HasMeta(pattern)) {
+    std::error_code ec;
+    if (fs::is_regular_file(pattern, ec)) {
+      out.push_back(pattern);
+    }
+    return out;
+  }
+  // Find the deepest fixed directory prefix to limit the walk.
+  size_t meta = pattern.find_first_of("*?[");
+  size_t slash = pattern.rfind('/', meta);
+  std::string root = slash == std::string::npos ? "." : pattern.substr(0, slash);
+  if (root.empty()) {
+    root = "/";
+  }
+  std::error_code ec;
+  fs::recursive_directory_iterator it(root, fs::directory_options::skip_permission_denied, ec);
+  if (ec) {
+    return out;
+  }
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) {
+      continue;
+    }
+    std::string path = entry.path().generic_string();
+    if (GlobMatch(pattern, path)) {
+      out.push_back(std::move(path));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace concord

@@ -1,0 +1,26 @@
+// Shell-style glob matching and filesystem expansion.
+//
+// The Concord CLI accepts file glob patterns for training configurations and metadata
+// files (see §4 of the paper). Supported syntax: `*` matches any run of characters except
+// '/', `?` matches a single character except '/', `**` matches any run including '/',
+// and `[abc]` / `[a-z]` / `[!abc]` character classes.
+#ifndef SRC_UTIL_GLOB_H_
+#define SRC_UTIL_GLOB_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace concord {
+
+// Returns true if `path` matches the glob `pattern`.
+bool GlobMatch(std::string_view pattern, std::string_view path);
+
+// Expands a glob pattern against the filesystem, returning matching regular files in
+// lexicographic order. A pattern with no metacharacters returns the file itself when it
+// exists. Relative patterns are resolved against the current working directory.
+std::vector<std::string> ExpandGlob(const std::string& pattern);
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_GLOB_H_

@@ -1,0 +1,28 @@
+// Wall-clock timing for the learn/check benchmarks (Table 3, Figure 6).
+#ifndef SRC_UTIL_STOPWATCH_H_
+#define SRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace concord {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_STOPWATCH_H_

@@ -1,0 +1,212 @@
+#include "src/util/strings.h"
+
+#include <limits>
+
+namespace concord {
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpace(s[i])) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < s.size() && !IsSpace(s[i])) {
+      ++i;
+    }
+    if (i > start) {
+      out.push_back(s.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::string_view TrimLeft(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size() && IsSpace(s[i])) {
+    ++i;
+  }
+  return s.substr(i);
+}
+
+std::string_view TrimRight(std::string_view s) {
+  size_t n = s.size();
+  while (n > 0 && IsSpace(s[n - 1])) {
+    --n;
+  }
+  return s.substr(0, n);
+}
+
+std::string_view Trim(std::string_view s) { return TrimRight(TrimLeft(s)); }
+
+namespace {
+template <typename Parts>
+std::string JoinImpl(const Parts& parts, std::string_view sep) {
+  std::string out;
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size() + sep.size();
+  }
+  out.reserve(total);
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) {
+      out.append(sep);
+    }
+    first = false;
+    out.append(p);
+  }
+  return out;
+}
+}  // namespace
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  return JoinImpl(parts, sep);
+}
+
+std::string Join(const std::vector<std::string_view>& parts, std::string_view sep) {
+  return JoinImpl(parts, sep);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  return out;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to) {
+  if (from.empty()) {
+    return std::string(s);
+  }
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      return out;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (!IsDigit(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<uint64_t> ParseUint64(std::string_view s) {
+  if (!IsAllDigits(s)) {
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view s) {
+  bool negative = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  auto mag = ParseUint64(s);
+  if (!mag) {
+    return std::nullopt;
+  }
+  if (negative) {
+    if (*mag > static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1) {
+      return std::nullopt;
+    }
+    return static_cast<int64_t>(0 - *mag);
+  }
+  if (*mag > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(*mag);
+}
+
+std::string ToHex(uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  if (value == 0) {
+    return "0";
+  }
+  char buf[16];
+  int n = 0;
+  while (value != 0) {
+    buf[n++] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  std::string out;
+  out.reserve(n);
+  for (int i = n - 1; i >= 0; --i) {
+    out.push_back(buf[i]);
+  }
+  return out;
+}
+
+std::optional<uint64_t> ParseHex(std::string_view s) {
+  if (s.empty() || s.size() > 16) {
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    uint64_t digit;
+    if (IsDigit(c)) {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+int DecimalDigits(uint64_t value) {
+  int n = 1;
+  while (value >= 10) {
+    value /= 10;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace concord

@@ -1,0 +1,65 @@
+// String utilities shared across all Concord modules.
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace concord {
+
+// Splits `s` on the single character `sep`. Keeps empty fields.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Splits `s` on runs of ASCII whitespace. Drops empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+std::string_view TrimLeft(std::string_view s);
+std::string_view TrimRight(std::string_view s);
+
+// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string Join(const std::vector<std::string_view>& parts, std::string_view sep);
+
+// ASCII-only case conversion.
+std::string ToLower(std::string_view s);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+// Character class helpers (ASCII; locale-independent, unlike <cctype>).
+constexpr bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+constexpr bool IsHexDigit(char c) {
+  return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+constexpr bool IsAlpha(char c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'); }
+constexpr bool IsAlnum(char c) { return IsDigit(c) || IsAlpha(c); }
+constexpr bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v';
+}
+
+// True if every character of non-empty `s` is a decimal digit.
+bool IsAllDigits(std::string_view s);
+
+// Parses a decimal unsigned integer; rejects empty input, overflow, and stray characters.
+std::optional<uint64_t> ParseUint64(std::string_view s);
+
+// Parses a decimal signed integer.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+// Lower-case hexadecimal rendering without a 0x prefix (e.g. 110 -> "6e").
+std::string ToHex(uint64_t value);
+
+// Parses lower/upper hexadecimal (no prefix); rejects empty input and overflow.
+std::optional<uint64_t> ParseHex(std::string_view s);
+
+// Number of decimal digits in `value` (>=1).
+int DecimalDigits(uint64_t value);
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_STRINGS_H_

@@ -1,0 +1,54 @@
+// Fixed-size worker pool used to parallelize contract learning and checking.
+//
+// The paper's tool exposes a --parallelism flag (§4); both phases shard work per
+// contract category and per configuration file. The pool is deliberately simple: a
+// mutex-guarded deque and condition variables, no work stealing.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace concord {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Runs `fn(i)` for i in [0, count) across the pool and waits for completion.
+  // Work is chunked to limit queueing overhead for fine-grained items.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,68 @@
+// Arbitrary-precision unsigned integers.
+//
+// The paper's lexer stores [num] and [hex] tokens as Rust BigInt values (Table 1) so
+// that arbitrarily long identifiers in configurations never overflow. This is the C++
+// equivalent: an unsigned magnitude in base 2^32 with the handful of operations contract
+// learning needs — parsing, comparison, difference (sequence contracts), and decimal /
+// hexadecimal rendering (the `hex` and `str` data transformations of §3.5).
+#ifndef SRC_VALUE_BIGINT_H_
+#define SRC_VALUE_BIGINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace concord {
+
+class BigInt {
+ public:
+  BigInt() = default;  // Zero.
+  explicit BigInt(uint64_t value);
+
+  // Parses a decimal string of digits; rejects empty input and non-digits.
+  // Leading zeros are accepted and normalized away.
+  static std::optional<BigInt> FromDecimal(std::string_view s);
+
+  // Parses a hexadecimal string (no 0x prefix).
+  static std::optional<BigInt> FromHex(std::string_view s);
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  // Returns the value when it fits in 64 bits.
+  std::optional<uint64_t> ToUint64() const;
+
+  // Three-way comparison: negative/zero/positive like memcmp.
+  int Compare(const BigInt& other) const;
+
+  bool operator==(const BigInt& other) const { return Compare(other) == 0; }
+  bool operator!=(const BigInt& other) const { return Compare(other) != 0; }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigInt& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigInt& other) const { return Compare(other) >= 0; }
+
+  BigInt Add(const BigInt& other) const;
+
+  // Absolute difference |a - b|; sequence contracts only need distances.
+  BigInt AbsDiff(const BigInt& other) const;
+
+  // Decimal rendering without leading zeros ("0" for zero).
+  std::string ToDecimal() const;
+
+  // Lower-case hexadecimal rendering without leading zeros or prefix ("0" for zero).
+  std::string ToHexString() const;
+
+  size_t Hash() const;
+
+ private:
+  void Normalize();
+
+  // Little-endian limbs; empty means zero.
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_VALUE_BIGINT_H_

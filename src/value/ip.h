@@ -1,0 +1,112 @@
+// IPv4/IPv6 addresses and CIDR networks.
+//
+// The prefix-containment relation ("every interface address is permitted by some prefix
+// list entry", Figure 1 contract 2) and the octet data transformation both operate on
+// these types. Networks are stored canonically (host bits cleared) so equality and
+// containment are purely arithmetic.
+#ifndef SRC_VALUE_IP_H_
+#define SRC_VALUE_IP_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace concord {
+
+class Ipv4Address {
+ public:
+  Ipv4Address() = default;
+  explicit Ipv4Address(uint32_t bits) : bits_(bits) {}
+
+  // Parses dotted-quad notation; each octet must be 0..255 without stray characters.
+  static std::optional<Ipv4Address> Parse(std::string_view s);
+
+  uint32_t bits() const { return bits_; }
+
+  // Octet 1 is the leftmost (e.g. octet 3 of 10.14.14.117 is 14).
+  uint8_t Octet(int index) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Ipv4Address& o) const { return bits_ == o.bits_; }
+  bool operator<(const Ipv4Address& o) const { return bits_ < o.bits_; }
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+class Ipv4Network {
+ public:
+  Ipv4Network() = default;
+  // Clears host bits so 10.1.2.3/24 normalizes to 10.1.2.0/24.
+  Ipv4Network(Ipv4Address addr, int prefix_len);
+
+  // Parses "a.b.c.d/len" with len in 0..32.
+  static std::optional<Ipv4Network> Parse(std::string_view s);
+
+  Ipv4Address address() const { return address_; }
+  int prefix_len() const { return prefix_len_; }
+
+  bool Contains(Ipv4Address addr) const;
+  bool Contains(const Ipv4Network& other) const;  // True if `other` is a subnet.
+
+  std::string ToString() const;
+
+  bool operator==(const Ipv4Network& o) const {
+    return address_ == o.address_ && prefix_len_ == o.prefix_len_;
+  }
+
+ private:
+  Ipv4Address address_;
+  int prefix_len_ = 0;
+};
+
+class Ipv6Address {
+ public:
+  Ipv6Address() = default;
+  explicit Ipv6Address(std::array<uint8_t, 16> bytes) : bytes_(bytes) {}
+
+  // Parses full or ::-compressed notation (no embedded IPv4 form).
+  static std::optional<Ipv6Address> Parse(std::string_view s);
+
+  const std::array<uint8_t, 16>& bytes() const { return bytes_; }
+
+  // RFC 5952 canonical text (lower case, longest zero run compressed).
+  std::string ToString() const;
+
+  bool operator==(const Ipv6Address& o) const { return bytes_ == o.bytes_; }
+  bool operator<(const Ipv6Address& o) const { return bytes_ < o.bytes_; }
+
+ private:
+  std::array<uint8_t, 16> bytes_{};
+};
+
+class Ipv6Network {
+ public:
+  Ipv6Network() = default;
+  Ipv6Network(Ipv6Address addr, int prefix_len);
+
+  static std::optional<Ipv6Network> Parse(std::string_view s);
+
+  Ipv6Address address() const { return address_; }
+  int prefix_len() const { return prefix_len_; }
+
+  bool Contains(const Ipv6Address& addr) const;
+  bool Contains(const Ipv6Network& other) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Ipv6Network& o) const {
+    return address_ == o.address_ && prefix_len_ == o.prefix_len_;
+  }
+
+ private:
+  Ipv6Address address_;
+  int prefix_len_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_VALUE_IP_H_

@@ -1,0 +1,51 @@
+#include "src/value/mac.h"
+
+#include <sstream>
+
+#include "src/util/strings.h"
+
+namespace concord {
+
+std::optional<MacAddress> MacAddress::Parse(std::string_view s) {
+  auto parts = Split(s, ':');
+  if (parts.size() != 6) {
+    return std::nullopt;
+  }
+  std::array<uint16_t, 6> segments{};
+  for (int i = 0; i < 6; ++i) {
+    if (parts[i].empty() || parts[i].size() > 4) {
+      return std::nullopt;
+    }
+    auto value = ParseHex(parts[i]);
+    if (!value) {
+      return std::nullopt;
+    }
+    segments[i] = static_cast<uint16_t>(*value);
+  }
+  return MacAddress(segments);
+}
+
+std::string MacAddress::ToString() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(17);
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0) {
+      out.push_back(':');
+    }
+    uint16_t seg = segments_[i];
+    if (seg > 0xff) {
+      out.push_back(kDigits[(seg >> 12) & 0xf]);
+      out.push_back(kDigits[(seg >> 8) & 0xf]);
+    }
+    out.push_back(kDigits[(seg >> 4) & 0xf]);
+    out.push_back(kDigits[seg & 0xf]);
+  }
+  return out;
+}
+
+std::string MacAddress::SegmentHex(int index) const {
+  return ToHex(segments_[index - 1]);
+}
+
+}  // namespace concord

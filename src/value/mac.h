@@ -1,0 +1,44 @@
+// MAC / EVPN route-target style colon-separated addresses.
+//
+// The lexer token [mac] (Table 1) matches six colon-separated hex segments. The
+// segment(mac, i) transformation (Figure 1 contract 1) extracts the i-th segment; its
+// canonical form strips leading zeros so that segment "6e" matches hex(110) = "6e".
+#ifndef SRC_VALUE_MAC_H_
+#define SRC_VALUE_MAC_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace concord {
+
+class MacAddress {
+ public:
+  MacAddress() = default;
+  explicit MacAddress(std::array<uint16_t, 6> segments) : segments_(segments) {}
+
+  // Parses "xx:xx:xx:xx:xx:xx"; each segment 1-4 hex digits (route targets sometimes use
+  // wider segments than plain MACs, matching the paper's permissive regex).
+  static std::optional<MacAddress> Parse(std::string_view s);
+
+  // Segment 1 is leftmost; segment 6 is the one used by Figure 1's contract.
+  uint16_t Segment(int index) const { return segments_[index - 1]; }
+
+  // Canonical (zero-padded, two-digit, lower case) rendering.
+  std::string ToString() const;
+
+  // Hex rendering of a segment with leading zeros stripped ("0b" -> "b").
+  std::string SegmentHex(int index) const;
+
+  bool operator==(const MacAddress& o) const { return segments_ == o.segments_; }
+  bool operator<(const MacAddress& o) const { return segments_ < o.segments_; }
+
+ private:
+  std::array<uint16_t, 6> segments_{};
+};
+
+}  // namespace concord
+
+#endif  // SRC_VALUE_MAC_H_

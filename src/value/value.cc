@@ -1,0 +1,142 @@
+#include "src/value/value.h"
+
+#include <functional>
+
+namespace concord {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNum:
+      return "num";
+    case ValueType::kHex:
+      return "hex";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kMac:
+      return "mac";
+    case ValueType::kIp4:
+      return "ip4";
+    case ValueType::kPfx4:
+      return "pfx4";
+    case ValueType::kIp6:
+      return "ip6";
+    case ValueType::kPfx6:
+      return "pfx6";
+    case ValueType::kStr:
+      return "str";
+  }
+  return "str";
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNum:
+      return AsBigInt().ToDecimal();
+    case ValueType::kHex:
+      return AsBigInt().ToHexString();
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kMac:
+      return AsMac().ToString();
+    case ValueType::kIp4:
+      return AsIp4().ToString();
+    case ValueType::kPfx4:
+      return AsPfx4().ToString();
+    case ValueType::kIp6:
+      return AsIp6().ToString();
+    case ValueType::kPfx6:
+      return AsPfx6().ToString();
+    case ValueType::kStr:
+      return AsStr();
+  }
+  return "";
+}
+
+bool Value::operator==(const Value& other) const {
+  return type_ == other.type_ && data_ == other.data_;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type_ != other.type_) {
+    return type_ < other.type_;
+  }
+  switch (type_) {
+    case ValueType::kNum:
+    case ValueType::kHex:
+      return AsBigInt() < other.AsBigInt();
+    case ValueType::kBool:
+      return AsBool() < other.AsBool();
+    case ValueType::kMac:
+      return AsMac() < other.AsMac();
+    case ValueType::kIp4:
+      return AsIp4() < other.AsIp4();
+    case ValueType::kPfx4: {
+      const auto& a = AsPfx4();
+      const auto& b = other.AsPfx4();
+      if (!(a.address() == b.address())) {
+        return a.address() < b.address();
+      }
+      return a.prefix_len() < b.prefix_len();
+    }
+    case ValueType::kIp6:
+      return AsIp6() < other.AsIp6();
+    case ValueType::kPfx6: {
+      const auto& a = AsPfx6();
+      const auto& b = other.AsPfx6();
+      if (!(a.address() == b.address())) {
+        return a.address() < b.address();
+      }
+      return a.prefix_len() < b.prefix_len();
+    }
+    case ValueType::kStr:
+      return AsStr() < other.AsStr();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(type_) * 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](size_t v) { h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2); };
+  switch (type_) {
+    case ValueType::kNum:
+    case ValueType::kHex:
+      mix(AsBigInt().Hash());
+      break;
+    case ValueType::kBool:
+      mix(AsBool() ? 1 : 2);
+      break;
+    case ValueType::kMac: {
+      const auto& segs = AsMac();
+      for (int i = 1; i <= 6; ++i) {
+        mix(segs.Segment(i));
+      }
+      break;
+    }
+    case ValueType::kIp4:
+      mix(AsIp4().bits());
+      break;
+    case ValueType::kPfx4:
+      mix(AsPfx4().address().bits());
+      mix(static_cast<size_t>(AsPfx4().prefix_len()));
+      break;
+    case ValueType::kIp6: {
+      for (uint8_t b : AsIp6().bytes()) {
+        mix(b);
+      }
+      break;
+    }
+    case ValueType::kPfx6: {
+      for (uint8_t b : AsPfx6().address().bytes()) {
+        mix(b);
+      }
+      mix(static_cast<size_t>(AsPfx6().prefix_len()));
+      break;
+    }
+    case ValueType::kStr:
+      mix(std::hash<std::string>{}(AsStr()));
+      break;
+  }
+  return h;
+}
+
+}  // namespace concord

@@ -1,0 +1,84 @@
+// The tagged value type carried by extracted configuration parameters.
+//
+// Each typed lexer token (Table 1) produces a Value: numbers and hex literals are
+// BigInts, addresses/prefixes/MACs use the dedicated classes, and string-ish tokens
+// (interface names, descriptions, custom user tokens) are stored verbatim. Values are
+// ordered and hashable so they can key the relation-finding indexes of §3.5.
+#ifndef SRC_VALUE_VALUE_H_
+#define SRC_VALUE_VALUE_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "src/value/bigint.h"
+#include "src/value/ip.h"
+#include "src/value/mac.h"
+
+namespace concord {
+
+enum class ValueType {
+  kNum,
+  kHex,
+  kBool,
+  kMac,
+  kIp4,
+  kPfx4,
+  kIp6,
+  kPfx6,
+  kStr,
+};
+
+// Short token name as it appears inside patterns, e.g. "num", "ip4", "pfx4".
+std::string_view ValueTypeName(ValueType type);
+
+class Value {
+ public:
+  Value() : type_(ValueType::kStr), data_(std::string()) {}
+
+  static Value Num(BigInt v) { return Value(ValueType::kNum, std::move(v)); }
+  static Value Hex(BigInt v) { return Value(ValueType::kHex, std::move(v)); }
+  static Value Bool(bool v) { return Value(ValueType::kBool, v); }
+  static Value Mac(MacAddress v) { return Value(ValueType::kMac, v); }
+  static Value Ip4(Ipv4Address v) { return Value(ValueType::kIp4, v); }
+  static Value Pfx4(Ipv4Network v) { return Value(ValueType::kPfx4, v); }
+  static Value Ip6(Ipv6Address v) { return Value(ValueType::kIp6, v); }
+  static Value Pfx6(Ipv6Network v) { return Value(ValueType::kPfx6, v); }
+  static Value Str(std::string v) { return Value(ValueType::kStr, std::move(v)); }
+
+  ValueType type() const { return type_; }
+
+  const BigInt& AsBigInt() const { return std::get<BigInt>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+  const MacAddress& AsMac() const { return std::get<MacAddress>(data_); }
+  const Ipv4Address& AsIp4() const { return std::get<Ipv4Address>(data_); }
+  const Ipv4Network& AsPfx4() const { return std::get<Ipv4Network>(data_); }
+  const Ipv6Address& AsIp6() const { return std::get<Ipv6Address>(data_); }
+  const Ipv6Network& AsPfx6() const { return std::get<Ipv6Network>(data_); }
+  const std::string& AsStr() const { return std::get<std::string>(data_); }
+
+  // Canonical textual form (hex values render without 0x, as in configs).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const;
+
+  size_t Hash() const;
+
+ private:
+  using Storage = std::variant<BigInt, bool, MacAddress, Ipv4Address, Ipv4Network, Ipv6Address,
+                               Ipv6Network, std::string>;
+
+  Value(ValueType type, Storage data) : type_(type), data_(std::move(data)) {}
+
+  ValueType type_;
+  Storage data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace concord
+
+#endif  // SRC_VALUE_VALUE_H_

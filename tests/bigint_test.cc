@@ -1,0 +1,98 @@
+#include "src/value/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.ToDecimal(), "0");
+  EXPECT_EQ(z.ToHexString(), "0");
+  EXPECT_EQ(z.ToUint64(), 0u);
+}
+
+TEST(BigInt, FromUint64RoundTrips) {
+  BigInt v(65015);
+  EXPECT_EQ(v.ToDecimal(), "65015");
+  EXPECT_EQ(v.ToUint64(), 65015u);
+  BigInt big(0xffffffffffffffffULL);
+  EXPECT_EQ(big.ToDecimal(), "18446744073709551615");
+  EXPECT_EQ(big.ToUint64(), 0xffffffffffffffffULL);
+}
+
+TEST(BigInt, FromDecimalParses) {
+  auto v = BigInt::FromDecimal("10251");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->ToDecimal(), "10251");
+  EXPECT_FALSE(BigInt::FromDecimal("").has_value());
+  EXPECT_FALSE(BigInt::FromDecimal("12x").has_value());
+}
+
+TEST(BigInt, LeadingZerosNormalize) {
+  auto v = BigInt::FromDecimal("000110");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->ToDecimal(), "110");
+  EXPECT_EQ(*v, BigInt(110));
+}
+
+TEST(BigInt, BeyondUint64) {
+  auto v = BigInt::FromDecimal("340282366920938463463374607431768211456");  // 2^128.
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->ToDecimal(), "340282366920938463463374607431768211456");
+  EXPECT_FALSE(v->ToUint64().has_value());
+  EXPECT_EQ(v->ToHexString(), "100000000000000000000000000000000");
+}
+
+TEST(BigInt, HexConversion) {
+  EXPECT_EQ(BigInt(110).ToHexString(), "6e");
+  EXPECT_EQ(BigInt(11).ToHexString(), "b");
+  auto parsed = BigInt::FromHex("6e");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, BigInt(110));
+  auto padded = BigInt::FromHex("0b");
+  ASSERT_TRUE(padded.has_value());
+  EXPECT_EQ(*padded, BigInt(11));
+  EXPECT_FALSE(BigInt::FromHex("").has_value());
+  EXPECT_FALSE(BigInt::FromHex("xyz").has_value());
+}
+
+TEST(BigInt, CompareOrders) {
+  EXPECT_LT(BigInt(9), BigInt(10));
+  EXPECT_GT(BigInt(100), BigInt(99));
+  EXPECT_EQ(BigInt(5), BigInt(5));
+  auto huge = *BigInt::FromDecimal("99999999999999999999999999");
+  EXPECT_LT(BigInt(0xffffffffffffffffULL), huge);
+}
+
+TEST(BigInt, Add) {
+  EXPECT_EQ(BigInt(10).Add(BigInt(20)), BigInt(30));
+  // Carry across limbs.
+  auto max64 = BigInt(0xffffffffffffffffULL);
+  EXPECT_EQ(max64.Add(BigInt(1)).ToDecimal(), "18446744073709551616");
+  EXPECT_EQ(BigInt().Add(BigInt(7)), BigInt(7));
+}
+
+TEST(BigInt, AbsDiff) {
+  EXPECT_EQ(BigInt(30).AbsDiff(BigInt(10)), BigInt(20));
+  EXPECT_EQ(BigInt(10).AbsDiff(BigInt(30)), BigInt(20));
+  EXPECT_EQ(BigInt(42).AbsDiff(BigInt(42)), BigInt(0));
+  // Borrow across limbs.
+  auto big = *BigInt::FromDecimal("18446744073709551616");  // 2^64.
+  EXPECT_EQ(big.AbsDiff(BigInt(1)).ToDecimal(), "18446744073709551615");
+}
+
+TEST(BigInt, SequenceDistances) {
+  // Sequence contract use case: 10, 20, 30 must be equidistant.
+  BigInt a(10), b(20), c(30);
+  EXPECT_EQ(b.AbsDiff(a), c.AbsDiff(b));
+}
+
+TEST(BigInt, HashStableAndDiscriminating) {
+  EXPECT_EQ(BigInt(123).Hash(), BigInt(123).Hash());
+  EXPECT_NE(BigInt(123).Hash(), BigInt(124).Hash());
+}
+
+}  // namespace
+}  // namespace concord

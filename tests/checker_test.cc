@@ -1,0 +1,270 @@
+#include "src/check/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/contracts/contract_io.h"
+#include "src/learn/learner.h"
+#include "src/util/strings.h"
+#include "tests/test_util.h"
+
+namespace concord {
+namespace {
+
+LearnOptions SmallOptions() {
+  LearnOptions options;
+  options.support = 3;
+  options.confidence = 0.9;
+  options.score_threshold = 3.0;
+  return options;
+}
+
+std::string GoodConfig(int i) {
+  int vlan = 1000 + i * 17;
+  std::string out;
+  out += "hostname DEV" + std::to_string(i) + "\n";
+  out += "interface Loopback0\n";
+  out += "   ip address 10.14." + std::to_string(i + 1) + ".34\n";
+  out += "ip prefix-list loopback\n";
+  out += "   seq 10 permit 10.14." + std::to_string(i + 1) + ".34/32\n";
+  out += "   seq 20 permit 10.15." + std::to_string(i + 1) + ".0/24\n";
+  out += "   seq 30 permit 10.16." + std::to_string(i + 1) + ".0/24\n";
+  out += "   seq 40 permit 10.17." + std::to_string(i + 1) + ".0/24\n";
+  out += "router bgp 65015\n";
+  out += "   vlan " + std::to_string(vlan) + "\n";
+  out += "      rd 10.99.0." + std::to_string(i + 1) + ":10" + std::to_string(vlan) + "\n";
+  return out;
+}
+
+struct LearnedWorld {
+  Dataset train;
+  ContractSet set;
+};
+
+LearnedWorld LearnWorld(int n = 8) {
+  std::vector<std::string> texts;
+  for (int i = 0; i < n; ++i) {
+    texts.push_back(GoodConfig(i));
+  }
+  LearnedWorld world{BuildDataset(texts), {}};
+  Learner learner(SmallOptions());
+  world.set = learner.Learn(world.train).set;
+  return world;
+}
+
+// Parses test configs into the SAME dataset/table so contract pattern ids bind.
+Dataset ParseTests(LearnedWorld* world, const std::vector<std::string>& texts) {
+  static Lexer lexer;
+  Dataset tests;
+  // Share the pattern table by moving it across; simpler: parse with a parser bound to
+  // the training table but a fresh config list.
+  Dataset bound;
+  bound.patterns = world->train.patterns;  // Copy: ids remain consistent.
+  ConfigParser parser(&lexer, &bound.patterns, ParseOptions{});
+  for (size_t i = 0; i < texts.size(); ++i) {
+    bound.configs.push_back(parser.Parse("test" + std::to_string(i) + ".cfg", texts[i]));
+  }
+  return bound;
+}
+
+size_t CountViolationsOfKind(const CheckResult& result, const ContractSet& set,
+                             ContractKind kind) {
+  size_t count = 0;
+  for (const Violation& v : result.violations) {
+    if (set.contracts[v.contract_index].kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(Checker, CleanConfigsHaveNoViolations) {
+  LearnedWorld world = LearnWorld();
+  // Fresh configs drawn from the same family (but new index 100..102).
+  std::vector<std::string> texts;
+  for (int i = 100; i < 103; ++i) {
+    texts.push_back(GoodConfig(i));
+  }
+  Dataset tests = ParseTests(&world, texts);
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.covered_lines, 0u);
+}
+
+TEST(Checker, MissingLineTriggersPresentViolation) {
+  LearnedWorld world = LearnWorld();
+  std::string bad = GoodConfig(50);
+  bad = ReplaceAll(bad, "ip prefix-list loopback\n", "");
+  Dataset tests = ParseTests(&world, {bad});
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  EXPECT_GE(CountViolationsOfKind(result, world.set, ContractKind::kPresent), 1u);
+}
+
+TEST(Checker, BrokenRelationTriggersRelationalViolation) {
+  LearnedWorld world = LearnWorld();
+  std::string bad = GoodConfig(50);
+  // Loopback address not covered by the prefix list anymore.
+  bad = ReplaceAll(bad, "seq 10 permit 10.14.51.34/32", "seq 10 permit 10.14.52.34/32");
+  Dataset tests = ParseTests(&world, {bad});
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  size_t relational = CountViolationsOfKind(result, world.set, ContractKind::kRelational);
+  EXPECT_GE(relational, 1u);
+  // The violation localizes to the ip address line (line 3).
+  bool found_line3 = false;
+  for (const Violation& v : result.violations) {
+    if (world.set.contracts[v.contract_index].kind == ContractKind::kRelational &&
+        v.line_number == 3) {
+      found_line3 = true;
+    }
+  }
+  EXPECT_TRUE(found_line3);
+}
+
+TEST(Checker, SequenceGapTriggersViolation) {
+  LearnedWorld world = LearnWorld();
+  std::string bad = GoodConfig(50);
+  bad = ReplaceAll(bad, "seq 30", "seq 35");  // 10, 20, 35, 40.
+  Dataset tests = ParseTests(&world, {bad});
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  EXPECT_GE(CountViolationsOfKind(result, world.set, ContractKind::kSequence), 1u);
+}
+
+TEST(Checker, DuplicateUniqueValueAcrossConfigsFlagged) {
+  LearnedWorld world = LearnWorld();
+  // Two test configs with the same hostname.
+  std::string a = GoodConfig(60);
+  std::string b = GoodConfig(61);
+  b = ReplaceAll(b, "hostname DEV61", "hostname DEV60");
+  Dataset tests = ParseTests(&world, {a, b});
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  EXPECT_GE(CountViolationsOfKind(result, world.set, ContractKind::kUnique), 1u);
+  bool mentions_first = false;
+  for (const Violation& v : result.violations) {
+    if (world.set.contracts[v.contract_index].kind == ContractKind::kUnique &&
+        v.message.find("test0.cfg") != std::string::npos) {
+      mentions_first = true;
+    }
+  }
+  EXPECT_TRUE(mentions_first);
+}
+
+TEST(Checker, ReorderedBlockTriggersOrderingViolation) {
+  LearnedWorld world = LearnWorld();
+  std::string bad = GoodConfig(50);
+  // Swap the hostname and interface lines: "interface Loopback0" loses its successor
+  // relation to the ip address line.
+  bad = ReplaceAll(bad, "interface Loopback0\n   ip address 10.14.51.34\n",
+                   "interface Loopback0\nbanner something\n   ip address 10.14.51.34\n");
+  Dataset tests = ParseTests(&world, {bad});
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  EXPECT_GE(CountViolationsOfKind(result, world.set, ContractKind::kOrdering), 1u);
+}
+
+TEST(Checker, CoverageCountsAndCategories) {
+  LearnedWorld world = LearnWorld();
+  std::vector<std::string> texts = {GoodConfig(70), GoodConfig(71), GoodConfig(72)};
+  Dataset tests = ParseTests(&world, texts);
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  EXPECT_EQ(result.total_lines, 3u * 11u);
+  EXPECT_GT(result.covered_lines, result.total_lines / 2);
+  EXPECT_LE(result.covered_lines, result.total_lines);
+  // Present coverage: singleton patterns like `hostname` are covered.
+  EXPECT_GT(result.covered_by_kind[static_cast<size_t>(CoverageKind::kPresent)], 0u);
+  EXPECT_GT(result.covered_by_kind[static_cast<size_t>(CoverageKind::kOrdering)], 0u);
+  EXPECT_GT(result.covered_by_kind[static_cast<size_t>(CoverageKind::kUnique)], 0u);
+  EXPECT_GT(result.covered_by_kind[static_cast<size_t>(CoverageKind::kSequence)], 0u);
+}
+
+TEST(Checker, CoverageSkipsMeasurementWhenDisabled) {
+  LearnedWorld world = LearnWorld();
+  Dataset tests = ParseTests(&world, {GoodConfig(80)});
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests, /*measure_coverage=*/false);
+  EXPECT_EQ(result.covered_lines, 0u);
+  EXPECT_GT(result.total_lines, 0u);
+}
+
+TEST(Checker, SequenceCoverageOnlyInterior) {
+  // Directly construct a sequence contract over a 4-element run.
+  Dataset d = BuildDataset({"seq 10 x\nseq 20 x\nseq 30 x\nseq 40 x\n"});
+  ContractSet set;
+  Contract c;
+  c.kind = ContractKind::kSequence;
+  c.pattern = d.configs[0].lines[0].pattern;
+  c.param = 0;
+  set.contracts.push_back(c);
+  Checker checker(&set, &d.patterns);
+  CheckResult result = checker.Check(d);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.covered_by_kind[static_cast<size_t>(CoverageKind::kSequence)], 2u);
+}
+
+TEST(Checker, TypeViolationFlagged) {
+  // Train where `mtu` is always a number; test where one is a prefix.
+  Dataset d = BuildDataset({"ip address 10.0.0.1", "ip address 10.0.0.2",
+                            "ip address 10.0.0.3", "ip address 10.0.0.4",
+                            "ip address 10.0.0.5", "ip address 10.0.0.0/24"});
+  LearnOptions options = SmallOptions();
+  options.confidence = 0.8;  // 1/6 = 0.167 < 0.2 => pfx4 flagged as invalid.
+  Learner learner(options);
+  ContractSet set = learner.Learn(d).set;
+  ASSERT_GE(set.CountKind(ContractKind::kType), 1u);
+
+  Dataset tests = BuildDataset({"ip address 10.1.0.0/16"});
+  // Rebind contracts to the test table.
+  std::string json = SerializeContracts(set, d.patterns);
+  std::string error;
+  auto loaded = ParseContracts(json, &tests.patterns, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  Checker checker(&*loaded, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  EXPECT_GE(CountViolationsOfKind(result, *loaded, ContractKind::kType), 1u);
+}
+
+TEST(Checker, ParallelCheckMatchesSerial) {
+  LearnedWorld world = LearnWorld();
+  std::string bad1 = ReplaceAll(GoodConfig(50), "seq 10 permit 10.14.51.34/32",
+                                "seq 10 permit 10.14.99.34/32");
+  std::string bad2 = ReplaceAll(GoodConfig(51), "vlan 1867", "vlan 1868");
+  Dataset tests = ParseTests(&world, {GoodConfig(49), bad1, bad2, GoodConfig(52)});
+
+  Checker serial(&world.set, &tests.patterns, /*parallelism=*/1);
+  Checker parallel(&world.set, &tests.patterns, /*parallelism=*/4);
+  CheckResult a = serial.Check(tests);
+  CheckResult b = parallel.Check(tests);
+
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].config, b.violations[i].config);
+    EXPECT_EQ(a.violations[i].line_number, b.violations[i].line_number);
+    EXPECT_EQ(a.violations[i].message, b.violations[i].message);
+    EXPECT_EQ(a.violations[i].contract_index, b.violations[i].contract_index);
+  }
+  EXPECT_EQ(a.covered_lines, b.covered_lines);
+  EXPECT_EQ(a.covered_by_kind, b.covered_by_kind);
+}
+
+TEST(Checker, ViolationMessagesNameTheContractSide) {
+  LearnedWorld world = LearnWorld();
+  std::string bad = GoodConfig(50);
+  bad = ReplaceAll(bad, "seq 10 permit 10.14.51.34/32", "seq 10 permit 10.14.52.34/32");
+  Dataset tests = ParseTests(&world, {bad});
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  bool informative = false;
+  for (const Violation& v : result.violations) {
+    if (v.message.find("10.14.51.34") != std::string::npos) {
+      informative = true;
+    }
+  }
+  EXPECT_TRUE(informative);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,220 @@
+#include "src/cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "src/util/io.h"
+
+namespace concord {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "concord_cli_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_ / "configs");
+    for (int i = 1; i <= 6; ++i) {
+      WriteFile((dir_ / "configs" / ("dev" + std::to_string(i) + ".cfg")).string(),
+                Config(i));
+    }
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::string Config(int i) {
+    std::string s = std::to_string(i);
+    return "hostname DEV" + s +
+           "\n"
+           "interface Loopback0\n"
+           "   ip address 10.14." +
+           s +
+           ".34\n"
+           "ip prefix-list loopback\n"
+           "   seq 10 permit 10.14." +
+           s +
+           ".34/32\n"
+           "router bgp 65015\n"
+           "   vlan 25" +
+           s +
+           "\n"
+           "      rd 10.99.0." +
+           s + ":1025" + s + "\n";
+  }
+
+  int Run(const std::vector<std::string>& args, std::string* stdout_text = nullptr,
+          std::string* stderr_text = nullptr) {
+    std::vector<const char*> argv;
+    argv.push_back("concord");
+    for (const std::string& a : args) {
+      argv.push_back(a.c_str());
+    }
+    std::ostringstream out, err;
+    int code = RunConcord(static_cast<int>(argv.size()), argv.data(), out, err);
+    if (stdout_text != nullptr) {
+      *stdout_text = out.str();
+    }
+    if (stderr_text != nullptr) {
+      *stderr_text = err.str();
+    }
+    return code;
+  }
+
+  std::string ConfigsGlob() const { return (dir_ / "configs" / "*.cfg").string(); }
+  std::string ContractsPath() const { return (dir_ / "contracts.json").string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, LearnWritesContractFile) {
+  std::string out;
+  int code = Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                  ContractsPath()},
+                 &out);
+  EXPECT_EQ(code, 0);
+  EXPECT_TRUE(std::filesystem::exists(ContractsPath()));
+  EXPECT_NE(out.find("contracts:"), std::string::npos);
+  EXPECT_NE(out.find("patterns:"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckCleanConfigsExitsZero) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath()}),
+            0);
+  std::string out;
+  int code =
+      Run({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath()}, &out);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("violations: 0"), std::string::npos);
+  EXPECT_NE(out.find("coverage:"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckBuggyConfigExitsOneAndWritesReports) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3",
+                 "--score-threshold", "3", "--out", ContractsPath()}),
+            0);
+  // Break the loopback/prefix-list dependency in one config.
+  std::string bad = Config(3);
+  bad = bad.replace(bad.find("seq 10 permit 10.14.3.34/32"),
+                    std::string("seq 10 permit 10.14.3.34/32").size(),
+                    "seq 10 permit 10.14.77.34/32");
+  WriteFile((dir_ / "configs" / "dev3.cfg").string(), bad);
+
+  std::string json_path = (dir_ / "report.json").string();
+  std::string html_path = (dir_ / "report.html").string();
+  std::string out;
+  int code = Run({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath(),
+                  "--json-out", json_path, "--html-out", html_path},
+                 &out);
+  EXPECT_EQ(code, 1);
+  std::string json = ReadFile(json_path);
+  EXPECT_NE(json.find("violations"), std::string::npos);
+  EXPECT_NE(json.find("dev3.cfg"), std::string::npos);
+  std::string html = ReadFile(html_path);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("dev3.cfg"), std::string::npos);
+}
+
+TEST_F(CliTest, UsageErrors) {
+  std::string err;
+  EXPECT_EQ(Run({}, nullptr, &err), 2);
+  EXPECT_NE(err.find("usage"), std::string::npos);
+  EXPECT_EQ(Run({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_EQ(Run({"learn"}, nullptr, &err), 2);  // Missing --configs.
+  EXPECT_EQ(Run({"learn", "--bogus", "1"}, nullptr, &err), 2);
+  EXPECT_EQ(Run({"learn", "--configs", (dir_ / "nothing" / "*.cfg").string()}, nullptr, &err),
+            2);
+  EXPECT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts",
+                 (dir_ / "missing.json").string()},
+                nullptr, &err),
+            2);
+}
+
+TEST_F(CliTest, DisableCategory) {
+  std::string out;
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--disable",
+                 "ordering", "--disable", "relational", "--out", ContractsPath()},
+                &out),
+            0);
+  EXPECT_NE(out.find("ordering: 0"), std::string::npos);
+  EXPECT_NE(out.find("relational: 0"), std::string::npos);
+  EXPECT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--disable", "nonsense"}), 2);
+}
+
+TEST_F(CliTest, ConstantsModeRoundTrips) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--constants",
+                 "--out", ContractsPath()}),
+            0);
+  std::string json = ReadFile(ContractsPath());
+  EXPECT_NE(json.find("\"constantsMode\": true"), std::string::npos);
+  // Check mode picks constants up from the contract file automatically.
+  std::string out;
+  EXPECT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath()}, &out),
+            0);
+}
+
+TEST_F(CliTest, CoverageOutWritesPerLineListing) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath()}),
+            0);
+  std::string coverage_path = (dir_ / "coverage.txt").string();
+  ASSERT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath(),
+                 "--coverage-out", coverage_path}),
+            0);
+  std::string coverage = ReadFile(coverage_path);
+  EXPECT_NE(coverage.find("dev1.cfg:1 "), std::string::npos);
+  EXPECT_NE(coverage.find("present"), std::string::npos);
+}
+
+TEST_F(CliTest, SuppressDropsContracts) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3",
+                 "--score-threshold", "3", "--out", ContractsPath()}),
+            0);
+  // Break a relational dependency, find the violating contract's key, suppress it.
+  std::string bad = Config(3);
+  bad = bad.replace(bad.find("seq 10 permit 10.14.3.34/32"),
+                    std::string("seq 10 permit 10.14.3.34/32").size(),
+                    "seq 10 permit 10.14.77.34/32");
+  WriteFile((dir_ / "configs" / "dev3.cfg").string(), bad);
+
+  std::string json_path = (dir_ / "report.json").string();
+  ASSERT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath(),
+                 "--json-out", json_path}),
+            1);
+  // Collect every violated contract key into a suppression file.
+  std::string report = ReadFile(json_path);
+  std::string suppressions;
+  size_t pos = 0;
+  while ((pos = report.find("\"key\": \"", pos)) != std::string::npos) {
+    pos += 8;
+    size_t end = report.find('"', pos);
+    suppressions += report.substr(pos, end - pos) + "\n";
+  }
+  ASSERT_FALSE(suppressions.empty());
+  std::string suppress_path = (dir_ / "suppress.txt").string();
+  WriteFile(suppress_path, suppressions);
+
+  // With every offender suppressed, the check passes.
+  std::string out;
+  EXPECT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath(),
+                 "--suppress", suppress_path},
+                &out),
+            0);
+  EXPECT_NE(out.find("suppressed"), std::string::npos);
+}
+
+TEST_F(CliTest, CustomLexerFile) {
+  std::string lexer_path = (dir_ / "lexer.txt").string();
+  WriteFile(lexer_path, "iface ([eE]t|[pP]o)-?[0-9]+\n");
+  std::string out;
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--lexer",
+                 lexer_path, "--out", ContractsPath()},
+                &out),
+            0);
+  EXPECT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--lexer", "/nonexistent"}), 2);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "src/datagen/edge_gen.h"
+#include "src/datagen/wan_gen.h"
+#include "src/format/embed.h"
+#include "src/learn/learner.h"
+
+namespace concord {
+namespace {
+
+LearnOptions Options() {
+  LearnOptions options;
+  options.support = 5;
+  options.confidence = 0.9;
+  options.score_threshold = 4.0;
+  return options;
+}
+
+TEST(EdgeGen, Deterministic) {
+  EdgeOptions options;
+  options.seed = 42;
+  GeneratedCorpus a = GenerateEdge(options);
+  GeneratedCorpus b = GenerateEdge(options);
+  ASSERT_EQ(a.configs.size(), b.configs.size());
+  for (size_t i = 0; i < a.configs.size(); ++i) {
+    EXPECT_EQ(a.configs[i].text, b.configs[i].text);
+  }
+  options.seed = 43;
+  GeneratedCorpus c = GenerateEdge(options);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.configs.size(); ++i) {
+    if (a.configs[i].text != c.configs[i].text) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);  // Drift/noise differ across seeds.
+}
+
+TEST(EdgeGen, ShapeAndFormat) {
+  EdgeOptions options;
+  GeneratedCorpus corpus = GenerateEdge(options);
+  EXPECT_EQ(corpus.role, "E1");
+  EXPECT_EQ(corpus.configs.size(),
+            static_cast<size_t>(options.sites * options.devices_per_site));
+  EXPECT_EQ(corpus.metadata.size(), static_cast<size_t>(options.sites));
+  EXPECT_EQ(DetectFormat(corpus.configs[0].text), FormatCategory::kIndent);
+  EXPECT_EQ(DetectFormat(corpus.metadata[0].text), FormatCategory::kJson);
+}
+
+TEST(EdgeGen, TorRoleIsSmaller) {
+  EdgeOptions leaf;
+  EdgeOptions tor = leaf;
+  tor.role = EdgeRole::kTor;
+  GeneratedCorpus l = GenerateEdge(leaf);
+  GeneratedCorpus t = GenerateEdge(tor);
+  EXPECT_EQ(t.role, "E2");
+  EXPECT_LT(t.TotalLines(), l.TotalLines());
+  EXPECT_EQ(t.configs[0].text.find("Port-Channel"), std::string::npos);
+}
+
+TEST(EdgeGen, PlantedContractsAreLearnedAndLabelledTrue) {
+  EdgeOptions options;
+  options.sites = 8;
+  GeneratedCorpus corpus = GenerateEdge(options);
+  Dataset dataset = ParseCorpus(corpus);
+  Learner learner(Options());
+  ContractSet set = learner.Learn(dataset).set;
+
+  // The Figure 1 trio must be present and ledger-labelled as intentional.
+  int found = 0;
+  for (const Contract& c : set.contracts) {
+    if (c.kind != ContractKind::kRelational) {
+      continue;
+    }
+    const std::string& p1 = dataset.patterns.Get(c.pattern).text;
+    const std::string& p2 = dataset.patterns.Get(c.pattern2).text;
+    bool fig1 = c.relation == RelationKind::kEquals &&
+                p1.find("interface Port-Channel[a:num]") != std::string::npos &&
+                p2.find("route-target import") != std::string::npos;
+    bool fig2 = c.relation == RelationKind::kContains &&
+                p1.find("Loopback[num]/ip address") != std::string::npos &&
+                p2.find("seq [a:num] permit") != std::string::npos;
+    bool fig3 = c.relation == RelationKind::kSuffixOf &&
+                p1.find("/vlan [a:num]") != std::string::npos &&
+                p2.find("rd [a:ip4]") != std::string::npos;
+    if (fig1 || fig2 || fig3) {
+      ++found;
+      EXPECT_TRUE(corpus.truth.IsTruePositive(c, dataset.patterns)) << c.ToString(dataset.patterns);
+    }
+  }
+  EXPECT_GE(found, 3);
+}
+
+TEST(EdgeGen, LearnedPrecisionIsHigh) {
+  EdgeOptions options;
+  options.sites = 8;
+  GeneratedCorpus corpus = GenerateEdge(options);
+  Dataset dataset = ParseCorpus(corpus);
+  LearnOptions lo = Options();
+  lo.learn_ordering = false;  // The paper disables ordering in production (§5.4).
+  Learner learner(lo);
+  ContractSet set = learner.Learn(dataset).set;
+  ASSERT_GT(set.contracts.size(), 10u);
+  size_t tp = 0;
+  for (const Contract& c : set.contracts) {
+    if (corpus.truth.IsTruePositive(c, dataset.patterns)) {
+      ++tp;
+    }
+  }
+  double precision = static_cast<double>(tp) / static_cast<double>(set.contracts.size());
+  EXPECT_GT(precision, 0.7) << "tp=" << tp << " of " << set.contracts.size();
+}
+
+TEST(WanGen, RoleSyntaxSplit) {
+  for (int role = 1; role <= 8; ++role) {
+    WanOptions options;
+    options.role = role;
+    options.devices = 4;
+    GeneratedCorpus corpus = GenerateWan(options);
+    ASSERT_EQ(corpus.configs.size(), 4u);
+    FormatCategory format = DetectFormat(corpus.configs[0].text);
+    if (WanRoleIsFlat(role)) {
+      EXPECT_EQ(format, FormatCategory::kFlat) << "role " << role;
+      EXPECT_NE(corpus.configs[0].text.find("set "), std::string::npos);
+    } else {
+      EXPECT_EQ(format, FormatCategory::kIndent) << "role " << role;
+    }
+  }
+}
+
+TEST(WanGen, RolesDifferInShape) {
+  WanOptions options;
+  options.devices = 4;
+  std::set<size_t> line_counts;
+  for (int role = 1; role <= 8; ++role) {
+    options.role = role;
+    line_counts.insert(GenerateWan(options).TotalLines());
+  }
+  EXPECT_GE(line_counts.size(), 6u);  // Roles are genuinely different.
+}
+
+TEST(WanGen, AclSymmetryLearned) {
+  WanOptions options;
+  options.role = 1;
+  options.devices = 16;
+  GeneratedCorpus corpus = GenerateWan(options);
+  Dataset dataset = ParseCorpus(corpus);
+  Learner learner(Options());
+  ContractSet set = learner.Learn(dataset).set;
+  bool found = false;
+  for (const Contract& c : set.contracts) {
+    if (c.kind != ContractKind::kRelational || c.relation != RelationKind::kEquals) {
+      continue;
+    }
+    const std::string& p1 = dataset.patterns.Get(c.pattern).text;
+    const std::string& p2 = dataset.patterns.Get(c.pattern2).text;
+    if (p1.find("PERIM-IN") != std::string::npos &&
+        p2.find("PERIM-OUT") != std::string::npos) {
+      found = true;
+      EXPECT_TRUE(corpus.truth.IsTruePositive(c, dataset.patterns));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WanGen, UniquePeerAddressesLearnedInPeeringRole) {
+  WanOptions options;
+  options.role = 5;
+  options.devices = 12;
+  GeneratedCorpus corpus = GenerateWan(options);
+  Dataset dataset = ParseCorpus(corpus);
+  Learner learner(Options());
+  ContractSet set = learner.Learn(dataset).set;
+  bool found = false;
+  for (const Contract& c : set.contracts) {
+    if (c.kind != ContractKind::kUnique) {
+      continue;
+    }
+    const PatternInfo& info = dataset.patterns.Get(c.pattern);
+    if (info.text.find("remote-as") != std::string::npos &&
+        info.param_types[c.param] == ValueType::kIp4) {
+      found = true;
+      EXPECT_TRUE(corpus.truth.IsTruePositive(c, dataset.patterns));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WanGen, MagicConstantLinesExist) {
+  WanOptions options;
+  options.role = 4;
+  GeneratedCorpus corpus = GenerateWan(options);
+  EXPECT_NE(corpus.configs[0].text.find("65000:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,117 @@
+#include "src/contracts/describe.h"
+
+#include <gtest/gtest.h>
+
+#include "src/contracts/contract_io.h"
+
+namespace concord {
+namespace {
+
+struct Fixture {
+  PatternTable table;
+
+  PatternId Intern(const std::string& text) { return InternPatternText(&table, text); }
+};
+
+TEST(Describe, Present) {
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kPresent;
+  c.pattern = f.Intern("/ip prefix-list loopback");
+  EXPECT_EQ(DescribeContract(c, f.table),
+            "every configuration contains `ip prefix-list loopback`");
+}
+
+TEST(Describe, PresentConstant) {
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kPresent;
+  c.pattern = f.Intern("=/ip prefix-list loopback/seq 10 permit 10.0.0.1/32");
+  std::string text = DescribeContract(c, f.table);
+  EXPECT_NE(text.find("the exact line"), std::string::npos);
+  EXPECT_NE(text.find("seq 10 permit 10.0.0.1"), std::string::npos);
+}
+
+TEST(Describe, RelationalSuffix) {
+  // Figure 1 contract 3 in English.
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kRelational;
+  c.pattern = f.Intern("/router bgp [num]/vlan [a:num]");
+  c.param = 0;
+  c.relation = RelationKind::kSuffixOf;
+  c.pattern2 = f.Intern("/router bgp [num]/vlan [num]/rd [a:ip4]:[b:num]");
+  c.param2 = 1;
+  EXPECT_EQ(DescribeContract(c, f.table),
+            "every `router bgp <num>/vlan <num>` has a `vlan <num>/rd <ip4>:<num>` whose "
+            "value b ends with its value a");
+}
+
+TEST(Describe, RelationalWithTransforms) {
+  // Figure 1 contract 1 in English.
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kRelational;
+  c.pattern = f.Intern("/interface Port-Channel[a:num]");
+  c.param = 0;
+  c.transform1 = Transform{TransformKind::kHex, 0};
+  c.relation = RelationKind::kEquals;
+  c.pattern2 = f.Intern("/route-target import [a:mac]");
+  c.param2 = 0;
+  c.transform2 = Transform{TransformKind::kMacSegment, 6};
+  std::string text = DescribeContract(c, f.table);
+  EXPECT_NE(text.find("segment 6 of value a equals its value a in hex"), std::string::npos)
+      << text;
+}
+
+TEST(Describe, ContainsAndOctet) {
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kRelational;
+  c.pattern = f.Intern("/ip address [a:ip4]");
+  c.relation = RelationKind::kContains;
+  c.pattern2 = f.Intern("/seq [a:num] permit [b:pfx4]");
+  c.param2 = 1;
+  std::string text = DescribeContract(c, f.table);
+  EXPECT_NE(text.find("whose value b contains its value a"), std::string::npos) << text;
+}
+
+TEST(Describe, OrderingTypeSequenceUnique) {
+  Fixture f;
+  Contract ordering;
+  ordering.kind = ContractKind::kOrdering;
+  ordering.pattern = f.Intern("/redistribute connected");
+  ordering.pattern2 = f.Intern("/neighbor SPINE peer-group");
+  ordering.successor = true;
+  EXPECT_NE(DescribeContract(ordering, f.table).find("immediately followed by"),
+            std::string::npos);
+
+  Contract type;
+  type.kind = ContractKind::kType;
+  type.untyped_pattern = "/ip address [a:?]";
+  type.invalid_type = ValueType::kPfx4;
+  EXPECT_NE(DescribeContract(type, f.table).find("must not be a [pfx4]"), std::string::npos);
+
+  Contract seq;
+  seq.kind = ContractKind::kSequence;
+  seq.pattern = f.Intern("/seq [a:num] permit [b:pfx4]");
+  EXPECT_NE(DescribeContract(seq, f.table).find("equidistant sequence"), std::string::npos);
+
+  Contract unique;
+  unique.kind = ContractKind::kUnique;
+  unique.pattern = f.Intern("/hostname DEV[a:num]");
+  EXPECT_NE(DescribeContract(unique, f.table).find("unique across all configurations"),
+            std::string::npos);
+}
+
+TEST(Describe, LongContextTruncatedToTwoSegments) {
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kPresent;
+  c.pattern = f.Intern("/a/b/c/d/leaf line [a:num]");
+  std::string text = DescribeContract(c, f.table);
+  EXPECT_EQ(text, "every configuration contains `d/leaf line <num>`");
+}
+
+}  // namespace
+}  // namespace concord

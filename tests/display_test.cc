@@ -1,0 +1,133 @@
+// Rendering tests: every contract kind and relation spells the paper's syntax.
+#include <gtest/gtest.h>
+
+#include "src/contracts/contract_io.h"
+
+namespace concord {
+namespace {
+
+struct Fixture {
+  PatternTable table;
+  PatternId p1;
+  PatternId p2;
+
+  Fixture() {
+    p1 = InternPatternText(&table, "/vlan [a:num]");
+    p2 = InternPatternText(&table, "/rd [a:ip4]:[b:num]");
+  }
+
+  Contract Relational(RelationKind rel, Transform t1 = IdTransform(),
+                      Transform t2 = IdTransform()) {
+    Contract c;
+    c.kind = ContractKind::kRelational;
+    c.pattern = p1;
+    c.param = 0;
+    c.transform1 = t1;
+    c.relation = rel;
+    c.pattern2 = p2;
+    c.param2 = 1;
+    c.transform2 = t2;
+    return c;
+  }
+};
+
+TEST(Display, RelationalAllRelations) {
+  Fixture f;
+  for (auto [rel, name] : std::initializer_list<std::pair<RelationKind, const char*>>{
+           {RelationKind::kEquals, "equals"},
+           {RelationKind::kContains, "contains"},
+           {RelationKind::kStartsWith, "startswith"},
+           {RelationKind::kPrefixOf, "prefixof"},
+           {RelationKind::kEndsWith, "endswith"},
+           {RelationKind::kSuffixOf, "suffixof"}}) {
+    std::string text = f.Relational(rel).ToString(f.table);
+    EXPECT_NE(text.find(std::string(name) + "(l1.a, l2.b)"), std::string::npos) << text;
+    EXPECT_NE(text.find("forall l1 ~ /vlan [a:num]"), std::string::npos);
+    EXPECT_NE(text.find("exists l2 ~ /rd [a:ip4]:[b:num]"), std::string::npos);
+  }
+}
+
+TEST(Display, TransformsWrapParamExpressions) {
+  Fixture f;
+  std::string text = f.Relational(RelationKind::kEquals, Transform{TransformKind::kHex, 0},
+                                  Transform{TransformKind::kMacSegment, 6})
+                         .ToString(f.table);
+  EXPECT_NE(text.find("equals(hex(l1.a), segment(6)(l2.b))"), std::string::npos) << text;
+  std::string octet = f.Relational(RelationKind::kEquals, Transform{TransformKind::kIpOctet, 3},
+                                   Transform{TransformKind::kPfxAddr, 0})
+                          .ToString(f.table);
+  EXPECT_NE(octet.find("equals(octet(3)(l1.a), addr(l2.b))"), std::string::npos) << octet;
+}
+
+TEST(Display, OrderingDirections) {
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kOrdering;
+  c.pattern = f.p1;
+  c.pattern2 = f.p2;
+  c.successor = true;
+  EXPECT_NE(c.ToString(f.table).find("equals(index(l1) + 1, index(l2))"), std::string::npos);
+  c.successor = false;
+  EXPECT_NE(c.ToString(f.table).find("equals(index(l1) - 1, index(l2))"), std::string::npos);
+}
+
+TEST(Display, TypeContract) {
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kType;
+  c.untyped_pattern = "/ip address [a:?]";
+  c.param = 0;
+  c.invalid_type = ValueType::kBool;
+  EXPECT_EQ(c.ToString(f.table), "!(exists l ~ /ip address [a:?] with a : [bool])");
+}
+
+TEST(Display, SequenceAndUnique) {
+  Fixture f;
+  Contract c;
+  c.kind = ContractKind::kSequence;
+  c.pattern = f.p1;
+  c.param = 0;
+  EXPECT_EQ(c.ToString(f.table), "sequence(/vlan [a:num].a)");
+  c.kind = ContractKind::kUnique;
+  c.pattern = f.p2;
+  c.param = 1;
+  EXPECT_EQ(c.ToString(f.table), "unique(/rd [a:ip4]:[b:num].b)");
+}
+
+TEST(Display, KindAndRelationNamesRoundTripThroughIo) {
+  // Serialization uses the same names the display does; a full-kind set survives.
+  Fixture f;
+  ContractSet set;
+  for (RelationKind rel : {RelationKind::kEquals, RelationKind::kContains,
+                           RelationKind::kStartsWith, RelationKind::kPrefixOf,
+                           RelationKind::kEndsWith, RelationKind::kSuffixOf}) {
+    set.contracts.push_back(f.Relational(rel));
+  }
+  std::string json = SerializeContracts(set, f.table);
+  PatternTable table2;
+  auto loaded = ParseContracts(json, &table2);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->contracts.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(loaded->contracts[i].relation, set.contracts[i].relation);
+  }
+}
+
+TEST(Display, ContractKindNamesAreStable) {
+  EXPECT_EQ(ContractKindName(ContractKind::kPresent), "present");
+  EXPECT_EQ(ContractKindName(ContractKind::kOrdering), "ordering");
+  EXPECT_EQ(ContractKindName(ContractKind::kType), "type");
+  EXPECT_EQ(ContractKindName(ContractKind::kSequence), "sequence");
+  EXPECT_EQ(ContractKindName(ContractKind::kUnique), "unique");
+  EXPECT_EQ(ContractKindName(ContractKind::kRelational), "relational");
+}
+
+TEST(Display, TransitiveRelationClassification) {
+  EXPECT_TRUE(IsTransitiveRelation(RelationKind::kEquals));
+  EXPECT_TRUE(IsTransitiveRelation(RelationKind::kStartsWith));
+  EXPECT_TRUE(IsTransitiveRelation(RelationKind::kSuffixOf));
+  EXPECT_FALSE(IsTransitiveRelation(RelationKind::kContains));
+}
+
+}  // namespace
+}  // namespace concord

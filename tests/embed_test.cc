@@ -1,0 +1,173 @@
+#include "src/format/embed.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+constexpr char kAristaConfig[] = R"(hostname DEV1
+!
+interface Loopback0
+   ip address 10.14.14.34
+!
+interface Port-Channel110
+   evpn ether-segment
+      route-target import 00:00:0c:d3:00:6e
+!
+ip prefix-list loopback
+   seq 10 permit 10.14.14.34/32
+   seq 20 permit 0.0.0.0/0
+!
+router bgp 65015
+   maximum-paths 64 ecmp 64
+   vlan 251
+      rd 10.14.14.117:10251
+)";
+
+TEST(DetectFormat, Categories) {
+  EXPECT_EQ(DetectFormat(kAristaConfig), FormatCategory::kIndent);
+  EXPECT_EQ(DetectFormat("{\"a\": 1}"), FormatCategory::kJson);
+  EXPECT_EQ(DetectFormat("[1, 2]"), FormatCategory::kJson);
+  EXPECT_EQ(DetectFormat("set interfaces xe-0 unit 0\nset routing-options static\n"),
+            FormatCategory::kFlat);
+  EXPECT_EQ(DetectFormat("name: test\nitems:\n  - a\n  - b\n"), FormatCategory::kYaml);
+  EXPECT_EQ(DetectFormat(""), FormatCategory::kUnknown);
+  EXPECT_EQ(DetectFormat("   \n  \n"), FormatCategory::kUnknown);
+}
+
+TEST(DetectFormat, MalformedJsonFallsThrough) {
+  // Starts like JSON but does not parse: classified by line shape instead.
+  EXPECT_NE(DetectFormat("{this is not json"), FormatCategory::kJson);
+}
+
+TEST(EmbedIndent, ParentsFollowIndentation) {
+  EmbeddedFile f = EmbedText(kAristaConfig);
+  ASSERT_EQ(f.format, FormatCategory::kIndent);
+
+  // Locate `route-target import ...`; its parents must be the port channel and the
+  // evpn block, in outermost-first order.
+  const ContextLine* rt = nullptr;
+  for (const auto& line : f.lines) {
+    if (line.text.rfind("route-target", 0) == 0) {
+      rt = &line;
+    }
+  }
+  ASSERT_NE(rt, nullptr);
+  ASSERT_EQ(rt->parents.size(), 2u);
+  EXPECT_EQ(rt->parents[0], "interface Port-Channel110");
+  EXPECT_EQ(rt->parents[1], "evpn ether-segment");
+}
+
+TEST(EmbedIndent, TopLevelLinesHaveNoParents) {
+  EmbeddedFile f = EmbedText(kAristaConfig);
+  for (const auto& line : f.lines) {
+    if (line.text == "hostname DEV1" || line.text == "router bgp 65015") {
+      EXPECT_TRUE(line.parents.empty()) << line.text;
+    }
+  }
+}
+
+TEST(EmbedIndent, SeparatorResetsContext) {
+  EmbeddedFile f = EmbedText(kAristaConfig);
+  // Every '!' line is at indent 0 with no parents.
+  int separators = 0;
+  for (const auto& line : f.lines) {
+    if (line.text == "!") {
+      ++separators;
+      EXPECT_TRUE(line.parents.empty());
+    }
+  }
+  EXPECT_EQ(separators, 4);
+}
+
+TEST(EmbedIndent, NestedBlocks) {
+  EmbeddedFile f = EmbedText(kAristaConfig);
+  const ContextLine* rd = nullptr;
+  for (const auto& line : f.lines) {
+    if (line.text.rfind("rd ", 0) == 0) {
+      rd = &line;
+    }
+  }
+  ASSERT_NE(rd, nullptr);
+  ASSERT_EQ(rd->parents.size(), 2u);
+  EXPECT_EQ(rd->parents[0], "router bgp 65015");
+  EXPECT_EQ(rd->parents[1], "vlan 251");
+}
+
+TEST(EmbedIndent, LineNumbersAreOriginal) {
+  EmbeddedFile f = EmbedText("a\n\n  b\n");
+  ASSERT_EQ(f.lines.size(), 2u);
+  EXPECT_EQ(f.lines[0].line_number, 1);
+  EXPECT_EQ(f.lines[1].line_number, 3);  // Blank line skipped but numbering kept.
+}
+
+TEST(EmbedIndent, SiblingPopsPreviousBlock) {
+  EmbeddedFile f = EmbedText("block1\n  child1\nblock2\n  child2\n");
+  ASSERT_EQ(f.lines.size(), 4u);
+  EXPECT_EQ(f.lines[3].text, "child2");
+  ASSERT_EQ(f.lines[3].parents.size(), 1u);
+  EXPECT_EQ(f.lines[3].parents[0], "block2");
+}
+
+TEST(EmbedJson, PathsBecomeParents) {
+  EmbeddedFile f = EmbedText(R"({
+    "nfInfos": [
+      {"vrfName": "mgmt", "vlanId": 251}
+    ]
+  })");
+  ASSERT_EQ(f.format, FormatCategory::kJson);
+  ASSERT_EQ(f.lines.size(), 2u);
+  EXPECT_EQ(f.lines[0].text, "vrfName mgmt");
+  ASSERT_EQ(f.lines[0].parents.size(), 1u);
+  EXPECT_EQ(f.lines[0].parents[0], "nfInfos");
+  EXPECT_EQ(f.lines[1].text, "vlanId 251");
+}
+
+TEST(EmbedJson, DeepNesting) {
+  EmbeddedFile f = EmbedText(R"({"a": {"b": {"c": 5}}})");
+  ASSERT_EQ(f.lines.size(), 1u);
+  EXPECT_EQ(f.lines[0].text, "c 5");
+  ASSERT_EQ(f.lines[0].parents.size(), 2u);
+  EXPECT_EQ(f.lines[0].parents[0], "a");
+  EXPECT_EQ(f.lines[0].parents[1], "b");
+}
+
+TEST(EmbedJson, ArrayOfScalars) {
+  EmbeddedFile f = EmbedText(R"({"servers": ["10.0.0.1", "10.0.0.2"]})");
+  ASSERT_EQ(f.lines.size(), 2u);
+  EXPECT_EQ(f.lines[0].text, "servers 10.0.0.1");
+  EXPECT_EQ(f.lines[1].text, "servers 10.0.0.2");
+  EXPECT_TRUE(f.lines[0].parents.empty());
+}
+
+TEST(EmbedYaml, ListMarkersFoldIntoIndent) {
+  EmbeddedFile f = EmbedText("nfInfos:\n  - vrfName: mgmt\n    vlanId: 251\n");
+  ASSERT_EQ(f.format, FormatCategory::kYaml);
+  ASSERT_EQ(f.lines.size(), 3u);
+  EXPECT_EQ(f.lines[1].text, "vrfName: mgmt");
+  ASSERT_EQ(f.lines[1].parents.size(), 1u);
+  EXPECT_EQ(f.lines[1].parents[0], "nfInfos:");
+  EXPECT_EQ(f.lines[2].text, "vlanId: 251");
+  ASSERT_EQ(f.lines[2].parents.size(), 1u);
+  EXPECT_EQ(f.lines[2].parents[0], "nfInfos:");
+}
+
+TEST(EmbedFlat, NoParentsEver) {
+  EmbeddedFile f = EmbedTextAs(kAristaConfig, FormatCategory::kFlat);
+  for (const auto& line : f.lines) {
+    EXPECT_TRUE(line.parents.empty());
+  }
+  // Same number of non-blank lines as the indent embedding.
+  EXPECT_EQ(f.lines.size(), EmbedText(kAristaConfig).lines.size());
+}
+
+TEST(EmbedTextAs, ForcedFlatDisablesEmbedding) {
+  // This is the --no-embedding ablation from Figure 7.
+  EmbeddedFile f = EmbedTextAs("a\n  b\n", FormatCategory::kFlat);
+  ASSERT_EQ(f.lines.size(), 2u);
+  EXPECT_TRUE(f.lines[1].parents.empty());
+  EXPECT_EQ(f.lines[1].text, "b");
+}
+
+}  // namespace
+}  // namespace concord

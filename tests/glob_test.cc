@@ -1,0 +1,94 @@
+#include "src/util/glob.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace concord {
+namespace {
+
+TEST(GlobMatch, Literals) {
+  EXPECT_TRUE(GlobMatch("abc", "abc"));
+  EXPECT_FALSE(GlobMatch("abc", "abd"));
+  EXPECT_FALSE(GlobMatch("abc", "ab"));
+  EXPECT_FALSE(GlobMatch("ab", "abc"));
+}
+
+TEST(GlobMatch, Star) {
+  EXPECT_TRUE(GlobMatch("*.cfg", "router1.cfg"));
+  EXPECT_FALSE(GlobMatch("*.cfg", "router1.cfg.bak"));
+  EXPECT_TRUE(GlobMatch("dev*", "dev"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "axxbyyc"));
+  // '*' must not cross directory separators.
+  EXPECT_FALSE(GlobMatch("configs/*.cfg", "configs/sub/x.cfg"));
+  EXPECT_TRUE(GlobMatch("configs/*.cfg", "configs/x.cfg"));
+}
+
+TEST(GlobMatch, DoubleStar) {
+  EXPECT_TRUE(GlobMatch("configs/**/*.cfg", "configs/sub/deep/x.cfg"));
+  EXPECT_TRUE(GlobMatch("**/x.cfg", "a/b/x.cfg"));
+  EXPECT_TRUE(GlobMatch("**", "anything/at/all"));
+}
+
+TEST(GlobMatch, QuestionMark) {
+  EXPECT_TRUE(GlobMatch("dev?.cfg", "dev1.cfg"));
+  EXPECT_FALSE(GlobMatch("dev?.cfg", "dev10.cfg"));
+  EXPECT_FALSE(GlobMatch("a?b", "a/b"));
+}
+
+TEST(GlobMatch, CharacterClasses) {
+  EXPECT_TRUE(GlobMatch("dev[0-9].cfg", "dev5.cfg"));
+  EXPECT_FALSE(GlobMatch("dev[0-9].cfg", "devx.cfg"));
+  EXPECT_TRUE(GlobMatch("[!a]x", "bx"));
+  EXPECT_FALSE(GlobMatch("[!a]x", "ax"));
+  EXPECT_TRUE(GlobMatch("[abc]z", "bz"));
+}
+
+TEST(GlobMatch, MalformedClassIsLiteral) {
+  EXPECT_TRUE(GlobMatch("a[b", "a[b"));
+  EXPECT_FALSE(GlobMatch("a[b", "ab"));
+}
+
+class ExpandGlobTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "concord_glob_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_ / "sub");
+    Touch(dir_ / "a.cfg");
+    Touch(dir_ / "b.cfg");
+    Touch(dir_ / "notes.txt");
+    Touch(dir_ / "sub" / "c.cfg");
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static void Touch(const std::filesystem::path& p) { std::ofstream(p) << "x"; }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ExpandGlobTest, TopLevel) {
+  auto files = ExpandGlob((dir_ / "*.cfg").generic_string());
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("a.cfg"), std::string::npos);
+  EXPECT_NE(files[1].find("b.cfg"), std::string::npos);
+}
+
+TEST_F(ExpandGlobTest, Recursive) {
+  auto files = ExpandGlob((dir_ / "**" / "*.cfg").generic_string());
+  EXPECT_EQ(files.size(), 1u);  // Only sub/c.cfg is at depth >= 1 under **/.
+  auto all = ExpandGlob((dir_).generic_string() + "/**.cfg");
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST_F(ExpandGlobTest, LiteralPath) {
+  auto files = ExpandGlob((dir_ / "a.cfg").generic_string());
+  ASSERT_EQ(files.size(), 1u);
+  auto missing = ExpandGlob((dir_ / "zzz.cfg").generic_string());
+  EXPECT_TRUE(missing.empty());
+}
+
+}  // namespace
+}  // namespace concord

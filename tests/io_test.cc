@@ -1,0 +1,68 @@
+#include "src/util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace concord {
+namespace {
+
+TEST(SplitLines, HandlesBothLineEndings) {
+  auto lines = SplitLines("a\nb\r\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(SplitLines, NoTrailingEmptyLineForTerminatedInput) {
+  EXPECT_EQ(SplitLines("a\nb\n").size(), 2u);
+  EXPECT_EQ(SplitLines("a\nb").size(), 2u);
+  EXPECT_TRUE(SplitLines("").empty());
+}
+
+TEST(SplitLines, PreservesInteriorEmptyLines) {
+  auto lines = SplitLines("a\n\nb\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "concord_io_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, WriteCreatesParentDirectories) {
+  std::string path = (dir_ / "deep" / "nested" / "file.txt").string();
+  WriteFile(path, "hello");
+  EXPECT_EQ(ReadFile(path), "hello");
+}
+
+TEST_F(IoTest, RoundTripBinaryContent) {
+  std::string path = (dir_ / "bin").string();
+  std::string payload;
+  for (int i = 0; i < 256; ++i) {
+    payload.push_back(static_cast<char>(i));
+  }
+  WriteFile(path, payload);
+  EXPECT_EQ(ReadFile(path), payload);
+}
+
+TEST_F(IoTest, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadFile((dir_ / "missing").string()), std::runtime_error);
+}
+
+TEST_F(IoTest, OverwriteTruncates) {
+  std::string path = (dir_ / "f").string();
+  WriteFile(path, "long content here");
+  WriteFile(path, "short");
+  EXPECT_EQ(ReadFile(path), "short");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,108 @@
+#include "src/value/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+TEST(Ipv4Address, ParseAndFormat) {
+  auto a = Ipv4Address::Parse("10.14.14.34");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->ToString(), "10.14.14.34");
+  EXPECT_EQ(Ipv4Address::Parse("0.0.0.0")->ToString(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->bits(), 0xffffffffu);
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1..3.4").has_value());
+}
+
+TEST(Ipv4Address, Octets) {
+  auto a = *Ipv4Address::Parse("10.14.15.117");
+  EXPECT_EQ(a.Octet(1), 10);
+  EXPECT_EQ(a.Octet(2), 14);
+  EXPECT_EQ(a.Octet(3), 15);
+  EXPECT_EQ(a.Octet(4), 117);
+}
+
+TEST(Ipv4Network, ParseNormalizesHostBits) {
+  auto n = Ipv4Network::Parse("10.1.2.3/24");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->ToString(), "10.1.2.0/24");
+  EXPECT_EQ(n->prefix_len(), 24);
+}
+
+TEST(Ipv4Network, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Network::Parse("10.1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Network::Parse("10.1.2.3/33").has_value());
+  EXPECT_FALSE(Ipv4Network::Parse("10.1.2.3/x").has_value());
+  EXPECT_FALSE(Ipv4Network::Parse("10.1.2/24").has_value());
+}
+
+TEST(Ipv4Network, ContainsAddress) {
+  auto n = *Ipv4Network::Parse("10.14.14.34/32");
+  EXPECT_TRUE(n.Contains(*Ipv4Address::Parse("10.14.14.34")));
+  EXPECT_FALSE(n.Contains(*Ipv4Address::Parse("10.14.14.35")));
+
+  auto wide = *Ipv4Network::Parse("10.0.0.0/8");
+  EXPECT_TRUE(wide.Contains(*Ipv4Address::Parse("10.255.1.2")));
+  EXPECT_FALSE(wide.Contains(*Ipv4Address::Parse("11.0.0.1")));
+
+  auto all = *Ipv4Network::Parse("0.0.0.0/0");
+  EXPECT_TRUE(all.Contains(*Ipv4Address::Parse("203.0.113.7")));
+}
+
+TEST(Ipv4Network, ContainsNetwork) {
+  auto outer = *Ipv4Network::Parse("10.0.0.0/8");
+  auto inner = *Ipv4Network::Parse("10.14.0.0/16");
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Contains(outer));
+}
+
+TEST(Ipv6Address, ParseFullForm) {
+  auto a = Ipv6Address::Parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->ToString(), "2001:db8::1");
+}
+
+TEST(Ipv6Address, ParseCompressed) {
+  EXPECT_EQ(Ipv6Address::Parse("::")->ToString(), "::");
+  EXPECT_EQ(Ipv6Address::Parse("::1")->ToString(), "::1");
+  EXPECT_EQ(Ipv6Address::Parse("fe80::")->ToString(), "fe80::");
+  EXPECT_EQ(Ipv6Address::Parse("2001:db8::8:800:200c:417a")->ToString(),
+            "2001:db8::8:800:200c:417a");
+}
+
+TEST(Ipv6Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("12345::").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("g::1").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7::8").has_value());  // :: compresses nothing.
+}
+
+TEST(Ipv6Network, ContainsAndNormalizes) {
+  auto n = Ipv6Network::Parse("2001:db8:abcd::1/48");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->ToString(), "2001:db8:abcd::/48");
+  EXPECT_TRUE(n->Contains(*Ipv6Address::Parse("2001:db8:abcd:1::5")));
+  EXPECT_FALSE(n->Contains(*Ipv6Address::Parse("2001:db8:abce::5")));
+  auto sub = *Ipv6Network::Parse("2001:db8:abcd:ff00::/56");
+  EXPECT_TRUE(n->Contains(sub));
+  EXPECT_FALSE(sub.Contains(*n));
+}
+
+TEST(Ipv6Network, RejectsMalformed) {
+  EXPECT_FALSE(Ipv6Network::Parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Ipv6Network::Parse("2001:db8::").has_value());
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,125 @@
+#include "src/format/json.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+JsonValue MustParse(std::string_view text) {
+  std::string error;
+  auto v = JsonValue::Parse(text, &error);
+  EXPECT_TRUE(v.has_value()) << "parse failed: " << error;
+  return v.value_or(JsonValue());
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool());
+  EXPECT_EQ(MustParse("42").AsInt(), 42);
+  EXPECT_EQ(MustParse("-17").AsInt(), -17);
+  EXPECT_DOUBLE_EQ(MustParse("2.5").AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(MustParse("1e3").AsDouble(), 1000.0);
+  EXPECT_EQ(MustParse("\"hello\"").AsString(), "hello");
+}
+
+TEST(Json, NumberSpellingPreserved) {
+  EXPECT_EQ(MustParse("10251").NumberSpelling(), "10251");
+  EXPECT_EQ(MustParse("0.50").NumberSpelling(), "0.50");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b")").AsString(), "a\"b");
+  EXPECT_EQ(MustParse(R"("line\nbreak")").AsString(), "line\nbreak");
+  EXPECT_EQ(MustParse(R"("tab\there")").AsString(), "tab\there");
+  EXPECT_EQ(MustParse(R"("A")").AsString(), "A");
+  EXPECT_EQ(MustParse(R"("back\\slash")").AsString(), "back\\slash");
+}
+
+TEST(Json, ParseNested) {
+  JsonValue v = MustParse(R"({
+    "nfInfos": [
+      {"vrfName": "mgmt", "vlanId": 251},
+      {"vrfName": "data", "vlanId": 252}
+    ],
+    "enabled": true
+  })");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* nf = v.Find("nfInfos");
+  ASSERT_NE(nf, nullptr);
+  ASSERT_TRUE(nf->is_array());
+  ASSERT_EQ(nf->items().size(), 2u);
+  EXPECT_EQ(nf->items()[0].GetString("vrfName"), "mgmt");
+  EXPECT_EQ(nf->items()[1].GetInt("vlanId"), 252);
+  EXPECT_EQ(v.GetBool("enabled"), true);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(Json, TypedGettersRejectWrongKinds) {
+  JsonValue v = MustParse(R"({"a": 1, "b": "x"})");
+  EXPECT_FALSE(v.GetString("a").has_value());
+  EXPECT_FALSE(v.GetInt("b").has_value());
+  EXPECT_FALSE(v.GetBool("a").has_value());
+}
+
+TEST(Json, ParseErrors) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{", &error).has_value());
+  EXPECT_FALSE(JsonValue::Parse("[1,", &error).has_value());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}", &error).has_value());
+  EXPECT_FALSE(JsonValue::Parse("{a: 1}", &error).has_value());
+  EXPECT_FALSE(JsonValue::Parse("tru", &error).has_value());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(JsonValue::Parse("1 2", &error).has_value());
+  EXPECT_FALSE(JsonValue::Parse("01x", &error).has_value());
+  EXPECT_FALSE(JsonValue::Parse("", &error).has_value());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(Json, RoundTripCompact) {
+  std::string text = R"({"a":[1,2,3],"b":{"c":"d"},"e":null})";
+  JsonValue v = MustParse(text);
+  EXPECT_EQ(v.Serialize(), text);
+}
+
+TEST(Json, RoundTripPretty) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::String("W1"));
+  obj.Set("count", JsonValue::Number(int64_t{7}));
+  std::string pretty = obj.Serialize(2);
+  EXPECT_NE(pretty.find("\n  \"name\": \"W1\""), std::string::npos);
+  // Pretty output parses back to the same structure.
+  JsonValue back = MustParse(pretty);
+  EXPECT_EQ(back.GetString("name"), "W1");
+  EXPECT_EQ(back.GetInt("count"), 7);
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Number(int64_t{1}));
+  obj.Set("k", JsonValue::Number(int64_t{2}));
+  EXPECT_EQ(obj.members().size(), 1u);
+  EXPECT_EQ(obj.GetInt("k"), 2);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("z", JsonValue::Null());
+  obj.Set("a", JsonValue::Null());
+  EXPECT_EQ(obj.members()[0].first, "z");
+  EXPECT_EQ(obj.members()[1].first, "a");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(MustParse("[]").Serialize(), "[]");
+  EXPECT_EQ(MustParse("{}").Serialize(), "{}");
+  EXPECT_EQ(MustParse("[ ]").items().size(), 0u);
+}
+
+TEST(Json, SerializeEscapesControlCharacters) {
+  JsonValue v = JsonValue::String("a\"b\\c\nd");
+  EXPECT_EQ(v.Serialize(), R"("a\"b\\c\nd")");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,86 @@
+#include "src/oracle/judge.h"
+
+#include <gtest/gtest.h>
+
+#include "src/contracts/contract_io.h"
+
+namespace concord {
+namespace {
+
+struct Fixture {
+  PatternTable table;
+  GroundTruth truth;
+  Contract tp;  // Declared intentional.
+  Contract fp;  // Not declared.
+
+  Fixture() {
+    truth.DeclareUnique(NodeSpec{"hostname", -1});
+    tp.kind = ContractKind::kUnique;
+    tp.pattern = InternPatternText(&table, "/hostname DEV[a:num]");
+    tp.support = 30;
+    tp.confidence = 1.0;
+    fp.kind = ContractKind::kUnique;
+    fp.pattern = InternPatternText(&table, "/mtu [a:num]");
+    fp.support = 30;
+    fp.confidence = 1.0;
+  }
+};
+
+TEST(Judge, Deterministic) {
+  Fixture f;
+  HeuristicJudge judge(42);
+  EXPECT_EQ(judge.Score(f.tp, f.table, f.truth), judge.Score(f.tp, f.table, f.truth));
+}
+
+TEST(Judge, ScoresInRange) {
+  Fixture f;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    HeuristicJudge judge(seed);
+    int s1 = judge.Score(f.tp, f.table, f.truth);
+    int s2 = judge.Score(f.fp, f.table, f.truth);
+    EXPECT_GE(s1, 1);
+    EXPECT_LE(s1, 10);
+    EXPECT_GE(s2, 1);
+    EXPECT_LE(s2, 10);
+  }
+}
+
+TEST(Judge, MostlySeparatesTruePositivesFromFalse) {
+  Fixture f;
+  int tp_high = 0, fp_low = 0;
+  constexpr int kSeeds = 200;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    HeuristicJudge judge(seed);
+    if (judge.Score(f.tp, f.table, f.truth) >= 6) {
+      ++tp_high;
+    }
+    if (judge.Score(f.fp, f.table, f.truth) <= 5) {
+      ++fp_low;
+    }
+  }
+  // ~92% agreement expected at the default 8% misjudge rate.
+  EXPECT_GT(tp_high, kSeeds * 8 / 10);
+  EXPECT_LT(tp_high, kSeeds);  // But not perfect: the LLM substitute is noisy.
+  EXPECT_GT(fp_low, kSeeds * 8 / 10);
+}
+
+TEST(Judge, ZeroNoiseIsExact) {
+  Fixture f;
+  HeuristicJudge judge(7, /*misjudge_rate=*/0.0);
+  EXPECT_GE(judge.Score(f.tp, f.table, f.truth), 6);
+  EXPECT_LE(judge.Score(f.fp, f.table, f.truth), 5);
+}
+
+TEST(Judge, ScoreAllMatchesIndividualScores) {
+  Fixture f;
+  ContractSet set;
+  set.contracts = {f.tp, f.fp};
+  HeuristicJudge judge(9);
+  auto scores = judge.ScoreAll(set, f.table, f.truth);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_EQ(scores[0], judge.Score(f.tp, f.table, f.truth));
+  EXPECT_EQ(scores[1], judge.Score(f.fp, f.table, f.truth));
+}
+
+}  // namespace
+}  // namespace concord

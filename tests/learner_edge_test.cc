@@ -1,0 +1,134 @@
+// Learner robustness at the boundaries: degenerate datasets, vacuous checking, and
+// threshold edge conditions.
+#include <gtest/gtest.h>
+
+#include "src/check/checker.h"
+#include "src/learn/learner.h"
+#include "tests/test_util.h"
+
+namespace concord {
+namespace {
+
+LearnOptions Options() {
+  LearnOptions options;
+  options.support = 3;
+  options.confidence = 0.9;
+  options.score_threshold = 3.0;
+  return options;
+}
+
+TEST(LearnerEdge, EmptyDataset) {
+  Dataset dataset;
+  Learner learner(Options());
+  LearnResult result = learner.Learn(dataset);
+  EXPECT_TRUE(result.set.contracts.empty());
+  Checker checker(&result.set, &dataset.patterns);
+  CheckResult check = checker.Check(dataset);
+  EXPECT_TRUE(check.violations.empty());
+  EXPECT_EQ(check.total_lines, 0u);
+  EXPECT_DOUBLE_EQ(check.CoveragePercent(), 0.0);
+}
+
+TEST(LearnerEdge, SingleConfigBelowSupport) {
+  Dataset dataset = BuildDataset({"hostname X\nvlan 100\n"});
+  Learner learner(Options());  // Support 3 > 1 config.
+  EXPECT_TRUE(learner.Learn(dataset).set.contracts.empty());
+}
+
+TEST(LearnerEdge, EmptyConfigsAmongNormalOnes) {
+  Dataset dataset = BuildDataset({"a\n", "", "a\n", "a\n", "\n\n"});
+  Learner learner(Options());
+  LearnResult result = learner.Learn(dataset);
+  // 3 of 5 configs have the line: 60% < 90% confidence, no present contract.
+  EXPECT_EQ(result.set.CountKind(ContractKind::kPresent), 0u);
+}
+
+TEST(LearnerEdge, ConfidenceBoundaryIsInclusive) {
+  // Exactly 90% of configs contain the line; C=0.9 must retain it.
+  std::vector<std::string> texts(9, "anchor\nfeature line\n");
+  texts.push_back("anchor\n");
+  Dataset dataset = BuildDataset(texts);
+  Learner learner(Options());
+  ContractSet set = learner.Learn(dataset).set;
+  bool found = false;
+  for (const Contract& c : set.contracts) {
+    if (c.kind == ContractKind::kPresent &&
+        dataset.patterns.Get(c.pattern).text == "/feature line") {
+      found = true;
+      EXPECT_NEAR(c.confidence, 0.9, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LearnerEdge, MetadataOnlyDataset) {
+  Dataset dataset;
+  Lexer lexer;
+  ConfigParser parser(&lexer, &dataset.patterns, ParseOptions{});
+  dataset.metadata = parser.ParseMetadata("{\"a\": 1}");
+  Learner learner(Options());
+  // No configs: nothing to learn from, and nothing crashes.
+  EXPECT_TRUE(learner.Learn(dataset).set.contracts.empty());
+}
+
+TEST(LearnerEdge, AllCategoriesDisabled) {
+  Dataset dataset = BuildDataset(std::vector<std::string>(5, "hostname X\n"));
+  LearnOptions options = Options();
+  options.learn_present = false;
+  options.learn_ordering = false;
+  options.learn_type = false;
+  options.learn_sequence = false;
+  options.learn_unique = false;
+  options.learn_relational = false;
+  Learner learner(options);
+  EXPECT_TRUE(learner.Learn(dataset).set.contracts.empty());
+}
+
+TEST(LearnerEdge, CheckingUnknownPatternsIsVacuouslyClean) {
+  // Contracts learned on one corpus, checked against a completely different one:
+  // forall-quantified contracts are vacuous; only present contracts fire.
+  Dataset train = BuildDataset(std::vector<std::string>(5, "alpha 4242\nbeta 4242\n"));
+  Learner learner(Options());
+  ContractSet set = learner.Learn(train).set;
+  ASSERT_FALSE(set.contracts.empty());
+
+  Dataset tests;
+  tests.patterns = train.patterns;
+  Lexer lexer;
+  ConfigParser parser(&lexer, &tests.patterns, ParseOptions{});
+  tests.configs.push_back(parser.Parse("other.cfg", "completely different text\n"));
+  Checker checker(&set, &tests.patterns);
+  CheckResult result = checker.Check(tests);
+  for (const Violation& v : result.violations) {
+    EXPECT_EQ(set.contracts[v.contract_index].kind, ContractKind::kPresent) << v.message;
+  }
+  EXPECT_GE(result.violations.size(), 2u);  // Both present contracts are missing.
+}
+
+TEST(LearnerEdge, MinimizeDisabled) {
+  std::vector<std::string> texts;
+  for (int i = 0; i < 6; ++i) {
+    std::string v = std::to_string(7000 + i * 31);
+    texts.push_back("one " + v + "\ntwo " + v + "\nthree " + v + "\n");
+  }
+  Dataset dataset = BuildDataset(texts);
+  LearnOptions with = Options();
+  LearnOptions without = Options();
+  without.minimize = false;
+  size_t minimized = Learner(with).Learn(dataset).set.CountKind(ContractKind::kRelational);
+  size_t raw = Learner(without).Learn(dataset).set.CountKind(ContractKind::kRelational);
+  EXPECT_LT(minimized, raw);  // The 3-clique (6 edges) reduces to a 3-cycle.
+}
+
+TEST(LearnerEdge, ZeroSupportRejected) {
+  // Support below 1 behaves like 1 (no division by zero, no empty-set surprises).
+  Dataset dataset = BuildDataset({"line x\n", "line x\n"});
+  LearnOptions options = Options();
+  options.support = 0;
+  Learner learner(options);
+  LearnResult result = learner.Learn(dataset);
+  EXPECT_GE(result.set.contracts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace concord

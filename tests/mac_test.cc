@@ -1,0 +1,56 @@
+#include "src/value/mac.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+TEST(MacAddress, ParseAndFormat) {
+  auto m = MacAddress::Parse("00:00:0c:d3:00:6e");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->ToString(), "00:00:0c:d3:00:6e");
+}
+
+TEST(MacAddress, Segments) {
+  auto m = *MacAddress::Parse("00:00:0c:d3:00:6e");
+  EXPECT_EQ(m.Segment(1), 0x00);
+  EXPECT_EQ(m.Segment(3), 0x0c);
+  EXPECT_EQ(m.Segment(4), 0xd3);
+  EXPECT_EQ(m.Segment(6), 0x6e);
+}
+
+TEST(MacAddress, SegmentHexStripsLeadingZeros) {
+  // Figure 1 contract 1: hex(110) == "6e" must equal segment 6 of ...:6e,
+  // and hex(11) == "b" must equal segment 6 of ...:0b.
+  auto m1 = *MacAddress::Parse("00:00:0c:d3:00:6e");
+  EXPECT_EQ(m1.SegmentHex(6), "6e");
+  auto m2 = *MacAddress::Parse("00:00:0c:d3:00:0b");
+  EXPECT_EQ(m2.SegmentHex(6), "b");
+  EXPECT_EQ(m2.SegmentHex(1), "0");
+}
+
+TEST(MacAddress, WideSegmentsAccepted) {
+  // Route-target style values sometimes have wider segments.
+  auto m = MacAddress::Parse("0:1:22:333:4:5");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->Segment(4), 0x333);
+}
+
+TEST(MacAddress, RejectsMalformed) {
+  EXPECT_FALSE(MacAddress::Parse("00:00:0c:d3:00").has_value());
+  EXPECT_FALSE(MacAddress::Parse("00:00:0c:d3:00:6e:77").has_value());
+  EXPECT_FALSE(MacAddress::Parse("00:00:0c:d3:00:zz").has_value());
+  EXPECT_FALSE(MacAddress::Parse("").has_value());
+  EXPECT_FALSE(MacAddress::Parse("00:00:0c:d3:00:12345").has_value());
+  EXPECT_FALSE(MacAddress::Parse("00::0c:d3:00:6e").has_value());
+}
+
+TEST(MacAddress, Ordering) {
+  auto a = *MacAddress::Parse("00:00:00:00:00:01");
+  auto b = *MacAddress::Parse("00:00:00:00:00:02");
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, a);
+}
+
+}  // namespace
+}  // namespace concord

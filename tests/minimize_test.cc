@@ -1,0 +1,173 @@
+#include "src/minimize/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/contracts/contract_io.h"
+
+namespace concord {
+namespace {
+
+Contract Eq(PatternTable* table, const std::string& p1, const std::string& p2,
+            double score = 10.0) {
+  Contract c;
+  c.kind = ContractKind::kRelational;
+  c.relation = RelationKind::kEquals;
+  c.pattern = InternPatternText(table, p1);
+  c.pattern2 = InternPatternText(table, p2);
+  c.param = 0;
+  c.param2 = 0;
+  c.score = score;
+  c.support = 10;
+  c.confidence = 1.0;
+  return c;
+}
+
+// Edges as (pattern1, pattern2) text pairs for easy assertions.
+std::set<std::pair<std::string, std::string>> EdgeSet(const std::vector<Contract>& contracts,
+                                                      const PatternTable& table) {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const Contract& c : contracts) {
+    if (c.kind == ContractKind::kRelational) {
+      out.insert({table.Get(c.pattern).text, table.Get(c.pattern2).text});
+    }
+  }
+  return out;
+}
+
+TEST(Minimize, CliqueBecomesCycle) {
+  // Figure 5's p4, p5, p6: all six mutual equality contracts reduce to a 3-cycle.
+  PatternTable table;
+  std::vector<std::string> ps = {"/p4 [a:num]", "/p5 [a:num]", "/p6 [a:num]"};
+  std::vector<Contract> contracts;
+  for (const std::string& a : ps) {
+    for (const std::string& b : ps) {
+      if (a != b) {
+        contracts.push_back(Eq(&table, a, b));
+      }
+    }
+  }
+  MinimizeResult result = MinimizeContracts(contracts);
+  EXPECT_EQ(result.relational_before, 6u);
+  EXPECT_EQ(result.relational_after, 3u);
+  // The 3 surviving edges form a cycle covering all three nodes.
+  auto edges = EdgeSet(result.contracts, table);
+  ASSERT_EQ(edges.size(), 3u);
+  std::map<std::string, int> out_deg, in_deg;
+  for (const auto& [a, b] : edges) {
+    ++out_deg[a];
+    ++in_deg[b];
+  }
+  for (const std::string& p : ps) {
+    EXPECT_EQ(out_deg[p], 1) << p;
+    EXPECT_EQ(in_deg[p], 1) << p;
+  }
+}
+
+TEST(Minimize, TransitiveChainEdgeRemoved) {
+  PatternTable table;
+  std::vector<Contract> contracts = {
+      Eq(&table, "/a [a:num]", "/b [a:num]"),
+      Eq(&table, "/b [a:num]", "/c [a:num]"),
+      Eq(&table, "/a [a:num]", "/c [a:num]"),  // Implied by the first two.
+  };
+  MinimizeResult result = MinimizeContracts(contracts);
+  EXPECT_EQ(result.relational_after, 2u);
+  auto edges = EdgeSet(result.contracts, table);
+  EXPECT_TRUE(edges.count({"/a [a:num]", "/b [a:num]"}));
+  EXPECT_TRUE(edges.count({"/b [a:num]", "/c [a:num]"}));
+  EXPECT_FALSE(edges.count({"/a [a:num]", "/c [a:num]"}));
+}
+
+TEST(Minimize, NonTransitiveRelationsUntouched) {
+  PatternTable table;
+  Contract contains = Eq(&table, "/x [a:ip4]", "/y [a:pfx4]");
+  contains.relation = RelationKind::kContains;
+  Contract contains2 = Eq(&table, "/y [a:pfx4]", "/z [a:pfx4]");
+  contains2.relation = RelationKind::kContains;
+  Contract contains3 = Eq(&table, "/x [a:ip4]", "/z [a:pfx4]");
+  contains3.relation = RelationKind::kContains;
+  MinimizeResult result = MinimizeContracts({contains, contains2, contains3});
+  EXPECT_EQ(result.contracts.size(), 3u);
+  EXPECT_EQ(result.relational_before, 0u);  // Contains is not counted as transitive.
+}
+
+TEST(Minimize, OtherContractKindsPassThrough) {
+  PatternTable table;
+  Contract present;
+  present.kind = ContractKind::kPresent;
+  present.pattern = InternPatternText(&table, "/keep me");
+  MinimizeResult result = MinimizeContracts({present});
+  ASSERT_EQ(result.contracts.size(), 1u);
+  EXPECT_EQ(result.contracts[0].kind, ContractKind::kPresent);
+}
+
+TEST(Minimize, AffixChainsReduce) {
+  PatternTable table;
+  Contract ab = Eq(&table, "/a [a:num]", "/b [a:num]");
+  ab.relation = RelationKind::kSuffixOf;
+  Contract bc = Eq(&table, "/b [a:num]", "/c [a:num]");
+  bc.relation = RelationKind::kSuffixOf;
+  Contract ac = Eq(&table, "/a [a:num]", "/c [a:num]");
+  ac.relation = RelationKind::kSuffixOf;
+  MinimizeResult result = MinimizeContracts({ab, bc, ac});
+  EXPECT_EQ(result.relational_before, 3u);
+  EXPECT_EQ(result.relational_after, 2u);
+}
+
+TEST(Minimize, SeparateRelationKindsDoNotCompose) {
+  // a equals b, b suffixof c: nothing is implied; all edges stay.
+  PatternTable table;
+  Contract ab = Eq(&table, "/a [a:num]", "/b [a:num]");
+  Contract bc = Eq(&table, "/b [a:num]", "/c [a:num]");
+  bc.relation = RelationKind::kSuffixOf;
+  Contract ac = Eq(&table, "/a [a:num]", "/c [a:num]");
+  ac.relation = RelationKind::kSuffixOf;
+  MinimizeResult result = MinimizeContracts({ab, bc, ac});
+  EXPECT_EQ(result.relational_after, 3u);
+}
+
+TEST(Minimize, DistinctTransformsAreDistinctNodes) {
+  // (p, a, id) and (p, a, hex) are different graph nodes (Figure 5 shows octet(3)).
+  PatternTable table;
+  Contract c1 = Eq(&table, "/p [a:num]", "/q [a:num]");
+  c1.transform1 = Transform{TransformKind::kHex, 0};
+  Contract c2 = Eq(&table, "/p [a:num]", "/q [a:num]");
+  // Same patterns, identity transforms: a parallel but distinct edge.
+  MinimizeResult result = MinimizeContracts({c1, c2});
+  EXPECT_EQ(result.relational_after, 2u);
+}
+
+TEST(Minimize, TwoNodeMutualEqualityKeepsBothDirections) {
+  PatternTable table;
+  Contract ab = Eq(&table, "/a [a:num]", "/b [a:num]");
+  Contract ba = Eq(&table, "/b [a:num]", "/a [a:num]");
+  MinimizeResult result = MinimizeContracts({ab, ba});
+  // A 2-cycle is already minimal: removing either loses bug-finding power.
+  EXPECT_EQ(result.relational_after, 2u);
+}
+
+TEST(Minimize, LargeCliqueQuadraticToLinear)  {
+  PatternTable table;
+  std::vector<std::string> ps;
+  for (int i = 0; i < 12; ++i) {
+    ps.push_back("/node" + std::to_string(i) + " [a:num]");
+  }
+  std::vector<Contract> contracts;
+  for (const std::string& a : ps) {
+    for (const std::string& b : ps) {
+      if (a != b) {
+        contracts.push_back(Eq(&table, a, b));
+      }
+    }
+  }
+  MinimizeResult result = MinimizeContracts(contracts);
+  EXPECT_EQ(result.relational_before, 132u);  // 12 * 11.
+  EXPECT_EQ(result.relational_after, 12u);    // One cycle.
+}
+
+}  // namespace
+}  // namespace concord

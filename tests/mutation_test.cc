@@ -1,0 +1,177 @@
+#include "src/datagen/mutation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/check/checker.h"
+#include "src/datagen/edge_gen.h"
+#include "src/learn/learner.h"
+
+namespace concord {
+namespace {
+
+LearnOptions Options() {
+  LearnOptions options;
+  options.support = 5;
+  options.confidence = 0.9;
+  options.score_threshold = 4.0;
+  return options;
+}
+
+struct World {
+  GeneratedCorpus corpus;
+  Dataset train;
+  ContractSet set;
+};
+
+World Learn(EdgeOptions edge = {}) {
+  World w;
+  edge.sites = 8;
+  edge.drift_rate = 0.0;       // Keep the training corpus pristine for clean checking.
+  edge.type_noise_rate = 0.0;
+  edge.optional_feature_rate = 1.0;
+  w.corpus = GenerateEdge(edge);
+  w.train = ParseCorpus(w.corpus);
+  Learner learner(Options());
+  w.set = learner.Learn(w.train).set;
+  return w;
+}
+
+// Checks a (mutated) corpus against contracts learned from pristine training data.
+CheckResult CheckCorpus(World* w, const GeneratedCorpus& corpus) {
+  Dataset tests;
+  tests.patterns = w->train.patterns;
+  Lexer lexer;
+  ConfigParser parser(&lexer, &tests.patterns, ParseOptions{});
+  for (const GeneratedConfig& config : corpus.configs) {
+    tests.configs.push_back(parser.Parse(config.name, config.text));
+  }
+  for (const GeneratedConfig& meta : corpus.metadata) {
+    for (ParsedLine& line : parser.ParseMetadata(meta.text)) {
+      tests.metadata.push_back(std::move(line));
+    }
+  }
+  Checker checker(&w->set, &tests.patterns);
+  return checker.Check(tests);
+}
+
+bool AnyViolationIn(const CheckResult& result, const std::string& config_name) {
+  for (const Violation& v : result.violations) {
+    if (v.config == config_name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Mutation, CleanCorpusChecksClean) {
+  World w = Learn();
+  CheckResult result = CheckCorpus(&w, w.corpus);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(Mutation, EveryKindIsDetected) {
+  for (MutationKind kind :
+       {MutationKind::kDropLine, MutationKind::kCorruptValue, MutationKind::kSwapAdjacentLines,
+        MutationKind::kDuplicateUniqueValue, MutationKind::kRetypeValue,
+        MutationKind::kBreakSequence}) {
+    World w = Learn();
+    GeneratedCorpus mutated = w.corpus;
+    MutationEngine engine(7);
+    int detected = 0;
+    int applied = 0;
+    // Several trials: some single mutations are legitimately silent (e.g. dropping an
+    // uncovered line), but the detection rate must be substantial.
+    for (int trial = 0; trial < 8; ++trial) {
+      GeneratedCorpus copy = w.corpus;
+      MutationEngine trial_engine(100 + trial);
+      auto mutation = trial_engine.Apply(&copy, kind);
+      if (!mutation) {
+        continue;
+      }
+      ++applied;
+      CheckResult result = CheckCorpus(&w, copy);
+      if (!result.violations.empty()) {
+        ++detected;
+      }
+    }
+    ASSERT_GT(applied, 0) << MutationKindName(kind);
+    // Most random mutations must trip a contract. Retypes are the weakest signal:
+    // they often land on the deliberately-untestable noise routes (§5.3's untested
+    // residue), so only a detectable minimum is required there.
+    if (kind == MutationKind::kRetypeValue) {
+      EXPECT_GE(detected, 2) << MutationKindName(kind);
+    } else {
+      EXPECT_GE(detected * 2, applied) << MutationKindName(kind);
+    }
+  }
+}
+
+TEST(Mutation, RecordsDescribeTheEdit) {
+  World w = Learn();
+  GeneratedCorpus copy = w.corpus;
+  MutationEngine engine(3);
+  auto m = engine.Apply(&copy, MutationKind::kDropLine);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, MutationKind::kDropLine);
+  EXPECT_FALSE(m->config_name.empty());
+  EXPECT_GT(m->line_number, 0);
+  EXPECT_NE(m->description.find("dropped line"), std::string::npos);
+}
+
+TEST(Incidents, MissingAggregateCaught) {
+  World w = Learn();
+  GeneratedCorpus copy = w.corpus;
+  auto m = ReplayMissingAggregate(&copy);
+  ASSERT_TRUE(m.has_value());
+  CheckResult result = CheckCorpus(&w, copy);
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_TRUE(AnyViolationIn(result, m->config_name));
+  // The paper's contract: static-route next hops must be covered by the aggregate.
+  bool relational = false;
+  for (const Violation& v : result.violations) {
+    if (v.config == m->config_name &&
+        w.set.contracts[v.contract_index].kind == ContractKind::kRelational) {
+      relational = true;
+    }
+  }
+  EXPECT_TRUE(relational);
+}
+
+TEST(Incidents, SpuriousVlanCaughtViaMetadata) {
+  World w = Learn();
+  GeneratedCorpus copy = w.corpus;
+  auto m = ReplaySpuriousVlan(&copy);
+  ASSERT_TRUE(m.has_value());
+  CheckResult result = CheckCorpus(&w, copy);
+  bool meta_violation = false;
+  for (const Violation& v : result.violations) {
+    if (v.config != m->config_name) {
+      continue;
+    }
+    const Contract& c = w.set.contracts[v.contract_index];
+    if (c.kind == ContractKind::kRelational &&
+        w.train.patterns.Get(c.pattern2).text.find("@meta") != std::string::npos) {
+      meta_violation = true;
+    }
+  }
+  EXPECT_TRUE(meta_violation);
+}
+
+TEST(Incidents, VrfReorderCaughtByOrdering) {
+  World w = Learn();
+  GeneratedCorpus copy = w.corpus;
+  auto m = ReplayVrfReorder(&copy);
+  ASSERT_TRUE(m.has_value());
+  CheckResult result = CheckCorpus(&w, copy);
+  bool ordering = false;
+  for (const Violation& v : result.violations) {
+    if (v.config == m->config_name &&
+        w.set.contracts[v.contract_index].kind == ContractKind::kOrdering) {
+      ordering = true;
+    }
+  }
+  EXPECT_TRUE(ordering);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,145 @@
+#include "src/pattern/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+constexpr char kConfig[] = R"(hostname DEV1
+!
+interface Loopback0
+   ip address 10.14.14.34
+!
+interface Port-Channel110
+   evpn ether-segment
+      route-target import 00:00:0c:d3:00:6e
+!
+router bgp 65015
+   vlan 251
+      rd 10.14.14.117:10251
+)";
+
+ParsedConfig ParseWith(Dataset* dataset, const std::string& text, ParseOptions options = {}) {
+  static Lexer lexer;
+  ConfigParser parser(&lexer, &dataset->patterns, options);
+  return parser.Parse("test.cfg", text);
+}
+
+TEST(ConfigParser, CanonicalPatternsMatchFigure3) {
+  Dataset dataset;
+  ParsedConfig config = ParseWith(&dataset, kConfig);
+
+  std::vector<std::string> got;
+  for (const ParsedLine& line : config.lines) {
+    got.push_back(dataset.patterns.Get(line.pattern).text);
+  }
+  std::vector<std::string> want = {
+      "/hostname DEV[a:num]",
+      "/!",
+      "/interface Loopback[a:num]",
+      "/interface Loopback[num]/ip address [a:ip4]",
+      "/!",
+      "/interface Port-Channel[a:num]",
+      "/interface Port-Channel[num]/evpn ether-segment",
+      "/interface Port-Channel[num]/evpn ether-segment/route-target import [a:mac]",
+      "/!",
+      "/router bgp [a:num]",
+      "/router bgp [num]/vlan [a:num]",
+      "/router bgp [num]/vlan [num]/rd [a:ip4]:[b:num]",
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(ConfigParser, ValuesExtractedOnlyForLeafLine) {
+  Dataset dataset;
+  ParsedConfig config = ParseWith(&dataset, kConfig);
+  // route-target line: single MAC value despite the parent port-channel number.
+  const ParsedLine& rt = config.lines[7];
+  ASSERT_EQ(rt.values.size(), 1u);
+  EXPECT_EQ(rt.values[0], Value::Mac(*MacAddress::Parse("00:00:0c:d3:00:6e")));
+  // rd line: ip4 + num.
+  const ParsedLine& rd = config.lines[11];
+  ASSERT_EQ(rd.values.size(), 2u);
+  EXPECT_EQ(rd.values[1], Value::Num(BigInt(10251)));
+}
+
+TEST(ConfigParser, RepeatedPatternsShareIds) {
+  Dataset dataset;
+  ParsedConfig config = ParseWith(&dataset, "vlan 1\nvlan 2\nvlan 3\n");
+  ASSERT_EQ(config.lines.size(), 3u);
+  EXPECT_EQ(config.lines[0].pattern, config.lines[1].pattern);
+  EXPECT_EQ(config.lines[1].pattern, config.lines[2].pattern);
+  EXPECT_EQ(dataset.patterns.size(), 1u);
+}
+
+TEST(ConfigParser, LineNumbersPreserved) {
+  Dataset dataset;
+  ParsedConfig config = ParseWith(&dataset, kConfig);
+  EXPECT_EQ(config.lines.front().line_number, 1);
+  EXPECT_EQ(config.lines.back().line_number, 12);
+}
+
+TEST(ConfigParser, NoEmbeddingAblationDropsContext) {
+  Dataset dataset;
+  ParsedConfig config =
+      ParseWith(&dataset, kConfig, ParseOptions{.embed_context = false, .constants = false});
+  for (const ParsedLine& line : config.lines) {
+    const std::string& text = dataset.patterns.Get(line.pattern).text;
+    // Exactly one '/' — the root separator — plus none from parents. (Prefix values
+    // would add one, but this config has none.)
+    EXPECT_EQ(text.find('/', 1), std::string::npos) << text;
+  }
+}
+
+TEST(ConfigParser, ConstantsModeInternsExactLines) {
+  Dataset dataset;
+  ParsedConfig config =
+      ParseWith(&dataset, kConfig, ParseOptions{.embed_context = true, .constants = true});
+  const ParsedLine& ip = config.lines[3];
+  ASSERT_NE(ip.const_pattern, kInvalidPattern);
+  const PatternInfo& info = dataset.patterns.Get(ip.const_pattern);
+  EXPECT_TRUE(info.is_constant);
+  EXPECT_EQ(info.text, "=/interface Loopback[num]/ip address 10.14.14.34");
+  EXPECT_TRUE(info.param_types.empty());
+}
+
+TEST(ConfigParser, ConstantsOffLeavesInvalidConstPattern) {
+  Dataset dataset;
+  ParsedConfig config = ParseWith(&dataset, kConfig);
+  for (const ParsedLine& line : config.lines) {
+    EXPECT_EQ(line.const_pattern, kInvalidPattern);
+  }
+}
+
+TEST(ConfigParser, MetadataRootedUnderMeta) {
+  Dataset dataset;
+  Lexer lexer;
+  ConfigParser parser(&lexer, &dataset.patterns, ParseOptions{});
+  auto lines = parser.ParseMetadata(R"({"nfInfos": [{"vrfName": "mgmt", "vlanId": 251}]})");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(dataset.patterns.Get(lines[1].pattern).text, "@meta/nfInfos/vlanId [a:num]");
+  ASSERT_EQ(lines[1].values.size(), 1u);
+  EXPECT_EQ(lines[1].values[0], Value::Num(BigInt(251)));
+}
+
+TEST(ConfigParser, UntypedPatternErasesTypes) {
+  Dataset dataset;
+  ParsedConfig c1 = ParseWith(&dataset, "ip address 10.0.0.1\n");
+  ParsedConfig c2 = ParseWith(&dataset, "ip address 10.0.0.0/24\n");
+  const PatternInfo& p1 = dataset.patterns.Get(c1.lines[0].pattern);
+  const PatternInfo& p2 = dataset.patterns.Get(c2.lines[0].pattern);
+  EXPECT_NE(p1.text, p2.text);
+  EXPECT_EQ(p1.untyped, p2.untyped);  // Both are `/ip address [a:?]`.
+}
+
+TEST(Dataset, Totals) {
+  Dataset dataset;
+  dataset.configs.push_back(ParseWith(&dataset, "vlan 1\nvlan 2\n"));
+  dataset.configs.push_back(ParseWith(&dataset, "vlan 3\nhostname X\n"));
+  EXPECT_EQ(dataset.TotalLines(), 4u);
+  // Patterns: `/vlan [a:num]` (1 param) and `/hostname X` (0 params).
+  EXPECT_EQ(dataset.TotalParameters(), 1u);
+}
+
+}  // namespace
+}  // namespace concord

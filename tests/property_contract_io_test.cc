@@ -1,0 +1,164 @@
+// Property test: contract-set serialization round-trips for arbitrary contracts over
+// arbitrary (well-formed) patterns — checking between machines relies on this.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/contracts/contract_io.h"
+#include "src/util/rng.h"
+
+namespace concord {
+namespace {
+
+class ContractIoProperty : public ::testing::TestWithParam<int> {
+ protected:
+  SplitMix64 rng_{static_cast<uint64_t>(GetParam()) * 48271 + 17};
+
+  std::string RandomPatternText(PatternTable* table) {
+    // Words, context segments, and typed holes assembled the way the parser would.
+    static const char* kWords[] = {"interface", "route", "vlan", "seq", "permit",
+                                   "neighbor",  "set",   "bgp",  "rd",  "import"};
+    static const char* kTypes[] = {"num", "ip4", "pfx4", "mac", "ip6", "pfx6",
+                                   "hex", "bool", "iface"};
+    std::string text;
+    size_t segments = 1 + rng_.Below(3);
+    size_t params = 0;
+    for (size_t s = 0; s < segments; ++s) {
+      text += "/";
+      size_t words = 1 + rng_.Below(3);
+      for (size_t w = 0; w < words; ++w) {
+        if (w > 0) {
+          text += " ";
+        }
+        text += kWords[rng_.Below(10)];
+      }
+      bool last = s + 1 == segments;
+      if (rng_.Chance(0.7)) {
+        text += " [";
+        if (last) {
+          text += PatternTable::ParamName(params++) + ":";
+        }
+        text += kTypes[rng_.Below(9)];
+        text += "]";
+      }
+    }
+    (void)table;
+    return text;
+  }
+
+  Contract RandomContract(PatternTable* table) {
+    Contract c;
+    switch (rng_.Below(6)) {
+      case 0:
+        c.kind = ContractKind::kPresent;
+        c.pattern = InternPatternText(table, RandomPatternText(table));
+        break;
+      case 1:
+        c.kind = ContractKind::kOrdering;
+        c.pattern = InternPatternText(table, RandomPatternText(table));
+        c.pattern2 = InternPatternText(table, RandomPatternText(table));
+        c.successor = rng_.Chance(0.5);
+        break;
+      case 2:
+        c.kind = ContractKind::kType;
+        c.untyped_pattern = "/knob [a:?]";
+        c.param = 0;
+        c.invalid_type = static_cast<ValueType>(rng_.Below(9));
+        break;
+      case 3:
+        c.kind = ContractKind::kSequence;
+        c.pattern = InternPatternText(table, RandomPatternText(table));
+        c.param = static_cast<uint16_t>(rng_.Below(3));
+        break;
+      case 4:
+        c.kind = ContractKind::kUnique;
+        c.pattern = InternPatternText(table, RandomPatternText(table));
+        c.param = static_cast<uint16_t>(rng_.Below(3));
+        break;
+      default: {
+        c.kind = ContractKind::kRelational;
+        c.pattern = InternPatternText(table, RandomPatternText(table));
+        c.pattern2 = InternPatternText(table, RandomPatternText(table));
+        c.param = static_cast<uint16_t>(rng_.Below(3));
+        c.param2 = static_cast<uint16_t>(rng_.Below(3));
+        static const RelationKind kRelations[] = {
+            RelationKind::kEquals,   RelationKind::kContains, RelationKind::kStartsWith,
+            RelationKind::kPrefixOf, RelationKind::kEndsWith, RelationKind::kSuffixOf};
+        c.relation = kRelations[rng_.Below(6)];
+        static const Transform kTransforms[] = {
+            IdTransform(),
+            {TransformKind::kHex, 0},
+            {TransformKind::kMacSegment, 6},
+            {TransformKind::kIpOctet, 2},
+            {TransformKind::kPfxAddr, 0},
+            {TransformKind::kPfxLen, 0}};
+        c.transform1 = kTransforms[rng_.Below(6)];
+        c.transform2 = kTransforms[rng_.Below(6)];
+        c.score = static_cast<double>(rng_.Below(1000)) / 10.0;
+        break;
+      }
+    }
+    c.support = static_cast<int>(rng_.Below(100));
+    c.confidence = static_cast<double>(rng_.Below(1000)) / 1000.0;
+    return c;
+  }
+};
+
+TEST_P(ContractIoProperty, RoundTripPreservesIdentityAndStats) {
+  PatternTable table;
+  ContractSet set;
+  set.constants_mode = GetParam() % 2 == 0;
+  set.embed_context = GetParam() % 3 != 0;
+  for (int i = 0; i < 60; ++i) {
+    set.contracts.push_back(RandomContract(&table));
+  }
+
+  std::string json = SerializeContracts(set, table);
+  PatternTable table2;
+  std::string error;
+  auto loaded = ParseContracts(json, &table2, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->constants_mode, set.constants_mode);
+  EXPECT_EQ(loaded->embed_context, set.embed_context);
+  ASSERT_EQ(loaded->contracts.size(), set.contracts.size());
+  for (size_t i = 0; i < set.contracts.size(); ++i) {
+    const Contract& a = set.contracts[i];
+    const Contract& b = loaded->contracts[i];
+    EXPECT_EQ(a.Key(table), b.Key(table2)) << i;
+    EXPECT_EQ(a.support, b.support);
+    EXPECT_NEAR(a.confidence, b.confidence, 1e-12);
+    EXPECT_EQ(a.ToString(table), b.ToString(table2));
+  }
+
+  // A second round trip is byte-identical (canonical form).
+  std::string json2 = SerializeContracts(*loaded, table2);
+  EXPECT_EQ(json, json2);
+}
+
+TEST_P(ContractIoProperty, InternedPatternsMatchParserMetadata) {
+  PatternTable table;
+  for (int i = 0; i < 40; ++i) {
+    std::string text = RandomPatternText(&table);
+    PatternId id = InternPatternText(&table, text);
+    const PatternInfo& info = table.Get(id);
+    EXPECT_EQ(info.text, text);
+    // Named holes become params; context holes do not.
+    size_t named = 0;
+    size_t pos = 0;
+    while ((pos = text.find(":", pos)) != std::string::npos) {
+      // Count only [x:type] forms: previous chars up to '[' are the name.
+      size_t open = text.rfind('[', pos);
+      if (open != std::string::npos && open < pos &&
+          text.find(']', pos) != std::string::npos) {
+        ++named;
+      }
+      ++pos;
+    }
+    EXPECT_EQ(info.param_types.size(), named) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContractIoProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,161 @@
+// Property test for contract minimization (§3.6): the reduced contract set must
+// preserve *reachability* — if the learned set related node u to node v (directly or
+// through a chain of same-relation contracts), the minimized set still does. That is
+// exactly the bug-finding-preservation argument of the paper.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "src/contracts/contract_io.h"
+#include "src/minimize/minimize.h"
+#include "src/util/rng.h"
+
+namespace concord {
+namespace {
+
+class MinimizeProperty : public ::testing::TestWithParam<int> {
+ protected:
+  SplitMix64 rng_{static_cast<uint64_t>(GetParam()) * 1099511628211ULL + 3};
+};
+
+using Graph = std::map<int, std::set<int>>;
+
+Graph Closure(const Graph& g, int n) {
+  Graph out;
+  for (int start = 0; start < n; ++start) {
+    std::queue<int> queue;
+    std::set<int>& reach = out[start];
+    queue.push(start);
+    std::set<int> seen{start};
+    while (!queue.empty()) {
+      int v = queue.front();
+      queue.pop();
+      auto it = g.find(v);
+      if (it == g.end()) {
+        continue;
+      }
+      for (int w : it->second) {
+        if (seen.insert(w).second) {
+          reach.insert(w);
+          queue.push(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Contract EqContract(PatternTable* table, int u, int v) {
+  Contract c;
+  c.kind = ContractKind::kRelational;
+  c.relation = RelationKind::kEquals;
+  c.pattern = InternPatternText(table, "/node" + std::to_string(u) + " [a:num]");
+  c.pattern2 = InternPatternText(table, "/node" + std::to_string(v) + " [a:num]");
+  c.score = 10.0;
+  c.support = 10;
+  c.confidence = 1.0;
+  return c;
+}
+
+int NodeOf(const PatternTable& table, PatternId id) {
+  const std::string& text = table.Get(id).text;
+  return std::stoi(text.substr(5));  // "/node<k> ..."
+}
+
+TEST_P(MinimizeProperty, ReachabilityPreservedOnRandomGraphs) {
+  for (int trial = 0; trial < 15; ++trial) {
+    int n = 4 + static_cast<int>(rng_.Below(10));
+    PatternTable table;
+    Graph original;
+    std::vector<Contract> contracts;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && rng_.Chance(0.3)) {
+          original[u].insert(v);
+          contracts.push_back(EqContract(&table, u, v));
+        }
+      }
+    }
+    MinimizeResult result = MinimizeContracts(contracts);
+    Graph reduced;
+    for (const Contract& c : result.contracts) {
+      reduced[NodeOf(table, c.pattern)].insert(NodeOf(table, c.pattern2));
+    }
+    Graph before = Closure(original, n);
+    Graph after = Closure(reduced, n);
+    // Reachability must be preserved exactly in both directions: nothing lost (bug
+    // finding) and nothing invented outside SCC cycles. Within an SCC the synthesized
+    // cycle may add pairs that were already mutually reachable, so we compare
+    // closures, which are SCC-invariant.
+    EXPECT_EQ(before, after) << "n=" << n << " trial=" << trial;
+    EXPECT_LE(result.relational_after, result.relational_before);
+  }
+}
+
+TEST_P(MinimizeProperty, IdempotentOnReducedSets) {
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 4 + static_cast<int>(rng_.Below(8));
+    PatternTable table;
+    std::vector<Contract> contracts;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && rng_.Chance(0.3)) {
+          contracts.push_back(EqContract(&table, u, v));
+        }
+      }
+    }
+    MinimizeResult once = MinimizeContracts(contracts);
+    MinimizeResult twice = MinimizeContracts(once.contracts);
+    EXPECT_EQ(twice.relational_after, once.relational_after);
+    std::multiset<std::string> a, b;
+    for (const Contract& c : once.contracts) {
+      a.insert(c.Key(table));
+    }
+    for (const Contract& c : twice.contracts) {
+      b.insert(c.Key(table));
+    }
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_P(MinimizeProperty, DagReductionIsMinimal) {
+  // On DAGs (forward edges only), the transitive reduction is unique: every surviving
+  // edge must be non-redundant.
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 4 + static_cast<int>(rng_.Below(8));
+    PatternTable table;
+    Graph original;
+    std::vector<Contract> contracts;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng_.Chance(0.4)) {
+          original[u].insert(v);
+          contracts.push_back(EqContract(&table, u, v));
+        }
+      }
+    }
+    MinimizeResult result = MinimizeContracts(contracts);
+    Graph reduced;
+    for (const Contract& c : result.contracts) {
+      reduced[NodeOf(table, c.pattern)].insert(NodeOf(table, c.pattern2));
+    }
+    // Removing any surviving edge must lose reachability.
+    for (const auto& [u, targets] : reduced) {
+      for (int v : targets) {
+        Graph without = reduced;
+        without[u].erase(v);
+        Graph closure = Closure(without, n);
+        EXPECT_FALSE(closure[u].count(v))
+            << "edge " << u << "->" << v << " is redundant in the reduction";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeProperty, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace concord

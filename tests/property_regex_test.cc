@@ -1,0 +1,129 @@
+// Property tests: the hand-rolled Thompson engine must agree with std::regex
+// (ECMAScript grammar) on full-match questions for the supported construct set.
+// Full-match equivalence is semantics-independent of greediness/priority, so the two
+// implementations are directly comparable.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/regex/regex.h"
+#include "src/util/rng.h"
+
+namespace concord {
+namespace {
+
+class RegexAgreement : public ::testing::TestWithParam<const char*> {};
+
+// Patterns covering every supported construct.
+const char* kPatterns[] = {
+    "abc",
+    "a*",
+    "a+b*",
+    "(ab)+",
+    "a|b|cc",
+    "[abc]+",
+    "[^abc]+",
+    "[a-f0-9]+",
+    "a?b?c?",
+    "(a|b)*abb",
+    "x{2,4}",
+    "(ab|cd){1,3}",
+    "a.c",
+    "[0-9]+(\\.[0-9]+){3}",
+    "([ae]|[be])+x",
+    "\\d+",
+    "\\w+",
+    "(a+)(b+)",
+    "z|",
+    "((a|b)(c|d))*",
+};
+
+// All strings over {a, b, c} (plus a few digit/dot strings) up to length 5.
+std::vector<std::string> TestStrings() {
+  std::vector<std::string> out = {""};
+  const std::string alphabet = "abc";
+  std::vector<std::string> frontier = {""};
+  for (int len = 1; len <= 5; ++len) {
+    std::vector<std::string> next;
+    for (const std::string& s : frontier) {
+      for (char c : alphabet) {
+        next.push_back(s + c);
+      }
+    }
+    out.insert(out.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  for (const char* extra : {"x", "xx", "xxx", "xxxx", "xxxxx", "1.2.3.4", "10.0.0.1",
+                            "12", "abb", "aabb", "cdab", "zz", "z", "d7", "0", "ae",
+                            "bebe", "aeex", ".", "..", "a.c"}) {
+    out.push_back(extra);
+  }
+  return out;
+}
+
+TEST_P(RegexAgreement, FullMatchMatchesStdRegex) {
+  const char* pattern = GetParam();
+  std::string error;
+  auto mine = Regex::Compile(pattern, &error);
+  ASSERT_TRUE(mine.has_value()) << pattern << ": " << error;
+  std::regex reference(pattern, std::regex::ECMAScript);
+  for (const std::string& input : TestStrings()) {
+    bool expected = std::regex_match(input, reference);
+    bool actual = mine->FullMatch(input);
+    EXPECT_EQ(actual, expected) << "pattern '" << pattern << "' input '" << input << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SupportedConstructs, RegexAgreement, ::testing::ValuesIn(kPatterns));
+
+// Random pattern generator over the supported constructs; every generated pattern must
+// compile in both engines and agree on random inputs.
+class RandomRegexAgreement : public ::testing::TestWithParam<int> {};
+
+std::string RandomPattern(SplitMix64& rng, int depth) {
+  if (depth <= 0 || rng.Chance(0.4)) {
+    static const char* kAtoms[] = {"a", "b", "c", "[ab]", "[^a]", "[a-c]", "."};
+    return kAtoms[rng.Below(sizeof(kAtoms) / sizeof(kAtoms[0]))];
+  }
+  switch (rng.Below(4)) {
+    case 0:
+      return RandomPattern(rng, depth - 1) + RandomPattern(rng, depth - 1);
+    case 1:
+      return "(" + RandomPattern(rng, depth - 1) + "|" + RandomPattern(rng, depth - 1) + ")";
+    case 2: {
+      static const char* kQuant[] = {"*", "+", "?", "{2}", "{1,2}"};
+      return "(" + RandomPattern(rng, depth - 1) + ")" +
+             kQuant[rng.Below(sizeof(kQuant) / sizeof(kQuant[0]))];
+    }
+    default:
+      return "(" + RandomPattern(rng, depth - 1) + ")";
+  }
+}
+
+TEST_P(RandomRegexAgreement, AgreesOnRandomInputs) {
+  SplitMix64 rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string pattern = RandomPattern(rng, 3);
+    std::string error;
+    auto mine = Regex::Compile(pattern, &error);
+    ASSERT_TRUE(mine.has_value()) << pattern << ": " << error;
+    std::regex reference(pattern, std::regex::ECMAScript);
+    for (int i = 0; i < 30; ++i) {
+      std::string input;
+      size_t len = rng.Below(7);
+      for (size_t k = 0; k < len; ++k) {
+        input.push_back(static_cast<char>('a' + rng.Below(3)));
+      }
+      EXPECT_EQ(mine->FullMatch(input), std::regex_match(input, reference))
+          << "pattern '" << pattern << "' input '" << input << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRegexAgreement, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace concord

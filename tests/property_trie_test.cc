@@ -1,0 +1,192 @@
+// Property tests: the relation-finding data structures agree with brute-force
+// reference implementations on random inputs (§3.5 correctness is what makes the
+// optimized learner equivalent to naive enumeration).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/relations/affix_trie.h"
+#include "src/relations/prefix_trie.h"
+#include "src/util/rng.h"
+
+namespace concord {
+namespace {
+
+class TrieProperty : public ::testing::TestWithParam<int> {
+ protected:
+  SplitMix64 rng_{static_cast<uint64_t>(GetParam()) * 2654435761ULL + 99};
+};
+
+TEST_P(TrieProperty, PrefixTrieMatchesBruteForceV4) {
+  // Random prefixes biased toward shared bits so containment actually happens.
+  std::vector<Ipv4Network> networks;
+  for (int i = 0; i < 64; ++i) {
+    uint32_t base = rng_.Chance(0.5) ? 0x0a000000u : static_cast<uint32_t>(rng_.Next());
+    uint32_t bits = base | (static_cast<uint32_t>(rng_.Next()) & 0x00ffffffu);
+    int len = static_cast<int>(rng_.Below(33));
+    networks.push_back(Ipv4Network(Ipv4Address(bits), len));
+  }
+  PrefixTrie trie;
+  for (size_t i = 0; i < networks.size(); ++i) {
+    trie.Insert(networks[i], ParamRef{static_cast<PatternId>(i), 0, IdTransform(), 0});
+  }
+  for (int q = 0; q < 64; ++q) {
+    uint32_t bits = rng_.Chance(0.5)
+                        ? (0x0a000000u | (static_cast<uint32_t>(rng_.Next()) & 0xffffffu))
+                        : static_cast<uint32_t>(rng_.Next());
+    Ipv4Address addr(bits);
+    std::vector<PrefixTrie::Hit> hits;
+    trie.FindContaining(addr, &hits);
+    std::multiset<size_t> got;
+    for (const auto& hit : hits) {
+      got.insert(hit.ref.pattern);
+      EXPECT_EQ(hit.prefix_len, networks[hit.ref.pattern].prefix_len());
+    }
+    std::multiset<size_t> want;
+    for (size_t i = 0; i < networks.size(); ++i) {
+      if (networks[i].Contains(addr)) {
+        want.insert(i);
+      }
+    }
+    EXPECT_EQ(got, want) << addr.ToString();
+  }
+}
+
+TEST_P(TrieProperty, PrefixTrieMatchesBruteForceNetworkQueries) {
+  std::vector<Ipv4Network> networks;
+  for (int i = 0; i < 48; ++i) {
+    uint32_t bits = 0xc0a80000u | (static_cast<uint32_t>(rng_.Next()) & 0xffffu);
+    networks.push_back(Ipv4Network(Ipv4Address(bits), static_cast<int>(rng_.Range(8, 32))));
+  }
+  PrefixTrie trie;
+  for (size_t i = 0; i < networks.size(); ++i) {
+    trie.Insert(networks[i], ParamRef{static_cast<PatternId>(i), 0, IdTransform(), 0});
+  }
+  for (const Ipv4Network& query : networks) {
+    std::vector<PrefixTrie::Hit> hits;
+    trie.FindContaining(query, &hits);
+    std::multiset<size_t> got;
+    for (const auto& hit : hits) {
+      got.insert(hit.ref.pattern);
+    }
+    std::multiset<size_t> want;
+    for (size_t i = 0; i < networks.size(); ++i) {
+      if (networks[i].Contains(query)) {
+        want.insert(i);
+      }
+    }
+    EXPECT_EQ(got, want) << query.ToString();
+  }
+}
+
+TEST_P(TrieProperty, PrefixTrieMatchesBruteForceV6) {
+  std::vector<Ipv6Network> networks;
+  for (int i = 0; i < 32; ++i) {
+    std::array<uint8_t, 16> bytes{};
+    bytes[0] = 0x20;
+    bytes[1] = 0x01;
+    for (int k = 2; k < 16; ++k) {
+      bytes[k] = rng_.Chance(0.6) ? 0 : static_cast<uint8_t>(rng_.Below(4));
+    }
+    networks.push_back(Ipv6Network(Ipv6Address(bytes), static_cast<int>(rng_.Below(129))));
+  }
+  PrefixTrie trie;
+  for (size_t i = 0; i < networks.size(); ++i) {
+    trie.Insert(networks[i], ParamRef{static_cast<PatternId>(i), 0, IdTransform(), 0});
+  }
+  for (int q = 0; q < 32; ++q) {
+    std::array<uint8_t, 16> bytes{};
+    bytes[0] = 0x20;
+    bytes[1] = 0x01;
+    for (int k = 2; k < 16; ++k) {
+      bytes[k] = rng_.Chance(0.6) ? 0 : static_cast<uint8_t>(rng_.Below(4));
+    }
+    Ipv6Address addr(bytes);
+    std::vector<PrefixTrie::Hit> hits;
+    trie.FindContaining(addr, &hits);
+    std::multiset<size_t> got;
+    for (const auto& hit : hits) {
+      got.insert(hit.ref.pattern);
+    }
+    std::multiset<size_t> want;
+    for (size_t i = 0; i < networks.size(); ++i) {
+      if (networks[i].Contains(addr)) {
+        want.insert(i);
+      }
+    }
+    EXPECT_EQ(got, want) << addr.ToString();
+  }
+}
+
+std::string RandomDigits(SplitMix64& rng, size_t max_len) {
+  size_t len = 1 + rng.Below(max_len);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('0' + rng.Below(3)));  // Narrow alphabet: collisions.
+  }
+  return s;
+}
+
+TEST_P(TrieProperty, AffixTrieMatchesBruteForceSuffix) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 80; ++i) {
+    keys.push_back(RandomDigits(rng_, 6));
+  }
+  AffixTrie trie(/*reversed=*/true);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    trie.Insert(keys[i], ParamRef{static_cast<PatternId>(i), 0, IdTransform(), 0});
+  }
+  for (const std::string& query : keys) {
+    std::vector<AffixTrie::Hit> hits;
+    trie.FindAffixesOf(query, &hits);
+    std::multiset<size_t> got;
+    for (const auto& hit : hits) {
+      got.insert(hit.ref.pattern);
+      EXPECT_EQ(static_cast<size_t>(hit.affix_len), keys[hit.ref.pattern].size());
+    }
+    std::multiset<size_t> want;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const std::string& k = keys[i];
+      if (k.size() < query.size() &&
+          query.compare(query.size() - k.size(), k.size(), k) == 0) {
+        want.insert(i);
+      }
+    }
+    EXPECT_EQ(got, want) << query;
+  }
+}
+
+TEST_P(TrieProperty, AffixTrieMatchesBruteForcePrefix) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 80; ++i) {
+    keys.push_back(RandomDigits(rng_, 6));
+  }
+  AffixTrie trie(/*reversed=*/false);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    trie.Insert(keys[i], ParamRef{static_cast<PatternId>(i), 0, IdTransform(), 0});
+  }
+  for (const std::string& query : keys) {
+    std::vector<AffixTrie::Hit> hits;
+    trie.FindAffixesOf(query, &hits);
+    std::multiset<size_t> got;
+    for (const auto& hit : hits) {
+      got.insert(hit.ref.pattern);
+    }
+    std::multiset<size_t> want;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const std::string& k = keys[i];
+      if (k.size() < query.size() && query.compare(0, k.size(), k) == 0) {
+        want.insert(i);
+      }
+    }
+    EXPECT_EQ(got, want) << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,181 @@
+#include "src/regex/regex.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+Regex MustCompile(std::string_view pattern) {
+  std::string error;
+  auto re = Regex::Compile(pattern, &error);
+  EXPECT_TRUE(re.has_value()) << "pattern '" << pattern << "': " << error;
+  return *re;
+}
+
+TEST(Regex, Literals) {
+  Regex re = MustCompile("abc");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_FALSE(re.FullMatch("ab"));
+  EXPECT_FALSE(re.FullMatch("abcd"));
+  EXPECT_FALSE(re.FullMatch(""));
+}
+
+TEST(Regex, EmptyPatternMatchesEmpty) {
+  Regex re = MustCompile("");
+  EXPECT_TRUE(re.FullMatch(""));
+  EXPECT_FALSE(re.FullMatch("a"));
+}
+
+TEST(Regex, Alternation) {
+  Regex re = MustCompile("true|false");
+  EXPECT_TRUE(re.FullMatch("true"));
+  EXPECT_TRUE(re.FullMatch("false"));
+  EXPECT_FALSE(re.FullMatch("truth"));
+}
+
+TEST(Regex, MultiWayAlternation) {
+  Regex re = MustCompile("a|bb|ccc");
+  EXPECT_TRUE(re.FullMatch("a"));
+  EXPECT_TRUE(re.FullMatch("bb"));
+  EXPECT_TRUE(re.FullMatch("ccc"));
+  EXPECT_FALSE(re.FullMatch("cc"));
+}
+
+TEST(Regex, Quantifiers) {
+  EXPECT_TRUE(MustCompile("a*").FullMatch(""));
+  EXPECT_TRUE(MustCompile("a*").FullMatch("aaaa"));
+  EXPECT_FALSE(MustCompile("a+").FullMatch(""));
+  EXPECT_TRUE(MustCompile("a+").FullMatch("aaa"));
+  EXPECT_TRUE(MustCompile("ab?").FullMatch("a"));
+  EXPECT_TRUE(MustCompile("ab?").FullMatch("ab"));
+  EXPECT_FALSE(MustCompile("ab?").FullMatch("abb"));
+}
+
+TEST(Regex, BoundedRepetition) {
+  Regex re = MustCompile("(ab){2,3}");
+  EXPECT_FALSE(re.FullMatch("ab"));
+  EXPECT_TRUE(re.FullMatch("abab"));
+  EXPECT_TRUE(re.FullMatch("ababab"));
+  EXPECT_FALSE(re.FullMatch("abababab"));
+
+  Regex exact = MustCompile("x{3}");
+  EXPECT_TRUE(exact.FullMatch("xxx"));
+  EXPECT_FALSE(exact.FullMatch("xx"));
+  EXPECT_FALSE(exact.FullMatch("xxxx"));
+
+  Regex open = MustCompile("y{2,}");
+  EXPECT_FALSE(open.FullMatch("y"));
+  EXPECT_TRUE(open.FullMatch("yy"));
+  EXPECT_TRUE(open.FullMatch("yyyyyy"));
+}
+
+TEST(Regex, CharacterClasses) {
+  Regex re = MustCompile("[0-9a-f]+");
+  EXPECT_TRUE(re.FullMatch("6e"));
+  EXPECT_TRUE(re.FullMatch("00ff"));
+  EXPECT_FALSE(re.FullMatch("6G"));
+  Regex neg = MustCompile("[^0-9]+");
+  EXPECT_TRUE(neg.FullMatch("abc"));
+  EXPECT_FALSE(neg.FullMatch("a1c"));
+}
+
+TEST(Regex, ClassWithLiteralDashAndBracket) {
+  Regex re = MustCompile("[a-]+");
+  EXPECT_TRUE(re.FullMatch("a-a"));
+  EXPECT_FALSE(re.FullMatch("b"));
+}
+
+TEST(Regex, Escapes) {
+  EXPECT_TRUE(MustCompile("\\d+").FullMatch("123"));
+  EXPECT_FALSE(MustCompile("\\d+").FullMatch("12a"));
+  EXPECT_TRUE(MustCompile("\\w+").FullMatch("a_1"));
+  EXPECT_TRUE(MustCompile("\\s").FullMatch(" "));
+  EXPECT_TRUE(MustCompile("a\\.b").FullMatch("a.b"));
+  EXPECT_FALSE(MustCompile("a\\.b").FullMatch("axb"));
+  EXPECT_TRUE(MustCompile("\\D").FullMatch("x"));
+  EXPECT_FALSE(MustCompile("\\D").FullMatch("5"));
+}
+
+TEST(Regex, Dot) {
+  Regex re = MustCompile("a.c");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("a-c"));
+  EXPECT_FALSE(re.FullMatch("a\nc"));
+}
+
+TEST(Regex, PaperTable1Patterns) {
+  // The actual lexer token definitions from Table 1.
+  Regex iface = MustCompile("([aA]e|[eE]t|[pP]o)-?[0-9]+");
+  EXPECT_TRUE(iface.FullMatch("et42"));
+  EXPECT_TRUE(iface.FullMatch("Ae-1"));
+  EXPECT_FALSE(iface.FullMatch("xe1"));
+
+  Regex boolean = MustCompile("true|false");
+  EXPECT_TRUE(boolean.FullMatch("false"));
+
+  Regex num = MustCompile("[1-9][0-9]*");
+  EXPECT_TRUE(num.FullMatch("65015"));
+  EXPECT_FALSE(num.FullMatch("0123"));
+
+  Regex mac = MustCompile("[0-9a-zA-Z]+(:[0-9a-zA-Z]+){5}");
+  EXPECT_TRUE(mac.FullMatch("00:00:0c:d3:00:6e"));
+  EXPECT_FALSE(mac.FullMatch("00:00:0c:d3:00"));
+
+  Regex ip4 = MustCompile("[0-9]+(\\.[0-9]+){3}");
+  EXPECT_TRUE(ip4.FullMatch("10.14.14.34"));
+  EXPECT_FALSE(ip4.FullMatch("10.14.14"));
+
+  Regex pfx4 = MustCompile("[0-9]+(\\.[0-9]+){3}/[0-9]+");
+  EXPECT_TRUE(pfx4.FullMatch("10.14.14.34/32"));
+}
+
+TEST(Regex, MatchPrefixLongest) {
+  Regex re = MustCompile("[0-9]+");
+  auto len = re.MatchPrefix("12345abc", 0);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_EQ(*len, 5u);
+  EXPECT_FALSE(re.MatchPrefix("abc", 0).has_value());
+  auto mid = re.MatchPrefix("ab123", 2);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(*mid, 3u);
+}
+
+TEST(Regex, MatchPrefixZeroLength) {
+  Regex re = MustCompile("a*");
+  auto len = re.MatchPrefix("bbb", 0);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_EQ(*len, 0u);
+}
+
+TEST(Regex, CompileErrors) {
+  std::string error;
+  EXPECT_FALSE(Regex::Compile("(ab", &error).has_value());
+  EXPECT_FALSE(Regex::Compile("a)", &error).has_value());
+  EXPECT_FALSE(Regex::Compile("*a", &error).has_value());
+  EXPECT_FALSE(Regex::Compile("[abc", &error).has_value());
+  EXPECT_FALSE(Regex::Compile("a\\", &error).has_value());
+  EXPECT_FALSE(Regex::Compile("a{3,1}", &error).has_value());
+  EXPECT_FALSE(Regex::Compile("a{99999}", &error).has_value());
+  EXPECT_FALSE(Regex::Compile("[z-a]", &error).has_value());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(Regex, NoCatastrophicBacktracking) {
+  // (a+)+b-style patterns are linear-time in a Thompson engine.
+  Regex re = MustCompile("(a+)+b");
+  std::string input(2000, 'a');
+  EXPECT_FALSE(re.FullMatch(input));  // Must return quickly.
+  input.push_back('b');
+  EXPECT_TRUE(re.FullMatch(input));
+}
+
+TEST(Regex, NestedGroups) {
+  Regex re = MustCompile("((ab|cd)+x)?y");
+  EXPECT_TRUE(re.FullMatch("y"));
+  EXPECT_TRUE(re.FullMatch("abxy"));
+  EXPECT_TRUE(re.FullMatch("abcdabxy"));
+  EXPECT_FALSE(re.FullMatch("abx"));
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,89 @@
+#include "src/report/report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/contracts/contract_io.h"
+#include "src/format/json.h"
+
+namespace concord {
+namespace {
+
+struct Fixture {
+  PatternTable table;
+  ContractSet set;
+  CheckResult result;
+
+  Fixture() {
+    Contract c;
+    c.kind = ContractKind::kPresent;
+    c.pattern = InternPatternText(&table, "/router bgp [a:num]");
+    set.contracts.push_back(c);
+    Contract u;
+    u.kind = ContractKind::kUnique;
+    u.pattern = InternPatternText(&table, "/hostname DEV[a:num]");
+    set.contracts.push_back(u);
+
+    result.violations.push_back(
+        Violation{0, "dev1.cfg", 0, "missing line matching pattern /router bgp [a:num]"});
+    result.violations.push_back(
+        Violation{1, "dev2.cfg", 7, "value 42 reuses a unique parameter <&>"});
+    result.total_lines = 100;
+    result.covered_lines = 60;
+    result.covered_by_kind[static_cast<size_t>(CoverageKind::kPresent)] = 40;
+  }
+};
+
+TEST(ReportJson, ContainsViolationsAndCoverage) {
+  Fixture f;
+  std::string json = ReportJson(f.result, f.set, f.table);
+  auto doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* violations = doc->Find("violations");
+  ASSERT_NE(violations, nullptr);
+  ASSERT_EQ(violations->items().size(), 2u);
+  EXPECT_EQ(violations->items()[0].GetString("category"), "present");
+  EXPECT_EQ(violations->items()[1].GetInt("line"), 7);
+  const JsonValue* coverage = doc->Find("coverage");
+  ASSERT_NE(coverage, nullptr);
+  EXPECT_EQ(coverage->GetInt("totalLines"), 100);
+  EXPECT_DOUBLE_EQ(*coverage->GetDouble("percent"), 60.0);
+  const JsonValue* by_kind = coverage->Find("percentByKind");
+  ASSERT_NE(by_kind, nullptr);
+  EXPECT_DOUBLE_EQ(*by_kind->GetDouble("present"), 40.0);
+}
+
+TEST(ReportHtml, EscapesAndEmbedsRows) {
+  Fixture f;
+  std::string html = ReportHtml(f.result, f.set, f.table);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("dev1.cfg"), std::string::npos);
+  // The raw <&> from the message must be escaped.
+  EXPECT_EQ(html.find("<&>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;&amp;&gt;"), std::string::npos);
+  // Self-contained: script and style inline.
+  EXPECT_NE(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("<style>"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+}
+
+TEST(ReportText, SummarizesPerKind) {
+  Fixture f;
+  std::string text = ReportText(f.result, f.set, f.table);
+  EXPECT_NE(text.find("violations: 2"), std::string::npos);
+  EXPECT_NE(text.find("present: 1"), std::string::npos);
+  EXPECT_NE(text.find("unique: 1"), std::string::npos);
+  EXPECT_NE(text.find("60/100"), std::string::npos);
+}
+
+TEST(ReportJson, EmptyResultIsWellFormed) {
+  PatternTable table;
+  ContractSet set;
+  CheckResult result;
+  std::string json = ReportJson(result, set, table);
+  auto doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->Find("violations")->items().empty());
+}
+
+}  // namespace
+}  // namespace concord

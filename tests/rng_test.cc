@@ -1,0 +1,87 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace concord {
+namespace {
+
+TEST(SplitMix64, DeterministicFromSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+  }
+}
+
+TEST(SplitMix64, RangeInclusive) {
+  SplitMix64 rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // All three values should appear.
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, ChanceExtremes) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(SplitMix64, ChanceRoughlyCalibrated) {
+  SplitMix64 rng(123);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Chance(0.3)) {
+      ++hits;
+    }
+  }
+  double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(SplitMix64, ForkIsIndependentStream) {
+  SplitMix64 parent(77);
+  SplitMix64 child = parent.Fork();
+  // The fork advances the parent; sequences should not coincide.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Next() != child.Next()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace concord

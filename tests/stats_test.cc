@@ -1,0 +1,84 @@
+#include "src/stats/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+TEST(Cochran, TextbookValues) {
+  // p = 0.5, E = 5%, z = 1.96 -> ~384.16 (the classic worst case).
+  EXPECT_NEAR(CochranSampleSize(1.96, 0.5, 0.05), 384.16, 0.1);
+  // p = 0.9 needs fewer samples.
+  EXPECT_LT(CochranSampleSize(1.96, 0.9, 0.05), CochranSampleSize(1.96, 0.5, 0.05));
+  // Tighter margins need more samples.
+  EXPECT_GT(CochranSampleSize(1.96, 0.5, 0.01), CochranSampleSize(1.96, 0.5, 0.05));
+}
+
+TEST(Fpc, SmallPopulationShrinksSample) {
+  double n = CochranSampleSize(1.96, 0.5, 0.05);
+  EXPECT_LT(FpcAdjust(n, 100), 100.0);
+  EXPECT_NEAR(FpcAdjust(n, 1e12), n, 1.0);  // Huge population: no correction.
+  EXPECT_DOUBLE_EQ(FpcAdjust(n, 0), 0.0);
+}
+
+TEST(AchievedMargin, InverseOfPlanning) {
+  // Reviewing everything leaves no sampling error.
+  EXPECT_DOUBLE_EQ(AchievedMargin(1.96, 0.9, 200, 200), 0.0);
+  // More samples => smaller margin.
+  EXPECT_LT(AchievedMargin(1.96, 0.9, 150, 1000), AchievedMargin(1.96, 0.9, 50, 1000));
+  EXPECT_DOUBLE_EQ(AchievedMargin(1.96, 0.9, 0, 1000), 1.0);
+}
+
+TEST(PlanReview, SmallPopulationsReviewedExhaustively) {
+  SamplePlan plan = PlanReview(0.9, 9);
+  EXPECT_EQ(plan.n_adjusted, 9);
+  EXPECT_DOUBLE_EQ(plan.margin, 0.0);
+}
+
+TEST(PlanReview, CapRaisesMarginButStaysUnderTen) {
+  // Mirrors the paper: ordering contracts suggested > 500 reviews; the 150 cap keeps
+  // E under 10%.
+  SamplePlan plan = PlanReview(0.5, 5000, 1.96, 0.05, 150);
+  EXPECT_EQ(plan.n_adjusted, 150);
+  EXPECT_GT(plan.margin, 0.05);
+  EXPECT_LT(plan.margin, 0.10);
+}
+
+TEST(PlanReview, HighPrecisionNeedsFewSamples) {
+  SamplePlan plan = PlanReview(0.95, 1000, 1.96, 0.05, 150);
+  EXPECT_LT(plan.n_adjusted, 80);
+  EXPECT_LE(plan.margin, 0.051);
+}
+
+TEST(PlanReview, NeverExceedsPopulation) {
+  SamplePlan plan = PlanReview(0.5, 40, 1.96, 0.05, 150);
+  EXPECT_LE(plan.n_adjusted, 40);
+}
+
+TEST(PlanReview, DegeneratePriorStillSamples) {
+  SamplePlan perfect = PlanReview(1.0, 200);
+  EXPECT_GT(perfect.n_adjusted, 10);
+  EXPECT_LT(perfect.margin, 0.10);
+  SamplePlan hopeless = PlanReview(0.0, 200);
+  EXPECT_GT(hopeless.n_adjusted, 10);
+}
+
+TEST(MeanStddev, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(Stddev({5}), 0.0);
+}
+
+TEST(ScoreCdf, ComplementaryCumulative) {
+  auto cdf = ScoreCdf({10, 8, 8, 3, 1});
+  EXPECT_DOUBLE_EQ(cdf[1], 1.0);   // Everything scores >= 1.
+  EXPECT_DOUBLE_EQ(cdf[8], 0.6);   // 10, 8, 8.
+  EXPECT_DOUBLE_EQ(cdf[10], 0.2);  // Only the 10.
+  EXPECT_DOUBLE_EQ(cdf[4], 0.6);
+  auto empty = ScoreCdf({});
+  EXPECT_DOUBLE_EQ(empty[5], 0.0);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,118 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+TEST(Split, Basic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = Split("a::b:", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespace, DropsEmpty) {
+  auto parts = SplitWhitespace("  ip   address\t10.0.0.1 \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "ip");
+  EXPECT_EQ(parts[1], "address");
+  EXPECT_EQ(parts[2], "10.0.0.1");
+}
+
+TEST(SplitWhitespace, AllWhitespace) {
+  EXPECT_TRUE(SplitWhitespace(" \t \n").empty());
+}
+
+TEST(Trim, BothEnds) {
+  EXPECT_EQ(Trim("  hello \t"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(TrimLeft("  x "), "x ");
+  EXPECT_EQ(TrimRight("  x "), "  x");
+}
+
+TEST(Join, Basic) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(Join(parts, "/"), "a/b/c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, "/"), "");
+  EXPECT_EQ(Join(std::vector<std::string>{"one"}, ", "), "one");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(ToLower("Port-Channel110"), "port-channel110");
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "->"), "a->b->c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("xyz", "q", "r"), "xyz");
+}
+
+TEST(ParseUint64, Basics) {
+  EXPECT_EQ(ParseUint64("0"), 0u);
+  EXPECT_EQ(ParseUint64("65015"), 65015u);
+  EXPECT_EQ(ParseUint64("18446744073709551615"), 18446744073709551615ULL);
+  EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());  // Overflow.
+  EXPECT_FALSE(ParseUint64("").has_value());
+  EXPECT_FALSE(ParseUint64("12a").has_value());
+  EXPECT_FALSE(ParseUint64("-1").has_value());
+}
+
+TEST(ParseInt64, Signs) {
+  EXPECT_EQ(ParseInt64("-42"), -42);
+  EXPECT_EQ(ParseInt64("+7"), 7);
+  EXPECT_EQ(ParseInt64("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").has_value());
+  EXPECT_EQ(ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_FALSE(ParseInt64("9223372036854775808").has_value());
+}
+
+TEST(Hex, RoundTrip) {
+  EXPECT_EQ(ToHex(0), "0");
+  EXPECT_EQ(ToHex(110), "6e");
+  EXPECT_EQ(ToHex(11), "b");
+  EXPECT_EQ(ParseHex("6e"), 110u);
+  EXPECT_EQ(ParseHex("6E"), 110u);
+  EXPECT_EQ(ParseHex("0"), 0u);
+  EXPECT_FALSE(ParseHex("").has_value());
+  EXPECT_FALSE(ParseHex("g1").has_value());
+  EXPECT_FALSE(ParseHex("11223344556677889").has_value());  // > 16 digits.
+}
+
+TEST(DecimalDigits, Counts) {
+  EXPECT_EQ(DecimalDigits(0), 1);
+  EXPECT_EQ(DecimalDigits(9), 1);
+  EXPECT_EQ(DecimalDigits(10), 2);
+  EXPECT_EQ(DecimalDigits(65015), 5);
+}
+
+TEST(CharClasses, Basics) {
+  EXPECT_TRUE(IsDigit('7'));
+  EXPECT_FALSE(IsDigit('a'));
+  EXPECT_TRUE(IsHexDigit('F'));
+  EXPECT_TRUE(IsAlpha('z'));
+  EXPECT_TRUE(IsAlnum('0'));
+  EXPECT_TRUE(IsSpace('\t'));
+  EXPECT_FALSE(IsSpace('-'));
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12 "));
+}
+
+}  // namespace
+}  // namespace concord

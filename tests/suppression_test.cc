@@ -1,0 +1,73 @@
+#include "src/contracts/suppression.h"
+
+#include <gtest/gtest.h>
+
+#include "src/contracts/contract_io.h"
+
+namespace concord {
+namespace {
+
+struct Fixture {
+  PatternTable table;
+  ContractSet set;
+
+  Fixture() {
+    Contract a;
+    a.kind = ContractKind::kPresent;
+    a.pattern = InternPatternText(&table, "/router bgp [a:num]");
+    set.contracts.push_back(a);
+    Contract b;
+    b.kind = ContractKind::kUnique;
+    b.pattern = InternPatternText(&table, "/hostname DEV[a:num]");
+    set.contracts.push_back(b);
+    Contract c;
+    c.kind = ContractKind::kOrdering;
+    c.pattern = a.pattern;
+    c.pattern2 = b.pattern;
+    set.contracts.push_back(c);
+  }
+};
+
+TEST(Suppression, ParseSkipsCommentsAndBlanks) {
+  SuppressionList list = SuppressionList::Parse("# comment\n\nkey-one\n  key-two  \n");
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_TRUE(list.Contains("key-one"));
+  EXPECT_TRUE(list.Contains("key-two"));
+  EXPECT_FALSE(list.Contains("# comment"));
+}
+
+TEST(Suppression, AppliesByContractKey) {
+  Fixture f;
+  SuppressionList list;
+  list.Add(f.set.contracts[1].Key(f.table));  // The unique contract.
+  size_t dropped = list.Apply(&f.set, f.table);
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(f.set.contracts.size(), 2u);
+  for (const Contract& c : f.set.contracts) {
+    EXPECT_NE(c.kind, ContractKind::kUnique);
+  }
+}
+
+TEST(Suppression, EmptyListIsNoop) {
+  Fixture f;
+  SuppressionList list;
+  EXPECT_EQ(list.Apply(&f.set, f.table), 0u);
+  EXPECT_EQ(f.set.contracts.size(), 3u);
+}
+
+TEST(Suppression, UnknownKeysIgnored) {
+  Fixture f;
+  SuppressionList list = SuppressionList::Parse("not-a-real-key\n");
+  EXPECT_EQ(list.Apply(&f.set, f.table), 0u);
+}
+
+TEST(Suppression, RoundTripThroughReportKey) {
+  // The key written into the JSON report suppresses exactly that contract.
+  Fixture f;
+  std::string key = f.set.contracts[0].Key(f.table);
+  SuppressionList list = SuppressionList::Parse(key + "\n");
+  EXPECT_EQ(list.Apply(&f.set, f.table), 1u);
+}
+
+}  // namespace
+}  // namespace concord

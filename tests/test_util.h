@@ -1,0 +1,27 @@
+// Shared helpers for Concord tests.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pattern/lexer.h"
+#include "src/pattern/parser.h"
+
+namespace concord {
+
+// Parses each text as one configuration into a fresh dataset.
+inline Dataset BuildDataset(const std::vector<std::string>& texts, ParseOptions options = {},
+                            const Lexer* lexer = nullptr) {
+  static const Lexer kDefaultLexer;
+  Dataset dataset;
+  ConfigParser parser(lexer != nullptr ? lexer : &kDefaultLexer, &dataset.patterns, options);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    dataset.configs.push_back(parser.Parse("config" + std::to_string(i) + ".cfg", texts[i]));
+  }
+  return dataset;
+}
+
+}  // namespace concord
+
+#endif  // TESTS_TEST_UTIL_H_

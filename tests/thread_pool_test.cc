@@ -1,0 +1,73 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace concord {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForSmallCountFewerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(500, [&sum](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 500L * 499 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace concord

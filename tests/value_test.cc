@@ -1,0 +1,81 @@
+#include "src/value/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace concord {
+namespace {
+
+TEST(Value, TypeNames) {
+  EXPECT_EQ(ValueTypeName(ValueType::kNum), "num");
+  EXPECT_EQ(ValueTypeName(ValueType::kIp4), "ip4");
+  EXPECT_EQ(ValueTypeName(ValueType::kPfx4), "pfx4");
+  EXPECT_EQ(ValueTypeName(ValueType::kMac), "mac");
+  EXPECT_EQ(ValueTypeName(ValueType::kStr), "str");
+  EXPECT_EQ(ValueTypeName(ValueType::kBool), "bool");
+  EXPECT_EQ(ValueTypeName(ValueType::kHex), "hex");
+  EXPECT_EQ(ValueTypeName(ValueType::kIp6), "ip6");
+  EXPECT_EQ(ValueTypeName(ValueType::kPfx6), "pfx6");
+}
+
+TEST(Value, ToStringPerType) {
+  EXPECT_EQ(Value::Num(BigInt(110)).ToString(), "110");
+  EXPECT_EQ(Value::Hex(BigInt(110)).ToString(), "6e");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Ip4(*Ipv4Address::Parse("10.14.14.34")).ToString(), "10.14.14.34");
+  EXPECT_EQ(Value::Pfx4(*Ipv4Network::Parse("10.14.14.34/32")).ToString(), "10.14.14.34/32");
+  EXPECT_EQ(Value::Mac(*MacAddress::Parse("00:00:0c:d3:00:6e")).ToString(), "00:00:0c:d3:00:6e");
+  EXPECT_EQ(Value::Str("Loopback0").ToString(), "Loopback0");
+  EXPECT_EQ(Value::Ip6(*Ipv6Address::Parse("2001:db8::1")).ToString(), "2001:db8::1");
+}
+
+TEST(Value, EqualityRequiresSameType) {
+  // A [num] 110 and a [hex] 110 are distinct values even with equal magnitudes.
+  EXPECT_NE(Value::Num(BigInt(110)), Value::Hex(BigInt(110)));
+  EXPECT_EQ(Value::Num(BigInt(110)), Value::Num(BigInt(110)));
+  EXPECT_NE(Value::Str("110"), Value::Num(BigInt(110)));
+}
+
+TEST(Value, OrderingIsTotal) {
+  std::vector<Value> values = {
+      Value::Num(BigInt(2)),  Value::Num(BigInt(1)),
+      Value::Str("b"),        Value::Str("a"),
+      Value::Bool(true),      Value::Bool(false),
+      Value::Ip4(*Ipv4Address::Parse("10.0.0.2")),
+      Value::Ip4(*Ipv4Address::Parse("10.0.0.1")),
+  };
+  std::sort(values.begin(), values.end());
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_FALSE(values[i] < values[i - 1]);
+  }
+  EXPECT_LT(Value::Num(BigInt(1)), Value::Num(BigInt(2)));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+}
+
+TEST(Value, HashUsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Num(BigInt(251)));
+  set.insert(Value::Num(BigInt(251)));
+  set.insert(Value::Str("251"));
+  set.insert(Value::Ip4(*Ipv4Address::Parse("10.0.0.1")));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Value::Num(BigInt(251))));
+  EXPECT_FALSE(set.count(Value::Num(BigInt(252))));
+}
+
+TEST(Value, PrefixOrderingByAddressThenLength) {
+  auto a = Value::Pfx4(*Ipv4Network::Parse("10.0.0.0/8"));
+  auto b = Value::Pfx4(*Ipv4Network::Parse("10.0.0.0/16"));
+  EXPECT_LT(a, b);
+}
+
+TEST(Value, DefaultConstructedIsEmptyString) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::kStr);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs every experiment harness, teeing per-bench outputs next to an aggregate file.
+# Usage: tools/run_benches.sh [output-dir] (default: bench_results/)
+set -u
+out="${1:-bench_results}"
+mkdir -p "$out"
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  case "$name" in
+    bench_micro) "$b" --benchmark_min_time=0.05 > "$out/$name.txt" 2>&1 ;;
+    *) "$b" > "$out/$name.txt" 2>&1 ;;
+  esac
+  echo "== $name -> $out/$name.txt"
+done
