@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_naive.dir/ablation_naive.cc.o"
+  "CMakeFiles/ablation_naive.dir/ablation_naive.cc.o.d"
+  "ablation_naive"
+  "ablation_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq4.dir/bench_rq4.cc.o"
+  "CMakeFiles/bench_rq4.dir/bench_rq4.cc.o.d"
+  "bench_rq4"
+  "bench_rq4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

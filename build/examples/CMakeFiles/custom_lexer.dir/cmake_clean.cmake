@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_lexer.dir/custom_lexer.cpp.o"
+  "CMakeFiles/custom_lexer.dir/custom_lexer.cpp.o.d"
+  "custom_lexer"
+  "custom_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_ci_pipeline.dir/edge_ci_pipeline.cpp.o"
+  "CMakeFiles/edge_ci_pipeline.dir/edge_ci_pipeline.cpp.o.d"
+  "edge_ci_pipeline"
+  "edge_ci_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_ci_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_audit.dir/wan_audit.cpp.o"
+  "CMakeFiles/wan_audit.dir/wan_audit.cpp.o.d"
+  "wan_audit"
+  "wan_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

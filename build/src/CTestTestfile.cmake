@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("value")
+subdirs("regex")
+subdirs("format")
+subdirs("pattern")
+subdirs("relations")
+subdirs("contracts")
+subdirs("minimize")
+subdirs("learn")
+subdirs("check")
+subdirs("report")
+subdirs("cli")
+subdirs("datagen")
+subdirs("baseline")
+subdirs("stats")
+subdirs("oracle")

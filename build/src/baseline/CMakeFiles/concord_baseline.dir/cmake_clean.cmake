@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_baseline.dir/naive.cc.o"
+  "CMakeFiles/concord_baseline.dir/naive.cc.o.d"
+  "CMakeFiles/concord_baseline.dir/strict_parser.cc.o"
+  "CMakeFiles/concord_baseline.dir/strict_parser.cc.o.d"
+  "libconcord_baseline.a"
+  "libconcord_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

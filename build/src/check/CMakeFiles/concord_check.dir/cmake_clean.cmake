@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_check.dir/checker.cc.o"
+  "CMakeFiles/concord_check.dir/checker.cc.o.d"
+  "libconcord_check.a"
+  "libconcord_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

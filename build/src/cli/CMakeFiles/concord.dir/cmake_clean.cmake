@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord.dir/main.cc.o"
+  "CMakeFiles/concord.dir/main.cc.o.d"
+  "concord"
+  "concord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_cli.dir/cli.cc.o"
+  "CMakeFiles/concord_cli.dir/cli.cc.o.d"
+  "libconcord_cli.a"
+  "libconcord_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_contracts.dir/contract.cc.o"
+  "CMakeFiles/concord_contracts.dir/contract.cc.o.d"
+  "CMakeFiles/concord_contracts.dir/contract_io.cc.o"
+  "CMakeFiles/concord_contracts.dir/contract_io.cc.o.d"
+  "CMakeFiles/concord_contracts.dir/describe.cc.o"
+  "CMakeFiles/concord_contracts.dir/describe.cc.o.d"
+  "CMakeFiles/concord_contracts.dir/suppression.cc.o"
+  "CMakeFiles/concord_contracts.dir/suppression.cc.o.d"
+  "libconcord_contracts.a"
+  "libconcord_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

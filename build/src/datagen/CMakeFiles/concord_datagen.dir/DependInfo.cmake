@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/corpus.cc" "src/datagen/CMakeFiles/concord_datagen.dir/corpus.cc.o" "gcc" "src/datagen/CMakeFiles/concord_datagen.dir/corpus.cc.o.d"
+  "/root/repo/src/datagen/edge_gen.cc" "src/datagen/CMakeFiles/concord_datagen.dir/edge_gen.cc.o" "gcc" "src/datagen/CMakeFiles/concord_datagen.dir/edge_gen.cc.o.d"
+  "/root/repo/src/datagen/ground_truth.cc" "src/datagen/CMakeFiles/concord_datagen.dir/ground_truth.cc.o" "gcc" "src/datagen/CMakeFiles/concord_datagen.dir/ground_truth.cc.o.d"
+  "/root/repo/src/datagen/mutation.cc" "src/datagen/CMakeFiles/concord_datagen.dir/mutation.cc.o" "gcc" "src/datagen/CMakeFiles/concord_datagen.dir/mutation.cc.o.d"
+  "/root/repo/src/datagen/orch_gen.cc" "src/datagen/CMakeFiles/concord_datagen.dir/orch_gen.cc.o" "gcc" "src/datagen/CMakeFiles/concord_datagen.dir/orch_gen.cc.o.d"
+  "/root/repo/src/datagen/wan_gen.cc" "src/datagen/CMakeFiles/concord_datagen.dir/wan_gen.cc.o" "gcc" "src/datagen/CMakeFiles/concord_datagen.dir/wan_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/contracts/CMakeFiles/concord_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/concord_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/relations/CMakeFiles/concord_relations.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/concord_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/concord_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/concord_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/concord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_datagen.dir/corpus.cc.o"
+  "CMakeFiles/concord_datagen.dir/corpus.cc.o.d"
+  "CMakeFiles/concord_datagen.dir/edge_gen.cc.o"
+  "CMakeFiles/concord_datagen.dir/edge_gen.cc.o.d"
+  "CMakeFiles/concord_datagen.dir/ground_truth.cc.o"
+  "CMakeFiles/concord_datagen.dir/ground_truth.cc.o.d"
+  "CMakeFiles/concord_datagen.dir/mutation.cc.o"
+  "CMakeFiles/concord_datagen.dir/mutation.cc.o.d"
+  "CMakeFiles/concord_datagen.dir/orch_gen.cc.o"
+  "CMakeFiles/concord_datagen.dir/orch_gen.cc.o.d"
+  "CMakeFiles/concord_datagen.dir/wan_gen.cc.o"
+  "CMakeFiles/concord_datagen.dir/wan_gen.cc.o.d"
+  "libconcord_datagen.a"
+  "libconcord_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_format.dir/embed.cc.o"
+  "CMakeFiles/concord_format.dir/embed.cc.o.d"
+  "CMakeFiles/concord_format.dir/json.cc.o"
+  "CMakeFiles/concord_format.dir/json.cc.o.d"
+  "libconcord_format.a"
+  "libconcord_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

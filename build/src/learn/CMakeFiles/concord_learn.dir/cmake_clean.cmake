@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_learn.dir/index.cc.o"
+  "CMakeFiles/concord_learn.dir/index.cc.o.d"
+  "CMakeFiles/concord_learn.dir/learner.cc.o"
+  "CMakeFiles/concord_learn.dir/learner.cc.o.d"
+  "CMakeFiles/concord_learn.dir/miners.cc.o"
+  "CMakeFiles/concord_learn.dir/miners.cc.o.d"
+  "CMakeFiles/concord_learn.dir/relational.cc.o"
+  "CMakeFiles/concord_learn.dir/relational.cc.o.d"
+  "libconcord_learn.a"
+  "libconcord_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

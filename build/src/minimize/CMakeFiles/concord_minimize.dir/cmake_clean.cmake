@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_minimize.dir/minimize.cc.o"
+  "CMakeFiles/concord_minimize.dir/minimize.cc.o.d"
+  "libconcord_minimize.a"
+  "libconcord_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_oracle.dir/judge.cc.o"
+  "CMakeFiles/concord_oracle.dir/judge.cc.o.d"
+  "libconcord_oracle.a"
+  "libconcord_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

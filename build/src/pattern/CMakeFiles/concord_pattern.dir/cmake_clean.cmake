@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_pattern.dir/lexer.cc.o"
+  "CMakeFiles/concord_pattern.dir/lexer.cc.o.d"
+  "CMakeFiles/concord_pattern.dir/parser.cc.o"
+  "CMakeFiles/concord_pattern.dir/parser.cc.o.d"
+  "CMakeFiles/concord_pattern.dir/pattern_table.cc.o"
+  "CMakeFiles/concord_pattern.dir/pattern_table.cc.o.d"
+  "libconcord_pattern.a"
+  "libconcord_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

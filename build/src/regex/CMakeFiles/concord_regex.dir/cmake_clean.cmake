@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_regex.dir/regex.cc.o"
+  "CMakeFiles/concord_regex.dir/regex.cc.o.d"
+  "libconcord_regex.a"
+  "libconcord_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

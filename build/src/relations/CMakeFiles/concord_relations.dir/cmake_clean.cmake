@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_relations.dir/affix_trie.cc.o"
+  "CMakeFiles/concord_relations.dir/affix_trie.cc.o.d"
+  "CMakeFiles/concord_relations.dir/prefix_trie.cc.o"
+  "CMakeFiles/concord_relations.dir/prefix_trie.cc.o.d"
+  "CMakeFiles/concord_relations.dir/score.cc.o"
+  "CMakeFiles/concord_relations.dir/score.cc.o.d"
+  "CMakeFiles/concord_relations.dir/transform.cc.o"
+  "CMakeFiles/concord_relations.dir/transform.cc.o.d"
+  "libconcord_relations.a"
+  "libconcord_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_report.dir/report.cc.o"
+  "CMakeFiles/concord_report.dir/report.cc.o.d"
+  "libconcord_report.a"
+  "libconcord_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_util.dir/argparse.cc.o"
+  "CMakeFiles/concord_util.dir/argparse.cc.o.d"
+  "CMakeFiles/concord_util.dir/glob.cc.o"
+  "CMakeFiles/concord_util.dir/glob.cc.o.d"
+  "CMakeFiles/concord_util.dir/io.cc.o"
+  "CMakeFiles/concord_util.dir/io.cc.o.d"
+  "CMakeFiles/concord_util.dir/strings.cc.o"
+  "CMakeFiles/concord_util.dir/strings.cc.o.d"
+  "CMakeFiles/concord_util.dir/thread_pool.cc.o"
+  "CMakeFiles/concord_util.dir/thread_pool.cc.o.d"
+  "libconcord_util.a"
+  "libconcord_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

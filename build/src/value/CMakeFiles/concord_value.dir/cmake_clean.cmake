@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_value.dir/bigint.cc.o"
+  "CMakeFiles/concord_value.dir/bigint.cc.o.d"
+  "CMakeFiles/concord_value.dir/ip.cc.o"
+  "CMakeFiles/concord_value.dir/ip.cc.o.d"
+  "CMakeFiles/concord_value.dir/mac.cc.o"
+  "CMakeFiles/concord_value.dir/mac.cc.o.d"
+  "CMakeFiles/concord_value.dir/value.cc.o"
+  "CMakeFiles/concord_value.dir/value.cc.o.d"
+  "libconcord_value.a"
+  "libconcord_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argparse_test.dir/argparse_test.cc.o"
+  "CMakeFiles/argparse_test.dir/argparse_test.cc.o.d"
+  "argparse_test"
+  "argparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coverage_report_test.cc" "tests/CMakeFiles/coverage_report_test.dir/coverage_report_test.cc.o" "gcc" "tests/CMakeFiles/coverage_report_test.dir/coverage_report_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/concord_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/concord_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/concord_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimize/CMakeFiles/concord_minimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/concord_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/relations/CMakeFiles/concord_relations.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/concord_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/concord_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/concord_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/concord_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/concord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

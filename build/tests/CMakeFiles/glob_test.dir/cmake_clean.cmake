@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glob_test.dir/glob_test.cc.o"
+  "CMakeFiles/glob_test.dir/glob_test.cc.o.d"
+  "glob_test"
+  "glob_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/judge_test.dir/judge_test.cc.o"
+  "CMakeFiles/judge_test.dir/judge_test.cc.o.d"
+  "judge_test"
+  "judge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/judge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

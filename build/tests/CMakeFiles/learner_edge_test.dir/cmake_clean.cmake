@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learner_edge_test.dir/learner_edge_test.cc.o"
+  "CMakeFiles/learner_edge_test.dir/learner_edge_test.cc.o.d"
+  "learner_edge_test"
+  "learner_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learner_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

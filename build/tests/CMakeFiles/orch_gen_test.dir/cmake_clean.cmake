@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orch_gen_test.dir/orch_gen_test.cc.o"
+  "CMakeFiles/orch_gen_test.dir/orch_gen_test.cc.o.d"
+  "orch_gen_test"
+  "orch_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orch_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

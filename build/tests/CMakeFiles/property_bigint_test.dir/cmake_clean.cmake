@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_bigint_test.dir/property_bigint_test.cc.o"
+  "CMakeFiles/property_bigint_test.dir/property_bigint_test.cc.o.d"
+  "property_bigint_test"
+  "property_bigint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

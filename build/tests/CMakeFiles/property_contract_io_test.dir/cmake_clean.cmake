@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_contract_io_test.dir/property_contract_io_test.cc.o"
+  "CMakeFiles/property_contract_io_test.dir/property_contract_io_test.cc.o.d"
+  "property_contract_io_test"
+  "property_contract_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_contract_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_minimize_test.dir/property_minimize_test.cc.o"
+  "CMakeFiles/property_minimize_test.dir/property_minimize_test.cc.o.d"
+  "property_minimize_test"
+  "property_minimize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_minimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_regex_test.dir/property_regex_test.cc.o"
+  "CMakeFiles/property_regex_test.dir/property_regex_test.cc.o.d"
+  "property_regex_test"
+  "property_regex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_trie_test.dir/property_trie_test.cc.o"
+  "CMakeFiles/property_trie_test.dir/property_trie_test.cc.o.d"
+  "property_trie_test"
+  "property_trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_learn_test.dir/relational_learn_test.cc.o"
+  "CMakeFiles/relational_learn_test.dir/relational_learn_test.cc.o.d"
+  "relational_learn_test"
+  "relational_learn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_learn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
