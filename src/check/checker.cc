@@ -112,8 +112,19 @@ bool RelationHolds(const Contract& contract, const std::string& key1, const Valu
 }  // namespace
 
 CheckResult Checker::Check(const Dataset& dataset, bool measure_coverage) const {
+  std::vector<const ParsedConfig*> configs;
+  configs.reserve(dataset.configs.size());
+  for (const ParsedConfig& config : dataset.configs) {
+    configs.push_back(&config);
+  }
+  return Check(configs, dataset.metadata, measure_coverage);
+}
+
+CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
+                           const std::vector<ParsedLine>& metadata,
+                           bool measure_coverage) const {
   CheckResult result;
-  std::vector<ConfigIndex> indexes = BuildIndexes(dataset);
+  std::vector<ConfigIndex> indexes = BuildIndexes(configs, metadata);
   std::vector<CoverFlags> cover(indexes.size());
   for (size_t ci = 0; ci < indexes.size(); ++ci) {
     cover[ci].assign(indexes[ci].lines.size(), 0);
@@ -358,8 +369,12 @@ CheckResult Checker::Check(const Dataset& dataset, bool measure_coverage) const 
   };
 
   if (parallelism_ != 1 && indexes.size() > 1) {
-    ThreadPool pool(parallelism_ < 0 ? 0 : static_cast<size_t>(parallelism_));
-    pool.ParallelFor(indexes.size(), check_config);
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(indexes.size(), check_config);
+    } else {
+      ThreadPool pool(parallelism_ < 0 ? 0 : static_cast<size_t>(parallelism_));
+      pool.ParallelFor(indexes.size(), check_config);
+    }
   } else {
     for (size_t ci = 0; ci < indexes.size(); ++ci) {
       check_config(ci);

@@ -88,23 +88,35 @@ struct CheckResult {
   }
 };
 
+class ThreadPool;
+
 class Checker {
  public:
   // Both referents must outlive the checker. The table must be the one `dataset`'s
   // patterns live in (contracts loaded from a file must have been interned into it).
   // `parallelism` shards per-config checking across worker threads (1 = serial,
   // 0 or negative = hardware concurrency), mirroring the CLI's --parallelism flag.
-  Checker(const ContractSet* set, const PatternTable* table, int parallelism = 1)
-      : set_(set), table_(table), parallelism_(parallelism) {}
+  // When `pool` is given it is used instead of spawning a fresh pool per Check call
+  // (the service reuses one pool across requests); it must outlive the checker.
+  Checker(const ContractSet* set, const PatternTable* table, int parallelism = 1,
+          ThreadPool* pool = nullptr)
+      : set_(set), table_(table), parallelism_(parallelism), pool_(pool) {}
 
   // Checks every contract and measures coverage. `measure_coverage` false skips the
   // (more expensive) coverage pass.
   CheckResult Check(const Dataset& dataset, bool measure_coverage = true) const;
 
+  // Same, over externally owned configurations (e.g. the service's parsed-config
+  // cache). `metadata` is logically appended to every configuration (§3.7).
+  CheckResult Check(const std::vector<const ParsedConfig*>& configs,
+                    const std::vector<ParsedLine>& metadata,
+                    bool measure_coverage = true) const;
+
  private:
   const ContractSet* set_;
   const PatternTable* table_;
   int parallelism_;
+  ThreadPool* pool_;
 };
 
 }  // namespace concord

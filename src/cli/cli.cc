@@ -1,6 +1,8 @@
 #include "src/cli/cli.h"
 
+#include <algorithm>
 #include <exception>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "src/pattern/lexer.h"
 #include "src/pattern/parser.h"
 #include "src/report/report.h"
+#include "src/service/service.h"
+#include "src/service/socket_server.h"
 #include "src/util/argparse.h"
 #include "src/util/glob.h"
 #include "src/util/io.h"
@@ -221,11 +225,61 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   return result.violations.empty() ? 0 : 1;
 }
 
+// `concord serve`: the persistent batched checking service (src/service/).
+// Requests arrive as newline-delimited JSON on stdin (or a unix socket with
+// --socket); each response is one line of JSON on stdout.
+int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  ArgParser args;
+  args.AddFlag("contracts",
+               "contract set to preload, as name=path or a bare path (repeatable; "
+               "a bare path loads as 'default')");
+  args.AddFlag("socket", "serve on this unix socket path instead of stdin/stdout");
+  args.AddFlag("lexer", "file with custom lexer token definitions (`name regex` lines)");
+  args.AddFlag("parallelism", "worker threads for batched checking (0 = all cores)", "0");
+  args.AddFlag("cache-size", "parsed-config LRU entries per contract set", "256");
+  args.AddBoolFlag("quiet", "suppress the shutdown metrics summary");
+  if (!args.Parse(argc, argv, 2)) {
+    err << "error: " << args.error() << "\n" << args.Usage();
+    return 2;
+  }
+
+  ServiceOptions options;
+  options.parallelism = static_cast<int>(args.GetInt("parallelism").value_or(0));
+  options.cache_capacity =
+      static_cast<size_t>(std::max<int64_t>(0, args.GetInt("cache-size").value_or(256)));
+  Service service(options);
+
+  if (args.Has("lexer")) {
+    std::string error;
+    if (!service.LoadLexerDefinitions(ReadFile(args.Get("lexer")), &error)) {
+      err << "error: bad lexer definition: " << error << "\n";
+      return 2;
+    }
+  }
+  for (const std::string& spec : args.GetAll("contracts")) {
+    size_t eq = spec.find('=');
+    std::string name = eq == std::string::npos ? "default" : spec.substr(0, eq);
+    std::string path = eq == std::string::npos ? spec : spec.substr(eq + 1);
+    std::string error;
+    if (!service.LoadContracts(name, path, &error)) {
+      err << "error: cannot load contracts '" << name << "' from " << path << ": "
+          << error << "\n";
+      return 2;
+    }
+  }
+
+  std::ostream* summary = args.GetBool("quiet") ? nullptr : &err;
+  if (args.Has("socket")) {
+    return RunServiceSocket(service, args.Get("socket"), err, summary);
+  }
+  return RunService(service, std::cin, out, summary);
+}
+
 }  // namespace
 
 int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
   if (argc < 2) {
-    err << "usage: concord <learn|check> [flags]\n";
+    err << "usage: concord <learn|check|serve> [flags]\n";
     return 2;
   }
   std::string mode = argv[1];
@@ -236,11 +290,14 @@ int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostrea
     if (mode == "check") {
       return RunCheck(argc, argv, out, err);
     }
+    if (mode == "serve") {
+      return RunServe(argc, argv, out, err);
+    }
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 2;
   }
-  err << "error: unknown mode '" << mode << "' (expected learn or check)\n";
+  err << "error: unknown mode '" << mode << "' (expected learn, check, or serve)\n";
   return 2;
 }
 

@@ -2,18 +2,19 @@
 
 namespace concord {
 
-std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset) {
+std::vector<ConfigIndex> BuildIndexes(const std::vector<const ParsedConfig*>& configs,
+                                      const std::vector<ParsedLine>& metadata) {
   std::vector<ConfigIndex> indexes;
-  indexes.reserve(dataset.configs.size());
-  for (const ParsedConfig& config : dataset.configs) {
+  indexes.reserve(configs.size());
+  for (const ParsedConfig* config : configs) {
     ConfigIndex index;
-    index.config = &config;
-    index.own_line_count = config.lines.size();
-    index.lines.reserve(config.lines.size() + dataset.metadata.size());
-    for (const ParsedLine& line : config.lines) {
+    index.config = config;
+    index.own_line_count = config->lines.size();
+    index.lines.reserve(config->lines.size() + metadata.size());
+    for (const ParsedLine& line : config->lines) {
       index.lines.push_back(&line);
     }
-    for (const ParsedLine& line : dataset.metadata) {
+    for (const ParsedLine& line : metadata) {
       index.lines.push_back(&line);
     }
     for (uint32_t i = 0; i < index.lines.size(); ++i) {
@@ -26,6 +27,15 @@ std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset) {
     indexes.push_back(std::move(index));
   }
   return indexes;
+}
+
+std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset) {
+  std::vector<const ParsedConfig*> configs;
+  configs.reserve(dataset.configs.size());
+  for (const ParsedConfig& config : dataset.configs) {
+    configs.push_back(&config);
+  }
+  return BuildIndexes(configs, dataset.metadata);
 }
 
 std::vector<uint32_t> CountConfigsPerPattern(const Dataset& dataset,

@@ -29,6 +29,11 @@ struct ConfigIndex {
 // Builds one index per configuration.
 std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset);
 
+// Same, over externally owned configurations (the service checks cached parsed
+// configs that live outside any Dataset). `metadata` is appended to every config.
+std::vector<ConfigIndex> BuildIndexes(const std::vector<const ParsedConfig*>& configs,
+                                      const std::vector<ParsedLine>& metadata);
+
 // Number of configurations whose index contains each pattern (dense by PatternId).
 std::vector<uint32_t> CountConfigsPerPattern(const Dataset& dataset,
                                              const std::vector<ConfigIndex>& indexes);

@@ -10,20 +10,6 @@ namespace concord {
 
 namespace {
 
-JsonValue CoverageJson(const CheckResult& result) {
-  JsonValue coverage = JsonValue::Object();
-  coverage.Set("totalLines", JsonValue::Number(static_cast<int64_t>(result.total_lines)));
-  coverage.Set("coveredLines", JsonValue::Number(static_cast<int64_t>(result.covered_lines)));
-  coverage.Set("percent", JsonValue::Number(result.CoveragePercent()));
-  JsonValue by_kind = JsonValue::Object();
-  for (size_t k = 0; k < kNumCoverageKinds; ++k) {
-    by_kind.Set(std::string(CoverageKindName(static_cast<CoverageKind>(k))),
-                JsonValue::Number(result.CoveragePercent(static_cast<CoverageKind>(k))));
-  }
-  coverage.Set("percentByKind", std::move(by_kind));
-  return coverage;
-}
-
 std::string HtmlEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -50,8 +36,22 @@ std::string HtmlEscape(std::string_view s) {
 
 }  // namespace
 
-std::string ReportJson(const CheckResult& result, const ContractSet& set,
-                       const PatternTable& table) {
+JsonValue CoverageJsonValue(const CheckResult& result) {
+  JsonValue coverage = JsonValue::Object();
+  coverage.Set("totalLines", JsonValue::Number(static_cast<int64_t>(result.total_lines)));
+  coverage.Set("coveredLines", JsonValue::Number(static_cast<int64_t>(result.covered_lines)));
+  coverage.Set("percent", JsonValue::Number(result.CoveragePercent()));
+  JsonValue by_kind = JsonValue::Object();
+  for (size_t k = 0; k < kNumCoverageKinds; ++k) {
+    by_kind.Set(std::string(CoverageKindName(static_cast<CoverageKind>(k))),
+                JsonValue::Number(result.CoveragePercent(static_cast<CoverageKind>(k))));
+  }
+  coverage.Set("percentByKind", std::move(by_kind));
+  return coverage;
+}
+
+JsonValue ReportJsonValue(const CheckResult& result, const ContractSet& set,
+                          const PatternTable& table) {
   JsonValue root = JsonValue::Object();
   JsonValue violations = JsonValue::Array();
   for (const Violation& v : result.violations) {
@@ -67,8 +67,13 @@ std::string ReportJson(const CheckResult& result, const ContractSet& set,
     violations.Append(std::move(item));
   }
   root.Set("violations", std::move(violations));
-  root.Set("coverage", CoverageJson(result));
-  return root.Serialize(2);
+  root.Set("coverage", CoverageJsonValue(result));
+  return root;
+}
+
+std::string ReportJson(const CheckResult& result, const ContractSet& set,
+                       const PatternTable& table) {
+  return ReportJsonValue(result, set, table).Serialize(2);
 }
 
 std::string ReportText(const CheckResult& result, const ContractSet& set,

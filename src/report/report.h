@@ -10,6 +10,7 @@
 
 #include "src/check/checker.h"
 #include "src/contracts/contract.h"
+#include "src/format/json.h"
 
 namespace concord {
 
@@ -17,6 +18,15 @@ namespace concord {
 // coverage summary.
 std::string ReportJson(const CheckResult& result, const ContractSet& set,
                        const PatternTable& table);
+
+// The same report as a document value, for embedding in a larger response (the
+// service returns it inside each `check` reply; serializing this with indent 2
+// reproduces ReportJson byte for byte).
+JsonValue ReportJsonValue(const CheckResult& result, const ContractSet& set,
+                          const PatternTable& table);
+
+// The coverage summary sub-object of the JSON report.
+JsonValue CoverageJsonValue(const CheckResult& result);
 
 // Self-contained HTML page (inline CSS/JS; no external assets) with a search box and
 // per-category filters.

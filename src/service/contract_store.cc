@@ -1,0 +1,66 @@
+#include "src/service/contract_store.h"
+
+#include <algorithm>
+#include <exception>
+#include <functional>
+
+#include "src/contracts/contract_io.h"
+#include "src/util/io.h"
+
+namespace concord {
+
+ContractStore::Shard& ContractStore::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+const ContractStore::Shard& ContractStore::ShardFor(const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+bool ContractStore::Load(const std::string& name, const std::string& path,
+                         std::string* error) {
+  std::string text;
+  try {
+    text = ReadFile(path);
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+  auto entry = std::make_shared<LoadedContractSet>(cache_capacity_);
+  entry->name = name;
+  entry->path = path;
+  auto set = ParseContracts(text, &entry->table, error);
+  if (!set) {
+    return false;
+  }
+  entry->set = std::move(*set);
+  entry->parse_options.embed_context = entry->set.embed_context;
+  entry->parse_options.constants = entry->set.constants_mode;
+
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sets[name] = std::move(entry);  // Hot swap; old entry drains via shared_ptr.
+  return true;
+}
+
+std::shared_ptr<LoadedContractSet> ContractStore::Get(const std::string& name) const {
+  const Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sets.find(name);
+  return it == shard.sets.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<LoadedContractSet>> ContractStore::All() const {
+  std::vector<std::shared_ptr<LoadedContractSet>> all;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, entry] : shard.sets) {
+      all.push_back(entry);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a->name < b->name; });
+  return all;
+}
+
+}  // namespace concord

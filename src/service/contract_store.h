@@ -1,0 +1,73 @@
+// Sharded, read-mostly store of loaded contract sets, keyed by name (role/dataset).
+//
+// Each entry bundles everything one `check` needs: the parsed ContractSet, the
+// pattern table its patterns are interned in (which keeps growing as new configs
+// are parsed against it — that growth is the cross-request amortization win), the
+// parse options recorded in the contract file, and a parsed-config LRU cache.
+//
+// Lookups take only a per-shard mutex for a map probe; entries are handed out as
+// shared_ptr so `reload` can hot-swap a fresh entry while in-flight requests finish
+// against the old one. The shard count bounds contention when future PRs serve
+// concurrent connections; correctness never depends on it.
+#ifndef SRC_SERVICE_CONTRACT_STORE_H_
+#define SRC_SERVICE_CONTRACT_STORE_H_
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/pattern/pattern_table.h"
+#include "src/service/config_cache.h"
+
+namespace concord {
+
+// One loaded contract set. Immutable after load except for `table` (grows under
+// `parse_mu` as configs are parsed) and the cache (internally synchronized).
+struct LoadedContractSet {
+  explicit LoadedContractSet(size_t cache_capacity) : cache(cache_capacity) {}
+
+  std::string name;
+  std::string path;  // Source file; `reload` without a path re-reads it.
+  ContractSet set;
+  PatternTable table;
+  ParseOptions parse_options;  // Derived from the set's recorded flags.
+  ConfigCache cache;
+  std::mutex parse_mu;  // Serializes table growth across requests.
+};
+
+class ContractStore {
+ public:
+  explicit ContractStore(size_t cache_capacity) : cache_capacity_(cache_capacity) {}
+
+  // Loads (or hot-swaps) the named set from `path`. Parsing happens outside the
+  // shard lock; on failure the previous entry, if any, stays untouched.
+  bool Load(const std::string& name, const std::string& path, std::string* error);
+
+  // Returns the named entry, or nullptr when absent.
+  std::shared_ptr<LoadedContractSet> Get(const std::string& name) const;
+
+  // Every loaded entry, sorted by name (for stable stats output).
+  std::vector<std::shared_ptr<LoadedContractSet>> All() const;
+
+ private:
+  static constexpr size_t kNumShards = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<LoadedContractSet>> sets;
+  };
+
+  Shard& ShardFor(const std::string& name);
+  const Shard& ShardFor(const std::string& name) const;
+
+  size_t cache_capacity_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_CONTRACT_STORE_H_

@@ -1,0 +1,139 @@
+#include "src/service/metrics.h"
+
+#include <sstream>
+
+namespace concord {
+
+void LatencyHistogram::Record(uint64_t micros) {
+  ++count;
+  sum_micros += micros;
+  if (micros > max_micros) {
+    max_micros = micros;
+  }
+  size_t bucket = 0;
+  while (bucket + 1 < kNumBuckets && micros >= (uint64_t{2} << bucket)) {
+    ++bucket;
+  }
+  ++buckets[bucket];
+}
+
+JsonValue LatencyHistogram::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", JsonValue::Number(static_cast<int64_t>(count)));
+  out.Set("sumMicros", JsonValue::Number(static_cast<int64_t>(sum_micros)));
+  out.Set("maxMicros", JsonValue::Number(static_cast<int64_t>(max_micros)));
+  out.Set("meanMicros",
+          JsonValue::Number(count == 0 ? 0.0
+                                       : static_cast<double>(sum_micros) /
+                                             static_cast<double>(count)));
+  JsonValue buckets_json = JsonValue::Array();
+  // Trailing empty buckets are elided so small snapshots stay readable.
+  size_t last = kNumBuckets;
+  while (last > 0 && buckets[last - 1] == 0) {
+    --last;
+  }
+  for (size_t i = 0; i < last; ++i) {
+    buckets_json.Append(JsonValue::Number(static_cast<int64_t>(buckets[i])));
+  }
+  out.Set("buckets", std::move(buckets_json));
+  return out;
+}
+
+void Metrics::RecordRequest(std::string_view verb, bool ok, uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = verbs_.find(verb);
+  if (it == verbs_.end()) {
+    it = verbs_.emplace(std::string(verb), VerbStats{}).first;
+  }
+  ++it->second.count;
+  if (!ok) {
+    ++it->second.errors;
+  }
+  it->second.latency.Record(micros);
+}
+
+void Metrics::RecordCacheProbe(uint64_t hits, uint64_t misses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_hits_ += hits;
+  cache_misses_ += misses;
+}
+
+void Metrics::RecordCheckWork(uint64_t configs, uint64_t contracts_evaluated,
+                              uint64_t violations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  configs_checked_ += configs;
+  contracts_evaluated_ += contracts_evaluated;
+  violations_found_ += violations;
+}
+
+JsonValue Metrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::Object();
+  uint64_t total = 0;
+  uint64_t errors = 0;
+  JsonValue verbs = JsonValue::Object();
+  for (const auto& [verb, stats] : verbs_) {
+    total += stats.count;
+    errors += stats.errors;
+    JsonValue v = JsonValue::Object();
+    v.Set("count", JsonValue::Number(static_cast<int64_t>(stats.count)));
+    v.Set("errors", JsonValue::Number(static_cast<int64_t>(stats.errors)));
+    v.Set("latency", stats.latency.ToJson());
+    verbs.Set(verb, std::move(v));
+  }
+  out.Set("requests", JsonValue::Number(static_cast<int64_t>(total)));
+  out.Set("errors", JsonValue::Number(static_cast<int64_t>(errors)));
+  out.Set("verbs", std::move(verbs));
+
+  JsonValue cache = JsonValue::Object();
+  cache.Set("hits", JsonValue::Number(static_cast<int64_t>(cache_hits_)));
+  cache.Set("misses", JsonValue::Number(static_cast<int64_t>(cache_misses_)));
+  uint64_t probes = cache_hits_ + cache_misses_;
+  cache.Set("hitRate", JsonValue::Number(probes == 0 ? 0.0
+                                                     : static_cast<double>(cache_hits_) /
+                                                           static_cast<double>(probes)));
+  out.Set("cache", std::move(cache));
+
+  JsonValue work = JsonValue::Object();
+  work.Set("configsChecked", JsonValue::Number(static_cast<int64_t>(configs_checked_)));
+  work.Set("contractsEvaluated",
+           JsonValue::Number(static_cast<int64_t>(contracts_evaluated_)));
+  work.Set("violationsFound",
+           JsonValue::Number(static_cast<int64_t>(violations_found_)));
+  out.Set("work", std::move(work));
+  return out;
+}
+
+std::string Metrics::SummaryText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  uint64_t errors = 0;
+  for (const auto& [verb, stats] : verbs_) {
+    total += stats.count;
+    errors += stats.errors;
+  }
+  std::ostringstream out;
+  out << "concord serve summary\n";
+  out << "  requests: " << total << " (" << errors << " errors)\n";
+  for (const auto& [verb, stats] : verbs_) {
+    out << "    " << verb << ": " << stats.count;
+    if (stats.latency.count > 0) {
+      out << " (mean "
+          << stats.latency.sum_micros / stats.latency.count << "us, max "
+          << stats.latency.max_micros << "us)";
+    }
+    out << "\n";
+  }
+  uint64_t probes = cache_hits_ + cache_misses_;
+  out << "  config cache: " << cache_hits_ << " hits / " << cache_misses_
+      << " misses";
+  if (probes > 0) {
+    out << " (" << (100 * cache_hits_) / probes << "% hit rate)";
+  }
+  out << "\n";
+  out << "  checked: " << configs_checked_ << " configs, " << contracts_evaluated_
+      << " contracts evaluated, " << violations_found_ << " violations\n";
+  return out.str();
+}
+
+}  // namespace concord

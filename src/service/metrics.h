@@ -1,0 +1,71 @@
+// Metrics registry for `concord serve`.
+//
+// Tracks per-verb request counts and latency histograms, the parsed-config cache's
+// hit/miss totals, and aggregate checking work (configs checked, contracts
+// evaluated, violations found). Surfaced as JSON through the `stats` verb and as a
+// human-readable summary when the service shuts down.
+#ifndef SRC_SERVICE_METRICS_H_
+#define SRC_SERVICE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/format/json.h"
+
+namespace concord {
+
+// Log2 latency histogram: bucket i counts requests in [2^i, 2^(i+1)) microseconds;
+// the last bucket absorbs everything slower.
+struct LatencyHistogram {
+  static constexpr size_t kNumBuckets = 24;  // ~16.7s and beyond in the last bucket.
+
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  uint64_t max_micros = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  void Record(uint64_t micros);
+  JsonValue ToJson() const;  // {count, sumMicros, maxMicros, meanMicros, buckets}.
+};
+
+class Metrics {
+ public:
+  // One finished request: its verb, whether it produced an ok response, wall time.
+  void RecordRequest(std::string_view verb, bool ok, uint64_t micros);
+
+  // Outcome of probing the parsed-config cache for one batch.
+  void RecordCacheProbe(uint64_t hits, uint64_t misses);
+
+  // Aggregate work done by one check/coverage request.
+  void RecordCheckWork(uint64_t configs, uint64_t contracts_evaluated,
+                       uint64_t violations);
+
+  // Point-in-time snapshot of every counter.
+  JsonValue Snapshot() const;
+
+  // Terse multi-line shutdown summary.
+  std::string SummaryText() const;
+
+ private:
+  struct VerbStats {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    LatencyHistogram latency;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, VerbStats, std::less<>> verbs_;  // Ordered for stable JSON.
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t configs_checked_ = 0;
+  uint64_t contracts_evaluated_ = 0;
+  uint64_t violations_found_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_METRICS_H_

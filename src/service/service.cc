@@ -1,0 +1,292 @@
+#include "src/service/service.h"
+
+#include <cstdint>
+#include <exception>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/check/checker.h"
+#include "src/pattern/parser.h"
+#include "src/report/report.h"
+#include "src/util/hash.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace concord {
+
+namespace {
+
+// Request-level failure that becomes an {"ok":false,...} response.
+struct ServiceError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+int64_t ToInt64(size_t n) { return static_cast<int64_t>(n); }
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(options),
+      store_(options.cache_capacity),
+      pool_(options.parallelism <= 0 ? 0 : static_cast<size_t>(options.parallelism)) {}
+
+bool Service::LoadContracts(const std::string& name, const std::string& path,
+                            std::string* error) {
+  return store_.Load(name, path, error);
+}
+
+bool Service::LoadLexerDefinitions(const std::string& text, std::string* error) {
+  return lexer_.LoadDefinitions(text, error);
+}
+
+std::string Service::HandleLine(const std::string& line) {
+  Stopwatch watch;
+  std::string verb = "invalid";
+  JsonValue id;
+  bool has_id = false;
+  JsonValue body;
+  bool ok = false;
+  try {
+    std::string error;
+    auto request = JsonValue::Parse(line, &error);
+    if (!request) {
+      throw ServiceError("malformed JSON request: " + error);
+    }
+    if (!request->is_object()) {
+      throw ServiceError("request must be a JSON object");
+    }
+    if (const JsonValue* i = request->Find("id")) {
+      id = *i;
+      has_id = true;
+    }
+    auto v = request->GetString("verb");
+    if (!v) {
+      throw ServiceError(
+          "missing 'verb' (expected check|coverage|reload|stats|shutdown)");
+    }
+    verb = *v;
+    body = Dispatch(verb, *request);
+    ok = true;
+  } catch (const std::exception& e) {
+    body = JsonValue::Object();
+    body.Set("error", JsonValue::String(e.what()));
+  }
+
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(ok));
+  if (has_id) {
+    response.Set("id", std::move(id));
+  }
+  for (auto& [key, value] : body.members()) {
+    response.Set(key, std::move(value));
+  }
+  metrics_.RecordRequest(verb, ok,
+                         static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  return response.Serialize(0);
+}
+
+JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
+  if (verb == "check") {
+    return HandleCheck(request, /*coverage_listing=*/false);
+  }
+  if (verb == "coverage") {
+    return HandleCheck(request, /*coverage_listing=*/true);
+  }
+  if (verb == "reload") {
+    return HandleReload(request);
+  }
+  if (verb == "stats") {
+    JsonValue body = JsonValue::Object();
+    body.Set("verb", JsonValue::String("stats"));
+    body.Set("stats", metrics_.Snapshot());
+    body.Set("contractSets", StatsJson());
+    return body;
+  }
+  if (verb == "shutdown") {
+    shutdown_ = true;
+    JsonValue body = JsonValue::Object();
+    body.Set("verb", JsonValue::String("shutdown"));
+    body.Set("stats", metrics_.Snapshot());
+    return body;
+  }
+  throw ServiceError("unknown verb '" + verb +
+                     "' (expected check|coverage|reload|stats|shutdown)");
+}
+
+JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) {
+  // Resolve the target contract set; with a single loaded set the name is optional.
+  std::string name;
+  if (auto n = request.GetString("contracts")) {
+    name = *n;
+  } else {
+    auto all = store_.All();
+    if (all.size() != 1) {
+      throw ServiceError("'contracts' is required when " +
+                         std::to_string(all.size()) + " contract sets are loaded");
+    }
+    name = all[0]->name;
+  }
+  std::shared_ptr<LoadedContractSet> entry = store_.Get(name);
+  if (entry == nullptr) {
+    throw ServiceError("unknown contract set '" + name + "' (reload it with a path)");
+  }
+
+  const JsonValue* configs = request.Find("configs");
+  if (configs == nullptr || !configs->is_array() || configs->items().empty()) {
+    throw ServiceError("'configs' must be a non-empty array of {name, text} objects");
+  }
+  struct Item {
+    const std::string* name;
+    const std::string* text;
+    uint64_t key = 0;
+    std::shared_ptr<const ParsedConfig> parsed;
+  };
+  std::vector<Item> items;
+  items.reserve(configs->items().size());
+  for (const JsonValue& member : configs->items()) {
+    if (!member.is_object()) {
+      throw ServiceError("each configs entry must be a {name, text} object");
+    }
+    const JsonValue* config_name = member.Find("name");
+    const JsonValue* text = member.Find("text");
+    if (config_name == nullptr || !config_name->is_string() || text == nullptr ||
+        !text->is_string()) {
+      throw ServiceError("each configs entry needs string 'name' and 'text' members");
+    }
+    items.push_back(Item{&config_name->AsString(), &text->AsString()});
+  }
+
+  // Content hashing fans out across the pool; config texts can be large.
+  pool_.ParallelFor(items.size(), [&items](size_t i) {
+    items[i].key = ContentKey(*items[i].name, *items[i].text);
+  });
+
+  // Cache probes and (for misses) parsing. Parsing interns patterns into the
+  // entry's long-lived table, so it runs serially under the entry's parse mutex —
+  // that is exactly the work the cache amortizes away on repeat traffic.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  std::vector<ParsedLine> metadata;
+  {
+    std::lock_guard<std::mutex> lock(entry->parse_mu);
+    ConfigParser parser(&lexer_, &entry->table, entry->parse_options);
+    for (Item& item : items) {
+      item.parsed = entry->cache.Get(item.key);
+      if (item.parsed != nullptr) {
+        ++hits;
+        continue;
+      }
+      ++misses;
+      auto parsed =
+          std::make_shared<ParsedConfig>(parser.Parse(*item.name, *item.text));
+      entry->cache.Put(item.key, parsed);
+      item.parsed = std::move(parsed);
+    }
+    if (const JsonValue* meta = request.Find("metadata")) {
+      if (!meta->is_array()) {
+        throw ServiceError("'metadata' must be an array of {name, text} objects");
+      }
+      for (const JsonValue& member : meta->items()) {
+        auto text = member.GetString("text");
+        if (!member.is_object() || !text) {
+          throw ServiceError("each metadata entry needs a string 'text' member");
+        }
+        for (ParsedLine& parsed_line : parser.ParseMetadata(*text)) {
+          metadata.push_back(std::move(parsed_line));
+        }
+      }
+    }
+  }
+
+  bool measure_coverage =
+      coverage_listing || request.GetBool("coverage").value_or(true);
+  std::vector<const ParsedConfig*> parsed;
+  parsed.reserve(items.size());
+  for (const Item& item : items) {
+    parsed.push_back(item.parsed.get());
+  }
+  Checker checker(&entry->set, &entry->table,
+                  static_cast<int>(pool_.num_threads()), &pool_);
+  CheckResult result = checker.Check(parsed, metadata, measure_coverage);
+
+  metrics_.RecordCacheProbe(hits, misses);
+  metrics_.RecordCheckWork(items.size(), entry->set.contracts.size() * items.size(),
+                           result.violations.size());
+
+  JsonValue body = JsonValue::Object();
+  body.Set("verb", JsonValue::String(coverage_listing ? "coverage" : "check"));
+  body.Set("contracts", JsonValue::String(name));
+  body.Set("configsChecked", JsonValue::Number(ToInt64(items.size())));
+  body.Set("cacheHits", JsonValue::Number(static_cast<int64_t>(hits)));
+  body.Set("cacheMisses", JsonValue::Number(static_cast<int64_t>(misses)));
+  body.Set("violations", JsonValue::Number(ToInt64(result.violations.size())));
+  if (coverage_listing) {
+    body.Set("coverage", CoverageJsonValue(result));
+    body.Set("listing", JsonValue::String(CoverageReportText(result)));
+  } else {
+    body.Set("report", ReportJsonValue(result, entry->set, entry->table));
+  }
+  return body;
+}
+
+JsonValue Service::HandleReload(const JsonValue& request) {
+  // "contracts" matches the check/coverage request shape; "name" is an alias.
+  std::string name = request.GetString("contracts")
+                         .value_or(request.GetString("name").value_or("default"));
+  std::string path;
+  if (auto p = request.GetString("path")) {
+    path = *p;
+  } else {
+    auto existing = store_.Get(name);
+    if (existing == nullptr) {
+      throw ServiceError("cannot reload unknown contract set '" + name +
+                         "' without a 'path'");
+    }
+    path = existing->path;
+  }
+  std::string error;
+  if (!store_.Load(name, path, &error)) {
+    throw ServiceError("reload of '" + name + "' from " + path + " failed: " + error);
+  }
+  auto entry = store_.Get(name);
+  JsonValue body = JsonValue::Object();
+  body.Set("verb", JsonValue::String("reload"));
+  body.Set("name", JsonValue::String(name));
+  body.Set("path", JsonValue::String(path));
+  body.Set("contracts", JsonValue::Number(ToInt64(entry->set.contracts.size())));
+  return body;
+}
+
+JsonValue Service::StatsJson() const {
+  JsonValue sets = JsonValue::Array();
+  for (const auto& entry : store_.All()) {
+    JsonValue item = JsonValue::Object();
+    item.Set("name", JsonValue::String(entry->name));
+    item.Set("path", JsonValue::String(entry->path));
+    item.Set("contracts", JsonValue::Number(ToInt64(entry->set.contracts.size())));
+    item.Set("patterns", JsonValue::Number(ToInt64(entry->table.size())));
+    item.Set("cachedConfigs", JsonValue::Number(ToInt64(entry->cache.size())));
+    sets.Append(std::move(item));
+  }
+  return sets;
+}
+
+int RunService(Service& service, std::istream& in, std::ostream& out,
+               std::ostream* summary) {
+  std::string line;
+  while (!service.shutdown_requested() && std::getline(in, line)) {
+    if (Trim(line).empty()) {
+      continue;
+    }
+    out << service.HandleLine(line) << "\n" << std::flush;
+  }
+  if (summary != nullptr) {
+    *summary << service.SummaryText();
+  }
+  return 0;
+}
+
+}  // namespace concord

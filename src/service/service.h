@@ -1,0 +1,85 @@
+// `concord serve` (§4, §6): a persistent, batched contract-checking service.
+//
+// The one-shot CLI re-parses the contract file and re-embeds every config on each
+// invocation; inside a CI/CD pipeline the checker runs continuously, so the service
+// keeps learned contract sets resident (ContractStore), caches parsed configs by
+// content hash (ConfigCache), and answers newline-delimited JSON requests:
+//
+//   {"verb":"check","contracts":"edge","configs":[{"name":"dev1.cfg","text":"..."}]}
+//   {"verb":"coverage", ...}   per-line coverage listing for a batch
+//   {"verb":"reload","name":"edge"}          hot-swap a contract set from disk
+//   {"verb":"stats"}                         metrics snapshot
+//   {"verb":"shutdown"}                      final stats + loop exit
+//
+// Responses are single-line JSON objects with "ok" plus verb-specific fields; a
+// request's "id" member, when present, is echoed back. Malformed requests produce
+// {"ok":false,"error":...} and never terminate the loop. Tests drive the loop
+// in-process through RunService(istream&, ostream&), mirroring RunConcord.
+#ifndef SRC_SERVICE_SERVICE_H_
+#define SRC_SERVICE_SERVICE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/format/json.h"
+#include "src/pattern/lexer.h"
+#include "src/service/contract_store.h"
+#include "src/service/metrics.h"
+#include "src/util/thread_pool.h"
+
+namespace concord {
+
+struct ServiceOptions {
+  int parallelism = 0;          // Worker threads for batched checking (0 = all cores).
+  size_t cache_capacity = 256;  // Parsed-config LRU entries per contract set.
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+
+  // Loads (or replaces) a contract set before/while serving. On failure the store
+  // is unchanged and *error describes the problem.
+  bool LoadContracts(const std::string& name, const std::string& path,
+                     std::string* error);
+
+  // Installs custom lexer definitions (`name regex` lines) used when parsing
+  // request configs. Call before serving.
+  bool LoadLexerDefinitions(const std::string& text, std::string* error);
+
+  // Handles one request line, returning exactly one line of JSON (no newline).
+  // Never throws: every failure becomes an {"ok":false,...} response.
+  std::string HandleLine(const std::string& line);
+
+  // True once a shutdown request has been answered.
+  bool shutdown_requested() const { return shutdown_; }
+
+  // Human-readable metrics summary for the end of a session.
+  std::string SummaryText() const { return metrics_.SummaryText(); }
+
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  JsonValue Dispatch(const std::string& verb, const JsonValue& request);
+  JsonValue HandleCheck(const JsonValue& request, bool coverage_listing);
+  JsonValue HandleReload(const JsonValue& request);
+  JsonValue StatsJson() const;
+
+  ServiceOptions options_;
+  Lexer lexer_;
+  ContractStore store_;
+  ThreadPool pool_;
+  Metrics metrics_;
+  bool shutdown_ = false;
+};
+
+// Runs the request loop: one JSON request per input line, one JSON response per
+// output line (flushed), until shutdown or EOF. Writes the metrics summary to
+// `summary` (when non-null) before returning. Returns 0.
+int RunService(Service& service, std::istream& in, std::ostream& out,
+               std::ostream* summary);
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_SERVICE_H_

@@ -1,0 +1,115 @@
+#include "src/service/socket_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <string>
+
+namespace concord {
+
+namespace {
+
+// Writes all of `data`, retrying on short writes and EINTR. False on error.
+// MSG_NOSIGNAL: a client that hangs up mid-response must surface as EPIPE,
+// not deliver a process-killing SIGPIPE to the long-running server.
+bool WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Handles one client connection; true if the service should keep accepting.
+bool ServeClient(Service& service, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return !service.shutdown_requested();
+    }
+    if (n == 0) {
+      return !service.shutdown_requested();  // Client hung up.
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (line.empty()) {
+        continue;
+      }
+      if (!WriteAll(fd, service.HandleLine(line) + "\n")) {
+        return !service.shutdown_requested();
+      }
+      if (service.shutdown_requested()) {
+        return false;
+      }
+    }
+    buffer.erase(0, start);
+  }
+}
+
+}  // namespace
+
+int RunServiceSocket(Service& service, const std::string& path, std::ostream& err,
+                     std::ostream* summary) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    err << "error: socket path too long: " << path << "\n";
+    return 2;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    err << "error: socket: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 8) < 0) {
+    err << "error: cannot serve on " << path << ": " << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 2;
+  }
+
+  while (!service.shutdown_requested()) {
+    int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      err << "error: accept: " << std::strerror(errno) << "\n";
+      break;
+    }
+    ServeClient(service, client);
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  if (summary != nullptr) {
+    *summary << service.SummaryText();
+  }
+  return service.shutdown_requested() ? 0 : 2;
+}
+
+}  // namespace concord

@@ -1,0 +1,26 @@
+// Serves the NDJSON request protocol on an AF_UNIX stream socket.
+//
+// One client at a time: clients connect, exchange request/response lines, and
+// disconnect; the listener then accepts the next client. A `shutdown` request ends
+// the server after its response is written. This is deliberately the simplest
+// transport that outlives a pipe — multi-connection async I/O is future work that
+// layers on Service::HandleLine unchanged.
+#ifndef SRC_SERVICE_SOCKET_SERVER_H_
+#define SRC_SERVICE_SOCKET_SERVER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/service/service.h"
+
+namespace concord {
+
+// Binds `path` (unlinking any stale socket first), serves until shutdown, and
+// removes the socket file. Writes the metrics summary to `summary` (when non-null)
+// on exit. Returns 0 on clean shutdown, 2 on socket errors.
+int RunServiceSocket(Service& service, const std::string& path, std::ostream& err,
+                     std::ostream* summary);
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_SOCKET_SERVER_H_

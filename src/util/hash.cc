@@ -1,0 +1,20 @@
+#include "src/util/hash.h"
+
+namespace concord {
+
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+uint64_t ContentKey(std::string_view name, std::string_view text) {
+  uint64_t h = Fnv1a64(name);
+  h = Fnv1a64(std::string_view("\0", 1), h);
+  return Fnv1a64(text, h);
+}
+
+}  // namespace concord

@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -25,14 +26,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task. Tasks must not throw.
+  // Enqueues a task. A throwing task does not kill its worker: the first exception
+  // of a wave is captured and rethrown from the next Wait().
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished.
+  // Blocks until every submitted task has finished. If any task threw since the
+  // previous Wait(), rethrows the first captured exception (the pool stays usable).
   void Wait();
 
   // Runs `fn(i)` for i in [0, count) across the pool and waits for completion.
-  // Work is chunked to limit queueing overhead for fine-grained items.
+  // Work is chunked to limit queueing overhead for fine-grained items. Rethrows the
+  // first exception thrown by `fn`; remaining chunks still run to completion first.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
@@ -47,6 +51,7 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;  // First exception of the current wave.
 };
 
 }  // namespace concord

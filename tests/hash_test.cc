@@ -1,0 +1,46 @@
+#include "src/util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace concord {
+namespace {
+
+TEST(Fnv1a64, KnownVectors) {
+  // Reference values from the FNV specification (draft-eastlake-fnv).
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64, SeedChainingMatchesConcatenation) {
+  std::string a = "router bgp 65015\n";
+  std::string b = "   vlan 251\n      rd 10.99.0.1:10251\n";
+  EXPECT_EQ(Fnv1a64(a + b), Fnv1a64(b, Fnv1a64(a)));
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+  std::string base = "hostname DEV1";
+  for (size_t i = 0; i < base.size(); ++i) {
+    std::string flipped = base;
+    flipped[i] ^= 1;
+    EXPECT_NE(Fnv1a64(base), Fnv1a64(flipped)) << "byte " << i;
+  }
+}
+
+TEST(Fnv1a64, EmbeddedNulBytesHashed) {
+  EXPECT_NE(Fnv1a64(std::string_view("a\0b", 3)), Fnv1a64(std::string_view("ab", 2)));
+}
+
+TEST(ContentKey, SeparatorPreventsBoundaryAliasing) {
+  // Moving a character across the name/text boundary must change the key.
+  EXPECT_NE(ContentKey("ab", "c"), ContentKey("a", "bc"));
+  EXPECT_NE(ContentKey("dev1.cfg", "hostname DEV1\n"),
+            ContentKey("dev1.cfg", "hostname DEV2\n"));
+  EXPECT_EQ(ContentKey("dev1.cfg", "hostname DEV1\n"),
+            ContentKey("dev1.cfg", "hostname DEV1\n"));
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,425 @@
+#include "src/service/service.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cli/cli.h"
+#include "src/datagen/edge_gen.h"
+#include "src/format/json.h"
+#include "src/service/socket_server.h"
+#include "src/util/io.h"
+
+namespace concord {
+namespace {
+
+// Drives the service the way `concord serve` does, via the in-process entry points;
+// contracts come from real `concord learn` runs over the cli_test fixture configs
+// and an EdgeGenerator corpus (datagen_test.cc's fixtures).
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "concord_service_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_ / "configs");
+    for (int i = 1; i <= 6; ++i) {
+      WriteFile(ConfigPath(i), Config(i));
+    }
+    ASSERT_EQ(RunCli({"learn", "--configs", ConfigsGlob(), "--support", "3",
+                      "--score-threshold", "3", "--out", ContractsPath()}),
+              0);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::string Config(int i) {
+    std::string s = std::to_string(i);
+    return "hostname DEV" + s +
+           "\n"
+           "interface Loopback0\n"
+           "   ip address 10.14." +
+           s +
+           ".34\n"
+           "ip prefix-list loopback\n"
+           "   seq 10 permit 10.14." +
+           s +
+           ".34/32\n"
+           "router bgp 65015\n"
+           "   vlan 25" +
+           s +
+           "\n"
+           "      rd 10.99.0." +
+           s + ":1025" + s + "\n";
+  }
+
+  int RunCli(const std::vector<std::string>& args, std::string* stdout_text = nullptr) {
+    std::vector<const char*> argv;
+    argv.push_back("concord");
+    for (const std::string& a : args) {
+      argv.push_back(a.c_str());
+    }
+    std::ostringstream out, err;
+    int code = RunConcord(static_cast<int>(argv.size()), argv.data(), out, err);
+    if (stdout_text != nullptr) {
+      *stdout_text = out.str();
+    }
+    return code;
+  }
+
+  // Builds a check/coverage request over the fixture configs; names are the file
+  // paths so reports are byte-comparable with a one-shot `concord check` run.
+  static std::string CheckRequest(const std::string& verb, const std::string& set_name,
+                                  const std::vector<std::string>& paths,
+                                  const std::vector<std::string>& metadata_paths = {}) {
+    JsonValue request = JsonValue::Object();
+    request.Set("verb", JsonValue::String(verb));
+    if (!set_name.empty()) {
+      request.Set("contracts", JsonValue::String(set_name));
+    }
+    JsonValue configs = JsonValue::Array();
+    for (const std::string& path : paths) {
+      JsonValue item = JsonValue::Object();
+      item.Set("name", JsonValue::String(path));
+      item.Set("text", JsonValue::String(ReadFile(path)));
+      configs.Append(std::move(item));
+    }
+    request.Set("configs", std::move(configs));
+    if (!metadata_paths.empty()) {
+      JsonValue metadata = JsonValue::Array();
+      for (const std::string& path : metadata_paths) {
+        JsonValue item = JsonValue::Object();
+        item.Set("name", JsonValue::String(path));
+        item.Set("text", JsonValue::String(ReadFile(path)));
+        metadata.Append(std::move(item));
+      }
+      request.Set("metadata", std::move(metadata));
+    }
+    return request.Serialize(0);
+  }
+
+  // Sends one request and parses the one-line response.
+  static JsonValue Respond(Service& service, const std::string& line) {
+    std::string text = service.HandleLine(line);
+    EXPECT_EQ(text.find('\n'), std::string::npos) << text;
+    std::string error;
+    auto parsed = JsonValue::Parse(text, &error);
+    EXPECT_TRUE(parsed.has_value()) << error << " in: " << text;
+    return parsed ? *parsed : JsonValue::Null();
+  }
+
+  std::string ConfigPath(int i) const {
+    return (dir_ / "configs" / ("dev" + std::to_string(i) + ".cfg")).string();
+  }
+  std::vector<std::string> ConfigPaths() const {
+    std::vector<std::string> paths;
+    for (int i = 1; i <= 6; ++i) {
+      paths.push_back(ConfigPath(i));
+    }
+    return paths;
+  }
+  std::string ConfigsGlob() const { return (dir_ / "configs" / "*.cfg").string(); }
+  std::string ContractsPath() const { return (dir_ / "contracts.json").string(); }
+
+  void BreakDev3() {
+    std::string bad = Config(3);
+    bad = bad.replace(bad.find("seq 10 permit 10.14.3.34/32"),
+                      std::string("seq 10 permit 10.14.3.34/32").size(),
+                      "seq 10 permit 10.14.77.34/32");
+    WriteFile(ConfigPath(3), bad);
+  }
+
+  std::unique_ptr<Service> MakeService(const std::string& name = "edge") {
+    auto service = std::make_unique<Service>(ServiceOptions{});
+    std::string error;
+    EXPECT_TRUE(service->LoadContracts(name, ContractsPath(), &error)) << error;
+    return service;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ServiceTest, BatchedCheckMatchesOneShotByteIdentical) {
+  BreakDev3();
+  std::string json_path = (dir_ / "report.json").string();
+  ASSERT_EQ(RunCli({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath(),
+                    "--json-out", json_path}),
+            1);
+
+  auto service = MakeService();
+  JsonValue response = Respond(*service, CheckRequest("check", "edge", ConfigPaths()));
+  EXPECT_EQ(response.GetBool("ok"), true);
+  EXPECT_GT(response.GetInt("violations").value_or(0), 0);
+  EXPECT_EQ(response.GetInt("configsChecked"), 6);
+  const JsonValue* report = response.Find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->Serialize(2), ReadFile(json_path));
+}
+
+TEST_F(ServiceTest, RepeatedCheckHitsCacheAndReportsIdentically) {
+  BreakDev3();
+  auto service = MakeService();
+  std::string request = CheckRequest("check", "edge", ConfigPaths());
+
+  JsonValue first = Respond(*service, request);
+  EXPECT_EQ(first.GetInt("cacheHits"), 0);
+  EXPECT_EQ(first.GetInt("cacheMisses"), 6);
+
+  JsonValue second = Respond(*service, request);
+  EXPECT_EQ(second.GetInt("cacheHits"), 6);
+  EXPECT_EQ(second.GetInt("cacheMisses"), 0);
+  ASSERT_NE(second.Find("report"), nullptr);
+  EXPECT_EQ(first.Find("report")->Serialize(2), second.Find("report")->Serialize(2));
+
+  // The cache hit is visible in stats.
+  JsonValue stats = Respond(*service, R"({"verb":"stats"})");
+  const JsonValue* cache = stats.Find("stats")->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->GetInt("hits"), 6);
+  EXPECT_EQ(cache->GetInt("misses"), 6);
+}
+
+TEST_F(ServiceTest, EdgeCorpusBatchMatchesOneShot) {
+  // Reuse the EdgeGenerator fixture from datagen_test.cc as a bigger batch with
+  // metadata (§3.7).
+  EdgeOptions options;
+  options.sites = 3;
+  options.devices_per_site = 2;
+  options.seed = 7;
+  GeneratedCorpus corpus = GenerateEdge(options);
+  auto edge_dir = dir_ / "edge";
+  std::filesystem::create_directories(edge_dir);
+  std::vector<std::string> config_paths;
+  std::vector<std::string> metadata_paths;
+  for (const GeneratedConfig& config : corpus.configs) {
+    config_paths.push_back((edge_dir / config.name).string());
+    WriteFile(config_paths.back(), config.text);
+  }
+  for (const GeneratedConfig& metadata : corpus.metadata) {
+    metadata_paths.push_back((edge_dir / metadata.name).string());
+    WriteFile(metadata_paths.back(), metadata.text);
+  }
+  std::string contracts = (dir_ / "edge_contracts.json").string();
+  std::string configs_glob = (edge_dir / "*.cfg").string();
+  std::string metadata_glob = (edge_dir / "*.meta.json").string();
+  ASSERT_EQ(RunCli({"learn", "--configs", configs_glob, "--metadata", metadata_glob,
+                    "--support", "3", "--out", contracts}),
+            0);
+  std::string json_path = (dir_ / "edge_report.json").string();
+  int one_shot = RunCli({"check", "--configs", configs_glob, "--metadata", metadata_glob,
+                         "--contracts", contracts, "--json-out", json_path});
+  ASSERT_LE(one_shot, 1);  // Clean or violations; either way the reports must agree.
+
+  Service service(ServiceOptions{});
+  std::string error;
+  ASSERT_TRUE(service.LoadContracts("edge", contracts, &error)) << error;
+  JsonValue response =
+      Respond(service, CheckRequest("check", "edge", config_paths, metadata_paths));
+  EXPECT_EQ(response.GetBool("ok"), true);
+  EXPECT_EQ(response.GetInt("configsChecked"),
+            static_cast<int64_t>(corpus.configs.size()));
+  ASSERT_NE(response.Find("report"), nullptr);
+  EXPECT_EQ(response.Find("report")->Serialize(2), ReadFile(json_path));
+}
+
+TEST_F(ServiceTest, CoverageVerbReturnsListing) {
+  auto service = MakeService();
+  JsonValue response = Respond(*service, CheckRequest("coverage", "edge", ConfigPaths()));
+  EXPECT_EQ(response.GetBool("ok"), true);
+  const JsonValue* coverage = response.Find("coverage");
+  ASSERT_NE(coverage, nullptr);
+  EXPECT_GT(coverage->GetInt("totalLines").value_or(0), 0);
+  auto listing = response.GetString("listing");
+  ASSERT_TRUE(listing.has_value());
+  EXPECT_NE(listing->find("dev1.cfg:1 "), std::string::npos);
+}
+
+TEST_F(ServiceTest, ReloadHotSwapsContractsAndDropsCache) {
+  // A second contract set learned with relational contracts disabled misses the
+  // planted dev3 violation.
+  std::string relaxed = (dir_ / "relaxed.json").string();
+  ASSERT_EQ(RunCli({"learn", "--configs", ConfigsGlob(), "--support", "3",
+                    "--disable", "relational", "--out", relaxed}),
+            0);
+  BreakDev3();
+
+  auto service = MakeService();
+  std::string request = CheckRequest("check", "edge", ConfigPaths());
+  JsonValue before = Respond(*service, request);
+  EXPECT_GT(before.GetInt("violations").value_or(0), 0);
+
+  JsonValue reload =
+      Respond(*service, R"({"verb":"reload","name":"edge","path":")" + relaxed + "\"}");
+  EXPECT_EQ(reload.GetBool("ok"), true);
+  EXPECT_GT(reload.GetInt("contracts").value_or(0), 0);
+
+  JsonValue after = Respond(*service, request);
+  EXPECT_EQ(after.GetInt("violations"), 0);
+  // The swap rebuilt the pattern table, so the config cache starts cold again.
+  EXPECT_EQ(after.GetInt("cacheMisses"), 6);
+
+  // Reload without a path re-reads the remembered file; "contracts" selects
+  // the set just like in check requests ("name" is an accepted alias).
+  JsonValue again = Respond(*service, R"({"verb":"reload","contracts":"edge"})");
+  EXPECT_EQ(again.GetBool("ok"), true);
+  EXPECT_EQ(again.GetString("path"), relaxed);
+}
+
+TEST_F(ServiceTest, StatsExposesVerbsCacheWorkAndSets) {
+  auto service = MakeService();
+  Respond(*service, CheckRequest("check", "edge", ConfigPaths()));
+  Respond(*service, CheckRequest("check", "edge", ConfigPaths()));
+  JsonValue response = Respond(*service, R"({"verb":"stats"})");
+  EXPECT_EQ(response.GetBool("ok"), true);
+
+  const JsonValue* stats = response.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->GetInt("requests"), 2);
+  const JsonValue* check_stats = stats->Find("verbs")->Find("check");
+  ASSERT_NE(check_stats, nullptr);
+  EXPECT_EQ(check_stats->GetInt("count"), 2);
+  EXPECT_GT(check_stats->Find("latency")->GetInt("count").value_or(0), 0);
+  EXPECT_EQ(stats->Find("cache")->GetInt("hits"), 6);
+  EXPECT_EQ(stats->Find("work")->GetInt("configsChecked"), 12);
+
+  const JsonValue* sets = response.Find("contractSets");
+  ASSERT_NE(sets, nullptr);
+  ASSERT_EQ(sets->items().size(), 1u);
+  EXPECT_EQ(sets->items()[0].GetString("name"), "edge");
+  EXPECT_GT(sets->items()[0].GetInt("cachedConfigs").value_or(0), 0);
+}
+
+TEST_F(ServiceTest, MalformedRequestsGetErrorsWithoutKillingTheLoop) {
+  auto service = MakeService();
+  std::istringstream in(
+      "{this is not json\n"
+      "42\n"
+      "{\"verb\":\"frobnicate\"}\n"
+      "{\"verb\":\"check\",\"contracts\":\"nope\",\"configs\":[{\"name\":\"a\",\"text\":\"b\"}]}\n"
+      "{\"verb\":\"check\",\"contracts\":\"edge\"}\n"
+      "{\"verb\":\"check\",\"contracts\":\"edge\",\"configs\":[{\"name\":7}]}\n"
+      "{\"verb\":\"reload\",\"name\":\"edge\",\"path\":\"/nonexistent.json\"}\n"
+      "\n"
+      "{\"verb\":\"stats\",\"id\":7}\n"
+      "{\"verb\":\"shutdown\"}\n");
+  std::ostringstream out, summary;
+  EXPECT_EQ(RunService(*service, in, out, &summary), 0);
+
+  std::vector<std::string> lines;
+  std::istringstream responses(out.str());
+  for (std::string line; std::getline(responses, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 9u);  // Every non-empty request got exactly one response.
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string error;
+    auto parsed = JsonValue::Parse(lines[i], &error);
+    ASSERT_TRUE(parsed.has_value()) << error << " in: " << lines[i];
+    bool expect_ok = i >= 7;
+    EXPECT_EQ(parsed->GetBool("ok"), expect_ok) << lines[i];
+    if (!expect_ok) {
+      EXPECT_TRUE(parsed->GetString("error").has_value()) << lines[i];
+    }
+  }
+  // The id is echoed and the summary names the failed requests.
+  std::string stats_error;
+  auto stats = JsonValue::Parse(lines[7], &stats_error);
+  EXPECT_EQ(stats->GetInt("id"), 7);
+  EXPECT_NE(summary.str().find("concord serve summary"), std::string::npos);
+  EXPECT_NE(summary.str().find("errors"), std::string::npos);
+
+  // A failed reload never clobbers the resident set: checking still works.
+  JsonValue check = Respond(*service, CheckRequest("check", "edge", ConfigPaths()));
+  EXPECT_EQ(check.GetBool("ok"), true);
+}
+
+TEST_F(ServiceTest, ShutdownEndsLoopEarly) {
+  auto service = MakeService();
+  std::istringstream in(
+      "{\"verb\":\"shutdown\"}\n"
+      "{\"verb\":\"stats\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunService(*service, in, out, nullptr), 0);
+  // Only the shutdown line was answered; it carries a final stats snapshot.
+  std::string text = out.str();
+  ASSERT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+  std::string error;
+  auto response = JsonValue::Parse(text.substr(0, text.size() - 1), &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->GetBool("ok"), true);
+  ASSERT_NE(response->Find("stats"), nullptr);
+  EXPECT_TRUE(service->shutdown_requested());
+}
+
+TEST_F(ServiceTest, UnixSocketServesProtocol) {
+  auto service = MakeService();
+  std::string socket_path = (dir_ / "serve.sock").string();
+  std::ostringstream err;
+  std::thread server([&] { RunServiceSocket(*service, socket_path, err, nullptr); });
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(socket_path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  // First client: hangs up without reading its responses. The server is
+  // accepting clients one at a time, so this session runs to completion
+  // before the next connect is served — writes to the closed peer must
+  // surface as EPIPE, not as a fatal SIGPIPE. The listener binds
+  // asynchronously; this connect loop doubles as the bind wait.
+  int abrupt = -1;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    abrupt = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(abrupt, 0);
+    if (::connect(abrupt, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(abrupt);
+    abrupt = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(abrupt, 0) << "could not connect to " << socket_path;
+  std::string burst = "{\"verb\":\"stats\"}\n{\"verb\":\"stats\"}\n";
+  ASSERT_EQ(::write(abrupt, burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+  ::close(abrupt);  // Hang up with both responses unread.
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::string requests = "{\"verb\":\"stats\"}\n{\"verb\":\"shutdown\"}\n";
+  ASSERT_EQ(::write(fd, requests.data(), requests.size()),
+            static_cast<ssize_t>(requests.size()));
+  std::string received;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+
+  std::istringstream responses(received);
+  int ok_lines = 0;
+  for (std::string line; std::getline(responses, line);) {
+    std::string error;
+    auto parsed = JsonValue::Parse(line, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << " in: " << line;
+    EXPECT_EQ(parsed->GetBool("ok"), true);
+    ++ok_lines;
+  }
+  EXPECT_EQ(ok_lines, 2);
+  EXPECT_FALSE(std::filesystem::exists(socket_path));  // Cleaned up on shutdown.
+}
+
+}  // namespace
+}  // namespace concord

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace concord {
@@ -67,6 +68,54 @@ TEST(ThreadPool, ReusableAcrossWaves) {
 TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesAtWait) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count, i] {
+      if (i == 17) {
+        throw std::runtime_error("task 17 failed");
+      }
+      count.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(count.load(), 49);  // Every non-throwing task still ran.
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](size_t i) {
+                                  if (i == 42) {
+                                    throw std::invalid_argument("bad item");
+                                  }
+                                }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error does not stick: a clean wave waits without throwing.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // Subsequent wait is clean.
 }
 
 }  // namespace

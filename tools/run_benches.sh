@@ -1,14 +1,62 @@
 #!/usr/bin/env bash
 # Runs every experiment harness, teeing per-bench outputs next to an aggregate file.
-# Usage: tools/run_benches.sh [output-dir] (default: bench_results/)
+# Usage: tools/run_benches.sh [output-dir]   (default: bench_results/)
+#        tools/run_benches.sh --serve        smoke-test `concord serve` with canned
+#                                            requests piped through the binary
 set -u
+
+serve_smoke() {
+  local concord=build/src/cli/concord
+  if [ ! -x "$concord" ]; then
+    echo "error: $concord not built (run: cmake --build build -j)" >&2
+    exit 2
+  fi
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064  # Expand now: $tmp is function-local.
+  trap "rm -rf '$tmp'" EXIT
+  # A tiny corpus with a shared structure, learned then served.
+  for i in 1 2 3; do
+    printf 'hostname DEV%s\ninterface Loopback0\n   ip address 10.14.%s.34\n' \
+      "$i" "$i" > "$tmp/dev$i.cfg"
+  done
+  "$concord" learn --configs "$tmp/*.cfg" --support 2 --quiet \
+    --out "$tmp/contracts.json" || exit 2
+  # Canned request file: a batched check, a cache-hitting repeat, stats, shutdown.
+  text1="$(sed -e 's/$/\\n/' "$tmp/dev1.cfg" | tr -d '\n')"
+  cat > "$tmp/requests.ndjson" <<EOF
+{"verb":"check","contracts":"smoke","configs":[{"name":"dev1.cfg","text":"$text1"}]}
+{"verb":"check","contracts":"smoke","configs":[{"name":"dev1.cfg","text":"$text1"}]}
+{"verb":"stats"}
+{"verb":"shutdown"}
+EOF
+  out="$("$concord" serve --contracts "smoke=$tmp/contracts.json" --quiet \
+    < "$tmp/requests.ndjson")" || exit 2
+  lines="$(printf '%s\n' "$out" | wc -l)"
+  if [ "$lines" -ne 4 ] || printf '%s' "$out" | grep -q '"ok":false'; then
+    echo "serve smoke FAILED; responses:" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+  fi
+  if ! printf '%s\n' "$out" | sed -n 2p | grep -q '"cacheHits":1'; then
+    echo "serve smoke FAILED: repeat request did not hit the config cache" >&2
+    exit 1
+  fi
+  echo "serve smoke OK ($lines responses, cache hit on repeat)"
+}
+
+if [ "${1:-}" = "--serve" ]; then
+  serve_smoke
+  exit 0
+fi
+
 out="${1:-bench_results}"
 mkdir -p "$out"
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   name="$(basename "$b")"
   case "$name" in
-    bench_micro) "$b" --benchmark_min_time=0.05 > "$out/$name.txt" 2>&1 ;;
+    bench_micro|bench_serve) "$b" --benchmark_min_time=0.05 > "$out/$name.txt" 2>&1 ;;
     *) "$b" > "$out/$name.txt" 2>&1 ;;
   esac
   echo "== $name -> $out/$name.txt"
