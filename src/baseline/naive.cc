@@ -1,9 +1,11 @@
 #include "src/baseline/naive.h"
 
+#include <cmath>
 #include <string>
 #include <unordered_set>
 
 #include "src/relations/score.h"
+#include "src/util/cancellation.h"
 #include "src/util/stopwatch.h"
 
 namespace concord {
@@ -113,6 +115,10 @@ bool WitnessValid(RelationKind rel, const std::string& key1, const Value& v1,
 std::optional<std::vector<Contract>> MineRelationalNaive(
     const Dataset& dataset, const std::vector<ConfigIndex>& indexes,
     const LearnOptions& options, double timeout_seconds, NaiveStats* stats) {
+  // One cancellation mechanism: the budget becomes a Deadline (combined with any
+  // deadline already carried by the options); the Stopwatch only feeds stats.
+  Deadline deadline = options.deadline.EarlierOf(
+      Deadline::After(static_cast<int64_t>(std::llround(timeout_seconds * 1e3))));
   Stopwatch watch;
   std::vector<uint32_t> config_counts = CountConfigsPerPattern(dataset, indexes);
 
@@ -174,7 +180,7 @@ std::optional<std::vector<Contract>> MineRelationalNaive(
           continue;
         }
         ++examined;
-        if ((examined & 0x3ff) == 0 && watch.ElapsedSeconds() > timeout_seconds) {
+        if ((examined & 0x3ff) == 0 && deadline.expired()) {
           if (stats != nullptr) {
             stats->candidate_pairs = examined;
             stats->timed_out = true;

@@ -1,9 +1,12 @@
 #include "src/check/checker.h"
 
+#include <atomic>
 #include <optional>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/util/fault.h"
 #include "src/util/thread_pool.h"
 
 namespace concord {
@@ -123,8 +126,13 @@ CheckResult Checker::Check(const Dataset& dataset, bool measure_coverage) const 
 CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
                            const std::vector<ParsedLine>& metadata,
                            bool measure_coverage) const {
+  if (FaultPoint("check")) {
+    throw std::runtime_error(FaultMessage("check"));
+  }
+  ThrowIfExpired(deadline_);
   CheckResult result;
-  std::vector<ConfigIndex> indexes = BuildIndexes(configs, metadata);
+  std::vector<ConfigIndex> indexes = BuildIndexes(configs, metadata, &deadline_);
+  result.configs_checked = indexes.size();
   std::vector<CoverFlags> cover(indexes.size());
   for (size_t ci = 0; ci < indexes.size(); ++ci) {
     cover[ci].assign(indexes[ci].lines.size(), 0);
@@ -157,8 +165,21 @@ CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
 
   // Configurations are independent for every category except unique (handled in a
   // global pass below), so the per-config work shards across the pool.
+  //
+  // Deadline expiry is recorded in a flag and re-raised from the calling thread
+  // after the parallel section: pool tasks must not throw, because the service
+  // shares one pool across concurrent requests and a pool-delivered exception
+  // could surface in the wrong request's Wait().
+  std::atomic<bool> deadline_hit{false};
   std::vector<std::vector<Violation>> per_config_violations(indexes.size());
   auto check_config = [&](size_t ci) {
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (deadline_.expired()) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return;
+    }
     const ConfigIndex& index = indexes[ci];
     const std::string& config_name = index.config->name;
     CoverFlags& flags = cover[ci];
@@ -191,6 +212,12 @@ CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
 
     // ---- Per-contract checks. ----
     for (size_t k = 0; k < set_->contracts.size(); ++k) {
+      // Large contract sets over a single config never shard, so poll inside the
+      // contract loop too (cheap: one clock read every 256 contracts).
+      if ((k & 255u) == 255u && deadline_.expired()) {
+        deadline_hit.store(true, std::memory_order_relaxed);
+        return;
+      }
       const Contract& c = set_->contracts[k];
       switch (c.kind) {
         case ContractKind::kType:
@@ -379,6 +406,9 @@ CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
     for (size_t ci = 0; ci < indexes.size(); ++ci) {
       check_config(ci);
     }
+  }
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    throw DeadlineExceeded();
   }
   for (std::vector<Violation>& vs : per_config_violations) {
     for (Violation& v : vs) {

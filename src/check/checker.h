@@ -32,6 +32,7 @@
 #include "src/contracts/contract.h"
 #include "src/learn/index.h"
 #include "src/pattern/parser.h"
+#include "src/util/cancellation.h"
 
 namespace concord {
 
@@ -67,9 +68,22 @@ struct ConfigCoverage {
   std::vector<uint8_t> kind_bits;   // Parallel to line_numbers.
 };
 
+// An input file that could not be read or parsed. The run continues on the
+// surviving configs (per-file fault isolation); reports carry these in a
+// "degraded" section and the CLI signals the partial result with exit code 3.
+struct SkippedFile {
+  std::string file;
+  std::string reason;
+};
+
 struct CheckResult {
   std::vector<Violation> violations;
 
+  // Files excluded from this run, with reasons. Filled by the load layer (CLI /
+  // service), not by the checker itself.
+  std::vector<SkippedFile> skipped;
+
+  size_t configs_checked = 0;  // Configurations this result actually covers.
   size_t total_lines = 0;    // Config lines (metadata excluded).
   size_t covered_lines = 0;  // Union over all categories.
   std::array<size_t, kNumCoverageKinds> covered_by_kind{};
@@ -102,6 +116,11 @@ class Checker {
           ThreadPool* pool = nullptr)
       : set_(set), table_(table), parallelism_(parallelism), pool_(pool) {}
 
+  // Bounds this checker's runs: hot loops poll the deadline and Check raises
+  // DeadlineExceeded on expiry (polled outside pool tasks, so a shared pool
+  // never delivers one request's expiry to another).
+  void set_deadline(const Deadline& deadline) { deadline_ = deadline; }
+
   // Checks every contract and measures coverage. `measure_coverage` false skips the
   // (more expensive) coverage pass.
   CheckResult Check(const Dataset& dataset, bool measure_coverage = true) const;
@@ -117,6 +136,7 @@ class Checker {
   const PatternTable* table_;
   int parallelism_;
   ThreadPool* pool_;
+  Deadline deadline_;  // Default: unlimited.
 };
 
 }  // namespace concord

@@ -16,6 +16,7 @@
 #include "src/service/service.h"
 #include "src/service/socket_server.h"
 #include "src/util/argparse.h"
+#include "src/util/cancellation.h"
 #include "src/util/glob.h"
 #include "src/util/io.h"
 #include "src/util/stopwatch.h"
@@ -28,17 +29,29 @@ void AddCommonFlags(ArgParser* parser) {
   parser->AddFlag("configs", "glob pattern for configuration files (repeatable)");
   parser->AddFlag("metadata", "glob pattern for metadata files (repeatable, §3.7)");
   parser->AddFlag("lexer", "file with custom lexer token definitions (`name regex` lines)");
+  parser->AddFlag("deadline-ms", "wall-clock budget in milliseconds (0 = unlimited)", "0");
   parser->AddBoolFlag("no-embedding", "disable context embedding (§3.1)");
   parser->AddBoolFlag("constants", "enable constant learning of exact line text (§4)");
   parser->AddBoolFlag("quiet", "suppress the textual summary");
 }
 
+Deadline DeadlineFromFlags(const ArgParser& args) {
+  int64_t ms = args.GetInt("deadline-ms").value_or(0);
+  return ms > 0 ? Deadline::After(ms) : Deadline::Never();
+}
+
 struct LoadedInputs {
   Lexer lexer;
   Dataset dataset;
+  // Files that failed to read or parse; the run continues without them and the
+  // CLI signals the partial result with exit code 3.
+  std::vector<SkippedFile> skipped;
 };
 
-// Expands globs, parses configs and metadata into a dataset.
+// Expands globs, parses configs and metadata into a dataset. A single unreadable
+// file does not abort the batch: it is recorded in inputs->skipped and the
+// surviving configs load normally. Only a load that yields *no* usable configs
+// (or a bad lexer file) fails outright.
 bool LoadInputs(const ArgParser& args, bool embed_context, bool constants, LoadedInputs* inputs,
                 std::ostream& err) {
   if (!args.Has("configs")) {
@@ -68,12 +81,27 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants, Loade
     return false;
   }
   for (const std::string& file : files) {
-    inputs->dataset.configs.push_back(parser.Parse(file, ReadFile(file)));
+    try {
+      inputs->dataset.configs.push_back(parser.Parse(file, ReadFile(file)));
+    } catch (const std::exception& e) {
+      inputs->skipped.push_back(SkippedFile{file, e.what()});
+    }
+  }
+  if (inputs->dataset.configs.empty()) {
+    err << "error: all " << files.size() << " configuration file(s) failed to load:\n";
+    for (const SkippedFile& s : inputs->skipped) {
+      err << "  " << s.file << ": " << s.reason << "\n";
+    }
+    return false;
   }
   for (const std::string& pattern : args.GetAll("metadata")) {
     for (const std::string& file : ExpandGlob(pattern)) {
-      for (ParsedLine& line : parser.ParseMetadata(ReadFile(file))) {
-        inputs->dataset.metadata.push_back(std::move(line));
+      try {
+        for (ParsedLine& line : parser.ParseMetadata(ReadFile(file))) {
+          inputs->dataset.metadata.push_back(std::move(line));
+        }
+      } catch (const std::exception& e) {
+        inputs->skipped.push_back(SkippedFile{file, e.what()});
       }
     }
   }
@@ -127,6 +155,8 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
     return 2;
   }
 
+  options.deadline = DeadlineFromFlags(args);
+
   Stopwatch watch;
   Learner learner(options);
   LearnResult result = learner.Learn(inputs.dataset);
@@ -148,10 +178,16 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
       out << "minimization: " << result.relational_before_minimize << " -> "
           << result.relational_after_minimize << " relational contracts\n";
     }
+    if (!inputs.skipped.empty()) {
+      out << "degraded: " << inputs.skipped.size() << " input file(s) skipped\n";
+      for (const SkippedFile& s : inputs.skipped) {
+        out << "  " << s.file << ": " << s.reason << "\n";
+      }
+    }
     out << "learn time: " << watch.ElapsedSeconds() << "s\n"
         << "wrote " << args.Get("out") << "\n";
   }
-  return 0;
+  return inputs.skipped.empty() ? 0 : 3;
 }
 
 int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
@@ -207,7 +243,9 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   Stopwatch watch;
   int parallelism = static_cast<int>(args.GetInt("parallelism").value_or(1));
   Checker checker(&*set, &inputs.dataset.patterns, parallelism);
+  checker.set_deadline(DeadlineFromFlags(args));
   CheckResult result = checker.Check(inputs.dataset, !args.GetBool("no-coverage"));
+  result.skipped = inputs.skipped;
 
   if (args.Has("json-out")) {
     WriteFile(args.Get("json-out"), ReportJson(result, *set, inputs.dataset.patterns));
@@ -221,6 +259,11 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   if (!args.GetBool("quiet")) {
     out << ReportText(result, *set, inputs.dataset.patterns);
     out << "check time: " << watch.ElapsedSeconds() << "s\n";
+  }
+  // Exit codes: 0 clean, 1 violations, 2 error, 3 partial (some inputs skipped).
+  // Partial dominates: a report missing files is not a trustworthy pass/fail.
+  if (!result.skipped.empty()) {
+    return 3;
   }
   return result.violations.empty() ? 0 : 1;
 }
@@ -237,6 +280,11 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
   args.AddFlag("lexer", "file with custom lexer token definitions (`name regex` lines)");
   args.AddFlag("parallelism", "worker threads for batched checking (0 = all cores)", "0");
   args.AddFlag("cache-size", "parsed-config LRU entries per contract set", "256");
+  args.AddFlag("max-line-bytes", "socket mode: cap on one NDJSON request line", "16777216");
+  args.AddFlag("backlog", "socket mode: listen(2) backlog", "8");
+  args.AddFlag("max-connections", "socket mode: concurrently served connections", "4");
+  args.AddFlag("idle-timeout-ms", "socket mode: close idle connections (<=0 = never)", "30000");
+  args.AddFlag("drain-ms", "socket mode: shutdown grace period for in-flight work", "5000");
   args.AddBoolFlag("quiet", "suppress the shutdown metrics summary");
   if (!args.Parse(argc, argv, 2)) {
     err << "error: " << args.error() << "\n" << args.Usage();
@@ -270,7 +318,16 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
 
   std::ostream* summary = args.GetBool("quiet") ? nullptr : &err;
   if (args.Has("socket")) {
-    return RunServiceSocket(service, args.Get("socket"), err, summary);
+    SocketServerOptions socket_options;
+    socket_options.max_line_bytes = static_cast<size_t>(
+        std::max<int64_t>(1, args.GetInt("max-line-bytes").value_or(16777216)));
+    socket_options.backlog =
+        static_cast<int>(std::max<int64_t>(1, args.GetInt("backlog").value_or(8)));
+    socket_options.max_connections =
+        static_cast<int>(std::max<int64_t>(1, args.GetInt("max-connections").value_or(4)));
+    socket_options.idle_timeout_ms = args.GetInt("idle-timeout-ms").value_or(30000);
+    socket_options.drain_ms = args.GetInt("drain-ms").value_or(5000);
+    return RunServiceSocket(service, args.Get("socket"), err, summary, socket_options);
   }
   return RunService(service, std::cin, out, summary);
 }
@@ -293,6 +350,9 @@ int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostrea
     if (mode == "serve") {
       return RunServe(argc, argv, out, err);
     }
+  } catch (const DeadlineExceeded&) {
+    err << "error: deadline_exceeded\n";
+    return 2;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 2;

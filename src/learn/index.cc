@@ -3,10 +3,14 @@
 namespace concord {
 
 std::vector<ConfigIndex> BuildIndexes(const std::vector<const ParsedConfig*>& configs,
-                                      const std::vector<ParsedLine>& metadata) {
+                                      const std::vector<ParsedLine>& metadata,
+                                      const Deadline* deadline) {
   std::vector<ConfigIndex> indexes;
   indexes.reserve(configs.size());
   for (const ParsedConfig* config : configs) {
+    if (deadline != nullptr) {
+      ThrowIfExpired(*deadline);
+    }
     ConfigIndex index;
     index.config = config;
     index.own_line_count = config->lines.size();
@@ -29,13 +33,13 @@ std::vector<ConfigIndex> BuildIndexes(const std::vector<const ParsedConfig*>& co
   return indexes;
 }
 
-std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset) {
+std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset, const Deadline* deadline) {
   std::vector<const ParsedConfig*> configs;
   configs.reserve(dataset.configs.size());
   for (const ParsedConfig& config : dataset.configs) {
     configs.push_back(&config);
   }
-  return BuildIndexes(configs, dataset.metadata);
+  return BuildIndexes(configs, dataset.metadata, deadline);
 }
 
 std::vector<uint32_t> CountConfigsPerPattern(const Dataset& dataset,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/pattern/parser.h"
+#include "src/util/cancellation.h"
 
 namespace concord {
 
@@ -26,13 +27,16 @@ struct ConfigIndex {
   bool ContainsPattern(PatternId id) const { return by_pattern.count(id) > 0; }
 };
 
-// Builds one index per configuration.
-std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset);
+// Builds one index per configuration. When `deadline` is given it is polled per
+// configuration; expiry raises DeadlineExceeded.
+std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset,
+                                      const Deadline* deadline = nullptr);
 
 // Same, over externally owned configurations (the service checks cached parsed
 // configs that live outside any Dataset). `metadata` is appended to every config.
 std::vector<ConfigIndex> BuildIndexes(const std::vector<const ParsedConfig*>& configs,
-                                      const std::vector<ParsedLine>& metadata);
+                                      const std::vector<ParsedLine>& metadata,
+                                      const Deadline* deadline = nullptr);
 
 // Number of configurations whose index contains each pattern (dense by PatternId).
 std::vector<uint32_t> CountConfigsPerPattern(const Dataset& dataset,

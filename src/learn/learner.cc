@@ -11,7 +11,8 @@
 namespace concord {
 
 LearnResult Learner::Learn(const Dataset& dataset) const {
-  std::vector<ConfigIndex> indexes = BuildIndexes(dataset);
+  ThrowIfExpired(options_.deadline);
+  std::vector<ConfigIndex> indexes = BuildIndexes(dataset, &options_.deadline);
 
   // Category miners are independent; shard them across the pool.
   std::vector<std::vector<Contract>> results(6);
@@ -47,6 +48,7 @@ LearnResult Learner::Learn(const Dataset& dataset) const {
     }
   }
 
+  ThrowIfExpired(options_.deadline);
   std::vector<Contract> all;
   for (std::vector<Contract>& r : results) {
     for (Contract& c : r) {

@@ -2,6 +2,8 @@
 #ifndef SRC_LEARN_OPTIONS_H_
 #define SRC_LEARN_OPTIONS_H_
 
+#include "src/util/cancellation.h"
+
 namespace concord {
 
 struct LearnOptions {
@@ -35,6 +37,10 @@ struct LearnOptions {
 
   // Worker threads for the parallelizable phases (0 = hardware concurrency).
   int parallelism = 1;
+
+  // Wall-clock budget for the run; hot loops poll it and raise DeadlineExceeded
+  // (a structured `deadline_exceeded` error upstream) instead of running away.
+  Deadline deadline;
 };
 
 }  // namespace concord

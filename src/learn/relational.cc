@@ -1,9 +1,11 @@
 #include "src/learn/relational.h"
 
+#include <atomic>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/util/cancellation.h"
 #include "src/util/thread_pool.h"
 
 #include "src/relations/affix_trie.h"
@@ -100,8 +102,19 @@ std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
   using GlobalMap = std::unordered_map<RelKey, GlobalStats, RelKeyHash>;
   GlobalMap global;
 
+  // Deadline expiry is flagged, not thrown, inside workers; the calling thread
+  // re-raises after the parallel section so partially merged state never escapes.
+  std::atomic<bool> deadline_hit{false};
+
   auto process_config = [&](const ConfigIndex& index, GlobalMap& out,
                             RelationalMiningStats* out_stats) {
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (options.deadline.expired()) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return;
+    }
     // ---- Pass 1: build the relation-finding structures over this config. ----
     EqualityIndex eq;
     PrefixTrie pfx;
@@ -170,6 +183,12 @@ std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
     };
 
     for (uint32_t li = 0; li < index.lines.size(); ++li) {
+      // Pass 2 dominates mining cost; poll the deadline every 512 lines so a
+      // single huge config cannot blow past the budget.
+      if ((li & 511u) == 511u && options.deadline.expired()) {
+        deadline_hit.store(true, std::memory_order_relaxed);
+        return;
+      }
       const ParsedLine& line = *index.lines[li];
       // Support pre-filter: a pattern below support can never be a forall side, but its
       // lines must still be *queried* because the flipped affix directions mark the hit
@@ -332,6 +351,10 @@ std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
         stats->match_events += partial_stats[w].match_events;
       }
     }
+  }
+
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    throw DeadlineExceeded();
   }
 
   if (stats != nullptr) {

@@ -1,5 +1,9 @@
 #include "src/pattern/parser.h"
 
+#include <stdexcept>
+
+#include "src/util/fault.h"
+
 namespace concord {
 
 size_t Dataset::TotalLines() const {
@@ -74,6 +78,9 @@ ParsedConfig ConfigParser::ParseEmbedded(const std::string& name, const Embedded
 }
 
 ParsedConfig ConfigParser::Parse(const std::string& name, const std::string& text) {
+  if (FaultPoint("parse")) {
+    throw std::runtime_error(FaultMessage("parse") + ": " + name);
+  }
   EmbeddedFile embedded = options_.embed_context
                               ? EmbedText(text)
                               : EmbedTextAs(text, FormatCategory::kFlat);

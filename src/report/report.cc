@@ -68,6 +68,18 @@ JsonValue ReportJsonValue(const CheckResult& result, const ContractSet& set,
   }
   root.Set("violations", std::move(violations));
   root.Set("coverage", CoverageJsonValue(result));
+  // Per-file fault isolation: inputs that failed to load, named with reasons.
+  // Omitted entirely for clean runs so existing reports stay byte-identical.
+  if (!result.skipped.empty()) {
+    JsonValue degraded = JsonValue::Array();
+    for (const SkippedFile& s : result.skipped) {
+      JsonValue item = JsonValue::Object();
+      item.Set("file", JsonValue::String(s.file));
+      item.Set("reason", JsonValue::String(s.reason));
+      degraded.Append(std::move(item));
+    }
+    root.Set("degraded", std::move(degraded));
+  }
   return root;
 }
 
@@ -94,6 +106,13 @@ std::string ReportText(const CheckResult& result, const ContractSet& set,
   for (size_t k = 0; k < kNumCoverageKinds; ++k) {
     auto kind = static_cast<CoverageKind>(k);
     out << "  " << CoverageKindName(kind) << ": " << result.CoveragePercent(kind) << "%\n";
+  }
+  if (!result.skipped.empty()) {
+    out << "degraded: " << result.skipped.size() << " input file(s) skipped ("
+        << result.configs_checked << " checked)\n";
+    for (const SkippedFile& s : result.skipped) {
+      out << "  " << s.file << ": " << s.reason << "\n";
+    }
   }
   return out.str();
 }
@@ -160,6 +179,17 @@ tr.hidden { display: none; }
   out.precision(1);
   out << std::fixed << result.CoveragePercent() << "% (" << result.covered_lines << "/"
       << result.total_lines << " lines)</div>\n";
+  if (!result.skipped.empty()) {
+    out << "<div class=\"degraded\" style=\"background:#fff3cd;border:1px solid #ffe08a;"
+           "padding:0.6rem 0.8rem;border-radius:0.3rem;margin-bottom:1rem;\">"
+        << "<strong>degraded run:</strong> " << result.skipped.size()
+        << " input file(s) could not be loaded and were skipped<ul>";
+    for (const SkippedFile& s : result.skipped) {
+      out << "<li><code>" << HtmlEscape(s.file) << "</code> &mdash; "
+          << HtmlEscape(s.reason) << "</li>";
+    }
+    out << "</ul></div>\n";
+  }
   out << R"html(<input id="search" placeholder="Search violations..." oninput="refresh()">
 <div class="filters" id="filters"></div>
 <table><thead><tr><th>Category</th><th>Config</th><th>Line</th><th>Message</th>

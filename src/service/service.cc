@@ -11,6 +11,7 @@
 #include "src/check/checker.h"
 #include "src/pattern/parser.h"
 #include "src/report/report.h"
+#include "src/util/cancellation.h"
 #include "src/util/hash.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
@@ -70,6 +71,11 @@ std::string Service::HandleLine(const std::string& line) {
     verb = *v;
     body = Dispatch(verb, *request);
     ok = true;
+  } catch (const DeadlineExceeded&) {
+    // Structured so clients can retry with a larger budget without string-matching.
+    body = JsonValue::Object();
+    body.Set("error", JsonValue::String("deadline_exceeded"));
+    body.Set("errorCode", JsonValue::String("deadline_exceeded"));
   } catch (const std::exception& e) {
     body = JsonValue::Object();
     body.Set("error", JsonValue::String(e.what()));
@@ -106,7 +112,7 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
     return body;
   }
   if (verb == "shutdown") {
-    shutdown_ = true;
+    RequestShutdown();
     JsonValue body = JsonValue::Object();
     body.Set("verb", JsonValue::String("shutdown"));
     body.Set("stats", metrics_.Snapshot());
@@ -132,6 +138,13 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   std::shared_ptr<LoadedContractSet> entry = store_.Get(name);
   if (entry == nullptr) {
     throw ServiceError("unknown contract set '" + name + "' (reload it with a path)");
+  }
+
+  // Optional per-request wall-clock budget; expiry raises DeadlineExceeded which
+  // HandleLine turns into a structured {"errorCode":"deadline_exceeded"} response.
+  Deadline deadline = Deadline::Never();
+  if (auto ms = request.GetInt("deadline_ms"); ms.has_value() && *ms > 0) {
+    deadline = Deadline::After(*ms);
   }
 
   const JsonValue* configs = request.Find("configs");
@@ -169,21 +182,29 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   // that is exactly the work the cache amortizes away on repeat traffic.
   uint64_t hits = 0;
   uint64_t misses = 0;
+  std::vector<SkippedFile> degraded;
   std::vector<ParsedLine> metadata;
   {
     std::lock_guard<std::mutex> lock(entry->parse_mu);
     ConfigParser parser(&lexer_, &entry->table, entry->parse_options);
     for (Item& item : items) {
+      ThrowIfExpired(deadline);
       item.parsed = entry->cache.Get(item.key);
       if (item.parsed != nullptr) {
         ++hits;
         continue;
       }
       ++misses;
-      auto parsed =
-          std::make_shared<ParsedConfig>(parser.Parse(*item.name, *item.text));
-      entry->cache.Put(item.key, parsed);
-      item.parsed = std::move(parsed);
+      // Per-config fault isolation: one unparseable config degrades the batch
+      // instead of failing it; the survivors are still checked.
+      try {
+        auto parsed =
+            std::make_shared<ParsedConfig>(parser.Parse(*item.name, *item.text));
+        entry->cache.Put(item.key, parsed);
+        item.parsed = std::move(parsed);
+      } catch (const std::exception& e) {
+        degraded.push_back(SkippedFile{*item.name, e.what()});
+      }
     }
     if (const JsonValue* meta = request.Find("metadata")) {
       if (!meta->is_array()) {
@@ -206,23 +227,44 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   std::vector<const ParsedConfig*> parsed;
   parsed.reserve(items.size());
   for (const Item& item : items) {
-    parsed.push_back(item.parsed.get());
+    if (item.parsed != nullptr) {
+      parsed.push_back(item.parsed.get());
+    }
+  }
+  if (parsed.empty()) {
+    throw ServiceError("all " + std::to_string(items.size()) +
+                       " configs failed to parse (first: " + degraded.front().file +
+                       ": " + degraded.front().reason + ")");
   }
   Checker checker(&entry->set, &entry->table,
                   static_cast<int>(pool_.num_threads()), &pool_);
+  checker.set_deadline(deadline);
   CheckResult result = checker.Check(parsed, metadata, measure_coverage);
+  result.skipped = degraded;
 
   metrics_.RecordCacheProbe(hits, misses);
-  metrics_.RecordCheckWork(items.size(), entry->set.contracts.size() * items.size(),
+  metrics_.RecordCheckWork(parsed.size(), entry->set.contracts.size() * parsed.size(),
                            result.violations.size());
 
   JsonValue body = JsonValue::Object();
   body.Set("verb", JsonValue::String(coverage_listing ? "coverage" : "check"));
   body.Set("contracts", JsonValue::String(name));
-  body.Set("configsChecked", JsonValue::Number(ToInt64(items.size())));
+  body.Set("configsChecked", JsonValue::Number(ToInt64(parsed.size())));
   body.Set("cacheHits", JsonValue::Number(static_cast<int64_t>(hits)));
   body.Set("cacheMisses", JsonValue::Number(static_cast<int64_t>(misses)));
   body.Set("violations", JsonValue::Number(ToInt64(result.violations.size())));
+  // Per-config fault isolation: skipped configs, named with reasons. Omitted for
+  // clean batches so existing responses stay byte-identical.
+  if (!degraded.empty()) {
+    JsonValue skipped = JsonValue::Array();
+    for (const SkippedFile& s : degraded) {
+      JsonValue item = JsonValue::Object();
+      item.Set("name", JsonValue::String(s.file));
+      item.Set("error", JsonValue::String(s.reason));
+      skipped.Append(std::move(item));
+    }
+    body.Set("degraded", std::move(skipped));
+  }
   if (coverage_listing) {
     body.Set("coverage", CoverageJsonValue(result));
     body.Set("listing", JsonValue::String(CoverageReportText(result)));

@@ -15,9 +15,15 @@
 // request's "id" member, when present, is echoed back. Malformed requests produce
 // {"ok":false,"error":...} and never terminate the loop. Tests drive the loop
 // in-process through RunService(istream&, ostream&), mirroring RunConcord.
+//
+// Robustness: check/coverage requests accept "deadline_ms" (wall-clock budget;
+// expiry yields {"ok":false,"errorCode":"deadline_exceeded"} while the server
+// keeps serving), and a batch with some unparseable configs is checked on the
+// survivors with a "degraded":[{name,error},...] member naming the casualties.
 #ifndef SRC_SERVICE_SERVICE_H_
 #define SRC_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -52,8 +58,12 @@ class Service {
   // Never throws: every failure becomes an {"ok":false,...} response.
   std::string HandleLine(const std::string& line);
 
-  // True once a shutdown request has been answered.
-  bool shutdown_requested() const { return shutdown_; }
+  // True once a shutdown request has been answered. Atomic because the socket
+  // frontend serves connections from a pool while its accept loop polls this.
+  bool shutdown_requested() const { return shutdown_.load(std::memory_order_acquire); }
+
+  // Requests shutdown from outside the request stream (signal-driven drain).
+  void RequestShutdown() { shutdown_.store(true, std::memory_order_release); }
 
   // Human-readable metrics summary for the end of a session.
   std::string SummaryText() const { return metrics_.SummaryText(); }
@@ -71,7 +81,7 @@ class Service {
   ContractStore store_;
   ThreadPool pool_;
   Metrics metrics_;
-  bool shutdown_ = false;
+  std::atomic<bool> shutdown_{false};
 };
 
 // Runs the request loop: one JSON request per input line, one JSON response per

@@ -1,17 +1,71 @@
 #include "src/service/socket_server.h"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <mutex>
 #include <ostream>
+#include <set>
 #include <string>
+#include <thread>
+
+#include "src/util/thread_pool.h"
 
 namespace concord {
 
 namespace {
+
+// Self-pipe write end for the signal handler. A handler may only touch
+// async-signal-safe state, so it writes one byte here and the accept loop's
+// poll() wakes up to run the actual drain logic.
+std::atomic<int> g_wake_fd{-1};
+
+void OnShutdownSignal(int /*signo*/) {
+  int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void WakeAcceptLoop() { OnShutdownSignal(0); }
+
+// Fds of connections currently being served, so the drain phase can wait for
+// them and forcibly shut down stragglers after the grace period.
+struct ConnectionRegistry {
+  std::mutex mu;
+  std::set<int> fds;
+
+  void Add(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    fds.insert(fd);
+  }
+  void Remove(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    fds.erase(fd);
+  }
+  bool Empty() {
+    std::lock_guard<std::mutex> lock(mu);
+    return fds.empty();
+  }
+  // shutdown(2) (not close) on every live fd: the owning handler still holds the
+  // descriptor and will observe EOF on its next read, then close it itself.
+  void ShutdownAll() {
+    std::lock_guard<std::mutex> lock(mu);
+    for (int fd : fds) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+};
 
 // Writes all of `data`, retrying on short writes and EINTR. False on error.
 // MSG_NOSIGNAL: a client that hangs up mid-response must surface as EPIPE,
@@ -32,45 +86,94 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
-// Handles one client connection; true if the service should keep accepting.
-bool ServeClient(Service& service, int fd) {
+bool LineTooLongReply(int fd, size_t max_line_bytes) {
+  return WriteAll(fd,
+                  "{\"ok\":false,\"error\":\"line_too_long: request line exceeds " +
+                      std::to_string(max_line_bytes) +
+                      " bytes\",\"errorCode\":\"line_too_long\"}\n");
+}
+
+// Handles one client connection until it disconnects, goes idle past the
+// timeout, overruns the line cap, or the service begins shutting down.
+void ServeClient(Service& service, int fd, const SocketServerOptions& options) {
   std::string buffer;
   char chunk[4096];
+  int poll_timeout = options.idle_timeout_ms <= 0
+                         ? -1
+                         : static_cast<int>(options.idle_timeout_ms);
   while (true) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, poll_timeout);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if (ready == 0) {
+      return;  // Idle timeout: reclaim the connection slot.
+    }
     ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
-      return !service.shutdown_requested();
+      return;
     }
     if (n == 0) {
-      return !service.shutdown_requested();  // Client hung up.
+      return;  // Client hung up (possibly mid-line; the partial line is dropped).
     }
     buffer.append(chunk, static_cast<size_t>(n));
     size_t start = 0;
     size_t newline;
     while ((newline = buffer.find('\n', start)) != std::string::npos) {
-      std::string line = buffer.substr(start, newline - start);
+      size_t end = newline;
+      if (end > start && buffer[end - 1] == '\r') {
+        --end;  // Tolerate CRLF line endings.
+      }
+      std::string line = buffer.substr(start, end - start);
       start = newline + 1;
       if (line.empty()) {
-        continue;
+        continue;  // Blank lines between requests are permitted.
+      }
+      if (line.size() > options.max_line_bytes) {
+        LineTooLongReply(fd, options.max_line_bytes);
+        return;
       }
       if (!WriteAll(fd, service.HandleLine(line) + "\n")) {
-        return !service.shutdown_requested();
+        return;
       }
       if (service.shutdown_requested()) {
-        return false;
+        // The response (possibly to the `shutdown` verb itself) is on the wire;
+        // wake the accept loop so the drain starts immediately.
+        WakeAcceptLoop();
+        return;
       }
     }
     buffer.erase(0, start);
+    if (buffer.size() > options.max_line_bytes) {
+      // A line is still unterminated past the cap: the buffer must not grow
+      // without bound on hostile or broken input.
+      LineTooLongReply(fd, options.max_line_bytes);
+      return;
+    }
   }
+}
+
+bool TransientAcceptError(int error) {
+  // ECONNABORTED: the client gave up between connect and accept — theirs, not
+  // ours. EMFILE/ENFILE: fd exhaustion is usually momentary for a server whose
+  // connections are short-lived; backing off beats tearing the service down.
+  return error == ECONNABORTED || error == EMFILE || error == ENFILE ||
+         error == EAGAIN || error == EWOULDBLOCK;
 }
 
 }  // namespace
 
 int RunServiceSocket(Service& service, const std::string& path, std::ostream& err,
-                     std::ostream* summary) {
+                     std::ostream* summary, const SocketServerOptions& options) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -86,30 +189,112 @@ int RunServiceSocket(Service& service, const std::string& path, std::ostream& er
   }
   ::unlink(path.c_str());
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 8) < 0) {
+      ::listen(listener, options.backlog) < 0) {
     err << "error: cannot serve on " << path << ": " << std::strerror(errno) << "\n";
     ::close(listener);
     return 2;
   }
 
-  while (!service.shutdown_requested()) {
-    int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) {
+  // Self-pipe so signal handlers (and connection handlers announcing a
+  // `shutdown` verb) can wake the poll() below without races.
+  int wake_pipe[2] = {-1, -1};
+  if (::pipe(wake_pipe) < 0) {
+    err << "error: pipe: " << std::strerror(errno) << "\n";
+    ::close(listener);
+    ::unlink(path.c_str());
+    return 2;
+  }
+  ::fcntl(wake_pipe[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe[1], F_SETFL, O_NONBLOCK);
+  g_wake_fd.store(wake_pipe[1], std::memory_order_relaxed);
+
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+  if (options.install_signal_handlers) {
+    struct sigaction sa {};
+    sa.sa_handler = OnShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, &old_term);
+    ::sigaction(SIGINT, &sa, &old_int);
+  }
+
+  ConnectionRegistry connections;
+  size_t pool_size =
+      static_cast<size_t>(options.max_connections < 1 ? 1 : options.max_connections);
+  bool fatal = false;
+  {
+    ThreadPool conn_pool(pool_size);
+    while (!service.shutdown_requested()) {
+      pollfd fds[2] = {};
+      fds[0].fd = wake_pipe[0];
+      fds[0].events = POLLIN;
+      fds[1].fd = listener;
+      fds[1].events = POLLIN;
+      int ready = ::poll(fds, 2, -1);
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;  // The next loop iteration re-checks shutdown_requested().
+        }
+        err << "error: poll: " << std::strerror(errno) << "\n";
+        fatal = true;
+        break;
+      }
+      if (fds[0].revents != 0) {
+        service.RequestShutdown();  // Signal or shutdown verb: begin the drain.
+        break;
+      }
+      if ((fds[1].revents & POLLIN) == 0) {
         continue;
       }
-      err << "error: accept: " << std::strerror(errno) << "\n";
-      break;
+      int client = ::accept(listener, nullptr, nullptr);
+      if (client < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (TransientAcceptError(errno)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        err << "error: accept: " << std::strerror(errno) << "\n";
+        fatal = true;
+        break;
+      }
+      connections.Add(client);
+      conn_pool.Submit([&service, &connections, &options, client] {
+        ServeClient(service, client, options);
+        connections.Remove(client);
+        ::close(client);
+      });
     }
-    ServeClient(service, client);
-    ::close(client);
+
+    // Drain: stop accepting (closing the listener wakes nothing — handlers own
+    // their fds), give in-flight requests the grace period, then cut stragglers
+    // loose so their blocked reads return EOF.
+    ::close(listener);
+    ::unlink(path.c_str());
+    auto grace_end = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(options.drain_ms < 0 ? 0 : options.drain_ms);
+    while (!connections.Empty() && std::chrono::steady_clock::now() < grace_end) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!connections.Empty()) {
+      connections.ShutdownAll();
+    }
+    conn_pool.Wait();
+  }  // conn_pool joins its workers here.
+
+  if (options.install_signal_handlers) {
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGINT, &old_int, nullptr);
   }
-  ::close(listener);
-  ::unlink(path.c_str());
+  g_wake_fd.store(-1, std::memory_order_relaxed);
+  ::close(wake_pipe[0]);
+  ::close(wake_pipe[1]);
+
   if (summary != nullptr) {
     *summary << service.SummaryText();
   }
-  return service.shutdown_requested() ? 0 : 2;
+  return fatal ? 2 : 0;
 }
 
 }  // namespace concord

@@ -1,13 +1,19 @@
 // Serves the NDJSON request protocol on an AF_UNIX stream socket.
 //
-// One client at a time: clients connect, exchange request/response lines, and
-// disconnect; the listener then accepts the next client. A `shutdown` request ends
-// the server after its response is written. This is deliberately the simplest
-// transport that outlives a pipe — multi-connection async I/O is future work that
-// layers on Service::HandleLine unchanged.
+// Multiple clients are served concurrently by a small connection pool layered on
+// ThreadPool; Service::HandleLine is already safe to call from several
+// connections at once (the contract store and metrics are internally locked and
+// the checker never throws across the shared work pool). The accept loop
+// multiplexes the listener with a self-pipe so that SIGTERM/SIGINT — or a
+// `shutdown` request on any connection — drains gracefully: no new connections
+// are accepted, in-flight requests finish within a bounded grace period,
+// stragglers are forcibly shut down, the socket file is unlinked, and the
+// metrics summary is always emitted.
 #ifndef SRC_SERVICE_SOCKET_SERVER_H_
 #define SRC_SERVICE_SOCKET_SERVER_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -15,11 +21,27 @@
 
 namespace concord {
 
+struct SocketServerOptions {
+  // Per-connection cap on a single NDJSON request line. A client exceeding it
+  // gets {"ok":false,"errorCode":"line_too_long"} and its connection is closed —
+  // the server's memory use stays bounded no matter what clients send.
+  size_t max_line_bytes = 16 * 1024 * 1024;
+  int backlog = 8;               // listen(2) backlog.
+  int max_connections = 4;       // Concurrently served connections (pool size).
+  int64_t idle_timeout_ms = 30000;  // Close connections idle this long; <=0 = never.
+  int64_t drain_ms = 5000;       // Grace period for in-flight work on shutdown.
+  // Install SIGTERM/SIGINT handlers (restored on exit) that trigger the drain.
+  // Tests that send signals to themselves rely on this; embedders that own
+  // signal handling can turn it off and call Service::RequestShutdown instead.
+  bool install_signal_handlers = true;
+};
+
 // Binds `path` (unlinking any stale socket first), serves until shutdown, and
-// removes the socket file. Writes the metrics summary to `summary` (when non-null)
-// on exit. Returns 0 on clean shutdown, 2 on socket errors.
+// removes the socket file. Writes the metrics summary to `summary` (when
+// non-null) on exit — including on signal-driven shutdown. Returns 0 on clean
+// (drained) shutdown, 2 on socket errors.
 int RunServiceSocket(Service& service, const std::string& path, std::ostream& err,
-                     std::ostream* summary);
+                     std::ostream* summary, const SocketServerOptions& options = {});
 
 }  // namespace concord
 

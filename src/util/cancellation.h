@@ -1,0 +1,131 @@
+// Cooperative cancellation for long-running work (checking, mining, serving).
+//
+// A Deadline is a steady-clock expiry point, optionally combined with an external
+// CancelToken (e.g. the serve frontend's shutdown flag). Hot loops poll
+// `expired()` — a relaxed atomic load plus, at most, one clock read — cheap
+// enough to call every few hundred iterations. Expiry is *cooperative*: the
+// polling code stops what it is doing and raises DeadlineExceeded, which the
+// request layer turns into a structured `deadline_exceeded` error instead of
+// letting one slow request hang the server.
+#ifndef SRC_UTIL_CANCELLATION_H_
+#define SRC_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+namespace concord {
+
+// Shared cancel flag; copies observe the same flag. Default-constructed tokens
+// are never cancelled and allocate nothing until Cancel() is possible — use
+// CancelToken::Make() for a flag that can actually fire.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken Make() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  void Cancel() {
+    if (flag_ != nullptr) {
+      flag_->store(true, std::memory_order_relaxed);
+    }
+  }
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  // True when this token can fire at all (was built with Make()).
+  bool valid() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// Raised when work is cut short by a Deadline. what() is the stable machine
+// token "deadline_exceeded" so request layers can map it without parsing prose.
+struct DeadlineExceeded : std::runtime_error {
+  DeadlineExceeded() : std::runtime_error("deadline_exceeded") {}
+};
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default: never expires (and carries no token).
+  Deadline() = default;
+
+  static Deadline Never() { return Deadline(); }
+
+  // Expires `ms` milliseconds from now. Non-positive values are already expired.
+  static Deadline After(int64_t ms) {
+    Deadline d;
+    d.has_expiry_ = true;
+    d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  // Same deadline, also observing `token`.
+  Deadline WithToken(CancelToken token) const {
+    Deadline d = *this;
+    d.token_ = std::move(token);
+    return d;
+  }
+
+  // The sooner of the two expiries. A deadline carries at most one token, so when
+  // both operands have one, this deadline's token wins.
+  Deadline EarlierOf(const Deadline& other) const {
+    Deadline d = *this;
+    if (other.has_expiry_ && (!d.has_expiry_ || other.at_ < d.at_)) {
+      d.has_expiry_ = true;
+      d.at_ = other.at_;
+    }
+    if (!d.token_.valid() && other.token_.valid()) {
+      d.token_ = other.token_;
+    }
+    return d;
+  }
+
+  bool unlimited() const { return !has_expiry_; }
+
+  bool expired() const {
+    if (token_.cancelled()) {
+      return true;
+    }
+    return has_expiry_ && Clock::now() >= at_;
+  }
+
+  // Milliseconds left; 0 when expired, a large positive value when unlimited.
+  int64_t remaining_ms() const {
+    if (token_.cancelled()) {
+      return 0;
+    }
+    if (!has_expiry_) {
+      return INT64_MAX;
+    }
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(at_ - Clock::now());
+    return left.count() < 0 ? 0 : left.count();
+  }
+
+ private:
+  bool has_expiry_ = false;
+  Clock::time_point at_{};
+  CancelToken token_;
+};
+
+// Raises DeadlineExceeded when `deadline` has expired.
+inline void ThrowIfExpired(const Deadline& deadline) {
+  if (deadline.expired()) {
+    throw DeadlineExceeded();
+  }
+}
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_CANCELLATION_H_

@@ -1,0 +1,130 @@
+#include "src/util/fault.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/util/strings.h"
+
+namespace concord {
+
+namespace {
+
+struct Rule {
+  uint64_t fail_nth = 0;  // 0 = never fail by count; otherwise 1-based hit index.
+  bool fail_all = false;
+  uint64_t delay_ms = 0;
+  std::atomic<uint64_t> hits{0};
+};
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  std::mutex mu;
+  // std::map: pointers to Rule stay valid across inserts, so Hit() can drop the
+  // lock before sleeping through a configured delay.
+  std::map<std::string, Rule, std::less<>> rules;
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  if (const char* env = std::getenv("CONCORD_FAULTS")) {
+    // A malformed env spec is ignored rather than fatal: fault injection must
+    // never be able to take down a production process by itself.
+    Configure(env, nullptr);
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+bool FaultInjector::Configure(const std::string& spec, std::string* error) {
+  std::map<std::string, Rule, std::less<>> parsed;
+  for (std::string_view entry : Split(spec, ';')) {
+    entry = Trim(entry);
+    if (entry.empty()) {
+      continue;
+    }
+    size_t colon = entry.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      if (error != nullptr) {
+        *error = "fault entry needs point:spec, got '" + std::string(entry) + "'";
+      }
+      return false;
+    }
+    std::string point(Trim(entry.substr(0, colon)));
+    Rule& rule = parsed[point];
+    for (std::string_view attr : Split(entry.substr(colon + 1), ',')) {
+      attr = Trim(attr);
+      if (attr.empty()) {
+        continue;
+      }
+      size_t eq = attr.find('=');
+      std::string_view key = attr.substr(0, eq);
+      std::string_view value =
+          eq == std::string_view::npos ? std::string_view() : attr.substr(eq + 1);
+      if (key == "fail_all" || key == "fail") {
+        rule.fail_all = true;
+      } else if (key == "fail_nth" || key == "delay_ms") {
+        auto n = ParseInt64(value);
+        if (!n || *n < 0) {
+          if (error != nullptr) {
+            *error = "fault attr '" + std::string(key) + "' needs a non-negative " +
+                     "integer, got '" + std::string(value) + "'";
+          }
+          return false;
+        }
+        (key == "fail_nth" ? rule.fail_nth : rule.delay_ms) =
+            static_cast<uint64_t>(*n);
+      } else {
+        if (error != nullptr) {
+          *error = "unknown fault attr '" + std::string(key) +
+                   "' (expected fail_nth, fail_all, or delay_ms)";
+        }
+        return false;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->rules = std::move(parsed);
+    enabled_.store(!impl_->rules.empty(), std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rules.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::Hit(std::string_view point) {
+  uint64_t delay_ms = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->rules.find(point);
+    if (it == impl_->rules.end()) {
+      return false;
+    }
+    Rule& rule = it->second;
+    uint64_t hit = rule.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    delay_ms = rule.delay_ms;
+    fail = rule.fail_all || (rule.fail_nth != 0 && hit == rule.fail_nth);
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return fail;
+}
+
+std::string FaultMessage(std::string_view point) {
+  return "injected fault: " + std::string(point);
+}
+
+}  // namespace concord

@@ -1,0 +1,66 @@
+// Deterministic fault injection for robustness tests.
+//
+// Faults are keyed by named *points* compiled into the io, parse, and check
+// paths. Which points fire is configured by the CONCORD_FAULTS environment
+// variable (read once, lazily) or programmatically via Configure() in tests:
+//
+//   CONCORD_FAULTS="read_file:fail_nth=3"          3rd ReadFile call throws
+//   CONCORD_FAULTS="parse:fail_all"                every config parse throws
+//   CONCORD_FAULTS="check:delay_ms=200"            every check sleeps 200 ms
+//   CONCORD_FAULTS="read_file:fail_nth=2;check:delay_ms=50,fail_nth=1"
+//
+// Entries are separated by ';'; each entry is `point:attr[,attr...]` with
+// attrs `fail_nth=N` (1-based: exactly the Nth hit fails), `fail_all`, and
+// `delay_ms=M` (every hit sleeps M milliseconds first). Hit counters are
+// per-point and atomic, so the Nth hit is well defined under concurrency.
+//
+// The harness is compiled in always. When no faults are configured, a hit is a
+// single relaxed atomic load — cheap enough for production paths.
+#ifndef SRC_UTIL_FAULT_H_
+#define SRC_UTIL_FAULT_H_
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace concord {
+
+class FaultInjector {
+ public:
+  // The process-wide injector; first use parses CONCORD_FAULTS.
+  static FaultInjector& Global();
+
+  // Replaces all rules with `spec` (the CONCORD_FAULTS syntax) and resets hit
+  // counters. Returns false (leaving the previous rules intact) on a malformed
+  // spec, with *error describing the problem when non-null.
+  bool Configure(const std::string& spec, std::string* error = nullptr);
+
+  // Removes every rule (tests restore a clean slate between cases).
+  void Reset();
+
+  // Records a hit on `point`, sleeping through any configured delay. Returns
+  // true when this hit should fail (the caller throws its own error).
+  bool Hit(std::string_view point);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector();
+  struct Impl;
+  Impl* impl_;  // Intentionally leaked with the process-lifetime singleton.
+  std::atomic<bool> enabled_{false};
+};
+
+// Hot-path helper: false at the cost of one relaxed load when no faults are
+// configured. True means the caller must fail this operation.
+inline bool FaultPoint(std::string_view point) {
+  FaultInjector& faults = FaultInjector::Global();
+  return faults.enabled() && faults.Hit(point);
+}
+
+// Canonical message for an injected failure, e.g. "injected fault: read_file".
+std::string FaultMessage(std::string_view point);
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_FAULT_H_

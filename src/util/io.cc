@@ -5,9 +5,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/fault.h"
+
 namespace concord {
 
 std::string ReadFile(const std::string& path) {
+  if (FaultPoint("read_file")) {
+    throw std::runtime_error(FaultMessage("read_file") + ": " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open file for reading: " + path);

@@ -126,7 +126,10 @@ size_t Value::Hash() const {
       break;
     }
     case ValueType::kPfx6: {
-      for (uint8_t b : AsPfx6().address().bytes()) {
+      // address() returns by value; naming it keeps bytes() alive across the loop
+      // (a temporary in the range expression is not lifetime-extended).
+      const Ipv6Address address = AsPfx6().address();
+      for (uint8_t b : address.bytes()) {
         mix(b);
       }
       mix(static_cast<size_t>(AsPfx6().prefix_len()));

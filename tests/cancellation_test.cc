@@ -1,0 +1,89 @@
+#include "src/util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace concord {
+namespace {
+
+TEST(CancellationTest, NeverIsUnlimitedAndNeverExpires) {
+  Deadline d = Deadline::Never();
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), INT64_MAX);
+  EXPECT_NO_THROW(ThrowIfExpired(d));
+}
+
+TEST(CancellationTest, AfterZeroIsAlreadyExpired) {
+  Deadline d = Deadline::After(0);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+  EXPECT_THROW(ThrowIfExpired(d), DeadlineExceeded);
+}
+
+TEST(CancellationTest, AfterNegativeIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::After(-5).expired());
+}
+
+TEST(CancellationTest, FarFutureDeadlineIsNotExpired) {
+  Deadline d = Deadline::After(60'000);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0);
+  EXPECT_LE(d.remaining_ms(), 60'000);
+}
+
+TEST(CancellationTest, ShortDeadlineExpiresAfterSleep) {
+  Deadline d = Deadline::After(5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(CancellationTest, DeadlineExceededCarriesStableMachineToken) {
+  EXPECT_STREQ(DeadlineExceeded().what(), "deadline_exceeded");
+}
+
+TEST(CancellationTest, DefaultTokenNeverCancels) {
+  CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();  // Harmless no-op on an invalid token.
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTest, TokenCancellationExpiresDeadline) {
+  CancelToken token = CancelToken::Make();
+  Deadline d = Deadline::Never().WithToken(token);
+  EXPECT_FALSE(d.expired());
+  token.Cancel();
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+}
+
+TEST(CancellationTest, TokenCopiesShareOneFlag) {
+  CancelToken token = CancelToken::Make();
+  CancelToken copy = token;
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTest, EarlierOfPicksTheSoonerExpiry) {
+  Deadline never = Deadline::Never();
+  Deadline soon = Deadline::After(0);
+  EXPECT_TRUE(never.EarlierOf(soon).expired());
+  EXPECT_TRUE(soon.EarlierOf(never).expired());
+  EXPECT_FALSE(Deadline::After(60'000).EarlierOf(never).expired());
+  EXPECT_TRUE(Deadline::After(60'000).EarlierOf(soon).expired());
+}
+
+TEST(CancellationTest, EarlierOfCarriesTheOtherToken) {
+  CancelToken token = CancelToken::Make();
+  Deadline combined = Deadline::After(60'000).EarlierOf(Deadline::Never().WithToken(token));
+  EXPECT_FALSE(combined.expired());
+  token.Cancel();
+  EXPECT_TRUE(combined.expired());
+}
+
+}  // namespace
+}  // namespace concord

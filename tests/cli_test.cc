@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "src/util/fault.h"
 #include "src/util/io.h"
 
 namespace concord {
@@ -22,7 +23,10 @@ class CliTest : public ::testing::Test {
     }
   }
 
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    std::filesystem::remove_all(dir_);
+  }
 
   static std::string Config(int i) {
     std::string s = std::to_string(i);
@@ -203,6 +207,65 @@ TEST_F(CliTest, SuppressDropsContracts) {
                 &out),
             0);
   EXPECT_NE(out.find("suppressed"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckSkipsUnreadableFileAndExitsPartial) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath()}),
+            0);
+  // ReadFile hit 1 is the contract file; hit 2 is the first config (dev1.cfg).
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_file:fail_nth=2"));
+  std::string json_path = (dir_ / "report.json").string();
+  std::string out;
+  int code = Run({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath(),
+                  "--json-out", json_path},
+                 &out);
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(code, 3);  // Partial: distinct from clean (0), violations (1), error (2).
+  EXPECT_NE(out.find("degraded: 1 input file(s) skipped (5 checked)"), std::string::npos);
+  EXPECT_NE(out.find("dev1.cfg: injected fault: read_file"), std::string::npos);
+  std::string json = ReadFile(json_path);
+  EXPECT_NE(json.find("\"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("dev1.cfg"), std::string::npos);
+}
+
+TEST_F(CliTest, LearnSkipsUnreadableFileAndExitsPartial) {
+  // Learn has no contract file to read, so hit 2 is the second config.
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_file:fail_nth=2"));
+  std::string out;
+  int code = Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                  ContractsPath()},
+                 &out);
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(code, 3);
+  EXPECT_TRUE(std::filesystem::exists(ContractsPath()));  // Learned from survivors.
+  EXPECT_NE(out.find("configs: 5"), std::string::npos);
+  EXPECT_NE(out.find("degraded: 1 input file(s) skipped"), std::string::npos);
+  EXPECT_NE(out.find("dev2.cfg: injected fault: read_file"), std::string::npos);
+}
+
+TEST_F(CliTest, AllInputsFailingIsAnErrorNotPartial) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_file:fail_all"));
+  std::string err;
+  int code = Run({"learn", "--configs", ConfigsGlob()}, nullptr, &err);
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(err.find("all 6 configuration file(s) failed"), std::string::npos);
+}
+
+TEST_F(CliTest, DeadlineExceededIsAStructuredError) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath()}),
+            0);
+  // The injected delay guarantees the 1 ms budget is spent before checking starts.
+  ASSERT_TRUE(FaultInjector::Global().Configure("check:delay_ms=50"));
+  std::string err;
+  int code = Run({"check", "--configs", ConfigsGlob(), "--contracts", ContractsPath(),
+                  "--deadline-ms", "1"},
+                 nullptr, &err);
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(err.find("error: deadline_exceeded"), std::string::npos);
 }
 
 TEST_F(CliTest, CustomLexerFile) {

@@ -1,0 +1,100 @@
+#include "src/util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/util/stopwatch.h"
+
+namespace concord {
+namespace {
+
+// Every test leaves the global injector clean: these tests share the process
+// with nothing else, but a stray rule would leak into later-registered cases.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultTest, DisabledInjectorNeverFires) {
+  FaultInjector::Global().Reset();
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  EXPECT_FALSE(FaultPoint("read_file"));
+  EXPECT_FALSE(FaultPoint("anything"));
+}
+
+TEST_F(FaultTest, FailNthFiresExactlyOnTheNthHit) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_file:fail_nth=3"));
+  EXPECT_TRUE(FaultInjector::Global().enabled());
+  EXPECT_FALSE(FaultPoint("read_file"));  // Hit 1.
+  EXPECT_FALSE(FaultPoint("read_file"));  // Hit 2.
+  EXPECT_TRUE(FaultPoint("read_file"));   // Hit 3 fails.
+  EXPECT_FALSE(FaultPoint("read_file"));  // Hit 4: back to passing.
+}
+
+TEST_F(FaultTest, FailAllFiresEveryTime) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("parse:fail_all"));
+  EXPECT_TRUE(FaultPoint("parse"));
+  EXPECT_TRUE(FaultPoint("parse"));
+  EXPECT_FALSE(FaultPoint("read_file"));  // Other points are unaffected.
+}
+
+TEST_F(FaultTest, MultipleEntriesAndAttributes) {
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("read_file:fail_nth=1;check:delay_ms=1,fail_nth=2"));
+  EXPECT_TRUE(FaultPoint("read_file"));
+  EXPECT_FALSE(FaultPoint("check"));  // Delayed but passing.
+  EXPECT_TRUE(FaultPoint("check"));   // Second hit fails.
+}
+
+TEST_F(FaultTest, DelayMsSleepsWithoutFailing) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("check:delay_ms=30"));
+  Stopwatch watch;
+  EXPECT_FALSE(FaultPoint("check"));
+  EXPECT_GE(watch.ElapsedSeconds(), 0.025);
+}
+
+TEST_F(FaultTest, ConfigureRejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(FaultInjector::Global().Configure("no-colon-here", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(FaultInjector::Global().Configure("point:bogus_attr", &error));
+  EXPECT_FALSE(FaultInjector::Global().Configure("point:fail_nth=notanumber", &error));
+  EXPECT_FALSE(FaultInjector::Global().Configure(":fail_all", &error));
+}
+
+TEST_F(FaultTest, ReconfigureResetsHitCounters) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_file:fail_nth=2"));
+  EXPECT_FALSE(FaultPoint("read_file"));
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_file:fail_nth=2"));
+  EXPECT_FALSE(FaultPoint("read_file"));  // Counter restarted: hit 1 again.
+  EXPECT_TRUE(FaultPoint("read_file"));
+}
+
+TEST_F(FaultTest, NthHitIsWellDefinedUnderConcurrency) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("io:fail_nth=7"));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&failures] {
+      for (int i = 0; i < 5; ++i) {
+        if (FaultPoint("io")) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 1);  // Exactly one of the 20 hits was the 7th.
+}
+
+TEST_F(FaultTest, FaultMessageNamesThePoint) {
+  EXPECT_EQ(FaultMessage("read_file"), "injected fault: read_file");
+}
+
+}  // namespace
+}  // namespace concord

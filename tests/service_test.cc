@@ -1,10 +1,12 @@
 #include "src/service/service.h"
 
 #include <gtest/gtest.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -17,10 +19,61 @@
 #include "src/datagen/edge_gen.h"
 #include "src/format/json.h"
 #include "src/service/socket_server.h"
+#include "src/util/fault.h"
 #include "src/util/io.h"
 
 namespace concord {
 namespace {
+
+// Connects to a unix socket, retrying while the server thread binds it.
+int ConnectTo(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+// Reads one newline-terminated response (the newline is stripped).
+std::string ReadLine(int fd) {
+  std::string line;
+  char c;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') {
+      return line;
+    }
+    line.push_back(c);
+  }
+  return line;
+}
+
+// Reads until the server closes the connection.
+std::string ReadUntilEof(int fd) {
+  std::string received;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  return received;
+}
+
+bool WriteStr(int fd, const std::string& data) {
+  return ::write(fd, data.data(), data.size()) == static_cast<ssize_t>(data.size());
+}
 
 // Drives the service the way `concord serve` does, via the in-process entry points;
 // contracts come from real `concord learn` runs over the cli_test fixture configs
@@ -39,7 +92,10 @@ class ServiceTest : public ::testing::Test {
               0);
   }
 
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    std::filesystem::remove_all(dir_);
+  }
 
   static std::string Config(int i) {
     std::string s = std::to_string(i);
@@ -419,6 +475,178 @@ TEST_F(ServiceTest, UnixSocketServesProtocol) {
   }
   EXPECT_EQ(ok_lines, 2);
   EXPECT_FALSE(std::filesystem::exists(socket_path));  // Cleaned up on shutdown.
+}
+
+TEST_F(ServiceTest, CheckIsolatesUnparseableConfigs) {
+  auto service = MakeService();
+  // The first config of the batch fails to parse; the other five are checked.
+  ASSERT_TRUE(FaultInjector::Global().Configure("parse:fail_nth=1"));
+  JsonValue response = Respond(*service, CheckRequest("check", "edge", ConfigPaths()));
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(response.GetBool("ok"), true);
+  EXPECT_EQ(response.GetInt("configsChecked"), 5);
+  const JsonValue* degraded = response.Find("degraded");
+  ASSERT_NE(degraded, nullptr);
+  ASSERT_EQ(degraded->items().size(), 1u);
+  EXPECT_EQ(degraded->items()[0].GetString("name"), ConfigPath(1));
+  EXPECT_NE(degraded->items()[0].GetString("error")->find("injected fault: parse"),
+            std::string::npos);
+  // The embedded report carries the matching degraded section.
+  const JsonValue* report = response.Find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_NE(report->Find("degraded"), nullptr);
+
+  // With the fault cleared the same batch is whole again (and carries no
+  // degraded member, keeping clean responses byte-stable).
+  JsonValue after = Respond(*service, CheckRequest("check", "edge", ConfigPaths()));
+  EXPECT_EQ(after.GetInt("configsChecked"), 6);
+  EXPECT_EQ(after.Find("degraded"), nullptr);
+}
+
+TEST_F(ServiceTest, WhollyUnparseableBatchIsAnError) {
+  auto service = MakeService();
+  ASSERT_TRUE(FaultInjector::Global().Configure("parse:fail_all"));
+  JsonValue response = Respond(*service, CheckRequest("check", "edge", ConfigPaths()));
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(response.GetBool("ok"), false);
+  EXPECT_NE(response.GetString("error")->find("all 6 configs failed to parse"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, DeadlineExpiryIsStructuredAndNonFatal) {
+  auto service = MakeService();
+  std::string base = CheckRequest("check", "edge", ConfigPaths());
+  std::string error;
+  auto request = JsonValue::Parse(base, &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  request->Set("deadline_ms", JsonValue::Number(int64_t{1}));
+  // The injected delay guarantees the 1 ms budget is gone before checking starts.
+  ASSERT_TRUE(FaultInjector::Global().Configure("check:delay_ms=50"));
+  JsonValue response = Respond(*service, request->Serialize(0));
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(response.GetBool("ok"), false);
+  EXPECT_EQ(response.GetString("error"), "deadline_exceeded");
+  EXPECT_EQ(response.GetString("errorCode"), "deadline_exceeded");
+
+  // One expired request never wedges the service: the same batch without the
+  // budget succeeds immediately afterwards.
+  JsonValue after = Respond(*service, base);
+  EXPECT_EQ(after.GetBool("ok"), true);
+  EXPECT_EQ(after.GetInt("configsChecked"), 6);
+}
+
+TEST_F(ServiceTest, UnixSocketToleratesFramingVariations) {
+  auto service = MakeService();
+  std::string socket_path = (dir_ / "framing.sock").string();
+  std::ostringstream err;
+  std::thread server([&] { RunServiceSocket(*service, socket_path, err, nullptr); });
+
+  int fd = ConnectTo(socket_path);
+  ASSERT_GE(fd, 0) << "could not connect to " << socket_path;
+
+  // CRLF line endings are tolerated.
+  ASSERT_TRUE(WriteStr(fd, "{\"verb\":\"stats\"}\r\n"));
+  std::string error;
+  auto response = JsonValue::Parse(ReadLine(fd), &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->GetBool("ok"), true);
+
+  // A request split across many tiny writes, surrounded by blank lines.
+  for (char c : std::string("\n\n{\"verb\":\"stats\"}\n\n")) {
+    ASSERT_TRUE(WriteStr(fd, std::string(1, c)));
+  }
+  response = JsonValue::Parse(ReadLine(fd), &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->GetBool("ok"), true);
+  ::close(fd);
+
+  // A client disconnecting mid-line drops the partial request harmlessly.
+  int partial = ConnectTo(socket_path);
+  ASSERT_GE(partial, 0);
+  ASSERT_TRUE(WriteStr(partial, "{\"verb\":\"st"));
+  ::close(partial);
+
+  // The server is still healthy: a fresh connection shuts it down cleanly.
+  int last = ConnectTo(socket_path);
+  ASSERT_GE(last, 0);
+  ASSERT_TRUE(WriteStr(last, "{\"verb\":\"shutdown\"}\n"));
+  response = JsonValue::Parse(ReadLine(last), &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->GetBool("ok"), true);
+  ::close(last);
+  server.join();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST_F(ServiceTest, OverlongRequestLineIsRejectedAndConnectionClosed) {
+  auto service = MakeService();
+  std::string socket_path = (dir_ / "cap.sock").string();
+  SocketServerOptions options;
+  options.max_line_bytes = 128;
+  std::ostringstream err;
+  std::thread server(
+      [&] { RunServiceSocket(*service, socket_path, err, nullptr, options); });
+
+  int fd = ConnectTo(socket_path);
+  ASSERT_GE(fd, 0);
+  // 4 KiB without a newline overruns the 128-byte cap mid-line.
+  ASSERT_TRUE(WriteStr(fd, std::string(4096, 'x')));
+  std::string received = ReadUntilEof(fd);  // Reply, then the server hangs up.
+  ::close(fd);
+  EXPECT_NE(received.find("\"errorCode\":\"line_too_long\""), std::string::npos);
+  EXPECT_NE(received.find("128 bytes"), std::string::npos);
+
+  // The cap protects the server, it does not stop it: the next client works.
+  int last = ConnectTo(socket_path);
+  ASSERT_GE(last, 0);
+  ASSERT_TRUE(WriteStr(last, "{\"verb\":\"shutdown\"}\n"));
+  std::string error;
+  auto response = JsonValue::Parse(ReadLine(last), &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->GetBool("ok"), true);
+  ::close(last);
+  server.join();
+}
+
+TEST_F(ServiceTest, SigtermDrainsInFlightWorkAndCleansUp) {
+  auto service = MakeService();
+  std::string socket_path = (dir_ / "drain.sock").string();
+  SocketServerOptions options;
+  options.drain_ms = 5000;  // Generous: the drain should finish far sooner.
+  std::ostringstream err, summary;
+  std::atomic<int> rc{-1};
+  std::thread server(
+      [&] { rc = RunServiceSocket(*service, socket_path, err, &summary, options); });
+
+  int fd = ConnectTo(socket_path);
+  ASSERT_GE(fd, 0);
+  // A served round trip proves the signal handlers are installed (they go in
+  // before the accept loop runs) — only then is self-signaling safe.
+  ASSERT_TRUE(WriteStr(fd, "{\"verb\":\"stats\"}\n"));
+  std::string error;
+  auto warmup = JsonValue::Parse(ReadLine(fd), &error);
+  ASSERT_TRUE(warmup.has_value()) << error;
+
+  // Put a slow check in flight, then deliver SIGTERM mid-request.
+  ASSERT_TRUE(FaultInjector::Global().Configure("check:delay_ms=300"));
+  ASSERT_TRUE(WriteStr(fd, CheckRequest("check", "edge", ConfigPaths()) + "\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+
+  // The in-flight response still arrives, complete.
+  auto response = JsonValue::Parse(ReadLine(fd), &error);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->GetBool("ok"), true);
+  EXPECT_EQ(response->GetInt("configsChecked"), 6);
+  // ...after which the drained server closes the connection.
+  EXPECT_EQ(ReadUntilEof(fd), "");
+  ::close(fd);
+
+  server.join();
+  EXPECT_EQ(rc.load(), 0);  // Signal-driven shutdown is a clean exit.
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+  EXPECT_NE(summary.str().find("concord serve summary"), std::string::npos);
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 # Usage: tools/run_benches.sh [output-dir]   (default: bench_results/)
 #        tools/run_benches.sh --serve        smoke-test `concord serve` with canned
 #                                            requests piped through the binary
+#        tools/run_benches.sh --smoke        serve smoke plus, when
+#                                            CONCORD_SMOKE_ASAN=1, the sanitized
+#                                            test pass (tools/run_tests_asan.sh)
 set -u
 
 serve_smoke() {
@@ -47,6 +50,14 @@ EOF
 
 if [ "${1:-}" = "--serve" ]; then
   serve_smoke
+  exit 0
+fi
+
+if [ "${1:-}" = "--smoke" ]; then
+  serve_smoke
+  if [ "${CONCORD_SMOKE_ASAN:-0}" = "1" ]; then
+    "$(dirname "$0")/run_tests_asan.sh" || exit 1
+  fi
   exit 0
 fi
 
