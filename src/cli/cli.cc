@@ -51,9 +51,11 @@ struct LoadedInputs {
 // Expands globs, parses configs and metadata into a dataset. A single unreadable
 // file does not abort the batch: it is recorded in inputs->skipped and the
 // surviving configs load normally. Only a load that yields *no* usable configs
-// (or a bad lexer file) fails outright.
-bool LoadInputs(const ArgParser& args, bool embed_context, bool constants, LoadedInputs* inputs,
-                std::ostream& err) {
+// (or a bad lexer file) fails outright. The deadline is polled per file so a
+// huge or slow-to-read corpus cannot blow past --deadline-ms before the
+// learn/check phases ever consult it; expiry throws DeadlineExceeded.
+bool LoadInputs(const ArgParser& args, bool embed_context, bool constants,
+                const Deadline& deadline, LoadedInputs* inputs, std::ostream& err) {
   if (!args.Has("configs")) {
     err << "error: --configs is required\n";
     return false;
@@ -81,6 +83,7 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants, Loade
     return false;
   }
   for (const std::string& file : files) {
+    ThrowIfExpired(deadline);
     try {
       inputs->dataset.configs.push_back(parser.Parse(file, ReadFile(file)));
     } catch (const std::exception& e) {
@@ -96,6 +99,7 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants, Loade
   }
   for (const std::string& pattern : args.GetAll("metadata")) {
     for (const std::string& file : ExpandGlob(pattern)) {
+      ThrowIfExpired(deadline);
       try {
         for (ParsedLine& line : parser.ParseMetadata(ReadFile(file))) {
           inputs->dataset.metadata.push_back(std::move(line));
@@ -150,12 +154,11 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
   }
 
   bool embed = !args.GetBool("no-embedding");
+  options.deadline = DeadlineFromFlags(args);
   LoadedInputs inputs;
-  if (!LoadInputs(args, embed, options.constants, &inputs, err)) {
+  if (!LoadInputs(args, embed, options.constants, options.deadline, &inputs, err)) {
     return 2;
   }
-
-  options.deadline = DeadlineFromFlags(args);
 
   Stopwatch watch;
   Learner learner(options);
@@ -224,7 +227,8 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   }
   bool embed = preview->embed_context && !args.GetBool("no-embedding");
   bool constants = preview->constants_mode || args.GetBool("constants");
-  if (!LoadInputs(args, embed, constants, &inputs, err)) {
+  Deadline deadline = DeadlineFromFlags(args);
+  if (!LoadInputs(args, embed, constants, deadline, &inputs, err)) {
     return 2;
   }
   auto set = ParseContracts(contracts_text, &inputs.dataset.patterns, &error);
@@ -243,7 +247,7 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   Stopwatch watch;
   int parallelism = static_cast<int>(args.GetInt("parallelism").value_or(1));
   Checker checker(&*set, &inputs.dataset.patterns, parallelism);
-  checker.set_deadline(DeadlineFromFlags(args));
+  checker.set_deadline(deadline);
   CheckResult result = checker.Check(inputs.dataset, !args.GetBool("no-coverage"));
   result.skipped = inputs.skipped;
 

@@ -253,14 +253,16 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   body.Set("cacheHits", JsonValue::Number(static_cast<int64_t>(hits)));
   body.Set("cacheMisses", JsonValue::Number(static_cast<int64_t>(misses)));
   body.Set("violations", JsonValue::Number(ToInt64(result.violations.size())));
-  // Per-config fault isolation: skipped configs, named with reasons. Omitted for
-  // clean batches so existing responses stay byte-identical.
+  // Per-config fault isolation: skipped configs, named with reasons. The
+  // {file, reason} keys deliberately match the report JSON's degraded section so
+  // clients consume one schema. Omitted for clean batches so existing responses
+  // stay byte-identical.
   if (!degraded.empty()) {
     JsonValue skipped = JsonValue::Array();
     for (const SkippedFile& s : degraded) {
       JsonValue item = JsonValue::Object();
-      item.Set("name", JsonValue::String(s.file));
-      item.Set("error", JsonValue::String(s.reason));
+      item.Set("file", JsonValue::String(s.file));
+      item.Set("reason", JsonValue::String(s.reason));
       skipped.Append(std::move(item));
     }
     body.Set("degraded", std::move(skipped));

@@ -19,7 +19,8 @@
 // Robustness: check/coverage requests accept "deadline_ms" (wall-clock budget;
 // expiry yields {"ok":false,"errorCode":"deadline_exceeded"} while the server
 // keeps serving), and a batch with some unparseable configs is checked on the
-// survivors with a "degraded":[{name,error},...] member naming the casualties.
+// survivors with a "degraded":[{file,reason},...] member naming the casualties
+// (the same schema the report JSON's degraded section uses).
 #ifndef SRC_SERVICE_SERVICE_H_
 #define SRC_SERVICE_SERVICE_H_
 

@@ -7,10 +7,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <ostream>
 #include <set>
@@ -98,9 +101,13 @@ bool LineTooLongReply(int fd, size_t max_line_bytes) {
 void ServeClient(Service& service, int fd, const SocketServerOptions& options) {
   std::string buffer;
   char chunk[4096];
-  int poll_timeout = options.idle_timeout_ms <= 0
-                         ? -1
-                         : static_cast<int>(options.idle_timeout_ms);
+  // Clamp before narrowing: an idle_timeout_ms above INT_MAX must saturate, not
+  // wrap into a negative (poll-forever) or arbitrary small timeout.
+  int poll_timeout =
+      options.idle_timeout_ms <= 0
+          ? -1
+          : static_cast<int>(std::min<int64_t>(options.idle_timeout_ms,
+                                               std::numeric_limits<int>::max()));
   while (true) {
     pollfd pfd{};
     pfd.fd = fd;

@@ -51,24 +51,55 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   if (count == 0) {
     return;
   }
+  // Per-call wave state: the service shares one pool across concurrently served
+  // requests, so each caller must wait only on its own chunks (not pool-global
+  // idleness) and must see only exceptions thrown by its own tasks. Waiting on
+  // in_flight_ == 0 would let one request's Wait be stalled unboundedly by other
+  // requests' waves — outside deadline polling, so deadline_ms could not bound it.
+  struct Wave {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending;
+    std::exception_ptr error;
+  };
   size_t chunks = std::min(count, threads_.size() * 4);
   size_t chunk_size = (count + chunks - 1) / chunks;
+  auto wave = std::make_shared<Wave>();
+  wave->pending = chunks;
   auto next = std::make_shared<std::atomic<size_t>>(0);
   for (size_t c = 0; c < chunks; ++c) {
-    Submit([next, count, chunk_size, &fn] {
-      while (true) {
-        size_t start = next->fetch_add(chunk_size);
-        if (start >= count) {
-          return;
+    Submit([wave, next, count, chunk_size, &fn] {
+      std::exception_ptr error;
+      try {
+        while (true) {
+          size_t start = next->fetch_add(chunk_size);
+          if (start >= count) {
+            break;
+          }
+          size_t end = std::min(count, start + chunk_size);
+          for (size_t i = start; i < end; ++i) {
+            fn(i);
+          }
         }
-        size_t end = std::min(count, start + chunk_size);
-        for (size_t i = start; i < end; ++i) {
-          fn(i);
-        }
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(wave->mu);
+      if (error && !wave->error) {
+        wave->error = std::move(error);
+      }
+      if (--wave->pending == 0) {
+        wave->done.notify_all();
       }
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(wave->mu);
+  wave->done.wait(lock, [&wave] { return wave->pending == 0; });
+  if (wave->error) {
+    std::exception_ptr error = std::exchange(wave->error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {

@@ -27,7 +27,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task. A throwing task does not kill its worker: the first exception
-  // of a wave is captured and rethrown from the next Wait().
+  // of a wave is captured and rethrown from the next Wait(). Submit/Wait track
+  // pool-global state, so they are only meaningful when one caller owns the pool
+  // exclusively; concurrent callers sharing a pool must use ParallelFor instead.
   void Submit(std::function<void()> task);
 
   // Blocks until every submitted task has finished. If any task threw since the
@@ -37,6 +39,9 @@ class ThreadPool {
   // Runs `fn(i)` for i in [0, count) across the pool and waits for completion.
   // Work is chunked to limit queueing overhead for fine-grained items. Rethrows the
   // first exception thrown by `fn`; remaining chunks still run to completion first.
+  // Safe for concurrent callers on a shared pool: each call tracks its own wave,
+  // so it returns as soon as its own chunks finish (other callers' waves neither
+  // delay the return nor leak their exceptions into it).
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
@@ -51,7 +56,8 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
-  std::exception_ptr first_error_;  // First exception of the current wave.
+  std::exception_ptr first_error_;  // Submit/Wait path only; ParallelFor
+                                    // captures exceptions per wave.
 };
 
 }  // namespace concord

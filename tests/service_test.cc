@@ -488,8 +488,8 @@ TEST_F(ServiceTest, CheckIsolatesUnparseableConfigs) {
   const JsonValue* degraded = response.Find("degraded");
   ASSERT_NE(degraded, nullptr);
   ASSERT_EQ(degraded->items().size(), 1u);
-  EXPECT_EQ(degraded->items()[0].GetString("name"), ConfigPath(1));
-  EXPECT_NE(degraded->items()[0].GetString("error")->find("injected fault: parse"),
+  EXPECT_EQ(degraded->items()[0].GetString("file"), ConfigPath(1));
+  EXPECT_NE(degraded->items()[0].GetString("reason")->find("injected fault: parse"),
             std::string::npos);
   // The embedded report carries the matching degraded section.
   const JsonValue* report = response.Find("report");

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <exception>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace concord {
@@ -107,6 +109,43 @@ TEST(ThreadPool, PoolUsableAfterException) {
   }
   pool.Wait();
   EXPECT_EQ(count.load(), 20);
+}
+
+// The service shares one pool across concurrently served connections, so a
+// ParallelFor caller must wait only on its own wave and see only its own
+// exceptions. With pool-global tracking this test deadlocks: the fast caller's
+// wait would not return until the slow wave — released only afterwards — drains.
+TEST(ThreadPool, ConcurrentParallelForWavesAreIsolated) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  std::exception_ptr slow_error;
+  std::thread slow_caller([&] {
+    try {
+      pool.ParallelFor(2, [&](size_t) {
+        started.fetch_add(1);
+        while (!release.load()) {
+          std::this_thread::yield();
+        }
+        throw std::runtime_error("slow wave failed");
+      });
+    } catch (...) {
+      slow_error = std::current_exception();
+    }
+  });
+  while (started.load() < 2) {
+    std::this_thread::yield();
+  }
+  // Two workers are pinned by the blocked slow wave; this wave must still
+  // complete and return without throwing.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+  release.store(true);
+  slow_caller.join();
+  // The slow wave's exception reached the slow caller, not the fast one.
+  ASSERT_NE(slow_error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(slow_error), std::runtime_error);
 }
 
 TEST(ThreadPool, OnlyFirstExceptionIsKept) {
