@@ -126,17 +126,27 @@ CheckResult Checker::Check(const Dataset& dataset, bool measure_coverage) const 
 CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
                            const std::vector<ParsedLine>& metadata,
                            bool measure_coverage) const {
+  std::vector<ConfigIndex> owned = BuildIndexes(configs, metadata, &deadline_);
+  std::vector<const ConfigIndex*> indexes;
+  indexes.reserve(owned.size());
+  for (const ConfigIndex& index : owned) {
+    indexes.push_back(&index);
+  }
+  return Check(indexes, measure_coverage);
+}
+
+CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
+                           bool measure_coverage) const {
   if (FaultPoint("check")) {
     throw std::runtime_error(FaultMessage("check"));
   }
   ThrowIfExpired(deadline_);
   CheckResult result;
-  std::vector<ConfigIndex> indexes = BuildIndexes(configs, metadata, &deadline_);
   result.configs_checked = indexes.size();
   std::vector<CoverFlags> cover(indexes.size());
   for (size_t ci = 0; ci < indexes.size(); ++ci) {
-    cover[ci].assign(indexes[ci].lines.size(), 0);
-    result.total_lines += indexes[ci].own_line_count;
+    cover[ci].assign(indexes[ci]->lines.size(), 0);
+    result.total_lines += indexes[ci]->own_line_count;
   }
 
   // Type contracts grouped by untyped pattern for a single pass over lines.
@@ -180,7 +190,7 @@ CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
       deadline_hit.store(true, std::memory_order_relaxed);
       return;
     }
-    const ConfigIndex& index = indexes[ci];
+    const ConfigIndex& index = *indexes[ci];
     const std::string& config_name = index.config->name;
     CoverFlags& flags = cover[ci];
 
@@ -420,7 +430,7 @@ CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
   for (UniqueState& state : unique_states) {
     const Contract& c = set_->contracts[state.contract_index];
     for (size_t ci = 0; ci < indexes.size(); ++ci) {
-      const ConfigIndex& index = indexes[ci];
+      const ConfigIndex& index = *indexes[ci];
       auto it = index.by_pattern.find(c.pattern);
       if (it == index.by_pattern.end()) {
         continue;
@@ -439,7 +449,7 @@ CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
           result.violations.push_back(Violation{
               state.contract_index, index.config->name, line.line_number,
               "value " + line.values[c.param].ToString() + " reuses a unique parameter (first seen in " +
-                  indexes[pos->second.first].config->name + ":" +
+                  indexes[pos->second.first]->config->name + ":" +
                   std::to_string(pos->second.second) + ")"});
         } else if (!inserted) {
           result.violations.push_back(
@@ -459,7 +469,7 @@ CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
   if (measure_coverage) {
     result.per_config.reserve(indexes.size());
     for (size_t ci = 0; ci < indexes.size(); ++ci) {
-      const ConfigIndex& index = indexes[ci];
+      const ConfigIndex& index = *indexes[ci];
       ConfigCoverage per;
       per.config = index.config->name;
       per.line_numbers.reserve(index.own_line_count);

@@ -131,6 +131,12 @@ class Checker {
                     const std::vector<ParsedLine>& metadata,
                     bool measure_coverage = true) const;
 
+  // Same, over pre-built per-config indexes — the artifact pipeline's Index
+  // stage (ArtifactStore, or the service's index cache) — skipping the
+  // index-building pass entirely. The indexes must outlive the call.
+  CheckResult Check(const std::vector<const ConfigIndex*>& indexes,
+                    bool measure_coverage = true) const;
+
  private:
   const ContractSet* set_;
   const PatternTable* table_;

@@ -1,14 +1,18 @@
 #include "src/cli/cli.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <exception>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/check/checker.h"
 #include "src/contracts/contract_io.h"
 #include "src/contracts/suppression.h"
+#include "src/format/json.h"
 #include "src/learn/learner.h"
 #include "src/pattern/lexer.h"
 #include "src/pattern/parser.h"
@@ -18,6 +22,7 @@
 #include "src/util/argparse.h"
 #include "src/util/cancellation.h"
 #include "src/util/glob.h"
+#include "src/util/hash.h"
 #include "src/util/io.h"
 #include "src/util/stopwatch.h"
 
@@ -46,6 +51,11 @@ struct LoadedInputs {
   // Files that failed to read or parse; the run continues without them and the
   // CLI signals the partial result with exit code 3.
   std::vector<SkippedFile> skipped;
+  // Per-config content keys and the chained metadata key, for --incremental
+  // baseline comparison. Skipped files deliberately have no key, so a file that
+  // parsed last run but fails now reads as "removed" and forces a relearn.
+  std::map<std::string, uint64_t> config_keys;
+  uint64_t metadata_key = kFnv1a64OffsetBasis;
 };
 
 // Expands globs, parses configs and metadata into a dataset. A single unreadable
@@ -85,7 +95,9 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants,
   for (const std::string& file : files) {
     ThrowIfExpired(deadline);
     try {
-      inputs->dataset.configs.push_back(parser.Parse(file, ReadFile(file)));
+      std::string text = ReadFile(file);
+      inputs->dataset.configs.push_back(parser.Parse(file, text));
+      inputs->config_keys[file] = ContentKey(file, text);
     } catch (const std::exception& e) {
       inputs->skipped.push_back(SkippedFile{file, e.what()});
     }
@@ -101,15 +113,105 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants,
     for (const std::string& file : ExpandGlob(pattern)) {
       ThrowIfExpired(deadline);
       try {
-        for (ParsedLine& line : parser.ParseMetadata(ReadFile(file))) {
+        std::string text = ReadFile(file);
+        for (ParsedLine& line : parser.ParseMetadata(text)) {
           inputs->dataset.metadata.push_back(std::move(line));
         }
+        inputs->metadata_key = Fnv1a64(text, inputs->metadata_key);
       } catch (const std::exception& e) {
         inputs->skipped.push_back(SkippedFile{file, e.what()});
       }
     }
   }
   return true;
+}
+
+// State file behind `learn --incremental`: a manifest of per-config content keys
+// plus the contracts learned from them. Cross-process incrementality is
+// manifest-grained — when no input changed, the learn is skipped outright and the
+// baseline contracts are reused; when something changed, the full relearn runs
+// and the delta is reported. (`concord serve`'s learn/update verbs are the
+// artifact-grained engine that re-mines only the changed configs.)
+struct BaselineState {
+  std::map<std::string, uint64_t> config_keys;
+  uint64_t metadata_key = kFnv1a64OffsetBasis;
+  std::string options_fingerprint;
+  std::string contracts_json;
+  int64_t contract_count = 0;
+};
+
+// Learned contracts depend on thresholds and toggles as much as on inputs, so
+// the baseline records them; any mismatch forces a relearn.
+std::string LearnOptionsFingerprint(const LearnOptions& o, bool embed) {
+  std::string fp = "support=" + std::to_string(o.support);
+  fp += ";confidence=" + std::to_string(o.confidence);
+  fp += ";score=" + std::to_string(o.score_threshold);
+  fp += ";constants=" + std::to_string(o.constants);
+  fp += ";minimize=" + std::to_string(o.minimize);
+  fp += ";embed=" + std::to_string(embed);
+  fp += ";cats=";
+  for (bool b : {o.learn_present, o.learn_ordering, o.learn_type, o.learn_sequence,
+                 o.learn_unique, o.learn_relational}) {
+    fp += b ? '1' : '0';
+  }
+  return fp;
+}
+
+// Loads a baseline state file; any problem (missing, unparseable, wrong shape)
+// degrades to "no baseline", i.e. a full learn. Keys are decimal strings: JSON
+// numbers round-trip through double and would corrupt 64-bit hashes.
+std::optional<BaselineState> LoadBaseline(const std::string& path) {
+  std::string text;
+  try {
+    text = ReadFile(path);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  auto json = JsonValue::Parse(text);
+  if (!json || !json->is_object()) {
+    return std::nullopt;
+  }
+  const JsonValue* configs = json->Find("configs");
+  auto metadata_key = json->GetString("metadataKey");
+  auto options = json->GetString("options");
+  auto contracts = json->GetString("contracts");
+  if (configs == nullptr || !configs->is_object() || !metadata_key || !options ||
+      !contracts) {
+    return std::nullopt;
+  }
+  BaselineState state;
+  try {
+    state.metadata_key = std::stoull(*metadata_key);
+    for (const auto& [name, key] : configs->members()) {
+      if (!key.is_string()) {
+        return std::nullopt;
+      }
+      state.config_keys[name] = std::stoull(key.AsString());
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  state.options_fingerprint = *options;
+  state.contracts_json = *contracts;
+  state.contract_count = json->GetInt("contractCount").value_or(0);
+  return state;
+}
+
+void SaveBaseline(const std::string& path, const LoadedInputs& inputs,
+                  const std::string& fingerprint, const std::string& contracts_json,
+                  size_t contract_count) {
+  JsonValue state = JsonValue::Object();
+  state.Set("version", JsonValue::Number(int64_t{1}));
+  state.Set("options", JsonValue::String(fingerprint));
+  state.Set("metadataKey", JsonValue::String(std::to_string(inputs.metadata_key)));
+  JsonValue configs = JsonValue::Object();
+  for (const auto& [name, key] : inputs.config_keys) {
+    configs.Set(name, JsonValue::String(std::to_string(key)));
+  }
+  state.Set("configs", std::move(configs));
+  state.Set("contractCount", JsonValue::Number(static_cast<int64_t>(contract_count)));
+  state.Set("contracts", JsonValue::String(contracts_json));
+  WriteFile(path, state.Serialize(2));
 }
 
 int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
@@ -122,6 +224,11 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
   args.AddFlag("parallelism", "worker threads (0 = all cores)", "1");
   args.AddFlag("disable", "disable a category: present|ordering|type|sequence|unique|relational");
   args.AddBoolFlag("no-minimize", "skip relational contract minimization (§3.6)");
+  args.AddBoolFlag("incremental",
+                   "compare inputs against --baseline and skip relearning when unchanged");
+  args.AddFlag("baseline",
+               "state file for --incremental (read when present, rewritten after learning)",
+               "concord.state.json");
   if (!args.Parse(argc, argv, 2)) {
     err << "error: " << args.error() << "\n" << args.Usage();
     return 2;
@@ -160,11 +267,38 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
     return 2;
   }
 
+  bool incremental = args.GetBool("incremental");
+  std::string fingerprint = LearnOptionsFingerprint(options, embed);
+  std::optional<BaselineState> baseline;
+  if (incremental) {
+    baseline = LoadBaseline(args.Get("baseline"));
+    if (baseline && baseline->options_fingerprint == fingerprint &&
+        baseline->metadata_key == inputs.metadata_key &&
+        baseline->config_keys == inputs.config_keys) {
+      // Nothing changed since the baseline: the relearn would reproduce the
+      // baseline contracts bit for bit, so reuse them without mining.
+      WriteFile(args.Get("out"), baseline->contracts_json);
+      if (!args.GetBool("quiet")) {
+        out << "incremental: " << inputs.dataset.configs.size()
+            << " config(s) unchanged since baseline; reused " << baseline->contract_count
+            << " contract(s)\n"
+            << "wrote " << args.Get("out") << "\n";
+      }
+      return inputs.skipped.empty() ? 0 : 3;
+    }
+  }
+
   Stopwatch watch;
   Learner learner(options);
   LearnResult result = learner.Learn(inputs.dataset);
   result.set.embed_context = embed;
-  WriteFile(args.Get("out"), SerializeContracts(result.set, inputs.dataset.patterns));
+  std::string serialized = SerializeContracts(result.set, inputs.dataset.patterns);
+  WriteFile(args.Get("out"), serialized);
+
+  if (incremental) {
+    SaveBaseline(args.Get("baseline"), inputs, fingerprint, serialized,
+                 result.set.contracts.size());
+  }
 
   if (!args.GetBool("quiet")) {
     out << "configs: " << inputs.dataset.configs.size() << "\n"
@@ -180,6 +314,33 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
     if (result.relational_before_minimize > 0) {
       out << "minimization: " << result.relational_before_minimize << " -> "
           << result.relational_after_minimize << " relational contracts\n";
+    }
+    if (incremental) {
+      if (baseline) {
+        size_t added = 0, removed = 0, modified = 0;
+        for (const auto& [name, key] : inputs.config_keys) {
+          auto it = baseline->config_keys.find(name);
+          if (it == baseline->config_keys.end()) {
+            ++added;
+          } else if (it->second != key) {
+            ++modified;
+          }
+        }
+        for (const auto& [name, key] : baseline->config_keys) {
+          if (inputs.config_keys.count(name) == 0) {
+            ++removed;
+          }
+        }
+        out << "incremental: relearned after delta vs baseline (" << added
+            << " added, " << removed << " removed, " << modified << " modified"
+            << (baseline->metadata_key != inputs.metadata_key ? ", metadata changed"
+                                                              : "")
+            << (baseline->options_fingerprint != fingerprint ? ", options changed" : "")
+            << ")\n";
+      } else {
+        out << "incremental: no usable baseline; full learn, baseline written\n";
+      }
+      out << "baseline: " << args.Get("baseline") << "\n";
     }
     if (!inputs.skipped.empty()) {
       out << "degraded: " << inputs.skipped.size() << " input file(s) skipped\n";

@@ -2,6 +2,28 @@
 
 namespace concord {
 
+ConfigIndex BuildConfigIndex(const ParsedConfig* config,
+                             const std::vector<ParsedLine>& metadata) {
+  ConfigIndex index;
+  index.config = config;
+  index.own_line_count = config->lines.size();
+  index.lines.reserve(config->lines.size() + metadata.size());
+  for (const ParsedLine& line : config->lines) {
+    index.lines.push_back(&line);
+  }
+  for (const ParsedLine& line : metadata) {
+    index.lines.push_back(&line);
+  }
+  for (uint32_t i = 0; i < index.lines.size(); ++i) {
+    const ParsedLine& line = *index.lines[i];
+    index.by_pattern[line.pattern].push_back(i);
+    if (line.const_pattern != kInvalidPattern) {
+      index.by_pattern[line.const_pattern].push_back(i);
+    }
+  }
+  return index;
+}
+
 std::vector<ConfigIndex> BuildIndexes(const std::vector<const ParsedConfig*>& configs,
                                       const std::vector<ParsedLine>& metadata,
                                       const Deadline* deadline) {
@@ -11,24 +33,7 @@ std::vector<ConfigIndex> BuildIndexes(const std::vector<const ParsedConfig*>& co
     if (deadline != nullptr) {
       ThrowIfExpired(*deadline);
     }
-    ConfigIndex index;
-    index.config = config;
-    index.own_line_count = config->lines.size();
-    index.lines.reserve(config->lines.size() + metadata.size());
-    for (const ParsedLine& line : config->lines) {
-      index.lines.push_back(&line);
-    }
-    for (const ParsedLine& line : metadata) {
-      index.lines.push_back(&line);
-    }
-    for (uint32_t i = 0; i < index.lines.size(); ++i) {
-      const ParsedLine& line = *index.lines[i];
-      index.by_pattern[line.pattern].push_back(i);
-      if (line.const_pattern != kInvalidPattern) {
-        index.by_pattern[line.const_pattern].push_back(i);
-      }
-    }
-    indexes.push_back(std::move(index));
+    indexes.push_back(BuildConfigIndex(config, metadata));
   }
   return indexes;
 }

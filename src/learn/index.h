@@ -27,6 +27,12 @@ struct ConfigIndex {
   bool ContainsPattern(PatternId id) const { return by_pattern.count(id) > 0; }
 };
 
+// Builds the index of a single configuration (the Index stage of the artifact
+// pipeline). The index holds pointers into `config` and `metadata`; both must stay
+// alive and unmoved for as long as the index is used.
+ConfigIndex BuildConfigIndex(const ParsedConfig* config,
+                             const std::vector<ParsedLine>& metadata);
+
 // Builds one index per configuration. When `deadline` is given it is polled per
 // configuration; expiry raises DeadlineExceeded.
 std::vector<ConfigIndex> BuildIndexes(const Dataset& dataset,

@@ -1,63 +1,83 @@
 #include "src/learn/learner.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "src/learn/artifact_store.h"
 #include "src/learn/index.h"
 #include "src/learn/miners.h"
 #include "src/learn/relational.h"
+#include "src/learn/summaries.h"
 #include "src/minimize/minimize.h"
 #include "src/util/thread_pool.h"
 
 namespace concord {
 
-LearnResult Learner::Learn(const Dataset& dataset) const {
-  ThrowIfExpired(options_.deadline);
-  std::vector<ConfigIndex> indexes = BuildIndexes(dataset, &options_.deadline);
+namespace {
 
-  // Category miners are independent; shard them across the pool.
-  std::vector<std::vector<Contract>> results(6);
-  std::vector<std::function<void()>> jobs;
-  if (options_.learn_present) {
-    jobs.push_back([&] { results[0] = MinePresent(dataset, indexes, options_); });
-  }
-  if (options_.learn_ordering) {
-    jobs.push_back([&] { results[1] = MineOrdering(dataset, indexes, options_); });
-  }
-  if (options_.learn_type) {
-    jobs.push_back([&] { results[2] = MineType(dataset, indexes, options_); });
-  }
-  if (options_.learn_sequence) {
-    jobs.push_back([&] { results[3] = MineSequence(dataset, indexes, options_); });
-  }
-  if (options_.learn_unique) {
-    jobs.push_back([&] { results[4] = MineUnique(dataset, indexes, options_); });
-  }
-  if (options_.learn_relational) {
-    jobs.push_back([&] { results[5] = MineRelational(dataset, indexes, options_); });
-  }
-
-  if (options_.parallelism != 1 && jobs.size() > 1) {
-    ThreadPool pool(static_cast<size_t>(std::max(0, options_.parallelism)));
-    for (auto& job : jobs) {
-      pool.Submit(std::move(job));
-    }
-    pool.Wait();
-  } else {
-    for (auto& job : jobs) {
-      job();
-    }
-  }
-
-  ThrowIfExpired(options_.deadline);
+// The dataset half of learning, shared by both drivers: aggregate the per-config
+// summaries (in the caller-supplied order) and apply the thresholds.
+std::vector<Contract> AggregateAll(const std::vector<const ConfigSummary*>& summaries,
+                                   const std::vector<uint32_t>& config_counts,
+                                   const TypeCountsMap* metadata_types,
+                                   const LearnOptions& options) {
   std::vector<Contract> all;
-  for (std::vector<Contract>& r : results) {
-    for (Contract& c : r) {
+  auto append = [&all](std::vector<Contract> contracts) {
+    for (Contract& c : contracts) {
       all.push_back(std::move(c));
     }
+  };
+  if (options.learn_present) {
+    append(AggregatePresent(config_counts, summaries.size(), options));
   }
+  if (options.learn_ordering) {
+    append(AggregateOrdering(summaries, config_counts, options));
+  }
+  if (options.learn_type) {
+    append(AggregateType(summaries, metadata_types, options));
+  }
+  if (options.learn_sequence) {
+    append(AggregateSequence(summaries, options));
+  }
+  if (options.learn_unique) {
+    append(AggregateUnique(summaries, config_counts, options));
+  }
+  if (options.learn_relational) {
+    append(AggregateRelational(summaries, config_counts, options, nullptr));
+  }
+  return all;
+}
 
+// Canonical (kind, identity-key) order. Identity keys are pattern *text*, so the
+// order is independent of how PatternIds happened to be assigned.
+void SortByKindAndKey(std::vector<Contract>* contracts, const PatternTable& patterns) {
+  std::vector<std::pair<std::string, size_t>> order;
+  order.reserve(contracts->size());
+  for (size_t i = 0; i < contracts->size(); ++i) {
+    const Contract& c = (*contracts)[i];
+    order.emplace_back(
+        std::string(1, static_cast<char>('0' + static_cast<int>(c.kind))) + c.Key(patterns),
+        i);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<Contract> sorted;
+  sorted.reserve(contracts->size());
+  for (auto& [key, i] : order) {
+    sorted.push_back(std::move((*contracts)[i]));
+  }
+  *contracts = std::move(sorted);
+}
+
+LearnResult Finalize(std::vector<Contract> all, const PatternTable& patterns,
+                     const LearnOptions& options) {
+  // Aggregation emits contracts in hash order of id-packed keys, which differs
+  // between a fresh dataset table and a store's append-only table even for the
+  // same corpus. Minimization's node numbering and representative picks follow
+  // input order, so canonicalize *before* minimizing — this is what keeps an
+  // incremental relearn bit-identical to a from-scratch one.
+  SortByKindAndKey(&all, patterns);
   LearnResult result;
-  if (options_.minimize) {
+  if (options.minimize) {
     MinimizeResult minimized = MinimizeContracts(std::move(all));
     result.set.contracts = std::move(minimized.contracts);
     result.relational_before_minimize = minimized.relational_before;
@@ -65,16 +85,72 @@ LearnResult Learner::Learn(const Dataset& dataset) const {
   } else {
     result.set.contracts = std::move(all);
   }
-  result.set.constants_mode = options_.constants;
-  // Deterministic output order: by kind, then by identity key.
-  std::sort(result.set.contracts.begin(), result.set.contracts.end(),
-            [&dataset](const Contract& a, const Contract& b) {
-              if (a.kind != b.kind) {
-                return a.kind < b.kind;
-              }
-              return a.Key(dataset.patterns) < b.Key(dataset.patterns);
-            });
+  result.set.constants_mode = options.constants;
+  // Re-sort: minimization regroups and can synthesize cycle-closing contracts.
+  SortByKindAndKey(&result.set.contracts, patterns);
   return result;
+}
+
+}  // namespace
+
+LearnResult Learner::Learn(const Dataset& dataset) const {
+  ThrowIfExpired(options_.deadline);
+  std::vector<ConfigIndex> indexes = BuildIndexes(dataset, &options_.deadline);
+  std::vector<uint32_t> config_counts = CountConfigsPerPattern(dataset, indexes);
+  const uint8_t categories = SummaryCategoriesFor(options_);
+
+  // Configurations are independent; shard the summarization (the dominant cost)
+  // across the pool. The batch path knows the whole dataset up front, so it can
+  // hand the relational summarizer the global-support pre-filter.
+  //
+  // Deadline expiry inside tasks is flagged and re-raised from the calling
+  // thread after the parallel section (pool tasks must not throw).
+  std::vector<ConfigSummary> summaries(indexes.size());
+  std::atomic<bool> deadline_hit{false};
+  auto summarize = [&](size_t ci) {
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (!SummarizeConfig(dataset.patterns, indexes[ci], categories, options_.deadline,
+                         &summaries[ci], &config_counts, options_.support)) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+    }
+  };
+  if (options_.parallelism != 1 && indexes.size() > 1) {
+    ThreadPool pool(static_cast<size_t>(std::max(0, options_.parallelism)));
+    pool.ParallelFor(indexes.size(), summarize);
+  } else {
+    for (size_t ci = 0; ci < indexes.size(); ++ci) {
+      summarize(ci);
+    }
+  }
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    throw DeadlineExceeded();
+  }
+
+  std::vector<const ConfigSummary*> views;
+  views.reserve(summaries.size());
+  for (const ConfigSummary& summary : summaries) {
+    views.push_back(&summary);
+  }
+  TypeCountsMap metadata_types;
+  if (options_.learn_type) {
+    metadata_types = SummarizeMetadataTypes(dataset.patterns, dataset.metadata);
+  }
+  ThrowIfExpired(options_.deadline);
+  return Finalize(AggregateAll(views, config_counts, &metadata_types, options_),
+                  dataset.patterns, options_);
+}
+
+LearnResult Learner::Learn(ArtifactStore& store) const {
+  ThrowIfExpired(options_.deadline);
+  store.Refresh(options_);
+  std::vector<const ConfigSummary*> views = store.summaries();
+  std::vector<uint32_t> config_counts =
+      CountConfigsFromSummaries(store.patterns().size(), views);
+  ThrowIfExpired(options_.deadline);
+  return Finalize(AggregateAll(views, config_counts, &store.metadata_types(), options_),
+                  store.patterns(), options_);
 }
 
 }  // namespace concord

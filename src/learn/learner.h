@@ -1,5 +1,13 @@
 // The `concord learn` entry point: runs every enabled miner over a dataset and returns
 // the (optionally minimized) contract set.
+//
+// Two drivers share one aggregation path (so their outputs are bit-identical):
+//
+//   Learn(const Dataset&)   batch — summarizes every config transiently, then
+//                           aggregates;
+//   Learn(ArtifactStore&)   incremental — refreshes only the stale per-config
+//                           artifacts in the store, then aggregates the cached
+//                           summaries.
 #ifndef SRC_LEARN_LEARNER_H_
 #define SRC_LEARN_LEARNER_H_
 
@@ -8,6 +16,8 @@
 #include "src/pattern/parser.h"
 
 namespace concord {
+
+class ArtifactStore;
 
 struct LearnResult {
   ContractSet set;
@@ -20,6 +30,11 @@ class Learner {
   explicit Learner(LearnOptions options) : options_(options) {}
 
   LearnResult Learn(const Dataset& dataset) const;
+
+  // Incremental learn over a store: refreshes stale artifacts (see
+  // ArtifactStore::Refresh), then aggregates every cached summary. The store's
+  // pattern table is the table the returned contracts are interned into.
+  LearnResult Learn(ArtifactStore& store) const;
 
  private:
   LearnOptions options_;

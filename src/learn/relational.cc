@@ -10,71 +10,28 @@
 
 #include "src/relations/affix_trie.h"
 #include "src/relations/equality_index.h"
+#include "src/relations/param_ref.h"
 #include "src/relations/prefix_trie.h"
 #include "src/relations/score.h"
+#include "src/relations/transform.h"
 
 namespace concord {
 
-namespace {
-
-// A (pattern, param, transform) node packed into 64 bits for fast map keys.
-uint64_t PackNode(PatternId pattern, uint16_t param, Transform t) {
+uint64_t PackRelationalNode(PatternId pattern, uint16_t param, Transform t) {
   return (static_cast<uint64_t>(pattern) << 32) | (static_cast<uint64_t>(param) << 16) |
          (static_cast<uint64_t>(t.kind) << 8) | t.arg;
 }
 
-PatternId NodePattern(uint64_t node) { return static_cast<PatternId>(node >> 32); }
-uint16_t NodeParam(uint64_t node) { return static_cast<uint16_t>((node >> 16) & 0xffff); }
-Transform NodeTransform(uint64_t node) {
+PatternId RelationalNodePattern(uint64_t node) { return static_cast<PatternId>(node >> 32); }
+uint16_t RelationalNodeParam(uint64_t node) {
+  return static_cast<uint16_t>((node >> 16) & 0xffff);
+}
+Transform RelationalNodeTransform(uint64_t node) {
   return Transform{static_cast<TransformKind>((node >> 8) & 0xff),
                    static_cast<uint8_t>(node & 0xff)};
 }
 
-struct RelKey {
-  uint64_t forall_node;
-  uint64_t exists_node;
-  RelationKind relation;
-
-  bool operator==(const RelKey& o) const {
-    return forall_node == o.forall_node && exists_node == o.exists_node &&
-           relation == o.relation;
-  }
-};
-
-struct RelKeyHash {
-  size_t operator()(const RelKey& k) const {
-    uint64_t h = k.forall_node * 0x9e3779b97f4a7c15ULL;
-    h ^= (k.exists_node + 0x517cc1b727220a95ULL) * 0xbf58476d1ce4e5b9ULL;
-    h ^= static_cast<uint64_t>(k.relation) * 0x94d049bb133111ebULL;
-    return static_cast<size_t>(h ^ (h >> 29));
-  }
-};
-
-struct GlobalStats {
-  uint32_t holds = 0;
-  // Distinct forall-side witness keys with their instance scores. A map (not a set +
-  // running sum) so per-worker partial results merge exactly under parallel mining.
-  std::unordered_map<std::string, double> diversity;
-
-  double Score() const {
-    double total = 0.0;
-    for (const auto& [key, score] : diversity) {
-      total += score;
-    }
-    return total;
-  }
-
-  void Merge(const GlobalStats& other) {
-    holds += other.holds;
-    for (const auto& [key, score] : other.diversity) {
-      if (diversity.size() < kMaxDiversityKeysMerge || diversity.count(key) > 0) {
-        diversity.emplace(key, score);
-      }
-    }
-  }
-
-  static constexpr size_t kMaxDiversityKeysMerge = 256;
-};
+namespace {
 
 // Marked forall-side lines for one candidate within one config. Marks can arrive out
 // of order and repeatedly (the kPrefixOf/kSuffixOf directions mark the *hit* line from
@@ -88,120 +45,99 @@ constexpr size_t kMaxDiversityKeys = 256;
 
 }  // namespace
 
-std::vector<Contract> MineRelational(const Dataset& dataset,
-                                     const std::vector<ConfigIndex>& indexes,
-                                     const LearnOptions& options) {
-  return MineRelationalWithStats(dataset, indexes, options, nullptr);
-}
+bool SummarizeRelationalConfig(const PatternTable& patterns, const ConfigIndex& index,
+                               const std::vector<uint32_t>* support_filter, int support,
+                               const Deadline& deadline, RelationalConfigSummary* out) {
+  if (deadline.expired()) {
+    return false;
+  }
+  // ---- Pass 1: build the relation-finding structures over this config. ----
+  EqualityIndex eq;
+  PrefixTrie pfx;
+  AffixTrie fwd(/*reversed=*/false);
+  AffixTrie rev(/*reversed=*/true);
 
-std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
-                                              const std::vector<ConfigIndex>& indexes,
-                                              const LearnOptions& options,
-                                              RelationalMiningStats* stats) {
-  std::vector<uint32_t> config_counts = CountConfigsPerPattern(dataset, indexes);
-  using GlobalMap = std::unordered_map<RelKey, GlobalStats, RelKeyHash>;
-  GlobalMap global;
-
-  // Deadline expiry is flagged, not thrown, inside workers; the calling thread
-  // re-raises after the parallel section so partially merged state never escapes.
-  std::atomic<bool> deadline_hit{false};
-
-  auto process_config = [&](const ConfigIndex& index, GlobalMap& out,
-                            RelationalMiningStats* out_stats) {
-    if (deadline_hit.load(std::memory_order_relaxed)) {
-      return;
-    }
-    if (options.deadline.expired()) {
-      deadline_hit.store(true, std::memory_order_relaxed);
-      return;
-    }
-    // ---- Pass 1: build the relation-finding structures over this config. ----
-    EqualityIndex eq;
-    PrefixTrie pfx;
-    AffixTrie fwd(/*reversed=*/false);
-    AffixTrie rev(/*reversed=*/true);
-
-    for (uint32_t li = 0; li < index.lines.size(); ++li) {
-      const ParsedLine& line = *index.lines[li];
-      for (uint16_t param = 0; param < line.values.size(); ++param) {
-        const Value& value = line.values[param];
-        for (const Transform& t : TransformsFor(value.type())) {
-          auto key = t.Apply(value);
-          if (!key || KeyScore(*key) <= 0.0) {
-            continue;  // Zero-informativeness keys never witness anything (§3.5).
-          }
-          ParamRef ref{line.pattern, param, t, li};
-          eq.Insert(*key, ref);
-          if (t == IdTransform() && key->size() >= 2) {
-            fwd.Insert(*key, ref);
-            rev.Insert(*key, ref);
-          }
+  for (uint32_t li = 0; li < index.lines.size(); ++li) {
+    const ParsedLine& line = *index.lines[li];
+    for (uint16_t param = 0; param < line.values.size(); ++param) {
+      const Value& value = line.values[param];
+      for (const Transform& t : TransformsFor(value.type())) {
+        auto key = t.Apply(value);
+        if (!key || KeyScore(*key) <= 0.0) {
+          continue;  // Zero-informativeness keys never witness anything (§3.5).
         }
-        if (value.type() == ValueType::kPfx4 && value.AsPfx4().prefix_len() > 0) {
-          pfx.Insert(value.AsPfx4(), ParamRef{line.pattern, param, IdTransform(), li});
-        } else if (value.type() == ValueType::kPfx6 && value.AsPfx6().prefix_len() > 0) {
-          pfx.Insert(value.AsPfx6(), ParamRef{line.pattern, param, IdTransform(), li});
+        ParamRef ref{line.pattern, param, t, li};
+        eq.Insert(*key, ref);
+        if (t == IdTransform() && key->size() >= 2) {
+          fwd.Insert(*key, ref);
+          rev.Insert(*key, ref);
         }
       }
-    }
-
-    // Distinct node lists per equality bucket (computed once, probed per query).
-    std::unordered_map<std::string, std::vector<uint64_t>> bucket_nodes;
-    bucket_nodes.reserve(eq.buckets().size());
-    for (const auto& [key, refs] : eq.buckets()) {
-      std::vector<uint64_t>& nodes = bucket_nodes[key];
-      for (const ParamRef& ref : refs) {
-        uint64_t node = PackNode(ref.pattern, ref.param, ref.transform);
-        bool seen = false;
-        for (uint64_t n : nodes) {
-          if (n == node) {
-            seen = true;
-            break;
-          }
-        }
-        if (!seen && nodes.size() <= kMaxBucketNodes) {
-          nodes.push_back(node);
-        }
+      if (value.type() == ValueType::kPfx4 && value.AsPfx4().prefix_len() > 0) {
+        pfx.Insert(value.AsPfx4(), ParamRef{line.pattern, param, IdTransform(), li});
+      } else if (value.type() == ValueType::kPfx6 && value.AsPfx6().prefix_len() > 0) {
+        pfx.Insert(value.AsPfx6(), ParamRef{line.pattern, param, IdTransform(), li});
       }
     }
+  }
 
-    // ---- Pass 2: look values up, marking candidate contracts per forall line. ----
-    std::unordered_map<RelKey, LocalMark, RelKeyHash> local;
-    std::vector<PrefixTrie::Hit> pfx_hits;
-    std::vector<AffixTrie::Hit> affix_hits;
+  // Distinct node lists per equality bucket (computed once, probed per query).
+  std::unordered_map<std::string, std::vector<uint64_t>> bucket_nodes;
+  bucket_nodes.reserve(eq.buckets().size());
+  for (const auto& [key, refs] : eq.buckets()) {
+    std::vector<uint64_t>& nodes = bucket_nodes[key];
+    for (const ParamRef& ref : refs) {
+      uint64_t node = PackRelationalNode(ref.pattern, ref.param, ref.transform);
+      bool seen = false;
+      for (uint64_t n : nodes) {
+        if (n == node) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && nodes.size() <= kMaxBucketNodes) {
+        nodes.push_back(node);
+      }
+    }
+  }
 
-    auto mark = [&](const RelKey& key, uint32_t line, const std::string& witness_key,
-                    double score) {
-      local[key].lines.insert(line);
-      GlobalStats& g = out[key];
-      if (g.diversity.size() < kMaxDiversityKeys) {
-        g.diversity.emplace(witness_key, score);
-      }
-      if (out_stats != nullptr) {
-        ++out_stats->match_events;
-      }
+  // ---- Pass 2: look values up, marking candidate contracts per forall line. ----
+  std::unordered_map<RelationalKey, LocalMark, RelationalKeyHash> local;
+  std::vector<PrefixTrie::Hit> pfx_hits;
+  std::vector<AffixTrie::Hit> affix_hits;
+
+  auto mark = [&](const RelationalKey& key, uint32_t line, const std::string& witness_key,
+                  double score) {
+    local[key].lines.insert(line);
+    RelationalCandidate& cand = out->candidates[key];
+    if (cand.diversity.size() < kMaxDiversityKeys) {
+      cand.diversity.emplace(witness_key, score);
+    }
+    ++out->match_events;
+  };
+
+  for (uint32_t li = 0; li < index.lines.size(); ++li) {
+    // Pass 2 dominates mining cost; poll the deadline every 512 lines so a
+    // single huge config cannot blow past the budget.
+    if ((li & 511u) == 511u && deadline.expired()) {
+      return false;
+    }
+    const ParsedLine& line = *index.lines[li];
+    // Support pre-filter (batch path only): a pattern below support can never be a
+    // forall side, but its lines must still be *queried* because the flipped affix
+    // directions mark the hit line, whose pattern may well meet support.
+    const bool self_ok =
+        support_filter == nullptr ||
+        static_cast<int>((*support_filter)[line.pattern]) >= support;
+    auto hit_ok = [&](uint64_t node) {
+      return support_filter == nullptr ||
+             static_cast<int>((*support_filter)[RelationalNodePattern(node)]) >= support;
     };
+    for (uint16_t param = 0; param < line.values.size(); ++param) {
+      const Value& value = line.values[param];
 
-    for (uint32_t li = 0; li < index.lines.size(); ++li) {
-      // Pass 2 dominates mining cost; poll the deadline every 512 lines so a
-      // single huge config cannot blow past the budget.
-      if ((li & 511u) == 511u && options.deadline.expired()) {
-        deadline_hit.store(true, std::memory_order_relaxed);
-        return;
-      }
-      const ParsedLine& line = *index.lines[li];
-      // Support pre-filter: a pattern below support can never be a forall side, but its
-      // lines must still be *queried* because the flipped affix directions mark the hit
-      // line, whose pattern may well meet support.
-      const bool self_ok = static_cast<int>(config_counts[line.pattern]) >= options.support;
-      auto hit_ok = [&](uint64_t node) {
-        return static_cast<int>(config_counts[NodePattern(node)]) >= options.support;
-      };
-      for (uint16_t param = 0; param < line.values.size(); ++param) {
-        const Value& value = line.values[param];
-
-        // Equality candidates, all transforms.
-        if (self_ok) {
+      // Equality candidates, all transforms.
+      if (self_ok) {
         for (const Transform& t : TransformsFor(value.type())) {
           auto key = t.Apply(value);
           if (!key) {
@@ -211,7 +147,7 @@ std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
           if (score <= 0.0) {
             continue;
           }
-          uint64_t self = PackNode(line.pattern, param, t);
+          uint64_t self = PackRelationalNode(line.pattern, param, t);
           auto bucket = bucket_nodes.find(*key);
           if (bucket == bucket_nodes.end() || bucket->second.size() > kMaxBucketNodes) {
             continue;
@@ -220,151 +156,154 @@ std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
             if (node == self) {
               continue;
             }
-            mark(RelKey{self, node, RelationKind::kEquals}, li, *key, score);
-          }
-        }
-        }
-
-        // Containment candidates (identity transform only).
-        bool is_pfx4 = value.type() == ValueType::kPfx4;
-        bool is_pfx6 = value.type() == ValueType::kPfx6;
-        if (self_ok &&
-            (value.type() == ValueType::kIp4 || value.type() == ValueType::kIp6 || is_pfx4 ||
-             is_pfx6)) {
-          pfx_hits.clear();
-          bool v6 = false;
-          if (value.type() == ValueType::kIp4) {
-            pfx.FindContaining(value.AsIp4(), &pfx_hits);
-          } else if (is_pfx4) {
-            pfx.FindContaining(value.AsPfx4(), &pfx_hits);
-          } else if (value.type() == ValueType::kIp6) {
-            pfx.FindContaining(value.AsIp6(), &pfx_hits);
-            v6 = true;
-          } else {
-            pfx.FindContaining(value.AsPfx6(), &pfx_hits);
-            v6 = true;
-          }
-          uint64_t self = PackNode(line.pattern, param, IdTransform());
-          std::string id_key = value.ToString();
-          for (const PrefixTrie::Hit& hit : pfx_hits) {
-            uint64_t node = PackNode(hit.ref.pattern, hit.ref.param, hit.ref.transform);
-            if (node == self) {
-              continue;
-            }
-            mark(RelKey{self, node, RelationKind::kContains}, li, id_key,
-                 PrefixScore(hit.prefix_len, v6));
-          }
-        }
-
-        // Affix candidates (identity transform only). A hit h is a proper affix of
-        // this value's key k; that yields candidates in both quantification orders.
-        auto id_key = IdTransform().Apply(value);
-        if (id_key && id_key->size() >= 2) {
-          uint64_t self = PackNode(line.pattern, param, IdTransform());
-          affix_hits.clear();
-          fwd.FindAffixesOf(*id_key, &affix_hits);
-          for (const AffixTrie::Hit& hit : affix_hits) {
-            std::string shared = id_key->substr(0, hit.affix_len);
-            double score = KeyScore(shared);
-            if (score <= 0.0) {
-              continue;
-            }
-            uint64_t node = PackNode(hit.ref.pattern, hit.ref.param, hit.ref.transform);
-            if (node == self) {
-              continue;
-            }
-            if (self_ok) {
-              // forall this-line: it starts with the (existing) shorter value.
-              mark(RelKey{self, node, RelationKind::kStartsWith}, li, shared, score);
-            }
-            if (hit_ok(node)) {
-              // forall the shorter value's line: it is a prefix of this value.
-              mark(RelKey{node, self, RelationKind::kPrefixOf}, hit.ref.line, shared, score);
-            }
-          }
-          affix_hits.clear();
-          rev.FindAffixesOf(*id_key, &affix_hits);
-          for (const AffixTrie::Hit& hit : affix_hits) {
-            std::string shared = id_key->substr(id_key->size() - hit.affix_len);
-            double score = KeyScore(shared);
-            if (score <= 0.0) {
-              continue;
-            }
-            uint64_t node = PackNode(hit.ref.pattern, hit.ref.param, hit.ref.transform);
-            if (node == self) {
-              continue;
-            }
-            if (self_ok) {
-              mark(RelKey{self, node, RelationKind::kEndsWith}, li, shared, score);
-            }
-            if (hit_ok(node)) {
-              mark(RelKey{node, self, RelationKind::kSuffixOf}, hit.ref.line, shared, score);
-            }
+            mark(RelationalKey{self, node, RelationKind::kEquals}, li, *key, score);
           }
         }
       }
-    }
 
-    // ---- Fold this config's marks into the global hold counts. ----
-    for (const auto& [key, marks] : local) {
-      PatternId p1 = NodePattern(key.forall_node);
-      auto it = index.by_pattern.find(p1);
-      uint32_t total = it == index.by_pattern.end() ? 0 : static_cast<uint32_t>(it->second.size());
-      if (total > 0 && marks.lines.size() == total) {
-        ++out[key].holds;
-      }
-    }
-  };
-
-  // Configurations are processed independently; with parallelism requested, workers
-  // mine disjoint config slices into private maps that merge exactly afterwards
-  // (GlobalStats::Merge).
-  size_t workers = 1;
-  if (options.parallelism != 1 && indexes.size() > 1) {
-    workers = options.parallelism <= 0
-                  ? std::max<size_t>(1, std::thread::hardware_concurrency())
-                  : static_cast<size_t>(options.parallelism);
-    workers = std::min(workers, indexes.size());
-  }
-  if (workers <= 1) {
-    for (const ConfigIndex& index : indexes) {
-      process_config(index, global, stats);
-    }
-  } else {
-    std::vector<GlobalMap> partials(workers);
-    std::vector<RelationalMiningStats> partial_stats(workers);
-    ThreadPool pool(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      pool.Submit([&, w] {
-        for (size_t ci = w; ci < indexes.size(); ci += workers) {
-          process_config(indexes[ci], partials[w],
-                         stats != nullptr ? &partial_stats[w] : nullptr);
+      // Containment candidates (identity transform only).
+      bool is_pfx4 = value.type() == ValueType::kPfx4;
+      bool is_pfx6 = value.type() == ValueType::kPfx6;
+      if (self_ok &&
+          (value.type() == ValueType::kIp4 || value.type() == ValueType::kIp6 || is_pfx4 ||
+           is_pfx6)) {
+        pfx_hits.clear();
+        bool v6 = false;
+        if (value.type() == ValueType::kIp4) {
+          pfx.FindContaining(value.AsIp4(), &pfx_hits);
+        } else if (is_pfx4) {
+          pfx.FindContaining(value.AsPfx4(), &pfx_hits);
+        } else if (value.type() == ValueType::kIp6) {
+          pfx.FindContaining(value.AsIp6(), &pfx_hits);
+          v6 = true;
+        } else {
+          pfx.FindContaining(value.AsPfx6(), &pfx_hits);
+          v6 = true;
         }
-      });
-    }
-    pool.Wait();
-    for (size_t w = 0; w < workers; ++w) {
-      for (auto& [key, g] : partials[w]) {
-        global[key].Merge(g);
+        uint64_t self = PackRelationalNode(line.pattern, param, IdTransform());
+        std::string id_key = value.ToString();
+        for (const PrefixTrie::Hit& hit : pfx_hits) {
+          uint64_t node = PackRelationalNode(hit.ref.pattern, hit.ref.param, hit.ref.transform);
+          if (node == self) {
+            continue;
+          }
+          mark(RelationalKey{self, node, RelationKind::kContains}, li, id_key,
+               PrefixScore(hit.prefix_len, v6));
+        }
       }
-      if (stats != nullptr) {
-        stats->match_events += partial_stats[w].match_events;
+
+      // Affix candidates (identity transform only). A hit h is a proper affix of
+      // this value's key k; that yields candidates in both quantification orders.
+      auto id_key = IdTransform().Apply(value);
+      if (id_key && id_key->size() >= 2) {
+        uint64_t self = PackRelationalNode(line.pattern, param, IdTransform());
+        affix_hits.clear();
+        fwd.FindAffixesOf(*id_key, &affix_hits);
+        for (const AffixTrie::Hit& hit : affix_hits) {
+          std::string shared = id_key->substr(0, hit.affix_len);
+          double score = KeyScore(shared);
+          if (score <= 0.0) {
+            continue;
+          }
+          uint64_t node = PackRelationalNode(hit.ref.pattern, hit.ref.param, hit.ref.transform);
+          if (node == self) {
+            continue;
+          }
+          if (self_ok) {
+            // forall this-line: it starts with the (existing) shorter value.
+            mark(RelationalKey{self, node, RelationKind::kStartsWith}, li, shared, score);
+          }
+          if (hit_ok(node)) {
+            // forall the shorter value's line: it is a prefix of this value.
+            mark(RelationalKey{node, self, RelationKind::kPrefixOf}, hit.ref.line, shared,
+                 score);
+          }
+        }
+        affix_hits.clear();
+        rev.FindAffixesOf(*id_key, &affix_hits);
+        for (const AffixTrie::Hit& hit : affix_hits) {
+          std::string shared = id_key->substr(id_key->size() - hit.affix_len);
+          double score = KeyScore(shared);
+          if (score <= 0.0) {
+            continue;
+          }
+          uint64_t node = PackRelationalNode(hit.ref.pattern, hit.ref.param, hit.ref.transform);
+          if (node == self) {
+            continue;
+          }
+          if (self_ok) {
+            mark(RelationalKey{self, node, RelationKind::kEndsWith}, li, shared, score);
+          }
+          if (hit_ok(node)) {
+            mark(RelationalKey{node, self, RelationKind::kSuffixOf}, hit.ref.line, shared,
+                 score);
+          }
+        }
       }
     }
   }
 
-  if (deadline_hit.load(std::memory_order_relaxed)) {
-    throw DeadlineExceeded();
+  // ---- Fold this config's marks into per-candidate hold bits. ----
+  for (const auto& [key, marks] : local) {
+    PatternId p1 = RelationalNodePattern(key.forall_node);
+    auto it = index.by_pattern.find(p1);
+    uint32_t total = it == index.by_pattern.end() ? 0 : static_cast<uint32_t>(it->second.size());
+    if (total > 0 && marks.lines.size() == total) {
+      out->candidates[key].holds = true;
+    }
+  }
+  (void)patterns;
+  return true;
+}
+
+namespace {
+
+// Dataset-level evidence for one candidate, merged over configs.
+struct GlobalStats {
+  uint32_t holds = 0;
+  std::unordered_map<std::string, double> diversity;
+
+  double Score() const {
+    double total = 0.0;
+    for (const auto& [key, score] : diversity) {
+      total += score;
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+std::vector<Contract> AggregateRelational(
+    const std::vector<const ConfigSummary*>& summaries,
+    const std::vector<uint32_t>& config_counts, const LearnOptions& options,
+    RelationalMiningStats* stats) {
+  std::unordered_map<RelationalKey, GlobalStats, RelationalKeyHash> global;
+  size_t match_events = 0;
+  for (const ConfigSummary* summary : summaries) {
+    match_events += summary->relational.match_events;
+    for (const auto& [key, cand] : summary->relational.candidates) {
+      GlobalStats& g = global[key];
+      if (cand.holds) {
+        ++g.holds;
+      }
+      for (const auto& [witness, score] : cand.diversity) {
+        if (g.diversity.size() < kMaxDiversityKeys || g.diversity.count(witness) > 0) {
+          g.diversity.emplace(witness, score);
+        }
+      }
+    }
   }
 
   if (stats != nullptr) {
     stats->candidate_keys = global.size();
+    stats->match_events = match_events;
   }
 
   // ---- Threshold pass. ----
   std::vector<Contract> out;
   for (const auto& [key, g] : global) {
-    PatternId p1 = NodePattern(key.forall_node);
+    PatternId p1 = RelationalNodePattern(key.forall_node);
     uint32_t support = config_counts[p1];
     if (static_cast<int>(support) < options.support) {
       continue;
@@ -377,18 +316,76 @@ std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
     Contract c;
     c.kind = ContractKind::kRelational;
     c.pattern = p1;
-    c.param = NodeParam(key.forall_node);
-    c.transform1 = NodeTransform(key.forall_node);
+    c.param = RelationalNodeParam(key.forall_node);
+    c.transform1 = RelationalNodeTransform(key.forall_node);
     c.relation = key.relation;
-    c.pattern2 = NodePattern(key.exists_node);
-    c.param2 = NodeParam(key.exists_node);
-    c.transform2 = NodeTransform(key.exists_node);
+    c.pattern2 = RelationalNodePattern(key.exists_node);
+    c.param2 = RelationalNodeParam(key.exists_node);
+    c.transform2 = RelationalNodeTransform(key.exists_node);
     c.support = static_cast<int>(support);
     c.confidence = conf;
     c.score = score;
     out.push_back(std::move(c));
   }
   return out;
+}
+
+std::vector<Contract> MineRelational(const Dataset& dataset,
+                                     const std::vector<ConfigIndex>& indexes,
+                                     const LearnOptions& options) {
+  return MineRelationalWithStats(dataset, indexes, options, nullptr);
+}
+
+std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
+                                              const std::vector<ConfigIndex>& indexes,
+                                              const LearnOptions& options,
+                                              RelationalMiningStats* stats) {
+  std::vector<uint32_t> config_counts = CountConfigsPerPattern(dataset, indexes);
+
+  // Configurations are summarized independently; with parallelism requested, the
+  // per-config summaries shard across a pool and merge in configuration order, so
+  // the parallel result is identical to the serial one.
+  //
+  // Deadline expiry is flagged, not thrown, inside workers; the calling thread
+  // re-raises after the parallel section so partially merged state never escapes.
+  std::vector<ConfigSummary> summaries(indexes.size());
+  std::atomic<bool> deadline_hit{false};
+  auto summarize = [&](size_t ci) {
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (!SummarizeRelationalConfig(dataset.patterns, indexes[ci], &config_counts,
+                                   options.support, options.deadline,
+                                   &summaries[ci].relational)) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  size_t workers = 1;
+  if (options.parallelism != 1 && indexes.size() > 1) {
+    workers = options.parallelism <= 0
+                  ? std::max<size_t>(1, std::thread::hardware_concurrency())
+                  : static_cast<size_t>(options.parallelism);
+    workers = std::min(workers, indexes.size());
+  }
+  if (workers <= 1) {
+    for (size_t ci = 0; ci < indexes.size(); ++ci) {
+      summarize(ci);
+    }
+  } else {
+    ThreadPool pool(workers);
+    pool.ParallelFor(indexes.size(), summarize);
+  }
+  if (deadline_hit.load(std::memory_order_relaxed)) {
+    throw DeadlineExceeded();
+  }
+
+  std::vector<const ConfigSummary*> views;
+  views.reserve(summaries.size());
+  for (const ConfigSummary& summary : summaries) {
+    views.push_back(&summary);
+  }
+  return AggregateRelational(views, config_counts, options, stats);
 }
 
 }  // namespace concord

@@ -24,6 +24,7 @@
 #include "src/contracts/contract.h"
 #include "src/learn/index.h"
 #include "src/learn/options.h"
+#include "src/learn/summaries.h"
 
 namespace concord {
 
@@ -42,6 +43,24 @@ std::vector<Contract> MineRelationalWithStats(const Dataset& dataset,
                                               const std::vector<ConfigIndex>& indexes,
                                               const LearnOptions& options,
                                               RelationalMiningStats* stats);
+
+// The per-config half of relational mining: passes 1 and 2 over one configuration,
+// recording candidate evidence in `out`. When `support_filter` is non-null, marks
+// whose forall-side pattern falls below `support` in it are skipped — the batch
+// miner's pre-filter optimization. Cacheable summaries must pass nullptr (the
+// filter depends on the whole dataset); the skipped candidates are dropped at
+// aggregate time either way, so the learned contracts are identical. Returns false
+// when `deadline` expired mid-pass (discard the partial summary); never throws.
+bool SummarizeRelationalConfig(const PatternTable& patterns, const ConfigIndex& index,
+                               const std::vector<uint32_t>* support_filter, int support,
+                               const Deadline& deadline, RelationalConfigSummary* out);
+
+// Merges relational summaries in configuration order, applies support, confidence,
+// and the informativeness score threshold, and emits the relational contracts.
+std::vector<Contract> AggregateRelational(
+    const std::vector<const ConfigSummary*>& summaries,
+    const std::vector<uint32_t>& config_counts, const LearnOptions& options,
+    RelationalMiningStats* stats);
 
 }  // namespace concord
 

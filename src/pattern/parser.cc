@@ -58,19 +58,32 @@ ParsedConfig ConfigParser::ParseEmbedded(const std::string& name, const Embedded
     parsed.line_number = line.line_number;
     parsed.values = std::move(lex.values);
 
-    std::vector<ValueType> types;
-    types.reserve(parsed.values.size());
-    for (const Value& v : parsed.values) {
-      types.push_back(v.type());
+    // Probe with a reused scratch buffer first: patterns repeat heavily, so the
+    // common case is a hit that materializes none of the three concatenations.
+    scratch_.assign(context);
+    scratch_ += lex.pattern_named;
+    parsed.pattern = table_->Find(scratch_);
+    if (parsed.pattern == kInvalidPattern) {
+      std::vector<ValueType> types;
+      types.reserve(parsed.values.size());
+      for (const Value& v : parsed.values) {
+        types.push_back(v.type());
+      }
+      parsed.pattern = table_->Intern(scratch_, context + lex.untyped,
+                                      context + lex.pattern_unnamed, std::move(types));
     }
-    parsed.pattern = table_->Intern(context + lex.pattern_named, context + lex.untyped,
-                                    context + lex.pattern_unnamed, std::move(types));
 
     if (options_.constants) {
       // Exact-line pattern: context plus the raw text, no parameters.
-      std::string const_text = "=" + context + line.text;
-      parsed.const_pattern =
-          table_->Intern(const_text, const_text, const_text, {}, /*is_constant=*/true);
+      scratch_.assign("=");
+      scratch_ += context;
+      scratch_ += line.text;
+      parsed.const_pattern = table_->Find(scratch_);
+      if (parsed.const_pattern == kInvalidPattern) {
+        std::string const_text(scratch_);
+        parsed.const_pattern =
+            table_->Intern(const_text, const_text, const_text, {}, /*is_constant=*/true);
+      }
     }
     config.lines.push_back(std::move(parsed));
   }

@@ -75,6 +75,7 @@ class ConfigParser {
   PatternTable* table_;
   ParseOptions options_;
   std::unordered_map<std::string, std::string> parent_cache_;
+  std::string scratch_;  // Reused pattern-text probe buffer (see ParseEmbedded).
 };
 
 }  // namespace concord

@@ -2,7 +2,7 @@
 
 namespace concord {
 
-PatternId PatternTable::Intern(const std::string& text, std::string untyped,
+PatternId PatternTable::Intern(std::string_view text, std::string untyped,
                                std::string unnamed, std::vector<ValueType> param_types,
                                bool is_constant) {
   auto it = by_text_.find(text);
@@ -10,13 +10,13 @@ PatternId PatternTable::Intern(const std::string& text, std::string untyped,
     return it->second;
   }
   PatternId id = static_cast<PatternId>(infos_.size());
-  infos_.push_back(PatternInfo{text, std::move(untyped), std::move(unnamed),
+  infos_.push_back(PatternInfo{std::string(text), std::move(untyped), std::move(unnamed),
                                std::move(param_types), is_constant});
-  by_text_.emplace(text, id);
+  by_text_.emplace(std::string(text), id);
   return id;
 }
 
-PatternId PatternTable::Find(const std::string& text) const {
+PatternId PatternTable::Find(std::string_view text) const {
   auto it = by_text_.find(text);
   return it == by_text_.end() ? kInvalidPattern : it->second;
 }

@@ -10,7 +10,9 @@
 #define SRC_PATTERN_PATTERN_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -34,12 +36,14 @@ struct PatternInfo {
 class PatternTable {
  public:
   // Interns a pattern, returning a stable id. The metadata fields are only consulted
-  // on first insertion.
-  PatternId Intern(const std::string& text, std::string untyped, std::string unnamed,
+  // on first insertion. Accepts a string_view so the parser can probe with a reused
+  // scratch buffer; the text is copied only when the pattern is new.
+  PatternId Intern(std::string_view text, std::string untyped, std::string unnamed,
                    std::vector<ValueType> param_types, bool is_constant = false);
 
   // Looks up an existing pattern id by canonical text; kInvalidPattern when absent.
-  PatternId Find(const std::string& text) const;
+  // Heterogeneous: no std::string is materialized for the probe.
+  PatternId Find(std::string_view text) const;
 
   const PatternInfo& Get(PatternId id) const { return infos_[id]; }
   size_t size() const { return infos_.size(); }
@@ -48,7 +52,15 @@ class PatternTable {
   static std::string ParamName(size_t index);
 
  private:
-  std::unordered_map<std::string, PatternId> by_text_;
+  // Transparent hash/eq so Find/Intern can probe with a string_view directly.
+  struct TextHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, PatternId, TextHash, std::equal_to<>> by_text_;
   std::vector<PatternInfo> infos_;
 };
 

@@ -2,51 +2,18 @@
 //
 // Parsing (context embedding + lexing + pattern interning, §3.1–§3.2) dominates the
 // check path for unchanged configs; the service fronts the checker with this cache
-// so a config whose text did not change between requests skips it entirely. Entries
-// are shared_ptr so a hot-swap reload or eviction never invalidates a batch that is
-// still checking against the old entry.
+// so a config whose text did not change between requests skips it entirely. An
+// instantiation of the generic LruCache (lru_cache.h), which also backs the
+// per-config index cache.
 #ifndef SRC_SERVICE_CONFIG_CACHE_H_
 #define SRC_SERVICE_CONFIG_CACHE_H_
 
-#include <cstdint>
-#include <list>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <utility>
-
 #include "src/pattern/parser.h"
+#include "src/service/lru_cache.h"
 
 namespace concord {
 
-class ConfigCache {
- public:
-  // `capacity` is the maximum number of cached parsed configs; 0 disables caching.
-  explicit ConfigCache(size_t capacity) : capacity_(capacity) {}
-
-  ConfigCache(const ConfigCache&) = delete;
-  ConfigCache& operator=(const ConfigCache&) = delete;
-
-  // Returns the cached config and refreshes its recency, or nullptr on a miss.
-  std::shared_ptr<const ParsedConfig> Get(uint64_t key);
-
-  // Inserts (or replaces) an entry, evicting the least recently used beyond capacity.
-  void Put(uint64_t key, std::shared_ptr<const ParsedConfig> config);
-
-  size_t size() const;
-  uint64_t hits() const;
-  uint64_t misses() const;
-
- private:
-  using Entry = std::pair<uint64_t, std::shared_ptr<const ParsedConfig>>;
-
-  size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // Front = most recently used.
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-};
+using ConfigCache = LruCache<ParsedConfig>;
 
 }  // namespace concord
 

@@ -26,10 +26,15 @@ bool ContractStore::Load(const std::string& name, const std::string& path,
     *error = e.what();
     return false;
   }
+  return Install(name, text, path, error);
+}
+
+bool ContractStore::Install(const std::string& name, const std::string& serialized,
+                            const std::string& path, std::string* error) {
   auto entry = std::make_shared<LoadedContractSet>(cache_capacity_);
   entry->name = name;
   entry->path = path;
-  auto set = ParseContracts(text, &entry->table, error);
+  auto set = ParseContracts(serialized, &entry->table, error);
   if (!set) {
     return false;
   }

@@ -20,22 +20,34 @@
 #include <vector>
 
 #include "src/contracts/contract.h"
+#include "src/learn/index.h"
 #include "src/pattern/pattern_table.h"
 #include "src/service/config_cache.h"
 
 namespace concord {
 
+// A cached Index artifact, pinned together with everything its line pointers
+// reach into: the parsed config and the request metadata it was built against.
+// Keyed by MixKeys(config content key, metadata content key).
+struct CachedConfigIndex {
+  std::shared_ptr<const ParsedConfig> config;
+  std::shared_ptr<const std::vector<ParsedLine>> metadata;
+  ConfigIndex index;
+};
+
 // One loaded contract set. Immutable after load except for `table` (grows under
-// `parse_mu` as configs are parsed) and the cache (internally synchronized).
+// `parse_mu` as configs are parsed) and the caches (internally synchronized).
 struct LoadedContractSet {
-  explicit LoadedContractSet(size_t cache_capacity) : cache(cache_capacity) {}
+  explicit LoadedContractSet(size_t cache_capacity)
+      : cache(cache_capacity), index_cache(cache_capacity) {}
 
   std::string name;
-  std::string path;  // Source file; `reload` without a path re-reads it.
+  std::string path;  // Source file; empty for sets learned in memory.
   ContractSet set;
   PatternTable table;
   ParseOptions parse_options;  // Derived from the set's recorded flags.
   ConfigCache cache;
+  LruCache<CachedConfigIndex> index_cache;
   std::mutex parse_mu;  // Serializes table growth across requests.
 };
 
@@ -46,6 +58,12 @@ class ContractStore {
   // Loads (or hot-swaps) the named set from `path`. Parsing happens outside the
   // shard lock; on failure the previous entry, if any, stays untouched.
   bool Load(const std::string& name, const std::string& path, std::string* error);
+
+  // Installs (or hot-swaps) a set from serialized contract text that never
+  // touched disk — the serve `learn`/`update` verbs install their results this
+  // way. `path` labels the provenance (empty = not reloadable from disk).
+  bool Install(const std::string& name, const std::string& serialized,
+               const std::string& path, std::string* error);
 
   // Returns the named entry, or nullptr when absent.
   std::shared_ptr<LoadedContractSet> Get(const std::string& name) const;

@@ -1,0 +1,92 @@
+// Generic thread-safe LRU cache of shared, immutable artifacts keyed by a
+// 64-bit content hash.
+//
+// One instantiation caches parsed configs (the Parse artifact), another caches
+// built per-config indexes (the Index artifact); see config_cache.h and
+// contract_store.h. Entries are shared_ptr so eviction or hot-swap never
+// invalidates a batch that is still working against the old entry.
+#ifndef SRC_SERVICE_LRU_CACHE_H_
+#define SRC_SERVICE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace concord {
+
+template <typename T>
+class LruCache {
+ public:
+  using Ptr = std::shared_ptr<const T>;
+
+  // `capacity` is the maximum number of cached entries; 0 disables caching.
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  // Returns the cached value and refreshes its recency, or nullptr on a miss.
+  Ptr Get(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  // Inserts (or replaces) an entry, evicting the least recently used beyond capacity.
+  void Put(uint64_t key, Ptr value) {
+    if (capacity_ == 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  using Entry = std::pair<uint64_t, Ptr>;
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_LRU_CACHE_H_

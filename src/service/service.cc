@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "src/check/checker.h"
+#include "src/contracts/contract_io.h"
+#include "src/contracts/describe.h"
 #include "src/pattern/parser.h"
 #include "src/report/report.h"
 #include "src/util/cancellation.h"
@@ -66,7 +68,7 @@ std::string Service::HandleLine(const std::string& line) {
     auto v = request->GetString("verb");
     if (!v) {
       throw ServiceError(
-          "missing 'verb' (expected check|coverage|reload|stats|shutdown)");
+          "missing 'verb' (expected check|coverage|reload|learn|update|stats|shutdown)");
     }
     verb = *v;
     body = Dispatch(verb, *request);
@@ -104,6 +106,12 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   if (verb == "reload") {
     return HandleReload(request);
   }
+  if (verb == "learn") {
+    return HandleLearn(request);
+  }
+  if (verb == "update") {
+    return HandleUpdate(request);
+  }
   if (verb == "stats") {
     JsonValue body = JsonValue::Object();
     body.Set("verb", JsonValue::String("stats"));
@@ -119,7 +127,7 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
     return body;
   }
   throw ServiceError("unknown verb '" + verb +
-                     "' (expected check|coverage|reload|stats|shutdown)");
+                     "' (expected check|coverage|reload|learn|update|stats|shutdown)");
 }
 
 JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) {
@@ -180,10 +188,27 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   // Cache probes and (for misses) parsing. Parsing interns patterns into the
   // entry's long-lived table, so it runs serially under the entry's parse mutex —
   // that is exactly the work the cache amortizes away on repeat traffic.
+  // Metadata lines are appended to every config's index, so the Index artifact's
+  // cache key mixes the config's content key with the metadata content key.
+  // Hash the raw texts up front (validating shape before any parsing work).
+  uint64_t metadata_key = kFnv1a64OffsetBasis;
+  if (const JsonValue* meta = request.Find("metadata")) {
+    if (!meta->is_array()) {
+      throw ServiceError("'metadata' must be an array of {name, text} objects");
+    }
+    for (const JsonValue& member : meta->items()) {
+      auto text = member.GetString("text");
+      if (!member.is_object() || !text) {
+        throw ServiceError("each metadata entry needs a string 'text' member");
+      }
+      metadata_key = Fnv1a64(*text, metadata_key);
+    }
+  }
+
   uint64_t hits = 0;
   uint64_t misses = 0;
   std::vector<SkippedFile> degraded;
-  std::vector<ParsedLine> metadata;
+  auto metadata = std::make_shared<std::vector<ParsedLine>>();
   {
     std::lock_guard<std::mutex> lock(entry->parse_mu);
     ConfigParser parser(&lexer_, &entry->table, entry->parse_options);
@@ -207,16 +232,10 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
       }
     }
     if (const JsonValue* meta = request.Find("metadata")) {
-      if (!meta->is_array()) {
-        throw ServiceError("'metadata' must be an array of {name, text} objects");
-      }
       for (const JsonValue& member : meta->items()) {
         auto text = member.GetString("text");
-        if (!member.is_object() || !text) {
-          throw ServiceError("each metadata entry needs a string 'text' member");
-        }
         for (ParsedLine& parsed_line : parser.ParseMetadata(*text)) {
-          metadata.push_back(std::move(parsed_line));
+          metadata->push_back(std::move(parsed_line));
         }
       }
     }
@@ -224,34 +243,62 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
 
   bool measure_coverage =
       coverage_listing || request.GetBool("coverage").value_or(true);
-  std::vector<const ParsedConfig*> parsed;
-  parsed.reserve(items.size());
-  for (const Item& item : items) {
-    if (item.parsed != nullptr) {
-      parsed.push_back(item.parsed.get());
+
+  // Index stage: probe the per-config index cache, building only the misses.
+  // A cached index pins the parsed config and metadata it points into, so a
+  // repeat batch skips both the parse and the index build.
+  uint64_t index_hits = 0;
+  uint64_t index_misses = 0;
+  std::vector<std::shared_ptr<const CachedConfigIndex>> cached_indexes;
+  cached_indexes.reserve(items.size());
+  for (Item& item : items) {
+    if (item.parsed == nullptr) {
+      continue;
     }
+    ThrowIfExpired(deadline);
+    uint64_t index_key = MixKeys(item.key, metadata_key);
+    auto cached = entry->index_cache.Get(index_key);
+    if (cached != nullptr) {
+      ++index_hits;
+    } else {
+      ++index_misses;
+      auto built = std::make_shared<CachedConfigIndex>();
+      built->config = item.parsed;
+      built->metadata = metadata;
+      built->index = BuildConfigIndex(item.parsed.get(), *metadata);
+      entry->index_cache.Put(index_key, built);
+      cached = std::move(built);
+    }
+    cached_indexes.push_back(std::move(cached));
   }
-  if (parsed.empty()) {
+  if (cached_indexes.empty()) {
     throw ServiceError("all " + std::to_string(items.size()) +
                        " configs failed to parse (first: " + degraded.front().file +
                        ": " + degraded.front().reason + ")");
   }
+  std::vector<const ConfigIndex*> indexes;
+  indexes.reserve(cached_indexes.size());
+  for (const auto& cached : cached_indexes) {
+    indexes.push_back(&cached->index);
+  }
   Checker checker(&entry->set, &entry->table,
                   static_cast<int>(pool_.num_threads()), &pool_);
   checker.set_deadline(deadline);
-  CheckResult result = checker.Check(parsed, metadata, measure_coverage);
+  CheckResult result = checker.Check(indexes, measure_coverage);
   result.skipped = degraded;
 
   metrics_.RecordCacheProbe(hits, misses);
-  metrics_.RecordCheckWork(parsed.size(), entry->set.contracts.size() * parsed.size(),
+  metrics_.RecordCheckWork(indexes.size(), entry->set.contracts.size() * indexes.size(),
                            result.violations.size());
 
   JsonValue body = JsonValue::Object();
   body.Set("verb", JsonValue::String(coverage_listing ? "coverage" : "check"));
   body.Set("contracts", JsonValue::String(name));
-  body.Set("configsChecked", JsonValue::Number(ToInt64(parsed.size())));
+  body.Set("configsChecked", JsonValue::Number(ToInt64(indexes.size())));
   body.Set("cacheHits", JsonValue::Number(static_cast<int64_t>(hits)));
   body.Set("cacheMisses", JsonValue::Number(static_cast<int64_t>(misses)));
+  body.Set("indexCacheHits", JsonValue::Number(static_cast<int64_t>(index_hits)));
+  body.Set("indexCacheMisses", JsonValue::Number(static_cast<int64_t>(index_misses)));
   body.Set("violations", JsonValue::Number(ToInt64(result.violations.size())));
   // Per-config fault isolation: skipped configs, named with reasons. The
   // {file, reason} keys deliberately match the report JSON's degraded section so
@@ -291,6 +338,10 @@ JsonValue Service::HandleReload(const JsonValue& request) {
     }
     path = existing->path;
   }
+  if (path.empty()) {
+    throw ServiceError("contract set '" + name +
+                       "' was learned in memory; reload requires a 'path'");
+  }
   std::string error;
   if (!store_.Load(name, path, &error)) {
     throw ServiceError("reload of '" + name + "' from " + path + " failed: " + error);
@@ -301,6 +352,278 @@ JsonValue Service::HandleReload(const JsonValue& request) {
   body.Set("name", JsonValue::String(name));
   body.Set("path", JsonValue::String(path));
   body.Set("contracts", JsonValue::Number(ToInt64(entry->set.contracts.size())));
+  return body;
+}
+
+namespace {
+
+// Contract identity for the update delta (kind-tagged, since identity keys are
+// only unique within a kind).
+std::string ContractIdentity(const Contract& c, const PatternTable& table) {
+  return std::to_string(static_cast<int>(c.kind)) + "|" + c.Key(table);
+}
+
+// Threshold overrides shared by learn (onto defaults) and update (onto the
+// options the dataset was learned with).
+void MergeLearnOptions(const JsonValue& request, LearnOptions* options) {
+  const JsonValue* opts = request.Find("options");
+  if (opts == nullptr) {
+    return;
+  }
+  if (!opts->is_object()) {
+    throw ServiceError("'options' must be an object");
+  }
+  if (auto v = opts->GetInt("support")) {
+    options->support = static_cast<int>(*v);
+  }
+  if (auto v = opts->GetDouble("confidence")) {
+    options->confidence = *v;
+  }
+  if (auto v = opts->GetDouble("scoreThreshold")) {
+    options->score_threshold = *v;
+  }
+  if (auto v = opts->GetBool("minimize")) {
+    options->minimize = *v;
+  }
+  if (auto v = opts->GetBool("constants")) {
+    options->constants = *v;
+  }
+}
+
+Deadline RequestDeadline(const JsonValue& request) {
+  if (auto ms = request.GetInt("deadline_ms"); ms.has_value() && *ms > 0) {
+    return Deadline::After(*ms);
+  }
+  return Deadline::Never();
+}
+
+// Upserts a {name, text} batch with per-config fault isolation: a config whose
+// parse fails lands in `degraded` (keeping any previously resident version of
+// it) instead of failing the request.
+void UpsertBatch(ArtifactStore& store, const JsonValue& configs,
+                 std::vector<SkippedFile>* degraded) {
+  for (const JsonValue& member : configs.items()) {
+    if (!member.is_object()) {
+      throw ServiceError("each configs entry must be a {name, text} object");
+    }
+    const JsonValue* config_name = member.Find("name");
+    const JsonValue* text = member.Find("text");
+    if (config_name == nullptr || !config_name->is_string() || text == nullptr ||
+        !text->is_string()) {
+      throw ServiceError("each configs entry needs string 'name' and 'text' members");
+    }
+    try {
+      store.Upsert(config_name->AsString(), text->AsString());
+    } catch (const std::exception& e) {
+      degraded->push_back(SkippedFile{config_name->AsString(), e.what()});
+    }
+  }
+}
+
+// Replaces the dataset metadata from the request's "metadata" array (one
+// document per entry), when present.
+void ApplyMetadata(ArtifactStore& store, const JsonValue& request) {
+  const JsonValue* meta = request.Find("metadata");
+  if (meta == nullptr) {
+    return;
+  }
+  if (!meta->is_array()) {
+    throw ServiceError("'metadata' must be an array of {name, text} objects");
+  }
+  std::vector<std::string> texts;
+  for (const JsonValue& member : meta->items()) {
+    auto text = member.GetString("text");
+    if (!member.is_object() || !text) {
+      throw ServiceError("each metadata entry needs a string 'text' member");
+    }
+    texts.push_back(std::move(*text));
+  }
+  store.SetMetadata(texts);
+}
+
+}  // namespace
+
+JsonValue Service::HandleLearn(const JsonValue& request) {
+  std::string name = request.GetString("dataset").value_or("default");
+  const JsonValue* configs = request.Find("configs");
+  if (configs == nullptr || !configs->is_array() || configs->items().empty()) {
+    throw ServiceError("'configs' must be a non-empty array of {name, text} objects");
+  }
+
+  LearnOptions options;
+  MergeLearnOptions(request, &options);
+  options.parallelism = static_cast<int>(pool_.num_threads());
+  options.deadline = RequestDeadline(request);
+
+  ParseOptions parse_options;
+  parse_options.constants = options.constants;
+
+  // learn (re)defines the dataset from scratch; a failure below (deadline, all
+  // configs unparseable) leaves any previous dataset of this name untouched.
+  auto dataset = std::make_shared<ResidentDataset>(&lexer_, parse_options);
+  dataset->options = options;
+
+  std::vector<SkippedFile> degraded;
+  std::lock_guard<std::mutex> lock(dataset->mu);
+  UpsertBatch(dataset->store, *configs, &degraded);
+  ApplyMetadata(dataset->store, request);
+  if (dataset->store.size() == 0) {
+    throw ServiceError("all " + std::to_string(configs->items().size()) +
+                       " configs failed to parse (first: " + degraded.front().file +
+                       ": " + degraded.front().reason + ")");
+  }
+
+  JsonValue body = RelearnAndInstall(name, *dataset, /*previous=*/{},
+                                     /*had_previous=*/false, std::move(degraded));
+  {
+    std::lock_guard<std::mutex> map_lock(datasets_mu_);
+    datasets_[name] = dataset;  // Publish only after a successful learn.
+  }
+  body.Set("verb", JsonValue::String("learn"));
+  return body;
+}
+
+JsonValue Service::HandleUpdate(const JsonValue& request) {
+  std::string name = request.GetString("dataset").value_or("default");
+  std::shared_ptr<ResidentDataset> dataset;
+  {
+    std::lock_guard<std::mutex> map_lock(datasets_mu_);
+    auto it = datasets_.find(name);
+    if (it != datasets_.end()) {
+      dataset = it->second;
+    }
+  }
+  if (dataset == nullptr) {
+    throw ServiceError("unknown dataset '" + name +
+                       "' (define it with a learn request first)");
+  }
+
+  std::lock_guard<std::mutex> lock(dataset->mu);
+  dataset->options.deadline = RequestDeadline(request);
+  MergeLearnOptions(request, &dataset->options);
+
+  // Counters restart at the delta so the response proves exactly how much work
+  // the update re-did (the artifact pipeline's incrementality contract).
+  dataset->store.ResetCounters();
+
+  std::vector<SkippedFile> degraded;
+  // "configs" matches the learn/check request shape; "upsert" is an alias.
+  const JsonValue* upsert = request.Find("configs");
+  if (upsert == nullptr) {
+    upsert = request.Find("upsert");
+  }
+  if (upsert != nullptr) {
+    if (!upsert->is_array()) {
+      throw ServiceError("'configs' must be an array of {name, text} objects");
+    }
+    UpsertBatch(dataset->store, *upsert, &degraded);
+  }
+  size_t removed = 0;
+  if (const JsonValue* remove = request.Find("remove")) {
+    if (!remove->is_array()) {
+      throw ServiceError("'remove' must be an array of config names");
+    }
+    for (const JsonValue& member : remove->items()) {
+      if (!member.is_string()) {
+        throw ServiceError("'remove' must be an array of config names");
+      }
+      if (dataset->store.Remove(member.AsString())) {
+        ++removed;
+      }
+    }
+  }
+  ApplyMetadata(dataset->store, request);
+  if (dataset->store.size() == 0) {
+    throw ServiceError("update removed every config from dataset '" + name + "'");
+  }
+
+  JsonValue body = RelearnAndInstall(name, *dataset, dataset->contracts.contracts,
+                                     /*had_previous=*/true, std::move(degraded));
+  body.Set("verb", JsonValue::String("update"));
+  body.Set("removedConfigs", JsonValue::Number(ToInt64(removed)));
+  return body;
+}
+
+JsonValue Service::RelearnAndInstall(const std::string& name, ResidentDataset& dataset,
+                                     const std::vector<Contract>& previous,
+                                     bool had_previous,
+                                     std::vector<SkippedFile> degraded) {
+  Learner learner(dataset.options);
+  LearnResult result = learner.Learn(dataset.store);
+  const PatternTable& table = dataset.store.patterns();
+
+  std::string error;
+  if (!store_.Install(name, SerializeContracts(result.set, table), /*path=*/"",
+                      &error)) {
+    throw ServiceError("installing learned contract set '" + name + "' failed: " + error);
+  }
+
+  JsonValue body = JsonValue::Object();
+  body.Set("dataset", JsonValue::String(name));
+  body.Set("configs", JsonValue::Number(ToInt64(dataset.store.size())));
+  body.Set("contracts", JsonValue::Number(ToInt64(result.set.contracts.size())));
+
+  if (had_previous) {
+    // Which contracts changed: identity-keyed set difference, keys capped so a
+    // pathological churn cannot balloon the response.
+    constexpr size_t kMaxDeltaKeys = 32;
+    std::map<std::string, const Contract*> old_keys;
+    std::map<std::string, const Contract*> new_keys;
+    for (const Contract& c : previous) {
+      old_keys.emplace(ContractIdentity(c, table), &c);
+    }
+    for (const Contract& c : result.set.contracts) {
+      new_keys.emplace(ContractIdentity(c, table), &c);
+    }
+    JsonValue added = JsonValue::Array();
+    JsonValue removed = JsonValue::Array();
+    size_t added_count = 0;
+    size_t removed_count = 0;
+    for (const auto& [key, contract] : new_keys) {
+      if (old_keys.count(key) == 0) {
+        if (++added_count <= kMaxDeltaKeys) {
+          added.Append(JsonValue::String(DescribeContract(*contract, table)));
+        }
+      }
+    }
+    for (const auto& [key, contract] : old_keys) {
+      if (new_keys.count(key) == 0) {
+        if (++removed_count <= kMaxDeltaKeys) {
+          removed.Append(JsonValue::String(DescribeContract(*contract, table)));
+        }
+      }
+    }
+    JsonValue changed = JsonValue::Object();
+    changed.Set("added", JsonValue::Number(ToInt64(added_count)));
+    changed.Set("removed", JsonValue::Number(ToInt64(removed_count)));
+    changed.Set("addedContracts", std::move(added));
+    changed.Set("removedContracts", std::move(removed));
+    body.Set("changed", std::move(changed));
+  }
+
+  const ArtifactCounters& counters = dataset.store.counters();
+  JsonValue artifacts = JsonValue::Object();
+  artifacts.Set("parseHits", JsonValue::Number(ToInt64(counters.parse_hits)));
+  artifacts.Set("parseMisses", JsonValue::Number(ToInt64(counters.parse_misses)));
+  artifacts.Set("indexHits", JsonValue::Number(ToInt64(counters.index_hits)));
+  artifacts.Set("indexMisses", JsonValue::Number(ToInt64(counters.index_misses)));
+  artifacts.Set("mineHits", JsonValue::Number(ToInt64(counters.mine_hits)));
+  artifacts.Set("mineMisses", JsonValue::Number(ToInt64(counters.mine_misses)));
+  body.Set("artifacts", std::move(artifacts));
+
+  if (!degraded.empty()) {
+    JsonValue skipped = JsonValue::Array();
+    for (const SkippedFile& s : degraded) {
+      JsonValue item = JsonValue::Object();
+      item.Set("file", JsonValue::String(s.file));
+      item.Set("reason", JsonValue::String(s.reason));
+      skipped.Append(std::move(item));
+    }
+    body.Set("degraded", std::move(skipped));
+  }
+
+  dataset.contracts = std::move(result.set);
+  dataset.learned = true;
   return body;
 }
 

@@ -8,8 +8,19 @@
 //   {"verb":"check","contracts":"edge","configs":[{"name":"dev1.cfg","text":"..."}]}
 //   {"verb":"coverage", ...}   per-line coverage listing for a batch
 //   {"verb":"reload","name":"edge"}          hot-swap a contract set from disk
+//   {"verb":"learn","dataset":"edge","configs":[...]}   learn contracts from a
+//                                            batch, keeping the dataset resident
+//   {"verb":"update","dataset":"edge","upsert":[...],"remove":[...]}   apply a
+//                                            config delta and incrementally
+//                                            relearn, reporting changed contracts
 //   {"verb":"stats"}                         metrics snapshot
 //   {"verb":"shutdown"}                      final stats + loop exit
+//
+// learn/update drive the content-addressed artifact pipeline (ArtifactStore): a
+// resident dataset caches per-config Parse/Index/Mine artifacts, so an update
+// that touches one config re-mines only that config before re-aggregating. The
+// learned contract set is installed into the contract store under the dataset
+// name, immediately usable by check/coverage.
 //
 // Responses are single-line JSON objects with "ok" plus verb-specific fields; a
 // request's "id" member, when present, is echoed back. Malformed requests produce
@@ -26,10 +37,16 @@
 
 #include <atomic>
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/check/checker.h"
 #include "src/format/json.h"
+#include "src/learn/artifact_store.h"
+#include "src/learn/learner.h"
 #include "src/pattern/lexer.h"
 #include "src/service/contract_store.h"
 #include "src/service/metrics.h"
@@ -72,9 +89,34 @@ class Service {
   const Metrics& metrics() const { return metrics_; }
 
  private:
+  // A dataset kept resident between learn/update requests: its artifact store
+  // (per-config Parse/Index/Mine caches) plus the last learned contracts.
+  // `mu` serializes mutations and relearns per dataset.
+  struct ResidentDataset {
+    ResidentDataset(const Lexer* lexer, ParseOptions parse_options)
+        : store(lexer, parse_options) {}
+
+    std::mutex mu;
+    ArtifactStore store;
+    LearnOptions options;    // Options the dataset was learned with.
+    ContractSet contracts;   // Last learned set (patterns in store.patterns()).
+    bool learned = false;
+  };
+
   JsonValue Dispatch(const std::string& verb, const JsonValue& request);
   JsonValue HandleCheck(const JsonValue& request, bool coverage_listing);
   JsonValue HandleReload(const JsonValue& request);
+  JsonValue HandleLearn(const JsonValue& request);
+  JsonValue HandleUpdate(const JsonValue& request);
+
+  // Shared tail of learn/update: relearn from the dataset's artifact store,
+  // install the result under `name`, and fill the response body (contract
+  // delta vs `previous`, artifact counters, degraded files).
+  JsonValue RelearnAndInstall(const std::string& name, ResidentDataset& dataset,
+                              const std::vector<Contract>& previous,
+                              bool had_previous,
+                              std::vector<SkippedFile> degraded);
+
   JsonValue StatsJson() const;
 
   ServiceOptions options_;
@@ -82,6 +124,8 @@ class Service {
   ContractStore store_;
   ThreadPool pool_;
   Metrics metrics_;
+  std::mutex datasets_mu_;  // Guards the map, not the datasets.
+  std::map<std::string, std::shared_ptr<ResidentDataset>> datasets_;
   std::atomic<bool> shutdown_{false};
 };
 

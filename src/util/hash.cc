@@ -17,4 +17,15 @@ uint64_t ContentKey(std::string_view name, std::string_view text) {
   return Fnv1a64(text, h);
 }
 
+uint64_t MixKeys(uint64_t a, uint64_t b) {
+  // FNV-1a over b's bytes, seeded by a: asymmetric, so MixKeys(a, b) and
+  // MixKeys(b, a) differ, and chaining stays equivalent to hashing the stream.
+  uint64_t h = a;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (b >> (8 * i)) & 0xffu;
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
 }  // namespace concord

@@ -23,6 +23,11 @@ uint64_t Fnv1a64(std::string_view data, uint64_t seed = kFnv1a64OffsetBasis);
 // config-cache key.
 uint64_t ContentKey(std::string_view name, std::string_view text);
 
+// Order-sensitive combination of two content keys — e.g. a config's content key
+// with the metadata content key, forming the index-cache key of the artifact
+// pipeline's Index stage.
+uint64_t MixKeys(uint64_t a, uint64_t b);
+
 }  // namespace concord
 
 #endif  // SRC_UTIL_HASH_H_

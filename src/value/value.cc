@@ -47,7 +47,7 @@ std::string Value::ToString() const {
     case ValueType::kPfx6:
       return AsPfx6().ToString();
     case ValueType::kStr:
-      return AsStr();
+      return std::holds_alternative<std::string>(data_) ? AsStr() : std::string();
   }
   return "";
 }
@@ -59,6 +59,14 @@ bool Value::operator==(const Value& other) const {
 bool Value::operator<(const Value& other) const {
   if (type_ != other.type_) {
     return type_ < other.type_;
+  }
+  // Empty (default-constructed) values: monostate sorts before any real payload
+  // of the same declared type; two empties are equal.
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  if (std::holds_alternative<std::monostate>(data_)) {
+    return false;
   }
   switch (type_) {
     case ValueType::kNum:
@@ -136,7 +144,10 @@ size_t Value::Hash() const {
       break;
     }
     case ValueType::kStr:
-      mix(std::hash<std::string>{}(AsStr()));
+      // Empty (default-constructed) values hash on the type tag alone.
+      if (std::holds_alternative<std::string>(data_)) {
+        mix(std::hash<std::string>{}(AsStr()));
+      }
       break;
   }
   return h;

@@ -34,7 +34,11 @@ std::string_view ValueTypeName(ValueType type);
 
 class Value {
  public:
-  Value() : type_(ValueType::kStr), data_(std::string()) {}
+  // Cheap default: monostate, not an eagerly constructed std::string. Scratch
+  // Values (e.g. the lexer's best-match slot) are built and discarded per token,
+  // so the default must not pay for string construction. An empty Value renders
+  // as "", equals only other empty Values, and orders before every real kStr.
+  Value() : type_(ValueType::kStr), data_(std::monostate{}) {}
 
   static Value Num(BigInt v) { return Value(ValueType::kNum, std::move(v)); }
   static Value Hex(BigInt v) { return Value(ValueType::kHex, std::move(v)); }
@@ -66,8 +70,8 @@ class Value {
   size_t Hash() const;
 
  private:
-  using Storage = std::variant<BigInt, bool, MacAddress, Ipv4Address, Ipv4Network, Ipv6Address,
-                               Ipv6Network, std::string>;
+  using Storage = std::variant<std::monostate, BigInt, bool, MacAddress, Ipv4Address,
+                               Ipv4Network, Ipv6Address, Ipv6Network, std::string>;
 
   Value(ValueType type, Storage data) : type_(type), data_(std::move(data)) {}
 

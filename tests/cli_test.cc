@@ -279,5 +279,58 @@ TEST_F(CliTest, CustomLexerFile) {
   EXPECT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--lexer", "/nonexistent"}), 2);
 }
 
+TEST_F(CliTest, IncrementalLearnReusesBaselineAndReportsDelta) {
+  std::string baseline = (dir_ / "state.json").string();
+  std::string out;
+
+  // First run: no baseline yet, full learn, state written.
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath(), "--incremental", "--baseline", baseline},
+                &out),
+            0);
+  EXPECT_NE(out.find("no usable baseline"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(baseline));
+  std::string first = ReadFile(ContractsPath());
+
+  // Second run, unchanged inputs: the learn is skipped, output is bit-identical.
+  std::string second_path = (dir_ / "contracts2.json").string();
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 second_path, "--incremental", "--baseline", baseline},
+                &out),
+            0);
+  EXPECT_NE(out.find("unchanged since baseline"), std::string::npos);
+  EXPECT_EQ(ReadFile(second_path), first);
+
+  // Changing one config forces a relearn and reports the delta.
+  WriteFile((dir_ / "configs" / "dev3.cfg").string(), Config(3) + "ntp server 10.0.0.9\n");
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath(), "--incremental", "--baseline", baseline},
+                &out),
+            0);
+  EXPECT_NE(out.find("0 added, 0 removed, 1 modified"), std::string::npos);
+
+  // Incremental output equals a from-scratch learn of the same inputs.
+  std::string scratch_path = (dir_ / "contracts3.json").string();
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 scratch_path}),
+            0);
+  EXPECT_EQ(ReadFile(ContractsPath()), ReadFile(scratch_path));
+}
+
+TEST_F(CliTest, IncrementalLearnInvalidatesOnOptionChange) {
+  std::string baseline = (dir_ / "state.json").string();
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath(), "--incremental", "--baseline", baseline}),
+            0);
+  std::string out;
+  // Same inputs but a different threshold: the baseline must not be reused.
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "4", "--out",
+                 ContractsPath(), "--incremental", "--baseline", baseline},
+                &out),
+            0);
+  EXPECT_EQ(out.find("unchanged since baseline"), std::string::npos);
+  EXPECT_NE(out.find("options changed"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace concord

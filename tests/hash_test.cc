@@ -33,6 +33,18 @@ TEST(Fnv1a64, EmbeddedNulBytesHashed) {
   EXPECT_NE(Fnv1a64(std::string_view("a\0b", 3)), Fnv1a64(std::string_view("ab", 2)));
 }
 
+TEST(MixKeys, OrderSensitiveAndDeterministic) {
+  uint64_t a = ContentKey("dev1.cfg", "hostname DEV1\n");
+  uint64_t b = ContentKey("@meta", "{\"vlanId\": 7}");
+  EXPECT_EQ(MixKeys(a, b), MixKeys(a, b));
+  EXPECT_NE(MixKeys(a, b), MixKeys(b, a));  // Asymmetric by construction.
+  EXPECT_NE(MixKeys(a, b), a);
+  EXPECT_NE(MixKeys(a, b), b);
+  // Sensitive to either input changing.
+  EXPECT_NE(MixKeys(a, b), MixKeys(a + 1, b));
+  EXPECT_NE(MixKeys(a, b), MixKeys(a, b + 1));
+}
+
 TEST(ContentKey, SeparatorPreventsBoundaryAliasing) {
   // Moving a character across the name/text boundary must change the key.
   EXPECT_NE(ContentKey("ab", "c"), ContentKey("a", "bc"));

@@ -59,6 +59,62 @@ TEST(BuildIndexes, EmptyDataset) {
   EXPECT_TRUE(CountConfigsPerPattern(d, {}).empty());
 }
 
+TEST(CountConfigsPerPattern, MetadataPatternsCountedPerConfig) {
+  // Metadata lines are appended to every index, so their patterns count every config.
+  Dataset d = BuildDataset({"vlan 1\n", "hostname X\n"});
+  Lexer lexer;
+  ConfigParser parser(&lexer, &d.patterns, ParseOptions{});
+  d.metadata = parser.ParseMetadata("{\"vlanId\": 7}");
+  auto indexes = BuildIndexes(d);
+  auto counts = CountConfigsPerPattern(d, indexes);
+  EXPECT_EQ(counts[d.metadata[0].pattern], 2u);
+  EXPECT_EQ(counts[d.configs[0].lines[0].pattern], 1u);
+}
+
+TEST(BuildIndexes, ExternalConfigsOverloadAppendsMetadata) {
+  // The service builds indexes over cached parsed configs that live outside any
+  // Dataset; metadata must land after each config's own lines, exactly as the
+  // Dataset overload does it.
+  Dataset d = BuildDataset({"vlan 1\nvlan 2\n", "hostname X\n"});
+  Lexer lexer;
+  ConfigParser parser(&lexer, &d.patterns, ParseOptions{});
+  std::vector<ParsedLine> metadata = parser.ParseMetadata("{\"vlanId\": 7}");
+
+  std::vector<const ParsedConfig*> configs;
+  for (const ParsedConfig& config : d.configs) {
+    configs.push_back(&config);
+  }
+  auto indexes = BuildIndexes(configs, metadata);
+  ASSERT_EQ(indexes.size(), 2u);
+  EXPECT_EQ(indexes[0].own_line_count, 2u);
+  EXPECT_EQ(indexes[0].lines.size(), 3u);
+  EXPECT_EQ(indexes[1].own_line_count, 1u);
+  EXPECT_EQ(indexes[1].lines.size(), 2u);
+  for (const ConfigIndex& index : indexes) {
+    EXPECT_EQ(index.lines.back(), &metadata[0]);
+    EXPECT_TRUE(index.ContainsPattern(metadata[0].pattern));
+  }
+
+  // Per-config index built directly (the artifact pipeline's Index stage)
+  // matches the batch overload.
+  ConfigIndex single = BuildConfigIndex(&d.configs[0], metadata);
+  EXPECT_EQ(single.own_line_count, indexes[0].own_line_count);
+  EXPECT_EQ(single.lines, indexes[0].lines);
+}
+
+TEST(BuildIndexes, ExternalConfigsOverloadHonorsDeadline) {
+  Dataset d = BuildDataset({"vlan 1\n", "vlan 2\n", "vlan 3\n"});
+  std::vector<const ParsedConfig*> configs;
+  for (const ParsedConfig& config : d.configs) {
+    configs.push_back(&config);
+  }
+  std::vector<ParsedLine> metadata;
+  Deadline expired = Deadline::After(0);
+  EXPECT_THROW(BuildIndexes(configs, metadata, &expired), DeadlineExceeded);
+  Deadline open = Deadline::Never();
+  EXPECT_EQ(BuildIndexes(configs, metadata, &open).size(), 3u);
+}
+
 TEST(PatternTable, InternDeduplicates) {
   PatternTable table;
   PatternId a = table.Intern("/x [a:num]", "/x [a:?]", "/x [num]", {ValueType::kNum});
@@ -76,6 +132,22 @@ TEST(PatternTable, FindMissingReturnsInvalid) {
   EXPECT_EQ(table.Find("/nope"), kInvalidPattern);
   table.Intern("/yes", "/yes", "/yes", {});
   EXPECT_NE(table.Find("/yes"), kInvalidPattern);
+}
+
+TEST(PatternTable, HeterogeneousStringViewLookup) {
+  PatternTable table;
+  PatternId id = table.Intern("/iface [a:num]", "/iface [a:?]", "/iface [num]",
+                              {ValueType::kNum});
+  // Probe with views into a larger buffer: no std::string needs to be built.
+  std::string buffer = "xx/iface [a:num]yy";
+  std::string_view hit = std::string_view(buffer).substr(2, 14);
+  EXPECT_EQ(table.Find(hit), id);
+  EXPECT_EQ(table.Intern(hit, "ignored", "ignored", {}), id);
+  EXPECT_EQ(table.Find(std::string_view("/iface [a:nu")), kInvalidPattern);
+  EXPECT_EQ(table.size(), 1u);
+  // The stored text is an owned copy, not tied to the probe buffer.
+  buffer.clear();
+  EXPECT_EQ(table.Get(id).text, "/iface [a:num]");
 }
 
 TEST(PatternTable, ParamNames) {

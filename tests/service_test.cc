@@ -649,5 +649,147 @@ TEST_F(ServiceTest, SigtermDrainsInFlightWorkAndCleansUp) {
   EXPECT_NE(summary.str().find("concord serve summary"), std::string::npos);
 }
 
+// Builds a learn/update request from generated corpus configs.
+std::string LearnRequest(const std::string& verb, const std::string& dataset,
+                         const std::vector<GeneratedConfig>& configs,
+                         const std::vector<GeneratedConfig>& metadata,
+                         const char* configs_member) {
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String(verb));
+  request.Set("dataset", JsonValue::String(dataset));
+  JsonValue items = JsonValue::Array();
+  for (const GeneratedConfig& config : configs) {
+    JsonValue item = JsonValue::Object();
+    item.Set("name", JsonValue::String(config.name));
+    item.Set("text", JsonValue::String(config.text));
+    items.Append(std::move(item));
+  }
+  request.Set(configs_member, std::move(items));
+  if (!metadata.empty()) {
+    JsonValue meta = JsonValue::Array();
+    for (const GeneratedConfig& m : metadata) {
+      JsonValue item = JsonValue::Object();
+      item.Set("name", JsonValue::String(m.name));
+      item.Set("text", JsonValue::String(m.text));
+      meta.Append(std::move(item));
+    }
+    request.Set("metadata", std::move(meta));
+  }
+  JsonValue options = JsonValue::Object();
+  options.Set("support", JsonValue::Number(int64_t{3}));
+  request.Set("options", std::move(options));
+  return request.Serialize(0);
+}
+
+TEST_F(ServiceTest, LearnMakesDatasetResidentAndCheckable) {
+  Service service(ServiceOptions{});
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+
+  JsonValue learned = Respond(
+      service, LearnRequest("learn", "edge-live", corpus.configs, corpus.metadata, "configs"));
+  EXPECT_EQ(learned.GetBool("ok"), true);
+  EXPECT_EQ(learned.GetString("verb"), "learn");
+  EXPECT_EQ(learned.GetInt("configs"), static_cast<int64_t>(corpus.configs.size()));
+  EXPECT_GT(learned.GetInt("contracts").value_or(0), 0);
+  const JsonValue* artifacts = learned.Find("artifacts");
+  ASSERT_NE(artifacts, nullptr);
+  EXPECT_EQ(artifacts->GetInt("parseMisses"), static_cast<int64_t>(corpus.configs.size()));
+  EXPECT_EQ(artifacts->GetInt("mineHits"), 0);
+
+  // The learned set is installed under the dataset name: check against it.
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String("check"));
+  request.Set("contracts", JsonValue::String("edge-live"));
+  JsonValue configs = JsonValue::Array();
+  JsonValue item = JsonValue::Object();
+  item.Set("name", JsonValue::String(corpus.configs[0].name));
+  item.Set("text", JsonValue::String(corpus.configs[0].text));
+  configs.Append(std::move(item));
+  request.Set("configs", std::move(configs));
+  JsonValue checked = Respond(service, request.Serialize(0));
+  EXPECT_EQ(checked.GetBool("ok"), true);
+  EXPECT_EQ(checked.GetInt("configsChecked"), 1);
+}
+
+TEST_F(ServiceTest, UpdateRelearnsIncrementallyAndReportsDelta) {
+  Service service(ServiceOptions{});
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  Respond(service,
+          LearnRequest("learn", "edge-live", corpus.configs, corpus.metadata, "configs"));
+
+  // Replace one config with a drifted version.
+  GeneratedConfig changed = corpus.configs[3];
+  changed.text += "ntp server 10.0.0.250\n";
+  // "configs" is the documented member; "upsert" (used by the unknown-dataset
+  // test below) is accepted as an alias.
+  JsonValue updated =
+      Respond(service, LearnRequest("update", "edge-live", {changed}, {}, "configs"));
+  EXPECT_EQ(updated.GetBool("ok"), true);
+  EXPECT_EQ(updated.GetString("verb"), "update");
+
+  // Incrementality proof: only the upserted config's artifacts were recomputed.
+  const JsonValue* artifacts = updated.Find("artifacts");
+  ASSERT_NE(artifacts, nullptr);
+  EXPECT_EQ(artifacts->GetInt("parseMisses"), 1);
+  EXPECT_EQ(artifacts->GetInt("indexMisses"), 1);
+  EXPECT_EQ(artifacts->GetInt("mineMisses"), 1);
+  EXPECT_EQ(artifacts->GetInt("indexHits"),
+            static_cast<int64_t>(corpus.configs.size()) - 1);
+  EXPECT_EQ(artifacts->GetInt("mineHits"),
+            static_cast<int64_t>(corpus.configs.size()) - 1);
+
+  const JsonValue* delta = updated.Find("changed");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_GE(delta->GetInt("added").value_or(-1), 0);
+  EXPECT_GE(delta->GetInt("removed").value_or(-1), 0);
+
+  // Removing the config again relearns on the smaller corpus.
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::String("update"));
+  request.Set("dataset", JsonValue::String("edge-live"));
+  JsonValue remove = JsonValue::Array();
+  remove.Append(JsonValue::String(changed.name));
+  request.Set("remove", std::move(remove));
+  JsonValue removed = Respond(service, request.Serialize(0));
+  EXPECT_EQ(removed.GetBool("ok"), true);
+  EXPECT_EQ(removed.GetInt("removedConfigs"), 1);
+  EXPECT_EQ(removed.GetInt("configs"), static_cast<int64_t>(corpus.configs.size()) - 1);
+}
+
+TEST_F(ServiceTest, UpdateUnknownDatasetIsAnError) {
+  Service service(ServiceOptions{});
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  JsonValue response = Respond(
+      service, LearnRequest("update", "nope", {corpus.configs[0]}, {}, "upsert"));
+  EXPECT_EQ(response.GetBool("ok"), false);
+  EXPECT_NE(response.GetString("error")->find("unknown dataset"), std::string::npos);
+}
+
+TEST_F(ServiceTest, LearnIsolatesUnparseableConfigs) {
+  Service service(ServiceOptions{});
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  ASSERT_TRUE(FaultInjector::Global().Configure("parse:fail_nth=1"));
+  JsonValue response = Respond(
+      service, LearnRequest("learn", "edge-live", corpus.configs, corpus.metadata, "configs"));
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(response.GetBool("ok"), true);
+  EXPECT_EQ(response.GetInt("configs"), static_cast<int64_t>(corpus.configs.size()) - 1);
+  const JsonValue* degraded = response.Find("degraded");
+  ASSERT_NE(degraded, nullptr);
+  ASSERT_EQ(degraded->items().size(), 1u);
+  EXPECT_EQ(degraded->items()[0].GetString("file"), corpus.configs[0].name);
+}
+
+TEST_F(ServiceTest, LearnedSetCannotBeReloadedFromDisk) {
+  Service service(ServiceOptions{});
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  Respond(service,
+          LearnRequest("learn", "edge-live", corpus.configs, corpus.metadata, "configs"));
+  JsonValue response =
+      Respond(service, "{\"verb\":\"reload\",\"name\":\"edge-live\"}");
+  EXPECT_EQ(response.GetBool("ok"), false);
+  EXPECT_NE(response.GetString("error")->find("learned in memory"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace concord

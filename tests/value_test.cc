@@ -77,5 +77,26 @@ TEST(Value, DefaultConstructedIsEmptyString) {
   EXPECT_EQ(v.ToString(), "");
 }
 
+TEST(Value, DefaultConstructedIsWellBehaved) {
+  // The default is monostate (no std::string is constructed); it must still be
+  // safe to compare, order, and hash against real values.
+  Value empty;
+  Value other_empty;
+  Value str = Value::Str("");
+  EXPECT_EQ(empty, other_empty);
+  EXPECT_NE(empty, str);            // Empty is its own state, not kStr "".
+  EXPECT_FALSE(empty < other_empty);
+  EXPECT_LT(empty, str);            // Empty orders before every real kStr.
+  EXPECT_FALSE(str < empty);
+  EXPECT_EQ(empty.Hash(), other_empty.Hash());
+
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(empty);
+  set.insert(str);
+  set.insert(Value::Str("x"));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Value()));
+}
+
 }  // namespace
 }  // namespace concord

@@ -68,6 +68,14 @@ for b in build/bench/*; do
   name="$(basename "$b")"
   case "$name" in
     bench_micro|bench_serve) "$b" --benchmark_min_time=0.05 > "$out/$name.txt" 2>&1 ;;
+    bench_incremental)
+      # Writes BENCH_INCREMENTAL.json in the working directory and exits non-zero
+      # if the single-config delta misses the >=5x acceptance bar.
+      if ! "$b" > "$out/$name.txt" 2>&1; then
+        echo "bench_incremental acceptance FAILED (see $out/$name.txt)" >&2
+      fi
+      [ -f BENCH_INCREMENTAL.json ] && cp -f BENCH_INCREMENTAL.json "$out/"
+      ;;
     *) "$b" > "$out/$name.txt" 2>&1 ;;
   esac
   echo "== $name -> $out/$name.txt"
