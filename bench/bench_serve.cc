@@ -17,6 +17,7 @@
 #include "src/service/metrics.h"
 #include "src/service/service.h"
 #include "src/util/io.h"
+#include "src/util/trace.h"
 
 namespace concord {
 namespace {
@@ -55,6 +56,7 @@ struct ServeFixture {
     RunConcord(static_cast<int>(std::size(argv)), argv, out, err);
 
     JsonValue request = JsonValue::Object();
+    request.Set("v", JsonValue::Number(int64_t{1}));
     request.Set("verb", JsonValue::String("check"));
     request.Set("contracts", JsonValue::String("edge"));
     request.Set("coverage", JsonValue::Bool(false));
@@ -104,10 +106,37 @@ void BM_ServeCheckWarmCache(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeCheckWarmCache);
 
+// Tracing overhead on the steady-state check path. Arg 0 disables the
+// collector entirely (each span costs one relaxed atomic load — the <2%
+// acceptance bound), arg 1 is the server's always-on stats mode, arg 2 adds
+// full ring-buffer event collection as --profile would.
+void BM_ServeCheckWarmCacheTracing(benchmark::State& state) {
+  ServeFixture& fixture = Fixture();
+  auto service = MakeService();  // The ctor enables stats; override below.
+  auto& collector = TraceCollector::Global();
+  collector.Disable();
+  collector.Clear();
+  if (state.range(0) >= 1) {
+    collector.EnableStats();
+  }
+  if (state.range(0) >= 2) {
+    collector.EnableEvents();
+  }
+  benchmark::DoNotOptimize(service->HandleLine(fixture.check_request));  // Warm up.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service->HandleLine(fixture.check_request));
+  }
+  collector.Disable();
+  collector.Clear();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.num_configs));
+}
+BENCHMARK(BM_ServeCheckWarmCacheTracing)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_ServeStats(benchmark::State& state) {
   auto service = MakeService();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(service->HandleLine("{\"verb\":\"stats\"}"));
+    benchmark::DoNotOptimize(service->HandleLine("{\"v\":1,\"verb\":\"stats\"}"));
   }
 }
 BENCHMARK(BM_ServeStats);

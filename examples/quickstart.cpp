@@ -10,10 +10,8 @@
 #include <string>
 #include <vector>
 
-#include "src/check/checker.h"
-#include "src/learn/learner.h"
-#include "src/pattern/lexer.h"
-#include "src/pattern/parser.h"
+#include "concord/checker.h"
+#include "concord/learner.h"
 #include "src/util/strings.h"
 
 namespace {

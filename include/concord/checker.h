@@ -1,0 +1,16 @@
+// Public facade: checking configurations against a learned contract set and
+// rendering the result (JSON / HTML / text reports, per-line coverage).
+//
+//   #include "concord/checker.h"
+//
+//   concord::Checker checker(&set, &patterns);
+//   concord::CheckResult result = checker.Check(tests);
+//   std::string report = concord::ReportJson(result, set, patterns);
+#ifndef INCLUDE_CONCORD_CHECKER_H_
+#define INCLUDE_CONCORD_CHECKER_H_
+
+#include "src/check/checker.h"
+#include "src/contracts/suppression.h"
+#include "src/report/report.h"
+
+#endif  // INCLUDE_CONCORD_CHECKER_H_

@@ -1,0 +1,21 @@
+// Public facade: the persistent checking service and its frontends.
+//
+// Embedders construct a Service, preload contract sets, and either feed it
+// request lines directly (Service::HandleLine speaks the v1 NDJSON protocol,
+// DESIGN.md §7) or hand it to RunService / RunServiceSocket for a stream or
+// AF_UNIX socket frontend.
+//
+//   #include "concord/service.h"
+//
+//   concord::Service service(concord::ServiceOptions{});
+//   service.LoadContracts("edge", "contracts.json", &error);
+//   std::string reply = service.HandleLine(
+//       R"({"v":1,"verb":"check","contracts":"edge","configs":[...]})");
+#ifndef INCLUDE_CONCORD_SERVICE_H_
+#define INCLUDE_CONCORD_SERVICE_H_
+
+#include "src/service/metrics.h"
+#include "src/service/service.h"
+#include "src/service/socket_server.h"
+
+#endif  // INCLUDE_CONCORD_SERVICE_H_

@@ -1,0 +1,20 @@
+// Public facade: the observability layer (DESIGN.md §8).
+//
+// TraceCollector::Global() gathers per-stage totals and (optionally) a
+// ring buffer of span events across the learner, checker, and service;
+// embedders enable it around the work they want profiled:
+//
+//   #include "concord/trace.h"
+//
+//   auto& collector = concord::TraceCollector::Global();
+//   collector.EnableStats();            // cheap per-stage totals
+//   collector.EnableEvents();           // full span events (Chrome trace)
+//   ... learn / check ...
+//   std::cout << collector.ProfileText();
+//   WriteFile("trace.json", collector.ChromeTraceJson());
+#ifndef INCLUDE_CONCORD_TRACE_H_
+#define INCLUDE_CONCORD_TRACE_H_
+
+#include "src/util/trace.h"
+
+#endif  // INCLUDE_CONCORD_TRACE_H_

@@ -1,5 +1,6 @@
 #include "src/check/checker.h"
 
+#include <array>
 #include <atomic>
 #include <optional>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include "src/util/fault.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace concord {
 
@@ -126,7 +128,11 @@ CheckResult Checker::Check(const Dataset& dataset, bool measure_coverage) const 
 CheckResult Checker::Check(const std::vector<const ParsedConfig*>& configs,
                            const std::vector<ParsedLine>& metadata,
                            bool measure_coverage) const {
-  std::vector<ConfigIndex> owned = BuildIndexes(configs, metadata, &deadline_);
+  std::vector<ConfigIndex> owned;
+  {
+    TraceSpan span("check", "index");
+    owned = BuildIndexes(configs, metadata, &deadline_);
+  }
   std::vector<const ConfigIndex*> indexes;
   indexes.reserve(owned.size());
   for (const ConfigIndex& index : owned) {
@@ -141,6 +147,14 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
     throw std::runtime_error(FaultMessage("check"));
   }
   ThrowIfExpired(deadline_);
+  TraceSpan total_span("check", "total");
+  // Per-contract-kind attribution. Contracts are canonically sorted by kind, so
+  // timing only at kind boundaries keeps this to a handful of clock reads per
+  // config; with tracing off there are none at all.
+  TraceCollector& tracer = TraceCollector::Global();
+  const bool trace_on = tracer.mode() != 0;
+  constexpr size_t kNumKinds = 6;
+  std::array<std::atomic<uint64_t>, kNumKinds> kind_micros{};
   CheckResult result;
   result.configs_checked = indexes.size();
   std::vector<CoverFlags> cover(indexes.size());
@@ -199,6 +213,16 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
           Violation{contract_index, config_name, line_number, std::move(message)});
     };
 
+    std::array<uint64_t, kNumKinds> local_micros{};
+    uint64_t mark = trace_on ? tracer.NowMicros() : 0;
+    auto flush_local = [&] {
+      for (size_t kind = 0; kind < kNumKinds; ++kind) {
+        if (local_micros[kind] > 0) {
+          kind_micros[kind].fetch_add(local_micros[kind], std::memory_order_relaxed);
+        }
+      }
+    };
+
     // ---- Type contracts: one pass over lines. ----
     if (!type_rules.empty()) {
       for (uint32_t li = 0; li < index.lines.size(); ++li) {
@@ -219,8 +243,14 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
         }
       }
     }
+    if (trace_on) {
+      uint64_t now = tracer.NowMicros();
+      local_micros[static_cast<size_t>(ContractKind::kType)] += now - mark;
+      mark = now;
+    }
 
     // ---- Per-contract checks. ----
+    int timed_kind = -1;
     for (size_t k = 0; k < set_->contracts.size(); ++k) {
       // Large contract sets over a single config never shard, so poll inside the
       // contract loop too (cheap: one clock read every 256 contracts).
@@ -229,6 +259,14 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
         return;
       }
       const Contract& c = set_->contracts[k];
+      if (trace_on && static_cast<int>(c.kind) != timed_kind) {
+        uint64_t now = tracer.NowMicros();
+        if (timed_kind >= 0) {
+          local_micros[static_cast<size_t>(timed_kind)] += now - mark;
+        }
+        mark = now;
+        timed_kind = static_cast<int>(c.kind);
+      }
       switch (c.kind) {
         case ContractKind::kType:
           break;  // Handled above.
@@ -403,6 +441,12 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
         }
       }
     }
+    if (trace_on) {
+      if (timed_kind >= 0) {
+        local_micros[static_cast<size_t>(timed_kind)] += tracer.NowMicros() - mark;
+      }
+      flush_local();
+    }
   };
 
   if (parallelism_ != 1 && indexes.size() > 1) {
@@ -427,6 +471,7 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
   }
 
   // ---- Unique contracts: global pass. ----
+  uint64_t unique_start = trace_on ? tracer.NowMicros() : 0;
   for (UniqueState& state : unique_states) {
     const Contract& c = set_->contracts[state.contract_index];
     for (size_t ci = 0; ci < indexes.size(); ++ci) {
@@ -461,6 +506,18 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
         if (measure_coverage) {
           MarkCovered(&cover[ci], index, i, CoverageKind::kUnique);
         }
+      }
+    }
+  }
+  if (trace_on) {
+    kind_micros[static_cast<size_t>(ContractKind::kUnique)].fetch_add(
+        tracer.NowMicros() - unique_start, std::memory_order_relaxed);
+    for (size_t kind = 0; kind < kNumKinds; ++kind) {
+      uint64_t micros = kind_micros[kind].load(std::memory_order_relaxed);
+      if (micros > 0) {
+        tracer.AddStageTime("check",
+                            ContractKindName(static_cast<ContractKind>(kind)),
+                            micros);
       }
     }
   }

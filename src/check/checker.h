@@ -33,6 +33,7 @@
 #include "src/learn/index.h"
 #include "src/pattern/parser.h"
 #include "src/util/cancellation.h"
+#include "src/util/error_code.h"
 
 namespace concord {
 
@@ -74,6 +75,9 @@ struct ConfigCoverage {
 struct SkippedFile {
   std::string file;
   std::string reason;
+  // v1 error-envelope code: io_error for unreadable files, parse_failed for
+  // files that read but did not parse.
+  ErrorCode code = ErrorCode::kParseFailed;
 };
 
 struct CheckResult {

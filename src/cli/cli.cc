@@ -25,6 +25,7 @@
 #include "src/util/hash.h"
 #include "src/util/io.h"
 #include "src/util/stopwatch.h"
+#include "src/util/trace.h"
 
 namespace concord {
 
@@ -38,7 +39,64 @@ void AddCommonFlags(ArgParser* parser) {
   parser->AddBoolFlag("no-embedding", "disable context embedding (§3.1)");
   parser->AddBoolFlag("constants", "enable constant learning of exact line text (§4)");
   parser->AddBoolFlag("quiet", "suppress the textual summary");
+  parser->AddBoolFlag("profile", "print a per-stage time/allocation breakdown");
+  parser->AddFlag("trace-out",
+                  "with --profile: write a Chrome trace_event JSON file "
+                  "(load via chrome://tracing or https://ui.perfetto.dev)");
 }
+
+// Owns the trace collector for a --profile run: full event collection plus
+// allocation counting while alive; on destruction prints the per-stage
+// breakdown, writes the Chrome trace (when requested), and switches tracing
+// back off so a library embedder's process is left unperturbed.
+class ProfileSession {
+ public:
+  ProfileSession(bool enabled, std::string trace_out, std::ostream* out,
+                 std::ostream* err)
+      : enabled_(enabled), trace_out_(std::move(trace_out)), out_(out), err_(err) {
+    if (!enabled_) {
+      return;
+    }
+    TraceCollector& collector = TraceCollector::Global();
+    collector.Clear();
+    collector.EnableStats();
+    collector.EnableEvents();
+    EnableAllocationCounting(true);
+  }
+
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+  ~ProfileSession() {
+    if (!enabled_) {
+      return;
+    }
+    TraceCollector& collector = TraceCollector::Global();
+    EnableAllocationCounting(false);
+    if (out_ != nullptr) {
+      *out_ << collector.ProfileText();
+    }
+    if (!trace_out_.empty()) {
+      try {
+        WriteFile(trace_out_, collector.ChromeTraceJson());
+        if (out_ != nullptr) {
+          *out_ << "wrote trace " << trace_out_ << "\n";
+        }
+      } catch (const std::exception& e) {
+        if (err_ != nullptr) {
+          *err_ << "error: cannot write trace: " << e.what() << "\n";
+        }
+      }
+    }
+    collector.Disable();
+  }
+
+ private:
+  bool enabled_;
+  std::string trace_out_;
+  std::ostream* out_;
+  std::ostream* err_;
+};
 
 Deadline DeadlineFromFlags(const ArgParser& args) {
   int64_t ms = args.GetInt("deadline-ms").value_or(0);
@@ -94,12 +152,21 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants,
   }
   for (const std::string& file : files) {
     ThrowIfExpired(deadline);
+    // Distinguish unreadable files (io_error) from files that read but did not
+    // parse (parse_failed) — reports carry the code in their degraded section.
+    std::string text;
     try {
-      std::string text = ReadFile(file);
+      text = ReadFile(file);
+    } catch (const std::exception& e) {
+      inputs->skipped.push_back(SkippedFile{file, e.what(), ErrorCode::kIoError});
+      continue;
+    }
+    try {
+      TraceSpan span("learn", "parse");
       inputs->dataset.configs.push_back(parser.Parse(file, text));
       inputs->config_keys[file] = ContentKey(file, text);
     } catch (const std::exception& e) {
-      inputs->skipped.push_back(SkippedFile{file, e.what()});
+      inputs->skipped.push_back(SkippedFile{file, e.what(), ErrorCode::kParseFailed});
     }
   }
   if (inputs->dataset.configs.empty()) {
@@ -112,14 +179,20 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants,
   for (const std::string& pattern : args.GetAll("metadata")) {
     for (const std::string& file : ExpandGlob(pattern)) {
       ThrowIfExpired(deadline);
+      std::string text;
       try {
-        std::string text = ReadFile(file);
+        text = ReadFile(file);
+      } catch (const std::exception& e) {
+        inputs->skipped.push_back(SkippedFile{file, e.what(), ErrorCode::kIoError});
+        continue;
+      }
+      try {
         for (ParsedLine& line : parser.ParseMetadata(text)) {
           inputs->dataset.metadata.push_back(std::move(line));
         }
         inputs->metadata_key = Fnv1a64(text, inputs->metadata_key);
       } catch (const std::exception& e) {
-        inputs->skipped.push_back(SkippedFile{file, e.what()});
+        inputs->skipped.push_back(SkippedFile{file, e.what(), ErrorCode::kParseFailed});
       }
     }
   }
@@ -233,6 +306,7 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
     err << "error: " << args.error() << "\n" << args.Usage();
     return 2;
   }
+  ProfileSession profile(args.GetBool("profile"), args.Get("trace-out"), &out, &err);
 
   LearnOptions options;
   options.support = static_cast<int>(args.GetInt("support").value_or(5));
@@ -364,10 +438,13 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   args.AddFlag("suppress", "file of contract keys to suppress (operator feedback, §4)");
   args.AddFlag("parallelism", "worker threads for checking (0 = all cores)", "1");
   args.AddBoolFlag("no-coverage", "skip coverage measurement (§3.9)");
+  args.AddBoolFlag("compat-v0",
+                   "emit the legacy (pre-v1) JSON report shape (deprecated)");
   if (!args.Parse(argc, argv, 2)) {
     err << "error: " << args.error() << "\n" << args.Usage();
     return 2;
   }
+  ProfileSession profile(args.GetBool("profile"), args.Get("trace-out"), &out, &err);
 
   std::string contracts_text;
   try {
@@ -413,7 +490,9 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   result.skipped = inputs.skipped;
 
   if (args.Has("json-out")) {
-    WriteFile(args.Get("json-out"), ReportJson(result, *set, inputs.dataset.patterns));
+    WriteFile(args.Get("json-out"),
+              ReportJson(result, *set, inputs.dataset.patterns,
+                         args.GetBool("compat-v0")));
   }
   if (args.Has("html-out")) {
     WriteFile(args.Get("html-out"), ReportHtml(result, *set, inputs.dataset.patterns));
@@ -451,6 +530,9 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
   args.AddFlag("idle-timeout-ms", "socket mode: close idle connections (<=0 = never)", "30000");
   args.AddFlag("drain-ms", "socket mode: shutdown grace period for in-flight work", "5000");
   args.AddBoolFlag("quiet", "suppress the shutdown metrics summary");
+  args.AddBoolFlag("compat-v0",
+                   "speak the legacy (pre-v1) wire protocol: no \"v\" envelope, "
+                   "bare-string errors, camelCase keys (deprecated)");
   if (!args.Parse(argc, argv, 2)) {
     err << "error: " << args.error() << "\n" << args.Usage();
     return 2;
@@ -460,6 +542,7 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
   options.parallelism = static_cast<int>(args.GetInt("parallelism").value_or(0));
   options.cache_capacity =
       static_cast<size_t>(std::max<int64_t>(0, args.GetInt("cache-size").value_or(256)));
+  options.compat_v0 = args.GetBool("compat-v0");
   Service service(options);
 
   if (args.Has("lexer")) {

@@ -6,6 +6,7 @@
 #include "src/util/cancellation.h"
 #include "src/util/hash.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace concord {
 
@@ -27,7 +28,10 @@ bool ArtifactStore::Upsert(const std::string& name, const std::string& text) {
   // index/summary pointer into it, dies atomically with the old entry.
   auto entry = std::make_unique<Entry>();
   entry->content_key = key;
-  entry->config = parser_.Parse(name, text);
+  {
+    TraceSpan span("learn", "parse");
+    entry->config = parser_.Parse(name, text);
+  }
   if (it == entries_.end()) {
     entries_.emplace(name, std::move(entry));
   } else {
@@ -99,16 +103,29 @@ void ArtifactStore::Refresh(const LearnOptions& options, ThreadPool* pool) {
   // re-raised afterwards. Artifacts finished before expiry stay cached, so a
   // retry only faces the remainder.
   std::atomic<bool> deadline_hit{false};
+  // Stage attribution happens per task: index/mine work interleaves inside each
+  // worker, so the totals are accumulated out-of-band and folded into the
+  // collector once the wave finishes (clock reads only when tracing is on).
+  TraceCollector& tracer = TraceCollector::Global();
+  const bool trace_on = tracer.mode() != 0;
+  std::atomic<uint64_t> index_micros{0};
+  std::atomic<uint64_t> mine_micros{0};
   auto refresh_one = [&](size_t wi) {
     if (deadline_hit.load(std::memory_order_relaxed)) {
       return;
     }
     Entry* entry = stale[wi];
     if (!entry->index_valid) {
+      uint64_t start = trace_on ? tracer.NowMicros() : 0;
       entry->index = BuildConfigIndex(&entry->config, metadata_);
       entry->index_valid = true;
+      if (trace_on) {
+        index_micros.fetch_add(tracer.NowMicros() - start,
+                               std::memory_order_relaxed);
+      }
     }
     if (!entry->summary_valid || (needed & ~entry->summary_categories) != 0) {
+      uint64_t start = trace_on ? tracer.NowMicros() : 0;
       ConfigSummary summary;
       if (!SummarizeConfig(table_, entry->index, needed, options.deadline, &summary)) {
         deadline_hit.store(true, std::memory_order_relaxed);
@@ -117,6 +134,10 @@ void ArtifactStore::Refresh(const LearnOptions& options, ThreadPool* pool) {
       entry->summary = std::move(summary);
       entry->summary_valid = true;
       entry->summary_categories = needed;
+      if (trace_on) {
+        mine_micros.fetch_add(tracer.NowMicros() - start,
+                              std::memory_order_relaxed);
+      }
     }
   };
 
@@ -133,6 +154,14 @@ void ArtifactStore::Refresh(const LearnOptions& options, ThreadPool* pool) {
   } else {
     ThreadPool local(static_cast<size_t>(std::max(0, options.parallelism)));
     local.ParallelFor(stale.size(), refresh_one);
+  }
+  if (trace_on) {
+    tracer.AddStageTime("learn", "index",
+                        index_micros.load(std::memory_order_relaxed),
+                        stale.size());
+    tracer.AddStageTime("learn", "mine",
+                        mine_micros.load(std::memory_order_relaxed),
+                        stale.size());
   }
   if (deadline_hit.load(std::memory_order_relaxed)) {
     throw DeadlineExceeded();

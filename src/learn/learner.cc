@@ -10,6 +10,7 @@
 #include "src/learn/summaries.h"
 #include "src/minimize/minimize.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace concord {
 
@@ -70,6 +71,9 @@ void SortByKindAndKey(std::vector<Contract>* contracts, const PatternTable& patt
 
 LearnResult Finalize(std::vector<Contract> all, const PatternTable& patterns,
                      const LearnOptions& options) {
+  // The canonical sorts bracket minimization, so the whole tail bills to the
+  // Minimize stage.
+  TraceSpan span("learn", "minimize");
   // Aggregation emits contracts in hash order of id-packed keys, which differs
   // between a fresh dataset table and a store's append-only table even for the
   // same corpus. Minimization's node numbering and representative picks follow
@@ -94,9 +98,17 @@ LearnResult Finalize(std::vector<Contract> all, const PatternTable& patterns,
 }  // namespace
 
 LearnResult Learner::Learn(const Dataset& dataset) const {
+  // The stage spans below tile this one, so "total" is the wall-clock reference
+  // a --profile breakdown's per-stage rows are validated against.
+  TraceSpan total_span("learn", "total");
   ThrowIfExpired(options_.deadline);
-  std::vector<ConfigIndex> indexes = BuildIndexes(dataset, &options_.deadline);
-  std::vector<uint32_t> config_counts = CountConfigsPerPattern(dataset, indexes);
+  std::vector<ConfigIndex> indexes;
+  std::vector<uint32_t> config_counts;
+  {
+    TraceSpan span("learn", "index");
+    indexes = BuildIndexes(dataset, &options_.deadline);
+    config_counts = CountConfigsPerPattern(dataset, indexes);
+  }
   const uint8_t categories = SummaryCategoriesFor(options_);
 
   // Configurations are independent; shard the summarization (the dominant cost)
@@ -105,52 +117,66 @@ LearnResult Learner::Learn(const Dataset& dataset) const {
   //
   // Deadline expiry inside tasks is flagged and re-raised from the calling
   // thread after the parallel section (pool tasks must not throw).
-  std::vector<ConfigSummary> summaries(indexes.size());
-  std::atomic<bool> deadline_hit{false};
-  auto summarize = [&](size_t ci) {
+  std::vector<ConfigSummary> summaries;
+  {
+    TraceSpan span("learn", "mine");
+    summaries.resize(indexes.size());
+    std::atomic<bool> deadline_hit{false};
+    auto summarize = [&](size_t ci) {
+      if (deadline_hit.load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (!SummarizeConfig(dataset.patterns, indexes[ci], categories,
+                           options_.deadline, &summaries[ci], &config_counts,
+                           options_.support)) {
+        deadline_hit.store(true, std::memory_order_relaxed);
+      }
+    };
+    if (options_.parallelism != 1 && indexes.size() > 1) {
+      ThreadPool pool(static_cast<size_t>(std::max(0, options_.parallelism)));
+      pool.ParallelFor(indexes.size(), summarize);
+    } else {
+      for (size_t ci = 0; ci < indexes.size(); ++ci) {
+        summarize(ci);
+      }
+    }
     if (deadline_hit.load(std::memory_order_relaxed)) {
-      return;
+      throw DeadlineExceeded();
     }
-    if (!SummarizeConfig(dataset.patterns, indexes[ci], categories, options_.deadline,
-                         &summaries[ci], &config_counts, options_.support)) {
-      deadline_hit.store(true, std::memory_order_relaxed);
-    }
-  };
-  if (options_.parallelism != 1 && indexes.size() > 1) {
-    ThreadPool pool(static_cast<size_t>(std::max(0, options_.parallelism)));
-    pool.ParallelFor(indexes.size(), summarize);
-  } else {
-    for (size_t ci = 0; ci < indexes.size(); ++ci) {
-      summarize(ci);
-    }
-  }
-  if (deadline_hit.load(std::memory_order_relaxed)) {
-    throw DeadlineExceeded();
   }
 
-  std::vector<const ConfigSummary*> views;
-  views.reserve(summaries.size());
-  for (const ConfigSummary& summary : summaries) {
-    views.push_back(&summary);
+  std::vector<Contract> all;
+  {
+    TraceSpan span("learn", "aggregate");
+    std::vector<const ConfigSummary*> views;
+    views.reserve(summaries.size());
+    for (const ConfigSummary& summary : summaries) {
+      views.push_back(&summary);
+    }
+    TypeCountsMap metadata_types;
+    if (options_.learn_type) {
+      metadata_types = SummarizeMetadataTypes(dataset.patterns, dataset.metadata);
+    }
+    ThrowIfExpired(options_.deadline);
+    all = AggregateAll(views, config_counts, &metadata_types, options_);
   }
-  TypeCountsMap metadata_types;
-  if (options_.learn_type) {
-    metadata_types = SummarizeMetadataTypes(dataset.patterns, dataset.metadata);
-  }
-  ThrowIfExpired(options_.deadline);
-  return Finalize(AggregateAll(views, config_counts, &metadata_types, options_),
-                  dataset.patterns, options_);
+  return Finalize(std::move(all), dataset.patterns, options_);
 }
 
 LearnResult Learner::Learn(ArtifactStore& store) const {
+  TraceSpan total_span("learn", "total");
   ThrowIfExpired(options_.deadline);
-  store.Refresh(options_);
-  std::vector<const ConfigSummary*> views = store.summaries();
-  std::vector<uint32_t> config_counts =
-      CountConfigsFromSummaries(store.patterns().size(), views);
-  ThrowIfExpired(options_.deadline);
-  return Finalize(AggregateAll(views, config_counts, &store.metadata_types(), options_),
-                  store.patterns(), options_);
+  store.Refresh(options_);  // Bills its work to the Index/Mine stages itself.
+  std::vector<Contract> all;
+  {
+    TraceSpan span("learn", "aggregate");
+    std::vector<const ConfigSummary*> views = store.summaries();
+    std::vector<uint32_t> config_counts =
+        CountConfigsFromSummaries(store.patterns().size(), views);
+    ThrowIfExpired(options_.deadline);
+    all = AggregateAll(views, config_counts, &store.metadata_types(), options_);
+  }
+  return Finalize(std::move(all), store.patterns(), options_);
 }
 
 }  // namespace concord

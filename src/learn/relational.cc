@@ -7,6 +7,7 @@
 
 #include "src/util/cancellation.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 #include "src/relations/affix_trie.h"
 #include "src/relations/equality_index.h"
@@ -278,6 +279,9 @@ std::vector<Contract> AggregateRelational(
     const std::vector<const ConfigSummary*>& summaries,
     const std::vector<uint32_t>& config_counts, const LearnOptions& options,
     RelationalMiningStats* stats) {
+  // Nested inside the learner's Aggregate span: relational aggregation is the
+  // one sub-stage heavy enough to deserve its own line in a profile.
+  TraceSpan span("learn", "relational");
   std::unordered_map<RelationalKey, GlobalStats, RelationalKeyHash> global;
   size_t match_events = 0;
   for (const ConfigSummary* summary : summaries) {

@@ -15,15 +15,17 @@
 namespace concord {
 
 // JSON document with per-violation contract text, config, line, and message, plus the
-// coverage summary.
+// coverage summary. Degraded (skipped-input) entries carry the v1 error envelope
+// {"file","error":{"code","message"}}; `compat_v0` keeps the legacy
+// {"file","reason"} shape instead (the --compat-v0 flag).
 std::string ReportJson(const CheckResult& result, const ContractSet& set,
-                       const PatternTable& table);
+                       const PatternTable& table, bool compat_v0 = false);
 
 // The same report as a document value, for embedding in a larger response (the
 // service returns it inside each `check` reply; serializing this with indent 2
 // reproduces ReportJson byte for byte).
 JsonValue ReportJsonValue(const CheckResult& result, const ContractSet& set,
-                          const PatternTable& table);
+                          const PatternTable& table, bool compat_v0 = false);
 
 // The coverage summary sub-object of the JSON report.
 JsonValue CoverageJsonValue(const CheckResult& result);

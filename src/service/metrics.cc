@@ -20,9 +20,9 @@ void LatencyHistogram::Record(uint64_t micros) {
 JsonValue LatencyHistogram::ToJson() const {
   JsonValue out = JsonValue::Object();
   out.Set("count", JsonValue::Number(static_cast<int64_t>(count)));
-  out.Set("sumMicros", JsonValue::Number(static_cast<int64_t>(sum_micros)));
-  out.Set("maxMicros", JsonValue::Number(static_cast<int64_t>(max_micros)));
-  out.Set("meanMicros",
+  out.Set("sum_micros", JsonValue::Number(static_cast<int64_t>(sum_micros)));
+  out.Set("max_micros", JsonValue::Number(static_cast<int64_t>(max_micros)));
+  out.Set("mean_micros",
           JsonValue::Number(count == 0 ? 0.0
                                        : static_cast<double>(sum_micros) /
                                              static_cast<double>(count)));
@@ -36,6 +36,156 @@ JsonValue LatencyHistogram::ToJson() const {
     buckets_json.Append(JsonValue::Number(static_cast<int64_t>(buckets[i])));
   }
   out.Set("buckets", std::move(buckets_json));
+  return out;
+}
+
+void LatencyHistogram::AppendPrometheus(std::string* out, std::string_view name,
+                                        const std::string& labels) const {
+  // Bucket i spans [2^i, 2^(i+1)), so its cumulative upper bound is 2^(i+1);
+  // the final (absorbing) bucket renders only as +Inf.
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i + 1 < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    out->append(name);
+    out->append("_bucket{");
+    if (!labels.empty()) {
+      out->append(labels);
+      out->push_back(',');
+    }
+    out->append("le=\"" + std::to_string(uint64_t{2} << i) + "\"} " +
+                std::to_string(cumulative) + "\n");
+  }
+  out->append(name);
+  out->append("_bucket{");
+  if (!labels.empty()) {
+    out->append(labels);
+    out->push_back(',');
+  }
+  out->append("le=\"+Inf\"} " + std::to_string(count) + "\n");
+  out->append(name);
+  out->append("_sum");
+  if (!labels.empty()) {
+    out->append("{" + labels + "}");
+  }
+  out->append(" " + std::to_string(sum_micros) + "\n");
+  out->append(name);
+  out->append("_count");
+  if (!labels.empty()) {
+    out->append("{" + labels + "}");
+  }
+  out->append(" " + std::to_string(count) + "\n");
+}
+
+std::string MetricsRegistry::EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderLabels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  return out;
+}
+
+MetricsRegistry::Cell& MetricsRegistry::CellFor(std::string_view name,
+                                                std::string_view help, Kind kind,
+                                                const Labels& labels) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = std::string(help);
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  return it->second.cells[RenderLabels(labels)];
+}
+
+void MetricsRegistry::Count(std::string_view name, std::string_view help,
+                            const Labels& labels, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CellFor(name, help, Kind::kCounter, labels).counter += delta;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, std::string_view help,
+                               const Labels& labels, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CellFor(name, help, Kind::kGauge, labels).gauge = value;
+}
+
+void MetricsRegistry::ObserveMicros(std::string_view name, std::string_view help,
+                                    const Labels& labels, uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CellFor(name, help, Kind::kHistogram, labels).histogram.Record(micros);
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name,
+                                       const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    return 0;
+  }
+  auto cell = it->second.cells.find(RenderLabels(labels));
+  return cell == it->second.cells.end() ? 0 : cell->second.counter;
+}
+
+namespace {
+
+std::string FormatGauge(double value) {
+  // Integral gauges render without a fractional part so expositions stay tidy.
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter: out += "counter\n"; break;
+      case Kind::kGauge: out += "gauge\n"; break;
+      case Kind::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& [labels, cell] : family.cells) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + (labels.empty() ? "" : "{" + labels + "}") + " " +
+                 std::to_string(cell.counter) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + (labels.empty() ? "" : "{" + labels + "}") + " " +
+                 FormatGauge(cell.gauge) + "\n";
+          break;
+        case Kind::kHistogram:
+          cell.histogram.AppendPrometheus(&out, name, labels);
+          break;
+      }
+    }
+  }
   return out;
 }
 
@@ -89,16 +239,16 @@ JsonValue Metrics::Snapshot() const {
   cache.Set("hits", JsonValue::Number(static_cast<int64_t>(cache_hits_)));
   cache.Set("misses", JsonValue::Number(static_cast<int64_t>(cache_misses_)));
   uint64_t probes = cache_hits_ + cache_misses_;
-  cache.Set("hitRate", JsonValue::Number(probes == 0 ? 0.0
-                                                     : static_cast<double>(cache_hits_) /
-                                                           static_cast<double>(probes)));
+  cache.Set("hit_rate", JsonValue::Number(probes == 0 ? 0.0
+                                                      : static_cast<double>(cache_hits_) /
+                                                            static_cast<double>(probes)));
   out.Set("cache", std::move(cache));
 
   JsonValue work = JsonValue::Object();
-  work.Set("configsChecked", JsonValue::Number(static_cast<int64_t>(configs_checked_)));
-  work.Set("contractsEvaluated",
+  work.Set("configs_checked", JsonValue::Number(static_cast<int64_t>(configs_checked_)));
+  work.Set("contracts_evaluated",
            JsonValue::Number(static_cast<int64_t>(contracts_evaluated_)));
-  work.Set("violationsFound",
+  work.Set("violations_found",
            JsonValue::Number(static_cast<int64_t>(violations_found_)));
   out.Set("work", std::move(work));
   return out;
@@ -134,6 +284,59 @@ std::string Metrics::SummaryText() const {
   out << "  checked: " << configs_checked_ << " configs, " << contracts_evaluated_
       << " contracts evaluated, " << violations_found_ << " violations\n";
   return out.str();
+}
+
+std::string Metrics::PrometheusText() const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out +=
+        "# HELP concord_requests_total Requests handled, by verb and outcome.\n"
+        "# TYPE concord_requests_total counter\n";
+    for (const auto& [verb, stats] : verbs_) {
+      out += "concord_requests_total{verb=\"" +
+             MetricsRegistry::EscapeLabelValue(verb) + "\",status=\"ok\"} " +
+             std::to_string(stats.count - stats.errors) + "\n";
+      out += "concord_requests_total{verb=\"" +
+             MetricsRegistry::EscapeLabelValue(verb) + "\",status=\"error\"} " +
+             std::to_string(stats.errors) + "\n";
+    }
+    out +=
+        "# HELP concord_request_latency_micros Request wall time in "
+        "microseconds, by verb.\n"
+        "# TYPE concord_request_latency_micros histogram\n";
+    for (const auto& [verb, stats] : verbs_) {
+      stats.latency.AppendPrometheus(
+          &out, "concord_request_latency_micros",
+          "verb=\"" + MetricsRegistry::EscapeLabelValue(verb) + "\"");
+    }
+    out +=
+        "# HELP concord_config_cache_probes_total Parsed-config cache probes, "
+        "by result.\n"
+        "# TYPE concord_config_cache_probes_total counter\n";
+    out += "concord_config_cache_probes_total{result=\"hit\"} " +
+           std::to_string(cache_hits_) + "\n";
+    out += "concord_config_cache_probes_total{result=\"miss\"} " +
+           std::to_string(cache_misses_) + "\n";
+    out +=
+        "# HELP concord_check_configs_total Configs checked.\n"
+        "# TYPE concord_check_configs_total counter\n"
+        "concord_check_configs_total " +
+        std::to_string(configs_checked_) + "\n";
+    out +=
+        "# HELP concord_check_contracts_evaluated_total Contract evaluations "
+        "performed.\n"
+        "# TYPE concord_check_contracts_evaluated_total counter\n"
+        "concord_check_contracts_evaluated_total " +
+        std::to_string(contracts_evaluated_) + "\n";
+    out +=
+        "# HELP concord_check_violations_total Contract violations found.\n"
+        "# TYPE concord_check_violations_total counter\n"
+        "concord_check_violations_total " +
+        std::to_string(violations_found_) + "\n";
+  }
+  out += registry_.PrometheusText();
+  return out;
 }
 
 }  // namespace concord

@@ -1,9 +1,19 @@
-// Metrics registry for `concord serve`.
+// Metrics for `concord serve`: service-level counters plus a general registry.
 //
-// Tracks per-verb request counts and latency histograms, the parsed-config cache's
-// hit/miss totals, and aggregate checking work (configs checked, contracts
-// evaluated, violations found). Surfaced as JSON through the `stats` verb and as a
-// human-readable summary when the service shuts down.
+// Two layers:
+//
+//   MetricsRegistry — a general-purpose store of named metric families
+//     (counters, gauges, log2 latency histograms), each cell addressed by an
+//     ordered label list (e.g. {verb="check"}). Rendered as Prometheus text
+//     exposition; family and label order are deterministic so the output is
+//     golden-testable.
+//
+//   Metrics — the service's built-in instrumentation (per-verb request counts
+//     and latency histograms, parsed-config cache hit/miss totals, aggregate
+//     checking work). Surfaced three ways: JSON through the `stats` verb
+//     (Snapshot), a human-readable shutdown summary (SummaryText), and
+//     Prometheus exposition through the `metrics` verb (PrometheusText, which
+//     also renders anything recorded in the embedded registry()).
 #ifndef SRC_SERVICE_METRICS_H_
 #define SRC_SERVICE_METRICS_H_
 
@@ -13,6 +23,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/format/json.h"
 
@@ -29,7 +41,58 @@ struct LatencyHistogram {
   std::array<uint64_t, kNumBuckets> buckets{};
 
   void Record(uint64_t micros);
-  JsonValue ToJson() const;  // {count, sumMicros, maxMicros, meanMicros, buckets}.
+  JsonValue ToJson() const;  // {count, sum_micros, max_micros, mean_micros, buckets}.
+
+  // Appends Prometheus histogram samples (<name>_bucket{...,le="..."},
+  // <name>_sum, <name>_count). `labels` is the pre-rendered label list without
+  // braces ("" or e.g. `verb="check"`).
+  void AppendPrometheus(std::string* out, std::string_view name,
+                        const std::string& labels) const;
+};
+
+// General labeled-metric registry. Thread-safe; every mutation carries the
+// family's help text so exposition needs no separate registration step. A
+// family's type is fixed by its first use.
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  void Count(std::string_view name, std::string_view help, const Labels& labels,
+             uint64_t delta = 1);
+  void SetGauge(std::string_view name, std::string_view help, const Labels& labels,
+                double value);
+  void ObserveMicros(std::string_view name, std::string_view help,
+                     const Labels& labels, uint64_t micros);
+
+  // Current counter value (0 when the cell does not exist); for tests.
+  uint64_t CounterValue(std::string_view name, const Labels& labels) const;
+
+  // Prometheus text exposition: families in name order, one # HELP/# TYPE pair
+  // each, cells in label order.
+  std::string PrometheusText() const;
+
+  // Escapes a label value per the exposition format (backslash, quote, newline).
+  static std::string EscapeLabelValue(std::string_view value);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Cell {
+    uint64_t counter = 0;
+    double gauge = 0;
+    LatencyHistogram histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::map<std::string, Cell> cells;  // Keyed by rendered label list.
+  };
+
+  static std::string RenderLabels(const Labels& labels);
+  Cell& CellFor(std::string_view name, std::string_view help, Kind kind,
+                const Labels& labels);  // mu_ held by caller.
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
 };
 
 class Metrics {
@@ -50,6 +113,16 @@ class Metrics {
   // Terse multi-line shutdown summary.
   std::string SummaryText() const;
 
+  // Prometheus text exposition of the built-in families
+  // (concord_requests_total, concord_request_latency_micros,
+  // concord_config_cache_probes_total, concord_check_* counters) followed by
+  // whatever was recorded in registry().
+  std::string PrometheusText() const;
+
+  // Escape hatch for additional instrumentation outside the built-ins.
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
  private:
   struct VerbStats {
     uint64_t count = 0;
@@ -64,6 +137,7 @@ class Metrics {
   uint64_t configs_checked_ = 0;
   uint64_t contracts_evaluated_ = 0;
   uint64_t violations_found_ = 0;
+  MetricsRegistry registry_;
 };
 
 }  // namespace concord

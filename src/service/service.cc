@@ -14,27 +14,140 @@
 #include "src/pattern/parser.h"
 #include "src/report/report.h"
 #include "src/util/cancellation.h"
+#include "src/util/error_code.h"
 #include "src/util/hash.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
+#include "src/util/trace.h"
 
 namespace concord {
 
 namespace {
 
-// Request-level failure that becomes an {"ok":false,...} response.
+// Request-level failure that becomes a structured {"error":{code,...}} response
+// (or a legacy bare-string error under compat_v0).
 struct ServiceError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+  ServiceError(ErrorCode code, const std::string& message,
+               std::string detail = "")
+      : std::runtime_error(message), code(code), detail(std::move(detail)) {}
+
+  ErrorCode code;
+  std::string detail;  // Offending field/file name, when there is one.
 };
 
 int64_t ToInt64(size_t n) { return static_cast<int64_t>(n); }
+
+// Per-verb request-field allowlists: under the v1 envelope an unrecognized
+// member is an unknown_field error rather than being silently ignored, so typos
+// ("metdata") fail loudly. "v" and "id" are envelope members, valid everywhere.
+bool VerbAllowsField(const std::string& verb, const std::string& field) {
+  if (field == "v" || field == "id" || field == "verb") {
+    return true;
+  }
+  if (verb == "check" || verb == "coverage") {
+    return field == "contracts" || field == "configs" || field == "metadata" ||
+           field == "deadline_ms" || field == "coverage";
+  }
+  if (verb == "reload") {
+    return field == "contracts" || field == "name" || field == "path";
+  }
+  if (verb == "learn") {
+    return field == "dataset" || field == "configs" || field == "metadata" ||
+           field == "options" || field == "deadline_ms";
+  }
+  if (verb == "update") {
+    return field == "dataset" || field == "configs" || field == "upsert" ||
+           field == "remove" || field == "metadata" || field == "options" ||
+           field == "deadline_ms";
+  }
+  // stats / metrics / shutdown take no verb-specific fields.
+  return false;
+}
+
+// Legacy (pre-v1) spellings of the snake_case response keys, applied
+// recursively under compat_v0 so old clients keep parsing what they always did.
+const std::map<std::string, std::string>& LegacyKeyMap() {
+  static const auto* map = new std::map<std::string, std::string>{
+      {"configs_checked", "configsChecked"},
+      {"cache_hits", "cacheHits"},
+      {"cache_misses", "cacheMisses"},
+      {"index_cache_hits", "indexCacheHits"},
+      {"index_cache_misses", "indexCacheMisses"},
+      {"contract_sets", "contractSets"},
+      {"cached_configs", "cachedConfigs"},
+      {"sum_micros", "sumMicros"},
+      {"max_micros", "maxMicros"},
+      {"mean_micros", "meanMicros"},
+      {"hit_rate", "hitRate"},
+      {"contracts_evaluated", "contractsEvaluated"},
+      {"violations_found", "violationsFound"},
+      {"added_contracts", "addedContracts"},
+      {"removed_contracts", "removedContracts"},
+      {"removed_configs", "removedConfigs"},
+      {"parse_hits", "parseHits"},
+      {"parse_misses", "parseMisses"},
+      {"index_hits", "indexHits"},
+      {"index_misses", "indexMisses"},
+      {"mine_hits", "mineHits"},
+      {"mine_misses", "mineMisses"},
+  };
+  return *map;
+}
+
+void LegacyizeKeys(JsonValue* value) {
+  if (value->is_object()) {
+    const auto& map = LegacyKeyMap();
+    for (auto& [key, member] : value->members()) {
+      auto it = map.find(key);
+      if (it != map.end()) {
+        key = it->second;
+      }
+      LegacyizeKeys(&member);
+    }
+  } else if (value->is_array()) {
+    for (JsonValue& item : value->items()) {
+      LegacyizeKeys(&item);
+    }
+  }
+}
+
+JsonValue ErrorEnvelope(ErrorCode code, const std::string& message,
+                        const std::string& detail) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(std::string(ErrorCodeName(code))));
+  error.Set("message", JsonValue::String(message));
+  if (!detail.empty()) {
+    error.Set("detail", JsonValue::String(detail));
+  }
+  return error;
+}
+
+JsonValue DegradedJson(const std::vector<SkippedFile>& degraded, bool compat_v0) {
+  JsonValue skipped = JsonValue::Array();
+  for (const SkippedFile& s : degraded) {
+    JsonValue item = JsonValue::Object();
+    item.Set("file", JsonValue::String(s.file));
+    if (compat_v0) {
+      item.Set("reason", JsonValue::String(s.reason));
+    } else {
+      item.Set("error", ErrorEnvelope(s.code, s.reason, ""));
+    }
+    skipped.Append(std::move(item));
+  }
+  return skipped;
+}
 
 }  // namespace
 
 Service::Service(ServiceOptions options)
     : options_(options),
       store_(options.cache_capacity),
-      pool_(options.parallelism <= 0 ? 0 : static_cast<size_t>(options.parallelism)) {}
+      pool_(options.parallelism <= 0 ? 0 : static_cast<size_t>(options.parallelism)) {
+  // Per-stage accounting (cheap: coarse spans only) feeds the `metrics` verb's
+  // concord_stage_* counters for as long as the service lives. Ring-buffer
+  // event collection stays off unless something else (--profile) enables it.
+  TraceCollector::Global().EnableStats();
+}
 
 bool Service::LoadContracts(const std::string& name, const std::string& path,
                             std::string* error) {
@@ -47,56 +160,131 @@ bool Service::LoadLexerDefinitions(const std::string& text, std::string* error) 
 
 std::string Service::HandleLine(const std::string& line) {
   Stopwatch watch;
+  const bool compat = options_.compat_v0;
   std::string verb = "invalid";
   JsonValue id;
   bool has_id = false;
   JsonValue body;
   bool ok = false;
+  ErrorCode error_code = ErrorCode::kInternal;
+  std::string error_message;
+  std::string error_detail;
   try {
-    std::string error;
-    auto request = JsonValue::Parse(line, &error);
-    if (!request) {
-      throw ServiceError("malformed JSON request: " + error);
-    }
-    if (!request->is_object()) {
-      throw ServiceError("request must be a JSON object");
+    std::optional<JsonValue> request;
+    {
+      TraceSpan span("serve", "parse_request");
+      std::string error;
+      request = JsonValue::Parse(line, &error);
+      if (!request) {
+        throw ServiceError(ErrorCode::kMalformedRequest,
+                           "malformed JSON request: " + error);
+      }
+      if (!request->is_object()) {
+        throw ServiceError(ErrorCode::kMalformedRequest,
+                           "request must be a JSON object");
+      }
     }
     if (const JsonValue* i = request->Find("id")) {
       id = *i;
       has_id = true;
     }
+    if (!compat) {
+      // Versioned envelope: "v" is required and must be the integer 1; a newer
+      // version is rejected with a code the client can branch on.
+      const JsonValue* version = request->Find("v");
+      if (version == nullptr) {
+        throw ServiceError(ErrorCode::kMissingField,
+                           "missing 'v' (protocol version; this server speaks v1)",
+                           "v");
+      }
+      if (!version->is_number()) {
+        throw ServiceError(ErrorCode::kInvalidField,
+                           "'v' must be the integer protocol version", "v");
+      }
+      if (version->AsInt() > 1) {
+        throw ServiceError(ErrorCode::kUnsupportedVersion,
+                           "protocol version " + version->NumberSpelling() +
+                               " is not supported (this server speaks v1)",
+                           "v");
+      }
+      if (version->AsInt() != 1) {
+        throw ServiceError(ErrorCode::kInvalidField,
+                           "'v' must be the integer protocol version 1", "v");
+      }
+    }
     auto v = request->GetString("verb");
     if (!v) {
       throw ServiceError(
-          "missing 'verb' (expected check|coverage|reload|learn|update|stats|shutdown)");
+          ErrorCode::kMissingField,
+          "missing 'verb' (expected check|coverage|reload|learn|update|stats|"
+          "metrics|shutdown)",
+          "verb");
     }
     verb = *v;
     body = Dispatch(verb, *request);
     ok = true;
   } catch (const DeadlineExceeded&) {
     // Structured so clients can retry with a larger budget without string-matching.
-    body = JsonValue::Object();
-    body.Set("error", JsonValue::String("deadline_exceeded"));
-    body.Set("errorCode", JsonValue::String("deadline_exceeded"));
+    error_code = ErrorCode::kDeadlineExceeded;
+    error_message = "deadline_exceeded";
+  } catch (const ServiceError& e) {
+    error_code = e.code;
+    error_message = e.what();
+    error_detail = e.detail;
   } catch (const std::exception& e) {
-    body = JsonValue::Object();
-    body.Set("error", JsonValue::String(e.what()));
+    error_code = ErrorCode::kInternal;
+    error_message = e.what();
   }
 
   JsonValue response = JsonValue::Object();
+  if (!compat) {
+    response.Set("v", JsonValue::Number(int64_t{1}));
+  }
   response.Set("ok", JsonValue::Bool(ok));
   if (has_id) {
     response.Set("id", std::move(id));
+  }
+  if (!ok) {
+    if (compat) {
+      // Legacy shape: bare string, plus errorCode for the codes pre-v1 clients
+      // already branched on.
+      response.Set("error", JsonValue::String(error_message));
+      if (error_code == ErrorCode::kDeadlineExceeded ||
+          error_code == ErrorCode::kLineTooLong) {
+        response.Set("errorCode",
+                     JsonValue::String(std::string(ErrorCodeName(error_code))));
+      }
+    } else {
+      response.Set("error", ErrorEnvelope(error_code, error_message, error_detail));
+    }
+  }
+  if (compat) {
+    LegacyizeKeys(&body);
   }
   for (auto& [key, value] : body.members()) {
     response.Set(key, std::move(value));
   }
   metrics_.RecordRequest(verb, ok,
                          static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  TraceSpan span("serve", "serialize");
   return response.Serialize(0);
 }
 
 JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
+  if (!options_.compat_v0) {
+    bool known = verb == "check" || verb == "coverage" || verb == "reload" ||
+                 verb == "learn" || verb == "update" || verb == "stats" ||
+                 verb == "metrics" || verb == "shutdown";
+    if (known) {
+      for (const auto& [field, value] : request.members()) {
+        if (!VerbAllowsField(verb, field)) {
+          throw ServiceError(ErrorCode::kUnknownField,
+                             "unknown field '" + field + "' for verb '" + verb + "'",
+                             field);
+        }
+      }
+    }
+  }
   if (verb == "check") {
     return HandleCheck(request, /*coverage_listing=*/false);
   }
@@ -116,7 +304,13 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
     JsonValue body = JsonValue::Object();
     body.Set("verb", JsonValue::String("stats"));
     body.Set("stats", metrics_.Snapshot());
-    body.Set("contractSets", StatsJson());
+    body.Set("contract_sets", StatsJson());
+    return body;
+  }
+  if (verb == "metrics") {
+    JsonValue body = JsonValue::Object();
+    body.Set("verb", JsonValue::String("metrics"));
+    body.Set("exposition", JsonValue::String(PrometheusText()));
     return body;
   }
   if (verb == "shutdown") {
@@ -126,8 +320,11 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
     body.Set("stats", metrics_.Snapshot());
     return body;
   }
-  throw ServiceError("unknown verb '" + verb +
-                     "' (expected check|coverage|reload|learn|update|stats|shutdown)");
+  throw ServiceError(ErrorCode::kUnknownVerb,
+                     "unknown verb '" + verb +
+                         "' (expected check|coverage|reload|learn|update|stats|"
+                         "metrics|shutdown)",
+                     verb);
 }
 
 JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) {
@@ -138,14 +335,18 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   } else {
     auto all = store_.All();
     if (all.size() != 1) {
-      throw ServiceError("'contracts' is required when " +
-                         std::to_string(all.size()) + " contract sets are loaded");
+      throw ServiceError(ErrorCode::kMissingField,
+                         "'contracts' is required when " + std::to_string(all.size()) +
+                             " contract sets are loaded",
+                         "contracts");
     }
     name = all[0]->name;
   }
   std::shared_ptr<LoadedContractSet> entry = store_.Get(name);
   if (entry == nullptr) {
-    throw ServiceError("unknown contract set '" + name + "' (reload it with a path)");
+    throw ServiceError(ErrorCode::kUnknownContractSet,
+                       "unknown contract set '" + name + "' (reload it with a path)",
+                       name);
   }
 
   // Optional per-request wall-clock budget; expiry raises DeadlineExceeded which
@@ -157,7 +358,9 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
 
   const JsonValue* configs = request.Find("configs");
   if (configs == nullptr || !configs->is_array() || configs->items().empty()) {
-    throw ServiceError("'configs' must be a non-empty array of {name, text} objects");
+    throw ServiceError(ErrorCode::kInvalidField,
+                       "'configs' must be a non-empty array of {name, text} objects",
+                       "configs");
   }
   struct Item {
     const std::string* name;
@@ -169,13 +372,17 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   items.reserve(configs->items().size());
   for (const JsonValue& member : configs->items()) {
     if (!member.is_object()) {
-      throw ServiceError("each configs entry must be a {name, text} object");
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "each configs entry must be a {name, text} object",
+                         "configs");
     }
     const JsonValue* config_name = member.Find("name");
     const JsonValue* text = member.Find("text");
     if (config_name == nullptr || !config_name->is_string() || text == nullptr ||
         !text->is_string()) {
-      throw ServiceError("each configs entry needs string 'name' and 'text' members");
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "each configs entry needs string 'name' and 'text' members",
+                         "configs");
     }
     items.push_back(Item{&config_name->AsString(), &text->AsString()});
   }
@@ -194,12 +401,16 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   uint64_t metadata_key = kFnv1a64OffsetBasis;
   if (const JsonValue* meta = request.Find("metadata")) {
     if (!meta->is_array()) {
-      throw ServiceError("'metadata' must be an array of {name, text} objects");
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "'metadata' must be an array of {name, text} objects",
+                         "metadata");
     }
     for (const JsonValue& member : meta->items()) {
       auto text = member.GetString("text");
       if (!member.is_object() || !text) {
-        throw ServiceError("each metadata entry needs a string 'text' member");
+        throw ServiceError(ErrorCode::kInvalidField,
+                           "each metadata entry needs a string 'text' member",
+                           "metadata");
       }
       metadata_key = Fnv1a64(*text, metadata_key);
     }
@@ -209,6 +420,9 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   uint64_t misses = 0;
   std::vector<SkippedFile> degraded;
   auto metadata = std::make_shared<std::vector<ParsedLine>>();
+  // Covers the parse-or-probe pass and the index-cache pass below.
+  std::optional<TraceSpan> cache_span;
+  cache_span.emplace("serve", "cache_lookup");
   {
     std::lock_guard<std::mutex> lock(entry->parse_mu);
     ConfigParser parser(&lexer_, &entry->table, entry->parse_options);
@@ -228,7 +442,7 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
         entry->cache.Put(item.key, parsed);
         item.parsed = std::move(parsed);
       } catch (const std::exception& e) {
-        degraded.push_back(SkippedFile{*item.name, e.what()});
+        degraded.push_back(SkippedFile{*item.name, e.what(), ErrorCode::kParseFailed});
       }
     }
     if (const JsonValue* meta = request.Find("metadata")) {
@@ -271,10 +485,12 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
     }
     cached_indexes.push_back(std::move(cached));
   }
+  cache_span.reset();
   if (cached_indexes.empty()) {
-    throw ServiceError("all " + std::to_string(items.size()) +
-                       " configs failed to parse (first: " + degraded.front().file +
-                       ": " + degraded.front().reason + ")");
+    throw ServiceError(ErrorCode::kParseFailed,
+                       "all " + std::to_string(items.size()) +
+                           " configs failed to parse (first: " + degraded.front().file +
+                           ": " + degraded.front().reason + ")");
   }
   std::vector<const ConfigIndex*> indexes;
   indexes.reserve(cached_indexes.size());
@@ -284,7 +500,11 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   Checker checker(&entry->set, &entry->table,
                   static_cast<int>(pool_.num_threads()), &pool_);
   checker.set_deadline(deadline);
-  CheckResult result = checker.Check(indexes, measure_coverage);
+  CheckResult result;
+  {
+    TraceSpan span("serve", "check");
+    result = checker.Check(indexes, measure_coverage);
+  }
   result.skipped = degraded;
 
   metrics_.RecordCacheProbe(hits, misses);
@@ -294,31 +514,25 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   JsonValue body = JsonValue::Object();
   body.Set("verb", JsonValue::String(coverage_listing ? "coverage" : "check"));
   body.Set("contracts", JsonValue::String(name));
-  body.Set("configsChecked", JsonValue::Number(ToInt64(indexes.size())));
-  body.Set("cacheHits", JsonValue::Number(static_cast<int64_t>(hits)));
-  body.Set("cacheMisses", JsonValue::Number(static_cast<int64_t>(misses)));
-  body.Set("indexCacheHits", JsonValue::Number(static_cast<int64_t>(index_hits)));
-  body.Set("indexCacheMisses", JsonValue::Number(static_cast<int64_t>(index_misses)));
+  body.Set("configs_checked", JsonValue::Number(ToInt64(indexes.size())));
+  body.Set("cache_hits", JsonValue::Number(static_cast<int64_t>(hits)));
+  body.Set("cache_misses", JsonValue::Number(static_cast<int64_t>(misses)));
+  body.Set("index_cache_hits", JsonValue::Number(static_cast<int64_t>(index_hits)));
+  body.Set("index_cache_misses", JsonValue::Number(static_cast<int64_t>(index_misses)));
   body.Set("violations", JsonValue::Number(ToInt64(result.violations.size())));
-  // Per-config fault isolation: skipped configs, named with reasons. The
-  // {file, reason} keys deliberately match the report JSON's degraded section so
-  // clients consume one schema. Omitted for clean batches so existing responses
+  // Per-config fault isolation: skipped configs, named with structured errors.
+  // The {file, error} keys deliberately match the report JSON's degraded section
+  // so clients consume one schema. Omitted for clean batches so clean responses
   // stay byte-identical.
   if (!degraded.empty()) {
-    JsonValue skipped = JsonValue::Array();
-    for (const SkippedFile& s : degraded) {
-      JsonValue item = JsonValue::Object();
-      item.Set("file", JsonValue::String(s.file));
-      item.Set("reason", JsonValue::String(s.reason));
-      skipped.Append(std::move(item));
-    }
-    body.Set("degraded", std::move(skipped));
+    body.Set("degraded", DegradedJson(degraded, options_.compat_v0));
   }
   if (coverage_listing) {
     body.Set("coverage", CoverageJsonValue(result));
     body.Set("listing", JsonValue::String(CoverageReportText(result)));
   } else {
-    body.Set("report", ReportJsonValue(result, entry->set, entry->table));
+    body.Set("report",
+             ReportJsonValue(result, entry->set, entry->table, options_.compat_v0));
   }
   return body;
 }
@@ -333,18 +547,23 @@ JsonValue Service::HandleReload(const JsonValue& request) {
   } else {
     auto existing = store_.Get(name);
     if (existing == nullptr) {
-      throw ServiceError("cannot reload unknown contract set '" + name +
-                         "' without a 'path'");
+      throw ServiceError(ErrorCode::kUnknownContractSet,
+                         "cannot reload unknown contract set '" + name +
+                             "' without a 'path'",
+                         name);
     }
     path = existing->path;
   }
   if (path.empty()) {
-    throw ServiceError("contract set '" + name +
-                       "' was learned in memory; reload requires a 'path'");
+    throw ServiceError(ErrorCode::kMissingField,
+                       "contract set '" + name +
+                           "' was learned in memory; reload requires a 'path'",
+                       "path");
   }
   std::string error;
   if (!store_.Load(name, path, &error)) {
-    throw ServiceError("reload of '" + name + "' from " + path + " failed: " + error);
+    throw ServiceError(ErrorCode::kIoError, "reload of '" + name + "' from " +
+                                                path + " failed: " + error);
   }
   auto entry = store_.Get(name);
   JsonValue body = JsonValue::Object();
@@ -371,7 +590,8 @@ void MergeLearnOptions(const JsonValue& request, LearnOptions* options) {
     return;
   }
   if (!opts->is_object()) {
-    throw ServiceError("'options' must be an object");
+    throw ServiceError(ErrorCode::kInvalidField, "'options' must be an object",
+                       "options");
   }
   if (auto v = opts->GetInt("support")) {
     options->support = static_cast<int>(*v);
@@ -379,8 +599,12 @@ void MergeLearnOptions(const JsonValue& request, LearnOptions* options) {
   if (auto v = opts->GetDouble("confidence")) {
     options->confidence = *v;
   }
-  if (auto v = opts->GetDouble("scoreThreshold")) {
+  // Canonical snake_case; "scoreThreshold" accepted for one release as a
+  // deprecated alias (the protocol's one pre-v1 camelCase request field).
+  if (auto v = opts->GetDouble("score_threshold")) {
     options->score_threshold = *v;
+  } else if (auto legacy = opts->GetDouble("scoreThreshold")) {
+    options->score_threshold = *legacy;
   }
   if (auto v = opts->GetBool("minimize")) {
     options->minimize = *v;
@@ -404,18 +628,23 @@ void UpsertBatch(ArtifactStore& store, const JsonValue& configs,
                  std::vector<SkippedFile>* degraded) {
   for (const JsonValue& member : configs.items()) {
     if (!member.is_object()) {
-      throw ServiceError("each configs entry must be a {name, text} object");
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "each configs entry must be a {name, text} object",
+                         "configs");
     }
     const JsonValue* config_name = member.Find("name");
     const JsonValue* text = member.Find("text");
     if (config_name == nullptr || !config_name->is_string() || text == nullptr ||
         !text->is_string()) {
-      throw ServiceError("each configs entry needs string 'name' and 'text' members");
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "each configs entry needs string 'name' and 'text' members",
+                         "configs");
     }
     try {
       store.Upsert(config_name->AsString(), text->AsString());
     } catch (const std::exception& e) {
-      degraded->push_back(SkippedFile{config_name->AsString(), e.what()});
+      degraded->push_back(
+          SkippedFile{config_name->AsString(), e.what(), ErrorCode::kParseFailed});
     }
   }
 }
@@ -428,13 +657,17 @@ void ApplyMetadata(ArtifactStore& store, const JsonValue& request) {
     return;
   }
   if (!meta->is_array()) {
-    throw ServiceError("'metadata' must be an array of {name, text} objects");
+    throw ServiceError(ErrorCode::kInvalidField,
+                       "'metadata' must be an array of {name, text} objects",
+                       "metadata");
   }
   std::vector<std::string> texts;
   for (const JsonValue& member : meta->items()) {
     auto text = member.GetString("text");
     if (!member.is_object() || !text) {
-      throw ServiceError("each metadata entry needs a string 'text' member");
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "each metadata entry needs a string 'text' member",
+                         "metadata");
     }
     texts.push_back(std::move(*text));
   }
@@ -447,7 +680,9 @@ JsonValue Service::HandleLearn(const JsonValue& request) {
   std::string name = request.GetString("dataset").value_or("default");
   const JsonValue* configs = request.Find("configs");
   if (configs == nullptr || !configs->is_array() || configs->items().empty()) {
-    throw ServiceError("'configs' must be a non-empty array of {name, text} objects");
+    throw ServiceError(ErrorCode::kInvalidField,
+                       "'configs' must be a non-empty array of {name, text} objects",
+                       "configs");
   }
 
   LearnOptions options;
@@ -468,9 +703,10 @@ JsonValue Service::HandleLearn(const JsonValue& request) {
   UpsertBatch(dataset->store, *configs, &degraded);
   ApplyMetadata(dataset->store, request);
   if (dataset->store.size() == 0) {
-    throw ServiceError("all " + std::to_string(configs->items().size()) +
-                       " configs failed to parse (first: " + degraded.front().file +
-                       ": " + degraded.front().reason + ")");
+    throw ServiceError(ErrorCode::kParseFailed,
+                       "all " + std::to_string(configs->items().size()) +
+                           " configs failed to parse (first: " + degraded.front().file +
+                           ": " + degraded.front().reason + ")");
   }
 
   JsonValue body = RelearnAndInstall(name, *dataset, /*previous=*/{},
@@ -494,8 +730,10 @@ JsonValue Service::HandleUpdate(const JsonValue& request) {
     }
   }
   if (dataset == nullptr) {
-    throw ServiceError("unknown dataset '" + name +
-                       "' (define it with a learn request first)");
+    throw ServiceError(ErrorCode::kUnknownDataset,
+                       "unknown dataset '" + name +
+                           "' (define it with a learn request first)",
+                       name);
   }
 
   std::lock_guard<std::mutex> lock(dataset->mu);
@@ -514,18 +752,22 @@ JsonValue Service::HandleUpdate(const JsonValue& request) {
   }
   if (upsert != nullptr) {
     if (!upsert->is_array()) {
-      throw ServiceError("'configs' must be an array of {name, text} objects");
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "'configs' must be an array of {name, text} objects",
+                         "configs");
     }
     UpsertBatch(dataset->store, *upsert, &degraded);
   }
   size_t removed = 0;
   if (const JsonValue* remove = request.Find("remove")) {
     if (!remove->is_array()) {
-      throw ServiceError("'remove' must be an array of config names");
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "'remove' must be an array of config names", "remove");
     }
     for (const JsonValue& member : remove->items()) {
       if (!member.is_string()) {
-        throw ServiceError("'remove' must be an array of config names");
+        throw ServiceError(ErrorCode::kInvalidField,
+                           "'remove' must be an array of config names", "remove");
       }
       if (dataset->store.Remove(member.AsString())) {
         ++removed;
@@ -534,13 +776,15 @@ JsonValue Service::HandleUpdate(const JsonValue& request) {
   }
   ApplyMetadata(dataset->store, request);
   if (dataset->store.size() == 0) {
-    throw ServiceError("update removed every config from dataset '" + name + "'");
+    throw ServiceError(ErrorCode::kInvalidField,
+                       "update removed every config from dataset '" + name + "'",
+                       "remove");
   }
 
   JsonValue body = RelearnAndInstall(name, *dataset, dataset->contracts.contracts,
                                      /*had_previous=*/true, std::move(degraded));
   body.Set("verb", JsonValue::String("update"));
-  body.Set("removedConfigs", JsonValue::Number(ToInt64(removed)));
+  body.Set("removed_configs", JsonValue::Number(ToInt64(removed)));
   return body;
 }
 
@@ -555,7 +799,8 @@ JsonValue Service::RelearnAndInstall(const std::string& name, ResidentDataset& d
   std::string error;
   if (!store_.Install(name, SerializeContracts(result.set, table), /*path=*/"",
                       &error)) {
-    throw ServiceError("installing learned contract set '" + name + "' failed: " + error);
+    throw ServiceError(ErrorCode::kInternal, "installing learned contract set '" +
+                                                 name + "' failed: " + error);
   }
 
   JsonValue body = JsonValue::Object();
@@ -596,30 +841,23 @@ JsonValue Service::RelearnAndInstall(const std::string& name, ResidentDataset& d
     JsonValue changed = JsonValue::Object();
     changed.Set("added", JsonValue::Number(ToInt64(added_count)));
     changed.Set("removed", JsonValue::Number(ToInt64(removed_count)));
-    changed.Set("addedContracts", std::move(added));
-    changed.Set("removedContracts", std::move(removed));
+    changed.Set("added_contracts", std::move(added));
+    changed.Set("removed_contracts", std::move(removed));
     body.Set("changed", std::move(changed));
   }
 
   const ArtifactCounters& counters = dataset.store.counters();
   JsonValue artifacts = JsonValue::Object();
-  artifacts.Set("parseHits", JsonValue::Number(ToInt64(counters.parse_hits)));
-  artifacts.Set("parseMisses", JsonValue::Number(ToInt64(counters.parse_misses)));
-  artifacts.Set("indexHits", JsonValue::Number(ToInt64(counters.index_hits)));
-  artifacts.Set("indexMisses", JsonValue::Number(ToInt64(counters.index_misses)));
-  artifacts.Set("mineHits", JsonValue::Number(ToInt64(counters.mine_hits)));
-  artifacts.Set("mineMisses", JsonValue::Number(ToInt64(counters.mine_misses)));
+  artifacts.Set("parse_hits", JsonValue::Number(ToInt64(counters.parse_hits)));
+  artifacts.Set("parse_misses", JsonValue::Number(ToInt64(counters.parse_misses)));
+  artifacts.Set("index_hits", JsonValue::Number(ToInt64(counters.index_hits)));
+  artifacts.Set("index_misses", JsonValue::Number(ToInt64(counters.index_misses)));
+  artifacts.Set("mine_hits", JsonValue::Number(ToInt64(counters.mine_hits)));
+  artifacts.Set("mine_misses", JsonValue::Number(ToInt64(counters.mine_misses)));
   body.Set("artifacts", std::move(artifacts));
 
   if (!degraded.empty()) {
-    JsonValue skipped = JsonValue::Array();
-    for (const SkippedFile& s : degraded) {
-      JsonValue item = JsonValue::Object();
-      item.Set("file", JsonValue::String(s.file));
-      item.Set("reason", JsonValue::String(s.reason));
-      skipped.Append(std::move(item));
-    }
-    body.Set("degraded", std::move(skipped));
+    body.Set("degraded", DegradedJson(degraded, options_.compat_v0));
   }
 
   dataset.contracts = std::move(result.set);
@@ -635,10 +873,42 @@ JsonValue Service::StatsJson() const {
     item.Set("path", JsonValue::String(entry->path));
     item.Set("contracts", JsonValue::Number(ToInt64(entry->set.contracts.size())));
     item.Set("patterns", JsonValue::Number(ToInt64(entry->table.size())));
-    item.Set("cachedConfigs", JsonValue::Number(ToInt64(entry->cache.size())));
+    item.Set("cached_configs", JsonValue::Number(ToInt64(entry->cache.size())));
     sets.Append(std::move(item));
   }
   return sets;
+}
+
+std::string Service::PrometheusText() const {
+  // Request/cache/work families from the metrics registry, then the per-stage
+  // trace counters (learn/check/serve spans) that EnableStats has been feeding.
+  std::string out = metrics_.PrometheusText();
+  TraceCollector::Global().AppendPrometheus(&out);
+  // Per-contract-set gauges: resident sizes, useful for capacity dashboards.
+  out += "# HELP concord_contract_set_contracts Contracts in each loaded set.\n";
+  out += "# TYPE concord_contract_set_contracts gauge\n";
+  auto all = store_.All();
+  for (const auto& entry : all) {
+    out += "concord_contract_set_contracts{set=\"" +
+           MetricsRegistry::EscapeLabelValue(entry->name) +
+           "\"} " + std::to_string(entry->set.contracts.size()) + "\n";
+  }
+  out += "# HELP concord_contract_set_patterns Interned patterns in each loaded set.\n";
+  out += "# TYPE concord_contract_set_patterns gauge\n";
+  for (const auto& entry : all) {
+    out += "concord_contract_set_patterns{set=\"" +
+           MetricsRegistry::EscapeLabelValue(entry->name) +
+           "\"} " + std::to_string(entry->table.size()) + "\n";
+  }
+  out += "# HELP concord_contract_set_cached_configs Parsed configs resident in "
+         "each set's cache.\n";
+  out += "# TYPE concord_contract_set_cached_configs gauge\n";
+  for (const auto& entry : all) {
+    out += "concord_contract_set_cached_configs{set=\"" +
+           MetricsRegistry::EscapeLabelValue(entry->name) +
+           "\"} " + std::to_string(entry->cache.size()) + "\n";
+  }
+  return out;
 }
 
 int RunService(Service& service, std::istream& in, std::ostream& out,

@@ -3,18 +3,21 @@
 // The one-shot CLI re-parses the contract file and re-embeds every config on each
 // invocation; inside a CI/CD pipeline the checker runs continuously, so the service
 // keeps learned contract sets resident (ContractStore), caches parsed configs by
-// content hash (ConfigCache), and answers newline-delimited JSON requests:
+// content hash (ConfigCache), and answers newline-delimited JSON requests. The
+// protocol is versioned (DESIGN.md §7): every request carries "v":1 and every
+// response opens with "v":1,"ok":...:
 //
-//   {"verb":"check","contracts":"edge","configs":[{"name":"dev1.cfg","text":"..."}]}
-//   {"verb":"coverage", ...}   per-line coverage listing for a batch
-//   {"verb":"reload","name":"edge"}          hot-swap a contract set from disk
-//   {"verb":"learn","dataset":"edge","configs":[...]}   learn contracts from a
-//                                            batch, keeping the dataset resident
-//   {"verb":"update","dataset":"edge","upsert":[...],"remove":[...]}   apply a
-//                                            config delta and incrementally
-//                                            relearn, reporting changed contracts
-//   {"verb":"stats"}                         metrics snapshot
-//   {"verb":"shutdown"}                      final stats + loop exit
+//   {"v":1,"verb":"check","contracts":"edge","configs":[{"name":...,"text":...}]}
+//   {"v":1,"verb":"coverage", ...}  per-line coverage listing for a batch
+//   {"v":1,"verb":"reload","name":"edge"}     hot-swap a contract set from disk
+//   {"v":1,"verb":"learn","dataset":"edge","configs":[...]}   learn contracts
+//                                             from a batch, keeping it resident
+//   {"v":1,"verb":"update","dataset":"edge","upsert":[...],"remove":[...]}
+//                                             apply a config delta, relearn
+//                                             incrementally, report the diff
+//   {"v":1,"verb":"stats"}                    metrics snapshot (JSON)
+//   {"v":1,"verb":"metrics"}                  Prometheus text exposition
+//   {"v":1,"verb":"shutdown"}                 final stats + loop exit
 //
 // learn/update drive the content-addressed artifact pipeline (ArtifactStore): a
 // resident dataset caches per-config Parse/Index/Mine artifacts, so an update
@@ -22,16 +25,21 @@
 // learned contract set is installed into the contract store under the dataset
 // name, immediately usable by check/coverage.
 //
-// Responses are single-line JSON objects with "ok" plus verb-specific fields; a
-// request's "id" member, when present, is echoed back. Malformed requests produce
-// {"ok":false,"error":...} and never terminate the loop. Tests drive the loop
-// in-process through RunService(istream&, ostream&), mirroring RunConcord.
+// A request's "id" member, when present, is echoed back. Failures produce
+// {"v":1,"ok":false,"error":{"code","message","detail?"}} — code is drawn from
+// the closed ErrorCode enum (src/util/error_code.h) — and never terminate the
+// loop. Missing "v" or "v">1 and unknown verbs/fields are themselves structured
+// errors (missing_field / unsupported_version / unknown_verb / unknown_field).
+// ServiceOptions.compat_v0 restores the pre-v1 wire shape for one release:
+// requests need no "v", errors are bare strings, and response keys keep their
+// legacy camelCase spellings. Tests drive the loop in-process through
+// RunService(istream&, ostream&), mirroring RunConcord.
 //
 // Robustness: check/coverage requests accept "deadline_ms" (wall-clock budget;
-// expiry yields {"ok":false,"errorCode":"deadline_exceeded"} while the server
-// keeps serving), and a batch with some unparseable configs is checked on the
-// survivors with a "degraded":[{file,reason},...] member naming the casualties
-// (the same schema the report JSON's degraded section uses).
+// expiry yields the deadline_exceeded error code while the server keeps
+// serving), and a batch with some unparseable configs is checked on the
+// survivors with a "degraded":[{file,error:{code,message}},...] member naming
+// the casualties (the same schema the report JSON's degraded section uses).
 #ifndef SRC_SERVICE_SERVICE_H_
 #define SRC_SERVICE_SERVICE_H_
 
@@ -57,6 +65,10 @@ namespace concord {
 struct ServiceOptions {
   int parallelism = 0;          // Worker threads for batched checking (0 = all cores).
   size_t cache_capacity = 256;  // Parsed-config LRU entries per contract set.
+  // Speak the legacy (pre-v1) wire protocol: no "v" envelope, bare-string
+  // errors, camelCase response keys. One-release deprecation escape hatch
+  // (--compat-v0).
+  bool compat_v0 = false;
 };
 
 class Service {
@@ -86,7 +98,15 @@ class Service {
   // Human-readable metrics summary for the end of a session.
   std::string SummaryText() const { return metrics_.SummaryText(); }
 
+  // Prometheus text exposition: request/cache/work families, per-stage trace
+  // counters, and per-contract-set gauges. Body of the `metrics` verb.
+  std::string PrometheusText() const;
+
   const Metrics& metrics() const { return metrics_; }
+
+  // True when the service speaks the legacy (pre-v1) wire shape; the socket
+  // frontend consults this so its own replies (line_too_long) match.
+  bool compat_v0() const { return options_.compat_v0; }
 
  private:
   // A dataset kept resident between learn/update requests: its artifact store

@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace concord {
 
@@ -41,6 +42,29 @@ void OnShutdownSignal(int /*signo*/) {
 }
 
 void WakeAcceptLoop() { OnShutdownSignal(0); }
+
+// The wake pipe lives for the whole process and is never closed: a signal
+// handler caught on another thread can load g_wake_fd just before teardown
+// clears it and write() after the fds are gone — at best a lost wakeup, at
+// worst a write into whatever reused the descriptor. Keeping the pipe alive
+// makes the late write harmless; each run drains stale bytes before polling.
+const int* WakePipe() {
+  static const int* fds = [] {
+    static int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) == 0) {
+      ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+      ::fcntl(pipe_fds[1], F_SETFL, O_NONBLOCK);
+    }
+    return pipe_fds;
+  }();
+  return fds;
+}
+
+void DrainWakePipe(int read_fd) {
+  char buf[64];
+  while (::read(read_fd, buf, sizeof(buf)) > 0) {
+  }
+}
 
 // Fds of connections currently being served, so the drain phase can wait for
 // them and forcibly shut down stragglers after the grace period.
@@ -89,16 +113,26 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
-bool LineTooLongReply(int fd, size_t max_line_bytes) {
-  return WriteAll(fd,
-                  "{\"ok\":false,\"error\":\"line_too_long: request line exceeds " +
-                      std::to_string(max_line_bytes) +
-                      " bytes\",\"errorCode\":\"line_too_long\"}\n");
+// The one reply built outside Service::HandleLine (the oversize line never
+// reaches the parser), so it mirrors both wire shapes by hand.
+bool LineTooLongReply(int fd, size_t max_line_bytes, bool compat_v0) {
+  std::string bytes = std::to_string(max_line_bytes);
+  if (compat_v0) {
+    return WriteAll(fd,
+                    "{\"ok\":false,\"error\":\"line_too_long: request line exceeds " +
+                        bytes + " bytes\",\"errorCode\":\"line_too_long\"}\n");
+  }
+  return WriteAll(
+      fd, "{\"v\":1,\"ok\":false,\"error\":{\"code\":\"line_too_long\","
+          "\"message\":\"request line exceeds " + bytes + " bytes\"}}\n");
 }
 
 // Handles one client connection until it disconnects, goes idle past the
 // timeout, overruns the line cap, or the service begins shutting down.
 void ServeClient(Service& service, int fd, const SocketServerOptions& options) {
+  // One span per connection: its duration is the connection's lifetime, so the
+  // `metrics` verb can report how long clients stay attached.
+  TraceSpan connection_span("serve", "connection");
   std::string buffer;
   char chunk[4096];
   // Clamp before narrowing: an idle_timeout_ms above INT_MAX must saturate, not
@@ -146,7 +180,7 @@ void ServeClient(Service& service, int fd, const SocketServerOptions& options) {
         continue;  // Blank lines between requests are permitted.
       }
       if (line.size() > options.max_line_bytes) {
-        LineTooLongReply(fd, options.max_line_bytes);
+        LineTooLongReply(fd, options.max_line_bytes, service.compat_v0());
         return;
       }
       if (!WriteAll(fd, service.HandleLine(line) + "\n")) {
@@ -163,7 +197,7 @@ void ServeClient(Service& service, int fd, const SocketServerOptions& options) {
     if (buffer.size() > options.max_line_bytes) {
       // A line is still unterminated past the cap: the buffer must not grow
       // without bound on hostile or broken input.
-      LineTooLongReply(fd, options.max_line_bytes);
+      LineTooLongReply(fd, options.max_line_bytes, service.compat_v0());
       return;
     }
   }
@@ -203,16 +237,18 @@ int RunServiceSocket(Service& service, const std::string& path, std::ostream& er
   }
 
   // Self-pipe so signal handlers (and connection handlers announcing a
-  // `shutdown` verb) can wake the poll() below without races.
-  int wake_pipe[2] = {-1, -1};
-  if (::pipe(wake_pipe) < 0) {
+  // `shutdown` verb) can wake the poll() below without races. It is shared
+  // across runs (see WakePipe), so discard any byte a late handler from a
+  // previous run may have left behind — otherwise the first poll() below
+  // would read it as an immediate shutdown request.
+  const int* wake_pipe = WakePipe();
+  if (wake_pipe[0] < 0) {
     err << "error: pipe: " << std::strerror(errno) << "\n";
     ::close(listener);
     ::unlink(path.c_str());
     return 2;
   }
-  ::fcntl(wake_pipe[0], F_SETFL, O_NONBLOCK);
-  ::fcntl(wake_pipe[1], F_SETFL, O_NONBLOCK);
+  DrainWakePipe(wake_pipe[0]);
   g_wake_fd.store(wake_pipe[1], std::memory_order_relaxed);
 
   struct sigaction old_term {};
@@ -295,8 +331,7 @@ int RunServiceSocket(Service& service, const std::string& path, std::ostream& er
     ::sigaction(SIGINT, &old_int, nullptr);
   }
   g_wake_fd.store(-1, std::memory_order_relaxed);
-  ::close(wake_pipe[0]);
-  ::close(wake_pipe[1]);
+  DrainWakePipe(wake_pipe[0]);  // The pipe itself outlives the run; see WakePipe.
 
   if (summary != nullptr) {
     *summary << service.SummaryText();

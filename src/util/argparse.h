@@ -1,7 +1,9 @@
 // Minimal command-line flag parser for the concord CLI.
 //
 // Supports `--flag value`, `--flag=value`, boolean `--flag`, repeated flags, and
-// positional arguments. Unknown flags are an error so typos fail loudly.
+// positional arguments. Unknown flags are an error so typos fail loudly. Flag
+// names are canonically kebab-case; snake_case spellings (--deadline_ms) are
+// accepted as deprecated aliases for one release.
 #ifndef SRC_UTIL_ARGPARSE_H_
 #define SRC_UTIL_ARGPARSE_H_
 

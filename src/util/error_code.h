@@ -1,0 +1,53 @@
+// The closed error-code vocabulary of the v1 API (DESIGN.md §7).
+//
+// Every failure surfaced through the serve protocol or a CLI JSON report maps to
+// exactly one of these codes, rendered as a snake_case string inside the unified
+// error envelope {"error":{"code","message","detail?"}}. Clients branch on the
+// code; the message is human-readable and unstable; detail (when present) names
+// the offending field or file. The enum is closed: adding a code is an API
+// change and must be documented in DESIGN.md.
+#ifndef SRC_UTIL_ERROR_CODE_H_
+#define SRC_UTIL_ERROR_CODE_H_
+
+#include <string_view>
+
+namespace concord {
+
+enum class ErrorCode {
+  kDeadlineExceeded,     // Request/run exceeded its wall-clock budget.
+  kLineTooLong,          // Socket request line exceeded the configured cap.
+  kParseFailed,          // A config (or request body) could not be parsed.
+  kUnknownVerb,          // Request verb is not part of the protocol.
+  kUnsupportedVersion,   // Request "v" is newer than this server speaks.
+  kMalformedRequest,     // Request line is not a JSON object.
+  kMissingField,         // A required request field is absent (see detail).
+  kInvalidField,         // A request field has the wrong type/value (see detail).
+  kUnknownField,         // Request carries a field the verb does not define.
+  kUnknownContractSet,   // Named contract set is not loaded.
+  kUnknownDataset,       // Named resident dataset was never learned.
+  kIoError,              // Reading/writing a file failed.
+  kInternal,             // Anything else; a bug if seen in the wild.
+};
+
+constexpr std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kLineTooLong: return "line_too_long";
+    case ErrorCode::kParseFailed: return "parse_failed";
+    case ErrorCode::kUnknownVerb: return "unknown_verb";
+    case ErrorCode::kUnsupportedVersion: return "unsupported_version";
+    case ErrorCode::kMalformedRequest: return "malformed_request";
+    case ErrorCode::kMissingField: return "missing_field";
+    case ErrorCode::kInvalidField: return "invalid_field";
+    case ErrorCode::kUnknownField: return "unknown_field";
+    case ErrorCode::kUnknownContractSet: return "unknown_contract_set";
+    case ErrorCode::kUnknownDataset: return "unknown_dataset";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_ERROR_CODE_H_

@@ -1,10 +1,12 @@
 #include "src/cli/cli.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <sstream>
 
+#include "src/format/json.h"
 #include "src/util/fault.h"
 #include "src/util/io.h"
 
@@ -14,7 +16,10 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "concord_cli_test";
+    // Per-process path: concurrent runs (e.g. plain and sanitized ctest in
+    // side-by-side build trees) must not race on remove_all below.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("concord_cli_test_" + std::to_string(::getpid()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_ / "configs");
     for (int i = 1; i <= 6; ++i) {
@@ -330,6 +335,99 @@ TEST_F(CliTest, IncrementalLearnInvalidatesOnOptionChange) {
             0);
   EXPECT_EQ(out.find("unchanged since baseline"), std::string::npos);
   EXPECT_NE(out.find("options changed"), std::string::npos);
+}
+
+TEST_F(CliTest, ProfilePrintsBreakdownAndWritesChromeTrace) {
+  std::string trace_path = (dir_ / "trace.json").string();
+  std::string out;
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath(), "--profile", "--trace-out", trace_path},
+                &out),
+            0);
+  // The per-stage breakdown lists the learn pipeline stages.
+  EXPECT_NE(out.find("profile: per-stage breakdown"), std::string::npos);
+  for (const char* stage : {"learn/parse", "learn/index", "learn/mine",
+                            "learn/aggregate", "learn/minimize", "learn/total"}) {
+    EXPECT_NE(out.find(stage), std::string::npos) << stage;
+  }
+  EXPECT_NE(out.find("wrote trace"), std::string::npos);
+
+  // The trace file is loadable Chrome trace_event JSON with complete events.
+  auto trace = JsonValue::Parse(ReadFile(trace_path));
+  ASSERT_TRUE(trace.has_value());
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->items().empty());
+  bool saw_total = false;
+  for (const JsonValue& event : events->items()) {
+    EXPECT_EQ(event.GetString("ph"), "X");
+    if (event.GetString("cat") == "learn" && event.GetString("name") == "total") {
+      saw_total = true;
+    }
+  }
+  EXPECT_TRUE(saw_total);
+}
+
+TEST_F(CliTest, CheckProfileCoversTheCheckStages) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath()}),
+            0);
+  std::string out;
+  ASSERT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts",
+                 ContractsPath(), "--profile"},
+                &out),
+            0);
+  EXPECT_NE(out.find("profile: per-stage breakdown"), std::string::npos);
+  EXPECT_NE(out.find("check/total"), std::string::npos);
+}
+
+TEST_F(CliTest, JsonReportCarriesErrorEnvelopeAndCompatV0RestoresLegacyShape) {
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3", "--out",
+                 ContractsPath()}),
+            0);
+  std::string json_path = (dir_ / "report.json").string();
+
+  // v1 report: degraded entries carry the structured {code, message} envelope.
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_file:fail_nth=2"));
+  ASSERT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts",
+                 ContractsPath(), "--json-out", json_path}),
+            3);
+  FaultInjector::Global().Reset();
+  auto report = JsonValue::Parse(ReadFile(json_path));
+  ASSERT_TRUE(report.has_value());
+  const JsonValue* degraded = report->Find("degraded");
+  ASSERT_NE(degraded, nullptr);
+  ASSERT_EQ(degraded->items().size(), 1u);
+  const JsonValue* entry_error = degraded->items()[0].Find("error");
+  ASSERT_NE(entry_error, nullptr);
+  EXPECT_EQ(entry_error->GetString("code"), "io_error");
+  EXPECT_NE(entry_error->GetString("message")->find("injected fault"),
+            std::string::npos);
+
+  // --compat-v0: the legacy {file, reason} spelling, no envelope.
+  ASSERT_TRUE(FaultInjector::Global().Configure("read_file:fail_nth=2"));
+  ASSERT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts",
+                 ContractsPath(), "--json-out", json_path, "--compat-v0"}),
+            3);
+  FaultInjector::Global().Reset();
+  auto legacy = JsonValue::Parse(ReadFile(json_path));
+  ASSERT_TRUE(legacy.has_value());
+  const JsonValue* legacy_degraded = legacy->Find("degraded");
+  ASSERT_NE(legacy_degraded, nullptr);
+  ASSERT_EQ(legacy_degraded->items().size(), 1u);
+  EXPECT_TRUE(legacy_degraded->items()[0].GetString("reason").has_value());
+  EXPECT_EQ(legacy_degraded->items()[0].Find("error"), nullptr);
+}
+
+TEST_F(CliTest, SnakeCaseFlagAliasesKeepWorking) {
+  // --deadline_ms is the deprecated spelling of --deadline-ms; a generous
+  // budget means the run still succeeds end to end.
+  ASSERT_EQ(Run({"learn", "--configs", ConfigsGlob(), "--support", "3",
+                 "--score_threshold", "3.0", "--out", ContractsPath()}),
+            0);
+  EXPECT_EQ(Run({"check", "--configs", ConfigsGlob(), "--contracts",
+                 ContractsPath(), "--deadline_ms", "60000"}),
+            0);
 }
 
 }  // namespace

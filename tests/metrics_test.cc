@@ -1,0 +1,176 @@
+// MetricsRegistry and the service's built-in Metrics: Prometheus exposition
+// goldens, log2 histogram bucketing, and label escaping.
+#include "src/service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/format/json.h"
+
+namespace concord {
+namespace {
+
+TEST(LatencyHistogramTest, BucketsArePowersOfTwo) {
+  LatencyHistogram h;
+  h.Record(0);        // Below 2^1: bucket 0.
+  h.Record(1);        // Bucket 0 covers [0, 2).
+  h.Record(2);        // Bucket 1 covers [2, 4).
+  h.Record(3);        // Bucket 1.
+  h.Record(4);        // Bucket 2.
+  h.Record(1000000);  // 2^19 <= 1e6 < 2^20: bucket 19.
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.sum_micros, 1000010u);
+  EXPECT_EQ(h.max_micros, 1000000u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 2u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[19], 1u);
+}
+
+TEST(LatencyHistogramTest, LastBucketAbsorbsOverflow) {
+  LatencyHistogram h;
+  h.Record(~uint64_t{0});  // Far beyond the final bucket's lower bound.
+  EXPECT_EQ(h.buckets[LatencyHistogram::kNumBuckets - 1], 1u);
+}
+
+TEST(LatencyHistogramTest, PrometheusBucketsAreCumulativeAndEndAtInf) {
+  LatencyHistogram h;
+  h.Record(1);
+  h.Record(3);
+  h.Record(3);
+  h.Record(100);
+  std::string out;
+  h.AppendPrometheus(&out, "lat", "verb=\"check\"");
+  // Cumulative counts: le=2 sees 1, le=4 sees 3, le=128 (2^7) sees all 4.
+  EXPECT_NE(out.find("lat_bucket{verb=\"check\",le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{verb=\"check\",le=\"4\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{verb=\"check\",le=\"128\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{verb=\"check\",le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lat_sum{verb=\"check\"} 107\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_count{verb=\"check\"} 4\n"), std::string::npos);
+
+  // Monotonicity across every rendered bucket, with +Inf equal to the count.
+  uint64_t previous = 0;
+  size_t pos = 0;
+  while ((pos = out.find("le=\"", pos)) != std::string::npos) {
+    size_t value_at = out.find("} ", pos);
+    uint64_t value = std::stoull(out.substr(value_at + 2));
+    EXPECT_GE(value, previous);
+    previous = value;
+    pos = value_at;
+  }
+  EXPECT_EQ(previous, h.count);
+}
+
+TEST(MetricsRegistryTest, EscapeLabelValue) {
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(MetricsRegistry::EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(MetricsRegistryTest, ExpositionGolden) {
+  MetricsRegistry registry;
+  registry.Count("app_events_total", "Events seen.", {{"kind", "open"}});
+  registry.Count("app_events_total", "Events seen.", {{"kind", "open"}});
+  registry.Count("app_events_total", "Events seen.", {{"kind", "close"}}, 3);
+  registry.SetGauge("app_queue_depth", "Queued work items.", {}, 7);
+  // Families render in name order; cells in label order; one HELP/TYPE pair each.
+  EXPECT_EQ(registry.PrometheusText(),
+            "# HELP app_events_total Events seen.\n"
+            "# TYPE app_events_total counter\n"
+            "app_events_total{kind=\"close\"} 3\n"
+            "app_events_total{kind=\"open\"} 2\n"
+            "# HELP app_queue_depth Queued work items.\n"
+            "# TYPE app_queue_depth gauge\n"
+            "app_queue_depth 7\n");
+  EXPECT_EQ(registry.CounterValue("app_events_total", {{"kind", "open"}}), 2u);
+  EXPECT_EQ(registry.CounterValue("app_events_total", {{"kind", "gone"}}), 0u);
+  EXPECT_EQ(registry.CounterValue("no_such_family", {}), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramFamilyRendersAsHistogram) {
+  MetricsRegistry registry;
+  registry.ObserveMicros("op_micros", "Operation latency.", {{"op", "learn"}}, 5);
+  std::string out = registry.PrometheusText();
+  EXPECT_NE(out.find("# TYPE op_micros histogram"), std::string::npos);
+  EXPECT_NE(out.find("op_micros_bucket{op=\"learn\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("op_micros_sum{op=\"learn\"} 5"), std::string::npos);
+  EXPECT_NE(out.find("op_micros_count{op=\"learn\"} 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GaugeKeepsFractionsOnlyWhenPresent) {
+  MetricsRegistry registry;
+  registry.SetGauge("ratio", "", {}, 0.5);
+  EXPECT_NE(registry.PrometheusText().find("ratio 0.5\n"), std::string::npos);
+  registry.SetGauge("ratio", "", {}, 2.0);
+  EXPECT_NE(registry.PrometheusText().find("ratio 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.Count("contended_total", "Contended counter.", {});
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(registry.CounterValue("contended_total", {}),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsTest, BuiltInFamiliesAndRegistryCompose) {
+  Metrics metrics;
+  metrics.RecordRequest("check", /*ok=*/true, /*micros=*/10);
+  metrics.RecordRequest("check", /*ok=*/false, /*micros=*/20);
+  metrics.RecordRequest("stats", /*ok=*/true, /*micros=*/1);
+  metrics.RecordCacheProbe(/*hits=*/5, /*misses=*/2);
+  metrics.RecordCheckWork(/*configs=*/6, /*contracts_evaluated=*/100,
+                          /*violations=*/3);
+  metrics.registry().Count("custom_total", "Embedder counter.", {});
+
+  std::string out = metrics.PrometheusText();
+  EXPECT_NE(out.find("concord_requests_total{verb=\"check\",status=\"ok\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("concord_requests_total{verb=\"check\",status=\"error\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("concord_requests_total{verb=\"stats\",status=\"ok\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("concord_request_latency_micros_count{verb=\"check\"} 2"),
+      std::string::npos);
+  EXPECT_NE(out.find("concord_config_cache_probes_total{result=\"hit\"} 5"),
+            std::string::npos);
+  EXPECT_NE(out.find("concord_config_cache_probes_total{result=\"miss\"} 2"),
+            std::string::npos);
+  EXPECT_NE(out.find("concord_check_configs_total 6"), std::string::npos);
+  EXPECT_NE(out.find("concord_check_contracts_evaluated_total 100"),
+            std::string::npos);
+  EXPECT_NE(out.find("concord_check_violations_total 3"), std::string::npos);
+  // The escape-hatch registry renders after the built-ins.
+  EXPECT_NE(out.find("custom_total 1"), std::string::npos);
+
+  // The JSON snapshot agrees with the exposition.
+  JsonValue snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.GetInt("requests"), 3);
+  EXPECT_EQ(snapshot.GetInt("errors"), 1);
+  EXPECT_EQ(snapshot.Find("verbs")->Find("check")->GetInt("count"), 2);
+  EXPECT_EQ(snapshot.Find("cache")->GetInt("hits"), 5);
+  EXPECT_EQ(snapshot.Find("work")->GetInt("configs_checked"), 6);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition, as served by concord's `metrics` verb.
+
+Usage:
+  tools/check_prom.py [file]          read exposition (or an NDJSON response
+                                      whose body carries an "exposition"
+                                      member) from the file, or stdin if omitted
+
+Checks, exiting non-zero with a message on the first failure:
+  * every sample line parses as  name{labels} value  with a finite value;
+  * every family has at most one # TYPE, declared before its first sample,
+    and # HELP/# TYPE lines are well-formed;
+  * histogram families expose _bucket/_sum/_count series, bucket counts are
+    cumulative (monotone non-decreasing in le order) per label set, and the
+    +Inf bucket equals the _count sample.
+
+Stdlib only; no prometheus_client dependency.
+"""
+import json
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r' (?P<value>[^ ]+)$')
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*$')
+
+
+def fail(line_number, line, why):
+    sys.stderr.write(f'check_prom: line {line_number}: {why}\n  {line}\n')
+    sys.exit(1)
+
+
+def parse_labels(raw, line_number, line):
+    """Splits 'a="x",b="y"' respecting escaped quotes; returns an ordered dict."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.find('=', i)
+        if eq < 0 or len(raw) <= eq + 1 or raw[eq + 1] != '"':
+            fail(line_number, line, 'malformed label list')
+        name = raw[i:eq]
+        if not LABEL_RE.match(name):
+            fail(line_number, line, f'bad label name {name!r}')
+        j = eq + 2
+        value = []
+        while j < len(raw) and raw[j] != '"':
+            if raw[j] == '\\' and j + 1 < len(raw):
+                value.append(raw[j + 1])
+                j += 2
+            else:
+                value.append(raw[j])
+                j += 1
+        if j >= len(raw):
+            fail(line_number, line, 'unterminated label value')
+        labels[name] = ''.join(value)
+        i = j + 1
+        if i < len(raw):
+            if raw[i] != ',':
+                fail(line_number, line, 'expected "," between labels')
+            i += 1
+    return labels
+
+
+def parse_value(text, line_number, line):
+    if text == '+Inf':
+        return math.inf
+    try:
+        value = float(text)
+    except ValueError:
+        fail(line_number, line, f'bad sample value {text!r}')
+    if math.isnan(value):
+        fail(line_number, line, 'NaN sample value')
+    return value
+
+
+def family_of(name, types):
+    """Maps a series name to its family: histogram suffixes fold in."""
+    for suffix in ('_bucket', '_sum', '_count'):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.stderr.write(__doc__)
+        return 2
+    text = (open(sys.argv[1], encoding='utf-8').read()
+            if len(sys.argv) == 2 else sys.stdin.read())
+
+    # Accept a raw NDJSON `metrics` response: unwrap its exposition member.
+    stripped = text.lstrip()
+    if stripped.startswith('{'):
+        body = json.loads(stripped.splitlines()[0])
+        if 'exposition' not in body:
+            sys.stderr.write('check_prom: JSON input has no "exposition" member\n')
+            return 1
+        text = body['exposition']
+
+    types = {}        # family -> declared type
+    samples = []      # (family, name, labels, value, line_number, line)
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith('# HELP '):
+            if len(line.split(' ', 3)) < 4:
+                fail(line_number, line, 'HELP without text')
+            continue
+        if line.startswith('# TYPE '):
+            parts = line.split(' ')
+            if len(parts) != 4 or parts[3] not in (
+                    'counter', 'gauge', 'histogram', 'summary', 'untyped'):
+                fail(line_number, line, 'malformed TYPE line')
+            if parts[2] in types:
+                fail(line_number, line, f'duplicate TYPE for {parts[2]}')
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith('#'):
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(line_number, line, 'unparseable sample')
+        labels = parse_labels(match.group('labels') or '', line_number, line)
+        value = parse_value(match.group('value'), line_number, line)
+        name = match.group('name')
+        family = family_of(name, types)
+        if family in types and name == family and types[family] == 'histogram':
+            fail(line_number, line, 'bare sample in a histogram family')
+        samples.append((family, name, labels, value, line_number, line))
+
+    if not samples:
+        sys.stderr.write('check_prom: no samples found\n')
+        return 1
+
+    # Histogram invariants, per family and label set (excluding `le`).
+    for family, declared in types.items():
+        if declared != 'histogram':
+            continue
+        buckets = {}  # label-key -> [(le, value, line_number, line)]
+        counts = {}
+        for fam, name, labels, value, line_number, line in samples:
+            if fam != family:
+                continue
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != 'le'))
+            if name == family + '_bucket':
+                if 'le' not in labels:
+                    fail(line_number, line, 'bucket sample without le label')
+                le = math.inf if labels['le'] == '+Inf' else float(labels['le'])
+                buckets.setdefault(key, []).append((le, value, line_number, line))
+            elif name == family + '_count':
+                counts[key] = value
+        for key, series in buckets.items():
+            previous = -1.0
+            for le, value, line_number, line in series:  # Exposition order.
+                if value < previous:
+                    fail(line_number, line,
+                         f'bucket counts not cumulative for {family}{dict(key)}')
+                previous = value
+            if series[-1][0] != math.inf:
+                fail(series[-1][2], series[-1][3],
+                     f'{family} bucket series does not end at le="+Inf"')
+            if key in counts and series[-1][1] != counts[key]:
+                fail(series[-1][2], series[-1][3],
+                     f'+Inf bucket ({series[-1][1]}) != _count ({counts[key]})')
+
+    print(f'check_prom: OK ({len(samples)} samples, '
+          f'{len(types)} typed families)')
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main())

@@ -25,27 +25,42 @@ serve_smoke() {
   done
   "$concord" learn --configs "$tmp/*.cfg" --support 2 --quiet \
     --out "$tmp/contracts.json" || exit 2
-  # Canned request file: a batched check, a cache-hitting repeat, stats, shutdown.
+  # Canned v1 request file: a batched check, a cache-hitting repeat, stats,
+  # a metrics scrape, shutdown.
   text1="$(sed -e 's/$/\\n/' "$tmp/dev1.cfg" | tr -d '\n')"
   cat > "$tmp/requests.ndjson" <<EOF
-{"verb":"check","contracts":"smoke","configs":[{"name":"dev1.cfg","text":"$text1"}]}
-{"verb":"check","contracts":"smoke","configs":[{"name":"dev1.cfg","text":"$text1"}]}
-{"verb":"stats"}
-{"verb":"shutdown"}
+{"v":1,"verb":"check","contracts":"smoke","configs":[{"name":"dev1.cfg","text":"$text1"}]}
+{"v":1,"verb":"check","contracts":"smoke","configs":[{"name":"dev1.cfg","text":"$text1"}]}
+{"v":1,"verb":"stats"}
+{"v":1,"verb":"metrics"}
+{"v":1,"verb":"shutdown"}
 EOF
   out="$("$concord" serve --contracts "smoke=$tmp/contracts.json" --quiet \
     < "$tmp/requests.ndjson")" || exit 2
   lines="$(printf '%s\n' "$out" | wc -l)"
-  if [ "$lines" -ne 4 ] || printf '%s' "$out" | grep -q '"ok":false'; then
+  if [ "$lines" -ne 5 ] || printf '%s' "$out" | grep -q '"ok":false'; then
     echo "serve smoke FAILED; responses:" >&2
     printf '%s\n' "$out" >&2
     exit 1
   fi
-  if ! printf '%s\n' "$out" | sed -n 2p | grep -q '"cacheHits":1'; then
+  if ! printf '%s\n' "$out" | sed -n 2p | grep -q '"cache_hits":1'; then
     echo "serve smoke FAILED: repeat request did not hit the config cache" >&2
     exit 1
   fi
-  echo "serve smoke OK ($lines responses, cache hit on repeat)"
+  # The metrics verb must return valid Prometheus exposition that reflects the
+  # checks above (two ok check requests, always-on per-stage counters).
+  metrics_line="$(printf '%s\n' "$out" | sed -n 4p)"
+  if ! printf '%s\n' "$metrics_line" \
+      | python3 "$(dirname "$0")/check_prom.py"; then
+    echo "serve smoke FAILED: metrics exposition did not validate" >&2
+    exit 1
+  fi
+  if ! printf '%s' "$metrics_line" \
+      | grep -q 'concord_requests_total{verb=\\"check\\",status=\\"ok\\"} 2'; then
+    echo "serve smoke FAILED: metrics missing the check request counter" >&2
+    exit 1
+  fi
+  echo "serve smoke OK ($lines responses, cache hit on repeat, metrics valid)"
 }
 
 if [ "${1:-}" = "--serve" ]; then
