@@ -1,5 +1,8 @@
 #include "src/pattern/pattern_table.h"
 
+#include <stdexcept>
+#include <utility>
+
 namespace concord {
 
 PatternId PatternTable::Intern(std::string_view text, std::string untyped,
@@ -9,10 +12,21 @@ PatternId PatternTable::Intern(std::string_view text, std::string untyped,
   if (it != by_text_.end()) {
     return it->second;
   }
-  PatternId id = static_cast<PatternId>(infos_.size());
-  infos_.push_back(PatternInfo{std::string(text), std::move(untyped), std::move(unnamed),
-                               std::move(param_types), is_constant});
-  by_text_.emplace(std::string(text), id);
+  uint32_t id = size_.load(std::memory_order_relaxed);
+  uint32_t chunk = id >> kChunkShift;
+  if (chunk >= kMaxChunks) {
+    throw std::length_error("PatternTable: pattern capacity exhausted");
+  }
+  if (chunks_[chunk] == nullptr) {
+    chunks_[chunk] = std::make_unique<PatternInfo[]>(kChunkSize);
+  }
+  PatternInfo& info = chunks_[chunk][id & kChunkMask];
+  info = PatternInfo{std::string(text), std::move(untyped), std::move(unnamed),
+                     std::move(param_types), is_constant};
+  by_text_.emplace(info.text, id);
+  // Publish after the slot is fully written: a concurrent lock-free reader that
+  // observes size() > id may touch the new pattern.
+  size_.store(id + 1, std::memory_order_release);
   return id;
 }
 

@@ -9,8 +9,12 @@
 #ifndef SRC_PATTERN_PATTERN_TABLE_H_
 #define SRC_PATTERN_PATTERN_TABLE_H_
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -33,8 +37,50 @@ struct PatternInfo {
   bool is_constant = false;            // Constant-learning pattern (exact line text).
 };
 
+// Concurrency contract (DESIGN.md §9): writers (Intern) must be serialized
+// externally — the serve path does so under LoadedContractSet::parse_mu, the
+// learner is single-writer per dataset. Get(id) and size() are safe to call
+// concurrently with a writer, with no lock, for any id the reader learned of
+// before its last synchronization with the writer (e.g. ids obtained while
+// holding parse_mu): pattern storage is an array of fixed-size append-only
+// chunks, so publishing pattern N never moves patterns [0, N) the way a
+// std::vector push_back would, and the published count is an atomic. Find is a
+// writer-side probe and shares the writer's serialization.
 class PatternTable {
  public:
+  PatternTable() = default;
+
+  // Movable for single-threaded construction flows (datagen builds a Dataset
+  // and returns it by value); moving with concurrent readers is undefined,
+  // like any container move.
+  PatternTable(PatternTable&& other) noexcept
+      : by_text_(std::move(other.by_text_)),
+        chunks_(std::move(other.chunks_)),
+        size_(other.size_.load(std::memory_order_relaxed)) {
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+  PatternTable& operator=(PatternTable&& other) noexcept {
+    by_text_ = std::move(other.by_text_);
+    chunks_ = std::move(other.chunks_);
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    other.size_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Deep copy, for tests and tooling that rebind a parser to an existing
+  // table's ids. Same caveat as the moves: single-threaded only.
+  PatternTable(const PatternTable& other) : by_text_(other.by_text_) {
+    CopyChunksFrom(other);
+  }
+  PatternTable& operator=(const PatternTable& other) {
+    if (this != &other) {
+      by_text_ = other.by_text_;
+      CopyChunksFrom(other);
+    }
+    return *this;
+  }
+
   // Interns a pattern, returning a stable id. The metadata fields are only consulted
   // on first insertion. Accepts a string_view so the parser can probe with a reused
   // scratch buffer; the text is copied only when the pattern is new.
@@ -45,13 +91,38 @@ class PatternTable {
   // Heterogeneous: no std::string is materialized for the probe.
   PatternId Find(std::string_view text) const;
 
-  const PatternInfo& Get(PatternId id) const { return infos_[id]; }
-  size_t size() const { return infos_.size(); }
+  const PatternInfo& Get(PatternId id) const {
+    return chunks_[id >> kChunkShift][id & kChunkMask];
+  }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   // Name of the `index`-th parameter ('a', 'b', ..., then p26, p27, ...).
   static std::string ParamName(size_t index);
 
  private:
+  // 8192 patterns per chunk, up to 16M patterns; the chunk pointer array stays
+  // inline (16 KiB) so Get is two dependent loads.
+  static constexpr uint32_t kChunkShift = 13;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr uint32_t kChunkMask = kChunkSize - 1;
+  static constexpr uint32_t kMaxChunks = 2048;
+
+  void CopyChunksFrom(const PatternTable& other) {
+    const uint32_t n = other.size_.load(std::memory_order_relaxed);
+    for (uint32_t chunk = 0; chunk * kChunkSize < n; ++chunk) {
+      chunks_[chunk] = std::make_unique<PatternInfo[]>(kChunkSize);
+      const uint32_t count = std::min(n - chunk * kChunkSize, kChunkSize);
+      for (uint32_t i = 0; i < count; ++i) {
+        chunks_[chunk][i] = other.chunks_[chunk][i];
+      }
+    }
+    for (uint32_t chunk = (n + kChunkSize - 1) / kChunkSize; chunk < kMaxChunks;
+         ++chunk) {
+      chunks_[chunk].reset();
+    }
+    size_.store(n, std::memory_order_relaxed);
+  }
+
   // Transparent hash/eq so Find/Intern can probe with a string_view directly.
   struct TextHash {
     using is_transparent = void;
@@ -61,7 +132,8 @@ class PatternTable {
   };
 
   std::unordered_map<std::string, PatternId, TextHash, std::equal_to<>> by_text_;
-  std::vector<PatternInfo> infos_;
+  std::array<std::unique_ptr<PatternInfo[]>, kMaxChunks> chunks_;
+  std::atomic<uint32_t> size_{0};
 };
 
 }  // namespace concord

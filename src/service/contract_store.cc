@@ -43,14 +43,14 @@ bool ContractStore::Install(const std::string& name, const std::string& serializ
   entry->parse_options.constants = entry->set.constants_mode;
 
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.sets[name] = std::move(entry);  // Hot swap; old entry drains via shared_ptr.
   return true;
 }
 
 std::shared_ptr<LoadedContractSet> ContractStore::Get(const std::string& name) const {
   const Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.sets.find(name);
   return it == shard.sets.end() ? nullptr : it->second;
 }
@@ -58,7 +58,7 @@ std::shared_ptr<LoadedContractSet> ContractStore::Get(const std::string& name) c
 std::vector<std::shared_ptr<LoadedContractSet>> ContractStore::All() const {
   std::vector<std::shared_ptr<LoadedContractSet>> all;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [name, entry] : shard.sets) {
       all.push_back(entry);
     }

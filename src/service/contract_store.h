@@ -14,7 +14,6 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "src/learn/index.h"
 #include "src/pattern/pattern_table.h"
 #include "src/service/config_cache.h"
+#include "src/util/sync.h"
 
 namespace concord {
 
@@ -48,7 +48,12 @@ struct LoadedContractSet {
   ParseOptions parse_options;  // Derived from the set's recorded flags.
   ConfigCache cache;
   LruCache<CachedConfigIndex> index_cache;
-  std::mutex parse_mu;  // Serializes table growth across requests.
+  // Serializes table growth across requests. `table` itself is deliberately not
+  // GUARDED_BY(parse_mu): checkers read already-interned patterns lock-free
+  // while another request's parse phase appends new ones under this mutex
+  // (PatternTable storage is append-only and id-stable). Leaf lock in the
+  // hierarchy: never acquired while holding a shard or dataset lock.
+  Mutex parse_mu;
 };
 
 class ContractStore {
@@ -75,8 +80,9 @@ class ContractStore {
   static constexpr size_t kNumShards = 8;
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, std::shared_ptr<LoadedContractSet>> sets;
+    mutable Mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<LoadedContractSet>> sets
+        CONCORD_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& name);

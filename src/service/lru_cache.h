@@ -11,9 +11,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "src/util/sync.h"
 
 namespace concord {
 
@@ -30,7 +31,7 @@ class LruCache {
 
   // Returns the cached value and refreshes its recency, or nullptr on a miss.
   Ptr Get(uint64_t key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -46,7 +47,7 @@ class LruCache {
     if (capacity_ == 0) {
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
@@ -62,29 +63,31 @@ class LruCache {
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return lru_.size();
   }
 
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hits_;
   }
 
   uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return misses_;
   }
 
  private:
   using Entry = std::pair<uint64_t, Ptr>;
 
-  size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // Front = most recently used.
-  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  size_t capacity_;  // Immutable after construction.
+  mutable Mutex mu_;
+  // Front = most recently used.
+  std::list<Entry> lru_ CONCORD_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_
+      CONCORD_GUARDED_BY(mu_);
+  uint64_t hits_ CONCORD_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ CONCORD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace concord

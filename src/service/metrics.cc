@@ -116,25 +116,25 @@ MetricsRegistry::Cell& MetricsRegistry::CellFor(std::string_view name,
 
 void MetricsRegistry::Count(std::string_view name, std::string_view help,
                             const Labels& labels, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CellFor(name, help, Kind::kCounter, labels).counter += delta;
 }
 
 void MetricsRegistry::SetGauge(std::string_view name, std::string_view help,
                                const Labels& labels, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CellFor(name, help, Kind::kGauge, labels).gauge = value;
 }
 
 void MetricsRegistry::ObserveMicros(std::string_view name, std::string_view help,
                                     const Labels& labels, uint64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CellFor(name, help, Kind::kHistogram, labels).histogram.Record(micros);
 }
 
 uint64_t MetricsRegistry::CounterValue(std::string_view name,
                                        const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = families_.find(name);
   if (it == families_.end()) {
     return 0;
@@ -158,7 +158,7 @@ std::string FormatGauge(double value) {
 }  // namespace
 
 std::string MetricsRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {
@@ -190,7 +190,7 @@ std::string MetricsRegistry::PrometheusText() const {
 }
 
 void Metrics::RecordRequest(std::string_view verb, bool ok, uint64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = verbs_.find(verb);
   if (it == verbs_.end()) {
     it = verbs_.emplace(std::string(verb), VerbStats{}).first;
@@ -203,21 +203,21 @@ void Metrics::RecordRequest(std::string_view verb, bool ok, uint64_t micros) {
 }
 
 void Metrics::RecordCacheProbe(uint64_t hits, uint64_t misses) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_hits_ += hits;
   cache_misses_ += misses;
 }
 
 void Metrics::RecordCheckWork(uint64_t configs, uint64_t contracts_evaluated,
                               uint64_t violations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   configs_checked_ += configs;
   contracts_evaluated_ += contracts_evaluated;
   violations_found_ += violations;
 }
 
 JsonValue Metrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue out = JsonValue::Object();
   uint64_t total = 0;
   uint64_t errors = 0;
@@ -255,7 +255,7 @@ JsonValue Metrics::Snapshot() const {
 }
 
 std::string Metrics::SummaryText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   uint64_t errors = 0;
   for (const auto& [verb, stats] : verbs_) {
@@ -289,7 +289,7 @@ std::string Metrics::SummaryText() const {
 std::string Metrics::PrometheusText() const {
   std::string out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out +=
         "# HELP concord_requests_total Requests handled, by verb and outcome.\n"
         "# TYPE concord_requests_total counter\n";

@@ -20,13 +20,13 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "src/format/json.h"
+#include "src/util/sync.h"
 
 namespace concord {
 
@@ -89,10 +89,10 @@ class MetricsRegistry {
 
   static std::string RenderLabels(const Labels& labels);
   Cell& CellFor(std::string_view name, std::string_view help, Kind kind,
-                const Labels& labels);  // mu_ held by caller.
+                const Labels& labels) CONCORD_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family, std::less<>> families_;
+  mutable Mutex mu_;
+  std::map<std::string, Family, std::less<>> families_ CONCORD_GUARDED_BY(mu_);
 };
 
 class Metrics {
@@ -130,14 +130,15 @@ class Metrics {
     LatencyHistogram latency;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, VerbStats, std::less<>> verbs_;  // Ordered for stable JSON.
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t configs_checked_ = 0;
-  uint64_t contracts_evaluated_ = 0;
-  uint64_t violations_found_ = 0;
-  MetricsRegistry registry_;
+  mutable Mutex mu_;
+  // Ordered for stable JSON.
+  std::map<std::string, VerbStats, std::less<>> verbs_ CONCORD_GUARDED_BY(mu_);
+  uint64_t cache_hits_ CONCORD_GUARDED_BY(mu_) = 0;
+  uint64_t cache_misses_ CONCORD_GUARDED_BY(mu_) = 0;
+  uint64_t configs_checked_ CONCORD_GUARDED_BY(mu_) = 0;
+  uint64_t contracts_evaluated_ CONCORD_GUARDED_BY(mu_) = 0;
+  uint64_t violations_found_ CONCORD_GUARDED_BY(mu_) = 0;
+  MetricsRegistry registry_;  // Internally synchronized.
 };
 
 }  // namespace concord

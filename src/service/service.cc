@@ -424,7 +424,7 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   std::optional<TraceSpan> cache_span;
   cache_span.emplace("serve", "cache_lookup");
   {
-    std::lock_guard<std::mutex> lock(entry->parse_mu);
+    MutexLock lock(entry->parse_mu);
     ConfigParser parser(&lexer_, &entry->table, entry->parse_options);
     for (Item& item : items) {
       ThrowIfExpired(deadline);
@@ -696,24 +696,30 @@ JsonValue Service::HandleLearn(const JsonValue& request) {
   // learn (re)defines the dataset from scratch; a failure below (deadline, all
   // configs unparseable) leaves any previous dataset of this name untouched.
   auto dataset = std::make_shared<ResidentDataset>(&lexer_, parse_options);
-  dataset->options = options;
 
   std::vector<SkippedFile> degraded;
-  std::lock_guard<std::mutex> lock(dataset->mu);
-  UpsertBatch(dataset->store, *configs, &degraded);
-  ApplyMetadata(dataset->store, request);
-  if (dataset->store.size() == 0) {
-    throw ServiceError(ErrorCode::kParseFailed,
-                       "all " + std::to_string(configs->items().size()) +
-                           " configs failed to parse (first: " + degraded.front().file +
-                           ": " + degraded.front().reason + ")");
-  }
-
-  JsonValue body = RelearnAndInstall(name, *dataset, /*previous=*/{},
-                                     /*had_previous=*/false, std::move(degraded));
+  JsonValue body;
   {
-    std::lock_guard<std::mutex> map_lock(datasets_mu_);
-    datasets_[name] = dataset;  // Publish only after a successful learn.
+    MutexLock lock(dataset->mu);
+    dataset->options = options;
+    UpsertBatch(dataset->store, *configs, &degraded);
+    ApplyMetadata(dataset->store, request);
+    if (dataset->store.size() == 0) {
+      throw ServiceError(ErrorCode::kParseFailed,
+                         "all " + std::to_string(configs->items().size()) +
+                             " configs failed to parse (first: " + degraded.front().file +
+                             ": " + degraded.front().reason + ")");
+    }
+
+    body = RelearnAndInstall(name, *dataset, /*previous=*/{},
+                             /*had_previous=*/false, std::move(degraded));
+  }
+  {
+    // Publish only after a successful learn, and only after releasing the
+    // dataset lock: the hierarchy is datasets_mu_ before ResidentDataset::mu,
+    // never the inverse (DESIGN.md §9).
+    MutexLock map_lock(datasets_mu_);
+    datasets_[name] = dataset;
   }
   body.Set("verb", JsonValue::String("learn"));
   return body;
@@ -723,7 +729,7 @@ JsonValue Service::HandleUpdate(const JsonValue& request) {
   std::string name = request.GetString("dataset").value_or("default");
   std::shared_ptr<ResidentDataset> dataset;
   {
-    std::lock_guard<std::mutex> map_lock(datasets_mu_);
+    MutexLock map_lock(datasets_mu_);
     auto it = datasets_.find(name);
     if (it != datasets_.end()) {
       dataset = it->second;
@@ -736,7 +742,7 @@ JsonValue Service::HandleUpdate(const JsonValue& request) {
                        name);
   }
 
-  std::lock_guard<std::mutex> lock(dataset->mu);
+  MutexLock lock(dataset->mu);
   dataset->options.deadline = RequestDeadline(request);
   MergeLearnOptions(request, &dataset->options);
 

@@ -47,7 +47,6 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,6 +57,7 @@
 #include "src/pattern/lexer.h"
 #include "src/service/contract_store.h"
 #include "src/service/metrics.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 
 namespace concord {
@@ -111,16 +111,22 @@ class Service {
  private:
   // A dataset kept resident between learn/update requests: its artifact store
   // (per-config Parse/Index/Mine caches) plus the last learned contracts.
-  // `mu` serializes mutations and relearns per dataset.
+  // `mu` serializes mutations and relearns per dataset. Lock hierarchy
+  // (DESIGN.md §9): datasets_mu_ comes strictly before any ResidentDataset::mu
+  // (map probe first, then dataset work; HandleLearn publishes into the map
+  // only after releasing the dataset lock), and mu may be held across the
+  // relearn, so the pool's and artifact caches' leaf locks nest inside it.
   struct ResidentDataset {
     ResidentDataset(const Lexer* lexer, ParseOptions parse_options)
         : store(lexer, parse_options) {}
 
-    std::mutex mu;
-    ArtifactStore store;
-    LearnOptions options;    // Options the dataset was learned with.
-    ContractSet contracts;   // Last learned set (patterns in store.patterns()).
-    bool learned = false;
+    Mutex mu;
+    ArtifactStore store CONCORD_GUARDED_BY(mu);
+    // Options the dataset was learned with.
+    LearnOptions options CONCORD_GUARDED_BY(mu);
+    // Last learned set (patterns in store.patterns()).
+    ContractSet contracts CONCORD_GUARDED_BY(mu);
+    bool learned CONCORD_GUARDED_BY(mu) = false;
   };
 
   JsonValue Dispatch(const std::string& verb, const JsonValue& request);
@@ -135,7 +141,8 @@ class Service {
   JsonValue RelearnAndInstall(const std::string& name, ResidentDataset& dataset,
                               const std::vector<Contract>& previous,
                               bool had_previous,
-                              std::vector<SkippedFile> degraded);
+                              std::vector<SkippedFile> degraded)
+      CONCORD_REQUIRES(dataset.mu);
 
   JsonValue StatsJson() const;
 
@@ -144,8 +151,9 @@ class Service {
   ContractStore store_;
   ThreadPool pool_;
   Metrics metrics_;
-  std::mutex datasets_mu_;  // Guards the map, not the datasets.
-  std::map<std::string, std::shared_ptr<ResidentDataset>> datasets_;
+  Mutex datasets_mu_;  // Guards the map, not the datasets (see ResidentDataset).
+  std::map<std::string, std::shared_ptr<ResidentDataset>> datasets_
+      CONCORD_GUARDED_BY(datasets_mu_);
   std::atomic<bool> shutdown_{false};
 };
 

@@ -14,12 +14,12 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <ostream>
 #include <set>
 #include <string>
 #include <thread>
 
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
 
@@ -69,25 +69,25 @@ void DrainWakePipe(int read_fd) {
 // Fds of connections currently being served, so the drain phase can wait for
 // them and forcibly shut down stragglers after the grace period.
 struct ConnectionRegistry {
-  std::mutex mu;
-  std::set<int> fds;
+  Mutex mu;
+  std::set<int> fds CONCORD_GUARDED_BY(mu);
 
   void Add(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     fds.insert(fd);
   }
   void Remove(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     fds.erase(fd);
   }
   bool Empty() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return fds.empty();
   }
   // shutdown(2) (not close) on every live fd: the owning handler still holds the
   // descriptor and will observe EOF on its next read, then close it itself.
   void ShutdownAll() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (int fd : fds) {
       ::shutdown(fd, SHUT_RDWR);
     }

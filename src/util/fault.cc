@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "src/util/strings.h"
+#include "src/util/sync.h"
 
 namespace concord {
 
@@ -23,10 +23,10 @@ struct Rule {
 }  // namespace
 
 struct FaultInjector::Impl {
-  std::mutex mu;
+  Mutex mu;
   // std::map: pointers to Rule stay valid across inserts, so Hit() can drop the
   // lock before sleeping through a configured delay.
-  std::map<std::string, Rule, std::less<>> rules;
+  std::map<std::string, Rule, std::less<>> rules CONCORD_GUARDED_BY(mu);
 };
 
 FaultInjector::FaultInjector() : impl_(new Impl) {
@@ -90,7 +90,7 @@ bool FaultInjector::Configure(const std::string& spec, std::string* error) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->rules = std::move(parsed);
     enabled_.store(!impl_->rules.empty(), std::memory_order_relaxed);
   }
@@ -98,7 +98,7 @@ bool FaultInjector::Configure(const std::string& spec, std::string* error) {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->rules.clear();
   enabled_.store(false, std::memory_order_relaxed);
 }
@@ -107,7 +107,7 @@ bool FaultInjector::Hit(std::string_view point) {
   uint64_t delay_ms = 0;
   bool fail = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     auto it = impl_->rules.find(point);
     if (it == impl_->rules.end()) {
       return false;

@@ -19,10 +19,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -30,19 +30,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) {
+      all_done_.Wait(mu_);
+    }
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) {
     std::rethrow_exception(error);
   }
 }
@@ -57,15 +61,15 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   // in_flight_ == 0 would let one request's Wait be stalled unboundedly by other
   // requests' waves — outside deadline polling, so deadline_ms could not bound it.
   struct Wave {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t pending;
-    std::exception_ptr error;
+    explicit Wave(size_t chunks) : pending(chunks) {}
+    Mutex mu;
+    CondVar done;
+    size_t pending CONCORD_GUARDED_BY(mu);
+    std::exception_ptr error CONCORD_GUARDED_BY(mu);
   };
   size_t chunks = std::min(count, threads_.size() * 4);
   size_t chunk_size = (count + chunks - 1) / chunks;
-  auto wave = std::make_shared<Wave>();
-  wave->pending = chunks;
+  auto wave = std::make_shared<Wave>(chunks);
   auto next = std::make_shared<std::atomic<size_t>>(0);
   for (size_t c = 0; c < chunks; ++c) {
     Submit([wave, next, count, chunk_size, &fn] {
@@ -84,20 +88,24 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
       } catch (...) {
         error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(wave->mu);
+      MutexLock lock(wave->mu);
       if (error && !wave->error) {
         wave->error = std::move(error);
       }
       if (--wave->pending == 0) {
-        wave->done.notify_all();
+        wave->done.NotifyAll();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(wave->mu);
-  wave->done.wait(lock, [&wave] { return wave->pending == 0; });
-  if (wave->error) {
-    std::exception_ptr error = std::exchange(wave->error, nullptr);
-    lock.unlock();
+  std::exception_ptr error;
+  {
+    MutexLock lock(wave->mu);
+    while (wave->pending != 0) {
+      wave->done.Wait(wave->mu);
+    }
+    error = std::exchange(wave->error, nullptr);
+  }
+  if (error) {
     std::rethrow_exception(error);
   }
 }
@@ -106,8 +114,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        work_available_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // Shutdown with a drained queue.
       }
@@ -121,12 +131,12 @@ void ThreadPool::WorkerLoop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (error && !first_error_) {
         first_error_ = std::move(error);
       }
       if (--in_flight_ == 0) {
-        all_done_.notify_all();
+        all_done_.NotifyAll();
       }
     }
   }

@@ -6,14 +6,14 @@
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace concord {
 
@@ -49,15 +49,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;  // Submit/Wait path only; ParallelFor
-                                    // captures exceptions per wave.
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ CONCORD_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // Written only in the ctor; joined in dtor.
+  size_t in_flight_ CONCORD_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CONCORD_GUARDED_BY(mu_) = false;
+  // Submit/Wait path only; ParallelFor captures exceptions per wave.
+  std::exception_ptr first_error_ CONCORD_GUARDED_BY(mu_);
 };
 
 }  // namespace concord

@@ -63,11 +63,12 @@ TraceCollector& TraceCollector::Global() {
   return *collector;
 }
 
-TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+TraceCollector::TraceCollector()
+    : epoch_(std::chrono::steady_clock::now().time_since_epoch().count()) {}
 
 void TraceCollector::EnableEvents(size_t capacity) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ring_capacity_ = capacity == 0 ? 1 : capacity;
     if (ring_.size() > ring_capacity_) {
       ring_.clear();
@@ -79,18 +80,25 @@ void TraceCollector::EnableEvents(size_t capacity) {
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   ring_next_ = 0;
   ring_size_ = 0;
   dropped_ = 0;
   stages_.clear();
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_.store(std::chrono::steady_clock::now().time_since_epoch().count(),
+               std::memory_order_relaxed);
 }
 
 uint64_t TraceCollector::NowMicros() const {
+  std::chrono::steady_clock::rep elapsed =
+      std::chrono::steady_clock::now().time_since_epoch().count() -
+      epoch_.load(std::memory_order_relaxed);
+  if (elapsed < 0) {
+    return 0;  // A concurrent Clear() moved the epoch past our clock read.
+  }
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
-                                   std::chrono::steady_clock::now() - epoch_)
+                                   std::chrono::steady_clock::duration(elapsed))
                                    .count());
 }
 
@@ -107,7 +115,7 @@ void TraceCollector::RecordSpan(std::string_view category, std::string_view name
   if (mode == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if ((mode & kStatsBit) != 0) {
     StageTotal& total = stages_[{std::string(category), std::string(name)}];
     if (total.count == 0) {
@@ -147,7 +155,7 @@ void TraceCollector::AddStageTime(std::string_view category, std::string_view na
   if ((mode() & kStatsBit) == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StageTotal& total = stages_[{std::string(category), std::string(name)}];
   if (total.count == 0) {
     total.category = std::string(category);
@@ -160,7 +168,7 @@ void TraceCollector::AddStageTime(std::string_view category, std::string_view na
 }
 
 std::vector<TraceEvent> TraceCollector::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_size_);
   // Oldest first: when the ring has wrapped, ring_next_ points at the oldest.
@@ -172,12 +180,12 @@ std::vector<TraceEvent> TraceCollector::Events() const {
 }
 
 uint64_t TraceCollector::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 std::vector<StageTotal> TraceCollector::StageTotals() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<StageTotal> out;
   out.reserve(stages_.size());
   for (const auto& [key, total] : stages_) {

@@ -30,12 +30,13 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace concord {
 
@@ -117,19 +118,24 @@ class TraceCollector {
   void AppendPrometheus(std::string* out) const;
 
  private:
-  uint64_t ThreadIdLocked();  // Dense id for the calling thread; mu_ held.
+  // Dense id for the calling thread.
+  uint64_t ThreadIdLocked() CONCORD_REQUIRES(mu_);
 
   std::atomic<uint32_t> mode_{0};
-  std::chrono::steady_clock::time_point epoch_;
+  // Collector epoch as a steady_clock duration count. Atomic (not guarded by
+  // mu_) because every enabled TraceSpan reads it lock-free via NowMicros()
+  // while Clear() restarts it.
+  std::atomic<std::chrono::steady_clock::rep> epoch_;
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  size_t ring_capacity_ = kDefaultEventCapacity;
-  size_t ring_next_ = 0;
-  size_t ring_size_ = 0;
-  uint64_t dropped_ = 0;
-  std::map<std::pair<std::string, std::string>, StageTotal> stages_;
-  std::map<std::thread::id, uint64_t> thread_ids_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ CONCORD_GUARDED_BY(mu_);
+  size_t ring_capacity_ CONCORD_GUARDED_BY(mu_) = kDefaultEventCapacity;
+  size_t ring_next_ CONCORD_GUARDED_BY(mu_) = 0;
+  size_t ring_size_ CONCORD_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ CONCORD_GUARDED_BY(mu_) = 0;
+  std::map<std::pair<std::string, std::string>, StageTotal> stages_
+      CONCORD_GUARDED_BY(mu_);
+  std::map<std::thread::id, uint64_t> thread_ids_ CONCORD_GUARDED_BY(mu_);
 };
 
 // RAII span. Construction snapshots the clock/allocation counter only when a

@@ -1,0 +1,35 @@
+// Negative-compile case: calling a CONCORD_REQUIRES(mu) function without
+// holding mu must be rejected by Clang's thread-safety analysis. This file is
+// expected to FAIL to compile; the configure-time harness in CMakeLists.txt
+// asserts exactly that.
+#include "src/util/sync.h"
+
+namespace concord {
+
+class Queue {
+ public:
+  void Push(int v) {
+    MutexLock lock(mu_);
+    PushLocked(v);
+  }
+
+  void PushUnsafe(int v) {
+    // BAD: PushLocked requires mu_, which is not held here.
+    PushLocked(v);
+  }
+
+ private:
+  void PushLocked(int v) CONCORD_REQUIRES(mu_) {
+    last_ = v;
+  }
+
+  Mutex mu_;
+  int last_ CONCORD_GUARDED_BY(mu_) = 0;
+};
+
+void TouchMissingLock() {
+  Queue q;
+  q.PushUnsafe(1);
+}
+
+}  // namespace concord

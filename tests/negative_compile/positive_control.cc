@@ -1,0 +1,59 @@
+// Positive control: correctly annotated code exercising every primitive the
+// negative cases rely on MUST compile cleanly under -Werror=thread-safety.
+// If this file fails to build, the harness is broken (e.g. a bad flag or a
+// sync.h regression), and the negative cases "failing" would prove nothing —
+// so the configure-time harness in CMakeLists.txt requires this to succeed.
+#include "src/util/sync.h"
+
+namespace concord {
+
+class Annotated {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    IncrementLocked();
+    cv_.NotifyOne();
+  }
+
+  void WaitForPositive() {
+    MutexLock lock(mu_);
+    while (count_ <= 0) cv_.Wait(mu_);
+  }
+
+  int Read() const {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+  void IncrementBoth() {
+    // Lock order: map_mu_ before detail_mu_ (ACQUIRED_BEFORE below).
+    MutexLock outer(map_mu_);
+    MutexLock inner(detail_mu_);
+    ++mapped_;
+    ++detail_;
+  }
+
+ private:
+  void IncrementLocked() CONCORD_REQUIRES(mu_) { ++count_; }
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  int count_ CONCORD_GUARDED_BY(mu_) = 0;
+
+  // Same-class lock ordering is expressible directly; checked under
+  // -Wthread-safety-beta, parsed (and thus validated) under -Wthread-safety.
+  Mutex map_mu_ CONCORD_ACQUIRED_BEFORE(detail_mu_);
+  Mutex detail_mu_;
+  int mapped_ CONCORD_GUARDED_BY(map_mu_) = 0;
+  int detail_ CONCORD_GUARDED_BY(detail_mu_) = 0;
+};
+
+int TouchAnnotated() {
+  Annotated a;
+  a.Increment();
+  a.WaitForPositive();
+  a.IncrementBoth();
+  return a.Read();
+}
+
+}  // namespace concord

@@ -1,0 +1,32 @@
+// Negative-compile case: reading and writing a GUARDED_BY field without
+// holding its mutex must be rejected by Clang's thread-safety analysis
+// (-Werror=thread-safety). This file is expected to FAIL to compile; the
+// configure-time harness in CMakeLists.txt asserts exactly that.
+#include "src/util/sync.h"
+
+namespace concord {
+
+class Counter {
+ public:
+  void Increment() {
+    // BAD: count_ is guarded by mu_, which is not held here.
+    ++count_;
+  }
+
+  int Read() const {
+    // BAD: unguarded read of a guarded field.
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ CONCORD_GUARDED_BY(mu_) = 0;
+};
+
+int TouchUnguarded() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}
+
+}  // namespace concord

@@ -1,0 +1,9 @@
+// Fixture: guard must be derived from the path. LINT-EXPECT: include-guard
+#ifndef SOME_OTHER_GUARD_H_
+#define SOME_OTHER_GUARD_H_
+
+namespace concord {
+inline int BadGuardHeader() { return 1; }
+}  // namespace concord
+
+#endif  // SOME_OTHER_GUARD_H_

@@ -1,0 +1,6 @@
+// Fixture: #pragma once is not house style. LINT-EXPECT: include-guard
+#pragma once
+
+namespace concord {
+inline int PragmaOnceHeader() { return 1; }
+}  // namespace concord

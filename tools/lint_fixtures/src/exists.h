@@ -1,0 +1,9 @@
+// Fixture helper: a header that exists, for the include-path negative control.
+#ifndef SRC_EXISTS_H_
+#define SRC_EXISTS_H_
+
+namespace concord {
+inline int Exists() { return 1; }
+}  // namespace concord
+
+#endif  // SRC_EXISTS_H_

@@ -1,0 +1,30 @@
+// Fixture: nondeterminism in the learn pipeline must be flagged; seeded RNG and
+// monotonic deadlines stay legal.
+
+namespace concord {
+
+inline int BadEntropy() {
+  int r = rand();  // LINT-EXPECT: determinism
+  srand(42);  // LINT-EXPECT: determinism
+  return r;
+}
+
+inline void BadClock() {
+  auto wall = std::chrono::system_clock::now();  // LINT-EXPECT: determinism
+  (void)wall;
+  long t = time(nullptr);  // LINT-EXPECT: determinism
+  (void)t;
+}
+
+inline char* BadTokenizer(char* buf) {
+  return strtok(buf, " ");  // LINT-EXPECT: determinism
+}
+
+inline void LegalUses() {
+  auto deadline = std::chrono::steady_clock::now();  // legal: monotonic
+  (void)deadline;
+  uint64_t lifetime(0);  // legal: identifier merely ends in "time"
+  (void)lifetime;
+}
+
+}  // namespace concord

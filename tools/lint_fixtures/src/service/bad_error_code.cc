@@ -1,0 +1,14 @@
+// Fixture: referencing a code outside the closed enum must be flagged; known
+// enumerators pass.
+#include "src/util/error_code.h"
+
+namespace concord {
+
+inline void RaiseErrors() {
+  auto ok = ErrorCode::kParseFailed;  // legal: in the enum
+  (void)ok;
+  auto bad = ErrorCode::kTotallyMadeUp;  // LINT-EXPECT: error-code
+  (void)bad;
+}
+
+}  // namespace concord

@@ -1,0 +1,10 @@
+// Fixture: include hygiene — parent-relative and nonexistent includes flagged,
+// repo-root-relative includes of real files pass.
+#include "../service/other.h"  // LINT-EXPECT: include-path
+#include "missing/not_a_real_prefix.h"  // LINT-EXPECT: include-path
+#include "src/does_not_exist.h"  // LINT-EXPECT: include-path
+#include "src/exists.h"  // legal
+
+namespace concord {
+inline int BadIncludes() { return Exists(); }
+}  // namespace concord

@@ -1,0 +1,25 @@
+// Fixture: raw synchronization primitives outside src/util/ must be flagged,
+// while std::thread::id / std::this_thread remain legal.
+#ifndef SRC_SERVICE_RAW_SYNC_H_
+#define SRC_SERVICE_RAW_SYNC_H_
+
+namespace concord {
+
+class BadServer {
+ private:
+  std::mutex mu_;  // LINT-EXPECT: raw-sync
+  std::thread worker_;  // LINT-EXPECT: raw-sync
+  std::condition_variable cv_;  // LINT-EXPECT: raw-sync
+  std::thread::id owner_;       // legal: not a thread construction
+};
+
+inline void LegalUses() {
+  auto id = std::this_thread::get_id();  // legal
+  (void)id;
+  unsigned n = std::thread::hardware_concurrency();  // legal
+  (void)n;
+}
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_RAW_SYNC_H_

@@ -1,0 +1,8 @@
+// Fixture: the thread-safety-analysis escape hatch is banned outside
+// src/util/sync.h.
+
+namespace concord {
+
+void SneakyUnlockedAccess() CONCORD_NO_THREAD_SAFETY_ANALYSIS;  // LINT-EXPECT: no-tsa-escape
+
+}  // namespace concord

@@ -1,0 +1,24 @@
+// Fixture: a miniature closed error enum. kOrphanCode has no wire string in
+// ErrorCodeName, which the error-code rule must flag here.
+#ifndef SRC_UTIL_ERROR_CODE_H_
+#define SRC_UTIL_ERROR_CODE_H_
+
+namespace concord {
+
+enum class ErrorCode {
+  kParseFailed,
+  kInternal,
+  kOrphanCode,  // LINT-EXPECT: error-code
+};
+
+constexpr const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseFailed: return "parse_failed";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_ERROR_CODE_H_

@@ -1,0 +1,16 @@
+// Fixture: src/util/ is the one place raw primitives are allowed (sync.h wraps
+// them) — nothing here may be flagged.
+#ifndef SRC_UTIL_RAW_SYNC_ALLOWED_H_
+#define SRC_UTIL_RAW_SYNC_ALLOWED_H_
+
+namespace concord {
+
+class WrapperDetail {
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_RAW_SYNC_ALLOWED_H_
