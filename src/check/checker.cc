@@ -488,6 +488,19 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
         if (c.param >= line.values.size()) {
           continue;
         }
+        if (collect_unique_log_) {
+          // Shard mode: record the observation (the router replays the merged
+          // log) and mark coverage locally — it is per-observation, so shards
+          // compute it exactly as the global pass would.
+          result.unique_log.push_back(UniqueObservationLogEntry{
+              state.contract_index, ci, line.line_number,
+              std::string(ValueTypeName(line.values[c.param].type())),
+              line.values[c.param].ToString()});
+          if (measure_coverage) {
+            MarkCovered(&cover[ci], index, i, CoverageKind::kUnique);
+          }
+          continue;
+        }
         auto [pos, inserted] =
             state.first.emplace(line.values[c.param], std::make_pair(ci, line.line_number));
         if (!inserted && pos->second.first != ci) {

@@ -1,8 +1,13 @@
 #include "src/cli/cli.h"
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -18,7 +23,10 @@
 #include "src/pattern/parser.h"
 #include "src/report/report.h"
 #include "src/service/service.h"
+#include "src/service/shard_router.h"
 #include "src/service/socket_server.h"
+#include "src/store/record_io.h"
+#include "src/store/store.h"
 #include "src/util/argparse.h"
 #include "src/util/cancellation.h"
 #include "src/util/glob.h"
@@ -114,6 +122,10 @@ struct LoadedInputs {
   // parsed last run but fails now reads as "removed" and forces a relearn.
   std::map<std::string, uint64_t> config_keys;
   uint64_t metadata_key = kFnv1a64OffsetBasis;
+  // Raw texts, retained only under --store-dir: the durable store persists
+  // Parse-stage inputs (texts), not the pointer-laden parsed artifacts.
+  std::map<std::string, std::string> config_texts;
+  std::vector<std::string> metadata_texts;
 };
 
 // Expands globs, parses configs and metadata into a dataset. A single unreadable
@@ -165,6 +177,9 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants,
       TraceSpan span("learn", "parse");
       inputs->dataset.configs.push_back(parser.Parse(file, text));
       inputs->config_keys[file] = ContentKey(file, text);
+      if (args.Has("store-dir")) {
+        inputs->config_texts[file] = std::move(text);
+      }
     } catch (const std::exception& e) {
       inputs->skipped.push_back(SkippedFile{file, e.what(), ErrorCode::kParseFailed});
     }
@@ -191,6 +206,9 @@ bool LoadInputs(const ArgParser& args, bool embed_context, bool constants,
           inputs->dataset.metadata.push_back(std::move(line));
         }
         inputs->metadata_key = Fnv1a64(text, inputs->metadata_key);
+        if (args.Has("store-dir")) {
+          inputs->metadata_texts.push_back(std::move(text));
+        }
       } catch (const std::exception& e) {
         inputs->skipped.push_back(SkippedFile{file, e.what(), ErrorCode::kParseFailed});
       }
@@ -287,10 +305,52 @@ void SaveBaseline(const std::string& path, const LoadedInputs& inputs,
   WriteFile(path, state.Serialize(2));
 }
 
+// Persists a CLI learn into the durable store (DESIGN.md §10), mirroring the
+// serve-side persist: Parse-stage inputs (raw texts) as content-addressed
+// blobs, the learned contract set as one object, then an atomic manifest swap.
+// Best-effort — a store failure degrades to a warning; the written contract
+// file stands and `concord serve --store-dir` simply relearns.
+void PersistLearnToStore(const std::string& store_dir, const std::string& dataset_name,
+                         const LoadedInputs& inputs, const LearnOptions& options,
+                         const std::string& serialized, size_t contract_count,
+                         bool quiet, std::ostream& out, std::ostream& err) {
+  try {
+    DurableStore store(store_dir);
+    PersistedDatasetInfo info;
+    for (const auto& [name, text] : inputs.config_texts) {
+      uint64_t key = inputs.config_keys.at(name);
+      store.PutObject(RecordType::kBlob, key, text, "config");
+      info.config_keys[name] = key;
+    }
+    for (const std::string& text : inputs.metadata_texts) {
+      uint64_t key = ContentKey("@meta", text);
+      store.PutObject(RecordType::kBlob, key, text, "metadata");
+      info.metadata_keys.push_back(key);
+    }
+    uint64_t contracts_key = Fnv1a64(serialized);
+    store.PutObject(RecordType::kContracts, contracts_key, serialized, "contracts");
+    info.contracts_key = contracts_key;
+    info.contract_count = static_cast<int64_t>(contract_count);
+    info.options = options;
+    store.PutDataset(dataset_name, info);
+    if (!quiet) {
+      out << "store: persisted dataset '" << dataset_name << "' ("
+          << store.object_count() << " objects, " << store.total_bytes()
+          << " bytes)\n";
+    }
+  } catch (const std::exception& e) {
+    err << "warning: store persist failed: " << e.what() << "\n";
+  }
+}
+
 int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
   ArgParser args;
   AddCommonFlags(&args);
   args.AddFlag("out", "output contract file", "contracts.json");
+  args.AddFlag("store-dir",
+               "durable artifact store directory: persist the learned dataset for "
+               "warm serve restarts (DESIGN.md §10)");
+  args.AddFlag("dataset", "dataset name in the store (with --store-dir)", "default");
   args.AddFlag("support", "minimum supporting configurations S", "5");
   args.AddFlag("confidence", "required holding fraction C", "0.96");
   args.AddFlag("score-threshold", "relational informativeness threshold", "4.0");
@@ -352,6 +412,12 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
       // Nothing changed since the baseline: the relearn would reproduce the
       // baseline contracts bit for bit, so reuse them without mining.
       WriteFile(args.Get("out"), baseline->contracts_json);
+      if (args.Has("store-dir")) {
+        PersistLearnToStore(args.Get("store-dir"), args.Get("dataset"), inputs,
+                            options, baseline->contracts_json,
+                            static_cast<size_t>(baseline->contract_count),
+                            args.GetBool("quiet"), out, err);
+      }
       if (!args.GetBool("quiet")) {
         out << "incremental: " << inputs.dataset.configs.size()
             << " config(s) unchanged since baseline; reused " << baseline->contract_count
@@ -368,6 +434,11 @@ int RunLearn(int argc, const char* const* argv, std::ostream& out, std::ostream&
   result.set.embed_context = embed;
   std::string serialized = SerializeContracts(result.set, inputs.dataset.patterns);
   WriteFile(args.Get("out"), serialized);
+  if (args.Has("store-dir")) {
+    PersistLearnToStore(args.Get("store-dir"), args.Get("dataset"), inputs, options,
+                        serialized, result.set.contracts.size(),
+                        args.GetBool("quiet"), out, err);
+  }
 
   if (incremental) {
     SaveBaseline(args.Get("baseline"), inputs, fingerprint, serialized,
@@ -432,6 +503,10 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   ArgParser args;
   AddCommonFlags(&args);
   args.AddFlag("contracts", "contract file produced by `concord learn`", "contracts.json");
+  args.AddFlag("store-dir",
+               "durable artifact store directory: check against the persisted "
+               "contract set instead of --contracts");
+  args.AddFlag("dataset", "dataset name in the store (with --store-dir)", "default");
   args.AddFlag("json-out", "write the JSON violation report to this file");
   args.AddFlag("html-out", "write the HTML violation report to this file");
   args.AddFlag("coverage-out", "write the per-line coverage listing to this file (§3.9)");
@@ -447,11 +522,39 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   ProfileSession profile(args.GetBool("profile"), args.Get("trace-out"), &out, &err);
 
   std::string contracts_text;
-  try {
-    contracts_text = ReadFile(args.Get("contracts"));
-  } catch (const std::exception& e) {
-    err << "error: " << e.what() << "\n";
-    return 2;
+  if (args.Has("store-dir")) {
+    // The persisted learn output stands in for the contract file; a damaged
+    // store surfaces as store_corrupt, never a crash or a silent pass.
+    try {
+      DurableStore store(args.Get("store-dir"));
+      auto info = store.GetDataset(args.Get("dataset"));
+      if (!info || info->contracts_key == 0) {
+        err << "error: store has no contracts for dataset '" << args.Get("dataset")
+            << "' in " << args.Get("store-dir") << "\n";
+        return 2;
+      }
+      bool corrupt = false;
+      auto payload = store.GetObject(RecordType::kContracts, info->contracts_key,
+                                     "contracts", &corrupt);
+      if (!payload) {
+        err << "error: store_corrupt: persisted contract set for dataset '"
+            << args.Get("dataset") << "' is "
+            << (corrupt ? "corrupt" : "missing")
+            << "; relearn with `concord learn --store-dir`\n";
+        return 2;
+      }
+      contracts_text = std::move(*payload);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
+  } else {
+    try {
+      contracts_text = ReadFile(args.Get("contracts"));
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   LoadedInputs inputs;
@@ -512,6 +615,127 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   return result.violations.empty() ? 0 : 1;
 }
 
+// `concord serve --shards N`: the shard-router mode (DESIGN.md §10). The
+// frontend re-execs itself N times as single-shard workers — worker i serves
+// `<store-dir>/shard-<i>-of-<N>.sock` with store `<store-dir>/shard-<i>-of-<N>`
+// — then fans requests across them through a ShardRouter. A fixed shard count
+// keeps the partition function stable, so each worker's store keeps warming
+// the same slice of the config space across restarts.
+int RunShardedServe(const ArgParser& args, int shards, std::ostream& out,
+                    std::ostream& err) {
+  if (!args.Has("store-dir")) {
+    err << "error: --shards requires --store-dir (each worker owns a store partition)\n";
+    return 2;
+  }
+  if (args.GetBool("compat-v0")) {
+    err << "error: --shards speaks the v1 protocol only (no --compat-v0)\n";
+    return 2;
+  }
+  const std::string store_dir = args.Get("store-dir");
+  std::error_code fs_error;
+  std::filesystem::create_directories(store_dir, fs_error);
+  if (fs_error) {
+    err << "error: cannot create " << store_dir << ": " << fs_error.message() << "\n";
+    return 2;
+  }
+
+  std::vector<pid_t> workers;
+  std::vector<std::string> sockets;
+  for (int i = 0; i < shards; ++i) {
+    std::string suffix = "shard-" + std::to_string(i) + "-of-" + std::to_string(shards);
+    std::string socket_path = store_dir + "/" + suffix + ".sock";
+    std::vector<std::string> worker_args = {
+        "concord", "serve",
+        "--socket", socket_path,
+        "--store-dir", store_dir + "/" + suffix,
+        "--parallelism", args.Get("parallelism"),
+        "--cache-size", args.Get("cache-size"),
+        "--max-line-bytes", args.Get("max-line-bytes"),
+        // The router holds one long-lived connection per worker; it must not
+        // be reclaimed as idle between requests.
+        "--idle-timeout-ms", "0",
+        "--quiet"};
+    if (args.Has("lexer")) {
+      worker_args.push_back("--lexer");
+      worker_args.push_back(args.Get("lexer"));
+    }
+    for (const std::string& spec : args.GetAll("contracts")) {
+      worker_args.push_back("--contracts");
+      worker_args.push_back(spec);
+    }
+    std::vector<char*> worker_argv;
+    worker_argv.reserve(worker_args.size() + 1);
+    for (std::string& arg : worker_args) {
+      worker_argv.push_back(arg.data());
+    }
+    worker_argv.push_back(nullptr);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execv("/proc/self/exe", worker_argv.data());
+      _exit(127);  // exec failed; the router's connect timeout reports it.
+    }
+    if (pid < 0) {
+      err << "error: fork: worker " << i << " failed to spawn\n";
+      for (pid_t child : workers) {
+        ::kill(child, SIGTERM);
+        ::waitpid(child, nullptr, 0);
+      }
+      return 2;
+    }
+    workers.push_back(pid);
+    sockets.push_back(std::move(socket_path));
+  }
+
+  ShardRouterOptions router_options;
+  router_options.worker_sockets = sockets;
+  ShardRouter router(router_options);
+  int exit_code = 0;
+  std::string error;
+  if (!router.Connect(&error)) {
+    err << "error: cannot reach shard workers: " << error << "\n";
+    exit_code = 2;
+  } else {
+    std::ostream* summary = args.GetBool("quiet") ? nullptr : &err;
+    if (args.Has("socket")) {
+      SocketServerOptions socket_options;
+      socket_options.max_line_bytes = static_cast<size_t>(
+          std::max<int64_t>(1, args.GetInt("max-line-bytes").value_or(16777216)));
+      socket_options.backlog =
+          static_cast<int>(std::max<int64_t>(1, args.GetInt("backlog").value_or(8)));
+      socket_options.max_connections = static_cast<int>(
+          std::max<int64_t>(1, args.GetInt("max-connections").value_or(4)));
+      socket_options.idle_timeout_ms = args.GetInt("idle-timeout-ms").value_or(30000);
+      socket_options.drain_ms = args.GetInt("drain-ms").value_or(5000);
+      exit_code = RunHandlerSocket(router, args.Get("socket"), err, summary,
+                                   socket_options);
+    } else {
+      std::string line;
+      while (!router.shutdown_requested() && std::getline(std::cin, line)) {
+        if (!line.empty() && line.back() == '\r') {
+          line.pop_back();
+        }
+        if (line.empty()) {
+          continue;
+        }
+        out << router.HandleLine(line) << "\n" << std::flush;
+      }
+      if (summary != nullptr) {
+        *summary << router.SummaryText();
+      }
+    }
+  }
+
+  // A `shutdown` request was already broadcast by the router; SIGTERM covers
+  // the EOF/signal/connect-failure exits and is harmless on an exiting worker.
+  for (pid_t child : workers) {
+    ::kill(child, SIGTERM);
+  }
+  for (pid_t child : workers) {
+    ::waitpid(child, nullptr, 0);
+  }
+  return exit_code;
+}
+
 // `concord serve`: the persistent batched checking service (src/service/).
 // Requests arrive as newline-delimited JSON on stdin (or a unix socket with
 // --socket); each response is one line of JSON on stdout.
@@ -529,6 +753,12 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
   args.AddFlag("max-connections", "socket mode: concurrently served connections", "4");
   args.AddFlag("idle-timeout-ms", "socket mode: close idle connections (<=0 = never)", "30000");
   args.AddFlag("drain-ms", "socket mode: shutdown grace period for in-flight work", "5000");
+  args.AddFlag("store-dir",
+               "durable artifact store directory: warm-restart persisted datasets "
+               "and persist learn/update results (DESIGN.md §10)");
+  args.AddFlag("shards",
+               "fan out across N worker processes, each owning a store partition "
+               "(requires --store-dir)", "0");
   args.AddBoolFlag("quiet", "suppress the shutdown metrics summary");
   args.AddBoolFlag("compat-v0",
                    "speak the legacy (pre-v1) wire protocol: no \"v\" envelope, "
@@ -538,11 +768,17 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
     return 2;
   }
 
+  int shards = static_cast<int>(args.GetInt("shards").value_or(0));
+  if (shards > 1) {
+    return RunShardedServe(args, shards, out, err);
+  }
+
   ServiceOptions options;
   options.parallelism = static_cast<int>(args.GetInt("parallelism").value_or(0));
   options.cache_capacity =
       static_cast<size_t>(std::max<int64_t>(0, args.GetInt("cache-size").value_or(256)));
   options.compat_v0 = args.GetBool("compat-v0");
+  options.store_dir = args.Get("store-dir");
   Service service(options);
 
   if (args.Has("lexer")) {
@@ -580,11 +816,68 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
   return RunService(service, std::cin, out, summary);
 }
 
+// `concord store <ls|verify|gc>`: durable-store maintenance (DESIGN.md §10).
+// Exit codes: 0 healthy, 1 damage found (verify), 2 usage/store errors.
+int RunStore(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  if (argc < 3) {
+    err << "usage: concord store <ls|verify|gc> --store-dir <dir>\n";
+    return 2;
+  }
+  std::string sub = argv[2];
+  ArgParser args;
+  args.AddFlag("store-dir", "durable artifact store directory");
+  if (!args.Parse(argc, argv, 3)) {
+    err << "error: " << args.error() << "\n" << args.Usage();
+    return 2;
+  }
+  if (!args.Has("store-dir")) {
+    err << "error: --store-dir is required\n";
+    return 2;
+  }
+  DurableStore store(args.Get("store-dir"));
+  if (sub == "ls") {
+    for (const auto& [name, info] : store.Datasets()) {
+      out << name << ": " << info.config_keys.size() << " config(s), "
+          << info.metadata_keys.size() << " metadata doc(s), "
+          << info.contract_count << " contract(s) (key "
+          << std::to_string(info.contracts_key) << ")\n";
+    }
+    out << "objects: " << store.object_count() << " (" << store.total_bytes()
+        << " bytes)\n";
+    if (store.manifest_corrupt()) {
+      out << "warning: manifest is corrupt; datasets above are from the empty "
+             "fallback\n";
+      return 1;
+    }
+    return 0;
+  }
+  if (sub == "verify") {
+    DurableStore::VerifyResult result = store.Verify();
+    for (const std::string& problem : result.problems) {
+      out << problem << "\n";
+    }
+    out << "objects: " << result.objects << ", corrupt: " << result.corrupt
+        << ", missing refs: " << result.missing_refs << ", manifest: "
+        << (result.manifest_ok ? "ok" : "corrupt") << "\n";
+    return (result.corrupt == 0 && result.missing_refs == 0 && result.manifest_ok)
+               ? 0
+               : 1;
+  }
+  if (sub == "gc") {
+    DurableStore::GcResult result = store.Gc();
+    out << "removed " << result.removed << " object(s), reclaimed "
+        << result.reclaimed_bytes << " bytes\n";
+    return 0;
+  }
+  err << "error: unknown store command '" << sub << "' (expected ls, verify, or gc)\n";
+  return 2;
+}
+
 }  // namespace
 
 int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
   if (argc < 2) {
-    err << "usage: concord <learn|check|serve> [flags]\n";
+    err << "usage: concord <learn|check|serve|store> [flags]\n";
     return 2;
   }
   std::string mode = argv[1];
@@ -598,6 +891,9 @@ int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostrea
     if (mode == "serve") {
       return RunServe(argc, argv, out, err);
     }
+    if (mode == "store") {
+      return RunStore(argc, argv, out, err);
+    }
   } catch (const DeadlineExceeded&) {
     err << "error: deadline_exceeded\n";
     return 2;
@@ -605,7 +901,8 @@ int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostrea
     err << "error: " << e.what() << "\n";
     return 2;
   }
-  err << "error: unknown mode '" << mode << "' (expected learn, check, or serve)\n";
+  err << "error: unknown mode '" << mode
+      << "' (expected learn, check, serve, or store)\n";
   return 2;
 }
 

@@ -28,6 +28,7 @@ bool ArtifactStore::Upsert(const std::string& name, const std::string& text) {
   // index/summary pointer into it, dies atomically with the old entry.
   auto entry = std::make_unique<Entry>();
   entry->content_key = key;
+  entry->text = text;
   {
     TraceSpan span("learn", "parse");
     entry->config = parser_.Parse(name, text);
@@ -42,6 +43,11 @@ bool ArtifactStore::Upsert(const std::string& name, const std::string& text) {
 
 bool ArtifactStore::Remove(const std::string& name) { return entries_.erase(name) > 0; }
 
+const std::string* ArtifactStore::TextOf(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second->text;
+}
+
 void ArtifactStore::SetMetadata(const std::vector<std::string>& texts) {
   // Chained content key over the document sequence; each document is parsed
   // separately (format detection is per document, so concatenation would not be
@@ -55,6 +61,7 @@ void ArtifactStore::SetMetadata(const std::vector<std::string>& texts) {
     return;
   }
   metadata_key_ = key;
+  metadata_texts_ = texts;
   metadata_.clear();
   for (const std::string& text : texts) {
     for (ParsedLine& line : parser_.ParseMetadata(text)) {

@@ -96,6 +96,12 @@ class ArtifactStore {
   PatternTable* mutable_patterns() { return &table_; }
   const std::vector<ParsedLine>& metadata() const { return metadata_; }
 
+  // Raw source texts, retained for durable persistence (src/store/): parsing is
+  // deterministic, so persisting the Parse-stage *inputs* reproduces every
+  // downstream artifact bit for bit on rehydration.
+  const std::string* TextOf(const std::string& name) const;
+  const std::vector<std::string>& metadata_texts() const { return metadata_texts_; }
+
   // Metadata type-use counts (the metadata half of the Mine stage).
   const TypeCountsMap& metadata_types() const { return metadata_types_; }
 
@@ -114,6 +120,7 @@ class ArtifactStore {
  private:
   struct Entry {
     uint64_t content_key = 0;
+    std::string text;  // Raw source; the durable store persists this blob.
     ParsedConfig config;
     ConfigIndex index;
     ConfigSummary summary;
@@ -127,6 +134,7 @@ class ArtifactStore {
   PatternTable table_;
   ConfigParser parser_;
   std::vector<ParsedLine> metadata_;
+  std::vector<std::string> metadata_texts_;
   uint64_t metadata_key_;
   TypeCountsMap metadata_types_;
   // Name-keyed and name-iterated: configs enter aggregation in name order

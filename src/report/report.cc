@@ -50,21 +50,26 @@ JsonValue CoverageJsonValue(const CheckResult& result) {
   return coverage;
 }
 
+JsonValue ViolationJsonValue(const Violation& v, const ContractSet& set,
+                             const PatternTable& table) {
+  const Contract& c = set.contracts[v.contract_index];
+  JsonValue item = JsonValue::Object();
+  item.Set("category", JsonValue::String(std::string(ContractKindName(c.kind))));
+  item.Set("contract", JsonValue::String(c.ToString(table)));
+  // Stable identity for suppression files (src/contracts/suppression.h).
+  item.Set("key", JsonValue::String(c.Key(table)));
+  item.Set("config", JsonValue::String(v.config));
+  item.Set("line", JsonValue::Number(int64_t{v.line_number}));
+  item.Set("message", JsonValue::String(v.message));
+  return item;
+}
+
 JsonValue ReportJsonValue(const CheckResult& result, const ContractSet& set,
                           const PatternTable& table, bool compat_v0) {
   JsonValue root = JsonValue::Object();
   JsonValue violations = JsonValue::Array();
   for (const Violation& v : result.violations) {
-    const Contract& c = set.contracts[v.contract_index];
-    JsonValue item = JsonValue::Object();
-    item.Set("category", JsonValue::String(std::string(ContractKindName(c.kind))));
-    item.Set("contract", JsonValue::String(c.ToString(table)));
-    // Stable identity for suppression files (src/contracts/suppression.h).
-    item.Set("key", JsonValue::String(c.Key(table)));
-    item.Set("config", JsonValue::String(v.config));
-    item.Set("line", JsonValue::Number(int64_t{v.line_number}));
-    item.Set("message", JsonValue::String(v.message));
-    violations.Append(std::move(item));
+    violations.Append(ViolationJsonValue(v, set, table));
   }
   root.Set("violations", std::move(violations));
   root.Set("coverage", CoverageJsonValue(result));

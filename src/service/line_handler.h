@@ -1,0 +1,38 @@
+// The request-loop abstraction both serve frontends implement.
+//
+// The socket server and the stdio loop only ever need five operations from
+// whatever is answering requests; extracting them lets the same frontends drive
+// either a full Service (single-process serve) or a ShardRouter (the
+// multi-process fan-out of DESIGN.md §10) without caring which.
+#ifndef SRC_SERVICE_LINE_HANDLER_H_
+#define SRC_SERVICE_LINE_HANDLER_H_
+
+#include <string>
+
+namespace concord {
+
+class LineHandler {
+ public:
+  virtual ~LineHandler() = default;
+
+  // Handles one request line, returning exactly one line of JSON (no newline).
+  // Must never throw: failures become {"ok":false,...} responses.
+  virtual std::string HandleLine(const std::string& line) = 0;
+
+  // True once a shutdown request has been answered (or requested externally).
+  virtual bool shutdown_requested() const = 0;
+
+  // Requests shutdown from outside the request stream (signal-driven drain).
+  virtual void RequestShutdown() = 0;
+
+  // Human-readable metrics summary for the end of a session.
+  virtual std::string SummaryText() const = 0;
+
+  // True when the handler speaks the legacy (pre-v1) wire shape; frontends
+  // consult this so their own replies (line_too_long) match.
+  virtual bool compat_v0() const = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_LINE_HANDLER_H_

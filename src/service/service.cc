@@ -13,6 +13,7 @@
 #include "src/contracts/describe.h"
 #include "src/pattern/parser.h"
 #include "src/report/report.h"
+#include "src/store/record_io.h"
 #include "src/util/cancellation.h"
 #include "src/util/error_code.h"
 #include "src/util/hash.h"
@@ -46,7 +47,11 @@ bool VerbAllowsField(const std::string& verb, const std::string& field) {
   }
   if (verb == "check" || verb == "coverage") {
     return field == "contracts" || field == "configs" || field == "metadata" ||
-           field == "deadline_ms" || field == "coverage";
+           field == "deadline_ms" || field == "coverage" || field == "shard";
+  }
+  if (verb == "check_unique") {
+    // Internal: the shard router's phase-2 replay of the merged unique log.
+    return field == "contracts" || field == "log";
   }
   if (verb == "reload") {
     return field == "contracts" || field == "name" || field == "path";
@@ -147,6 +152,29 @@ Service::Service(ServiceOptions options)
   // concord_stage_* counters for as long as the service lives. Ring-buffer
   // event collection stays off unless something else (--profile) enables it.
   TraceCollector::Global().EnableStats();
+  if (!options_.store_dir.empty()) {
+    durable_ = std::make_unique<DurableStore>(options_.store_dir);
+    WarmRestart();
+  }
+}
+
+void Service::WarmRestart() {
+  // Install every persisted contract set straight from disk: a warm restart
+  // serves check traffic in milliseconds without relearning anything. The
+  // store's "contracts" stage hit counters are the proof. A corrupt or missing
+  // object is counted and skipped — the dataset relearns on its next use.
+  for (const auto& [name, info] : durable_->Datasets()) {
+    if (info.contracts_key == 0) {
+      continue;
+    }
+    auto payload = durable_->GetObject(RecordType::kContracts, info.contracts_key,
+                                       "contracts");
+    if (!payload) {
+      continue;
+    }
+    std::string error;
+    store_.Install(name, *payload, /*path=*/"", &error);
+  }
 }
 
 bool Service::LoadContracts(const std::string& name, const std::string& path,
@@ -274,7 +302,7 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   if (!options_.compat_v0) {
     bool known = verb == "check" || verb == "coverage" || verb == "reload" ||
                  verb == "learn" || verb == "update" || verb == "stats" ||
-                 verb == "metrics" || verb == "shutdown";
+                 verb == "metrics" || verb == "shutdown" || verb == "check_unique";
     if (known) {
       for (const auto& [field, value] : request.members()) {
         if (!VerbAllowsField(verb, field)) {
@@ -291,6 +319,9 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   if (verb == "coverage") {
     return HandleCheck(request, /*coverage_listing=*/true);
   }
+  if (verb == "check_unique") {
+    return HandleCheckUnique(request);
+  }
   if (verb == "reload") {
     return HandleReload(request);
   }
@@ -305,6 +336,24 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
     body.Set("verb", JsonValue::String("stats"));
     body.Set("stats", metrics_.Snapshot());
     body.Set("contract_sets", StatsJson());
+    if (durable_ != nullptr) {
+      JsonValue store = JsonValue::Object();
+      store.Set("dir", JsonValue::String(durable_->dir()));
+      store.Set("objects", JsonValue::Number(static_cast<int64_t>(durable_->object_count())));
+      store.Set("bytes", JsonValue::Number(static_cast<int64_t>(durable_->total_bytes())));
+      store.Set("datasets", JsonValue::Number(ToInt64(durable_->Datasets().size())));
+      store.Set("manifest_corrupt", JsonValue::Bool(durable_->manifest_corrupt()));
+      JsonValue stages = JsonValue::Object();
+      for (const auto& [stage, c] : durable_->Counters()) {
+        JsonValue cell = JsonValue::Object();
+        cell.Set("hits", JsonValue::Number(static_cast<int64_t>(c.hits)));
+        cell.Set("misses", JsonValue::Number(static_cast<int64_t>(c.misses)));
+        cell.Set("corrupt", JsonValue::Number(static_cast<int64_t>(c.corrupt)));
+        stages.Set(stage, std::move(cell));
+      }
+      store.Set("stages", std::move(stages));
+      body.Set("store", std::move(store));
+    }
     return body;
   }
   if (verb == "metrics") {
@@ -355,6 +404,12 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   if (auto ms = request.GetInt("deadline_ms"); ms.has_value() && *ms > 0) {
     deadline = Deadline::After(*ms);
   }
+
+  // Internal shard mode (DESIGN.md §10): the shard router fans a batch across
+  // workers. Each worker suppresses the cross-config unique pass (logging the
+  // observations instead) and reports raw coverage integers so the router can
+  // merge deterministically.
+  const bool shard_mode = request.GetBool("shard").value_or(false);
 
   const JsonValue* configs = request.Find("configs");
   if (configs == nullptr || !configs->is_array() || configs->items().empty()) {
@@ -486,7 +541,7 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
     cached_indexes.push_back(std::move(cached));
   }
   cache_span.reset();
-  if (cached_indexes.empty()) {
+  if (cached_indexes.empty() && !shard_mode) {
     throw ServiceError(ErrorCode::kParseFailed,
                        "all " + std::to_string(items.size()) +
                            " configs failed to parse (first: " + degraded.front().file +
@@ -500,6 +555,7 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   Checker checker(&entry->set, &entry->table,
                   static_cast<int>(pool_.num_threads()), &pool_);
   checker.set_deadline(deadline);
+  checker.set_collect_unique_log(shard_mode);
   CheckResult result;
   {
     TraceSpan span("serve", "check");
@@ -534,6 +590,114 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
     body.Set("report",
              ReportJsonValue(result, entry->set, entry->table, options_.compat_v0));
   }
+  if (shard_mode) {
+    // Everything the router needs that the human-facing report cannot provide:
+    // which configs were actually checked (ordinals anchor the unique log), the
+    // raw observation log, and integer coverage counts (percents are not
+    // invertible, so merged percents are recomputed from these).
+    JsonValue shard = JsonValue::Object();
+    JsonValue checked = JsonValue::Array();
+    for (const auto& cached : cached_indexes) {
+      checked.Append(JsonValue::String(cached->config->name));
+    }
+    shard.Set("checked", std::move(checked));
+    JsonValue log = JsonValue::Array();
+    for (const UniqueObservationLogEntry& e : result.unique_log) {
+      JsonValue item = JsonValue::Object();
+      item.Set("c", JsonValue::Number(ToInt64(e.contract_index)));
+      item.Set("i", JsonValue::Number(ToInt64(e.config_ordinal)));
+      item.Set("line", JsonValue::Number(int64_t{e.line_number}));
+      item.Set("t", JsonValue::String(e.type_name));
+      item.Set("v", JsonValue::String(e.value));
+      log.Append(std::move(item));
+    }
+    shard.Set("unique_log", std::move(log));
+    JsonValue cover = JsonValue::Object();
+    cover.Set("total_lines", JsonValue::Number(ToInt64(result.total_lines)));
+    cover.Set("covered_lines", JsonValue::Number(ToInt64(result.covered_lines)));
+    JsonValue by_kind = JsonValue::Array();
+    for (size_t k = 0; k < kNumCoverageKinds; ++k) {
+      by_kind.Append(JsonValue::Number(ToInt64(result.covered_by_kind[k])));
+    }
+    cover.Set("by_kind", std::move(by_kind));
+    shard.Set("cover", std::move(cover));
+    body.Set("shard", std::move(shard));
+  }
+  return body;
+}
+
+JsonValue Service::HandleCheckUnique(const JsonValue& request) {
+  // Resolve the contract set exactly like check does (the router forwards the
+  // original "contracts" member).
+  std::string name;
+  if (auto n = request.GetString("contracts")) {
+    name = *n;
+  } else {
+    auto all = store_.All();
+    if (all.size() != 1) {
+      throw ServiceError(ErrorCode::kMissingField,
+                         "'contracts' is required when " + std::to_string(all.size()) +
+                             " contract sets are loaded",
+                         "contracts");
+    }
+    name = all[0]->name;
+  }
+  std::shared_ptr<LoadedContractSet> entry = store_.Get(name);
+  if (entry == nullptr) {
+    throw ServiceError(ErrorCode::kUnknownContractSet,
+                       "unknown contract set '" + name + "' (reload it with a path)",
+                       name);
+  }
+  const JsonValue* log = request.Find("log");
+  if (log == nullptr || !log->is_array()) {
+    throw ServiceError(ErrorCode::kInvalidField,
+                       "'log' must be an array of unique-observation entries", "log");
+  }
+  // Replay of the checker's global unique pass over the merged, ordered log.
+  // Values are keyed by (contract, type, canonical text) — the identity the
+  // shards serialized — so the emitted violations match the single-process pass
+  // message for message.
+  std::map<std::string, std::pair<std::string, int64_t>> first;
+  JsonValue items = JsonValue::Array();
+  size_t count = 0;
+  for (const JsonValue& member : log->items()) {
+    auto contract = member.GetInt("c");
+    auto config = member.GetString("config");
+    auto line = member.GetInt("line");
+    auto type = member.GetString("t");
+    auto value = member.GetString("v");
+    if (!member.is_object() || !contract || !config || !line || !type || !value) {
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "each log entry needs c, config, line, t, v members", "log");
+    }
+    if (*contract < 0 ||
+        static_cast<size_t>(*contract) >= entry->set.contracts.size()) {
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "log entry contract index out of range", "log");
+    }
+    std::string key = std::to_string(*contract) + "\x01" + *type + "\x01" + *value;
+    auto [pos, inserted] = first.emplace(key, std::make_pair(*config, *line));
+    if (inserted) {
+      continue;
+    }
+    std::string message;
+    if (pos->second.first != *config) {
+      message = "value " + *value + " reuses a unique parameter (first seen in " +
+                pos->second.first + ":" + std::to_string(pos->second.second) + ")";
+    } else {
+      message = "value " + *value + " duplicated within the configuration (line " +
+                std::to_string(pos->second.second) + ")";
+    }
+    Violation violation{static_cast<size_t>(*contract), *config,
+                        static_cast<int>(*line), std::move(message)};
+    items.Append(ViolationJsonValue(violation, entry->set, entry->table));
+    ++count;
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("verb", JsonValue::String("check_unique"));
+  body.Set("contracts", JsonValue::String(name));
+  body.Set("violations", JsonValue::Number(ToInt64(count)));
+  body.Set("items", std::move(items));
   return body;
 }
 
@@ -735,6 +899,22 @@ JsonValue Service::HandleUpdate(const JsonValue& request) {
       dataset = it->second;
     }
   }
+  std::vector<SkippedFile> degraded;
+  if (dataset == nullptr && durable_ != nullptr) {
+    // Lazy rehydration (DESIGN.md §10): the dataset was persisted by an earlier
+    // process; rebuild its artifact store from the persisted blobs so this
+    // update relearns incrementally instead of failing. Blobs lost to
+    // corruption surface as degraded entries with the store_corrupt code.
+    dataset = HydrateDataset(name, &degraded);
+    if (dataset != nullptr) {
+      MutexLock map_lock(datasets_mu_);
+      auto [it, inserted] = datasets_.emplace(name, dataset);
+      if (!inserted) {
+        dataset = it->second;  // A concurrent update hydrated it first.
+        degraded.clear();
+      }
+    }
+  }
   if (dataset == nullptr) {
     throw ServiceError(ErrorCode::kUnknownDataset,
                        "unknown dataset '" + name +
@@ -750,7 +930,6 @@ JsonValue Service::HandleUpdate(const JsonValue& request) {
   // the update re-did (the artifact pipeline's incrementality contract).
   dataset->store.ResetCounters();
 
-  std::vector<SkippedFile> degraded;
   // "configs" matches the learn/check request shape; "upsert" is an alias.
   const JsonValue* upsert = request.Find("configs");
   if (upsert == nullptr) {
@@ -802,9 +981,9 @@ JsonValue Service::RelearnAndInstall(const std::string& name, ResidentDataset& d
   LearnResult result = learner.Learn(dataset.store);
   const PatternTable& table = dataset.store.patterns();
 
+  std::string serialized = SerializeContracts(result.set, table);
   std::string error;
-  if (!store_.Install(name, SerializeContracts(result.set, table), /*path=*/"",
-                      &error)) {
+  if (!store_.Install(name, serialized, /*path=*/"", &error)) {
     throw ServiceError(ErrorCode::kInternal, "installing learned contract set '" +
                                                  name + "' failed: " + error);
   }
@@ -868,7 +1047,131 @@ JsonValue Service::RelearnAndInstall(const std::string& name, ResidentDataset& d
 
   dataset.contracts = std::move(result.set);
   dataset.learned = true;
+  if (durable_ != nullptr) {
+    body.Set("store", PersistDataset(name, dataset, serialized));
+  }
   return body;
+}
+
+JsonValue Service::PersistDataset(const std::string& name, ResidentDataset& dataset,
+                                  const std::string& serialized_contracts) {
+  JsonValue out = JsonValue::Object();
+  size_t written = 0;
+  try {
+    PersistedDatasetInfo info;
+    for (const std::string& config : dataset.store.names()) {
+      const std::string* text = dataset.store.TextOf(config);
+      if (text == nullptr) {
+        continue;
+      }
+      uint64_t key = dataset.store.ContentKeyOf(config);
+      if (durable_->PutObject(RecordType::kBlob, key, *text, "config")) {
+        ++written;
+      }
+      info.config_keys[config] = key;
+    }
+    for (const std::string& text : dataset.store.metadata_texts()) {
+      uint64_t key = ContentKey("@meta", text);
+      if (durable_->PutObject(RecordType::kBlob, key, text, "metadata")) {
+        ++written;
+      }
+      info.metadata_keys.push_back(key);
+    }
+    uint64_t contracts_key = Fnv1a64(serialized_contracts);
+    if (durable_->PutObject(RecordType::kContracts, contracts_key,
+                            serialized_contracts, "contracts")) {
+      ++written;
+    }
+    info.contracts_key = contracts_key;
+    info.contract_count = ToInt64(dataset.contracts.contracts.size());
+    info.options = dataset.options;
+    durable_->PutDataset(name, info);
+    out.Set("persisted", JsonValue::Bool(true));
+    out.Set("objects_written", JsonValue::Number(ToInt64(written)));
+  } catch (const std::exception& e) {
+    // Persistence is best-effort: the in-memory learn result stands, the
+    // client learns the store is behind, and the next learn/update retries.
+    out.Set("persisted", JsonValue::Bool(false));
+    out.Set("objects_written", JsonValue::Number(ToInt64(written)));
+    out.Set("error", JsonValue::String(e.what()));
+  }
+  return out;
+}
+
+std::shared_ptr<Service::ResidentDataset> Service::HydrateDataset(
+    const std::string& name, std::vector<SkippedFile>* degraded) {
+  auto info = durable_->GetDataset(name);
+  if (!info) {
+    return nullptr;
+  }
+  ParseOptions parse_options;
+  parse_options.constants = info->options.constants;
+  auto dataset = std::make_shared<ResidentDataset>(&lexer_, parse_options);
+  MutexLock lock(dataset->mu);
+  dataset->options = info->options;
+  dataset->options.deadline = Deadline::Never();
+  dataset->options.parallelism = static_cast<int>(pool_.num_threads());
+  // Blobs replay in name order; learning aggregates in name order regardless of
+  // insertion history, so rehydrated relearns stay bit-identical to the
+  // original process's (the store oracle).
+  for (const auto& [config, key] : info->config_keys) {
+    bool corrupt = false;
+    auto text = durable_->GetObject(RecordType::kBlob, key, "config", &corrupt);
+    if (!text) {
+      degraded->push_back(SkippedFile{
+          config, std::string(corrupt ? "persisted config blob is corrupt"
+                                      : "persisted config blob is missing"),
+          ErrorCode::kStoreCorrupt});
+      continue;
+    }
+    try {
+      dataset->store.Upsert(config, *text);
+    } catch (const std::exception& e) {
+      degraded->push_back(SkippedFile{config, e.what(), ErrorCode::kParseFailed});
+    }
+  }
+  std::vector<std::string> metadata_texts;
+  for (size_t i = 0; i < info->metadata_keys.size(); ++i) {
+    bool corrupt = false;
+    auto text = durable_->GetObject(RecordType::kBlob, info->metadata_keys[i],
+                                    "metadata", &corrupt);
+    if (!text) {
+      degraded->push_back(SkippedFile{
+          "metadata#" + std::to_string(i),
+          std::string(corrupt ? "persisted metadata blob is corrupt"
+                              : "persisted metadata blob is missing"),
+          ErrorCode::kStoreCorrupt});
+      continue;
+    }
+    metadata_texts.push_back(std::move(*text));
+  }
+  if (!metadata_texts.empty()) {
+    dataset->store.SetMetadata(metadata_texts);
+  }
+  if (dataset->store.size() == 0) {
+    return nullptr;  // Nothing usable survived; the caller reports unknown_dataset.
+  }
+  // The persisted contracts become the "previous" set for update deltas. A
+  // corrupt object degrades to an empty previous set (the relearn result is
+  // unaffected — it derives from the rehydrated inputs).
+  if (info->contracts_key != 0) {
+    bool corrupt = false;
+    auto payload = durable_->GetObject(RecordType::kContracts, info->contracts_key,
+                                       "contracts", &corrupt);
+    if (payload) {
+      std::string error;
+      auto set = ParseContracts(*payload, dataset->store.mutable_patterns(), &error);
+      if (set) {
+        dataset->contracts = std::move(*set);
+        dataset->learned = true;
+      }
+    } else if (corrupt) {
+      degraded->push_back(SkippedFile{"contracts",
+                                      "persisted contract set is corrupt",
+                                      ErrorCode::kStoreCorrupt});
+    }
+  }
+  return dataset;
 }
 
 JsonValue Service::StatsJson() const {
@@ -913,6 +1216,36 @@ std::string Service::PrometheusText() const {
     out += "concord_contract_set_cached_configs{set=\"" +
            MetricsRegistry::EscapeLabelValue(entry->name) +
            "\"} " + std::to_string(entry->cache.size()) + "\n";
+  }
+  // Dataset/store health (DESIGN.md §10). The resident gauge is always exposed;
+  // the store families appear only when a durable store is attached.
+  size_t resident = 0;
+  {
+    MutexLock lock(datasets_mu_);
+    resident = datasets_.size();
+  }
+  out += "# HELP concord_resident_datasets Learned datasets resident in memory.\n";
+  out += "# TYPE concord_resident_datasets gauge\n";
+  out += "concord_resident_datasets " + std::to_string(resident) + "\n";
+  if (durable_ != nullptr) {
+    out += "# HELP concord_store_objects Content-addressed objects in the durable store.\n";
+    out += "# TYPE concord_store_objects gauge\n";
+    out += "concord_store_objects " + std::to_string(durable_->object_count()) + "\n";
+    out += "# HELP concord_store_bytes Bytes of framed records in the durable store.\n";
+    out += "# TYPE concord_store_bytes gauge\n";
+    out += "concord_store_bytes " + std::to_string(durable_->total_bytes()) + "\n";
+    out += "# HELP concord_store_datasets Datasets persisted in the store manifest.\n";
+    out += "# TYPE concord_store_datasets gauge\n";
+    out += "concord_store_datasets " + std::to_string(durable_->Datasets().size()) + "\n";
+    out += "# HELP concord_store_stage_total Durable-store reads by stage and outcome.\n";
+    out += "# TYPE concord_store_stage_total counter\n";
+    for (const auto& [stage, c] : durable_->Counters()) {
+      std::string prefix = "concord_store_stage_total{stage=\"" +
+                           MetricsRegistry::EscapeLabelValue(stage) + "\",outcome=";
+      out += prefix + "\"hit\"} " + std::to_string(c.hits) + "\n";
+      out += prefix + "\"miss\"} " + std::to_string(c.misses) + "\n";
+      out += prefix + "\"corrupt\"} " + std::to_string(c.corrupt) + "\n";
+    }
   }
   return out;
 }

@@ -56,7 +56,9 @@
 #include "src/learn/learner.h"
 #include "src/pattern/lexer.h"
 #include "src/service/contract_store.h"
+#include "src/service/line_handler.h"
 #include "src/service/metrics.h"
+#include "src/store/store.h"
 #include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 
@@ -69,9 +71,13 @@ struct ServiceOptions {
   // errors, camelCase response keys. One-release deprecation escape hatch
   // (--compat-v0).
   bool compat_v0 = false;
+  // Directory of the durable artifact store (DESIGN.md §10). Empty disables
+  // persistence; non-empty warm-restarts every persisted contract set at
+  // construction and persists learn/update results.
+  std::string store_dir;
 };
 
-class Service {
+class Service : public LineHandler {
  public:
   explicit Service(ServiceOptions options);
 
@@ -86,17 +92,19 @@ class Service {
 
   // Handles one request line, returning exactly one line of JSON (no newline).
   // Never throws: every failure becomes an {"ok":false,...} response.
-  std::string HandleLine(const std::string& line);
+  std::string HandleLine(const std::string& line) override;
 
   // True once a shutdown request has been answered. Atomic because the socket
   // frontend serves connections from a pool while its accept loop polls this.
-  bool shutdown_requested() const { return shutdown_.load(std::memory_order_acquire); }
+  bool shutdown_requested() const override {
+    return shutdown_.load(std::memory_order_acquire);
+  }
 
   // Requests shutdown from outside the request stream (signal-driven drain).
-  void RequestShutdown() { shutdown_.store(true, std::memory_order_release); }
+  void RequestShutdown() override { shutdown_.store(true, std::memory_order_release); }
 
   // Human-readable metrics summary for the end of a session.
-  std::string SummaryText() const { return metrics_.SummaryText(); }
+  std::string SummaryText() const override { return metrics_.SummaryText(); }
 
   // Prometheus text exposition: request/cache/work families, per-stage trace
   // counters, and per-contract-set gauges. Body of the `metrics` verb.
@@ -106,7 +114,10 @@ class Service {
 
   // True when the service speaks the legacy (pre-v1) wire shape; the socket
   // frontend consults this so its own replies (line_too_long) match.
-  bool compat_v0() const { return options_.compat_v0; }
+  bool compat_v0() const override { return options_.compat_v0; }
+
+  // The durable store backing this service; nullptr without --store-dir.
+  DurableStore* durable_store() { return durable_.get(); }
 
  private:
   // A dataset kept resident between learn/update requests: its artifact store
@@ -134,6 +145,27 @@ class Service {
   JsonValue HandleReload(const JsonValue& request);
   JsonValue HandleLearn(const JsonValue& request);
   JsonValue HandleUpdate(const JsonValue& request);
+  // Internal shard-router verb: replays the merged unique-observation log
+  // (DESIGN.md §10) and returns the recovered violations as report JSON items.
+  JsonValue HandleCheckUnique(const JsonValue& request);
+
+  // Installs every persisted contract set from the durable store at startup,
+  // skipping relearning entirely; corrupt objects degrade to "relearn on next
+  // use" and are counted, never fatal.
+  void WarmRestart();
+
+  // Rebuilds a ResidentDataset from persisted blobs (lazy, on the first update
+  // after a warm restart). Returns nullptr when the store has no such dataset;
+  // fills `degraded` with configs whose blobs were missing or corrupt.
+  std::shared_ptr<ResidentDataset> HydrateDataset(
+      const std::string& name, std::vector<SkippedFile>* degraded);
+
+  // Persists the dataset's inputs (config/metadata blobs) and learned contracts
+  // after a successful relearn; returns the response's "store" member. Write
+  // failures degrade to {"persisted":false,...} — the in-memory result stands.
+  JsonValue PersistDataset(const std::string& name, ResidentDataset& dataset,
+                           const std::string& serialized_contracts)
+      CONCORD_REQUIRES(dataset.mu);
 
   // Shared tail of learn/update: relearn from the dataset's artifact store,
   // install the result under `name`, and fill the response body (contract
@@ -149,9 +181,12 @@ class Service {
   ServiceOptions options_;
   Lexer lexer_;
   ContractStore store_;
+  std::unique_ptr<DurableStore> durable_;  // Null without a store_dir.
   ThreadPool pool_;
   Metrics metrics_;
-  Mutex datasets_mu_;  // Guards the map, not the datasets (see ResidentDataset).
+  // Guards the map, not the datasets (see ResidentDataset); mutable so the
+  // const metrics exposition can read the resident-dataset count.
+  mutable Mutex datasets_mu_;
   std::map<std::string, std::shared_ptr<ResidentDataset>> datasets_
       CONCORD_GUARDED_BY(datasets_mu_);
   std::atomic<bool> shutdown_{false};

@@ -1,0 +1,656 @@
+#include "src/service/shard_router.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_set>
+
+#include "src/check/checker.h"
+#include "src/util/error_code.h"
+#include "src/util/hash.h"
+#include "src/util/stopwatch.h"
+
+namespace concord {
+
+namespace {
+
+// Replies larger than this indicate a broken worker, not a real response.
+constexpr size_t kMaxReplyBytes = size_t{1} << 30;
+
+// Router-side failure that becomes a structured error response. Codes reuse
+// the closed ErrorCode vocabulary so clients cannot tell a router from a
+// single-process server by error shape.
+struct RouterError : std::runtime_error {
+  RouterError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code(code) {}
+
+  ErrorCode code;
+};
+
+int DialUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path too long: " + path;
+    }
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a worker that died mid-conversation must surface as an
+    // io_error response, not SIGPIPE the whole frontend.
+    ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Builds the standard failure response line ({"v":1,"ok":false,...}), echoing
+// the request id when there was one — the same shape Service::HandleLine emits.
+std::string ErrorResponse(ErrorCode code, const std::string& message,
+                          const JsonValue* id) {
+  JsonValue response = JsonValue::Object();
+  response.Set("v", JsonValue::Number(int64_t{1}));
+  response.Set("ok", JsonValue::Bool(false));
+  if (id != nullptr) {
+    response.Set("id", *id);
+  }
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(std::string(ErrorCodeName(code))));
+  error.Set("message", JsonValue::String(message));
+  response.Set("error", std::move(error));
+  return response.Serialize(0);
+}
+
+// Relays a worker's error envelope under the original request id.
+std::string RelayError(const JsonValue& worker_response, const JsonValue* id) {
+  JsonValue response = JsonValue::Object();
+  response.Set("v", JsonValue::Number(int64_t{1}));
+  response.Set("ok", JsonValue::Bool(false));
+  if (id != nullptr) {
+    response.Set("id", *id);
+  }
+  const JsonValue* error = worker_response.Find("error");
+  response.Set("error", error != nullptr ? *error : JsonValue::Null());
+  return response.Serialize(0);
+}
+
+int64_t SumInt(const std::vector<JsonValue>& responses, std::string_view key) {
+  int64_t sum = 0;
+  for (const JsonValue& r : responses) {
+    sum += r.GetInt(key).value_or(0);
+  }
+  return sum;
+}
+
+// Exactly CheckResult::CoveragePercent's arithmetic, so merged percents match
+// single-process ones bit for bit.
+double Percent(int64_t covered, int64_t total) {
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(covered) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)), sockets_(options_.worker_sockets) {
+  MutexLock lock(io_mu_);
+  links_.resize(sockets_.size());
+}
+
+ShardRouter::~ShardRouter() {
+  MutexLock lock(io_mu_);
+  for (WorkerLink& link : links_) {
+    if (link.fd >= 0) {
+      ::close(link.fd);
+      link.fd = -1;
+    }
+  }
+}
+
+size_t ShardRouter::ShardOf(const std::string& name, const std::string& text,
+                            size_t shards) {
+  return shards == 0 ? 0 : ContentKey(name, text) % shards;
+}
+
+bool ShardRouter::Connect(std::string* error, int64_t timeout_ms) {
+  MutexLock lock(io_mu_);
+  for (size_t i = 0; i < sockets_.size(); ++i) {
+    if (links_[i].fd >= 0) {
+      continue;
+    }
+    Stopwatch watch;
+    std::string dial_error;
+    for (;;) {
+      links_[i].fd = DialUnix(sockets_[i], &dial_error);
+      if (links_[i].fd >= 0) {
+        break;
+      }
+      if (watch.ElapsedSeconds() * 1000.0 >= static_cast<double>(timeout_ms)) {
+        if (error != nullptr) {
+          *error = "shard " + std::to_string(i) + ": " + dial_error;
+        }
+        return false;
+      }
+      ::poll(nullptr, 0, 20);  // Back off while the worker binds its socket.
+    }
+  }
+  return true;
+}
+
+std::string ShardRouter::Forward(size_t shard, const std::string& line) {
+  WorkerLink& link = links_[shard];
+  if (link.fd < 0) {
+    throw RouterError(ErrorCode::kIoError,
+                      "shard " + std::to_string(shard) + " is not connected");
+  }
+  if (!WriteAll(link.fd, line + "\n")) {
+    throw RouterError(ErrorCode::kIoError, "shard " + std::to_string(shard) +
+                                               ": write failed: " +
+                                               std::strerror(errno));
+  }
+  char chunk[1 << 16];
+  for (;;) {
+    size_t newline = link.buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string reply = link.buffer.substr(0, newline);
+      link.buffer.erase(0, newline + 1);
+      if (!reply.empty() && reply.back() == '\r') {
+        reply.pop_back();
+      }
+      return reply;
+    }
+    if (link.buffer.size() > kMaxReplyBytes) {
+      throw RouterError(ErrorCode::kIoError,
+                        "shard " + std::to_string(shard) + ": oversize reply");
+    }
+    ssize_t n = ::read(link.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw RouterError(ErrorCode::kIoError, "shard " + std::to_string(shard) +
+                                                 ": read failed: " +
+                                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      throw RouterError(ErrorCode::kIoError,
+                        "shard " + std::to_string(shard) + " closed the connection");
+    }
+    link.buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string ShardRouter::Broadcast(const std::string& line, const std::string& verb,
+                                   const JsonValue* id) {
+  // Workers are deterministic replicas for these verbs, so every response must
+  // be byte-identical; a mismatch means a diverged worker (corrupt store,
+  // version skew) and is surfaced rather than silently picking one.
+  std::string first = Forward(0, line);
+  auto parsed = JsonValue::Parse(first);
+  if (parsed && parsed->GetBool("ok") == false) {
+    return first;  // All replicas would reject identically; don't spread it.
+  }
+  for (size_t shard = 1; shard < links_.size(); ++shard) {
+    std::string other = Forward(shard, line);
+    if (other != first) {
+      return ErrorResponse(ErrorCode::kInternal,
+                           "shard divergence on '" + verb + "': shard " +
+                               std::to_string(shard) +
+                               " answered differently than shard 0",
+                           id);
+    }
+  }
+  return first;
+}
+
+std::string ShardRouter::HandleCheckLine(const JsonValue& request,
+                                         const std::string& raw,
+                                         const JsonValue* id) {
+  const size_t shards = links_.size();
+  const JsonValue* configs = request.Find("configs");
+  if (configs == nullptr || !configs->is_array() || configs->items().empty()) {
+    return Forward(0, raw);  // The worker renders the proper invalid_field error.
+  }
+  struct Cfg {
+    const std::string* name;
+    size_t shard;
+  };
+  std::vector<Cfg> cfgs;
+  cfgs.reserve(configs->items().size());
+  std::unordered_set<std::string> seen;
+  bool duplicates = false;
+  uint64_t batch_key = kFnv1a64OffsetBasis;
+  for (const JsonValue& member : configs->items()) {
+    const JsonValue* name = member.is_object() ? member.Find("name") : nullptr;
+    const JsonValue* text = member.is_object() ? member.Find("text") : nullptr;
+    if (name == nullptr || !name->is_string() || text == nullptr ||
+        !text->is_string()) {
+      {
+        MutexLock stats(stats_mu_);
+        ++forwarded_whole_;
+      }
+      return Forward(0, raw);  // Malformed entry: worker renders the error.
+    }
+    uint64_t key = ContentKey(name->AsString(), text->AsString());
+    batch_key = MixKeys(batch_key, key);
+    duplicates = duplicates || !seen.insert(name->AsString()).second;
+    cfgs.push_back(Cfg{&name->AsString(), key % shards});
+  }
+  if (duplicates) {
+    // Duplicate names make the per-config merge ambiguous; one worker checks
+    // the whole batch instead (still byte-identical — it IS a single process).
+    {
+      MutexLock stats(stats_mu_);
+      ++forwarded_whole_;
+    }
+    return Forward(batch_key % shards, raw);
+  }
+  std::set<size_t> involved;
+  for (const Cfg& cfg : cfgs) {
+    involved.insert(cfg.shard);
+  }
+  if (involved.size() == 1) {
+    {
+      MutexLock stats(stats_mu_);
+      ++forwarded_whole_;
+    }
+    return Forward(*involved.begin(), raw);
+  }
+  {
+    MutexLock stats(stats_mu_);
+    ++sharded_checks_;
+  }
+
+  // Fan out: each involved shard gets the fields of the original request with
+  // its slice of the configs and the internal shard flag.
+  std::map<size_t, JsonValue> responses;
+  for (size_t shard : involved) {
+    JsonValue sub = JsonValue::Object();
+    sub.Set("v", JsonValue::Number(int64_t{1}));
+    sub.Set("verb", JsonValue::String("check"));
+    for (const char* field : {"contracts", "metadata", "deadline_ms", "coverage"}) {
+      if (const JsonValue* value = request.Find(field)) {
+        sub.Set(field, *value);
+      }
+    }
+    sub.Set("shard", JsonValue::Bool(true));
+    JsonValue slice = JsonValue::Array();
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+      if (cfgs[i].shard == shard) {
+        slice.Append(configs->items()[i]);
+      }
+    }
+    sub.Set("configs", std::move(slice));
+    std::string reply = Forward(shard, sub.Serialize(0));
+    auto parsed = JsonValue::Parse(reply);
+    if (!parsed || !parsed->is_object()) {
+      throw RouterError(ErrorCode::kInternal,
+                        "shard " + std::to_string(shard) + ": unparseable reply");
+    }
+    if (parsed->GetBool("ok") != true) {
+      return RelayError(*parsed, id);  // e.g. deadline_exceeded from one shard.
+    }
+    responses.emplace(shard, std::move(*parsed));
+  }
+
+  // ---- Merge (DESIGN.md §10): counters sum; per-config violations and
+  // degraded entries interleave back into original batch order; the unique
+  // pass replays once over the merged observation log; coverage percents are
+  // recomputed from summed integers. ----
+  std::vector<JsonValue> flat;
+  flat.reserve(responses.size());
+  for (auto& [shard, response] : responses) {
+    flat.push_back(std::move(response));
+  }
+  std::map<std::string, size_t> original_index;
+  for (size_t i = 0; i < cfgs.size(); ++i) {
+    original_index[*cfgs[i].name] = i;
+  }
+
+  std::map<std::string, std::vector<const JsonValue*>> violations_by_config;
+  std::map<std::string, const JsonValue*> degraded_by_file;
+  struct LogEntry {
+    int64_t contract;
+    size_t orig;
+    const std::string* config;
+    const JsonValue* entry;
+  };
+  std::vector<LogEntry> log;
+  int64_t total_lines = 0;
+  int64_t covered_lines = 0;
+  std::array<int64_t, kNumCoverageKinds> by_kind{};
+  std::string contracts_name;
+  for (const JsonValue& response : flat) {
+    if (auto n = response.GetString("contracts")) {
+      contracts_name = *n;
+    }
+    if (const JsonValue* report = response.Find("report")) {
+      if (const JsonValue* violations = report->Find("violations")) {
+        for (const JsonValue& item : violations->items()) {
+          if (auto config = item.GetString("config")) {
+            violations_by_config[*config].push_back(&item);
+          }
+        }
+      }
+    }
+    if (const JsonValue* degraded = response.Find("degraded")) {
+      for (const JsonValue& item : degraded->items()) {
+        if (auto file = item.GetString("file")) {
+          degraded_by_file[*file] = &item;
+        }
+      }
+    }
+    const JsonValue* shard_info = response.Find("shard");
+    if (shard_info == nullptr) {
+      throw RouterError(ErrorCode::kInternal,
+                        "worker response is missing the shard member");
+    }
+    const JsonValue* checked = shard_info->Find("checked");
+    if (const JsonValue* entries = shard_info->Find("unique_log")) {
+      for (const JsonValue& entry : entries->items()) {
+        auto ordinal = entry.GetInt("i");
+        if (!ordinal || checked == nullptr ||
+            static_cast<size_t>(*ordinal) >= checked->items().size()) {
+          throw RouterError(ErrorCode::kInternal,
+                            "worker unique log references an unknown config");
+        }
+        const std::string& config = checked->items()[static_cast<size_t>(*ordinal)].AsString();
+        auto orig = original_index.find(config);
+        if (orig == original_index.end()) {
+          throw RouterError(ErrorCode::kInternal,
+                            "worker checked a config the router never sent");
+        }
+        log.push_back(LogEntry{entry.GetInt("c").value_or(0), orig->second,
+                               &orig->first, &entry});
+      }
+    }
+    if (const JsonValue* cover = shard_info->Find("cover")) {
+      total_lines += cover->GetInt("total_lines").value_or(0);
+      covered_lines += cover->GetInt("covered_lines").value_or(0);
+      if (const JsonValue* kinds = cover->Find("by_kind")) {
+        for (size_t k = 0; k < kNumCoverageKinds && k < kinds->items().size(); ++k) {
+          by_kind[k] += kinds->items()[k].AsInt();
+        }
+      }
+    }
+  }
+
+  // Degraded entries in original batch order (how a single process, scanning
+  // the batch once, would have recorded them).
+  JsonValue degraded = JsonValue::Array();
+  const JsonValue* first_degraded = nullptr;
+  for (const Cfg& cfg : cfgs) {
+    auto it = degraded_by_file.find(*cfg.name);
+    if (it != degraded_by_file.end()) {
+      if (first_degraded == nullptr) {
+        first_degraded = it->second;
+      }
+      degraded.Append(*it->second);
+    }
+  }
+
+  int64_t configs_checked = SumInt(flat, "configs_checked");
+  if (configs_checked == 0 && first_degraded != nullptr) {
+    // Single-process behavior: a batch with no survivors is an error, phrased
+    // identically.
+    std::string reason;
+    if (const JsonValue* error = first_degraded->Find("error")) {
+      reason = error->GetString("message").value_or("");
+    }
+    return ErrorResponse(ErrorCode::kParseFailed,
+                         "all " + std::to_string(cfgs.size()) +
+                             " configs failed to parse (first: " +
+                             first_degraded->GetString("file").value_or("") +
+                             ": " + reason + ")",
+                         id);
+  }
+
+  // Per-config violations in original batch order.
+  JsonValue violations = JsonValue::Array();
+  for (const Cfg& cfg : cfgs) {
+    auto it = violations_by_config.find(*cfg.name);
+    if (it == violations_by_config.end()) {
+      continue;
+    }
+    for (const JsonValue* item : it->second) {
+      violations.Append(*item);
+    }
+  }
+
+  // Replay the global unique pass over the merged, reordered log. Entries from
+  // one shard are already ordered by (contract, local config); a stable sort by
+  // (contract, original index) reproduces the exact visit order of the
+  // single-process pass.
+  int64_t unique_count = 0;
+  if (!log.empty()) {
+    std::stable_sort(log.begin(), log.end(), [](const LogEntry& a, const LogEntry& b) {
+      if (a.contract != b.contract) {
+        return a.contract < b.contract;
+      }
+      return a.orig < b.orig;
+    });
+    JsonValue replay = JsonValue::Object();
+    replay.Set("v", JsonValue::Number(int64_t{1}));
+    replay.Set("verb", JsonValue::String("check_unique"));
+    if (!contracts_name.empty()) {
+      replay.Set("contracts", JsonValue::String(contracts_name));
+    }
+    JsonValue entries = JsonValue::Array();
+    for (const LogEntry& e : log) {
+      JsonValue item = JsonValue::Object();
+      item.Set("c", JsonValue::Number(e.contract));
+      item.Set("config", JsonValue::String(*e.config));
+      item.Set("line", JsonValue::Number(e.entry->GetInt("line").value_or(0)));
+      item.Set("t", JsonValue::String(e.entry->GetString("t").value_or("")));
+      item.Set("v", JsonValue::String(e.entry->GetString("v").value_or("")));
+      entries.Append(std::move(item));
+    }
+    replay.Set("log", std::move(entries));
+    std::string reply = Forward(0, replay.Serialize(0));
+    auto parsed = JsonValue::Parse(reply);
+    if (!parsed || parsed->GetBool("ok") != true) {
+      if (parsed && parsed->is_object()) {
+        return RelayError(*parsed, id);
+      }
+      throw RouterError(ErrorCode::kInternal, "shard 0: unparseable check_unique reply");
+    }
+    if (const JsonValue* items = parsed->Find("items")) {
+      for (const JsonValue& item : items->items()) {
+        violations.Append(item);
+        ++unique_count;
+      }
+    }
+  }
+
+  // Assemble the response in exactly the single-process member order.
+  JsonValue response = JsonValue::Object();
+  response.Set("v", JsonValue::Number(int64_t{1}));
+  response.Set("ok", JsonValue::Bool(true));
+  if (id != nullptr) {
+    response.Set("id", *id);
+  }
+  response.Set("verb", JsonValue::String("check"));
+  response.Set("contracts", JsonValue::String(contracts_name));
+  response.Set("configs_checked", JsonValue::Number(configs_checked));
+  response.Set("cache_hits", JsonValue::Number(SumInt(flat, "cache_hits")));
+  response.Set("cache_misses", JsonValue::Number(SumInt(flat, "cache_misses")));
+  response.Set("index_cache_hits", JsonValue::Number(SumInt(flat, "index_cache_hits")));
+  response.Set("index_cache_misses",
+               JsonValue::Number(SumInt(flat, "index_cache_misses")));
+  response.Set("violations",
+               JsonValue::Number(static_cast<int64_t>(violations.items().size())));
+  if (!degraded.items().empty()) {
+    response.Set("degraded", degraded);
+  }
+  JsonValue report = JsonValue::Object();
+  report.Set("violations", std::move(violations));
+  JsonValue coverage = JsonValue::Object();
+  coverage.Set("totalLines", JsonValue::Number(total_lines));
+  coverage.Set("coveredLines", JsonValue::Number(covered_lines));
+  coverage.Set("percent", JsonValue::Number(Percent(covered_lines, total_lines)));
+  JsonValue percent_by_kind = JsonValue::Object();
+  for (size_t k = 0; k < kNumCoverageKinds; ++k) {
+    percent_by_kind.Set(std::string(CoverageKindName(static_cast<CoverageKind>(k))),
+                        JsonValue::Number(Percent(by_kind[k], total_lines)));
+  }
+  coverage.Set("percentByKind", std::move(percent_by_kind));
+  report.Set("coverage", std::move(coverage));
+  if (!degraded.items().empty()) {
+    report.Set("degraded", std::move(degraded));
+  }
+  response.Set("report", std::move(report));
+  return response.Serialize(0);
+}
+
+std::string ShardRouter::HandleLine(const std::string& line) {
+  {
+    MutexLock stats(stats_mu_);
+    ++requests_;
+  }
+  MutexLock lock(io_mu_);
+  JsonValue id;
+  const JsonValue* id_ptr = nullptr;
+  try {
+    auto request = JsonValue::Parse(line);
+    if (!request || !request->is_object()) {
+      // The worker renders the malformed_request error; relaying keeps error
+      // shapes identical to a single-process server.
+      std::string reply = Forward(0, line);
+      MutexLock stats(stats_mu_);
+      ++forwarded_whole_;
+      return reply;
+    }
+    if (const JsonValue* i = request->Find("id")) {
+      id = *i;
+      id_ptr = &id;
+    }
+    std::string verb = request->GetString("verb").value_or("");
+    if (verb == "learn" || verb == "update" || verb == "reload") {
+      return Broadcast(line, verb, id_ptr);
+    }
+    if (verb == "shutdown") {
+      for (size_t shard = 0; shard < links_.size(); ++shard) {
+        try {
+          Forward(shard, line);
+        } catch (const RouterError&) {
+          // Best effort: a worker that already drained (or died) is exactly
+          // what this broadcast was trying to achieve.
+        }
+      }
+      RequestShutdown();
+      JsonValue response = JsonValue::Object();
+      response.Set("v", JsonValue::Number(int64_t{1}));
+      response.Set("ok", JsonValue::Bool(true));
+      if (id_ptr != nullptr) {
+        response.Set("id", *id_ptr);
+      }
+      response.Set("verb", JsonValue::String("shutdown"));
+      response.Set("shards", JsonValue::Number(static_cast<int64_t>(links_.size())));
+      return response.Serialize(0);
+    }
+    if (verb == "stats" || verb == "metrics") {
+      JsonValue response = JsonValue::Object();
+      response.Set("v", JsonValue::Number(int64_t{1}));
+      response.Set("ok", JsonValue::Bool(true));
+      if (id_ptr != nullptr) {
+        response.Set("id", *id_ptr);
+      }
+      response.Set("verb", JsonValue::String(verb));
+      JsonValue shards = JsonValue::Array();
+      for (size_t shard = 0; shard < links_.size(); ++shard) {
+        auto parsed = JsonValue::Parse(Forward(shard, line));
+        shards.Append(parsed ? std::move(*parsed) : JsonValue::Null());
+      }
+      response.Set("shards", std::move(shards));
+      if (verb == "stats") {
+        JsonValue router = JsonValue::Object();
+        MutexLock stats(stats_mu_);
+        router.Set("shards", JsonValue::Number(static_cast<int64_t>(links_.size())));
+        router.Set("requests", JsonValue::Number(static_cast<int64_t>(requests_)));
+        router.Set("sharded_checks",
+                   JsonValue::Number(static_cast<int64_t>(sharded_checks_)));
+        router.Set("forwarded_whole",
+                   JsonValue::Number(static_cast<int64_t>(forwarded_whole_)));
+        response.Set("router", std::move(router));
+      }
+      return response.Serialize(0);
+    }
+    if (verb == "check") {
+      return HandleCheckLine(*request, line, id_ptr);
+    }
+    // coverage (per-batch listing) and everything else — including requests a
+    // worker will reject — go whole to one deterministically chosen worker.
+    size_t target = 0;
+    if (verb == "coverage") {
+      uint64_t batch_key = kFnv1a64OffsetBasis;
+      if (const JsonValue* configs = request->Find("configs")) {
+        for (const JsonValue& member : configs->items()) {
+          const JsonValue* name = member.is_object() ? member.Find("name") : nullptr;
+          const JsonValue* text = member.is_object() ? member.Find("text") : nullptr;
+          if (name != nullptr && name->is_string() && text != nullptr &&
+              text->is_string()) {
+            batch_key = MixKeys(batch_key, ContentKey(name->AsString(), text->AsString()));
+          }
+        }
+      }
+      target = batch_key % links_.size();
+    }
+    std::string reply = Forward(target, line);
+    MutexLock stats(stats_mu_);
+    ++forwarded_whole_;
+    return reply;
+  } catch (const RouterError& e) {
+    return ErrorResponse(e.code, e.what(), id_ptr);
+  } catch (const std::exception& e) {
+    return ErrorResponse(ErrorCode::kInternal, e.what(), id_ptr);
+  }
+}
+
+std::string ShardRouter::SummaryText() const {
+  MutexLock stats(stats_mu_);
+  return "router: " + std::to_string(sockets_.size()) + " shards, " +
+         std::to_string(requests_) + " requests (" +
+         std::to_string(sharded_checks_) + " sharded checks, " +
+         std::to_string(forwarded_whole_) + " forwarded whole)\n";
+}
+
+}  // namespace concord

@@ -1,0 +1,114 @@
+// Shard-router serve mode (DESIGN.md §10): one frontend, N worker processes.
+//
+// The router speaks the same v1 NDJSON protocol as a single-process server and
+// fans work across workers reached over their Unix-socket endpoints:
+//
+//   check     configs partition across shards by config content hash
+//             (ContentKey(name, text) % N — the same FNV-1a keys the artifact
+//             pipeline uses). Workers run in shard mode: per-config violations
+//             and coverage integers come back per shard, the cross-config
+//             unique pass is replayed once over the merged observation log
+//             (the internal check_unique verb), and the merged response is
+//             byte-identical to a single-process run. Batches that land on one
+//             shard, or carry duplicate config names, forward verbatim.
+//   coverage  forwarded whole to one hash-picked shard (the listing is
+//             per-batch; any worker holds the full contract set).
+//   learn / update / reload
+//             broadcast: every worker keeps a full replica of the contracts
+//             (learning is deterministic, so responses must be byte-identical —
+//             the router verifies this, a built-in divergence oracle). What is
+//             genuinely partitioned is the serving state: each worker's parse
+//             and index caches only ever hold its shard of the config space.
+//   stats / metrics
+//             fanned out; the router wraps the per-shard payloads.
+//   shutdown  broadcast, then the router loop exits.
+//
+// The router is itself a LineHandler, so the socket and stdio frontends drive
+// it exactly as they drive a Service.
+#ifndef SRC_SERVICE_SHARD_ROUTER_H_
+#define SRC_SERVICE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/format/json.h"
+#include "src/service/line_handler.h"
+#include "src/util/sync.h"
+
+namespace concord {
+
+struct ShardRouterOptions {
+  // One Unix-socket path per worker; index is the shard number. The router is
+  // launcher-agnostic: workers may be spawned by the CLI (serve --shards) or
+  // started independently (tests run them in-process over real sockets).
+  std::vector<std::string> worker_sockets;
+};
+
+class ShardRouter : public LineHandler {
+ public:
+  explicit ShardRouter(ShardRouterOptions options);
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Dials every worker socket (retrying within `timeout_ms` per worker so
+  // freshly spawned processes have time to bind). False + *error on failure.
+  bool Connect(std::string* error, int64_t timeout_ms = 10000);
+
+  // LineHandler. HandleLine is safe to call from concurrent connections; the
+  // worker links are serialized internally.
+  std::string HandleLine(const std::string& line) override;
+  bool shutdown_requested() const override {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+  void RequestShutdown() override {
+    shutdown_.store(true, std::memory_order_release);
+  }
+  std::string SummaryText() const override;
+  bool compat_v0() const override { return false; }  // The router speaks v1 only.
+
+  size_t num_shards() const { return sockets_.size(); }
+
+  // The partition function: which shard owns a config. Stable across restarts
+  // for a fixed shard count, so each worker's durable store keeps warming the
+  // same partition.
+  static size_t ShardOf(const std::string& name, const std::string& text,
+                        size_t shards);
+
+ private:
+  struct WorkerLink {
+    int fd = -1;
+    std::string buffer;  // Partial-line carryover between reads.
+  };
+
+  // One request/response round trip with worker `shard`. Throws on transport
+  // failure (worker gone, oversize reply).
+  std::string Forward(size_t shard, const std::string& line)
+      CONCORD_REQUIRES(io_mu_);
+
+  // Broadcast verbs (learn/update/reload): every worker gets the request
+  // verbatim; identical responses are required (the divergence oracle).
+  std::string Broadcast(const std::string& line, const std::string& verb,
+                        const JsonValue* id) CONCORD_REQUIRES(io_mu_);
+
+  // The sharded check path: partition, fan out, merge byte-identically.
+  std::string HandleCheckLine(const JsonValue& request, const std::string& raw,
+                              const JsonValue* id) CONCORD_REQUIRES(io_mu_);
+
+  const ShardRouterOptions options_;
+  std::vector<std::string> sockets_;
+  mutable Mutex io_mu_;
+  std::vector<WorkerLink> links_ CONCORD_GUARDED_BY(io_mu_);
+  std::atomic<bool> shutdown_{false};
+  mutable Mutex stats_mu_;
+  uint64_t requests_ CONCORD_GUARDED_BY(stats_mu_) = 0;
+  uint64_t forwarded_whole_ CONCORD_GUARDED_BY(stats_mu_) = 0;
+  uint64_t sharded_checks_ CONCORD_GUARDED_BY(stats_mu_) = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_SHARD_ROUTER_H_

@@ -129,7 +129,7 @@ bool LineTooLongReply(int fd, size_t max_line_bytes, bool compat_v0) {
 
 // Handles one client connection until it disconnects, goes idle past the
 // timeout, overruns the line cap, or the service begins shutting down.
-void ServeClient(Service& service, int fd, const SocketServerOptions& options) {
+void ServeClient(LineHandler& service, int fd, const SocketServerOptions& options) {
   // One span per connection: its duration is the connection's lifetime, so the
   // `metrics` verb can report how long clients stay attached.
   TraceSpan connection_span("serve", "connection");
@@ -213,7 +213,7 @@ bool TransientAcceptError(int error) {
 
 }  // namespace
 
-int RunServiceSocket(Service& service, const std::string& path, std::ostream& err,
+int RunHandlerSocket(LineHandler& service, const std::string& path, std::ostream& err,
                      std::ostream* summary, const SocketServerOptions& options) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -337,6 +337,11 @@ int RunServiceSocket(Service& service, const std::string& path, std::ostream& er
     *summary << service.SummaryText();
   }
   return fatal ? 2 : 0;
+}
+
+int RunServiceSocket(Service& service, const std::string& path, std::ostream& err,
+                     std::ostream* summary, const SocketServerOptions& options) {
+  return RunHandlerSocket(service, path, err, summary, options);
 }
 
 }  // namespace concord

@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "src/service/line_handler.h"
 #include "src/service/service.h"
 
 namespace concord {
@@ -43,6 +44,12 @@ struct SocketServerOptions {
 // (drained) shutdown, 2 on socket errors.
 int RunServiceSocket(Service& service, const std::string& path, std::ostream& err,
                      std::ostream* summary, const SocketServerOptions& options = {});
+
+// The same frontend over the LineHandler abstraction — how the shard router
+// serves its socket. RunServiceSocket forwards here.
+int RunHandlerSocket(LineHandler& handler, const std::string& path,
+                     std::ostream& err, std::ostream* summary,
+                     const SocketServerOptions& options = {});
 
 }  // namespace concord
 

@@ -26,6 +26,7 @@ enum class ErrorCode {
   kUnknownContractSet,   // Named contract set is not loaded.
   kUnknownDataset,       // Named resident dataset was never learned.
   kIoError,              // Reading/writing a file failed.
+  kStoreCorrupt,         // A durable-store file failed framing validation.
   kInternal,             // Anything else; a bug if seen in the wild.
 };
 
@@ -43,6 +44,7 @@ constexpr std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnknownContractSet: return "unknown_contract_set";
     case ErrorCode::kUnknownDataset: return "unknown_dataset";
     case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kStoreCorrupt: return "store_corrupt";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";

@@ -1,0 +1,193 @@
+// Framed record files (src/store/record_io.h): round-trips, every framing
+// deviation raising StoreCorruptError, crash-safe writes, and the
+// CONCORD_FAULTS points the store robustness tests rely on.
+#include "src/store/record_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/util/fault.h"
+#include "src/util/hash.h"
+
+namespace concord {
+namespace {
+
+class RecordIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("concord_record_io_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static std::string RawRead(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void RawWrite(const std::string& path, const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(RecordIoTest, FrameUnframeRoundTripsAllTypes) {
+  for (RecordType type :
+       {RecordType::kBlob, RecordType::kContracts, RecordType::kManifest}) {
+    std::string payload = "hostname DEV1\n ip address 10.0.0.1\n";
+    std::string image = FrameRecord(type, payload);
+    EXPECT_EQ(image.size(),
+              kRecordHeaderBytes + payload.size() + kRecordTrailerBytes);
+    EXPECT_EQ(image.compare(0, 4, kRecordMagic, 4), 0);
+    EXPECT_EQ(UnframeRecord(image, type, "mem"), payload);
+  }
+}
+
+TEST_F(RecordIoTest, EmptyPayloadRoundTrips) {
+  // A zero-length payload is a valid record; a zero-length *file* is not.
+  std::string image = FrameRecord(RecordType::kBlob, "");
+  EXPECT_EQ(image.size(), kRecordHeaderBytes + kRecordTrailerBytes);
+  EXPECT_EQ(UnframeRecord(image, RecordType::kBlob, "mem"), "");
+}
+
+TEST_F(RecordIoTest, WriteReadRoundTripsThroughDisk) {
+  std::string payload(100000, 'x');
+  payload += "tail";
+  WriteRecordFile(Path("obj.rec"), RecordType::kContracts, payload);
+  EXPECT_EQ(ReadRecordFile(Path("obj.rec"), RecordType::kContracts), payload);
+  EXPECT_TRUE(ProbeRecordFile(Path("obj.rec"), RecordType::kContracts));
+  EXPECT_FALSE(ProbeRecordFile(Path("obj.rec"), RecordType::kBlob));
+}
+
+TEST_F(RecordIoTest, WriteCreatesParentDirectoriesAndLeavesNoTemp) {
+  WriteRecordFile(Path("a/b/c.rec"), RecordType::kBlob, "payload");
+  EXPECT_EQ(ReadRecordFile(Path("a/b/c.rec"), RecordType::kBlob), "payload");
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_ / "a" / "b")) {
+    ++entries;
+    EXPECT_EQ(entry.path().extension(), ".rec") << entry.path();
+  }
+  EXPECT_EQ(entries, 1u);  // The temp file was renamed away, not left behind.
+}
+
+TEST_F(RecordIoTest, ZeroLengthFileIsCorrupt) {
+  RawWrite(Path("zero.rec"), "");
+  EXPECT_THROW(ReadRecordFile(Path("zero.rec"), RecordType::kBlob),
+               StoreCorruptError);
+  EXPECT_FALSE(ProbeRecordFile(Path("zero.rec"), RecordType::kBlob));
+}
+
+TEST_F(RecordIoTest, TruncationAnywhereIsCorrupt) {
+  WriteRecordFile(Path("t.rec"), RecordType::kBlob, "0123456789");
+  std::string image = RawRead(Path("t.rec"));
+  // Cutting the file at every possible length must throw, never crash or
+  // return partial data.
+  for (size_t len = 0; len < image.size(); ++len) {
+    RawWrite(Path("cut.rec"), image.substr(0, len));
+    EXPECT_THROW(ReadRecordFile(Path("cut.rec"), RecordType::kBlob),
+                 StoreCorruptError)
+        << "length " << len;
+  }
+}
+
+TEST_F(RecordIoTest, EveryBitFlipIsCorrupt) {
+  WriteRecordFile(Path("b.rec"), RecordType::kBlob, "abcdefgh");
+  std::string image = RawRead(Path("b.rec"));
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string damaged = image;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x01);
+    RawWrite(Path("flip.rec"), damaged);
+    EXPECT_THROW(ReadRecordFile(Path("flip.rec"), RecordType::kBlob),
+                 StoreCorruptError)
+        << "byte " << i;
+  }
+}
+
+TEST_F(RecordIoTest, TrailingGarbageIsCorrupt) {
+  WriteRecordFile(Path("g.rec"), RecordType::kBlob, "payload");
+  RawWrite(Path("g.rec"), RawRead(Path("g.rec")) + "extra");
+  EXPECT_THROW(ReadRecordFile(Path("g.rec"), RecordType::kBlob), StoreCorruptError);
+}
+
+TEST_F(RecordIoTest, WrongTypeIsCorrupt) {
+  WriteRecordFile(Path("w.rec"), RecordType::kBlob, "payload");
+  EXPECT_THROW(ReadRecordFile(Path("w.rec"), RecordType::kManifest),
+               StoreCorruptError);
+}
+
+TEST_F(RecordIoTest, MissingFileIsIoErrorNotCorruption) {
+  // A file that was never written is a miss, not damage: the caller's counters
+  // distinguish the two.
+  EXPECT_THROW(ReadRecordFile(Path("absent.rec"), RecordType::kBlob),
+               std::runtime_error);
+  try {
+    ReadRecordFile(Path("absent.rec"), RecordType::kBlob);
+    FAIL() << "expected a throw";
+  } catch (const StoreCorruptError&) {
+    FAIL() << "missing file must not read as corruption";
+  } catch (const std::runtime_error&) {
+  }
+}
+
+TEST_F(RecordIoTest, CorruptMessageNamesThePath) {
+  RawWrite(Path("named.rec"), "not a record");
+  try {
+    ReadRecordFile(Path("named.rec"), RecordType::kBlob);
+    FAIL() << "expected StoreCorruptError";
+  } catch (const StoreCorruptError& e) {
+    EXPECT_EQ(e.path, Path("named.rec"));
+    EXPECT_NE(std::string(e.what()).find("store_corrupt"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("named.rec"), std::string::npos);
+  }
+}
+
+TEST_F(RecordIoTest, FaultPointsInjectReadWriteAndChecksumFailures) {
+  WriteRecordFile(Path("f.rec"), RecordType::kBlob, "payload");
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("store_corrupt:fail_all"));
+  EXPECT_THROW(ReadRecordFile(Path("f.rec"), RecordType::kBlob), StoreCorruptError);
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("store_read:fail_all"));
+  EXPECT_THROW(ReadRecordFile(Path("f.rec"), RecordType::kBlob), std::runtime_error);
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("store_write:fail_all"));
+  EXPECT_THROW(WriteRecordFile(Path("f2.rec"), RecordType::kBlob, "x"),
+               std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(Path("f2.rec")));
+
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(ReadRecordFile(Path("f.rec"), RecordType::kBlob), "payload");
+}
+
+TEST_F(RecordIoTest, ChecksumIsFnv1aOfPayload) {
+  // Pin the trailer to the documented function so the format stays stable.
+  std::string payload = "stable";
+  std::string image = FrameRecord(RecordType::kBlob, payload);
+  uint64_t expected = Fnv1a64(payload);
+  uint64_t actual = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    actual |= static_cast<uint64_t>(static_cast<unsigned char>(
+                  image[image.size() - kRecordTrailerBytes + i]))
+              << (8 * i);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,321 @@
+// ShardRouter (src/service/shard_router.h): the merged multi-worker responses
+// must be byte-identical to a single-process Service — including the replayed
+// cross-shard unique pass — and broadcast divergence must be detected, not
+// papered over. Workers run in-process behind real Unix sockets.
+#include "src/service/shard_router.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/datagen/corpus.h"
+#include "src/datagen/edge_gen.h"
+#include "src/format/json.h"
+#include "src/service/service.h"
+#include "src/service/socket_server.h"
+
+namespace concord {
+namespace {
+
+std::string LearnRequest(const std::string& dataset,
+                         const GeneratedCorpus& corpus) {
+  JsonValue request = JsonValue::Object();
+  request.Set("v", JsonValue::Number(int64_t{1}));
+  request.Set("verb", JsonValue::String("learn"));
+  request.Set("dataset", JsonValue::String(dataset));
+  JsonValue items = JsonValue::Array();
+  for (const GeneratedConfig& config : corpus.configs) {
+    JsonValue item = JsonValue::Object();
+    item.Set("name", JsonValue::String(config.name));
+    item.Set("text", JsonValue::String(config.text));
+    items.Append(std::move(item));
+  }
+  request.Set("configs", std::move(items));
+  JsonValue options = JsonValue::Object();
+  options.Set("support", JsonValue::Number(int64_t{3}));
+  request.Set("options", std::move(options));
+  return request.Serialize(0);
+}
+
+std::string CheckRequest(const std::string& contracts,
+                         const std::vector<GeneratedConfig>& configs,
+                         bool coverage = false) {
+  JsonValue request = JsonValue::Object();
+  request.Set("v", JsonValue::Number(int64_t{1}));
+  request.Set("verb", JsonValue::String("check"));
+  request.Set("contracts", JsonValue::String(contracts));
+  JsonValue items = JsonValue::Array();
+  for (const GeneratedConfig& config : configs) {
+    JsonValue item = JsonValue::Object();
+    item.Set("name", JsonValue::String(config.name));
+    item.Set("text", JsonValue::String(config.text));
+    items.Append(std::move(item));
+  }
+  request.Set("configs", std::move(items));
+  if (coverage) {
+    request.Set("coverage", JsonValue::Bool(true));
+  }
+  return request.Serialize(0);
+}
+
+JsonValue ParseResponse(const std::string& text) {
+  std::string error;
+  auto parsed = JsonValue::Parse(text, &error);
+  EXPECT_TRUE(parsed.has_value()) << error << " in: " << text;
+  return parsed ? *parsed : JsonValue::Null();
+}
+
+// A response with the serving-local cache counters dropped: whether a worker's
+// parse cache was warm depends on which requests it happened to serve, so
+// whole-batch forwards are compared on report content, not cache telemetry.
+std::string WithoutCacheCounters(const std::string& text) {
+  JsonValue response = ParseResponse(text);
+  auto& members = response.members();
+  members.erase(std::remove_if(members.begin(), members.end(),
+                               [](const auto& member) {
+                                 return member.first == "cache_hits" ||
+                                        member.first == "cache_misses" ||
+                                        member.first == "index_cache_hits" ||
+                                        member.first == "index_cache_misses";
+                               }),
+                members.end());
+  return response.Serialize(0);
+}
+
+// N worker Services served over real AF_UNIX sockets by background threads,
+// fronted by a ShardRouter — the same wiring `concord serve --shards N` builds
+// with processes instead of threads.
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("concord_shard_router_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    ShutdownCluster();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void StartCluster(size_t shards) {
+    ShardRouterOptions options;
+    for (size_t i = 0; i < shards; ++i) {
+      std::string socket = (dir_ / ("w" + std::to_string(i) + ".sock")).string();
+      options.worker_sockets.push_back(socket);
+      workers_.push_back(std::make_unique<Service>(ServiceOptions{}));
+      errs_.push_back(std::make_unique<std::ostringstream>());
+      SocketServerOptions server;
+      server.install_signal_handlers = false;
+      server.idle_timeout_ms = 0;  // The router holds long-lived connections.
+      threads_.emplace_back([this, i, socket, server] {
+        RunHandlerSocket(*workers_[i], socket, *errs_[i], nullptr, server);
+      });
+    }
+    router_ = std::make_unique<ShardRouter>(options);
+    std::string error;
+    ASSERT_TRUE(router_->Connect(&error)) << error;
+  }
+
+  void ShutdownCluster() {
+    if (router_ != nullptr && !router_->shutdown_requested()) {
+      router_->HandleLine(R"({"v":1,"verb":"shutdown"})");
+    }
+    for (auto& thread : threads_) {
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+    threads_.clear();
+    router_.reset();
+    workers_.clear();
+    errs_.clear();
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::unique_ptr<Service>> workers_;
+  std::vector<std::unique_ptr<std::ostringstream>> errs_;
+  std::vector<std::thread> threads_;
+  std::unique_ptr<ShardRouter> router_;
+};
+
+TEST_F(ShardRouterTest, ShardedCheckIsByteIdenticalToSingleProcess) {
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  StartCluster(2);
+  Service single{ServiceOptions{}};
+
+  std::string learn = LearnRequest("d", corpus);
+  JsonValue learned = ParseResponse(router_->HandleLine(learn));
+  ASSERT_EQ(learned.GetBool("ok"), true) << learned.Serialize(0);
+  single.HandleLine(learn);
+
+  // The batch spans both shards, so this exercises the real merge path, not
+  // verbatim forwarding.
+  size_t shard0 = 0;
+  size_t shard1 = 0;
+  for (const GeneratedConfig& config : corpus.configs) {
+    (ShardRouter::ShardOf(config.name, config.text, 2) == 0 ? shard0 : shard1)++;
+  }
+  ASSERT_GT(shard0, 0u);
+  ASSERT_GT(shard1, 0u);
+
+  std::string check = CheckRequest("d", corpus.configs);
+  EXPECT_EQ(router_->HandleLine(check), single.HandleLine(check));
+
+  // Coverage integers and percents merge identically too.
+  std::string with_coverage = CheckRequest("d", corpus.configs, /*coverage=*/true);
+  EXPECT_EQ(router_->HandleLine(with_coverage), single.HandleLine(with_coverage));
+
+  JsonValue stats = ParseResponse(router_->HandleLine(R"({"v":1,"verb":"stats"})"));
+  const JsonValue* router = stats.Find("router");
+  ASSERT_NE(router, nullptr);
+  EXPECT_EQ(router->GetInt("shards"), 2);
+  EXPECT_EQ(router->GetInt("sharded_checks"), 2);
+}
+
+TEST_F(ShardRouterTest, CrossShardUniqueViolationsMatchSingleProcess) {
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  // Clone one config's text under another name that hashes to the *other*
+  // shard: values learned as globally unique now collide across shards, which
+  // only the router's merged-observation replay can catch.
+  std::vector<GeneratedConfig> mutated = corpus.configs;
+  bool planted = false;
+  for (size_t i = 0; i < mutated.size() && !planted; ++i) {
+    size_t home = ShardRouter::ShardOf(mutated[i].name, mutated[i].text, 2);
+    for (size_t j = 0; j < mutated.size(); ++j) {
+      if (j != i &&
+          ShardRouter::ShardOf(mutated[j].name, mutated[i].text, 2) != home) {
+        mutated[j].text = mutated[i].text;
+        planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(planted);
+
+  StartCluster(2);
+  Service single{ServiceOptions{}};
+  std::string learn = LearnRequest("d", corpus);
+  router_->HandleLine(learn);
+  single.HandleLine(learn);
+
+  std::string check = CheckRequest("d", mutated);
+  std::string merged = router_->HandleLine(check);
+  EXPECT_EQ(merged, single.HandleLine(check));
+  JsonValue response = ParseResponse(merged);
+  ASSERT_EQ(response.GetBool("ok"), true) << merged;
+  EXPECT_GT(response.GetInt("violations").value_or(0), 0)
+      << "the planted duplicate should trip at least one unique contract: "
+      << merged;
+}
+
+TEST_F(ShardRouterTest, SingleShardBatchForwardsVerbatim) {
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  StartCluster(2);
+  Service single{ServiceOptions{}};
+  std::string learn = LearnRequest("d", corpus);
+  router_->HandleLine(learn);
+  single.HandleLine(learn);
+
+  // One config involves one shard: the router must forward the raw line.
+  std::vector<GeneratedConfig> one = {corpus.configs[0]};
+  std::string check = CheckRequest("d", one);
+  EXPECT_EQ(router_->HandleLine(check), single.HandleLine(check));
+
+  // The per-batch coverage listing always forwards whole. The hash-picked
+  // worker's caches may be warmer or colder than the single process's, so the
+  // comparison is on report content.
+  std::string coverage = CheckRequest("d", one);
+  JsonValue request = ParseResponse(coverage);
+  request.Set("verb", JsonValue::String("coverage"));
+  std::string line = request.Serialize(0);
+  EXPECT_EQ(WithoutCacheCounters(router_->HandleLine(line)),
+            WithoutCacheCounters(single.HandleLine(line)));
+
+  JsonValue stats = ParseResponse(router_->HandleLine(R"({"v":1,"verb":"stats"})"));
+  EXPECT_GE(stats.Find("router")->GetInt("forwarded_whole").value_or(0), 2);
+  EXPECT_EQ(stats.Find("router")->GetInt("sharded_checks"), 0);
+}
+
+TEST_F(ShardRouterTest, ErrorsAndUnknownVerbsMatchSingleProcess) {
+  StartCluster(2);
+  Service single{ServiceOptions{}};
+
+  for (const std::string& line : {
+           std::string(R"({"v":1,"verb":"frobnicate"})"),
+           std::string("{not json"),
+           std::string(R"({"verb":"check"})"),  // Missing "v".
+           std::string(R"({"v":1,"verb":"check","contracts":"ghost","configs":[]})"),
+       }) {
+    EXPECT_EQ(router_->HandleLine(line), single.HandleLine(line)) << line;
+  }
+}
+
+TEST_F(ShardRouterTest, BroadcastDivergenceIsDetectedNotMerged) {
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  StartCluster(2);
+  router_->HandleLine(LearnRequest("d", corpus));
+
+  // Skew worker 1 behind the router's back: its replica of "d" now holds a
+  // different corpus, so a broadcast update relearns different contracts on
+  // each worker and the responses cannot be byte-identical.
+  EdgeOptions other;
+  other.sites = 2;
+  other.devices_per_site = 2;
+  other.seed = 99;
+  workers_[1]->HandleLine(LearnRequest("d", GenerateEdge(other)));
+
+  JsonValue response = ParseResponse(router_->HandleLine(
+      R"({"v":1,"verb":"update","dataset":"d","configs":[]})"));
+  EXPECT_EQ(response.GetBool("ok"), false) << response.Serialize(0);
+  const JsonValue* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetString("code"), "internal");
+  EXPECT_NE(error->GetString("message").value_or("").find("shard divergence"),
+            std::string::npos)
+      << response.Serialize(0);
+}
+
+TEST_F(ShardRouterTest, StatsAndMetricsWrapPerShardPayloads) {
+  StartCluster(2);
+  JsonValue stats = ParseResponse(router_->HandleLine(R"({"v":1,"verb":"stats"})"));
+  EXPECT_EQ(stats.GetBool("ok"), true);
+  ASSERT_NE(stats.Find("shards"), nullptr);
+  EXPECT_EQ(stats.Find("shards")->items().size(), 2u);
+  for (const JsonValue& shard : stats.Find("shards")->items()) {
+    EXPECT_EQ(shard.GetBool("ok"), true);
+  }
+
+  JsonValue metrics =
+      ParseResponse(router_->HandleLine(R"({"v":1,"verb":"metrics","id":7})"));
+  EXPECT_EQ(metrics.GetBool("ok"), true);
+  EXPECT_EQ(metrics.GetInt("id"), 7);
+  EXPECT_EQ(metrics.Find("shards")->items().size(), 2u);
+  EXPECT_EQ(metrics.Find("router"), nullptr);  // The router block is stats-only.
+}
+
+TEST_F(ShardRouterTest, ShutdownBroadcastsAndStopsTheCluster) {
+  StartCluster(2);
+  JsonValue response =
+      ParseResponse(router_->HandleLine(R"({"v":1,"verb":"shutdown"})"));
+  EXPECT_EQ(response.GetBool("ok"), true);
+  EXPECT_EQ(response.GetString("verb"), "shutdown");
+  EXPECT_EQ(response.GetInt("shards"), 2);
+  EXPECT_TRUE(router_->shutdown_requested());
+  for (auto& worker : workers_) {
+    EXPECT_TRUE(worker->shutdown_requested());
+  }
+  ShutdownCluster();  // Joins the worker threads; must not hang.
+}
+
+}  // namespace
+}  // namespace concord

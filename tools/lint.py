@@ -27,6 +27,12 @@ contains this script. Rules (each with a stable id, shown in findings):
   no-tsa-escape   CONCORD_NO_THREAD_SAFETY_ANALYSIS appears nowhere outside
                   src/util/sync.h: escapes defeat the clang -Werror=thread-safety
                   CI gate.
+  store-io        raw byte-level file I/O (fopen, fstream and friends, ::open)
+                  is banned in src/store/ outside record_io.{h,cc}: every store
+                  file is a framed, checksummed record written via the atomic
+                  temp+fsync+rename path (DESIGN.md §10), and side-channel I/O
+                  would bypass the corruption detection and crash-safety those
+                  frames provide.
 
 `--self-test` lints the fixture tree in tools/lint_fixtures/ (each fixture
 plants violations and declares them in `// LINT-EXPECT: <rule-id>` comments)
@@ -197,6 +203,28 @@ def check_tsa_escape(rel, lines, report):
                    "the locking instead")
 
 
+# --- rule: store-io ---------------------------------------------------------
+
+STORE_IO_RE = re.compile(
+    r"\b(?:fopen|freopen|creat)\s*\("
+    r"|\bstd::(?:basic_)?(?:i|o)?fstream\b|\bstd::filebuf\b"
+    r"|::open\s*\("
+)
+STORE_IO_EXEMPT = {"src/store/record_io.h", "src/store/record_io.cc"}
+
+
+def check_store_io(rel, lines, report):
+    if not rel.startswith("src/store/") or rel in STORE_IO_EXEMPT:
+        return
+    for lineno, line in lines:
+        m = STORE_IO_RE.search(line)
+        if m:
+            report("store-io", rel, lineno,
+                   f"{m.group(0).strip()} in src/store/ — all store bytes go "
+                   "through the framed-record module (src/store/record_io.h): "
+                   "raw I/O bypasses checksums and the atomic rename path")
+
+
 # --- driver -----------------------------------------------------------------
 
 def strip_comments(line):
@@ -237,6 +265,7 @@ def lint_tree(root):
         check_include_path(rel, lines, report, root)
         check_error_code(rel, lines, report, known_codes)
         check_tsa_escape(rel, lines, report)
+        check_store_io(rel, lines, report)
     return findings
 
 

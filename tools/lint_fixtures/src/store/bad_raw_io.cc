@@ -1,0 +1,16 @@
+// Fixture: byte-level file I/O in src/store/ outside record_io.{h,cc} bypasses
+// record framing, checksums, and the atomic temp+fsync+rename write path.
+#include <cstdio>
+#include <fstream>
+
+namespace concord {
+
+void SneakySideChannelWrites(const char* path) {
+  std::FILE* f = fopen(path, "wb");  // LINT-EXPECT: store-io
+  (void)f;
+  std::ofstream out(path);  // LINT-EXPECT: store-io
+  int fd = ::open(path, 0);  // LINT-EXPECT: store-io
+  (void)fd;
+}
+
+}  // namespace concord

@@ -6,6 +6,9 @@
 #        tools/run_benches.sh --smoke        serve smoke plus, when
 #                                            CONCORD_SMOKE_ASAN=1, the sanitized
 #                                            test pass (tools/run_tests_asan.sh)
+#        tools/run_benches.sh --store        durable-store acceptance: cold vs warm
+#                                            restart and 1/2/4-shard throughput,
+#                                            written to BENCH_STORE.json
 set -u
 
 serve_smoke() {
@@ -63,6 +66,18 @@ EOF
   echo "serve smoke OK ($lines responses, cache hit on repeat, metrics valid)"
 }
 
+if [ "${1:-}" = "--store" ]; then
+  bench=build/bench/bench_store
+  if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (run: cmake --build build -j)" >&2
+    exit 2
+  fi
+  # Exits non-zero unless every warm-restart and sharded response was
+  # byte-identical to the cold single-process run.
+  "$bench" || exit 1
+  exit 0
+fi
+
 if [ "${1:-}" = "--serve" ]; then
   serve_smoke
   exit 0
@@ -90,6 +105,14 @@ for b in build/bench/*; do
         echo "bench_incremental acceptance FAILED (see $out/$name.txt)" >&2
       fi
       [ -f BENCH_INCREMENTAL.json ] && cp -f BENCH_INCREMENTAL.json "$out/"
+      ;;
+    bench_store)
+      # Writes BENCH_STORE.json; non-zero means a warm-restart or sharded
+      # response diverged from the cold single-process run.
+      if ! "$b" > "$out/$name.txt" 2>&1; then
+        echo "bench_store acceptance FAILED (see $out/$name.txt)" >&2
+      fi
+      [ -f BENCH_STORE.json ] && cp -f BENCH_STORE.json "$out/"
       ;;
     *) "$b" > "$out/$name.txt" 2>&1 ;;
   esac
