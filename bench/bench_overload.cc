@@ -1,0 +1,403 @@
+// Overload soak for the event-driven socket frontend (DESIGN.md §11): N greedy
+// pipelining clients hammer the TCP listener while one well-behaved client
+// issues sequential checks over the Unix socket. Acceptance:
+//
+//   - every request (greedy or polite) gets exactly one response — excess load
+//     is shed with structured `overloaded` envelopes, never silently dropped;
+//   - the greedy clients actually get shed (admission control engaged);
+//   - the well-behaved client sees zero errors and its p99 stays within 2x of
+//     its unloaded p99 (with an absolute floor for noisy single-core CI);
+//   - the server drains cleanly afterwards (exit code 0).
+//
+// Writes BENCH_SERVE.json in the working directory; exits non-zero on any
+// acceptance failure. Run through tools/run_benches.sh --overload.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include "src/format/json.h"
+#include "src/service/service.h"
+#include "src/service/socket_server.h"
+
+namespace concord {
+namespace {
+
+constexpr int kGreedyClients = 4;
+constexpr int kGreedyPipelineDepth = 32;
+constexpr int kPoliteRequests = 200;
+// Single-core CI runs are noisy at sub-millisecond latencies; below this
+// absolute bound the 2x ratio is not a meaningful signal.
+constexpr double kP99FloorMicros = 50000.0;
+
+int ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+int ConnectTcp(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1) {
+    return -1;
+  }
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads one newline-terminated response; empty return means EOF/error.
+std::string ReadLine(int fd) {
+  std::string line;
+  char c;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') {
+      return line;
+    }
+    line.push_back(c);
+  }
+  return {};
+}
+
+std::string Config(int i) {
+  std::string s = std::to_string(i);
+  return "hostname DEV" + s +
+         "\ninterface Loopback0\n   ip address 10.14." + s +
+         ".34\nip prefix-list loopback\n   seq 10 permit 10.14." + s +
+         ".34/32\nrouter bgp 65015\n   vlan 25" + s + "\n      rd 10.99.0." +
+         s + ":1025" + s + "\n";
+}
+
+std::string LearnLine() {
+  JsonValue request = JsonValue::Object();
+  request.Set("v", JsonValue::Number(int64_t{1}));
+  request.Set("verb", JsonValue::String("learn"));
+  request.Set("dataset", JsonValue::String("bench"));
+  JsonValue configs = JsonValue::Array();
+  for (int i = 1; i <= 6; ++i) {
+    JsonValue item = JsonValue::Object();
+    item.Set("name", JsonValue::String("dev" + std::to_string(i) + ".cfg"));
+    item.Set("text", JsonValue::String(Config(i)));
+    configs.Append(std::move(item));
+  }
+  request.Set("configs", std::move(configs));
+  JsonValue options = JsonValue::Object();
+  options.Set("support", JsonValue::Number(int64_t{3}));
+  request.Set("options", std::move(options));
+  return request.Serialize(0);
+}
+
+std::string CheckLine() {
+  JsonValue request = JsonValue::Object();
+  request.Set("v", JsonValue::Number(int64_t{1}));
+  request.Set("verb", JsonValue::String("check"));
+  request.Set("contracts", JsonValue::String("bench"));
+  JsonValue configs = JsonValue::Array();
+  JsonValue item = JsonValue::Object();
+  item.Set("name", JsonValue::String("dev1.cfg"));
+  item.Set("text", JsonValue::String(Config(1)));
+  configs.Append(std::move(item));
+  request.Set("configs", std::move(configs));
+  return request.Serialize(0);
+}
+
+double Percentile(std::vector<double> micros, double pct) {
+  if (micros.empty()) {
+    return 0.0;
+  }
+  std::sort(micros.begin(), micros.end());
+  size_t index = static_cast<size_t>(pct * static_cast<double>(micros.size() - 1));
+  return micros[index];
+}
+
+struct GreedyStats {
+  uint64_t sent = 0;
+  uint64_t answered = 0;  // Every sent request must come back as exactly one line.
+  uint64_t ok = 0;
+  uint64_t shed = 0;      // overloaded / rate_limited envelopes.
+  bool io_failure = false;
+};
+
+// One greedy client: pipelines depth-K bursts of checks over TCP until told to
+// stop, reading every reply (shed envelopes included) so responses never pile
+// up unread.
+void GreedyClient(int port, const std::string& request,
+                  const std::atomic<bool>& stop, GreedyStats* stats) {
+  int fd = ConnectTcp(port);
+  if (fd < 0) {
+    stats->io_failure = true;
+    return;
+  }
+  std::string burst;
+  for (int i = 0; i < kGreedyPipelineDepth; ++i) {
+    burst += request + "\n";
+  }
+  while (!stop.load(std::memory_order_acquire)) {
+    if (!WriteAll(fd, burst)) {
+      stats->io_failure = true;
+      break;
+    }
+    stats->sent += kGreedyPipelineDepth;
+    for (int i = 0; i < kGreedyPipelineDepth; ++i) {
+      std::string line = ReadLine(fd);
+      if (line.empty()) {
+        stats->io_failure = true;
+        break;
+      }
+      ++stats->answered;
+      if (line.find("\"ok\":true") != std::string::npos) {
+        ++stats->ok;
+      } else if (line.find("\"code\":\"overloaded\"") != std::string::npos ||
+                 line.find("\"code\":\"rate_limited\"") != std::string::npos) {
+        ++stats->shed;
+      }
+    }
+    if (stats->io_failure) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+// The well-behaved client: sequential checks over the Unix socket, one at a
+// time, recording per-request latency. Returns false on any error reply.
+bool PoliteRun(const std::string& socket_path, const std::string& request,
+               int count, std::vector<double>* latencies_us) {
+  int fd = ConnectUnix(socket_path);
+  if (fd < 0) {
+    return false;
+  }
+  bool clean = true;
+  for (int i = 0; i < count && clean; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    if (!WriteAll(fd, request + "\n")) {
+      clean = false;
+      break;
+    }
+    std::string line = ReadLine(fd);
+    auto end = std::chrono::steady_clock::now();
+    if (line.empty() || line.find("\"ok\":true") == std::string::npos) {
+      clean = false;
+      break;
+    }
+    latencies_us->push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            end - start)
+            .count());
+  }
+  ::close(fd);
+  return clean;
+}
+
+int Run() {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("concord_bench_overload_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string socket_path = (dir / "serve.sock").string();
+
+  Service service{ServiceOptions{}};
+  {
+    std::string learned = service.HandleLine(LearnLine());
+    if (learned.find("\"ok\":true") == std::string::npos) {
+      std::cerr << "learn failed: " << learned << "\n";
+      return 1;
+    }
+  }
+
+  SocketServerOptions options;
+  options.install_signal_handlers = false;
+  options.idle_timeout_ms = 0;  // Greedy connections persist across bursts.
+  options.listen = "127.0.0.1:0";
+  std::atomic<int> tcp_port{0};
+  options.bound_tcp_port = &tcp_port;
+  options.workers = 4;
+  options.max_inflight = 64;
+  // The shedding knob under test: greedy TCP clients share one peer identity
+  // (the loopback address) and collectively get two run-queue slots; the
+  // polite Unix client is its own peer with its own headroom.
+  options.max_inflight_per_client = 2;
+
+  std::ostringstream err;
+  int exit_code = -1;
+  std::thread server([&] {
+    exit_code = RunServiceSocket(service, socket_path, err, nullptr, options);
+  });
+  for (int i = 0; i < 500 && tcp_port.load(std::memory_order_acquire) == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  std::string check = CheckLine();
+  bool failed = false;
+
+  // ---- Phase 1: unloaded baseline -------------------------------------------
+  std::vector<double> unloaded_us;
+  if (tcp_port.load() <= 0 ||
+      !PoliteRun(socket_path, check, kPoliteRequests, &unloaded_us)) {
+    std::cerr << "unloaded phase failed: " << err.str() << "\n";
+    failed = true;
+  }
+  double unloaded_p99 = Percentile(unloaded_us, 0.99);
+
+  // ---- Phase 2: overload ----------------------------------------------------
+  std::atomic<bool> stop{false};
+  std::vector<GreedyStats> greedy(kGreedyClients);
+  std::vector<std::thread> greedy_threads;
+  greedy_threads.reserve(kGreedyClients);
+  for (int i = 0; i < kGreedyClients; ++i) {
+    greedy_threads.emplace_back(GreedyClient, tcp_port.load(), check,
+                                std::cref(stop), &greedy[i]);
+  }
+  // Let the greedy fleet saturate admission before measuring.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  std::vector<double> overload_us;
+  bool polite_clean =
+      !failed && PoliteRun(socket_path, check, kPoliteRequests, &overload_us);
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : greedy_threads) {
+    t.join();
+  }
+  double overload_p99 = Percentile(overload_us, 0.99);
+
+  uint64_t greedy_sent = 0;
+  uint64_t greedy_answered = 0;
+  uint64_t greedy_ok = 0;
+  uint64_t greedy_shed = 0;
+  bool greedy_io_failure = false;
+  for (const GreedyStats& s : greedy) {
+    greedy_sent += s.sent;
+    greedy_answered += s.answered;
+    greedy_ok += s.ok;
+    greedy_shed += s.shed;
+    greedy_io_failure = greedy_io_failure || s.io_failure;
+  }
+
+  // ---- Shutdown -------------------------------------------------------------
+  {
+    int fd = ConnectUnix(socket_path);
+    if (fd >= 0) {
+      WriteAll(fd, "{\"v\":1,\"verb\":\"shutdown\"}\n");
+      ReadLine(fd);
+      ::close(fd);
+    }
+  }
+  server.join();
+  std::filesystem::remove_all(dir);
+
+  // ---- Acceptance -----------------------------------------------------------
+  double p99_bound = std::max(2.0 * unloaded_p99, kP99FloorMicros);
+  auto check_that = [&failed](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cerr << "ACCEPTANCE FAILED: " << what << "\n";
+      failed = true;
+    }
+  };
+  check_that(!greedy_io_failure, "a greedy client saw an I/O failure or EOF");
+  check_that(greedy_sent == greedy_answered,
+             "greedy requests were silently dropped (" +
+                 std::to_string(greedy_sent) + " sent, " +
+                 std::to_string(greedy_answered) + " answered)");
+  check_that(greedy_shed > 0,
+             "admission control never shed a greedy request — no overload");
+  check_that(polite_clean,
+             "the well-behaved client saw an error or dropped response");
+  check_that(overload_us.size() == kPoliteRequests,
+             "the well-behaved client did not complete every request");
+  check_that(overload_p99 <= p99_bound,
+             "well-behaved p99 " + std::to_string(overload_p99) +
+                 "us exceeds bound " + std::to_string(p99_bound) + "us");
+  check_that(exit_code == 0, "server drain exited " + std::to_string(exit_code) +
+                                 ": " + err.str());
+
+  JsonValue result = JsonValue::Object();
+  result.Set("bench", JsonValue::String("overload_soak"));
+  result.Set("greedy_clients", JsonValue::Number(int64_t{kGreedyClients}));
+  result.Set("pipeline_depth", JsonValue::Number(int64_t{kGreedyPipelineDepth}));
+  result.Set("unloaded_p99_us", JsonValue::Number(unloaded_p99));
+  result.Set("overload_p99_us", JsonValue::Number(overload_p99));
+  result.Set("p99_bound_us", JsonValue::Number(p99_bound));
+  result.Set("polite_requests", JsonValue::Number(int64_t{kPoliteRequests}));
+  result.Set("greedy_sent", JsonValue::Number(static_cast<int64_t>(greedy_sent)));
+  result.Set("greedy_ok", JsonValue::Number(static_cast<int64_t>(greedy_ok)));
+  result.Set("greedy_shed", JsonValue::Number(static_cast<int64_t>(greedy_shed)));
+  result.Set("shed_rate",
+             JsonValue::Number(greedy_sent == 0
+                                   ? 0.0
+                                   : static_cast<double>(greedy_shed) /
+                                         static_cast<double>(greedy_sent)));
+  result.Set("passed", JsonValue::Bool(!failed));
+  std::ofstream out("BENCH_SERVE.json");
+  out << result.Serialize(2) << "\n";
+  out.close();
+
+  std::cout << "overload soak: unloaded p99 " << unloaded_p99 / 1000.0
+            << "ms, overload p99 " << overload_p99 / 1000.0 << "ms (bound "
+            << p99_bound / 1000.0 << "ms), greedy " << greedy_ok << " ok / "
+            << greedy_shed << " shed of " << greedy_sent << " -> "
+            << (failed ? "FAILED" : "OK") << "\n";
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() { return concord::Run(); }

@@ -615,6 +615,34 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   return result.violations.empty() ? 0 : 1;
 }
 
+// Shared between the single-process and sharded serve paths: translates the
+// socket-frontend CLI flags into SocketServerOptions (DESIGN.md §11).
+SocketServerOptions FrontendOptionsFromArgs(const ArgParser& args) {
+  SocketServerOptions options;
+  options.max_line_bytes = static_cast<size_t>(
+      std::max<int64_t>(1, args.GetInt("max-line-bytes").value_or(16777216)));
+  options.backlog =
+      static_cast<int>(std::max<int64_t>(1, args.GetInt("backlog").value_or(8)));
+  options.max_connections = static_cast<int>(
+      std::max<int64_t>(1, args.GetInt("max-connections").value_or(256)));
+  options.idle_timeout_ms = args.GetInt("idle-timeout-ms").value_or(30000);
+  options.drain_ms = args.GetInt("drain-ms").value_or(5000);
+  options.listen = args.Get("listen");
+  options.workers =
+      static_cast<int>(std::max<int64_t>(1, args.GetInt("workers").value_or(4)));
+  options.max_inflight = static_cast<size_t>(
+      std::max<int64_t>(0, args.GetInt("max-inflight").value_or(64)));
+  options.max_inflight_per_client = static_cast<size_t>(
+      std::max<int64_t>(0, args.GetInt("max-inflight-per-client").value_or(8)));
+  options.rate_limit = static_cast<size_t>(
+      std::max<int64_t>(0, args.GetInt("rate-limit").value_or(0)));
+  options.rate_window_ms =
+      std::max<int64_t>(1, args.GetInt("rate-window-ms").value_or(1000));
+  options.write_high_watermark = static_cast<size_t>(std::max<int64_t>(
+      1, args.GetInt("write-high-watermark").value_or(4 * 1024 * 1024)));
+  return options;
+}
+
 // `concord serve --shards N`: the shard-router mode (DESIGN.md §10). The
 // frontend re-execs itself N times as single-shard workers — worker i serves
 // `<store-dir>/shard-<i>-of-<N>.sock` with store `<store-dir>/shard-<i>-of-<N>`
@@ -696,18 +724,9 @@ int RunShardedServe(const ArgParser& args, int shards, std::ostream& out,
     exit_code = 2;
   } else {
     std::ostream* summary = args.GetBool("quiet") ? nullptr : &err;
-    if (args.Has("socket")) {
-      SocketServerOptions socket_options;
-      socket_options.max_line_bytes = static_cast<size_t>(
-          std::max<int64_t>(1, args.GetInt("max-line-bytes").value_or(16777216)));
-      socket_options.backlog =
-          static_cast<int>(std::max<int64_t>(1, args.GetInt("backlog").value_or(8)));
-      socket_options.max_connections = static_cast<int>(
-          std::max<int64_t>(1, args.GetInt("max-connections").value_or(4)));
-      socket_options.idle_timeout_ms = args.GetInt("idle-timeout-ms").value_or(30000);
-      socket_options.drain_ms = args.GetInt("drain-ms").value_or(5000);
+    if (args.Has("socket") || args.Has("listen")) {
       exit_code = RunHandlerSocket(router, args.Get("socket"), err, summary,
-                                   socket_options);
+                                   FrontendOptionsFromArgs(args));
     } else {
       std::string line;
       while (!router.shutdown_requested() && std::getline(std::cin, line)) {
@@ -745,14 +764,32 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
                "contract set to preload, as name=path or a bare path (repeatable; "
                "a bare path loads as 'default')");
   args.AddFlag("socket", "serve on this unix socket path instead of stdin/stdout");
+  args.AddFlag("listen",
+               "also (or only) serve on this TCP host:port; host '*' binds all "
+               "interfaces, port 0 picks an ephemeral port");
   args.AddFlag("lexer", "file with custom lexer token definitions (`name regex` lines)");
   args.AddFlag("parallelism", "worker threads for batched checking (0 = all cores)", "0");
   args.AddFlag("cache-size", "parsed-config LRU entries per contract set", "256");
   args.AddFlag("max-line-bytes", "socket mode: cap on one NDJSON request line", "16777216");
   args.AddFlag("backlog", "socket mode: listen(2) backlog", "8");
-  args.AddFlag("max-connections", "socket mode: concurrently served connections", "4");
+  args.AddFlag("max-connections",
+               "socket mode: open-connection cap; excess connections get a "
+               "structured `overloaded` reply", "256");
   args.AddFlag("idle-timeout-ms", "socket mode: close idle connections (<=0 = never)", "30000");
   args.AddFlag("drain-ms", "socket mode: shutdown grace period for in-flight work", "5000");
+  args.AddFlag("workers", "socket mode: threads executing admitted requests", "4");
+  args.AddFlag("max-inflight",
+               "socket mode: global queued+executing request cap; excess is "
+               "shed with `overloaded` (0 = unbounded)", "64");
+  args.AddFlag("max-inflight-per-client",
+               "socket mode: the same cap per peer identity (0 = unbounded)", "8");
+  args.AddFlag("rate-limit",
+               "socket mode: per-peer admissions per window; excess is shed "
+               "with `rate_limited` (0 = off)", "0");
+  args.AddFlag("rate-window-ms", "socket mode: sliding rate-limit window width", "1000");
+  args.AddFlag("write-high-watermark",
+               "socket mode: pause reading a connection once this many "
+               "response bytes are queued for it", "4194304");
   args.AddFlag("store-dir",
                "durable artifact store directory: warm-restart persisted datasets "
                "and persist learn/update results (DESIGN.md §10)");
@@ -801,17 +838,9 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
   }
 
   std::ostream* summary = args.GetBool("quiet") ? nullptr : &err;
-  if (args.Has("socket")) {
-    SocketServerOptions socket_options;
-    socket_options.max_line_bytes = static_cast<size_t>(
-        std::max<int64_t>(1, args.GetInt("max-line-bytes").value_or(16777216)));
-    socket_options.backlog =
-        static_cast<int>(std::max<int64_t>(1, args.GetInt("backlog").value_or(8)));
-    socket_options.max_connections =
-        static_cast<int>(std::max<int64_t>(1, args.GetInt("max-connections").value_or(4)));
-    socket_options.idle_timeout_ms = args.GetInt("idle-timeout-ms").value_or(30000);
-    socket_options.drain_ms = args.GetInt("drain-ms").value_or(5000);
-    return RunServiceSocket(service, args.Get("socket"), err, summary, socket_options);
+  if (args.Has("socket") || args.Has("listen")) {
+    return RunServiceSocket(service, args.Get("socket"), err, summary,
+                            FrontendOptionsFromArgs(args));
   }
   return RunService(service, std::cin, out, summary);
 }

@@ -1,0 +1,78 @@
+#include "src/service/admission.h"
+
+namespace concord {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+void AdmissionController::PruneWindow(ClientState* state, int64_t now_ms) {
+  const int64_t horizon = now_ms - options_.rate_window_ms;
+  while (!state->window.empty() && state->window.front() <= horizon) {
+    state->window.pop_front();
+  }
+}
+
+void AdmissionController::PruneIdleClients(int64_t now_ms) {
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    PruneWindow(&it->second, now_ms);
+    if (it->second.inflight == 0 && it->second.window.empty()) {
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+AdmissionDecision AdmissionController::TryAdmit(const std::string& peer,
+                                                int64_t now_ms) {
+  MutexLock lock(mu_);
+  // Amortized cleanup: a sweep every 256 admissions keeps the peer map
+  // proportional to *active* clients without a per-request full scan.
+  if (++admissions_ % 256 == 0) {
+    PruneIdleClients(now_ms);
+  }
+  ClientState& state = clients_[peer];
+  if (options_.rate_limit > 0) {
+    PruneWindow(&state, now_ms);
+    if (state.window.size() >= options_.rate_limit) {
+      return AdmissionDecision::kRateLimited;
+    }
+  }
+  if (options_.max_inflight > 0 && inflight_ >= options_.max_inflight) {
+    return AdmissionDecision::kOverloadedGlobal;
+  }
+  if (options_.max_inflight_per_client > 0 &&
+      state.inflight >= options_.max_inflight_per_client) {
+    return AdmissionDecision::kOverloadedClient;
+  }
+  if (options_.rate_limit > 0) {
+    state.window.push_back(now_ms);
+  }
+  ++state.inflight;
+  ++inflight_;
+  return AdmissionDecision::kAdmit;
+}
+
+void AdmissionController::Complete(const std::string& peer) {
+  MutexLock lock(mu_);
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+  auto it = clients_.find(peer);
+  if (it == clients_.end()) {
+    return;  // Pruned while the request ran; the global count is what matters.
+  }
+  if (it->second.inflight > 0) {
+    --it->second.inflight;
+  }
+  if (it->second.inflight == 0 && it->second.window.empty()) {
+    clients_.erase(it);
+  }
+}
+
+size_t AdmissionController::inflight() const {
+  MutexLock lock(mu_);
+  return inflight_;
+}
+
+}  // namespace concord

@@ -1,0 +1,82 @@
+// Admission control for the event-driven serve frontend (DESIGN.md §11).
+//
+// Every parsed request line passes through one TryAdmit call before any work
+// is queued. Three gates, checked in a fixed order so a client always sees the
+// most specific rejection:
+//
+//   1. sliding-window rate limiter keyed by peer identity (rate_limited),
+//   2. global in-flight cap — the bound on the run queue feeding the
+//      ThreadPool (overloaded),
+//   3. per-client in-flight cap, so one greedy peer cannot own every run-queue
+//      slot (overloaded).
+//
+// Only admitted requests consume rate-limit quota: a client being shed is
+// already not doing work, and charging rejections would keep it locked out
+// even after it slows down. Timestamps are caller-supplied monotonic
+// milliseconds, so the window logic is testable without sleeping.
+//
+// Thread safety: fully synchronized on one leaf mutex (never acquires another
+// lock while held). TryAdmit is called from the event-loop thread and
+// Complete from pool workers.
+#ifndef SRC_SERVICE_ADMISSION_H_
+#define SRC_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/util/sync.h"
+
+namespace concord {
+
+struct AdmissionOptions {
+  size_t max_inflight = 64;            // Global queued+executing cap; 0 = off.
+  size_t max_inflight_per_client = 8;  // Same, per peer identity; 0 = off.
+  size_t rate_limit = 0;               // Admissions per window per peer; 0 = off.
+  int64_t rate_window_ms = 1000;       // Sliding-window width.
+};
+
+enum class AdmissionDecision {
+  kAdmit,
+  kRateLimited,       // Gate 1: peer exceeded its sliding window.
+  kOverloadedGlobal,  // Gate 2: run queue (global in-flight) is full.
+  kOverloadedClient,  // Gate 3: peer owns too many run-queue slots already.
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  // Decides one request from `peer` at monotonic time `now_ms`. On kAdmit the
+  // caller owns one in-flight slot and must eventually call Complete(peer).
+  AdmissionDecision TryAdmit(const std::string& peer, int64_t now_ms);
+
+  // Releases the slot taken by a successful TryAdmit.
+  void Complete(const std::string& peer);
+
+  // Current queued+executing requests (the frontend queue-depth gauge).
+  size_t inflight() const;
+
+ private:
+  struct ClientState {
+    size_t inflight = 0;
+    std::deque<int64_t> window;  // Admission timestamps, oldest first.
+  };
+
+  // Drops window entries older than now_ms - rate_window_ms.
+  void PruneWindow(ClientState* state, int64_t now_ms) CONCORD_REQUIRES(mu_);
+  // Drops idle peers so the map does not grow with client churn.
+  void PruneIdleClients(int64_t now_ms) CONCORD_REQUIRES(mu_);
+
+  const AdmissionOptions options_;
+  mutable Mutex mu_;
+  size_t inflight_ CONCORD_GUARDED_BY(mu_) = 0;
+  uint64_t admissions_ CONCORD_GUARDED_BY(mu_) = 0;  // Drives periodic pruning.
+  std::map<std::string, ClientState> clients_ CONCORD_GUARDED_BY(mu_);
+};
+
+}  // namespace concord
+
+#endif  // SRC_SERVICE_ADMISSION_H_

@@ -111,6 +111,9 @@ class Service : public LineHandler {
   std::string PrometheusText() const;
 
   const Metrics& metrics() const { return metrics_; }
+  // Non-const access for the socket frontend, which records its
+  // connection/admission families into the embedded registry().
+  Metrics& metrics() { return metrics_; }
 
   // True when the service speaks the legacy (pre-v1) wire shape; the socket
   // frontend consults this so its own replies (line_too_long) match.

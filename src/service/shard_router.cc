@@ -2,7 +2,6 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,6 +15,7 @@
 #include <unordered_set>
 
 #include "src/check/checker.h"
+#include "src/service/socket_server.h"
 #include "src/util/error_code.h"
 #include "src/util/hash.h"
 #include "src/util/stopwatch.h"
@@ -36,33 +36,6 @@ struct RouterError : std::runtime_error {
 
   ErrorCode code;
 };
-
-int DialUnix(const std::string& path, std::string* error) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    if (error != nullptr) {
-      *error = "socket path too long: " + path;
-    }
-    return -1;
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    if (error != nullptr) {
-      *error = std::string("socket: ") + std::strerror(errno);
-    }
-    return -1;
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error != nullptr) {
-      *error = path + ": " + std::strerror(errno);
-    }
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
 
 bool WriteAll(int fd, const std::string& data) {
   size_t written = 0;
@@ -159,18 +132,30 @@ bool ShardRouter::Connect(std::string* error, int64_t timeout_ms) {
     }
     Stopwatch watch;
     std::string dial_error;
+    // Exponential backoff while the worker binds its socket: workers fork and
+    // bind almost immediately in the common case, so start with a short poll,
+    // then double up to a cap so a genuinely slow worker is not hammered with
+    // thousands of failing connect(2) calls before the deadline.
+    int backoff_ms = 10;
+    constexpr int kMaxBackoffMs = 500;
     for (;;) {
-      links_[i].fd = DialUnix(sockets_[i], &dial_error);
+      links_[i].fd = DialUnixClient(sockets_[i], &dial_error);
       if (links_[i].fd >= 0) {
         break;
       }
-      if (watch.ElapsedSeconds() * 1000.0 >= static_cast<double>(timeout_ms)) {
+      double elapsed_ms = watch.ElapsedSeconds() * 1000.0;
+      if (elapsed_ms >= static_cast<double>(timeout_ms)) {
         if (error != nullptr) {
           *error = "shard " + std::to_string(i) + ": " + dial_error;
         }
         return false;
       }
-      ::poll(nullptr, 0, 20);  // Back off while the worker binds its socket.
+      // Never sleep past the deadline: the last wait shrinks to what remains.
+      int64_t remaining_ms =
+          timeout_ms - static_cast<int64_t>(elapsed_ms);
+      int wait_ms = static_cast<int>(std::min<int64_t>(backoff_ms, remaining_ms));
+      ::poll(nullptr, 0, wait_ms);
+      backoff_ms = std::min(backoff_ms * 2, kMaxBackoffMs);
     }
   }
   return true;

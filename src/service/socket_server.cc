@@ -1,35 +1,31 @@
 #include "src/service/socket_server.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
-#include <poll.h>
+#include <netinet/in.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <chrono>
-#include <cstdint>
+#include <cstdlib>
 #include <cstring>
-#include <limits>
 #include <ostream>
-#include <set>
 #include <string>
-#include <thread>
+#include <utility>
+#include <vector>
 
-#include "src/util/sync.h"
-#include "src/util/thread_pool.h"
-#include "src/util/trace.h"
+#include "src/service/event_loop.h"
 
 namespace concord {
 
 namespace {
 
 // Self-pipe write end for the signal handler. A handler may only touch
-// async-signal-safe state, so it writes one byte here and the accept loop's
-// poll() wakes up to run the actual drain logic.
+// async-signal-safe state, so it writes one byte here and the event loop's
+// epoll_wait wakes up to run the actual drain logic.
 std::atomic<int> g_wake_fd{-1};
 
 void OnShutdownSignal(int /*signo*/) {
@@ -41,13 +37,11 @@ void OnShutdownSignal(int /*signo*/) {
   }
 }
 
-void WakeAcceptLoop() { OnShutdownSignal(0); }
-
 // The wake pipe lives for the whole process and is never closed: a signal
 // handler caught on another thread can load g_wake_fd just before teardown
 // clears it and write() after the fds are gone — at best a lost wakeup, at
 // worst a write into whatever reused the descriptor. Keeping the pipe alive
-// makes the late write harmless; each run drains stale bytes before polling.
+// makes the late write harmless; each run drains stale bytes before serving.
 const int* WakePipe() {
   static const int* fds = [] {
     static int pipe_fds[2] = {-1, -1};
@@ -66,186 +60,161 @@ void DrainWakePipe(int read_fd) {
   }
 }
 
-// Fds of connections currently being served, so the drain phase can wait for
-// them and forcibly shut down stragglers after the grace period.
-struct ConnectionRegistry {
-  Mutex mu;
-  std::set<int> fds CONCORD_GUARDED_BY(mu);
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
 
-  void Add(int fd) {
-    MutexLock lock(mu);
-    fds.insert(fd);
+// Binds and listens on the Unix socket, unlinking any stale file first.
+// Returns the non-blocking listener fd, or -1 with *error set.
+int CreateUnixListener(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + path;
+    return -1;
   }
-  void Remove(int fd) {
-    MutexLock lock(mu);
-    fds.erase(fd);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
   }
-  bool Empty() {
-    MutexLock lock(mu);
-    return fds.empty();
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0 || !SetNonBlocking(fd)) {
+    *error = "cannot serve on " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
   }
-  // shutdown(2) (not close) on every live fd: the owning handler still holds the
-  // descriptor and will observe EOF on its next read, then close it itself.
-  void ShutdownAll() {
-    MutexLock lock(mu);
-    for (int fd : fds) {
-      ::shutdown(fd, SHUT_RDWR);
-    }
-  }
-};
+  return fd;
+}
 
-// Writes all of `data`, retrying on short writes and EINTR. False on error.
-// MSG_NOSIGNAL: a client that hangs up mid-response must surface as EPIPE,
-// not deliver a process-killing SIGPIPE to the long-running server.
-bool WriteAll(int fd, const std::string& data) {
-  size_t written = 0;
-  while (written < data.size()) {
-    ssize_t n = ::send(fd, data.data() + written, data.size() - written,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    written += static_cast<size_t>(n);
+// Parses "host:port" from --listen. Host "" / "*" / "0.0.0.0" binds all
+// interfaces and "localhost" is accepted as 127.0.0.1; anything else must be
+// an IPv4 dotted quad. Port 0 asks the kernel for an ephemeral port.
+bool ParseListenSpec(const std::string& spec, in_addr* host, uint16_t* port,
+                     std::string* error) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    *error = "--listen expects host:port, got '" + spec + "'";
+    return false;
+  }
+  std::string host_text = spec.substr(0, colon);
+  std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    *error = "cannot parse listen port '" + port_text + "'";
+    return false;
+  }
+  long value = std::strtol(port_text.c_str(), nullptr, 10);
+  if (value < 0 || value > 65535) {
+    *error = "listen port out of range: " + port_text;
+    return false;
+  }
+  *port = static_cast<uint16_t>(value);
+  if (host_text.empty() || host_text == "*" || host_text == "0.0.0.0") {
+    host->s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (host_text == "localhost") {
+    host_text = "127.0.0.1";
+  }
+  if (::inet_pton(AF_INET, host_text.c_str(), host) != 1) {
+    *error = "cannot parse listen host '" + host_text +
+             "' (IPv4 dotted quad expected)";
+    return false;
   }
   return true;
 }
 
-// The one reply built outside Service::HandleLine (the oversize line never
-// reaches the parser), so it mirrors both wire shapes by hand.
-bool LineTooLongReply(int fd, size_t max_line_bytes, bool compat_v0) {
-  std::string bytes = std::to_string(max_line_bytes);
-  if (compat_v0) {
-    return WriteAll(fd,
-                    "{\"ok\":false,\"error\":\"line_too_long: request line exceeds " +
-                        bytes + " bytes\",\"errorCode\":\"line_too_long\"}\n");
+// Binds and listens on the TCP address in `spec`. Returns the non-blocking
+// listener fd (reporting the bound port through *bound_port) or -1.
+int CreateTcpListener(const std::string& spec, int backlog, std::string* error,
+                      int* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  uint16_t port = 0;
+  if (!ParseListenSpec(spec, &addr.sin_addr, &port, error)) {
+    return -1;
   }
-  return WriteAll(
-      fd, "{\"v\":1,\"ok\":false,\"error\":{\"code\":\"line_too_long\","
-          "\"message\":\"request line exceeds " + bytes + " bytes\"}}\n");
-}
-
-// Handles one client connection until it disconnects, goes idle past the
-// timeout, overruns the line cap, or the service begins shutting down.
-void ServeClient(LineHandler& service, int fd, const SocketServerOptions& options) {
-  // One span per connection: its duration is the connection's lifetime, so the
-  // `metrics` verb can report how long clients stay attached.
-  TraceSpan connection_span("serve", "connection");
-  std::string buffer;
-  char chunk[4096];
-  // Clamp before narrowing: an idle_timeout_ms above INT_MAX must saturate, not
-  // wrap into a negative (poll-forever) or arbitrary small timeout.
-  int poll_timeout =
-      options.idle_timeout_ms <= 0
-          ? -1
-          : static_cast<int>(std::min<int64_t>(options.idle_timeout_ms,
-                                               std::numeric_limits<int>::max()));
-  while (true) {
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    int ready = ::poll(&pfd, 1, poll_timeout);
-    if (ready < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return;
-    }
-    if (ready == 0) {
-      return;  // Idle timeout: reclaim the connection slot.
-    }
-    ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return;
-    }
-    if (n == 0) {
-      return;  // Client hung up (possibly mid-line; the partial line is dropped).
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    size_t newline;
-    while ((newline = buffer.find('\n', start)) != std::string::npos) {
-      size_t end = newline;
-      if (end > start && buffer[end - 1] == '\r') {
-        --end;  // Tolerate CRLF line endings.
-      }
-      std::string line = buffer.substr(start, end - start);
-      start = newline + 1;
-      if (line.empty()) {
-        continue;  // Blank lines between requests are permitted.
-      }
-      if (line.size() > options.max_line_bytes) {
-        LineTooLongReply(fd, options.max_line_bytes, service.compat_v0());
-        return;
-      }
-      if (!WriteAll(fd, service.HandleLine(line) + "\n")) {
-        return;
-      }
-      if (service.shutdown_requested()) {
-        // The response (possibly to the `shutdown` verb itself) is on the wire;
-        // wake the accept loop so the drain starts immediately.
-        WakeAcceptLoop();
-        return;
-      }
-    }
-    buffer.erase(0, start);
-    if (buffer.size() > options.max_line_bytes) {
-      // A line is still unterminated past the cap: the buffer must not grow
-      // without bound on hostile or broken input.
-      LineTooLongReply(fd, options.max_line_bytes, service.compat_v0());
-      return;
+  addr.sin_port = htons(port);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  // SO_REUSEADDR: a restart must not wait out TIME_WAIT from its predecessor.
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0 || !SetNonBlocking(fd)) {
+    *error = "cannot serve on " + spec + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *bound_port = static_cast<int>(ntohs(bound.sin_port));
     }
   }
+  return fd;
 }
 
-bool TransientAcceptError(int error) {
-  // ECONNABORTED: the client gave up between connect and accept — theirs, not
-  // ours. EMFILE/ENFILE: fd exhaustion is usually momentary for a server whose
-  // connections are short-lived; backing off beats tearing the service down.
-  return error == ECONNABORTED || error == EMFILE || error == ENFILE ||
-         error == EAGAIN || error == EWOULDBLOCK;
+void CloseListeners(std::vector<EventLoopListener>* listeners) {
+  for (EventLoopListener& listener : *listeners) {
+    if (listener.fd >= 0) {
+      ::close(listener.fd);
+    }
+    if (!listener.unlink_path.empty()) {
+      ::unlink(listener.unlink_path.c_str());
+    }
+  }
+  listeners->clear();
 }
 
 }  // namespace
 
 int RunHandlerSocket(LineHandler& service, const std::string& path, std::ostream& err,
                      std::ostream* summary, const SocketServerOptions& options) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    err << "error: socket path too long: " << path << "\n";
+  std::vector<EventLoopListener> listeners;
+  std::string error;
+  if (!path.empty()) {
+    int fd = CreateUnixListener(path, options.backlog, &error);
+    if (fd < 0) {
+      err << "error: " << error << "\n";
+      return 2;
+    }
+    listeners.push_back(EventLoopListener{fd, /*tcp=*/false, path});
+  }
+  if (!options.listen.empty()) {
+    int port = 0;
+    int fd = CreateTcpListener(options.listen, options.backlog, &error, &port);
+    if (fd < 0) {
+      err << "error: " << error << "\n";
+      CloseListeners(&listeners);
+      return 2;
+    }
+    if (options.bound_tcp_port != nullptr) {
+      options.bound_tcp_port->store(port, std::memory_order_release);
+    }
+    listeners.push_back(EventLoopListener{fd, /*tcp=*/true, ""});
+  }
+  if (listeners.empty()) {
+    err << "error: no socket path or --listen address to serve\n";
     return 2;
   }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
-  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    err << "error: socket: " << std::strerror(errno) << "\n";
-    return 2;
-  }
-  ::unlink(path.c_str());
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, options.backlog) < 0) {
-    err << "error: cannot serve on " << path << ": " << std::strerror(errno) << "\n";
-    ::close(listener);
-    return 2;
-  }
-
-  // Self-pipe so signal handlers (and connection handlers announcing a
-  // `shutdown` verb) can wake the poll() below without races. It is shared
-  // across runs (see WakePipe), so discard any byte a late handler from a
-  // previous run may have left behind — otherwise the first poll() below
-  // would read it as an immediate shutdown request.
+  // Self-pipe so signal handlers can wake the event loop without races. It is
+  // shared across runs (see WakePipe), so discard any byte a late handler from
+  // a previous run may have left behind — otherwise the first epoll_wait would
+  // read it as an immediate shutdown request.
   const int* wake_pipe = WakePipe();
   if (wake_pipe[0] < 0) {
     err << "error: pipe: " << std::strerror(errno) << "\n";
-    ::close(listener);
-    ::unlink(path.c_str());
+    CloseListeners(&listeners);
     return 2;
   }
   DrainWakePipe(wake_pipe[0]);
@@ -261,70 +230,7 @@ int RunHandlerSocket(LineHandler& service, const std::string& path, std::ostream
     ::sigaction(SIGINT, &sa, &old_int);
   }
 
-  ConnectionRegistry connections;
-  size_t pool_size =
-      static_cast<size_t>(options.max_connections < 1 ? 1 : options.max_connections);
-  bool fatal = false;
-  {
-    ThreadPool conn_pool(pool_size);
-    while (!service.shutdown_requested()) {
-      pollfd fds[2] = {};
-      fds[0].fd = wake_pipe[0];
-      fds[0].events = POLLIN;
-      fds[1].fd = listener;
-      fds[1].events = POLLIN;
-      int ready = ::poll(fds, 2, -1);
-      if (ready < 0) {
-        if (errno == EINTR) {
-          continue;  // The next loop iteration re-checks shutdown_requested().
-        }
-        err << "error: poll: " << std::strerror(errno) << "\n";
-        fatal = true;
-        break;
-      }
-      if (fds[0].revents != 0) {
-        service.RequestShutdown();  // Signal or shutdown verb: begin the drain.
-        break;
-      }
-      if ((fds[1].revents & POLLIN) == 0) {
-        continue;
-      }
-      int client = ::accept(listener, nullptr, nullptr);
-      if (client < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        if (TransientAcceptError(errno)) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(10));
-          continue;
-        }
-        err << "error: accept: " << std::strerror(errno) << "\n";
-        fatal = true;
-        break;
-      }
-      connections.Add(client);
-      conn_pool.Submit([&service, &connections, &options, client] {
-        ServeClient(service, client, options);
-        connections.Remove(client);
-        ::close(client);
-      });
-    }
-
-    // Drain: stop accepting (closing the listener wakes nothing — handlers own
-    // their fds), give in-flight requests the grace period, then cut stragglers
-    // loose so their blocked reads return EOF.
-    ::close(listener);
-    ::unlink(path.c_str());
-    auto grace_end = std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(options.drain_ms < 0 ? 0 : options.drain_ms);
-    while (!connections.Empty() && std::chrono::steady_clock::now() < grace_end) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
-    if (!connections.Empty()) {
-      connections.ShutdownAll();
-    }
-    conn_pool.Wait();
-  }  // conn_pool joins its workers here.
+  int rc = RunEventLoop(service, options, std::move(listeners), wake_pipe[0], err);
 
   if (options.install_signal_handlers) {
     ::sigaction(SIGTERM, &old_term, nullptr);
@@ -336,12 +242,45 @@ int RunHandlerSocket(LineHandler& service, const std::string& path, std::ostream
   if (summary != nullptr) {
     *summary << service.SummaryText();
   }
-  return fatal ? 2 : 0;
+  return rc;
 }
 
 int RunServiceSocket(Service& service, const std::string& path, std::ostream& err,
                      std::ostream* summary, const SocketServerOptions& options) {
-  return RunHandlerSocket(service, path, err, summary, options);
+  // Wire the service's own registry by default so the frontend's
+  // connection/shed/queue-depth metrics show up in the `metrics` verb.
+  SocketServerOptions wired = options;
+  if (wired.registry == nullptr) {
+    wired.registry = &service.metrics().registry();
+  }
+  return RunHandlerSocket(service, path, err, summary, wired);
+}
+
+int DialUnixClient(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path too long: " + path;
+    }
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
 }
 
 }  // namespace concord

@@ -27,6 +27,8 @@ enum class ErrorCode {
   kUnknownDataset,       // Named resident dataset was never learned.
   kIoError,              // Reading/writing a file failed.
   kStoreCorrupt,         // A durable-store file failed framing validation.
+  kOverloaded,           // Admission control shed the request (in-flight caps).
+  kRateLimited,          // Per-client sliding-window rate limit exceeded.
   kInternal,             // Anything else; a bug if seen in the wild.
 };
 
@@ -45,6 +47,8 @@ constexpr std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnknownDataset: return "unknown_dataset";
     case ErrorCode::kIoError: return "io_error";
     case ErrorCode::kStoreCorrupt: return "store_corrupt";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kRateLimited: return "rate_limited";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";

@@ -1,0 +1,157 @@
+// AdmissionController (src/service/admission.h): the three-gate decision
+// order, slot accounting, and the sliding-window rate limiter. Timestamps are
+// caller-supplied, so every window scenario runs without sleeping.
+#include "src/service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace concord {
+namespace {
+
+TEST(AdmissionTest, AdmitsUpToGlobalCapThenSheds) {
+  AdmissionOptions options;
+  options.max_inflight = 3;
+  options.max_inflight_per_client = 0;  // Per-client gate off.
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.TryAdmit("a", 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("b", 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("c", 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("d", 0), AdmissionDecision::kOverloadedGlobal);
+  EXPECT_EQ(admission.inflight(), 3u);
+
+  admission.Complete("b");
+  EXPECT_EQ(admission.inflight(), 2u);
+  EXPECT_EQ(admission.TryAdmit("d", 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("e", 0), AdmissionDecision::kOverloadedGlobal);
+}
+
+TEST(AdmissionTest, PerClientCapBindsEvenWithGlobalHeadroom) {
+  AdmissionOptions options;
+  options.max_inflight = 100;
+  options.max_inflight_per_client = 2;
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.TryAdmit("greedy", 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("greedy", 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("greedy", 0),
+            AdmissionDecision::kOverloadedClient);
+  // Another peer is unaffected by the greedy one's slots.
+  EXPECT_EQ(admission.TryAdmit("polite", 0), AdmissionDecision::kAdmit);
+
+  admission.Complete("greedy");
+  EXPECT_EQ(admission.TryAdmit("greedy", 0), AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionTest, GlobalGateIsCheckedBeforePerClient) {
+  // When both caps are exceeded the decision names the global one — the more
+  // actionable signal for an operator (the whole run queue is full).
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_inflight_per_client = 1;
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.TryAdmit("a", 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("a", 0), AdmissionDecision::kOverloadedGlobal);
+}
+
+TEST(AdmissionTest, SlidingWindowRateLimitsPerPeer) {
+  AdmissionOptions options;
+  options.max_inflight = 0;
+  options.max_inflight_per_client = 0;
+  options.rate_limit = 2;
+  options.rate_window_ms = 1000;
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.TryAdmit("a", 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("a", 10), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit("a", 20), AdmissionDecision::kRateLimited);
+  // Another peer has its own window.
+  EXPECT_EQ(admission.TryAdmit("b", 20), AdmissionDecision::kAdmit);
+  // The window slides: once the first admission ages out, quota returns.
+  EXPECT_EQ(admission.TryAdmit("a", 1001), AdmissionDecision::kAdmit);
+  // ...but the 10ms and 1001ms admissions still occupy the window.
+  EXPECT_EQ(admission.TryAdmit("a", 1005), AdmissionDecision::kRateLimited);
+}
+
+TEST(AdmissionTest, ShedRequestsDoNotConsumeRateQuota) {
+  AdmissionOptions options;
+  options.max_inflight = 0;
+  options.max_inflight_per_client = 0;
+  options.rate_limit = 1;
+  options.rate_window_ms = 1000;
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.TryAdmit("a", 0), AdmissionDecision::kAdmit);
+  // A burst of rejections while the window is full...
+  for (int64_t t = 1; t <= 999; t += 100) {
+    EXPECT_EQ(admission.TryAdmit("a", t), AdmissionDecision::kRateLimited);
+  }
+  // ...must not extend the lockout: quota returns exactly when the one
+  // *admitted* request ages out.
+  EXPECT_EQ(admission.TryAdmit("a", 1001), AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionTest, RateGateIsCheckedBeforeInflightGates) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_inflight_per_client = 1;
+  options.rate_limit = 1;
+  options.rate_window_ms = 1000;
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.TryAdmit("a", 0), AdmissionDecision::kAdmit);
+  // Both the window and the in-flight caps are exhausted; the rate verdict
+  // wins so a client distinguishes "slow down" from "server busy".
+  EXPECT_EQ(admission.TryAdmit("a", 1), AdmissionDecision::kRateLimited);
+  admission.Complete("a");
+  // In-flight slots free, window still full.
+  EXPECT_EQ(admission.TryAdmit("a", 2), AdmissionDecision::kRateLimited);
+  EXPECT_EQ(admission.TryAdmit("a", 1001), AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionTest, ZeroCapsDisableEveryGate) {
+  AdmissionOptions options;
+  options.max_inflight = 0;
+  options.max_inflight_per_client = 0;
+  options.rate_limit = 0;
+  AdmissionController admission(options);
+
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(admission.TryAdmit("a", 0), AdmissionDecision::kAdmit);
+  }
+  EXPECT_EQ(admission.inflight(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    admission.Complete("a");
+  }
+  EXPECT_EQ(admission.inflight(), 0u);
+}
+
+TEST(AdmissionTest, CompleteForUnknownPeerIsHarmless) {
+  AdmissionController admission(AdmissionOptions{});
+  admission.Complete("never-admitted");
+  EXPECT_EQ(admission.inflight(), 0u);
+  EXPECT_EQ(admission.TryAdmit("a", 0), AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionTest, ManyIdlePeersArePrunedOverTime) {
+  // 10k one-shot peers admit and complete; the periodic sweep plus the
+  // complete-time erase keep this from leaking — observable as admissions
+  // still being O(active peers) fast, and (indirectly) as correct decisions.
+  AdmissionOptions options;
+  options.rate_limit = 4;
+  options.rate_window_ms = 100;
+  AdmissionController admission(options);
+  for (int i = 0; i < 10000; ++i) {
+    std::string peer = "peer-" + std::to_string(i);
+    ASSERT_EQ(admission.TryAdmit(peer, i), AdmissionDecision::kAdmit);
+    admission.Complete(peer);
+  }
+  EXPECT_EQ(admission.inflight(), 0u);
+  EXPECT_EQ(admission.TryAdmit("fresh", 20000), AdmissionDecision::kAdmit);
+}
+
+}  // namespace
+}  // namespace concord

@@ -33,6 +33,13 @@ contains this script. Rules (each with a stable id, shown in findings):
                   temp+fsync+rename path (DESIGN.md §10), and side-channel I/O
                   would bypass the corruption detection and crash-safety those
                   frames provide.
+  raw-socket      Berkeley socket calls (socket/bind/listen/accept/connect) and
+                  epoll_* are banned in src/ outside the event-driven frontend
+                  (src/service/socket_server.{h,cc} + event_loop.{h,cc}): all
+                  connection lifecycle, admission, backpressure, and drain
+                  handling lives there (DESIGN.md §11), and a private socket
+                  would bypass those controls. Tests and benches may open
+                  sockets freely — they are the clients.
 
 `--self-test` lints the fixture tree in tools/lint_fixtures/ (each fixture
 plants violations and declares them in `// LINT-EXPECT: <rule-id>` comments)
@@ -225,6 +232,39 @@ def check_store_io(rel, lines, report):
                    "raw I/O bypasses checksums and the atomic rename path")
 
 
+# --- rule: raw-socket -------------------------------------------------------
+
+# The lookahead skips manpage references like "listen(2)" in help strings and
+# comments-in-strings: a real call's first argument is an fd expression, never
+# a bare section number.
+RAW_SOCKET_RE = re.compile(
+    r"\b(?:socket|accept4?|bind|listen|connect|"
+    r"epoll_(?:create1?|ctl|p?wait))\s*\((?!\s*\d+\s*\))"
+)
+SOCKET_EXEMPT = {
+    "src/service/socket_server.h", "src/service/socket_server.cc",
+    "src/service/event_loop.h", "src/service/event_loop.cc",
+}
+
+
+def check_raw_socket(rel, lines, report):
+    if not rel.startswith("src/") or rel in SOCKET_EXEMPT:
+        return
+    for lineno, line in lines:
+        for m in RAW_SOCKET_RE.finditer(line):
+            before = line[:m.start()]
+            # Member calls (router.connect(...)) and qualified names from other
+            # namespaces (std::bind) are not the Berkeley syscalls this hunts;
+            # a bare or ::-prefixed call is.
+            if before.endswith((".", "->")) or re.search(r"\w::$", before):
+                continue
+            report("raw-socket", rel, lineno,
+                   f"{m.group(0).strip()} outside the socket frontend — all "
+                   "socket/epoll handling lives in src/service/socket_server.* "
+                   "and event_loop.* so admission, backpressure, and drain "
+                   "cover every connection (DESIGN.md §11)")
+
+
 # --- driver -----------------------------------------------------------------
 
 def strip_comments(line):
@@ -266,6 +306,7 @@ def lint_tree(root):
         check_error_code(rel, lines, report, known_codes)
         check_tsa_escape(rel, lines, report)
         check_store_io(rel, lines, report)
+        check_raw_socket(rel, lines, report)
     return findings
 
 

@@ -1,0 +1,28 @@
+// Fixture: Berkeley sockets and epoll outside the socket frontend
+// (src/service/socket_server.* + event_loop.*) would bypass admission control,
+// backpressure, and drain handling — every connection must flow through the
+// event loop.
+#include <functional>
+
+namespace concord {
+
+void SneakyPrivateListener() {
+  int fd = ::socket(1, 1, 0);  // LINT-EXPECT: raw-socket
+  ::bind(fd, nullptr, 0);  // LINT-EXPECT: raw-socket
+  ::listen(fd, 8);  // LINT-EXPECT: raw-socket
+  int conn = ::accept(fd, nullptr, nullptr);  // LINT-EXPECT: raw-socket
+  int flags = 0;
+  int ep = epoll_create1(flags);  // LINT-EXPECT: raw-socket
+  epoll_ctl(ep, 0, conn, nullptr);  // LINT-EXPECT: raw-socket
+  int dialed = connect(fd, nullptr, 0);  // LINT-EXPECT: raw-socket
+  (void)dialed;
+}
+
+void QualifiedAndMemberNamesAreFine() {
+  // std::bind and member calls share spellings with the syscalls but are not
+  // them; the rule must not fire here.
+  auto deferred = std::bind([] {});
+  deferred();
+}
+
+}  // namespace concord

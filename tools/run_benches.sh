@@ -9,6 +9,10 @@
 #        tools/run_benches.sh --store        durable-store acceptance: cold vs warm
 #                                            restart and 1/2/4-shard throughput,
 #                                            written to BENCH_STORE.json
+#        tools/run_benches.sh --overload     frontend overload soak: greedy TCP
+#                                            clients vs one well-behaved Unix
+#                                            client; shed rate and p99s written
+#                                            to BENCH_SERVE.json
 set -u
 
 serve_smoke() {
@@ -78,6 +82,19 @@ if [ "${1:-}" = "--store" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--overload" ]; then
+  bench=build/bench/bench_overload
+  if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (run: cmake --build build -j)" >&2
+    exit 2
+  fi
+  # Exits non-zero unless every request got exactly one response, the greedy
+  # clients were shed with structured `overloaded` envelopes, and the
+  # well-behaved client's p99 stayed within the acceptance bound.
+  "$bench" || exit 1
+  exit 0
+fi
+
 if [ "${1:-}" = "--serve" ]; then
   serve_smoke
   exit 0
@@ -113,6 +130,14 @@ for b in build/bench/*; do
         echo "bench_store acceptance FAILED (see $out/$name.txt)" >&2
       fi
       [ -f BENCH_STORE.json ] && cp -f BENCH_STORE.json "$out/"
+      ;;
+    bench_overload)
+      # Writes BENCH_SERVE.json; non-zero means load was dropped silently or
+      # the well-behaved client's p99 blew the acceptance bound.
+      if ! "$b" > "$out/$name.txt" 2>&1; then
+        echo "bench_overload acceptance FAILED (see $out/$name.txt)" >&2
+      fi
+      [ -f BENCH_SERVE.json ] && cp -f BENCH_SERVE.json "$out/"
       ;;
     *) "$b" > "$out/$name.txt" 2>&1 ;;
   esac
