@@ -34,6 +34,7 @@
 #include "src/pattern/parser.h"
 #include "src/util/cancellation.h"
 #include "src/util/error_code.h"
+#include "src/util/flat_map.h"
 
 namespace concord {
 
@@ -124,33 +125,53 @@ struct CheckResult {
 
 class ThreadPool;
 
-class Checker {
- public:
-  // Both referents must outlive the checker. The table must be the one `dataset`'s
-  // patterns live in (contracts loaded from a file must have been interned into it).
-  // `parallelism` shards per-config checking across worker threads (1 = serial,
-  // 0 or negative = hardware concurrency), mirroring the CLI's --parallelism flag.
-  // When `pool` is given it is used instead of spawning a fresh pool per Check call
-  // (the service reuses one pool across requests); it must outlive the checker.
-  Checker(const ContractSet* set, const PatternTable* table, int parallelism = 1,
-          ThreadPool* pool = nullptr)
-      : set_(set), table_(table), parallelism_(parallelism), pool_(pool) {}
+// Per-call knobs of a check run. A Checker is immutable after construction, so
+// one instance can serve concurrent requests as long as each passes its own
+// CheckOptions (the service caches a Checker per loaded contract set).
+struct CheckOptions {
+  // False skips the (more expensive) coverage pass.
+  bool measure_coverage = true;
 
-  // Bounds this checker's runs: hot loops poll the deadline and Check raises
-  // DeadlineExceeded on expiry (polled outside pool tasks, so a shared pool
-  // never delivers one request's expiry to another).
-  void set_deadline(const Deadline& deadline) { deadline_ = deadline; }
+  // Hot loops poll the deadline; expiry raises DeadlineExceeded from the calling
+  // thread (never from a shared pool's worker, so one request's expiry cannot
+  // surface in another's Wait()).
+  Deadline deadline;
 
   // Shard mode: unique contracts are cross-config, so a worker that sees only
-  // its partition cannot judge them. Instead of emitting unique violations it
-  // records every qualifying observation into CheckResult::unique_log (in the
-  // exact order the global pass would visit them); coverage marking is
+  // its partition cannot judge them. Instead of emitting unique violations the
+  // checker records every qualifying observation into CheckResult::unique_log
+  // (in the exact order the global pass would visit them); coverage marking is
   // per-observation and still happens locally. The router replays the merged
   // log to recover the violations.
+  bool collect_unique_log = false;
+
+  // Shards the contract-major scan across worker threads (1 = serial, 0 or
+  // negative = hardware concurrency). When `pool` is given it is used instead
+  // of spawning a fresh pool (the service reuses one pool across requests); it
+  // must outlive the call.
+  int parallelism = 1;
+  ThreadPool* pool = nullptr;
+};
+
+class Checker {
+ public:
+  // Both referents must outlive the checker and must not change while it exists:
+  // the constructor compiles the contract set into a check plan (type rules
+  // grouped by untyped pattern, contract-pattern slot table) reused by every
+  // Check call. The table must be the one `dataset`'s patterns live in
+  // (contracts loaded from a file must have been interned into it).
+  // `parallelism`/`pool` become the defaults for the legacy overloads below;
+  // options-taking calls pass their own.
+  Checker(const ContractSet* set, const PatternTable* table, int parallelism = 1,
+          ThreadPool* pool = nullptr);
+
+  // Default deadline for the legacy overloads (CheckOptions::deadline wins).
+  void set_deadline(const Deadline& deadline) { deadline_ = deadline; }
+
+  // Default shard mode for the legacy overloads (see CheckOptions).
   void set_collect_unique_log(bool collect) { collect_unique_log_ = collect; }
 
-  // Checks every contract and measures coverage. `measure_coverage` false skips the
-  // (more expensive) coverage pass.
+  // Checks every contract and measures coverage.
   CheckResult Check(const Dataset& dataset, bool measure_coverage = true) const;
 
   // Same, over externally owned configurations (e.g. the service's parsed-config
@@ -165,13 +186,67 @@ class Checker {
   CheckResult Check(const std::vector<const ConfigIndex*>& indexes,
                     bool measure_coverage = true) const;
 
+  // The batch-first core (DESIGN.md §12): a contract-major scan that walks the
+  // contract set once, evaluating each contract against all N configs from a
+  // postings table built by a single pass over the batch's indexes, with scratch
+  // carved from bump arenas. Every other Check overload is a thin wrapper.
+  CheckResult Check(const std::vector<const ConfigIndex*>& indexes,
+                    const CheckOptions& options) const;
+
+  // One logically independent check within a batch (its own configs, deadline,
+  // and knobs) — e.g. one sub-request of a `check_batch` serve call.
+  struct BatchItem {
+    std::vector<const ConfigIndex*> indexes;
+    CheckOptions options;
+  };
+
+  // Outcome of one BatchItem. Faults are isolated per item: one expired
+  // deadline or internal error yields a failed slot, never a failed batch.
+  struct BatchOutcome {
+    bool ok = false;
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message;  // Empty when ok.
+    CheckResult result;   // Meaningful when ok.
+  };
+
+  // Runs every item and returns outcomes in item order. Items run sequentially
+  // on the calling thread while each item's scan uses its own parallelism
+  // options — nesting pool waves inside pool workers would deadlock a small
+  // pool, and per-item results must not reorder.
+  std::vector<BatchOutcome> CheckBatch(const std::vector<BatchItem>& items) const;
+
  private:
+  // One type contract's rule, grouped by untyped pattern for a single pass over
+  // lines (hoisted to the constructor: it depends only on the contract set).
+  struct TypeRule {
+    uint16_t param;
+    ValueType invalid;
+    size_t contract_index;
+  };
+
+  static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
+
   const ContractSet* set_;
   const PatternTable* table_;
   int parallelism_;
   ThreadPool* pool_;
   Deadline deadline_;  // Default: unlimited.
   bool collect_unique_log_ = false;
+
+  // ---- Check plan, compiled once from the contract set. ----
+  FlatMap<std::string, std::vector<TypeRule>> type_rules_;
+  // Dense per-PatternId view of type_rules_ for every pattern interned at plan
+  // time (ids are dense), so the per-line pass indexes an array instead of
+  // hashing the untyped pattern string. Ids interned after construction (the
+  // table keeps growing under the service's parse cache) fall back to the
+  // string probe. Pointers stay valid: type_rules_ is frozen after the ctor.
+  std::vector<const std::vector<TypeRule>*> type_rules_by_id_;
+  // Slot per distinct contract forall-pattern; the batch postings table is
+  // indexed by slot, so the contract scan probes no hash table at all.
+  FlatMap<PatternId, uint32_t> pattern_slots_;
+  std::vector<uint32_t> contract_slot_;  // Per contract; kNoSlot for type rules.
+  uint32_t num_slots_ = 0;
+  std::vector<size_t> unique_contracts_;  // Contract indexes, ascending.
 };
 
 }  // namespace concord

@@ -245,13 +245,21 @@ class JsonParser {
     ++pos_;  // Consume '"'.
     std::string out;
     while (!AtEnd()) {
+      // Bulk-copy the run up to the next delimiter: strings dominate request
+      // bytes (embedded config text), so the byte loop here is the parser's
+      // hottest path, and find_first_of over two needles beats a per-byte
+      // state machine.
+      size_t run_end = text_.find_first_of("\"\\", pos_);
+      if (run_end == std::string_view::npos) {
+        break;
+      }
+      if (run_end > pos_) {
+        out.append(text_.data() + pos_, run_end - pos_);
+        pos_ = run_end;
+      }
       char c = text_[pos_++];
       if (c == '"') {
         return out;
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
       }
       if (AtEnd()) {
         break;
@@ -401,7 +409,26 @@ class JsonParser {
 
 void EscapeString(std::string_view s, std::string* out) {
   out->push_back('"');
-  for (char c : s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    // Bulk-copy runs of plain bytes; escapes are rare outside the newlines of
+    // embedded config text, and the byte switch below only runs at them.
+    size_t run = i;
+    while (run < s.size()) {
+      unsigned char c = static_cast<unsigned char>(s[run]);
+      if (c == '"' || c == '\\' || c < 0x20) {
+        break;
+      }
+      ++run;
+    }
+    if (run > i) {
+      out->append(s.data() + i, run - i);
+      i = run;
+    }
+    if (i >= s.size()) {
+      break;
+    }
+    char c = s[i++];
     switch (c) {
       case '"':
         out->append("\\\"");
@@ -419,13 +446,10 @@ void EscapeString(std::string_view s, std::string* out) {
         out->append("\\t");
         break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out->append(buf);
-        } else {
-          out->push_back(c);
-        }
+        // Only control bytes reach here (the run loop stops at nothing else).
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out->append(buf);
     }
   }
   out->push_back('"');

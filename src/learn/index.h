@@ -8,11 +8,11 @@
 #define SRC_LEARN_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/pattern/parser.h"
 #include "src/util/cancellation.h"
+#include "src/util/flat_map.h"
 
 namespace concord {
 
@@ -22,7 +22,9 @@ struct ConfigIndex {
   size_t own_line_count = 0;
 
   // Line indices per pattern id; includes constant patterns when present.
-  std::unordered_map<PatternId, std::vector<uint32_t>> by_pattern;
+  // Flat open-addressing (hash iteration order): miners sort what they emit and
+  // the checker walks patterns contract-major, so order never matters.
+  FlatMap<PatternId, std::vector<uint32_t>> by_pattern;
 
   bool ContainsPattern(PatternId id) const { return by_pattern.count(id) > 0; }
 };

@@ -16,14 +16,14 @@ void AffixTrie::Insert(const std::string& key, ParamRef ref) {
   }
   int32_t node = 0;
   for (char c : walk) {
-    auto it = nodes_[node].children.find(c);
-    if (it == nodes_[node].children.end()) {
+    int32_t next = nodes_[node].Child(c);
+    if (next < 0) {
       int32_t fresh = static_cast<int32_t>(nodes_.size());
-      nodes_[node].children.emplace(c, fresh);
+      nodes_[node].children.emplace_back(c, fresh);
       nodes_.push_back(Node{});
       node = fresh;
     } else {
-      node = it->second;
+      node = next;
     }
   }
   nodes_[node].terminals.push_back(ref);
@@ -44,11 +44,11 @@ void AffixTrie::FindAffixesOf(const std::string& query, std::vector<Hit>* out) c
         out->push_back(Hit{ref, static_cast<int>(depth)});
       }
     }
-    auto it = nodes_[node].children.find(walk[depth]);
-    if (it == nodes_[node].children.end()) {
+    int32_t next = nodes_[node].Child(walk[depth]);
+    if (next < 0) {
       return;
     }
-    node = it->second;
+    node = next;
   }
   // Note: terminals at the final node have length == query length (equality), which is
   // deliberately not reported.

@@ -10,7 +10,7 @@
 #define SRC_RELATIONS_AFFIX_TRIE_H_
 
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/relations/param_ref.h"
@@ -37,8 +37,19 @@ class AffixTrie {
 
  private:
   struct Node {
-    std::unordered_map<char, int32_t> children;
+    // Flat edge list, linearly scanned: trie fanout is tiny (digits, hex, a few
+    // letters), where a vector beats any hash map on both probes and footprint.
+    std::vector<std::pair<char, int32_t>> children;
     std::vector<ParamRef> terminals;
+
+    int32_t Child(char c) const {
+      for (const auto& [edge, node] : children) {
+        if (edge == c) {
+          return node;
+        }
+      }
+      return -1;
+    }
   };
 
   std::vector<Node> nodes_;

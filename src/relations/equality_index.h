@@ -8,10 +8,10 @@
 #define SRC_RELATIONS_EQUALITY_INDEX_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/relations/param_ref.h"
+#include "src/util/flat_map.h"
 
 namespace concord {
 
@@ -25,14 +25,17 @@ class EqualityIndex {
     return it == buckets_.end() ? nullptr : &it->second;
   }
 
-  const std::unordered_map<std::string, std::vector<ParamRef>>& buckets() const {
+  // Iteration is hash order; per-bucket ref order is insertion order. The
+  // relational miner's per-bucket work is independent, so order never leaks
+  // into learned output.
+  const FlatMap<std::string, std::vector<ParamRef>>& buckets() const {
     return buckets_;
   }
 
   size_t num_keys() const { return buckets_.size(); }
 
  private:
-  std::unordered_map<std::string, std::vector<ParamRef>> buckets_;
+  FlatMap<std::string, std::vector<ParamRef>> buckets_;
 };
 
 }  // namespace concord

@@ -41,6 +41,7 @@ bool ContractStore::Install(const std::string& name, const std::string& serializ
   entry->set = std::move(*set);
   entry->parse_options.embed_context = entry->set.embed_context;
   entry->parse_options.constants = entry->set.constants_mode;
+  entry->checker = std::make_unique<const Checker>(&entry->set, &entry->table);
 
   Shard& shard = ShardFor(name);
   MutexLock lock(shard.mu);

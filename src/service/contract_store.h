@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/check/checker.h"
 #include "src/contracts/contract.h"
 #include "src/learn/index.h"
 #include "src/pattern/pattern_table.h"
@@ -46,6 +47,12 @@ struct LoadedContractSet {
   ContractSet set;
   PatternTable table;
   ParseOptions parse_options;  // Derived from the set's recorded flags.
+  // Built once at install time: the checker's constructor compiles the contract
+  // set into its check plan (type-rule grouping, pattern slot table), so every
+  // request against this set skips that work. Immutable — concurrent requests
+  // share it, passing per-request knobs via CheckOptions. Reads the table
+  // lock-free (contract patterns are already interned; growth is append-only).
+  std::unique_ptr<const Checker> checker;
   ConfigCache cache;
   LruCache<CachedConfigIndex> index_cache;
   // Serializes table growth across requests. `table` itself is deliberately not

@@ -49,6 +49,11 @@ bool VerbAllowsField(const std::string& verb, const std::string& field) {
     return field == "contracts" || field == "configs" || field == "metadata" ||
            field == "deadline_ms" || field == "coverage" || field == "shard";
   }
+  if (verb == "check_batch") {
+    // Sub-request fields (configs, deadline_ms, coverage) live inside the
+    // "requests" entries and are validated per slot by the check dispatch.
+    return field == "contracts" || field == "metadata" || field == "requests";
+  }
   if (verb == "check_unique") {
     // Internal: the shard router's phase-2 replay of the merged unique log.
     return field == "contracts" || field == "log";
@@ -194,6 +199,7 @@ std::string Service::HandleLine(const std::string& line) {
   bool has_id = false;
   JsonValue body;
   bool ok = false;
+  std::optional<JsonValue> response;
   ErrorCode error_code = ErrorCode::kInternal;
   std::string error_message;
   std::string error_detail;
@@ -244,13 +250,12 @@ std::string Service::HandleLine(const std::string& line) {
     if (!v) {
       throw ServiceError(
           ErrorCode::kMissingField,
-          "missing 'verb' (expected check|coverage|reload|learn|update|stats|"
-          "metrics|shutdown)",
+          "missing 'verb' (expected check|check_batch|coverage|reload|learn|"
+          "update|stats|metrics|shutdown)",
           "verb");
     }
     verb = *v;
-    body = Dispatch(verb, *request);
-    ok = true;
+    response = ResponseFor(verb, *request, &ok);
   } catch (const DeadlineExceeded&) {
     // Structured so clients can retry with a larger budget without string-matching.
     error_code = ErrorCode::kDeadlineExceeded;
@@ -263,7 +268,22 @@ std::string Service::HandleLine(const std::string& line) {
     error_code = ErrorCode::kInternal;
     error_message = e.what();
   }
+  if (!response) {
+    // Pre-dispatch failure (malformed request, bad version, missing verb).
+    response = AssembleResponse(/*ok=*/false, has_id, std::move(id), error_code,
+                                error_message, error_detail, std::move(body));
+  }
+  metrics_.RecordRequest(verb, ok,
+                         static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  TraceSpan span("serve", "serialize");
+  return response->Serialize(0);
+}
 
+JsonValue Service::AssembleResponse(bool ok, bool has_id, JsonValue id,
+                                    ErrorCode error_code,
+                                    const std::string& error_message,
+                                    const std::string& error_detail, JsonValue body) {
+  const bool compat = options_.compat_v0;
   JsonValue response = JsonValue::Object();
   if (!compat) {
     response.Set("v", JsonValue::Number(int64_t{1}));
@@ -292,17 +312,49 @@ std::string Service::HandleLine(const std::string& line) {
   for (auto& [key, value] : body.members()) {
     response.Set(key, std::move(value));
   }
-  metrics_.RecordRequest(verb, ok,
-                         static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
-  TraceSpan span("serve", "serialize");
-  return response.Serialize(0);
+  return response;
+}
+
+JsonValue Service::ResponseFor(const std::string& verb, const JsonValue& request,
+                               bool* ok_out) {
+  JsonValue id;
+  bool has_id = false;
+  if (const JsonValue* i = request.Find("id")) {
+    id = *i;
+    has_id = true;
+  }
+  JsonValue body;
+  bool ok = false;
+  ErrorCode error_code = ErrorCode::kInternal;
+  std::string error_message;
+  std::string error_detail;
+  try {
+    body = Dispatch(verb, request);
+    ok = true;
+  } catch (const DeadlineExceeded&) {
+    error_code = ErrorCode::kDeadlineExceeded;
+    error_message = "deadline_exceeded";
+  } catch (const ServiceError& e) {
+    error_code = e.code;
+    error_message = e.what();
+    error_detail = e.detail;
+  } catch (const std::exception& e) {
+    error_code = ErrorCode::kInternal;
+    error_message = e.what();
+  }
+  if (ok_out != nullptr) {
+    *ok_out = ok;
+  }
+  return AssembleResponse(ok, has_id, std::move(id), error_code, error_message,
+                          error_detail, std::move(body));
 }
 
 JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   if (!options_.compat_v0) {
-    bool known = verb == "check" || verb == "coverage" || verb == "reload" ||
-                 verb == "learn" || verb == "update" || verb == "stats" ||
-                 verb == "metrics" || verb == "shutdown" || verb == "check_unique";
+    bool known = verb == "check" || verb == "check_batch" || verb == "coverage" ||
+                 verb == "reload" || verb == "learn" || verb == "update" ||
+                 verb == "stats" || verb == "metrics" || verb == "shutdown" ||
+                 verb == "check_unique";
     if (known) {
       for (const auto& [field, value] : request.members()) {
         if (!VerbAllowsField(verb, field)) {
@@ -315,6 +367,9 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   }
   if (verb == "check") {
     return HandleCheck(request, /*coverage_listing=*/false);
+  }
+  if (verb == "check_batch") {
+    return HandleCheckBatch(request);
   }
   if (verb == "coverage") {
     return HandleCheck(request, /*coverage_listing=*/true);
@@ -371,8 +426,8 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   }
   throw ServiceError(ErrorCode::kUnknownVerb,
                      "unknown verb '" + verb +
-                         "' (expected check|coverage|reload|learn|update|stats|"
-                         "metrics|shutdown)",
+                         "' (expected check|check_batch|coverage|reload|learn|"
+                         "update|stats|metrics|shutdown)",
                      verb);
 }
 
@@ -552,14 +607,18 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   for (const auto& cached : cached_indexes) {
     indexes.push_back(&cached->index);
   }
-  Checker checker(&entry->set, &entry->table,
-                  static_cast<int>(pool_.num_threads()), &pool_);
-  checker.set_deadline(deadline);
-  checker.set_collect_unique_log(shard_mode);
+  // The entry's checker was compiled at install time (type-rule grouping,
+  // pattern slot table); per-request state rides in the options.
+  CheckOptions check_options;
+  check_options.measure_coverage = measure_coverage;
+  check_options.deadline = deadline;
+  check_options.collect_unique_log = shard_mode;
+  check_options.parallelism = static_cast<int>(pool_.num_threads());
+  check_options.pool = &pool_;
   CheckResult result;
   {
     TraceSpan span("serve", "check");
-    result = checker.Check(indexes, measure_coverage);
+    result = entry->checker->Check(indexes, check_options);
   }
   result.skipped = degraded;
 
@@ -623,6 +682,82 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
     shard.Set("cover", std::move(cover));
     body.Set("shard", std::move(shard));
   }
+  return body;
+}
+
+JsonValue Service::HandleCheckBatch(const JsonValue& request) {
+  // Resolve the target contract set once for the whole batch, with the same
+  // rules as `check` (name optional when exactly one set is loaded). Resolution
+  // failures fail the batch — there is nothing per-slot to isolate yet.
+  std::string name;
+  if (auto n = request.GetString("contracts")) {
+    name = *n;
+  } else {
+    auto all = store_.All();
+    if (all.size() != 1) {
+      throw ServiceError(ErrorCode::kMissingField,
+                         "'contracts' is required when " + std::to_string(all.size()) +
+                             " contract sets are loaded",
+                         "contracts");
+    }
+    name = all[0]->name;
+  }
+  if (store_.Get(name) == nullptr) {
+    throw ServiceError(ErrorCode::kUnknownContractSet,
+                       "unknown contract set '" + name + "' (reload it with a path)",
+                       name);
+  }
+
+  const JsonValue* requests = request.Find("requests");
+  if (requests == nullptr || !requests->is_array() || requests->items().empty()) {
+    throw ServiceError(
+        ErrorCode::kInvalidField,
+        "'requests' must be a non-empty array of {configs, deadline_ms?, coverage?} "
+        "sub-requests",
+        "requests");
+  }
+  const JsonValue* metadata = request.Find("metadata");
+
+  // Each slot is the complete response the standalone `check` would have
+  // produced for {contracts, metadata, <sub fields>} — byte-identical, because
+  // it runs through the same dispatch and envelope path (ResponseFor). One
+  // slot's failure (bad field, parse failure, expired deadline) becomes that
+  // slot's error envelope; the batch itself still succeeds.
+  JsonValue results = JsonValue::Array();
+  for (const JsonValue& sub : requests->items()) {
+    if (!sub.is_object()) {
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "each requests entry must be an object", "requests");
+    }
+    JsonValue sub_request = JsonValue::Object();
+    sub_request.Set("v", JsonValue::Number(int64_t{1}));
+    if (const JsonValue* i = sub.Find("id")) {
+      sub_request.Set("id", *i);
+    }
+    sub_request.Set("verb", JsonValue::String("check"));
+    sub_request.Set("contracts", JsonValue::String(name));
+    if (metadata != nullptr) {
+      sub_request.Set("metadata", *metadata);
+    }
+    for (const auto& [field, value] : sub.members()) {
+      if (field == "id" || field == "v" || field == "verb" ||
+          field == "contracts" || field == "metadata") {
+        // Envelope fields are owned by the outer request; entries cannot
+        // override them (the shard router's per-slot split depends on this).
+        continue;
+      }
+      // configs / deadline_ms / coverage; anything else is rejected per slot by
+      // the check dispatch's field validation.
+      sub_request.Set(field, value);
+    }
+    results.Append(ResponseFor("check", sub_request));
+  }
+
+  JsonValue body = JsonValue::Object();
+  body.Set("verb", JsonValue::String("check_batch"));
+  body.Set("contracts", JsonValue::String(name));
+  body.Set("requests", JsonValue::Number(ToInt64(requests->items().size())));
+  body.Set("results", std::move(results));
   return body;
 }
 

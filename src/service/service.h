@@ -59,6 +59,7 @@
 #include "src/service/line_handler.h"
 #include "src/service/metrics.h"
 #include "src/store/store.h"
+#include "src/util/error_code.h"
 #include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 
@@ -144,7 +145,24 @@ class Service : public LineHandler {
   };
 
   JsonValue Dispatch(const std::string& verb, const JsonValue& request);
+  // Dispatches `verb` and wraps the outcome in the complete v1 response
+  // envelope (v, ok, id, error, body) — the post-parse tail of HandleLine.
+  // check_batch builds each per-sub-request result through this, which is what
+  // makes a batch slot byte-identical to the standalone check response.
+  JsonValue ResponseFor(const std::string& verb, const JsonValue& request,
+                        bool* ok_out = nullptr);
+  // Builds the v1 response envelope (v, ok, id?, error?, body members), with
+  // compat_v0 downgrades applied. Shared by HandleLine's error tail and
+  // ResponseFor so batched and standalone responses serialize identically.
+  JsonValue AssembleResponse(bool ok, bool has_id, JsonValue id,
+                             ErrorCode error_code, const std::string& error_message,
+                             const std::string& error_detail, JsonValue body);
   JsonValue HandleCheck(const JsonValue& request, bool coverage_listing);
+  // `check_batch`: N logically independent check sub-requests sharing one
+  // request envelope, contract-set resolution, and metadata block (DESIGN.md
+  // §12). Faults are isolated per slot: one sub-request's parse failure or
+  // deadline expiry yields an error envelope in its slot, never a failed batch.
+  JsonValue HandleCheckBatch(const JsonValue& request);
   JsonValue HandleReload(const JsonValue& request);
   JsonValue HandleLearn(const JsonValue& request);
   JsonValue HandleUpdate(const JsonValue& request);

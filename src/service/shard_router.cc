@@ -526,6 +526,119 @@ std::string ShardRouter::HandleCheckLine(const JsonValue& request,
   return response.Serialize(0);
 }
 
+std::string ShardRouter::HandleCheckBatchLine(const JsonValue& request,
+                                              const std::string& raw,
+                                              const JsonValue* id) {
+  const JsonValue* requests = request.Find("requests");
+  bool well_formed =
+      requests != nullptr && requests->is_array() && !requests->items().empty();
+  if (well_formed) {
+    for (const JsonValue& sub : requests->items()) {
+      if (!sub.is_object()) {
+        well_formed = false;
+        break;
+      }
+    }
+  }
+  if (!well_formed) {
+    // The worker renders the proper invalid_field error — and settles the
+    // resolution-vs-requests error precedence exactly as a single process.
+    std::string reply = Forward(0, raw);
+    MutexLock stats(stats_mu_);
+    ++forwarded_whole_;
+    return reply;
+  }
+
+  const JsonValue* contracts = request.Find("contracts");
+  const JsonValue* metadata = request.Find("metadata");
+  std::string contracts_name =
+      contracts != nullptr && contracts->is_string() ? contracts->AsString() : "";
+
+  std::vector<std::string> results;
+  results.reserve(requests->items().size());
+  for (const JsonValue& sub : requests->items()) {
+    // Synthesize the same standalone check request the single-process batch
+    // handler builds, in the same member order.
+    JsonValue sub_request = JsonValue::Object();
+    sub_request.Set("v", JsonValue::Number(int64_t{1}));
+    JsonValue sub_id;
+    const JsonValue* sub_id_ptr = nullptr;
+    if (const JsonValue* i = sub.Find("id")) {
+      sub_request.Set("id", *i);
+      sub_id = *i;
+      sub_id_ptr = &sub_id;
+    }
+    sub_request.Set("verb", JsonValue::String("check"));
+    if (contracts != nullptr) {
+      sub_request.Set("contracts", *contracts);
+    }
+    if (metadata != nullptr) {
+      sub_request.Set("metadata", *metadata);
+    }
+    for (const auto& [field, value] : sub.members()) {
+      if (field == "id" || field == "v" || field == "verb" ||
+          field == "contracts" || field == "metadata") {
+        continue;  // Envelope fields are owned by the outer request.
+      }
+      sub_request.Set(field, value);
+    }
+    std::string reply =
+        HandleCheckLine(sub_request, sub_request.Serialize(0), sub_id_ptr);
+    auto parsed = JsonValue::Parse(reply);
+    if (parsed && parsed->is_object()) {
+      if (parsed->GetBool("ok") == false) {
+        // Shared-resolution failures fail the whole batch in a single process,
+        // before any slot runs; everything else is a genuine per-slot error.
+        const JsonValue* error = parsed->Find("error");
+        std::string code =
+            error != nullptr ? error->GetString("code").value_or("") : "";
+        std::string detail =
+            error != nullptr ? error->GetString("detail").value_or("") : "";
+        if (code == "unknown_contract_set" ||
+            (code == "missing_field" && detail == "contracts")) {
+          return RelayError(*parsed, id);
+        }
+      } else if (contracts_name.empty()) {
+        if (auto n = parsed->GetString("contracts")) {
+          contracts_name = *n;
+        }
+      }
+    }
+    results.push_back(std::move(reply));
+  }
+
+  if (contracts_name.empty()) {
+    // Every slot failed and the request never named the set; only a worker can
+    // resolve the implied name, so one worker answers the whole batch instead
+    // (still byte-identical — it IS a single process, and error slots carry no
+    // cache counters a second execution could skew).
+    std::string reply = Forward(0, raw);
+    MutexLock stats(stats_mu_);
+    ++forwarded_whole_;
+    return reply;
+  }
+
+  // Splice the raw slot replies into the outer envelope by hand: re-parsing and
+  // re-serializing could respell floating-point members (coverage percents),
+  // and the whole point is byte-identity with the single-process response.
+  std::string out = "{\"v\":1,\"ok\":true";
+  if (id != nullptr) {
+    out += ",\"id\":" + id->Serialize(0);
+  }
+  out += ",\"verb\":\"check_batch\",\"contracts\":" +
+         JsonValue::String(contracts_name).Serialize(0) +
+         ",\"requests\":" + std::to_string(requests->items().size()) +
+         ",\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += results[i];
+  }
+  out += "]}";
+  return out;
+}
+
 std::string ShardRouter::HandleLine(const std::string& line) {
   {
     MutexLock stats(stats_mu_);
@@ -599,8 +712,20 @@ std::string ShardRouter::HandleLine(const std::string& line) {
       }
       return response.Serialize(0);
     }
-    if (verb == "check") {
-      return HandleCheckLine(*request, line, id_ptr);
+    if (verb == "check" || verb == "check_batch") {
+      // One worker makes the router a pure proxy: the raw line forwards
+      // verbatim and the reply IS a single process's, byte for byte — no
+      // shard-mode rewrite, no merge re-parse of a large response. Multi-shard
+      // clusters keep the split/merge path, whose per-config content-hash
+      // homes are what make warm cache counters match a single process.
+      if (links_.size() == 1) {
+        std::string reply = Forward(0, line);
+        MutexLock stats(stats_mu_);
+        ++forwarded_whole_;
+        return reply;
+      }
+      return verb == "check" ? HandleCheckLine(*request, line, id_ptr)
+                             : HandleCheckBatchLine(*request, line, id_ptr);
     }
     // coverage (per-batch listing) and everything else — including requests a
     // worker will reject — go whole to one deterministically chosen worker.

@@ -98,6 +98,13 @@ class ShardRouter : public LineHandler {
   std::string HandleCheckLine(const JsonValue& request, const std::string& raw,
                               const JsonValue* id) CONCORD_REQUIRES(io_mu_);
 
+  // The batched check path: each sub-request becomes a synthetic `check` line
+  // routed through HandleCheckLine (so its configs still partition across
+  // shards), and the raw slot replies are spliced verbatim into the outer
+  // check_batch envelope — byte-identical to a single-process batch.
+  std::string HandleCheckBatchLine(const JsonValue& request, const std::string& raw,
+                                   const JsonValue* id) CONCORD_REQUIRES(io_mu_);
+
   const ShardRouterOptions options_;
   std::vector<std::string> sockets_;
   mutable Mutex io_mu_;

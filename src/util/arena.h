@@ -1,0 +1,159 @@
+// Bump-pointer arena for per-request scratch (ROADMAP item 1).
+//
+// Checking allocates many short-lived buffers — batch postings, witness lists,
+// coverage bitmaps — whose lifetimes all end together when the request's
+// CheckResult is assembled. The `--profile` allocation counters from PR 4 showed
+// those per-call heap allocations dominating the small-request serve path, so the
+// checker now carves them from an Arena: allocation is a pointer bump, and the
+// whole request's scratch is released (or recycled via Reset()) in one step.
+//
+// Lifetime rules (DESIGN.md §12):
+//   - An Arena is single-threaded. Parallel sections create one arena per task;
+//     arenas never cross threads and nothing allocated from one may outlive it.
+//   - Reset() keeps the chunks and rewinds the bump pointers, so a reused arena
+//     reaches steady state with zero heap traffic.
+//   - Objects allocated from an arena are never destructed by it: only
+//     trivially-destructible payloads (or containers whose *storage* comes from
+//     the arena while the container object itself lives on the stack) belong here.
+#ifndef SRC_UTIL_ARENA_H_
+#define SRC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace concord {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `alignment` (a power of two).
+  // Requests larger than the chunk size get a dedicated chunk of exactly the
+  // right size (the "large allocation fallback"), so pathological buffers don't
+  // poison the bump chunks; the chunk is still retained across Reset().
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
+    if (bytes == 0) {
+      bytes = 1;  // Distinct non-null pointers, mirroring operator new.
+    }
+    while (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      size_t offset = Align(chunk.used, alignment);
+      if (offset + bytes <= chunk.capacity) {
+        chunk.used = offset + bytes;
+        return chunk.data.get() + offset;
+      }
+      ++current_;
+    }
+    // `alignment` slack guarantees the aligned offset fits even when the
+    // allocator hands back storage only max_align-aligned.
+    size_t capacity = bytes + alignment > chunk_bytes_ ? bytes + alignment : chunk_bytes_;
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(capacity);
+    chunk.capacity = capacity;
+    size_t offset = Align(0, alignment, chunk.data.get());
+    chunk.used = offset + bytes;
+    void* result = chunk.data.get() + offset;
+    chunks_.push_back(std::move(chunk));
+    current_ = chunks_.size() - 1;
+    return result;
+  }
+
+  // Uninitialized storage for `n` objects of T. The caller placement-news (or
+  // value-initializes) them; the arena never runs destructors.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds every chunk without releasing memory: the next request reuses the
+  // same storage. Anything previously allocated is invalidated.
+  void Reset() {
+    for (Chunk& chunk : chunks_) {
+      chunk.used = 0;
+    }
+    current_ = 0;
+  }
+
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) {
+      total += chunk.capacity;
+    }
+    return total;
+  }
+
+  size_t bytes_used() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) {
+      total += chunk.used;
+    }
+    return total;
+  }
+
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  static size_t Align(size_t offset, size_t alignment, const std::byte* base = nullptr) {
+    uintptr_t addr = reinterpret_cast<uintptr_t>(base) + offset;
+    uintptr_t aligned = (addr + alignment - 1) & ~(uintptr_t{alignment} - 1);
+    return offset + static_cast<size_t>(aligned - addr);
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;  // First chunk worth trying; earlier chunks are full.
+};
+
+// Minimal STL allocator over an Arena, for containers whose storage should come
+// from request scratch (ArenaVector below). Deallocate is a no-op — memory is
+// reclaimed wholesale by the arena — so geometric vector growth "leaks" the old
+// buffer into the arena; reserve() up front when the size is known.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) { return arena_->AllocateArray<T>(n); }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace concord
+
+#endif  // SRC_UTIL_ARENA_H_

@@ -1,0 +1,131 @@
+#include "src/util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace concord {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  void* a = arena.Allocate(1, 1);
+  void* b = arena.Allocate(8, 8);
+  void* c = arena.Allocate(13, 1);
+  void* d = arena.Allocate(32, 32);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % 32, 0u);
+  // Writing each block in full must not clobber the others.
+  std::memset(a, 0xAA, 1);
+  std::memset(b, 0xBB, 8);
+  std::memset(c, 0xCC, 13);
+  std::memset(d, 0xDD, 32);
+  EXPECT_EQ(*static_cast<unsigned char*>(a), 0xAA);
+  EXPECT_EQ(*static_cast<unsigned char*>(b), 0xBB);
+  EXPECT_EQ(*static_cast<unsigned char*>(c), 0xCC);
+  EXPECT_EQ(*static_cast<unsigned char*>(d), 0xDD);
+}
+
+TEST(Arena, DefaultAlignmentSuitsAnyObject) {
+  Arena arena;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(i % 7 + 1);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u);
+  }
+}
+
+TEST(Arena, ResetReusesReservedChunks) {
+  Arena arena;
+  for (int i = 0; i < 1000; ++i) {
+    arena.Allocate(64);
+  }
+  size_t reserved = arena.bytes_reserved();
+  size_t chunks = arena.chunk_count();
+  EXPECT_GT(arena.bytes_used(), 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+
+  // The same workload after Reset fits in the already-reserved chunks.
+  for (int i = 0; i < 1000; ++i) {
+    arena.Allocate(64);
+  }
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, OversizeAllocationGetsDedicatedChunk) {
+  Arena arena;
+  constexpr size_t kBig = Arena::kDefaultChunkBytes * 4;
+  auto* big = static_cast<unsigned char*>(arena.Allocate(kBig));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5A, kBig);  // Must be fully usable.
+  EXPECT_EQ(big[0], 0x5A);
+  EXPECT_EQ(big[kBig - 1], 0x5A);
+  EXPECT_GE(arena.bytes_reserved(), kBig);
+
+  // Small allocations still work after the oversize detour.
+  auto* small = static_cast<int*>(arena.Allocate(sizeof(int), alignof(int)));
+  *small = 42;
+  EXPECT_EQ(*small, 42);
+}
+
+TEST(Arena, AllocateArrayConstructsNothingButSizesCorrectly) {
+  Arena arena;
+  int* xs = arena.AllocateArray<int>(257);
+  for (int i = 0; i < 257; ++i) {
+    xs[i] = i;
+  }
+  for (int i = 0; i < 257; ++i) {
+    EXPECT_EQ(xs[i], i);
+  }
+}
+
+TEST(Arena, ArenaVectorGrowsThroughTheArena) {
+  Arena arena;
+  ArenaVector<uint64_t> v{ArenaAllocator<uint64_t>(&arena)};
+  for (uint64_t i = 0; i < 10000; ++i) {
+    v.push_back(i);
+  }
+  uint64_t sum = std::accumulate(v.begin(), v.end(), uint64_t{0});
+  EXPECT_EQ(sum, uint64_t{10000} * 9999 / 2);
+  EXPECT_GT(arena.bytes_used(), 10000 * sizeof(uint64_t));
+}
+
+// The checker's contract: arenas are single-threaded; parallel sections give
+// each task its own arena. Run that shape under TSan (this test is in the
+// tsan-trace CI job) to prove per-task arenas never race.
+TEST(Arena, PerTaskArenasAreThreadConfined) {
+  constexpr int kThreads = 4;
+  constexpr int kAllocs = 2000;
+  std::vector<uint64_t> sums(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &sums] {
+      Arena arena;  // One arena per task, created and destroyed on the task.
+      ArenaVector<uint64_t> v{ArenaAllocator<uint64_t>(&arena)};
+      for (int i = 0; i < kAllocs; ++i) {
+        v.push_back(static_cast<uint64_t>(t * kAllocs + i));
+      }
+      sums[static_cast<size_t>(t)] =
+          std::accumulate(v.begin(), v.end(), uint64_t{0});
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t lo = static_cast<uint64_t>(t) * kAllocs;
+    EXPECT_EQ(sums[static_cast<size_t>(t)],
+              (lo + lo + kAllocs - 1) * kAllocs / 2);
+  }
+}
+
+}  // namespace
+}  // namespace concord

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "src/contracts/contract_io.h"
+#include "src/learn/index.h"
 #include "src/learn/learner.h"
+#include "src/util/cancellation.h"
+#include "src/util/error_code.h"
 #include "src/util/strings.h"
 #include "tests/test_util.h"
 
@@ -248,6 +251,115 @@ TEST(Checker, ParallelCheckMatchesSerial) {
   }
   EXPECT_EQ(a.covered_lines, b.covered_lines);
   EXPECT_EQ(a.covered_by_kind, b.covered_by_kind);
+}
+
+bool SameResult(const CheckResult& a, const CheckResult& b) {
+  if (a.violations.size() != b.violations.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.violations.size(); ++i) {
+    if (a.violations[i].config != b.violations[i].config ||
+        a.violations[i].line_number != b.violations[i].line_number ||
+        a.violations[i].message != b.violations[i].message ||
+        a.violations[i].contract_index != b.violations[i].contract_index) {
+      return false;
+    }
+  }
+  return a.configs_checked == b.configs_checked &&
+         a.total_lines == b.total_lines && a.covered_lines == b.covered_lines &&
+         a.covered_by_kind == b.covered_by_kind;
+}
+
+// The type-rule grouping and pattern-slot table are compiled once in the
+// constructor; repeated Check calls against one Checker must keep producing
+// the exact result a fresh Checker would (the plan is pure, never mutated).
+TEST(Checker, RepeatedChecksReuseThePlanUnchanged) {
+  LearnedWorld world = LearnWorld();
+  std::string bad1 = ReplaceAll(GoodConfig(50), "seq 10 permit 10.14.51.34/32",
+                                "seq 10 permit 10.14.99.34/32");
+  std::string bad2 = ReplaceAll(GoodConfig(51), "ip address",
+                                "ip address not-an-address #");
+  Dataset tests = ParseTests(&world, {GoodConfig(49), bad1, bad2});
+
+  Checker reused(&world.set, &tests.patterns);
+  CheckResult first = reused.Check(tests);
+  for (int round = 0; round < 3; ++round) {
+    CheckResult again = reused.Check(tests);
+    Checker fresh(&world.set, &tests.patterns);
+    CheckResult baseline = fresh.Check(tests);
+    EXPECT_TRUE(SameResult(first, again)) << "round " << round;
+    EXPECT_TRUE(SameResult(first, baseline)) << "round " << round;
+  }
+}
+
+TEST(Checker, OptionsCheckMatchesLegacyOverload) {
+  LearnedWorld world = LearnWorld();
+  std::string bad = ReplaceAll(GoodConfig(50), "vlan 1850", "vlan 1851");
+  Dataset tests = ParseTests(&world, {GoodConfig(49), bad});
+  std::vector<ConfigIndex> indexes = BuildIndexes(tests);
+  std::vector<const ConfigIndex*> ptrs;
+  for (const ConfigIndex& index : indexes) {
+    ptrs.push_back(&index);
+  }
+
+  Checker checker(&world.set, &tests.patterns);
+  CheckResult legacy = checker.Check(ptrs);
+  CheckResult with_options = checker.Check(ptrs, CheckOptions{});
+  EXPECT_TRUE(SameResult(legacy, with_options));
+
+  CheckOptions no_coverage;
+  no_coverage.measure_coverage = false;
+  CheckResult lean = checker.Check(ptrs, no_coverage);
+  EXPECT_EQ(lean.violations.size(), legacy.violations.size());
+  EXPECT_EQ(lean.covered_lines, 0u);
+  EXPECT_TRUE(lean.per_config.empty());
+}
+
+TEST(Checker, CheckBatchMatchesSequentialChecks) {
+  LearnedWorld world = LearnWorld();
+  std::string bad = ReplaceAll(GoodConfig(50), "seq 10 permit 10.14.51.34/32",
+                               "seq 10 permit 10.14.77.34/32");
+  Dataset tests = ParseTests(&world, {GoodConfig(48), bad, GoodConfig(49)});
+  std::vector<ConfigIndex> indexes = BuildIndexes(tests);
+
+  Checker checker(&world.set, &tests.patterns);
+  std::vector<Checker::BatchItem> items;
+  std::vector<CheckResult> sequential;
+  for (const ConfigIndex& index : indexes) {
+    Checker::BatchItem item;
+    item.indexes = {&index};
+    items.push_back(std::move(item));
+    sequential.push_back(checker.Check({&index}, CheckOptions{}));
+  }
+
+  std::vector<Checker::BatchOutcome> outcomes = checker.CheckBatch(items);
+  ASSERT_EQ(outcomes.size(), sequential.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].message;
+    EXPECT_TRUE(SameResult(outcomes[i].result, sequential[i])) << "item " << i;
+  }
+}
+
+TEST(Checker, CheckBatchIsolatesDeadlineExpiry) {
+  LearnedWorld world = LearnWorld();
+  Dataset tests = ParseTests(&world, {GoodConfig(48), GoodConfig(49)});
+  std::vector<ConfigIndex> indexes = BuildIndexes(tests);
+
+  Checker checker(&world.set, &tests.patterns);
+  std::vector<Checker::BatchItem> items(3);
+  items[0].indexes = {&indexes[0]};
+  items[1].indexes = {&indexes[1]};
+  items[1].options.deadline = Deadline::After(0);  // Already expired.
+  items[2].indexes = {&indexes[0], &indexes[1]};
+
+  std::vector<Checker::BatchOutcome> outcomes = checker.CheckBatch(items);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(outcomes[1].message, "deadline_exceeded");
+  EXPECT_TRUE(outcomes[2].ok);  // The expired slot poisons nothing after it.
+  EXPECT_EQ(outcomes[2].result.configs_checked, 2u);
 }
 
 TEST(Checker, ViolationMessagesNameTheContractSide) {

@@ -1,0 +1,129 @@
+#include "src/util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace concord {
+namespace {
+
+TEST(FlatMap, InsertFindAndGrowth) {
+  FlatMap<uint32_t, int> map;
+  EXPECT_TRUE(map.empty());
+  for (uint32_t i = 0; i < 5000; ++i) {
+    auto [value, inserted] = map.TryEmplace(i, static_cast<int>(i * 3));
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*value, static_cast<int>(i * 3));
+  }
+  EXPECT_EQ(map.size(), 5000u);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    auto it = map.find(i);
+    ASSERT_NE(it, map.end());
+    EXPECT_EQ(it->second, static_cast<int>(i * 3));
+  }
+  EXPECT_EQ(map.find(5000u), map.end());
+  EXPECT_EQ(map.count(4999u), 1u);
+  EXPECT_EQ(map.count(5001u), 0u);
+  EXPECT_TRUE(map.contains(0u));
+  EXPECT_FALSE(map.contains(99999u));
+}
+
+TEST(FlatMap, TryEmplaceIsIdempotent) {
+  FlatMap<int, std::string> map;
+  auto [first, inserted] = map.TryEmplace(7, "seven");
+  EXPECT_TRUE(inserted);
+  auto [second, again] = map.TryEmplace(7, "SEVEN");
+  EXPECT_FALSE(again);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(*second, "seven");  // Existing value untouched.
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, SubscriptDefaultConstructsAndAt) {
+  FlatMap<int, std::vector<int>> map;
+  map[3].push_back(30);
+  map[3].push_back(31);
+  map[4].push_back(40);
+  EXPECT_EQ(map.at(3).size(), 2u);
+  EXPECT_EQ(map.at(4).front(), 40);
+  EXPECT_THROW(map.at(5), std::out_of_range);
+}
+
+TEST(FlatMap, HeterogeneousStringViewLookup) {
+  FlatMap<std::string, int> map;
+  map.TryEmplace("interface", 1);
+  map.TryEmplace("router bgp", 2);
+  std::string_view probe = "router bgp";
+  auto it = map.find(probe);  // No std::string materialized.
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second, 2);
+  EXPECT_TRUE(map.contains(std::string_view("interface")));
+  EXPECT_FALSE(map.contains(std::string_view("hostname")));
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce) {
+  FlatMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 300; ++i) {
+    map.TryEmplace(i * 17, i);
+  }
+  std::map<uint64_t, uint64_t> seen;
+  for (const auto& [key, value] : map) {
+    EXPECT_TRUE(seen.emplace(key, value).second) << "duplicate visit of " << key;
+  }
+  EXPECT_EQ(seen.size(), 300u);
+  for (uint64_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(seen.at(i * 17), i);
+  }
+}
+
+TEST(FlatMap, ReserveAvoidsIntermediateRehashes) {
+  FlatMap<int, int> map;
+  map.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    map.TryEmplace(i, i);
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(map.at(i), i);
+  }
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndEmptiesTable) {
+  FlatMap<int, int> map;
+  for (int i = 0; i < 100; ++i) {
+    map.TryEmplace(i, i);
+  }
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(50), map.end());
+  map.TryEmplace(50, 99);
+  EXPECT_EQ(map.at(50), 99);
+}
+
+TEST(FlatMap, MatchesStdMapUnderMixedWorkload) {
+  FlatMap<uint32_t, uint32_t> flat;
+  std::map<uint32_t, uint32_t> oracle;
+  uint32_t state = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    // xorshift: deterministic pseudo-random keys exercising probe clusters.
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    uint32_t key = state % 4096;
+    flat.TryEmplace(key, state);
+    oracle.emplace(key, state);
+  }
+  ASSERT_EQ(flat.size(), oracle.size());
+  for (const auto& [key, value] : oracle) {
+    auto it = flat.find(key);
+    ASSERT_NE(it, flat.end());
+    EXPECT_EQ(it->second, value);
+  }
+}
+
+}  // namespace
+}  // namespace concord

@@ -991,5 +991,180 @@ TEST_F(ServiceTest, CompatV0SocketKeepsLegacyLineTooLongShape) {
   server.join();
 }
 
+// ---- check_batch (DESIGN.md §12) ----
+
+TEST_F(ServiceTest, CheckBatchSlotsMatchStandaloneChecksByteForByte) {
+  auto service = MakeService();
+  BreakDev3();
+
+  // Distinct sub-shapes: plain, id + violating config, deadline knob.
+  struct Shape {
+    std::vector<std::string> paths;
+    const char* id;
+    int64_t deadline_ms;
+  };
+  std::vector<Shape> shapes = {
+      {{ConfigPath(1), ConfigPath(2)}, nullptr, 0},
+      {{ConfigPath(3), ConfigPath(4)}, "slot-1", 0},
+      {{ConfigPath(5)}, nullptr, 60000},
+  };
+
+  std::vector<std::string> standalone;
+  for (const Shape& shape : shapes) {
+    std::string error;
+    auto request = JsonValue::Parse(CheckRequest("check", "edge", shape.paths), &error);
+    ASSERT_TRUE(request.has_value()) << error;
+    if (shape.id != nullptr) {
+      request->Set("id", JsonValue::String(shape.id));
+    }
+    if (shape.deadline_ms > 0) {
+      request->Set("deadline_ms", JsonValue::Number(shape.deadline_ms));
+    }
+    std::string line = request->Serialize(0);
+    service->HandleLine(line);                        // Cold run warms caches.
+    standalone.push_back(service->HandleLine(line));  // Warm run is the oracle.
+  }
+
+  JsonValue batch = JsonValue::Object();
+  batch.Set("v", JsonValue::Number(int64_t{1}));
+  batch.Set("verb", JsonValue::String("check_batch"));
+  batch.Set("contracts", JsonValue::String("edge"));
+  JsonValue requests = JsonValue::Array();
+  for (const Shape& shape : shapes) {
+    JsonValue sub = JsonValue::Object();
+    if (shape.id != nullptr) {
+      sub.Set("id", JsonValue::String(shape.id));
+    }
+    JsonValue configs = JsonValue::Array();
+    for (const std::string& path : shape.paths) {
+      JsonValue item = JsonValue::Object();
+      item.Set("name", JsonValue::String(path));
+      item.Set("text", JsonValue::String(ReadFile(path)));
+      configs.Append(std::move(item));
+    }
+    sub.Set("configs", std::move(configs));
+    if (shape.deadline_ms > 0) {
+      sub.Set("deadline_ms", JsonValue::Number(shape.deadline_ms));
+    }
+    requests.Append(std::move(sub));
+  }
+  batch.Set("requests", std::move(requests));
+
+  JsonValue response = Respond(*service, batch.Serialize(0));
+  EXPECT_EQ(response.GetBool("ok"), true);
+  EXPECT_EQ(response.GetString("verb"), "check_batch");
+  EXPECT_EQ(response.GetString("contracts"), "edge");
+  EXPECT_EQ(response.GetInt("requests"), 3);
+  const JsonValue* results = response.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(results->items()[i].Serialize(0), standalone[i]) << "slot " << i;
+  }
+  EXPECT_EQ(results->items()[1].GetString("id"), "slot-1");
+  EXPECT_GE(results->items()[1].GetInt("violations").value_or(0), 1);
+}
+
+TEST_F(ServiceTest, CheckBatchIsolatesSlotFaults) {
+  auto service = MakeService();
+  // Warm the parse caches for the healthy slot, then make every new parse
+  // fail: cached configs keep checking while the slot needing a fresh parse
+  // degrades alone.
+  Respond(*service, CheckRequest("check", "edge", {ConfigPath(1), ConfigPath(2)}));
+  std::string fresh = (dir_ / "configs" / "fresh.cfg").string();
+  WriteFile(fresh, Config(9));
+  ASSERT_TRUE(FaultInjector::Global().Configure("parse:fail_all"));
+
+  JsonValue batch = JsonValue::Object();
+  batch.Set("v", JsonValue::Number(int64_t{1}));
+  batch.Set("verb", JsonValue::String("check_batch"));
+  batch.Set("contracts", JsonValue::String("edge"));
+  JsonValue requests = JsonValue::Array();
+  auto configs_member = [&](const std::vector<std::string>& paths) {
+    JsonValue configs = JsonValue::Array();
+    for (const std::string& path : paths) {
+      JsonValue item = JsonValue::Object();
+      item.Set("name", JsonValue::String(path));
+      item.Set("text", JsonValue::String(ReadFile(path)));
+      configs.Append(std::move(item));
+    }
+    return configs;
+  };
+  {
+    JsonValue sub = JsonValue::Object();
+    sub.Set("configs", configs_member({ConfigPath(1), ConfigPath(2)}));
+    requests.Append(std::move(sub));
+  }
+  {
+    JsonValue sub = JsonValue::Object();
+    sub.Set("configs", configs_member({fresh}));  // Parse fault hits this slot.
+    requests.Append(std::move(sub));
+  }
+  {
+    JsonValue sub = JsonValue::Object();
+    sub.Set("configs", JsonValue::Array());  // Invalid: empty configs.
+    requests.Append(std::move(sub));
+  }
+  {
+    JsonValue sub = JsonValue::Object();
+    sub.Set("configs", configs_member({ConfigPath(1)}));
+    sub.Set("bogus", JsonValue::Bool(true));  // Unknown field, per slot.
+    requests.Append(std::move(sub));
+  }
+  batch.Set("requests", std::move(requests));
+
+  JsonValue response = Respond(*service, batch.Serialize(0));
+  FaultInjector::Global().Reset();
+
+  // The batch itself succeeds; each faulty slot carries its own error envelope.
+  EXPECT_EQ(response.GetBool("ok"), true);
+  const JsonValue* results = response.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items().size(), 4u);
+  EXPECT_EQ(results->items()[0].GetBool("ok"), true);
+  EXPECT_EQ(results->items()[0].GetInt("configs_checked"), 2);
+  EXPECT_EQ(results->items()[1].GetBool("ok"), false);
+  EXPECT_EQ(results->items()[1].Find("error")->GetString("code"), "parse_failed");
+  EXPECT_EQ(results->items()[2].GetBool("ok"), false);
+  EXPECT_EQ(results->items()[2].Find("error")->GetString("code"), "invalid_field");
+  EXPECT_EQ(results->items()[3].GetBool("ok"), false);
+  EXPECT_EQ(results->items()[3].Find("error")->GetString("code"), "unknown_field");
+
+  // A poisoned batch never wedges the service.
+  JsonValue after = Respond(*service, CheckRequest("check", "edge", ConfigPaths()));
+  EXPECT_EQ(after.GetBool("ok"), true);
+}
+
+TEST_F(ServiceTest, CheckBatchSharedResolutionFailureFailsTheBatch) {
+  auto service = MakeService();
+  std::string line =
+      "{\"v\":1,\"verb\":\"check_batch\",\"contracts\":\"nope\",\"requests\":"
+      "[{\"configs\":[{\"name\":\"a\",\"text\":\"hostname A\\n\"}]}]}";
+  JsonValue response = Respond(*service, line);
+  EXPECT_EQ(response.GetBool("ok"), false);
+  ASSERT_NE(response.Find("error"), nullptr);
+  EXPECT_EQ(response.Find("error")->GetString("code"), "unknown_contract_set");
+  EXPECT_EQ(response.Find("results"), nullptr);
+}
+
+TEST_F(ServiceTest, CheckBatchRequiresNonEmptyRequests) {
+  auto service = MakeService();
+  for (const char* line :
+       {"{\"v\":1,\"verb\":\"check_batch\",\"contracts\":\"edge\"}",
+        "{\"v\":1,\"verb\":\"check_batch\",\"contracts\":\"edge\",\"requests\":[]}"}) {
+    JsonValue response = Respond(*service, line);
+    EXPECT_EQ(response.GetBool("ok"), false) << line;
+    ASSERT_NE(response.Find("error"), nullptr) << line;
+    EXPECT_EQ(response.Find("error")->GetString("code"), "invalid_field") << line;
+    EXPECT_EQ(response.Find("error")->GetString("detail"), "requests") << line;
+  }
+  JsonValue response = Respond(
+      *service,
+      "{\"v\":1,\"verb\":\"check_batch\",\"contracts\":\"edge\",\"requests\":[42]}");
+  EXPECT_EQ(response.GetBool("ok"), false);
+  EXPECT_NE(response.Find("error")->GetString("message")->find("must be an object"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace concord

@@ -246,6 +246,70 @@ TEST_F(ShardRouterTest, SingleShardBatchForwardsVerbatim) {
   EXPECT_EQ(stats.Find("router")->GetInt("sharded_checks"), 0);
 }
 
+TEST_F(ShardRouterTest, CheckBatchMatchesSingleProcessByteForByte) {
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  StartCluster(2);
+  Service single{ServiceOptions{}};
+  std::string learn = LearnRequest("d", corpus);
+  router_->HandleLine(learn);
+  single.HandleLine(learn);
+
+  // Slot 0 spans both shards (the real split/merge), slot 1 lands whole on one
+  // worker with caches warmed by slot 0, slot 2 errors per-slot; the outer id
+  // must echo. Cache counters match because a config's cache entry lives on its
+  // content-hash home shard, warm exactly when a single process would be.
+  JsonValue batch = JsonValue::Object();
+  batch.Set("v", JsonValue::Number(int64_t{1}));
+  batch.Set("id", JsonValue::String("b-1"));
+  batch.Set("verb", JsonValue::String("check_batch"));
+  batch.Set("contracts", JsonValue::String("d"));
+  JsonValue requests = JsonValue::Array();
+  auto slot = [](const std::vector<GeneratedConfig>& configs) {
+    JsonValue sub = JsonValue::Object();
+    JsonValue items = JsonValue::Array();
+    for (const GeneratedConfig& config : configs) {
+      JsonValue item = JsonValue::Object();
+      item.Set("name", JsonValue::String(config.name));
+      item.Set("text", JsonValue::String(config.text));
+      items.Append(std::move(item));
+    }
+    sub.Set("configs", std::move(items));
+    return sub;
+  };
+  requests.Append(slot(corpus.configs));
+  requests.Append(slot({corpus.configs[0]}));
+  JsonValue bad = JsonValue::Object();
+  bad.Set("id", JsonValue::String("s-2"));
+  bad.Set("configs", JsonValue::Array());  // Invalid: empty configs, per slot.
+  requests.Append(std::move(bad));
+  batch.Set("requests", std::move(requests));
+  std::string line = batch.Serialize(0);
+
+  std::string merged = router_->HandleLine(line);
+  EXPECT_EQ(merged, single.HandleLine(line));
+  JsonValue response = ParseResponse(merged);
+  EXPECT_EQ(response.GetBool("ok"), true) << merged;
+  EXPECT_EQ(response.GetString("id"), "b-1");
+  EXPECT_EQ(response.GetInt("requests"), 3);
+  const JsonValue* results = response.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items().size(), 3u);
+  EXPECT_EQ(results->items()[0].GetBool("ok"), true);
+  EXPECT_EQ(results->items()[1].GetBool("ok"), true);
+  EXPECT_EQ(results->items()[2].GetBool("ok"), false);
+  EXPECT_EQ(results->items()[2].GetString("id"), "s-2");
+
+  // Shared-resolution failures and malformed batches phrase identically too.
+  for (const std::string& bad_line : {
+           std::string(R"({"v":1,"verb":"check_batch","contracts":"ghost",)"
+                       R"("requests":[{"configs":[{"name":"a","text":"x y\n"}]}]})"),
+           std::string(R"({"v":1,"verb":"check_batch","contracts":"d"})"),
+       }) {
+    EXPECT_EQ(router_->HandleLine(bad_line), single.HandleLine(bad_line))
+        << bad_line;
+  }
+}
+
 TEST_F(ShardRouterTest, ErrorsAndUnknownVerbsMatchSingleProcess) {
   StartCluster(2);
   Service single{ServiceOptions{}};

@@ -33,6 +33,12 @@ contains this script. Rules (each with a stable id, shown in findings):
                   temp+fsync+rename path (DESIGN.md §10), and side-channel I/O
                   would bypass the corruption detection and crash-safety those
                   frames provide.
+  hot-map         std::unordered_map/set (and the <unordered_map>/<unordered_set>
+                  includes) are banned in src/check/ and src/relations/ — the
+                  check hot path uses the open-addressing FlatMap
+                  (src/util/flat_map.h) or flat vectors; node-based hashing
+                  costs a pointer chase per probe. Annotate a line with
+                  `// lint: allow hot-map` only with a measured justification.
   raw-socket      Berkeley socket calls (socket/bind/listen/accept/connect) and
                   epoll_* are banned in src/ outside the event-driven frontend
                   (src/service/socket_server.{h,cc} + event_loop.{h,cc}): all
@@ -232,6 +238,31 @@ def check_store_io(rel, lines, report):
                    "raw I/O bypasses checksums and the atomic rename path")
 
 
+# --- rule: hot-map ----------------------------------------------------------
+
+HOT_MAP_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\b"
+    r"|#include\s*<unordered_(?:map|set)>"
+)
+HOT_MAP_DIRS = ("src/check/", "src/relations/")
+HOT_MAP_ALLOW = "lint: allow hot-map"
+
+
+def check_hot_map(rel, lines, raw_by_line, report):
+    """Matches on comment-stripped lines but consults the raw line for the
+    allowlist marker, since the driver strips `//` comments before rules run."""
+    if not rel.startswith(HOT_MAP_DIRS):
+        return
+    for lineno, line in lines:
+        m = HOT_MAP_RE.search(line)
+        if m and HOT_MAP_ALLOW not in raw_by_line.get(lineno, ""):
+            report("hot-map", rel, lineno,
+                   f"{m.group(0).strip()} on the check hot path — use FlatMap "
+                   "(src/util/flat_map.h) or a flat vector; node-based hashing "
+                   "is a pointer chase per probe. '// lint: allow hot-map' "
+                   "overrides with a measured justification")
+
+
 # --- rule: raw-socket -------------------------------------------------------
 
 # The lookahead skips manpage references like "listen(2)" in help strings and
@@ -298,6 +329,7 @@ def lint_tree(root):
     for path in iter_source_files(root):
         rel = path.relative_to(root).as_posix()
         raw = path.read_text(errors="replace").splitlines()
+        raw_by_line = dict(enumerate(raw, 1))
         lines = [(n, strip_comments(t)) for n, t in enumerate(raw, 1)]
         check_raw_sync(rel, lines, report)
         check_determinism(rel, lines, report)
@@ -306,6 +338,7 @@ def lint_tree(root):
         check_error_code(rel, lines, report, known_codes)
         check_tsa_escape(rel, lines, report)
         check_store_io(rel, lines, report)
+        check_hot_map(rel, lines, raw_by_line, report)
         check_raw_socket(rel, lines, report)
     return findings
 

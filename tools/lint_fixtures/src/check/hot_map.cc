@@ -1,0 +1,24 @@
+// Fixture: node-based hash containers on the check hot path must be flagged;
+// the allowlist marker and FlatMap usage stay legal.
+#include <unordered_map>  // LINT-EXPECT: hot-map
+#include <unordered_set>  // LINT-EXPECT: hot-map
+
+namespace concord {
+
+inline void BadHotContainers() {
+  std::unordered_map<int, int> by_id;  // LINT-EXPECT: hot-map
+  std::unordered_set<int> seen;  // LINT-EXPECT: hot-map
+  std::unordered_multimap<int, int> dupes;  // LINT-EXPECT: hot-map
+  (void)by_id;
+  (void)seen;
+  (void)dupes;
+}
+
+inline void LegalUses() {
+  std::unordered_map<int, int> measured;  // lint: allow hot-map
+  FlatMap<int, int> flat;  // legal: the sanctioned open-addressing table
+  (void)measured;
+  (void)flat;
+}
+
+}  // namespace concord

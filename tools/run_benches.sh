@@ -13,6 +13,10 @@
 #                                            clients vs one well-behaved Unix
 #                                            client; shed rate and p99s written
 #                                            to BENCH_SERVE.json
+#        tools/run_benches.sh --batch        batched-checking acceptance: batch
+#                                            sweep, million-line scale sweep, and
+#                                            the socket-level batch=100 >= 3x
+#                                            gate, merged into BENCH_SERVE.json
 set -u
 
 serve_smoke() {
@@ -95,6 +99,19 @@ if [ "${1:-}" = "--overload" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--batch" ]; then
+  bench=build/bench/bench_batch
+  if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (run: cmake --build build -j)" >&2
+    exit 2
+  fi
+  # Exits non-zero unless the socket-level batch=100 check beat 100 sequential
+  # single-config checks by >= 3x with check_batch slots byte-identical to the
+  # standalone responses (merged into BENCH_SERVE.json under "batch").
+  "$bench" || exit 1
+  exit 0
+fi
+
 if [ "${1:-}" = "--serve" ]; then
   serve_smoke
   exit 0
@@ -139,7 +156,18 @@ for b in build/bench/*; do
       fi
       [ -f BENCH_SERVE.json ] && cp -f BENCH_SERVE.json "$out/"
       ;;
+    bench_batch) continue ;;  # Deferred below: must run after bench_overload.
     *) "$b" > "$out/$name.txt" 2>&1 ;;
   esac
   echo "== $name -> $out/$name.txt"
 done
+if [ -x build/bench/bench_batch ]; then
+  # Merges a "batch" section into BENCH_SERVE.json; runs after the loop because
+  # bench_overload overwrites that file wholesale. Non-zero means the batch=100
+  # socket gate missed 3x or a batched report diverged from the sequential one.
+  if ! build/bench/bench_batch > "$out/bench_batch.txt" 2>&1; then
+    echo "bench_batch acceptance FAILED (see $out/bench_batch.txt)" >&2
+  fi
+  [ -f BENCH_SERVE.json ] && cp -f BENCH_SERVE.json "$out/"
+  echo "== bench_batch -> $out/bench_batch.txt"
+fi
