@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/check/checker.h"
+#include "src/cli/gen_commands.h"
 #include "src/contracts/contract_io.h"
 #include "src/contracts/suppression.h"
 #include "src/format/json.h"
@@ -906,7 +907,7 @@ int RunStore(int argc, const char* const* argv, std::ostream& out, std::ostream&
 
 int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
   if (argc < 2) {
-    err << "usage: concord <learn|check|serve|store> [flags]\n";
+    err << "usage: concord <learn|check|serve|store|datagen|fuzz> [flags]\n";
     return 2;
   }
   std::string mode = argv[1];
@@ -923,6 +924,12 @@ int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostrea
     if (mode == "store") {
       return RunStore(argc, argv, out, err);
     }
+    if (mode == "datagen") {
+      return RunDatagen(argc, argv, out, err);
+    }
+    if (mode == "fuzz") {
+      return RunFuzz(argc, argv, out, err);
+    }
   } catch (const DeadlineExceeded&) {
     err << "error: deadline_exceeded\n";
     return 2;
@@ -931,7 +938,7 @@ int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostrea
     return 2;
   }
   err << "error: unknown mode '" << mode
-      << "' (expected learn, check, serve, or store)\n";
+      << "' (expected learn, check, serve, store, datagen, or fuzz)\n";
   return 2;
 }
 

@@ -1,0 +1,258 @@
+#include "src/datagen/generator.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/datagen/edge_gen.h"
+#include "src/datagen/junos_gen.h"
+#include "src/datagen/orch_gen.h"
+#include "src/datagen/wan_gen.h"
+#include "src/datagen/xml_gen.h"
+#include "src/util/strings.h"
+
+namespace concord {
+
+bool Knobs::Assign(const std::string& assignment, std::string* error) {
+  size_t eq = assignment.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    if (error != nullptr) {
+      *error = "knob must be key=value, got '" + assignment + "'";
+    }
+    return false;
+  }
+  values_[assignment.substr(0, eq)] = assignment.substr(eq + 1);
+  return true;
+}
+
+int64_t Knobs::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return ParseInt64(it->second).value_or(fallback);
+}
+
+double Knobs::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  try {
+    size_t used = 0;
+    double d = std::stod(it->second, &used);
+    return used == it->second.size() ? d : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::string Knobs::GetString(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::string Knobs::Fingerprint() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+std::vector<std::string> Knobs::UnknownKeys(const std::vector<KnobSpec>& specs) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const KnobSpec& spec : specs) {
+      if (spec.name == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
+}
+
+std::string Generator::Describe() const {
+  std::ostringstream out;
+  out << family() << ": " << summary() << "\n";
+  for (const KnobSpec& spec : knobs()) {
+    out << "  " << spec.name << " (default: " << spec.default_value << ")  "
+        << spec.help << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+// ---- Ports of the paper-evaluation families onto the Generator API ---------
+//
+// Each wrapper decodes its knobs into the family's typed option struct and
+// delegates to the existing corpus builder; the builder's internal seed is
+// drawn from the caller's rng stream, so (seed, knobs) reproduces the corpus.
+
+class EdgeGenerator : public Generator {
+ public:
+  std::string_view family() const override { return "edge"; }
+  std::string_view summary() const override {
+    return "mobile near-edge leaf-spine sites, Arista-EOS indented syntax (§5.1 E1/E2)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    return {
+        {"role", "leaf", "device role: leaf (E1) or tor (E2)"},
+        {"sites", "6", "leaf-spine sites in the corpus"},
+        {"devices-per-site", "4", "devices per site"},
+        {"vlans-per-site", "4", "nfInfos entries in each site's metadata"},
+        {"ethernets", "8", "front-panel ports per device"},
+        {"speed-gbps", "100", "front-panel port speed SKU"},
+        {"drift-rate", "0.02", "probability a device drops an optional line"},
+        {"type-noise-rate", "0.01", "probability of a planted mistyped value"},
+        {"optional-feature-rate", "0.97", "fraction of devices carrying optional gear"},
+    };
+  }
+  GeneratedCorpus Generate(SplitMix64& rng, const Knobs& knobs) const override {
+    EdgeOptions options;
+    options.role =
+        knobs.GetString("role", "leaf") == "tor" ? EdgeRole::kTor : EdgeRole::kLeaf;
+    options.sites = static_cast<int>(knobs.GetInt("sites", options.sites));
+    options.devices_per_site =
+        static_cast<int>(knobs.GetInt("devices-per-site", options.devices_per_site));
+    options.vlans_per_site =
+        static_cast<int>(knobs.GetInt("vlans-per-site", options.vlans_per_site));
+    options.ethernets = static_cast<int>(knobs.GetInt("ethernets", options.ethernets));
+    options.speed_gbps = static_cast<int>(knobs.GetInt("speed-gbps", options.speed_gbps));
+    options.drift_rate = knobs.GetDouble("drift-rate", options.drift_rate);
+    options.type_noise_rate = knobs.GetDouble("type-noise-rate", options.type_noise_rate);
+    options.optional_feature_rate =
+        knobs.GetDouble("optional-feature-rate", options.optional_feature_rate);
+    options.seed = rng.Next();
+    return GenerateEdge(options);
+  }
+};
+
+class WanGenerator : public Generator {
+ public:
+  std::string_view family() const override { return "wan"; }
+  std::string_view summary() const override {
+    return "wide-area routers, indented (W1-W3) or flat set-style (W4-W8) syntax (§5.1)";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    return {
+        {"role", "1", "WAN role 1..8 (W1..W8; 4+ use the flat syntax)"},
+        {"devices", "24", "routers in the role"},
+        {"scale", "1", "multiplier on repeated elements (interfaces, neighbors)"},
+        {"drift-rate", "0.02", "probability a device deviates from the template"},
+    };
+  }
+  GeneratedCorpus Generate(SplitMix64& rng, const Knobs& knobs) const override {
+    WanOptions options;
+    options.role = static_cast<int>(knobs.GetInt("role", options.role));
+    options.devices = static_cast<int>(knobs.GetInt("devices", options.devices));
+    options.scale = static_cast<int>(knobs.GetInt("scale", options.scale));
+    options.drift_rate = knobs.GetDouble("drift-rate", options.drift_rate);
+    options.seed = rng.Next();
+    return GenerateWan(options);
+  }
+};
+
+class OrchGenerator : public Generator {
+ public:
+  std::string_view family() const override { return "orch"; }
+  std::string_view summary() const override {
+    return "application-layer orchestration service descriptors, YAML syntax";
+  }
+  std::vector<KnobSpec> knobs() const override {
+    return {
+        {"clusters", "5", "clusters in the corpus"},
+        {"nodes-per-cluster", "5", "service nodes per cluster"},
+        {"upstreams", "3", "upstream entries per node"},
+    };
+  }
+  GeneratedCorpus Generate(SplitMix64& rng, const Knobs& knobs) const override {
+    OrchOptions options;
+    options.clusters = static_cast<int>(knobs.GetInt("clusters", options.clusters));
+    options.nodes_per_cluster =
+        static_cast<int>(knobs.GetInt("nodes-per-cluster", options.nodes_per_cluster));
+    options.upstreams = static_cast<int>(knobs.GetInt("upstreams", options.upstreams));
+    options.seed = rng.Next();
+    return GenerateOrchestration(options);
+  }
+};
+
+// The built-in family table: adding a family is one row here (plus its
+// implementation file). Order is the CLI listing and fuzz-rotation order.
+void RegisterBuiltins(GeneratorRegistry* registry) {
+  registry->Register(std::make_unique<EdgeGenerator>());
+  registry->Register(std::make_unique<WanGenerator>());
+  registry->Register(std::make_unique<OrchGenerator>());
+  registry->Register(std::make_unique<JunosGenerator>());
+  registry->Register(std::make_unique<XmlishGenerator>());
+}
+
+}  // namespace
+
+GeneratorRegistry& GeneratorRegistry::Global() {
+  static GeneratorRegistry* registry = [] {
+    auto* r = new GeneratorRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void GeneratorRegistry::Register(std::unique_ptr<Generator> generator) {
+  for (auto& existing : generators_) {
+    if (existing->family() == generator->family()) {
+      existing = std::move(generator);
+      return;
+    }
+  }
+  generators_.push_back(std::move(generator));
+}
+
+const Generator* GeneratorRegistry::Find(std::string_view family) const {
+  for (const auto& generator : generators_) {
+    if (generator->family() == family) {
+      return generator.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Generator*> GeneratorRegistry::All() const {
+  std::vector<const Generator*> all;
+  all.reserve(generators_.size());
+  for (const auto& generator : generators_) {
+    all.push_back(generator.get());
+  }
+  return all;
+}
+
+std::vector<std::string> GeneratorRegistry::FamilyNames() const {
+  std::vector<std::string> names;
+  names.reserve(generators_.size());
+  for (const auto& generator : generators_) {
+    names.emplace_back(generator->family());
+  }
+  return names;
+}
+
+GeneratedCorpus GenerateFamily(const GeneratorRegistry& registry,
+                               std::string_view family, uint64_t seed,
+                               const Knobs& knobs) {
+  const Generator* generator = registry.Find(family);
+  if (generator == nullptr) {
+    throw std::invalid_argument("unknown generator family '" + std::string(family) +
+                                "'");
+  }
+  SplitMix64 rng(seed);
+  return generator->Generate(rng, knobs);
+}
+
+}  // namespace concord

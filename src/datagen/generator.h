@@ -1,0 +1,141 @@
+// The unified corpus-generator API (DESIGN.md §13).
+//
+// Every synthetic-corpus family — the paper-evaluation generators (edge, wan,
+// orch) and the fuzzer's extra vendor syntaxes (junos, xmlish) — implements one
+// interface:
+//
+//   Describe()                      human-readable family summary + knob table
+//   Generate(SplitMix64&, Knobs&)   -> GeneratedCorpus, fully determined by the
+//                                   rng stream and the knob values
+//   has_ground_truth()              whether corpus.truth is a meaningful intent
+//                                   ledger (precision scoring hook)
+//
+// Generators are registered in one table (GeneratorRegistry), which is what the
+// CLI's --family flag, the fuzzer's family mix, and the tests enumerate — adding
+// a family is one table row, not a new CLI entry point.
+//
+// Knobs replace the per-family option structs at the API boundary: a knob is a
+// string key=value pair, each generator declares the knobs it understands
+// (KnobSpec) with defaults, and a (family, seed, knobs) triple reproduces a
+// corpus byte for byte. The typed option structs remain as each family's
+// internal decoding of its knobs.
+#ifndef SRC_DATAGEN_GENERATOR_H_
+#define SRC_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/datagen/corpus.h"
+#include "src/util/rng.h"
+
+namespace concord {
+
+// One knob a generator understands: name (kebab-case), default, and help text.
+struct KnobSpec {
+  std::string name;
+  std::string default_value;
+  std::string help;
+};
+
+// A string-keyed knob assignment set. Values are kept as text — the canonical
+// reproduction unit is the (family, seed, knobs) triple, and text round-trips
+// through repro files and CLI flags without float-formatting drift.
+class Knobs {
+ public:
+  // Parses "key=value"; returns false (with *error set) on a malformed
+  // assignment. Repeated keys overwrite (last one wins, like CLI flags).
+  bool Assign(const std::string& assignment, std::string* error = nullptr);
+
+  void Set(const std::string& key, const std::string& value) { values_[key] = value; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  // Typed accessors; fall back to `fallback` when the knob is absent or does
+  // not parse as the requested type.
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+  // Canonical "k1=v1,k2=v2" rendering (sorted by key): the knob half of a
+  // repro identity, and what failure records persist.
+  std::string Fingerprint() const;
+
+  // Keys not named by any spec in `specs` — CLI-side typo detection.
+  std::vector<std::string> UnknownKeys(const std::vector<KnobSpec>& specs) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// Interface every corpus family implements. Implementations are stateless:
+// all variability flows through the rng and the knobs, which is what makes a
+// generated corpus reproducible from (family, seed, knobs) alone.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  // Stable family name ("edge", "wan", "orch", "junos", "xmlish") — the CLI
+  // --family value and the repro-file key.
+  virtual std::string_view family() const = 0;
+
+  // One-line summary for listings.
+  virtual std::string_view summary() const = 0;
+
+  // The knobs this family understands, with defaults.
+  virtual std::vector<KnobSpec> knobs() const = 0;
+
+  // Builds a corpus. All randomness must be drawn from `rng` (or streams forked
+  // from it); wall clocks and global state are banned (tools/lint.py rule
+  // `determinism` covers src/datagen/ and src/fuzz/).
+  virtual GeneratedCorpus Generate(SplitMix64& rng, const Knobs& knobs) const = 0;
+
+  // Ground-truth hook: true when Generate fills corpus.truth with a complete
+  // intent ledger (precision experiments may score against it). The fuzzer's
+  // distorted corpora set this false — their ledger is inherited and stale.
+  virtual bool has_ground_truth() const { return true; }
+
+  // Renders "family: summary" plus the knob table (name, default, help).
+  std::string Describe() const;
+};
+
+// The process-wide family table. Built-in families are registered on first use
+// from one table in generator.cc; tests may register extra families.
+class GeneratorRegistry {
+ public:
+  // The global registry, with every built-in family registered.
+  static GeneratorRegistry& Global();
+
+  // An empty registry (tests compose their own).
+  GeneratorRegistry() = default;
+
+  // Registers a family; replaces any previous generator of the same name.
+  void Register(std::unique_ptr<Generator> generator);
+
+  // nullptr when no such family is registered.
+  const Generator* Find(std::string_view family) const;
+
+  // Registration order — the order --family listings and the fuzzer's default
+  // family rotation use.
+  std::vector<const Generator*> All() const;
+
+  std::vector<std::string> FamilyNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Generator>> generators_;
+};
+
+// Convenience: generate from the (family, seed, knobs) repro triple using
+// `registry`. Throws std::invalid_argument on an unknown family.
+GeneratedCorpus GenerateFamily(const GeneratorRegistry& registry,
+                               std::string_view family, uint64_t seed,
+                               const Knobs& knobs);
+
+}  // namespace concord
+
+#endif  // SRC_DATAGEN_GENERATOR_H_

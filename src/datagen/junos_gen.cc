@@ -1,0 +1,192 @@
+#include "src/datagen/junos_gen.h"
+
+#include <sstream>
+
+#include "src/util/rng.h"
+
+namespace concord {
+
+namespace {
+
+// Emits the structured dialect: `header {` opens a block one indent level
+// deeper, `}` closes it, leaves end with `;`. Four-space indent like real Junos.
+class JunosWriter {
+ public:
+  void Open(const std::string& header) {
+    Indent();
+    out_ << header << " {\n";
+    ++depth_;
+  }
+
+  void Close() {
+    --depth_;
+    Indent();
+    out_ << "}\n";
+  }
+
+  void Leaf(const std::string& text) {
+    Indent();
+    out_ << text << ";\n";
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Indent() {
+    for (int i = 0; i < depth_; ++i) {
+      out_ << "    ";
+    }
+  }
+
+  std::ostringstream out_;
+  int depth_ = 0;
+};
+
+std::string DeviceConfig(int site, int device, const JunosOptions& options,
+                         SplitMix64& rng) {
+  std::string loopback =
+      "10.255." + std::to_string(site) + "." + std::to_string(device);
+  bool drift_drop_syslog = rng.Chance(options.drift_rate);
+
+  JunosWriter w;
+  w.Open("system");
+  w.Leaf("host-name pe-" + std::to_string(site * 100 + device));
+  w.Open("ntp");
+  w.Leaf("server 10.250.0.1");
+  w.Leaf("server 10.250.0.2");
+  w.Close();
+  if (!drift_drop_syslog) {
+    w.Open("syslog");
+    w.Leaf("host 10.251.0." + std::to_string(site));
+    w.Close();
+  }
+  w.Close();
+
+  w.Open("interfaces");
+  for (int port = 0; port < options.ports; ++port) {
+    w.Open("ge-0/0/" + std::to_string(port));
+    w.Leaf("description core-" + std::to_string(site) + "-" + std::to_string(device) +
+           "-" + std::to_string(port));
+    w.Open("unit 0");
+    w.Open("family inet");
+    w.Leaf("address 10." + std::to_string(site) + "." + std::to_string(device) + "." +
+           std::to_string(4 * port + 1) + "/31");
+    w.Close();
+    w.Close();
+    w.Close();
+  }
+  w.Open("lo0");
+  w.Open("unit 0");
+  w.Open("family inet");
+  w.Leaf("address " + loopback + "/32");
+  w.Close();
+  w.Close();
+  w.Close();
+  w.Close();
+
+  w.Open("routing-options");
+  w.Leaf("router-id " + loopback);
+  w.Leaf("autonomous-system 65" + std::to_string(100 + site));
+  w.Close();
+
+  w.Open("protocols");
+  w.Open("bgp");
+  w.Open("group CORE");
+  w.Leaf("type internal");
+  w.Leaf("local-address " + loopback);
+  for (int peer = 0; peer < options.peers; ++peer) {
+    // Deterministic peer ordinals distinct from the device's own.
+    int peer_device = 1 + (device + peer) % (options.devices_per_site + 1);
+    w.Leaf("neighbor 10.255." + std::to_string(site) + "." +
+           std::to_string(peer_device == device ? options.devices_per_site + 2
+                                                : peer_device));
+  }
+  w.Close();
+  w.Close();
+  w.Close();
+
+  w.Open("policy-options");
+  w.Open("prefix-list LOOPBACKS");
+  w.Leaf("10.255.0.0/16");
+  w.Close();
+  w.Open("prefix-list MGMT");
+  w.Leaf("172.16." + std::to_string(site) + ".0/24");
+  w.Close();
+  w.Close();
+  return w.str();
+}
+
+GroundTruth JunosTruth() {
+  GroundTruth truth;
+  // The device loopback recurs as router-id and BGP local-address.
+  const std::vector<NodeSpec> loopback_class = {
+      NodeSpec{"lo0/unit [num]/family inet/address", 0},
+      NodeSpec{"router-id", 0},
+      NodeSpec{"local-address", 0},
+  };
+  truth.DeclareEqualityClass(loopback_class);
+  // Every loopback-family address sits inside the LOOPBACKS prefix list.
+  for (const NodeSpec& member : loopback_class) {
+    truth.DeclareRelation(RelationKind::kContains, member,
+                          NodeSpec{"prefix-list LOOPBACKS", -1});
+  }
+  truth.DeclareRelation(RelationKind::kContains, NodeSpec{"neighbor", 0},
+                        NodeSpec{"prefix-list LOOPBACKS", -1});
+  // Unique resources.
+  truth.DeclareUnique(NodeSpec{"host-name pe-", -1});
+  truth.DeclareUnique(NodeSpec{"lo0/unit [num]/family inet/address", 0});
+  truth.DeclareUnique(NodeSpec{"router-id", 0});
+  truth.DeclareUnique(NodeSpec{"local-address", 0});
+  // Front-panel ports are genuinely sequential; so are their descriptions.
+  truth.DeclareSequence("ge-0/0/");
+  truth.DeclareSequence("description core-");
+  // Semantically ordered blocks.
+  truth.DeclareOrderedBlock({"type internal", "local-address", "neighbor"});
+  truth.DeclareOrderedBlock({"router-id", "autonomous-system"});
+  truth.DeclareOrderedBlock({"description core-", "unit [a:num]"});
+  // The syslog block is dropped by drift (misconfiguration), so its presence
+  // stays intentional; nothing here is an optional feature.
+  return truth;
+}
+
+}  // namespace
+
+GeneratedCorpus GenerateJunos(const JunosOptions& options) {
+  GeneratedCorpus corpus;
+  corpus.role = "J1";
+  corpus.truth = JunosTruth();
+  SplitMix64 rng(options.seed ^ 0x6a6a);
+  for (int site = 1; site <= options.sites; ++site) {
+    for (int device = 1; device <= options.devices_per_site; ++device) {
+      SplitMix64 device_rng = rng.Fork();
+      corpus.configs.push_back(GeneratedConfig{
+          "J1-site" + std::to_string(site) + "-pe" + std::to_string(device) + ".conf",
+          DeviceConfig(site, device, options, device_rng)});
+    }
+  }
+  return corpus;
+}
+
+std::vector<KnobSpec> JunosGenerator::knobs() const {
+  return {
+      {"sites", "4", "sites in the corpus"},
+      {"devices-per-site", "4", "routers per site"},
+      {"ports", "6", "ge-0/0/N ports per router"},
+      {"peers", "3", "BGP neighbors per router"},
+      {"drift-rate", "0.02", "probability a device drops its syslog block"},
+  };
+}
+
+GeneratedCorpus JunosGenerator::Generate(SplitMix64& rng, const Knobs& knobs) const {
+  JunosOptions options;
+  options.sites = static_cast<int>(knobs.GetInt("sites", options.sites));
+  options.devices_per_site =
+      static_cast<int>(knobs.GetInt("devices-per-site", options.devices_per_site));
+  options.ports = static_cast<int>(knobs.GetInt("ports", options.ports));
+  options.peers = static_cast<int>(knobs.GetInt("peers", options.peers));
+  options.drift_rate = knobs.GetDouble("drift-rate", options.drift_rate);
+  options.seed = rng.Next();
+  return GenerateJunos(options);
+}
+
+}  // namespace concord

@@ -1,0 +1,46 @@
+// Synthetic curly-brace Junos-structured configurations (DESIGN.md §13).
+//
+// The WAN family's flat roles already speak `set ...` Junos; this family is the
+// *structured* dialect: blocks open with `name {`, close with `}` on their own
+// line, and leaves end with `;`. Hierarchy is carried by indentation, so the
+// context embedder nests it like any indent-format file while the brace/semicolon
+// punctuation exercises lexing paths the other families never produce.
+//
+// Planted intents (declared in the ledger): the device loopback recurring as
+// router-id and BGP local-address, loopbacks covered by the LOOPBACKS prefix
+// list, unique host-names/loopbacks, sequential ge-0/0/N ports, and ordered
+// protocol blocks. A small drift rate drops the syslog block on a few devices.
+#ifndef SRC_DATAGEN_JUNOS_GEN_H_
+#define SRC_DATAGEN_JUNOS_GEN_H_
+
+#include <cstdint>
+
+#include "src/datagen/corpus.h"
+#include "src/datagen/generator.h"
+
+namespace concord {
+
+struct JunosOptions {
+  int sites = 4;
+  int devices_per_site = 4;
+  int ports = 6;          // ge-0/0/0 .. ge-0/0/(ports-1) per device.
+  int peers = 3;          // BGP neighbors per device.
+  double drift_rate = 0.02;
+  uint64_t seed = 1;
+};
+
+GeneratedCorpus GenerateJunos(const JunosOptions& options);
+
+class JunosGenerator : public Generator {
+ public:
+  std::string_view family() const override { return "junos"; }
+  std::string_view summary() const override {
+    return "curly-brace Junos-structured routers (blocks `name { ... }`, leaves `...;`)";
+  }
+  std::vector<KnobSpec> knobs() const override;
+  GeneratedCorpus Generate(SplitMix64& rng, const Knobs& knobs) const override;
+};
+
+}  // namespace concord
+
+#endif  // SRC_DATAGEN_JUNOS_GEN_H_

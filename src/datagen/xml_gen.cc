@@ -1,0 +1,168 @@
+#include "src/datagen/xml_gen.h"
+
+#include <sstream>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace concord {
+
+namespace {
+
+// Two-space indented element writer. Open/Close emit paired tags on their own
+// lines; Value emits `<tag>text</tag>` as one leaf line.
+class XmlWriter {
+ public:
+  void Open(const std::string& tag, const std::string& attrs = "") {
+    Indent();
+    out_ << '<' << tag << (attrs.empty() ? "" : " " + attrs) << ">\n";
+    tags_.push_back(tag);
+  }
+
+  void Close() {
+    std::string tag = tags_.back();
+    tags_.pop_back();
+    Indent();
+    out_ << "</" << tag << ">\n";
+  }
+
+  void Value(const std::string& tag, const std::string& text) {
+    Indent();
+    out_ << '<' << tag << '>' << text << "</" << tag << ">\n";
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Indent() {
+    for (size_t i = 0; i < tags_.size(); ++i) {
+      out_ << "  ";
+    }
+  }
+
+  std::ostringstream out_;
+  std::vector<std::string> tags_;
+};
+
+std::string DeviceConfig(int pod, int device, const XmlishOptions& options,
+                         SplitMix64& rng) {
+  std::string loopback = "10.254." + std::to_string(pod) + "." + std::to_string(device);
+  bool drift_drop_banner = rng.Chance(options.drift_rate);
+
+  XmlWriter w;
+  w.Open("device");
+  w.Open("system");
+  w.Value("hostname", "ax-" + std::to_string(pod * 100 + device));
+  w.Value("domain", "fabric.example.net");
+  if (!drift_drop_banner) {
+    w.Value("banner", "authorized access only");
+  }
+  w.Open("ntp");
+  w.Value("server", "10.250.0.1");
+  w.Value("server", "10.250.0.2");
+  w.Close();
+  w.Close();
+
+  w.Open("interfaces");
+  for (int i = 0; i < options.interfaces; ++i) {
+    w.Open("interface", "name=\"eth" + std::to_string(i) + "\"");
+    w.Value("mtu", "9214");
+    w.Value("address", "10." + std::to_string(pod) + "." + std::to_string(device) +
+                           "." + std::to_string(16 * i + 1) + "/28");
+    w.Close();
+  }
+  w.Open("interface", "name=\"lo0\"");
+  w.Value("mtu", "9214");
+  w.Value("address", loopback + "/32");
+  w.Close();
+  w.Close();
+
+  w.Open("routing");
+  w.Value("router-id", loopback);
+  w.Value("as", "64" + std::to_string(600 + pod));
+  w.Open("bgp");
+  w.Value("source", loopback);
+  w.Close();
+  w.Close();
+
+  w.Open("acl");
+  w.Open("list", "name=\"EDGE-IN\"");
+  w.Value("permit", "10.0.0.0/8");
+  w.Value("permit", "172.16.0.0/12");
+  w.Value("deny", "0.0.0.0/0");
+  w.Close();
+  w.Close();
+  w.Close();
+  return w.str();
+}
+
+GroundTruth XmlishTruth() {
+  GroundTruth truth;
+  // The device loopback recurs as router-id and BGP source.
+  const std::vector<NodeSpec> loopback_class = {
+      NodeSpec{"name=\"lo0\"/address", 0},
+      NodeSpec{"router-id", 0},
+      NodeSpec{"source", 0},
+  };
+  truth.DeclareEqualityClass(loopback_class);
+  // Every address in the export sits inside the 10/8 ACL permit.
+  truth.DeclareRelation(RelationKind::kContains, NodeSpec{"address", 0},
+                        NodeSpec{"permit", 0});
+  for (const NodeSpec& member : loopback_class) {
+    truth.DeclareRelation(RelationKind::kContains, member, NodeSpec{"permit", 0});
+  }
+  // Unique resources.
+  truth.DeclareUnique(NodeSpec{"hostname", -1});
+  truth.DeclareUnique(NodeSpec{"router-id", 0});
+  truth.DeclareUnique(NodeSpec{"source", 0});
+  truth.DeclareUnique(NodeSpec{"name=\"lo0\"/address", 0});
+  // Interface ordinals are genuinely sequential.
+  truth.DeclareSequence("interface name=\"eth");
+  // Semantically ordered blocks.
+  truth.DeclareOrderedBlock({"mtu", "address"});
+  truth.DeclareOrderedBlock({"router-id", "as"});
+  truth.DeclareOrderedBlock({"permit", "deny"});
+  // The banner is dropped by drift (misconfiguration); the bimodal domain line
+  // does not exist — nothing optional to declare.
+  return truth;
+}
+
+}  // namespace
+
+GeneratedCorpus GenerateXmlish(const XmlishOptions& options) {
+  GeneratedCorpus corpus;
+  corpus.role = "X1";
+  corpus.truth = XmlishTruth();
+  SplitMix64 rng(options.seed ^ 0x8e8e);
+  for (int pod = 1; pod <= options.pods; ++pod) {
+    for (int device = 1; device <= options.devices_per_pod; ++device) {
+      SplitMix64 device_rng = rng.Fork();
+      corpus.configs.push_back(GeneratedConfig{
+          "X1-pod" + std::to_string(pod) + "-ax" + std::to_string(device) + ".xml",
+          DeviceConfig(pod, device, options, device_rng)});
+    }
+  }
+  return corpus;
+}
+
+std::vector<KnobSpec> XmlishGenerator::knobs() const {
+  return {
+      {"pods", "4", "pods in the corpus"},
+      {"devices-per-pod", "4", "devices per pod"},
+      {"interfaces", "5", "ethN interfaces per device"},
+      {"drift-rate", "0.02", "probability a device drops its banner line"},
+  };
+}
+
+GeneratedCorpus XmlishGenerator::Generate(SplitMix64& rng, const Knobs& knobs) const {
+  XmlishOptions options;
+  options.pods = static_cast<int>(knobs.GetInt("pods", options.pods));
+  options.devices_per_pod =
+      static_cast<int>(knobs.GetInt("devices-per-pod", options.devices_per_pod));
+  options.interfaces = static_cast<int>(knobs.GetInt("interfaces", options.interfaces));
+  options.drift_rate = knobs.GetDouble("drift-rate", options.drift_rate);
+  options.seed = rng.Next();
+  return GenerateXmlish(options);
+}
+
+}  // namespace concord

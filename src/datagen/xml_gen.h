@@ -1,0 +1,46 @@
+// Synthetic XML-ish device configurations (DESIGN.md §13).
+//
+// An angle-bracket dialect in the NETCONF/vendor-export style: nested elements,
+// attributes, and inline text values. Concord has no XML parser — the point is
+// that it does not need one: the export is indented, so the context embedder
+// nests `<interface name="ge-0">` under `<interfaces>` exactly as it nests any
+// indent-format file, and the lexer extracts the values from the tag soup. The
+// family exists to keep the learner honest on markup-heavy punctuation
+// (angle brackets, quotes, slashes in closers) no other family produces.
+//
+// Planted intents: the device loopback recurring as router-id and source
+// address, unique hostnames/router-ids, sequential interface ordinals, ACL
+// permits covering every interface address, and ordered element blocks.
+#ifndef SRC_DATAGEN_XML_GEN_H_
+#define SRC_DATAGEN_XML_GEN_H_
+
+#include <cstdint>
+
+#include "src/datagen/corpus.h"
+#include "src/datagen/generator.h"
+
+namespace concord {
+
+struct XmlishOptions {
+  int pods = 4;
+  int devices_per_pod = 4;
+  int interfaces = 5;
+  double drift_rate = 0.02;
+  uint64_t seed = 1;
+};
+
+GeneratedCorpus GenerateXmlish(const XmlishOptions& options);
+
+class XmlishGenerator : public Generator {
+ public:
+  std::string_view family() const override { return "xmlish"; }
+  std::string_view summary() const override {
+    return "XML-ish device exports (nested elements, attributes, inline values)";
+  }
+  std::vector<KnobSpec> knobs() const override;
+  GeneratedCorpus Generate(SplitMix64& rng, const Knobs& knobs) const override;
+};
+
+}  // namespace concord
+
+#endif  // SRC_DATAGEN_XML_GEN_H_

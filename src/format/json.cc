@@ -148,6 +148,31 @@ class JsonParser {
   }
 
  private:
+  // Containers may nest this deep before the parser reports an error instead of
+  // recursing further. Parsing is the only recursion over attacker-controlled
+  // text (format detection probes every `{`/`[`-leading config), so without a
+  // cap a file of a few hundred KiB of '[' overflows the stack — found by
+  // `concord fuzz` (tests/fuzz_corpus/repro-json-depth.json).
+  static constexpr int kMaxDepth = 512;
+
+  // RAII depth accounting around ParseObject/ParseArray: constructing past
+  // kMaxDepth records the failure and reports !ok().
+  class DepthGuard {
+   public:
+    explicit DepthGuard(JsonParser* parser) : parser_(parser) {
+      if (++parser_->depth_ > kMaxDepth) {
+        parser_->Fail("nesting too deep");
+        ok_ = false;
+      }
+    }
+    ~DepthGuard() { --parser_->depth_; }
+    bool ok() const { return ok_; }
+
+   private:
+    JsonParser* parser_;
+    bool ok_ = true;
+  };
+
   void Fail(std::string message) {
     if (error_.empty()) {
       error_ = std::move(message);
@@ -169,10 +194,20 @@ class JsonParser {
     }
     char c = text_[pos_];
     switch (c) {
-      case '{':
+      case '{': {
+        DepthGuard guard(this);
+        if (!guard.ok()) {
+          return std::nullopt;
+        }
         return ParseObject();
-      case '[':
+      }
+      case '[': {
+        DepthGuard guard(this);
+        if (!guard.ok()) {
+          return std::nullopt;
+        }
         return ParseArray();
+      }
       case '"': {
         auto s = ParseString();
         if (!s) {
@@ -404,6 +439,7 @@ class JsonParser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 

@@ -1,0 +1,438 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace concord {
+
+namespace {
+
+// Small base-corpus defaults per family: fuzzing wants many corpora per second,
+// not the paper-scale fleets. Users override any of these with ordinary knobs.
+void ApplySmallDefaults(const std::string& family, Knobs* knobs) {
+  auto set_default = [knobs](const char* key, const char* value) {
+    if (!knobs->Has(key)) {
+      knobs->Set(key, value);
+    }
+  };
+  if (family == "edge") {
+    set_default("sites", "2");
+    set_default("devices-per-site", "2");
+    set_default("ethernets", "3");
+  } else if (family == "wan") {
+    set_default("devices", "4");
+  } else if (family == "orch") {
+    set_default("clusters", "2");
+    set_default("nodes-per-cluster", "2");
+  } else if (family == "junos") {
+    set_default("sites", "2");
+    set_default("devices-per-site", "2");
+    set_default("ports", "2");
+  } else if (family == "xmlish") {
+    set_default("pods", "2");
+    set_default("devices-per-pod", "2");
+    set_default("interfaces", "2");
+  }
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) {
+        lines.push_back(text.substr(start));
+      }
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// ---- Distortion passes ------------------------------------------------------
+//
+// Each pass edits one config text in place, drawing all decisions from `rng`.
+// Passes are intentionally line-oriented: Concord's grammar is line-shaped
+// (indentation carries hierarchy), so line-level grammar abuse is what reaches
+// the interesting parser states.
+
+// A nested block appended to the file: headers at ever-deeper indentation with
+// a leaf at the bottom. Stresses the context embedder's parent chains and any
+// recursion in downstream consumers.
+void DeepNest(SplitMix64& rng, int max_depth, std::string* text) {
+  int depth = static_cast<int>(rng.Range(8, static_cast<uint64_t>(std::max(9, max_depth))));
+  std::string block;
+  for (int level = 0; level < depth; ++level) {
+    block.append(static_cast<size_t>(level), ' ');
+    block += "fz-nest-" + std::to_string(level) + "\n";
+  }
+  block.append(static_cast<size_t>(depth), ' ');
+  block += "fz-leaf value " + std::to_string(rng.Below(1000)) + "\n";
+  *text += block;
+}
+
+// One pathologically long line: either many short tokens or one giant token
+// (no delimiters at all), inserted at a random line boundary.
+void LongLine(SplitMix64& rng, int max_bytes, std::string* text) {
+  std::vector<std::string> lines = SplitLines(*text);
+  size_t bytes = rng.Range(256, static_cast<uint64_t>(std::max(512, max_bytes)));
+  std::string line;
+  line.reserve(bytes + 16);
+  if (rng.Chance(0.5)) {
+    line = "fz-long";
+    while (line.size() < bytes) {
+      line += " tok" + std::to_string(rng.Below(10));
+    }
+  } else {
+    line = "fz-";
+    line.append(bytes, 'x');  // one unbroken token
+  }
+  size_t at = lines.empty() ? 0 : rng.Below(lines.size() + 1);
+  lines.insert(lines.begin() + static_cast<ptrdiff_t>(at), std::move(line));
+  *text = JoinLines(lines);
+}
+
+// An indent ladder: every line one space deeper than the last, each both a
+// header for the next and a leaf. Builds maximal-depth context chains without
+// a single block keyword.
+void IndentLadder(SplitMix64& rng, int max_steps, std::string* text) {
+  int steps = static_cast<int>(rng.Range(4, static_cast<uint64_t>(std::max(5, max_steps))));
+  std::string block;
+  for (int step = 0; step < steps; ++step) {
+    block.append(static_cast<size_t>(step), ' ');
+    block += "rung " + std::to_string(step) + "\n";
+  }
+  *text += block;
+}
+
+// Breaks the syntax at one spot: unbalanced delimiters, an unterminated quote,
+// a truncated line, tab/space soup, or a stray block closer at column zero.
+void BreakSyntax(SplitMix64& rng, std::string* text) {
+  std::vector<std::string> lines = SplitLines(*text);
+  switch (rng.Below(6)) {
+    case 0:
+      lines.push_back("fz-open {");
+      break;
+    case 1:
+      lines.push_back("}");
+      break;
+    case 2:
+      lines.push_back("description \"half open");
+      break;
+    case 3:
+      lines.push_back("\t \t mixed\ttabs \t");
+      break;
+    case 4: {
+      if (!lines.empty()) {
+        std::string& victim = lines[rng.Below(lines.size())];
+        if (victim.size() > 2) {
+          victim.resize(victim.size() / 2);  // truncate mid-token
+        }
+      }
+      break;
+    }
+    default: {
+      if (!lines.empty()) {
+        size_t at = rng.Below(lines.size());
+        lines.insert(lines.begin() + static_cast<ptrdiff_t>(at), "</closer>");
+      }
+      break;
+    }
+  }
+  *text = JoinLines(lines);
+}
+
+// Injects bytes the generators never emit: multibyte UTF-8, invalid UTF-8,
+// ANSI escapes, NUL, DEL, a lone CR.
+void InjectBytes(SplitMix64& rng, std::string* text) {
+  static const std::string kPayloads[] = {
+      "\xce\xbb",              // λ
+      "\xe6\x8c\x87\xe4\xbb\xa4",  // 指令
+      "\xf0\x9f\x94\xa5",      // fire emoji
+      "\xc3\x28",              // invalid UTF-8 continuation
+      "\x1b[31m",              // ANSI escape
+      std::string(1, '\0'),    // NUL
+      "\x7f",                  // DEL
+      "\xff\xfe",              // stray BOM bytes
+      "\r",                    // lone CR mid-line
+  };
+  std::vector<std::string> lines = SplitLines(*text);
+  if (lines.empty()) {
+    return;
+  }
+  int injections = static_cast<int>(rng.Range(1, 3));
+  for (int i = 0; i < injections; ++i) {
+    std::string& line = lines[rng.Below(lines.size())];
+    const std::string& payload = kPayloads[rng.Below(std::size(kPayloads))];
+    size_t at = line.empty() ? 0 : rng.Below(line.size() + 1);
+    line.insert(at, payload);
+  }
+  *text = JoinLines(lines);
+}
+
+// Splices a few lines from a donor corpus of a different syntax family into
+// this config — mixed-syntax files are what real migrations look like.
+void SpliceLines(SplitMix64& rng, const std::string& donor_text, std::string* text) {
+  std::vector<std::string> donor = SplitLines(donor_text);
+  std::vector<std::string> lines = SplitLines(*text);
+  if (donor.empty()) {
+    return;
+  }
+  size_t count = rng.Range(1, std::min<uint64_t>(6, donor.size()));
+  size_t from = rng.Below(donor.size() - count + 1);
+  size_t at = lines.empty() ? 0 : rng.Below(lines.size() + 1);
+  lines.insert(lines.begin() + static_cast<ptrdiff_t>(at), donor.begin() + static_cast<ptrdiff_t>(from),
+               donor.begin() + static_cast<ptrdiff_t>(from + count));
+  *text = JoinLines(lines);
+}
+
+// Whole-file edge cases: empty file, whitespace only, UTF-8 BOM, CRLF line
+// endings, missing trailing newline.
+void FileEdgeCase(SplitMix64& rng, std::string* text) {
+  switch (rng.Below(5)) {
+    case 0:
+      text->clear();
+      break;
+    case 1:
+      *text = "\n \n\t\n";
+      break;
+    case 2:
+      text->insert(0, "\xef\xbb\xbf");
+      break;
+    case 3: {
+      std::string crlf;
+      crlf.reserve(text->size() + text->size() / 16);
+      for (char c : *text) {
+        if (c == '\n') {
+          crlf += "\r\n";
+        } else {
+          crlf += c;
+        }
+      }
+      *text = std::move(crlf);
+      break;
+    }
+    default:
+      while (!text->empty() && text->back() == '\n') {
+        text->pop_back();
+      }
+      break;
+  }
+}
+
+// A near-miss clone: copy of an existing config with one numeric token nudged.
+// The checker should flag it (or not) identically in every execution mode —
+// near-misses are where incremental caches and batch paths tend to diverge.
+std::string NearMiss(SplitMix64& rng, const std::string& source) {
+  std::string clone = source;
+  // Find the digits and bump one of them.
+  std::vector<size_t> digit_positions;
+  for (size_t i = 0; i < clone.size(); ++i) {
+    if (clone[i] >= '0' && clone[i] <= '9') {
+      digit_positions.push_back(i);
+    }
+  }
+  if (!digit_positions.empty()) {
+    size_t at = digit_positions[rng.Below(digit_positions.size())];
+    clone[at] = static_cast<char>('0' + (clone[at] - '0' + 1) % 10);
+  }
+  return clone;
+}
+
+// Metadata distortion: deep JSON array nesting (stresses the recursive JSON
+// parser via format detection), truncation mid-document, or non-JSON garbage.
+void DistortMetadata(SplitMix64& rng, int max_json_depth, std::string* text) {
+  switch (rng.Below(3)) {
+    case 0: {
+      int depth =
+          static_cast<int>(rng.Range(64, static_cast<uint64_t>(std::max(65, max_json_depth))));
+      std::string doc;
+      doc.reserve(static_cast<size_t>(depth) * 2 + 2);
+      doc.append(static_cast<size_t>(depth), '[');
+      doc.append(static_cast<size_t>(depth), ']');
+      *text = doc;
+      break;
+    }
+    case 1:
+      if (text->size() > 2) {
+        text->resize(text->size() / 2);
+      }
+      break;
+    default:
+      *text = "{\"nfInfos\": [oops";
+      break;
+  }
+}
+
+struct FuzzRates {
+  double nest, long_line, ladder, brk, bytes, splice, near_miss, edge, metadata;
+  int nest_depth, long_line_bytes, ladder_steps, json_depth, max_configs;
+};
+
+FuzzRates RatesFrom(const Knobs& knobs) {
+  FuzzRates r;
+  r.nest = knobs.GetDouble("fuzz-nest-rate", 0.30);
+  r.long_line = knobs.GetDouble("fuzz-long-line-rate", 0.25);
+  r.ladder = knobs.GetDouble("fuzz-ladder-rate", 0.20);
+  r.brk = knobs.GetDouble("fuzz-break-rate", 0.30);
+  r.bytes = knobs.GetDouble("fuzz-byte-rate", 0.30);
+  r.splice = knobs.GetDouble("fuzz-splice-rate", 0.20);
+  r.near_miss = knobs.GetDouble("fuzz-near-miss-rate", 0.30);
+  r.edge = knobs.GetDouble("fuzz-edge-case-rate", 0.15);
+  r.metadata = knobs.GetDouble("fuzz-metadata-rate", 0.30);
+  r.nest_depth = static_cast<int>(knobs.GetInt("fuzz-nest-depth", 96));
+  r.long_line_bytes = static_cast<int>(knobs.GetInt("fuzz-long-line-bytes", 16384));
+  r.ladder_steps = static_cast<int>(knobs.GetInt("fuzz-ladder-steps", 48));
+  r.json_depth = static_cast<int>(knobs.GetInt("fuzz-json-depth", 4096));
+  r.max_configs = static_cast<int>(knobs.GetInt("fuzz-max-configs", 0));
+  return r;
+}
+
+}  // namespace
+
+std::string FuzzCaseSpec::Identity() const {
+  std::string id = family + "/" + std::to_string(seed);
+  std::string fingerprint = knobs.Fingerprint();
+  if (!fingerprint.empty()) {
+    id += "/" + fingerprint;
+  }
+  return id;
+}
+
+std::vector<KnobSpec> FuzzKnobSpecs() {
+  return {
+      {"fuzz-nest-rate", "0.30", "per-config chance of an appended deep-nest block"},
+      {"fuzz-nest-depth", "96", "max depth of the deep-nest block"},
+      {"fuzz-long-line-rate", "0.25", "per-config chance of a pathological line"},
+      {"fuzz-long-line-bytes", "16384", "max bytes of the pathological line"},
+      {"fuzz-ladder-rate", "0.20", "per-config chance of an indent ladder"},
+      {"fuzz-ladder-steps", "48", "max rungs in the indent ladder"},
+      {"fuzz-break-rate", "0.30", "per-config chance of a broken-syntax edit"},
+      {"fuzz-byte-rate", "0.30", "per-config chance of unicode/control-byte injection"},
+      {"fuzz-splice-rate", "0.20", "per-config chance of donor-family line splicing"},
+      {"fuzz-near-miss-rate", "0.30", "per-config chance of a one-token drifted clone"},
+      {"fuzz-edge-case-rate", "0.15", "per-config chance of a whole-file edge case"},
+      {"fuzz-metadata-rate", "0.30", "per-metadata-doc chance of distortion"},
+      {"fuzz-json-depth", "4096", "max bracket depth of distorted metadata JSON"},
+      {"fuzz-max-configs", "0", "truncate the corpus to N configs (0 = keep all)"},
+  };
+}
+
+GeneratedCorpus BuildFuzzCorpus(const GeneratorRegistry& registry,
+                                const FuzzCaseSpec& spec) {
+  Knobs knobs = spec.knobs;
+  ApplySmallDefaults(spec.family, &knobs);
+  FuzzRates rates = RatesFrom(knobs);
+
+  SplitMix64 rng(spec.seed ^ 0xf22d);
+  SplitMix64 base_rng = rng.Fork();
+  const Generator* generator = registry.Find(spec.family);
+  if (generator == nullptr) {
+    throw std::invalid_argument("unknown generator family '" + spec.family + "'");
+  }
+  GeneratedCorpus corpus = generator->Generate(base_rng, knobs);
+
+  if (rates.max_configs > 0 &&
+      corpus.configs.size() > static_cast<size_t>(rates.max_configs)) {
+    corpus.configs.resize(static_cast<size_t>(rates.max_configs));
+  }
+
+  // Donor corpus for splicing: the next family in registration order, tiny.
+  std::string donor_text;
+  if (rates.splice > 0) {
+    std::vector<const Generator*> all = registry.All();
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (all[i]->family() == spec.family && all.size() > 1) {
+        const Generator* donor = all[(i + 1) % all.size()];
+        Knobs donor_knobs;
+        ApplySmallDefaults(std::string(donor->family()), &donor_knobs);
+        SplitMix64 donor_rng = rng.Fork();
+        GeneratedCorpus donor_corpus = donor->Generate(donor_rng, donor_knobs);
+        if (!donor_corpus.configs.empty()) {
+          donor_text = donor_corpus.configs[0].text;
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<GeneratedConfig> near_misses;
+  for (GeneratedConfig& config : corpus.configs) {
+    SplitMix64 config_rng = rng.Fork();
+    if (config_rng.Chance(rates.near_miss)) {
+      near_misses.push_back(GeneratedConfig{config.name + ".drift",
+                                            NearMiss(config_rng, config.text)});
+    }
+    if (config_rng.Chance(rates.nest)) {
+      DeepNest(config_rng, rates.nest_depth, &config.text);
+    }
+    if (config_rng.Chance(rates.ladder)) {
+      IndentLadder(config_rng, rates.ladder_steps, &config.text);
+    }
+    if (config_rng.Chance(rates.long_line)) {
+      LongLine(config_rng, rates.long_line_bytes, &config.text);
+    }
+    if (!donor_text.empty() && config_rng.Chance(rates.splice)) {
+      SpliceLines(config_rng, donor_text, &config.text);
+    }
+    if (config_rng.Chance(rates.brk)) {
+      BreakSyntax(config_rng, &config.text);
+    }
+    if (config_rng.Chance(rates.bytes)) {
+      InjectBytes(config_rng, &config.text);
+    }
+    if (config_rng.Chance(rates.edge)) {
+      FileEdgeCase(config_rng, &config.text);
+    }
+  }
+  corpus.configs.insert(corpus.configs.end(), near_misses.begin(), near_misses.end());
+
+  for (GeneratedConfig& doc : corpus.metadata) {
+    SplitMix64 doc_rng = rng.Fork();
+    if (doc_rng.Chance(rates.metadata)) {
+      DistortMetadata(doc_rng, rates.json_depth, &doc.text);
+    }
+  }
+
+  // The inherited ledger no longer matches the distorted texts; drop it so no
+  // caller scores precision against a stale intent set.
+  corpus.truth = GroundTruth();
+  corpus.role = "FZ-" + spec.family;
+  return corpus;
+}
+
+uint64_t CorpusFingerprint(const GeneratedCorpus& corpus) {
+  uint64_t hash = kFnv1a64OffsetBasis;
+  for (const GeneratedConfig& config : corpus.configs) {
+    hash = Fnv1a64(config.name, hash);
+    hash = Fnv1a64("\x1f", hash);
+    hash = Fnv1a64(config.text, hash);
+    hash = Fnv1a64("\x1e", hash);
+  }
+  for (const GeneratedConfig& doc : corpus.metadata) {
+    hash = Fnv1a64(doc.name, hash);
+    hash = Fnv1a64("\x1f", hash);
+    hash = Fnv1a64(doc.text, hash);
+    hash = Fnv1a64("\x1e", hash);
+  }
+  return hash;
+}
+
+}  // namespace concord

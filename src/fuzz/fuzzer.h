@@ -1,0 +1,54 @@
+// Grammar-based config fuzzer (DESIGN.md §13).
+//
+// The fuzzer is itself a Generator composition: it picks a base family from
+// the registry, generates a (small) well-formed corpus, then applies seeded
+// structural distortion passes — deep nesting, pathological line lengths,
+// indent ladders, mixed-syntax splicing, broken syntax, unicode and control
+// bytes, near-miss drift, whole-file edge cases, metadata distortion. Every
+// decision is drawn from one SplitMix64 stream, so a failing case reproduces
+// from its FuzzCaseSpec (family, seed, knobs) alone — no corpus files needed.
+//
+// Distortion knobs (all optional, all understood on top of the base family's
+// own knobs) are rate/size pairs named fuzz-*; setting a rate knob to 0
+// disables that pass, which is exactly what the minimizer exploits.
+#ifndef SRC_FUZZ_FUZZER_H_
+#define SRC_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datagen/corpus.h"
+#include "src/datagen/generator.h"
+
+namespace concord {
+
+// The reproduction unit: everything needed to rebuild a fuzz corpus byte for
+// byte. Serialized into tests/fuzz_corpus/ repro files.
+struct FuzzCaseSpec {
+  std::string family;  // base generator family ("edge", "junos", ...)
+  uint64_t seed = 1;
+  Knobs knobs;         // base-family knobs + fuzz-* distortion knobs
+
+  // "family/seed/k1=v1,k2=v2" — the stable case identity used in logs and
+  // repro file names.
+  std::string Identity() const;
+};
+
+// The fuzz-* distortion knobs, with defaults, for CLI listings.
+std::vector<KnobSpec> FuzzKnobSpecs();
+
+// Builds the distorted corpus for `spec`. The base corpus is generated with
+// family defaults shrunk for fuzzing throughput (overridable via knobs), then
+// each distortion pass runs at its knob-configured rate. Deterministic:
+// identical spec -> byte-identical corpus.
+GeneratedCorpus BuildFuzzCorpus(const GeneratorRegistry& registry,
+                                const FuzzCaseSpec& spec);
+
+// FNV-1a over every config/metadata name and text — the corpus half of the
+// campaign's verdict fingerprint, and the reproducibility check in tests.
+uint64_t CorpusFingerprint(const GeneratedCorpus& corpus);
+
+}  // namespace concord
+
+#endif  // SRC_FUZZ_FUZZER_H_

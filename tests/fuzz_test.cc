@@ -1,0 +1,148 @@
+// The grammar fuzzer (src/fuzz/fuzzer.h): determinism, distortion passes, knob
+// control, and repro-file round trips.
+#include <gtest/gtest.h>
+
+#include "src/datagen/generator.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/harness.h"
+
+namespace concord {
+namespace {
+
+FuzzCaseSpec Spec(const std::string& family, uint64_t seed) {
+  FuzzCaseSpec spec;
+  spec.family = family;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Fuzzer, SameSpecIsByteIdentical) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  for (const char* family : {"edge", "wan", "orch", "junos", "xmlish"}) {
+    for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+      GeneratedCorpus a = BuildFuzzCorpus(registry, Spec(family, seed));
+      GeneratedCorpus b = BuildFuzzCorpus(registry, Spec(family, seed));
+      ASSERT_EQ(a.configs.size(), b.configs.size()) << family << "/" << seed;
+      for (size_t i = 0; i < a.configs.size(); ++i) {
+        EXPECT_EQ(a.configs[i].name, b.configs[i].name);
+        EXPECT_EQ(a.configs[i].text, b.configs[i].text);
+      }
+      EXPECT_EQ(CorpusFingerprint(a), CorpusFingerprint(b)) << family << "/" << seed;
+    }
+  }
+}
+
+TEST(Fuzzer, SeedsChangeTheCorpus) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  GeneratedCorpus a = BuildFuzzCorpus(registry, Spec("junos", 1));
+  GeneratedCorpus b = BuildFuzzCorpus(registry, Spec("junos", 2));
+  EXPECT_NE(CorpusFingerprint(a), CorpusFingerprint(b));
+}
+
+TEST(Fuzzer, DistortionsActuallyFire) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  // Max out every rate: each distortion must leave its visible trace somewhere
+  // in the corpus.
+  FuzzCaseSpec spec = Spec("edge", 7);
+  for (const char* rate :
+       {"fuzz-nest-rate", "fuzz-long-line-rate", "fuzz-ladder-rate",
+        "fuzz-break-rate", "fuzz-byte-rate", "fuzz-splice-rate",
+        "fuzz-near-miss-rate", "fuzz-metadata-rate"}) {
+    spec.knobs.Set(rate, "1");
+  }
+  spec.knobs.Set("fuzz-edge-case-rate", "0");  // keep texts inspectable
+  GeneratedCorpus corpus = BuildFuzzCorpus(registry, spec);
+
+  bool nested = false, long_line = false, ladder = false, drifted = false;
+  size_t max_line = 0;
+  for (const GeneratedConfig& config : corpus.configs) {
+    if (config.text.find("fz-nest-") != std::string::npos) {
+      nested = true;
+    }
+    if (config.text.find("rung ") != std::string::npos) {
+      ladder = true;
+    }
+    if (config.name.find(".drift") != std::string::npos) {
+      drifted = true;
+    }
+    size_t start = 0;
+    while (start < config.text.size()) {
+      size_t nl = config.text.find('\n', start);
+      if (nl == std::string::npos) {
+        nl = config.text.size();
+      }
+      max_line = std::max(max_line, nl - start);
+      start = nl + 1;
+    }
+  }
+  long_line = max_line > 200;
+  EXPECT_TRUE(nested);
+  EXPECT_TRUE(ladder);
+  EXPECT_TRUE(long_line);
+  EXPECT_TRUE(drifted);
+  // The edge family carries metadata; at rate 1 every doc is distorted.
+  ASSERT_FALSE(corpus.metadata.empty());
+  // The stale inherited ledger is dropped and the role is marked.
+  EXPECT_EQ(corpus.role, "FZ-edge");
+}
+
+TEST(Fuzzer, ZeroRatesReproduceTheBaseCorpusShape) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  FuzzCaseSpec spec = Spec("junos", 9);
+  for (const KnobSpec& knob : FuzzKnobSpecs()) {
+    if (knob.name.find("-rate") != std::string::npos) {
+      spec.knobs.Set(knob.name, "0");
+    }
+  }
+  GeneratedCorpus corpus = BuildFuzzCorpus(registry, spec);
+  // No near-miss clones, no injected markers.
+  for (const GeneratedConfig& config : corpus.configs) {
+    EXPECT_EQ(config.name.find(".drift"), std::string::npos);
+    EXPECT_EQ(config.text.find("fz-"), std::string::npos);
+    EXPECT_EQ(config.text.find("rung "), std::string::npos);
+  }
+}
+
+TEST(Fuzzer, MaxConfigsTruncates) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  FuzzCaseSpec spec = Spec("wan", 3);
+  spec.knobs.Set("fuzz-near-miss-rate", "0");
+  spec.knobs.Set("fuzz-max-configs", "1");
+  GeneratedCorpus corpus = BuildFuzzCorpus(registry, spec);
+  EXPECT_EQ(corpus.configs.size(), 1u);
+}
+
+TEST(Fuzzer, UnknownFamilyThrows) {
+  EXPECT_THROW(BuildFuzzCorpus(GeneratorRegistry::Global(), Spec("bogus", 1)),
+               std::invalid_argument);
+}
+
+TEST(Repro, RoundTripsSpecExactly) {
+  FuzzCaseSpec spec = Spec("xmlish", 0xfedcba9876543210ull);
+  spec.knobs.Set("fuzz-json-depth", "262144");
+  spec.knobs.Set("pods", "3");
+  TriageResult triage;
+  triage.bucket = TriageBucket::kCrash;
+  triage.oracle = "pipeline";
+  triage.detail = "it broke";
+  std::string json = SerializeRepro(spec, triage);
+
+  FuzzCaseSpec parsed;
+  std::string error;
+  ASSERT_TRUE(ParseRepro(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.family, spec.family);
+  EXPECT_EQ(parsed.seed, spec.seed);
+  EXPECT_EQ(parsed.knobs.Fingerprint(), spec.knobs.Fingerprint());
+  EXPECT_EQ(parsed.Identity(), spec.Identity());
+}
+
+TEST(Repro, RejectsMalformedDocuments) {
+  FuzzCaseSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseRepro("not json", &spec, &error));
+  EXPECT_FALSE(ParseRepro(R"({"family":"edge"})", &spec, &error));
+  EXPECT_FALSE(ParseRepro(R"({"family":"edge","seed":"x"})", &spec, &error));
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,170 @@
+// The unified Generator API (src/datagen/generator.h): registry table, knob
+// plumbing, and the two fuzz-era syntax families (junos, xmlish).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/datagen/generator.h"
+#include "src/datagen/junos_gen.h"
+#include "src/datagen/xml_gen.h"
+#include "src/format/embed.h"
+#include "src/learn/learner.h"
+#include "src/util/rng.h"
+
+namespace concord {
+namespace {
+
+TEST(Knobs, AssignParsesAndRejects) {
+  Knobs knobs;
+  std::string error;
+  EXPECT_TRUE(knobs.Assign("sites=3", &error));
+  EXPECT_TRUE(knobs.Assign("drift-rate=0.5", &error));
+  EXPECT_TRUE(knobs.Assign("role=tor", &error));
+  EXPECT_FALSE(knobs.Assign("no-equals", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(knobs.Assign("=value", nullptr));
+
+  EXPECT_EQ(knobs.GetInt("sites", 0), 3);
+  EXPECT_DOUBLE_EQ(knobs.GetDouble("drift-rate", 0), 0.5);
+  EXPECT_EQ(knobs.GetString("role", ""), "tor");
+  EXPECT_EQ(knobs.GetInt("absent", 7), 7);
+  EXPECT_EQ(knobs.GetInt("role", 9), 9);  // non-numeric falls back
+}
+
+TEST(Knobs, FingerprintIsSortedAndStable) {
+  Knobs a;
+  a.Set("z", "1");
+  a.Set("a", "2");
+  Knobs b;
+  b.Set("a", "2");
+  b.Set("z", "1");
+  EXPECT_EQ(a.Fingerprint(), "a=2,z=1");
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(Knobs, UnknownKeysFlagsTypos) {
+  Knobs knobs;
+  knobs.Set("sites", "2");
+  knobs.Set("sties", "2");
+  std::vector<KnobSpec> specs = {{"sites", "4", ""}};
+  std::vector<std::string> unknown = knobs.UnknownKeys(specs);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "sties");
+}
+
+TEST(GeneratorRegistry, GlobalHasEveryBuiltinFamily) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  std::vector<std::string> names = registry.FamilyNames();
+  std::set<std::string> set(names.begin(), names.end());
+  for (const char* family : {"edge", "wan", "orch", "junos", "xmlish"}) {
+    EXPECT_TRUE(set.count(family)) << family;
+    const Generator* generator = registry.Find(family);
+    ASSERT_NE(generator, nullptr) << family;
+    EXPECT_TRUE(generator->has_ground_truth()) << family;
+    EXPECT_FALSE(generator->knobs().empty()) << family;
+    std::string describe = generator->Describe();
+    EXPECT_NE(describe.find(family), std::string::npos);
+  }
+}
+
+TEST(GeneratorRegistry, RegisterReplacesByFamilyName) {
+  class Stub : public Generator {
+   public:
+    explicit Stub(std::string summary) : summary_(std::move(summary)) {}
+    std::string_view family() const override { return "stub"; }
+    std::string_view summary() const override { return summary_; }
+    std::vector<KnobSpec> knobs() const override { return {}; }
+    GeneratedCorpus Generate(SplitMix64&, const Knobs&) const override {
+      return GeneratedCorpus{};
+    }
+
+   private:
+    std::string summary_;
+  };
+  GeneratorRegistry registry;
+  registry.Register(std::make_unique<Stub>("first"));
+  registry.Register(std::make_unique<Stub>("second"));
+  ASSERT_EQ(registry.All().size(), 1u);
+  EXPECT_EQ(registry.Find("stub")->summary(), "second");
+}
+
+TEST(GenerateFamily, ReproducesFromSeedAndKnobs) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  for (const char* family : {"edge", "wan", "orch", "junos", "xmlish"}) {
+    Knobs knobs;
+    GeneratedCorpus a = GenerateFamily(registry, family, 17, knobs);
+    GeneratedCorpus b = GenerateFamily(registry, family, 17, knobs);
+    ASSERT_EQ(a.configs.size(), b.configs.size()) << family;
+    ASSERT_FALSE(a.configs.empty()) << family;
+    for (size_t i = 0; i < a.configs.size(); ++i) {
+      EXPECT_EQ(a.configs[i].name, b.configs[i].name) << family;
+      EXPECT_EQ(a.configs[i].text, b.configs[i].text) << family;
+    }
+  }
+  EXPECT_THROW(GenerateFamily(registry, "no-such-family", 1, Knobs()),
+               std::invalid_argument);
+}
+
+TEST(GenerateFamily, KnobsChangeTheCorpus) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  Knobs small;
+  small.Set("sites", "2");
+  small.Set("devices-per-site", "2");
+  Knobs big;
+  big.Set("sites", "3");
+  big.Set("devices-per-site", "3");
+  GeneratedCorpus a = GenerateFamily(registry, "junos", 5, small);
+  GeneratedCorpus b = GenerateFamily(registry, "junos", 5, big);
+  EXPECT_EQ(a.configs.size(), 4u);
+  EXPECT_EQ(b.configs.size(), 9u);
+}
+
+TEST(JunosGen, StructuredDialectShape) {
+  JunosOptions options;
+  options.sites = 2;
+  options.devices_per_site = 2;
+  options.seed = 3;
+  GeneratedCorpus corpus = GenerateJunos(options);
+  ASSERT_EQ(corpus.configs.size(), 4u);
+  const std::string& text = corpus.configs[0].text;
+  EXPECT_NE(text.find("system {"), std::string::npos);
+  EXPECT_NE(text.find(";\n"), std::string::npos);
+  EXPECT_NE(text.find("ge-0/0/0 {"), std::string::npos);
+  EXPECT_NE(text.find("prefix-list LOOPBACKS {"), std::string::npos);
+  // Hierarchy rides on indentation: the embedder sees an indent-format file.
+  EXPECT_EQ(DetectFormat(text), FormatCategory::kIndent);
+}
+
+TEST(XmlishGen, MarkupDialectShape) {
+  XmlishOptions options;
+  options.pods = 2;
+  options.devices_per_pod = 2;
+  options.seed = 3;
+  GeneratedCorpus corpus = GenerateXmlish(options);
+  ASSERT_EQ(corpus.configs.size(), 4u);
+  const std::string& text = corpus.configs[0].text;
+  EXPECT_NE(text.find("<device>"), std::string::npos);
+  EXPECT_NE(text.find("</device>"), std::string::npos);
+  EXPECT_NE(text.find("<interface name=\"eth0\">"), std::string::npos);
+  EXPECT_NE(text.find("<list name=\"EDGE-IN\">"), std::string::npos);
+  EXPECT_EQ(DetectFormat(text), FormatCategory::kIndent);
+}
+
+// Both new families must be learnable: the planted loopback equality class and
+// uniqueness intents should surface as contracts at full corpus support.
+TEST(NewFamilies, PlantedIntentsAreLearnable) {
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  for (const char* family : {"junos", "xmlish"}) {
+    GeneratedCorpus corpus = GenerateFamily(registry, family, 11, Knobs());
+    Dataset dataset = ParseCorpus(corpus);
+    LearnOptions options;
+    options.support = 4;
+    Learner learner(options);
+    LearnResult result = learner.Learn(dataset);
+    EXPECT_GT(result.set.contracts.size(), 0u) << family;
+    EXPECT_GT(result.set.CountKind(ContractKind::kUnique), 0u) << family;
+  }
+}
+
+}  // namespace
+}  // namespace concord

@@ -121,5 +121,35 @@ TEST(Json, SerializeEscapesControlCharacters) {
   EXPECT_EQ(v.Serialize(), R"("a\"b\\c\nd")");
 }
 
+// Regression for tests/fuzz_corpus/repro-json-depth.json: the recursive-descent
+// parser must report over-deep nesting instead of overflowing the stack —
+// format detection probes every `{`/`[`-leading text with this parser, so the
+// input is attacker-controlled.
+TEST(Json, DeepNestingIsAnErrorNotACrash) {
+  for (size_t depth : {100000ul, 1000000ul}) {
+    std::string bomb(depth, '[');
+    bomb.append(depth, ']');
+    std::string error;
+    EXPECT_FALSE(JsonValue::Parse(bomb, &error).has_value());
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+
+    std::string object_bomb;
+    for (size_t i = 0; i < depth; ++i) {
+      object_bomb += "{\"k\":";
+    }
+    EXPECT_FALSE(JsonValue::Parse(object_bomb, &error).has_value());
+  }
+}
+
+TEST(Json, NestingUnderTheCapStillParses) {
+  const size_t depth = 500;  // cap is 512
+  std::string nested(depth, '[');
+  nested.append(depth, ']');
+  std::string error;
+  auto parsed = JsonValue::Parse(nested, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->is_array());
+}
+
 }  // namespace
 }  // namespace concord

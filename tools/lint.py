@@ -11,10 +11,14 @@ contains this script. Rules (each with a stable id, shown in findings):
                   analysis only sees annotated types) and the shared ThreadPool.
   determinism     rand()/srand()/strtok()/wall-clock time (system_clock,
                   time(), gettimeofday, std::random_device) are banned in
-                  src/learn and src/check: bit-identical incremental relearn
-                  (DESIGN.md §6) depends on these stages being deterministic.
-                  Seeded RNG (src/util/rng.h) and steady_clock deadlines are
-                  the sanctioned alternatives.
+                  src/learn, src/check, src/datagen, and src/fuzz:
+                  bit-identical incremental relearn (DESIGN.md §6) depends on
+                  learn/check being deterministic, and every fuzz failure must
+                  reproduce from (seed, knobs) alone (DESIGN.md §13), so
+                  generators and the fuzzer may draw entropy only from the
+                  seeded SplitMix64 they are handed. Seeded RNG
+                  (src/util/rng.h) and steady_clock deadlines are the
+                  sanctioned alternatives.
   include-guard   every header uses an #ifndef/#define guard derived from its
                   repo-relative path (SRC_UTIL_SYNC_H_), no #pragma once, so
                   guards never collide and style stays uniform.
@@ -93,16 +97,19 @@ DETERMINISM_RE = re.compile(
 )
 
 
+DETERMINISM_DIRS = ("src/learn/", "src/check/", "src/datagen/", "src/fuzz/")
+
+
 def check_determinism(rel, lines, report):
-    if not (rel.startswith("src/learn/") or rel.startswith("src/check/")):
+    if not rel.startswith(DETERMINISM_DIRS):
         return
     for lineno, line in lines:
         m = DETERMINISM_RE.search(line)
         if m:
             report("determinism", rel, lineno,
                    f"{m.group(0).strip()} in {rel.split('/')[1]} stage — "
-                   "bit-identical relearn requires deterministic learn/check; "
-                   "use src/util/rng.h or steady_clock deadlines")
+                   "relearn identity and (seed, knobs) fuzz repros require "
+                   "determinism; use src/util/rng.h or steady_clock deadlines")
 
 
 # --- rule: include-guard ----------------------------------------------------

@@ -1,0 +1,27 @@
+// Fixture: generators behind the Generator API draw entropy only from the
+// seeded SplitMix64 they are handed — `concord datagen --seed S` must be
+// byte-reproducible, and the fuzzer composes on top of the same guarantee.
+
+namespace concord {
+
+inline unsigned BadTopologySeed() {
+  srand(7);  // LINT-EXPECT: determinism
+  return rand();  // LINT-EXPECT: determinism
+}
+
+inline long BadTimestampInConfigHeader() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);  // LINT-EXPECT: determinism
+  return tv.tv_sec;
+}
+
+inline char* BadFieldSplit(char* line) {
+  return strtok(line, ",");  // LINT-EXPECT: determinism
+}
+
+inline void LegalUses(SplitMix64& rng) {
+  uint64_t device = rng.Below(8);  // legal: seeded generator RNG
+  (void)device;
+}
+
+}  // namespace concord

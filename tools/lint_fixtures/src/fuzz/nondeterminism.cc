@@ -1,0 +1,28 @@
+// Fixture: the fuzzer must reproduce any failure from (seed, knobs) alone, so
+// ambient entropy and wall clocks are banned in src/fuzz/; the seeded
+// SplitMix64 threaded through BuildFuzzCorpus is the only entropy source.
+
+namespace concord {
+
+inline unsigned BadSeedChoice() {
+  return std::random_device{}();  // LINT-EXPECT: determinism
+}
+
+inline long BadCaseStamp() {
+  auto wall = std::chrono::system_clock::now();  // LINT-EXPECT: determinism
+  (void)wall;
+  return time(nullptr);  // LINT-EXPECT: determinism
+}
+
+inline int BadDistortionDraw() {
+  return rand();  // LINT-EXPECT: determinism
+}
+
+inline void LegalUses(SplitMix64& rng) {
+  auto deadline = std::chrono::steady_clock::now();  // legal: monotonic
+  (void)deadline;
+  uint64_t draw = rng.Next();  // legal: seeded, forked per config
+  (void)draw;
+}
+
+}  // namespace concord
