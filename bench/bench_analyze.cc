@@ -1,0 +1,248 @@
+// Contract-set analyzer acceptance (DESIGN.md §14): the CI gate behind
+// `tools/run_benches.sh --analyze`.
+//
+// Two learned sets — an edge fleet and a WAN role — are analyzed and then
+// checked with and without subsumption pruning. The corpora are generated
+// drift-free and learned at confidence 1.0, so the sets are clean on their own
+// corpus by construction; that is the regime where §14 promises byte-identical
+// reports (on dirty inputs the guarantee weakens to detection equivalence,
+// which the fuzz oracle covers). Gates, per family:
+//
+//   1. Zero analyzer findings at warning-or-worse severity. Info-level
+//      subsumption findings are expected (they feed the pruner) and allowed.
+//   2. At least one contract is prunable — otherwise gate 3 is vacuous.
+//   3. The --prune-subsumed coverage-off check is byte-identical to the
+//      unpruned one (ReportJson), evaluates strictly fewer contracts, and
+//      skips exactly the analyzer's prunable count.
+//   4. The plain check itself reports zero violations (clean-by-construction
+//      sanity; gate 3's identity claim is only meaningful under §14 on clean
+//      inputs).
+//
+// Results merge into BENCH_SERVE.json under "analyze", preserving whatever
+// bench_overload/bench_batch last wrote.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analyze/analyzer.h"
+#include "src/check/checker.h"
+#include "src/datagen/corpus.h"
+#include "src/datagen/edge_gen.h"
+#include "src/datagen/wan_gen.h"
+#include "src/format/json.h"
+#include "src/learn/index.h"
+#include "src/learn/learner.h"
+#include "src/report/report.h"
+#include "src/util/stopwatch.h"
+
+namespace concord {
+namespace {
+
+constexpr const char* kOutPath = "BENCH_SERVE.json";
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    long parsed = std::atol(env);
+    if (parsed > 0) {
+      return static_cast<int>(parsed);
+    }
+  }
+  return fallback;
+}
+
+struct FamilyRun {
+  std::string family;
+  size_t configs = 0;
+  size_t lines = 0;
+  size_t contracts = 0;
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t infos = 0;
+  size_t prunable = 0;
+  size_t evaluated_plain = 0;
+  size_t evaluated_pruned = 0;
+  size_t violations_plain = 0;
+  bool byte_identical = false;
+  double analyze_s = 0;
+  double check_plain_s = 0;
+  double check_pruned_s = 0;
+  bool pass = false;
+};
+
+FamilyRun RunFamily(const std::string& family, const GeneratedCorpus& corpus) {
+  FamilyRun run;
+  run.family = family;
+  run.configs = corpus.configs.size();
+  run.lines = corpus.TotalLines();
+
+  Dataset dataset = ParseCorpus(corpus);
+
+  // Confidence 1.0 on a drift-free corpus: every learned contract holds on
+  // every config it was learned from, so checking the learn corpus is clean by
+  // construction — the regime where §14's byte-identity gate applies.
+  LearnOptions learn_options;
+  learn_options.support = EnvInt("CONCORD_ANALYZE_SUPPORT", learn_options.support);
+  learn_options.confidence = 1.0;
+  Learner learner{learn_options};
+  LearnResult learned = learner.Learn(dataset);
+  run.contracts = learned.set.contracts.size();
+
+  std::vector<ConfigIndex> indexes = BuildIndexes(dataset);
+  std::vector<const ConfigIndex*> index_ptrs;
+  index_ptrs.reserve(indexes.size());
+  for (const ConfigIndex& index : indexes) {
+    index_ptrs.push_back(&index);
+  }
+
+  Stopwatch analyze_watch;
+  AnalysisResult analysis =
+      AnalyzeContracts(learned.set, dataset.patterns, index_ptrs);
+  run.analyze_s = analyze_watch.ElapsedSeconds();
+  for (const Finding& finding : analysis.findings) {
+    switch (finding.severity) {
+      case FindingSeverity::kError:
+        ++run.errors;
+        break;
+      case FindingSeverity::kWarning:
+        ++run.warnings;
+        break;
+      case FindingSeverity::kInfo:
+        ++run.infos;
+        break;
+    }
+  }
+  run.prunable = analysis.PrunableCount();
+
+  Checker checker(&learned.set, &dataset.patterns);
+  CheckOptions plain_options;
+  plain_options.measure_coverage = false;  // Pruning is coverage-off only.
+  Stopwatch plain_watch;
+  CheckResult plain = checker.Check(index_ptrs, plain_options);
+  run.check_plain_s = plain_watch.ElapsedSeconds();
+  run.evaluated_plain = plain.contracts_evaluated;
+  run.violations_plain = plain.violations.size();
+
+  CheckOptions pruned_options = plain_options;
+  pruned_options.prune_mask = &analysis.prunable;
+  Stopwatch pruned_watch;
+  CheckResult pruned = checker.Check(index_ptrs, pruned_options);
+  run.check_pruned_s = pruned_watch.ElapsedSeconds();
+  run.evaluated_pruned = pruned.contracts_evaluated;
+
+  run.byte_identical =
+      ReportJson(plain, learned.set, dataset.patterns) ==
+      ReportJson(pruned, learned.set, dataset.patterns);
+
+  bool severity_clean =
+      analysis.CountAtOrAbove(FindingSeverity::kWarning) == 0;
+  bool prune_effective =
+      run.prunable >= 1 && run.evaluated_pruned < run.evaluated_plain &&
+      pruned.contracts_pruned == run.prunable &&
+      run.evaluated_pruned + pruned.contracts_pruned == run.evaluated_plain;
+  run.pass = severity_clean && prune_effective && run.byte_identical &&
+             run.violations_plain == 0;
+
+  std::printf(
+      "%-6s configs=%zu lines=%zu contracts=%zu findings=%zu/%zu/%zu "
+      "(err/warn/info)\n"
+      "       prunable=%zu evaluated %zu -> %zu, byte_identical=%s, "
+      "violations=%zu\n"
+      "       analyze %.3fs, check plain %.3fs, pruned %.3fs  %s\n",
+      family.c_str(), run.configs, run.lines, run.contracts, run.errors,
+      run.warnings, run.infos, run.prunable, run.evaluated_plain,
+      run.evaluated_pruned, run.byte_identical ? "yes" : "NO",
+      run.violations_plain, run.analyze_s, run.check_plain_s,
+      run.check_pruned_s, run.pass ? "PASS" : "FAIL");
+  if (!severity_clean) {
+    std::printf("       gate: expected zero warning-or-worse findings\n");
+  }
+  if (!prune_effective) {
+    std::printf("       gate: pruned check must skip >=1 contract and "
+                "evaluate strictly fewer\n");
+  }
+  return run;
+}
+
+JsonValue FamilyJson(const FamilyRun& run) {
+  JsonValue json = JsonValue::Object();
+  json.Set("family", JsonValue::String(run.family));
+  json.Set("configs", JsonValue::Number(static_cast<int64_t>(run.configs)));
+  json.Set("lines", JsonValue::Number(static_cast<int64_t>(run.lines)));
+  json.Set("contracts", JsonValue::Number(static_cast<int64_t>(run.contracts)));
+  JsonValue findings = JsonValue::Object();
+  findings.Set("error", JsonValue::Number(static_cast<int64_t>(run.errors)));
+  findings.Set("warning", JsonValue::Number(static_cast<int64_t>(run.warnings)));
+  findings.Set("info", JsonValue::Number(static_cast<int64_t>(run.infos)));
+  json.Set("findings", std::move(findings));
+  json.Set("prunable", JsonValue::Number(static_cast<int64_t>(run.prunable)));
+  json.Set("contracts_evaluated_plain",
+           JsonValue::Number(static_cast<int64_t>(run.evaluated_plain)));
+  json.Set("contracts_evaluated_pruned",
+           JsonValue::Number(static_cast<int64_t>(run.evaluated_pruned)));
+  json.Set("report_byte_identical", JsonValue::Bool(run.byte_identical));
+  json.Set("analyze_s", JsonValue::Number(run.analyze_s));
+  json.Set("check_plain_s", JsonValue::Number(run.check_plain_s));
+  json.Set("check_pruned_s", JsonValue::Number(run.check_pruned_s));
+  json.Set("pass", JsonValue::Bool(run.pass));
+  return json;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  using namespace concord;
+
+  std::printf("contract-set analyzer acceptance (DESIGN.md section 14)\n\n");
+
+  EdgeOptions edge_options;
+  edge_options.sites = EnvInt("CONCORD_ANALYZE_SITES", 6);
+  edge_options.devices_per_site = EnvInt("CONCORD_ANALYZE_DEVICES", 6);
+  edge_options.drift_rate = 0;          // Clean by construction; see header.
+  edge_options.type_noise_rate = 0;
+  edge_options.optional_feature_rate = 1.0;
+  edge_options.seed = 7;
+  FamilyRun edge = RunFamily("edge", GenerateEdge(edge_options));
+
+  WanOptions wan_options;
+  wan_options.role = EnvInt("CONCORD_ANALYZE_WAN_ROLE", 2);
+  wan_options.devices = EnvInt("CONCORD_ANALYZE_WAN_DEVICES", 24);
+  wan_options.drift_rate = 0;
+  wan_options.seed = 7;
+  FamilyRun wan = RunFamily("wan", GenerateWan(wan_options));
+
+  bool pass = edge.pass && wan.pass;
+
+  // Merge under "analyze", preserving the other benches' sections.
+  JsonValue root = JsonValue::Object();
+  {
+    std::ifstream in(kOutPath);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      if (std::optional<JsonValue> existing = JsonValue::Parse(buffer.str());
+          existing && existing->is_object()) {
+        root = std::move(*existing);
+      }
+    }
+  }
+  JsonValue analyze = JsonValue::Object();
+  JsonValue families = JsonValue::Array();
+  families.Append(FamilyJson(edge));
+  families.Append(FamilyJson(wan));
+  analyze.Set("families", std::move(families));
+  analyze.Set("pass", JsonValue::Bool(pass));
+  root.Set("analyze", std::move(analyze));
+  {
+    std::ofstream out(kOutPath);
+    out << root.Serialize(2) << "\n";
+  }
+  std::printf("\nwrote %s (analyze section), %s\n", kOutPath,
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+// Public facade: static analysis of a learned contract set (DESIGN.md §14) —
+// conflict, subsumption, and dead-rule detection, plus the checker's
+// subsumption-pruning mask.
+//
+//   #include "concord/analyze.h"
+//
+//   concord::AnalysisResult analysis = concord::AnalyzeContracts(set, patterns);
+//   std::string report = concord::AnalyzeReportText(analysis);
+//
+// Findings carry stable rule ids, a severity (error = conflict, warning = dead
+// rule, info = subsumption), and the implicated Contract::Key identities; they
+// are invariant under contract-vector permutation and contract_io round trips.
+//
+// The subsumption verdict feeds checking: AnalysisResult::prunable is the mask
+// CheckOptions::prune_mask consumes to skip dominated contracts in the
+// violation scan (`--prune-subsumed`):
+//
+//   concord::CheckOptions options;
+//   options.measure_coverage = false;  // Pruning never alters report bytes.
+//   options.prune_mask = &analysis.prunable;
+//   concord::CheckResult result = checker.Check(indexes, options);
+#ifndef INCLUDE_CONCORD_ANALYZE_H_
+#define INCLUDE_CONCORD_ANALYZE_H_
+
+#include "src/analyze/analyzer.h"
+#include "src/report/report.h"
+
+#endif  // INCLUDE_CONCORD_ANALYZE_H_

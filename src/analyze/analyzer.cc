@@ -1,0 +1,724 @@
+#include "src/analyze/analyzer.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace concord {
+
+std::string_view FindingSeverityName(FindingSeverity severity) {
+  switch (severity) {
+    case FindingSeverity::kError:
+      return "error";
+    case FindingSeverity::kWarning:
+      return "warning";
+    case FindingSeverity::kInfo:
+      return "info";
+  }
+  return "info";
+}
+
+size_t AnalysisResult::PrunableCount() const {
+  size_t n = 0;
+  for (uint8_t p : prunable) {
+    n += p != 0 ? 1 : 0;
+  }
+  return n;
+}
+
+size_t AnalysisResult::CountAtOrAbove(FindingSeverity floor) const {
+  size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity <= floor) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+// Every ValueType, for transform-domain enumeration.
+constexpr ValueType kAllValueTypes[] = {
+    ValueType::kNum,  ValueType::kHex,  ValueType::kBool,
+    ValueType::kMac,  ValueType::kIp4,  ValueType::kPfx4,
+    ValueType::kIp6,  ValueType::kPfx6, ValueType::kStr,
+};
+
+// Shared pass state. `keys` memoizes Contract::Key per index; canonical
+// (key-sorted) iteration makes every verdict invariant under contract-vector
+// permutation — the property tests shuffle the vector and compare findings.
+struct AnalyzerState {
+  const ContractSet& set;
+  const PatternTable& table;
+  const std::vector<const ConfigIndex*>* indexes;  // Null: dead-pattern skipped.
+  const AnalyzeOptions& options;
+
+  std::vector<std::string> keys;
+  std::vector<Finding> findings;
+  std::vector<uint8_t> prunable;
+  std::vector<size_t> dominator;
+
+  AnalyzerState(const ContractSet& s, const PatternTable& t,
+                const std::vector<const ConfigIndex*>* ix, const AnalyzeOptions& o)
+      : set(s), table(t), indexes(ix), options(o) {
+    keys.reserve(set.contracts.size());
+    for (const Contract& c : set.contracts) {
+      keys.push_back(c.Key(table));
+    }
+    prunable.assign(set.contracts.size(), 0);
+    dominator.assign(set.contracts.size(), AnalysisResult::kNoDominator);
+  }
+
+  // Indices of contracts of `kind`, sorted by (key, index).
+  std::vector<size_t> KindOrder(ContractKind kind) const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < set.contracts.size(); ++i) {
+      if (set.contracts[i].kind == kind) {
+        out.push_back(i);
+      }
+    }
+    std::sort(out.begin(), out.end(), [this](size_t a, size_t b) {
+      return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+    });
+    return out;
+  }
+
+  void Emit(std::string rule, FindingSeverity severity, std::string message,
+            std::vector<size_t> contracts) {
+    std::sort(contracts.begin(), contracts.end());
+    contracts.erase(std::unique(contracts.begin(), contracts.end()), contracts.end());
+    // Canonical order: by key, ties by index. Keys (and therefore the finding
+    // sort, which compares them) must not depend on where a contract happens
+    // to sit in the vector — the shuffle-invariance property pins this.
+    std::sort(contracts.begin(), contracts.end(), [this](size_t a, size_t b) {
+      return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+    });
+    Finding f;
+    f.rule = std::move(rule);
+    f.severity = severity;
+    f.message = std::move(message);
+    f.keys.reserve(contracts.size());
+    for (size_t i : contracts) {
+      f.keys.push_back(keys[i]);
+    }
+    f.contracts = std::move(contracts);
+    findings.push_back(std::move(f));
+  }
+};
+
+// ---- Conflict pass ----------------------------------------------------------
+
+// Iterative Tarjan over a small directed graph; used for ordering cycles.
+class SccFinder {
+ public:
+  explicit SccFinder(const std::vector<std::vector<int>>& adj) : adj_(adj) {
+    int n = static_cast<int>(adj.size());
+    index_.assign(n, -1);
+    low_.assign(n, 0);
+    on_stack_.assign(n, false);
+    component_.assign(n, -1);
+    for (int v = 0; v < n; ++v) {
+      if (index_[v] == -1) {
+        Run(v);
+      }
+    }
+  }
+
+  const std::vector<int>& component() const { return component_; }
+  int num_components() const { return num_components_; }
+
+ private:
+  void Run(int root) {
+    struct Frame {
+      int v;
+      size_t edge;
+    };
+    std::vector<Frame> call_stack{{root, 0}};
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      int v = frame.v;
+      if (frame.edge == 0) {
+        index_[v] = low_[v] = next_index_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool descended = false;
+      while (frame.edge < adj_[v].size()) {
+        int w = adj_[v][frame.edge++];
+        if (index_[w] == -1) {
+          call_stack.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) {
+          low_[v] = std::min(low_[v], index_[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      if (low_[v] == index_[v]) {
+        int c = num_components_++;
+        while (true) {
+          int w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          component_[w] = c;
+          if (w == v) {
+            break;
+          }
+        }
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        int parent = call_stack.back().v;
+        low_[parent] = std::min(low_[parent], low_[v]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<int>>& adj_;
+  std::vector<int> index_, low_, component_;
+  std::vector<int> stack_;
+  std::vector<bool> on_stack_;
+  int next_index_ = 0;
+  int num_components_ = 0;
+};
+
+// Ordering cycles. A successor contract demands a p2 line at index+1 of every
+// p1 line; a chain of such demands that returns to its origin forces an
+// infinite forward run, so any config containing a member pattern is
+// unsatisfiable. Predecessor demands force the same run backwards. The two
+// directions are analyzed separately: a mixed cycle (p1 followed by p2, p2
+// preceded by p1) is just one adjacency stated twice, not a conflict.
+void FindOrderingCycles(AnalyzerState& state) {
+  const std::vector<size_t> ordering = state.KindOrder(ContractKind::kOrdering);
+  for (bool successor : {true, false}) {
+    // Node interning in key order keeps component numbering deterministic.
+    std::map<PatternId, int> node_of;
+    std::vector<PatternId> patterns;
+    std::vector<std::pair<int, int>> edges;  // Parallel to `members`.
+    std::vector<size_t> members;
+    auto intern = [&](PatternId p) {
+      auto [it, inserted] = node_of.emplace(p, static_cast<int>(patterns.size()));
+      if (inserted) {
+        patterns.push_back(p);
+      }
+      return it->second;
+    };
+    for (size_t i : ordering) {
+      const Contract& c = state.set.contracts[i];
+      if (c.successor != successor) {
+        continue;
+      }
+      if (c.pattern == c.pattern2) {
+        state.Emit("ordering-cycle", FindingSeverity::kError,
+                   "ordering contract " + state.keys[i] +
+                       " demands that every line matching " +
+                       state.table.Get(c.pattern).text + " be immediately " +
+                       (successor ? "followed" : "preceded") +
+                       " by another line of the same pattern, which no finite "
+                       "configuration containing the pattern can satisfy",
+                   {i});
+        continue;
+      }
+      edges.emplace_back(intern(c.pattern), intern(c.pattern2));
+      members.push_back(i);
+    }
+    std::vector<std::vector<int>> adj(patterns.size());
+    for (const auto& [u, v] : edges) {
+      adj[u].push_back(v);
+    }
+    SccFinder scc(adj);
+    // Contracts whose edge stays inside one non-trivial component form the cycle.
+    std::map<int, std::vector<size_t>> by_component;
+    for (size_t e = 0; e < edges.size(); ++e) {
+      int cu = scc.component()[edges[e].first];
+      int cv = scc.component()[edges[e].second];
+      if (cu == cv) {
+        by_component[cu].push_back(members[e]);
+      }
+    }
+    for (const auto& [comp, contracts] : by_component) {
+      std::ostringstream msg;
+      msg << "ordering contracts form a " << (successor ? "followed-by" : "preceded-by")
+          << " cycle over " << contracts.size()
+          << " rule(s); any configuration containing one of the member patterns "
+             "would need an infinite run to satisfy them all";
+      state.Emit("ordering-cycle", FindingSeverity::kError, msg.str(), contracts);
+    }
+    ThrowIfExpired(state.options.deadline);
+  }
+}
+
+// Two ordering contracts with the same forall pattern and direction but
+// different witness patterns: the line at index±1 is a single line with a
+// single pattern, so both demands cannot hold wherever the subject appears.
+void FindOrderingContradictions(AnalyzerState& state) {
+  const std::vector<size_t> ordering = state.KindOrder(ContractKind::kOrdering);
+  std::map<std::pair<PatternId, bool>, std::vector<size_t>> groups;
+  for (size_t i : ordering) {
+    const Contract& c = state.set.contracts[i];
+    groups[{c.pattern, c.successor}].push_back(i);
+  }
+  for (const auto& [group_key, contracts] : groups) {
+    std::set<PatternId> witnesses;
+    for (size_t i : contracts) {
+      witnesses.insert(state.set.contracts[i].pattern2);
+    }
+    if (witnesses.size() < 2) {
+      continue;
+    }
+    state.Emit("ordering-contradiction", FindingSeverity::kError,
+               "ordering contracts demand " + std::to_string(witnesses.size()) +
+                   " different immediate " +
+                   (group_key.second ? "successors" : "predecessors") +
+                   " for lines matching " + state.table.Get(group_key.first).text +
+                   "; a line has one neighbor, so the demands are mutually "
+                   "exclusive wherever the pattern appears",
+               contracts);
+  }
+}
+
+// Type contracts forbid a value type at (untyped pattern, param); a relational
+// transform on the same slot that only accepts forbidden types can never apply.
+void FindTypeRelationalConflicts(AnalyzerState& state) {
+  std::map<std::pair<std::string, uint16_t>, std::vector<size_t>> type_rules;
+  for (size_t i = 0; i < state.set.contracts.size(); ++i) {
+    const Contract& c = state.set.contracts[i];
+    if (c.kind == ContractKind::kType) {
+      type_rules[{c.untyped_pattern, c.param}].push_back(i);
+    }
+  }
+  if (type_rules.empty()) {
+    return;
+  }
+  for (size_t i : state.KindOrder(ContractKind::kRelational)) {
+    const Contract& c = state.set.contracts[i];
+    struct Side {
+      PatternId pattern;
+      uint16_t param;
+      const Transform* transform;
+      const char* name;
+    };
+    const Side sides[] = {{c.pattern, c.param, &c.transform1, "forall"},
+                          {c.pattern2, c.param2, &c.transform2, "exists"}};
+    for (const Side& side : sides) {
+      auto it = type_rules.find({state.table.Get(side.pattern).untyped, side.param});
+      if (it == type_rules.end()) {
+        continue;
+      }
+      std::set<ValueType> forbidden;
+      for (size_t t : it->second) {
+        forbidden.insert(state.set.contracts[t].invalid_type);
+      }
+      bool any_accepted = false;
+      bool any_allowed = false;
+      for (ValueType vt : kAllValueTypes) {
+        if (side.transform->AppliesTo(vt)) {
+          any_accepted = true;
+          if (forbidden.count(vt) == 0) {
+            any_allowed = true;
+            break;
+          }
+        }
+      }
+      if (!any_accepted || any_allowed) {
+        continue;
+      }
+      std::vector<size_t> implicated = it->second;
+      implicated.push_back(i);
+      state.Emit("type-relational-conflict", FindingSeverity::kError,
+                 "relational contract " + state.keys[i] + " applies " +
+                     side.transform->Name() + " on its " + side.name +
+                     " side, but type contracts forbid every value type the "
+                     "transform accepts at that (pattern, parameter) slot",
+                 implicated);
+    }
+  }
+}
+
+// A sequence contract reads a parameter as a per-config arithmetic progression;
+// a unique contract reads the same parameter as a one-use global identifier.
+// Both can only hold while no two configs reuse a progression value, a
+// coincidence of the training data rather than a coherent intent.
+void FindSequenceUniqueClashes(AnalyzerState& state) {
+  std::map<std::pair<PatternId, uint16_t>, std::pair<std::vector<size_t>, std::vector<size_t>>>
+      by_slot;
+  for (size_t i = 0; i < state.set.contracts.size(); ++i) {
+    const Contract& c = state.set.contracts[i];
+    if (c.kind == ContractKind::kSequence) {
+      by_slot[{c.pattern, c.param}].first.push_back(i);
+    } else if (c.kind == ContractKind::kUnique) {
+      by_slot[{c.pattern, c.param}].second.push_back(i);
+    }
+  }
+  for (const auto& [slot, groups] : by_slot) {
+    if (groups.first.empty() || groups.second.empty()) {
+      continue;
+    }
+    std::vector<size_t> implicated = groups.first;
+    implicated.insert(implicated.end(), groups.second.begin(), groups.second.end());
+    state.Emit("sequence-unique-conflict", FindingSeverity::kError,
+               "parameter " + PatternTable::ParamName(slot.second) + " of " +
+                   state.table.Get(slot.first).text +
+                   " is constrained both as a per-config equidistant sequence and "
+                   "as a globally unique identifier; any two configurations "
+                   "reusing a progression value violate one of the two",
+               implicated);
+  }
+}
+
+// ---- Subsumption pass -------------------------------------------------------
+
+// True when the relational contract's forall side always evaluates: the
+// parameter exists on the subject pattern and the transform applies to its
+// observed type. Only such contracts are sound dominators — the checker skips
+// forall lines whose transform does not apply, so an inapplicable dominator
+// could stay silent where the dominated contract would have fired.
+bool ForallSideAlwaysEvaluates(const AnalyzerState& state, const Contract& c) {
+  const PatternInfo& info = state.table.Get(c.pattern);
+  return c.param < info.param_types.size() &&
+         c.transform1.AppliesTo(info.param_types[c.param]);
+}
+
+// Exact duplicates: same Key() means same checking semantics; every occurrence
+// after the first (lowest index) is dominated by it.
+void FindDuplicates(AnalyzerState& state) {
+  std::map<std::string, std::vector<size_t>> by_key;
+  for (size_t i = 0; i < state.set.contracts.size(); ++i) {
+    by_key[state.keys[i]].push_back(i);
+  }
+  for (const auto& [key, group] : by_key) {
+    if (group.size() < 2) {
+      continue;
+    }
+    const size_t keeper = group.front();  // Groups are built in index order.
+    for (size_t m = 1; m < group.size(); ++m) {
+      state.prunable[group[m]] = 1;
+      state.dominator[group[m]] = keeper;
+    }
+    state.Emit("duplicate-contract", FindingSeverity::kInfo,
+               "contract " + key + " appears " + std::to_string(group.size()) +
+                   " times; the duplicates raise the same violations and are "
+                   "redundant",
+               group);
+  }
+}
+
+// Transitive relational chains: an edge implied by a path of unpruned
+// same-relation edges whose transforms compose (the node model of §3.6's
+// minimizer: a node is (pattern, param, transform)). Learned sets arrive
+// minimized, so this fires mostly on hand-written or merged sets.
+void FindTransitiveChains(AnalyzerState& state) {
+  struct Node {
+    PatternId pattern;
+    uint16_t param;
+    Transform transform;
+    bool operator<(const Node& o) const {
+      if (pattern != o.pattern) {
+        return pattern < o.pattern;
+      }
+      if (param != o.param) {
+        return param < o.param;
+      }
+      return transform < o.transform;
+    }
+  };
+  const std::vector<size_t> relational = state.KindOrder(ContractKind::kRelational);
+  for (RelationKind relation :
+       {RelationKind::kEquals, RelationKind::kStartsWith, RelationKind::kPrefixOf,
+        RelationKind::kEndsWith, RelationKind::kSuffixOf}) {
+    // Edges of this relation, in key order (stable BFS tie-breaks).
+    struct Edge {
+      Node from;
+      Node to;
+      size_t contract;
+    };
+    std::vector<Edge> edges;
+    for (size_t i : relational) {
+      const Contract& c = state.set.contracts[i];
+      if (c.relation != relation || state.prunable[i] != 0) {
+        continue;
+      }
+      edges.push_back(Edge{Node{c.pattern, c.param, c.transform1},
+                           Node{c.pattern2, c.param2, c.transform2}, i});
+    }
+    if (edges.size() < 3) {
+      continue;  // A chain needs two dominators plus a dominated edge.
+    }
+    std::map<Node, std::vector<size_t>> out_edges;  // Node -> indices into `edges`.
+    for (size_t e = 0; e < edges.size(); ++e) {
+      out_edges[edges[e].from].push_back(e);
+    }
+    for (size_t e = 0; e < edges.size(); ++e) {
+      ThrowIfExpired(state.options.deadline);
+      const size_t candidate = edges[e].contract;
+      if (state.prunable[candidate] != 0) {
+        continue;
+      }
+      // BFS from `from` to `to` over unpruned edges other than the candidate.
+      std::map<Node, size_t> via;  // Node -> edge index that reached it.
+      std::deque<Node> frontier{edges[e].from};
+      std::set<Node> seen{edges[e].from};
+      bool found = false;
+      while (!frontier.empty() && !found) {
+        Node at = frontier.front();
+        frontier.pop_front();
+        auto it = out_edges.find(at);
+        if (it == out_edges.end()) {
+          continue;
+        }
+        for (size_t next : it->second) {
+          if (next == e || state.prunable[edges[next].contract] != 0) {
+            continue;
+          }
+          const Node& to = edges[next].to;
+          if (seen.count(to) > 0) {
+            continue;
+          }
+          seen.insert(to);
+          via[to] = next;
+          if (!(to < edges[e].to) && !(edges[e].to < to)) {
+            found = true;
+            break;
+          }
+          frontier.push_back(to);
+        }
+      }
+      if (!found) {
+        continue;
+      }
+      std::vector<size_t> path;
+      Node at = edges[e].to;
+      while (true) {
+        size_t step = via[at];
+        path.push_back(edges[step].contract);
+        at = edges[step].from;
+        if (!(at < edges[e].from) && !(edges[e].from < at)) {
+          break;
+        }
+      }
+      std::reverse(path.begin(), path.end());
+      state.prunable[candidate] = 1;
+      state.dominator[candidate] = path.front();
+      std::vector<size_t> implicated = path;
+      implicated.push_back(candidate);
+      state.Emit("subsumed-chain", FindingSeverity::kInfo,
+                 "relational contract " + state.keys[candidate] +
+                     " is implied by a transitive " +
+                     std::string(RelationKindName(relation)) + " chain of " +
+                     std::to_string(path.size()) + " contract(s)",
+                 implicated);
+    }
+  }
+}
+
+// present(q) is implied by present(p) plus a relational contract p -> q whose
+// forall side always evaluates: a config missing q either misses p (present(p)
+// fires) or contains a p line with no q witness (the relational fires).
+// Dominators must themselves be unpruned, and candidates are pruned in key
+// order, so mutual-implication cycles keep one representative alive.
+void FindSubsumedPresent(AnalyzerState& state) {
+  std::map<PatternId, size_t> present_of;  // Unpruned present contract per pattern.
+  for (size_t i : state.KindOrder(ContractKind::kPresent)) {
+    if (state.prunable[i] == 0 && present_of.count(state.set.contracts[i].pattern) == 0) {
+      present_of[state.set.contracts[i].pattern] = i;
+    }
+  }
+  const std::vector<size_t> relational = state.KindOrder(ContractKind::kRelational);
+  for (size_t i : state.KindOrder(ContractKind::kPresent)) {
+    if (state.prunable[i] != 0) {
+      continue;
+    }
+    const PatternId q = state.set.contracts[i].pattern;
+    for (size_t e : relational) {
+      const Contract& c = state.set.contracts[e];
+      if (c.pattern2 != q || state.prunable[e] != 0 ||
+          !ForallSideAlwaysEvaluates(state, c)) {
+        continue;
+      }
+      auto it = present_of.find(c.pattern);
+      if (it == present_of.end() || it->second == i ||
+          state.prunable[it->second] != 0) {
+        continue;
+      }
+      state.prunable[i] = 1;
+      state.dominator[i] = e;
+      state.Emit("subsumed-present", FindingSeverity::kInfo,
+                 "present contract " + state.keys[i] + " is implied by " +
+                     state.keys[e] + " together with " + state.keys[it->second] +
+                     ": a config missing the pattern either misses " +
+                     state.table.Get(c.pattern).text +
+                     " or fails the relational witness",
+                 {i, e, it->second});
+      break;
+    }
+  }
+}
+
+// ---- Dead-rule pass ---------------------------------------------------------
+
+// Relational transforms that cannot apply to the observed parameter type. An
+// inapplicable forall side makes the contract vacuous (the checker skips such
+// lines); an inapplicable exists side can never produce a witness, so the
+// contract fires for every subject line — either way the rule does not do what
+// it says.
+void FindDeadTransforms(AnalyzerState& state) {
+  for (size_t i : state.KindOrder(ContractKind::kRelational)) {
+    const Contract& c = state.set.contracts[i];
+    struct Side {
+      PatternId pattern;
+      uint16_t param;
+      const Transform* transform;
+      bool forall;
+    };
+    const Side sides[] = {{c.pattern, c.param, &c.transform1, true},
+                          {c.pattern2, c.param2, &c.transform2, false}};
+    for (const Side& side : sides) {
+      const PatternInfo& info = state.table.Get(side.pattern);
+      std::string reason;
+      if (side.param >= info.param_types.size()) {
+        reason = "names parameter " + PatternTable::ParamName(side.param) + " but " +
+                 info.text + " captures only " +
+                 std::to_string(info.param_types.size()) + " parameter(s)";
+      } else if (!side.transform->AppliesTo(info.param_types[side.param])) {
+        reason = "applies " + side.transform->Name() + " to a parameter of type " +
+                 std::string(ValueTypeName(info.param_types[side.param])) +
+                 ", which the transform does not accept";
+      } else {
+        continue;
+      }
+      state.Emit("dead-transform", FindingSeverity::kWarning,
+                 "relational contract " + state.keys[i] + " " + reason +
+                     (side.forall ? "; the forall side never evaluates, so the "
+                                    "contract is vacuous"
+                                  : "; no witness can ever satisfy the exists "
+                                    "side, so the contract fires on every "
+                                    "subject line"),
+                 {i});
+    }
+  }
+}
+
+// Forall-quantified contracts whose subject pattern has zero postings in every
+// indexed config are vacuous against this dataset; type contracts whose untyped
+// pattern matches no observed line likewise never fire.
+void FindDeadPatterns(AnalyzerState& state) {
+  const std::vector<const ConfigIndex*>& indexes = *state.indexes;
+  std::vector<uint8_t> seen(state.table.size(), 0);
+  std::set<std::string> seen_untyped;
+  for (PatternId id = 0; id < state.table.size(); ++id) {
+    for (const ConfigIndex* index : indexes) {
+      if (index->ContainsPattern(id)) {
+        seen[id] = 1;
+        seen_untyped.insert(state.table.Get(id).untyped);
+        break;
+      }
+    }
+  }
+  ThrowIfExpired(state.options.deadline);
+  for (ContractKind kind : {ContractKind::kOrdering, ContractKind::kSequence,
+                            ContractKind::kUnique, ContractKind::kRelational}) {
+    for (size_t i : state.KindOrder(kind)) {
+      const Contract& c = state.set.contracts[i];
+      if (c.pattern < seen.size() && seen[c.pattern] != 0) {
+        continue;
+      }
+      state.Emit("dead-pattern", FindingSeverity::kWarning,
+                 std::string(ContractKindName(kind)) + " contract " + state.keys[i] +
+                     " quantifies over " + state.table.Get(c.pattern).text +
+                     ", which has zero postings in every analyzed config; the "
+                     "rule can never fire",
+                 {i});
+    }
+  }
+  for (size_t i : state.KindOrder(ContractKind::kType)) {
+    const Contract& c = state.set.contracts[i];
+    if (seen_untyped.count(c.untyped_pattern) > 0) {
+      continue;
+    }
+    state.Emit("dead-pattern", FindingSeverity::kWarning,
+               "type contract " + state.keys[i] + " guards " + c.untyped_pattern +
+                   ", which matches no line in any analyzed config; the rule "
+                   "can never fire",
+               {i});
+  }
+}
+
+AnalysisResult Analyze(const ContractSet& set, const PatternTable& table,
+                       const std::vector<const ConfigIndex*>* indexes,
+                       const AnalyzeOptions& options) {
+  AnalyzerState state(set, table, indexes, options);
+  ThrowIfExpired(options.deadline);
+  if (options.conflicts) {
+    FindOrderingCycles(state);
+    FindOrderingContradictions(state);
+    FindTypeRelationalConflicts(state);
+    FindSequenceUniqueClashes(state);
+  }
+  ThrowIfExpired(options.deadline);
+  if (options.subsumption) {
+    FindDuplicates(state);
+    FindTransitiveChains(state);
+    FindSubsumedPresent(state);
+  }
+  ThrowIfExpired(options.deadline);
+  if (options.dead_rules) {
+    FindDeadTransforms(state);
+    if (indexes != nullptr && !indexes->empty()) {
+      FindDeadPatterns(state);
+    }
+  }
+
+  AnalysisResult result;
+  result.contracts_analyzed = set.contracts.size();
+  std::sort(state.findings.begin(), state.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.severity != b.severity) {
+                return a.severity < b.severity;
+              }
+              if (a.rule != b.rule) {
+                return a.rule < b.rule;
+              }
+              if (a.keys != b.keys) {
+                return a.keys < b.keys;
+              }
+              return a.message < b.message;
+            });
+  for (const Finding& f : state.findings) {
+    if (f.rule == "ordering-cycle" || f.rule == "ordering-contradiction" ||
+        f.rule == "type-relational-conflict" || f.rule == "sequence-unique-conflict") {
+      ++result.conflict_findings;
+    } else if (f.rule == "duplicate-contract" || f.rule == "subsumed-chain" ||
+               f.rule == "subsumed-present") {
+      ++result.subsumption_findings;
+    } else {
+      ++result.dead_rule_findings;
+    }
+  }
+  result.findings = std::move(state.findings);
+  result.prunable = std::move(state.prunable);
+  result.dominator = std::move(state.dominator);
+  return result;
+}
+
+}  // namespace
+
+AnalysisResult AnalyzeContracts(const ContractSet& set, const PatternTable& table,
+                                const AnalyzeOptions& options) {
+  return Analyze(set, table, nullptr, options);
+}
+
+AnalysisResult AnalyzeContracts(const ContractSet& set, const PatternTable& table,
+                                const std::vector<const ConfigIndex*>& indexes,
+                                const AnalyzeOptions& options) {
+  return Analyze(set, table, &indexes, options);
+}
+
+}  // namespace concord

@@ -1,0 +1,112 @@
+// Contract-set static analysis (DESIGN.md §14).
+//
+// A learned contract set is a program in a small rule language (§3.4, Table 2),
+// and this module analyzes it as one. Three passes over a ContractSet +
+// PatternTable emit findings with stable rule ids (mirroring tools/lint.py):
+//
+//   conflict     rules that cannot all hold — ordering cycles, contradictory
+//                successor demands, type contracts that forbid every value type
+//                a relational transform accepts, sequence-vs-unique clashes;
+//   subsumption  rules implied by other rules — exact duplicates, transitive
+//                relational chains, and present contracts implied by a
+//                relational contract whose forall side is itself present;
+//   dead rules   rules that can never fire against the analyzed configs —
+//                subject patterns with zero postings everywhere, and relational
+//                transforms that do not apply to the observed parameter type.
+//
+// The subsumption pass doubles as the checker's pruning oracle: prunable() is a
+// per-contract mask of dominated contracts whose violation-scan evaluation is
+// redundant (every violation they could raise is raised by an unpruned
+// dominator), consumed by CheckOptions::prune_mask behind --prune-subsumed.
+#ifndef SRC_ANALYZE_ANALYZER_H_
+#define SRC_ANALYZE_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/contracts/contract.h"
+#include "src/learn/index.h"
+#include "src/util/cancellation.h"
+
+namespace concord {
+
+enum class FindingSeverity : uint8_t {
+  kError = 0,    // Conflicts: the set is unsatisfiable on some reachable input.
+  kWarning,      // Dead rules: the set asserts something it can never enforce.
+  kInfo,         // Subsumption: redundant but harmless (and prunable).
+};
+
+std::string_view FindingSeverityName(FindingSeverity severity);
+
+// One analyzer finding. Stable rule ids:
+//
+//   conflict:     ordering-cycle, ordering-contradiction,
+//                 type-relational-conflict, sequence-unique-conflict
+//   subsumption:  duplicate-contract, subsumed-chain, subsumed-present
+//   dead rules:   dead-pattern, dead-transform
+//
+// `contracts` lists the implicated indices into ContractSet::contracts, sorted
+// by key (ties by index); `keys` carries Contract::Key for each, in the same order, so a
+// finding is meaningful across serialize/shuffle round trips. Messages embed
+// keys, never indices — findings are invariant under contract-vector
+// permutation (the property tests pin this).
+struct Finding {
+  std::string rule;
+  FindingSeverity severity = FindingSeverity::kInfo;
+  std::string message;
+  std::vector<size_t> contracts;
+  std::vector<std::string> keys;
+};
+
+struct AnalyzeOptions {
+  bool conflicts = true;
+  bool subsumption = true;
+  bool dead_rules = true;
+
+  // Polled between passes and inside the heavier loops; expiry raises
+  // DeadlineExceeded from the calling thread.
+  Deadline deadline;
+};
+
+struct AnalysisResult {
+  static constexpr size_t kNoDominator = static_cast<size_t>(-1);
+
+  // Deterministic order: severity, then rule id, then implicated keys.
+  std::vector<Finding> findings;
+
+  // Per-contract pruning verdict (size = ContractSet::contracts.size()).
+  // prunable[i] != 0 means contract i is dominated: on every input, any
+  // violation it would raise is accompanied by a violation from an unpruned
+  // contract. dominator[i] names one such dominating contract (kNoDominator
+  // for unpruned contracts). Safe to skip in the checker's violation scan;
+  // coverage marking is NOT preserved, which is why the checker honors the
+  // mask only when coverage is off (DESIGN.md §14).
+  std::vector<uint8_t> prunable;
+  std::vector<size_t> dominator;
+
+  size_t contracts_analyzed = 0;
+  size_t conflict_findings = 0;
+  size_t subsumption_findings = 0;
+  size_t dead_rule_findings = 0;
+
+  size_t PrunableCount() const;
+  // Findings at or above `floor` severity (kError counts toward kWarning).
+  size_t CountAtOrAbove(FindingSeverity floor) const;
+};
+
+// Analyzes the set alone. The dead-pattern sub-pass needs config postings and
+// is skipped; dead-transform (table-only) still runs.
+AnalysisResult AnalyzeContracts(const ContractSet& set, const PatternTable& table,
+                                const AnalyzeOptions& options = {});
+
+// Same, with indexed configs for the dead-pattern sub-pass. The indexes must be
+// built against `table` (same interning).
+AnalysisResult AnalyzeContracts(const ContractSet& set, const PatternTable& table,
+                                const std::vector<const ConfigIndex*>& indexes,
+                                const AnalyzeOptions& options = {});
+
+}  // namespace concord
+
+#endif  // SRC_ANALYZE_ANALYZER_H_

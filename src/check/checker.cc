@@ -53,9 +53,13 @@ std::optional<CoverageKind> CoverageKindOf(const Contract& contract) {
           return CoverageKind::kRelEquality;
         case RelationKind::kContains:
           return CoverageKind::kRelContains;
-        default:
+        case RelationKind::kStartsWith:
+        case RelationKind::kPrefixOf:
+        case RelationKind::kEndsWith:
+        case RelationKind::kSuffixOf:
           return CoverageKind::kRelAffix;
       }
+      return CoverageKind::kRelAffix;
   }
   return std::nullopt;
 }
@@ -235,6 +239,20 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
   CheckResult result;
   result.configs_checked = n;
 
+  // Subsumption pruning (see CheckOptions::prune_mask): active only when
+  // coverage is off — a pruned contract's coverage marks would be observable.
+  const std::vector<uint8_t>* prune = options.prune_mask;
+  if (prune != nullptr && (measure_coverage || prune->size() != num_contracts)) {
+    prune = nullptr;
+  }
+  auto pruned = [prune](size_t k) { return prune != nullptr && (*prune)[k] != 0; };
+  if (prune != nullptr) {
+    for (uint8_t p : *prune) {
+      result.contracts_pruned += p != 0 ? 1 : 0;
+    }
+  }
+  result.contracts_evaluated = num_contracts - result.contracts_pruned;
+
   // Request scratch: coverage bitmaps and the postings table live exactly as
   // long as this call, so they come from one bump arena instead of the heap.
   Arena arena;
@@ -306,6 +324,9 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
       }
       const PatternInfo& info = table_->Get(line.pattern);
       for (const TypeRule& rule : *rules) {
+        if (pruned(rule.contract_index)) {
+          continue;
+        }
         if (rule.param < info.param_types.size() &&
             info.param_types[rule.param] == rule.invalid) {
           type_violations[ci].push_back(Violation{
@@ -398,6 +419,9 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
         return;
       }
       const Contract& c = set_->contracts[k];
+      if (pruned(k)) {
+        continue;
+      }
       if (trace_on && static_cast<int>(c.kind) != timed_kind) {
         uint64_t now = tracer.NowMicros();
         if (timed_kind >= 0) {
@@ -749,6 +773,9 @@ CheckResult Checker::Check(const std::vector<const ConfigIndex*>& indexes,
   // the same postings lists in batch order. ----
   uint64_t unique_start = trace_on ? tracer.NowMicros() : 0;
   for (size_t contract_index : unique_contracts_) {
+    if (pruned(contract_index)) {
+      continue;
+    }
     const Contract& c = set_->contracts[contract_index];
     FlatMap<Value, std::pair<size_t, int>, ValueFlatHash> first;  // config, line no.
     for (const Posting& p : postings[contract_slot_[contract_index]]) {

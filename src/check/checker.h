@@ -105,6 +105,12 @@ struct CheckResult {
   std::vector<SkippedFile> skipped;
 
   size_t configs_checked = 0;  // Configurations this result actually covers.
+
+  // Violation-scan work accounting: contracts evaluated vs skipped by the
+  // subsumption prune mask (CheckOptions::prune_mask). Not rendered into
+  // reports — pruned and unpruned runs must stay byte-identical there.
+  size_t contracts_evaluated = 0;
+  size_t contracts_pruned = 0;
   size_t total_lines = 0;    // Config lines (metadata excluded).
   size_t covered_lines = 0;  // Union over all categories.
   std::array<size_t, kNumCoverageKinds> covered_by_kind{};
@@ -151,6 +157,15 @@ struct CheckOptions {
   // must outlive the call.
   int parallelism = 1;
   ThreadPool* pool = nullptr;
+
+  // Subsumption pruning (DESIGN.md §14): per-contract mask sized to the
+  // contract set, nonzero = dominated (AnalysisResult::prunable). Dominated
+  // contracts are skipped by the violation scan — sound because every
+  // violation they could raise is accompanied by one from an unpruned
+  // dominator. Honored only when measure_coverage is false: a skipped
+  // contract's coverage marks are observable in the report, and pruning must
+  // never change report bytes. Null or wrongly sized masks are ignored.
+  const std::vector<uint8_t>* prune_mask = nullptr;
 };
 
 class Checker {

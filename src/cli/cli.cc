@@ -14,11 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "src/analyze/analyzer.h"
 #include "src/check/checker.h"
 #include "src/cli/gen_commands.h"
 #include "src/contracts/contract_io.h"
 #include "src/contracts/suppression.h"
 #include "src/format/json.h"
+#include "src/learn/index.h"
 #include "src/learn/learner.h"
 #include "src/pattern/lexer.h"
 #include "src/pattern/parser.h"
@@ -514,6 +516,10 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   args.AddFlag("suppress", "file of contract keys to suppress (operator feedback, §4)");
   args.AddFlag("parallelism", "worker threads for checking (0 = all cores)", "1");
   args.AddBoolFlag("no-coverage", "skip coverage measurement (§3.9)");
+  args.AddBoolFlag("prune-subsumed",
+                   "skip subsumption-dominated contracts in the violation scan "
+                   "(DESIGN.md §14); active only with --no-coverage, reports "
+                   "stay byte-identical");
   args.AddBoolFlag("compat-v0",
                    "emit the legacy (pre-v1) JSON report shape (deprecated)");
   if (!args.Parse(argc, argv, 2)) {
@@ -590,7 +596,37 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
   int parallelism = static_cast<int>(args.GetInt("parallelism").value_or(1));
   Checker checker(&*set, &inputs.dataset.patterns, parallelism);
   checker.set_deadline(deadline);
-  CheckResult result = checker.Check(inputs.dataset, !args.GetBool("no-coverage"));
+  CheckResult result;
+  if (args.GetBool("prune-subsumed")) {
+    // The subsumption verdict drives CheckOptions::prune_mask; the checker
+    // itself refuses the mask when coverage is on (marks would change bytes).
+    AnalyzeOptions analyze_options;
+    analyze_options.conflicts = false;
+    analyze_options.dead_rules = false;
+    analyze_options.deadline = deadline;
+    AnalysisResult analysis =
+        AnalyzeContracts(*set, inputs.dataset.patterns, analyze_options);
+    std::vector<ConfigIndex> built = BuildIndexes(inputs.dataset, &deadline);
+    std::vector<const ConfigIndex*> index_ptrs;
+    index_ptrs.reserve(built.size());
+    for (const ConfigIndex& index : built) {
+      index_ptrs.push_back(&index);
+    }
+    CheckOptions check_options;
+    check_options.measure_coverage = !args.GetBool("no-coverage");
+    check_options.deadline = deadline;
+    check_options.parallelism = parallelism;
+    check_options.prune_mask = &analysis.prunable;
+    result = checker.Check(index_ptrs, check_options);
+    if (!args.GetBool("quiet")) {
+      out << "pruned " << result.contracts_pruned << " of "
+          << set->contracts.size() << " contract(s) (subsumption"
+          << (check_options.measure_coverage ? "; inert with coverage on" : "")
+          << ")\n";
+    }
+  } else {
+    result = checker.Check(inputs.dataset, !args.GetBool("no-coverage"));
+  }
   result.skipped = inputs.skipped;
 
   if (args.Has("json-out")) {
@@ -614,6 +650,142 @@ int RunCheck(int argc, const char* const* argv, std::ostream& out, std::ostream&
     return 3;
   }
   return result.violations.empty() ? 0 : 1;
+}
+
+// `concord analyze`: static analysis of a learned contract set (DESIGN.md §14).
+// Configs are optional — when given, they feed the dead-pattern sub-pass the
+// postings it needs; without them the analyzer runs set-only.
+int RunAnalyze(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  ArgParser args;
+  AddCommonFlags(&args);
+  args.AddFlag("contracts", "contract file produced by `concord learn`", "contracts.json");
+  args.AddFlag("store-dir",
+               "durable artifact store directory: analyze the persisted "
+               "contract set instead of --contracts");
+  args.AddFlag("dataset", "dataset name in the store (with --store-dir)", "default");
+  args.AddFlag("json-out", "write the JSON findings report to this file");
+  args.AddFlag("fail-on",
+               "lowest severity that fails the run: error, warning, info, or "
+               "none", "warning");
+  args.AddBoolFlag("no-conflicts", "skip the conflict pass");
+  args.AddBoolFlag("no-subsumption", "skip the subsumption pass");
+  args.AddBoolFlag("no-dead-rules", "skip the dead-rule pass");
+  if (!args.Parse(argc, argv, 2)) {
+    err << "error: " << args.error() << "\n" << args.Usage();
+    return 2;
+  }
+  std::optional<FindingSeverity> fail_floor;
+  {
+    const std::string floor = args.Get("fail-on");
+    if (floor == "error") {
+      fail_floor = FindingSeverity::kError;
+    } else if (floor == "warning") {
+      fail_floor = FindingSeverity::kWarning;
+    } else if (floor == "info") {
+      fail_floor = FindingSeverity::kInfo;
+    } else if (floor != "none") {
+      err << "error: --fail-on must be error, warning, info, or none\n";
+      return 2;
+    }
+  }
+  ProfileSession profile(args.GetBool("profile"), args.Get("trace-out"), &out, &err);
+
+  std::string contracts_text;
+  if (args.Has("store-dir")) {
+    try {
+      DurableStore store(args.Get("store-dir"));
+      auto info = store.GetDataset(args.Get("dataset"));
+      if (!info || info->contracts_key == 0) {
+        err << "error: store has no contracts for dataset '" << args.Get("dataset")
+            << "' in " << args.Get("store-dir") << "\n";
+        return 2;
+      }
+      bool corrupt = false;
+      auto payload = store.GetObject(RecordType::kContracts, info->contracts_key,
+                                     "contracts", &corrupt);
+      if (!payload) {
+        err << "error: store_corrupt: persisted contract set for dataset '"
+            << args.Get("dataset") << "' is "
+            << (corrupt ? "corrupt" : "missing")
+            << "; relearn with `concord learn --store-dir`\n";
+        return 2;
+      }
+      contracts_text = std::move(*payload);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
+  } else {
+    try {
+      contracts_text = ReadFile(args.Get("contracts"));
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  LoadedInputs inputs;
+  std::string error;
+  Deadline deadline = DeadlineFromFlags(args);
+  bool partial = false;
+  std::vector<ConfigIndex> built;
+  if (args.Has("configs")) {
+    // As in RunCheck, the set's recorded parse options drive config parsing so
+    // the postings the dead-pattern pass sees match what checking would see.
+    PatternTable scratch;
+    auto preview = ParseContracts(contracts_text, &scratch, &error);
+    if (!preview) {
+      err << "error: cannot parse contracts: " << error << "\n";
+      return 2;
+    }
+    bool embed = preview->embed_context && !args.GetBool("no-embedding");
+    bool constants = preview->constants_mode || args.GetBool("constants");
+    if (!LoadInputs(args, embed, constants, deadline, &inputs, err)) {
+      return 2;
+    }
+    partial = !inputs.skipped.empty();
+    built = BuildIndexes(inputs.dataset, &deadline);
+  }
+  auto set = ParseContracts(contracts_text, &inputs.dataset.patterns, &error);
+  if (!set) {
+    err << "error: cannot parse contracts: " << error << "\n";
+    return 2;
+  }
+
+  AnalyzeOptions options;
+  options.conflicts = !args.GetBool("no-conflicts");
+  options.subsumption = !args.GetBool("no-subsumption");
+  options.dead_rules = !args.GetBool("no-dead-rules");
+  options.deadline = deadline;
+  std::vector<const ConfigIndex*> index_ptrs;
+  index_ptrs.reserve(built.size());
+  for (const ConfigIndex& index : built) {
+    index_ptrs.push_back(&index);
+  }
+  AnalysisResult analysis =
+      args.Has("configs")
+          ? AnalyzeContracts(*set, inputs.dataset.patterns, index_ptrs, options)
+          : AnalyzeContracts(*set, inputs.dataset.patterns, options);
+
+  if (args.Has("json-out")) {
+    WriteFile(args.Get("json-out"), AnalyzeReportJson(analysis));
+  }
+  if (!args.GetBool("quiet")) {
+    out << AnalyzeReportText(analysis);
+    for (const SkippedFile& s : inputs.skipped) {
+      err << "warning: skipped " << s.file << ": " << s.reason << "\n";
+    }
+  }
+  // Exit codes: 0 clean, 1 findings at or above --fail-on, 2 error, 3 partial
+  // (some configs failed to load, so the dead-pattern verdicts are not
+  // trustworthy). Partial dominates, as in `concord check`.
+  if (partial) {
+    return 3;
+  }
+  if (fail_floor && analysis.CountAtOrAbove(*fail_floor) > 0) {
+    return 1;
+  }
+  return 0;
 }
 
 // Shared between the single-process and sharded serve paths: translates the
@@ -798,6 +970,9 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
                "fan out across N worker processes, each owning a store partition "
                "(requires --store-dir)", "0");
   args.AddBoolFlag("quiet", "suppress the shutdown metrics summary");
+  args.AddBoolFlag("prune-subsumed",
+                   "skip subsumption-dominated contracts in coverage-off checks "
+                   "(DESIGN.md §14)");
   args.AddBoolFlag("compat-v0",
                    "speak the legacy (pre-v1) wire protocol: no \"v\" envelope, "
                    "bare-string errors, camelCase keys (deprecated)");
@@ -817,6 +992,7 @@ int RunServe(int argc, const char* const* argv, std::ostream& out, std::ostream&
       static_cast<size_t>(std::max<int64_t>(0, args.GetInt("cache-size").value_or(256)));
   options.compat_v0 = args.GetBool("compat-v0");
   options.store_dir = args.Get("store-dir");
+  options.prune_subsumed = args.GetBool("prune-subsumed");
   Service service(options);
 
   if (args.Has("lexer")) {
@@ -907,7 +1083,7 @@ int RunStore(int argc, const char* const* argv, std::ostream& out, std::ostream&
 
 int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
   if (argc < 2) {
-    err << "usage: concord <learn|check|serve|store|datagen|fuzz> [flags]\n";
+    err << "usage: concord <learn|check|analyze|serve|store|datagen|fuzz> [flags]\n";
     return 2;
   }
   std::string mode = argv[1];
@@ -917,6 +1093,9 @@ int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostrea
     }
     if (mode == "check") {
       return RunCheck(argc, argv, out, err);
+    }
+    if (mode == "analyze") {
+      return RunAnalyze(argc, argv, out, err);
     }
     if (mode == "serve") {
       return RunServe(argc, argv, out, err);
@@ -938,7 +1117,7 @@ int RunConcord(int argc, const char* const* argv, std::ostream& out, std::ostrea
     return 2;
   }
   err << "error: unknown mode '" << mode
-      << "' (expected learn, check, serve, store, datagen, or fuzz)\n";
+      << "' (expected learn, check, analyze, serve, store, datagen, or fuzz)\n";
   return 2;
 }
 

@@ -7,17 +7,22 @@
 #include <cstdio>
 #include <filesystem>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "src/analyze/analyzer.h"
+#include "src/check/checker.h"
 #include "src/contracts/contract_io.h"
 #include "src/format/json.h"
 #include "src/learn/artifact_store.h"
 #include "src/learn/learner.h"
+#include "src/learn/index.h"
 #include "src/pattern/lexer.h"
 #include "src/pattern/parser.h"
+#include "src/report/report.h"
 #include "src/service/service.h"
 #include "src/service/socket_server.h"
 #include "src/util/cancellation.h"
@@ -437,6 +442,116 @@ void RunServeIdentityOracle(const GeneratedCorpus& corpus,
   }
 }
 
+// ---- Oracle 3: analyzer total-ness and subsumption-prune identity -----------
+//
+// The analyzer must terminate cleanly on whatever the fuzzed corpus learns
+// (any exception triages as crash, deadline expiry as timeout), and its
+// prunable mask must be safe to hand to the checker: a coverage-off pruned
+// check flags exactly the configs the unpruned check flags, its violations
+// are exactly the unpruned run's minus the pruned contracts' own, and on a
+// clean corpus the two report JSONs are byte-identical.
+void RunAnalyzePruneOracle(const GeneratedCorpus& corpus,
+                           const OracleOptions& options, const Deadline& deadline) {
+  ParseOptions parse_options;
+  LearnOptions learn_options;
+  learn_options.support = options.support;
+  learn_options.deadline = deadline;
+  Lexer lexer;
+  Dataset dataset;
+  ConfigParser parser(&lexer, &dataset.patterns, parse_options);
+  for (const GeneratedConfig& config : corpus.configs) {
+    dataset.configs.push_back(parser.Parse(config.name, config.text));
+    ThrowIfExpired(deadline);
+  }
+  for (const GeneratedConfig& doc : corpus.metadata) {
+    std::vector<ParsedLine> lines = parser.ParseMetadata(doc.text);
+    dataset.metadata.insert(dataset.metadata.end(), lines.begin(), lines.end());
+  }
+  Learner learner(learn_options);
+  LearnResult learned = learner.Learn(dataset);
+  ThrowIfExpired(deadline);
+
+  std::vector<ConfigIndex> indexes = BuildIndexes(dataset, &deadline);
+  std::vector<const ConfigIndex*> index_ptrs;
+  index_ptrs.reserve(indexes.size());
+  for (const ConfigIndex& index : indexes) {
+    index_ptrs.push_back(&index);
+  }
+
+  // Total-ness: every pass, with the dead-pattern sub-pass fed real postings.
+  AnalyzeOptions analyze_options;
+  analyze_options.deadline = deadline;
+  AnalysisResult analysis =
+      AnalyzeContracts(learned.set, dataset.patterns, index_ptrs, analyze_options);
+
+  Checker checker(&learned.set, &dataset.patterns);
+  CheckOptions check_options;
+  check_options.measure_coverage = false;
+  check_options.deadline = deadline;
+  CheckResult plain = checker.Check(index_ptrs, check_options);
+  check_options.prune_mask = &analysis.prunable;
+  CheckResult pruned = checker.Check(index_ptrs, check_options);
+  if (pruned.contracts_pruned != analysis.PrunableCount() ||
+      pruned.contracts_evaluated + pruned.contracts_pruned !=
+          plain.contracts_evaluated) {
+    throw OracleMismatch{"analyze_prune",
+                         "pruned check evaluated " +
+                             std::to_string(pruned.contracts_evaluated) +
+                             " contracts, expected " +
+                             std::to_string(plain.contracts_evaluated) + " minus " +
+                             std::to_string(analysis.PrunableCount())};
+  }
+
+  // The pruned run must produce exactly the unpruned violations minus those
+  // raised by pruned contracts — checked as report bytes so any drift in the
+  // rendering surfaces too.
+  CheckResult filtered = plain;
+  filtered.violations.erase(
+      std::remove_if(filtered.violations.begin(), filtered.violations.end(),
+                     [&analysis](const Violation& v) {
+                       return analysis.prunable[v.contract_index] != 0;
+                     }),
+      filtered.violations.end());
+  std::string expected_json = ReportJson(filtered, learned.set, dataset.patterns);
+  std::string pruned_json = ReportJson(pruned, learned.set, dataset.patterns);
+  if (options.hooks.perturb_pruned_report) {
+    options.hooks.perturb_pruned_report(&pruned_json);
+  }
+  if (pruned_json != expected_json) {
+    throw OracleMismatch{"analyze_prune",
+                         "pruned report differs from the unpruned report minus "
+                         "pruned contracts' violations (" +
+                             std::to_string(pruned_json.size()) + " vs " +
+                             std::to_string(expected_json.size()) + " bytes)"};
+  }
+
+  // Detection equivalence (the soundness claim): pruning must not change
+  // which configs are flagged — every pruned contract's violation is
+  // accompanied by one from its unpruned dominator.
+  std::set<std::string> flagged_plain;
+  std::set<std::string> flagged_pruned;
+  for (const Violation& v : plain.violations) {
+    flagged_plain.insert(v.config);
+  }
+  for (const Violation& v : pruned.violations) {
+    flagged_pruned.insert(v.config);
+  }
+  if (flagged_plain != flagged_pruned) {
+    throw OracleMismatch{"analyze_prune",
+                         "pruning changed the set of flagged configs (" +
+                             std::to_string(flagged_plain.size()) + " vs " +
+                             std::to_string(flagged_pruned.size()) + ")"};
+  }
+
+  // Clean corpus: byte identity outright (what the bench gate measures).
+  if (plain.violations.empty() &&
+      ReportJson(plain, learned.set, dataset.patterns) != pruned_json) {
+    throw OracleMismatch{"analyze_prune",
+                         "pruned report differs from unpruned on a clean corpus"};
+  }
+  ThrowIfExpired(deadline);
+}
+
 }  // namespace
 
 std::string_view TriageBucketName(TriageBucket bucket) {
@@ -460,6 +575,7 @@ TriageResult RunOracles(const GeneratedCorpus& corpus, const OracleOptions& opti
   try {
     RunLearnIdentityOracle(corpus, options, deadline);
     RunServeIdentityOracle(corpus, options, deadline);
+    RunAnalyzePruneOracle(corpus, options, deadline);
   } catch (const OracleMismatch& mismatch) {
     result.bucket = TriageBucket::kMismatch;
     result.oracle = mismatch.oracle;

@@ -1,6 +1,6 @@
 // Differential-testing harness over fuzz corpora (DESIGN.md §13).
 //
-// Every corpus a FuzzCaseSpec produces is run through three oracles:
+// Every corpus a FuzzCaseSpec produces is run through four oracles:
 //
 //   1. learn identity    — incremental learn (ArtifactStore) must produce the
 //                          contract JSON byte-identical to a from-scratch
@@ -9,7 +9,12 @@
 //                          epoll socket frontend, and per-slot inside a
 //                          check_batch) must carry the report byte-identical
 //                          to `concord check --json-out`;
-//   3. never crash/hang  — the whole pipeline runs under a deadline; any
+//   3. analyze/prune     — the static analyzer (DESIGN.md §14) must terminate
+//                          cleanly on whatever the corpus learns, and a
+//                          coverage-off check with its subsumption prune mask
+//                          must flag exactly the same configs as the unpruned
+//                          check — byte-identically when the corpus is clean;
+//   4. never crash/hang  — the whole pipeline runs under a deadline; any
 //                          exception is a crash, deadline expiry is a timeout.
 //
 // Failures are triaged into crash/mismatch/timeout buckets; the campaign
@@ -48,6 +53,9 @@ struct OracleHooks {
   std::function<void(std::string*)> perturb_serve_report;
   // Runs over check_batch slot 0 before comparison with the standalone check.
   std::function<void(std::string*)> perturb_batch_slot;
+  // Runs over the subsumption-pruned check's report bytes before comparison
+  // with the unpruned check (the analyze_prune oracle).
+  std::function<void(std::string*)> perturb_pruned_report;
 };
 
 struct OracleOptions {
@@ -71,7 +79,8 @@ struct OracleOptions {
 struct TriageResult {
   TriageBucket bucket = TriageBucket::kClean;
   std::string oracle;  // "learn_identity", "serve_identity", "batch_identity",
-                       // "pipeline" (crash/timeout site) — empty when clean.
+                       // "analyze_prune", or "pipeline" (crash/timeout site) —
+                       // empty when clean.
   std::string detail;
 };
 

@@ -245,4 +245,74 @@ function refresh() {
   return out.str();
 }
 
+JsonValue AnalyzeReportJsonValue(const AnalysisResult& result) {
+  JsonValue body = JsonValue::Object();
+  body.Set("contracts", JsonValue::Number(static_cast<int64_t>(result.contracts_analyzed)));
+  JsonValue findings = JsonValue::Array();
+  for (const Finding& f : result.findings) {
+    JsonValue item = JsonValue::Object();
+    item.Set("rule", JsonValue::String(f.rule));
+    item.Set("severity", JsonValue::String(std::string(FindingSeverityName(f.severity))));
+    item.Set("message", JsonValue::String(f.message));
+    JsonValue contracts = JsonValue::Array();
+    for (size_t i : f.contracts) {
+      contracts.Append(JsonValue::Number(static_cast<int64_t>(i)));
+    }
+    item.Set("contracts", std::move(contracts));
+    JsonValue keys = JsonValue::Array();
+    for (const std::string& key : f.keys) {
+      keys.Append(JsonValue::String(key));
+    }
+    item.Set("keys", std::move(keys));
+    findings.Append(std::move(item));
+  }
+  body.Set("findings", std::move(findings));
+  JsonValue counts = JsonValue::Object();
+  size_t errors = 0, warnings = 0, infos = 0;
+  for (const Finding& f : result.findings) {
+    switch (f.severity) {
+      case FindingSeverity::kError:
+        ++errors;
+        break;
+      case FindingSeverity::kWarning:
+        ++warnings;
+        break;
+      case FindingSeverity::kInfo:
+        ++infos;
+        break;
+    }
+  }
+  counts.Set("error", JsonValue::Number(static_cast<int64_t>(errors)));
+  counts.Set("warning", JsonValue::Number(static_cast<int64_t>(warnings)));
+  counts.Set("info", JsonValue::Number(static_cast<int64_t>(infos)));
+  counts.Set("conflict", JsonValue::Number(static_cast<int64_t>(result.conflict_findings)));
+  counts.Set("subsumption",
+             JsonValue::Number(static_cast<int64_t>(result.subsumption_findings)));
+  counts.Set("deadRule",
+             JsonValue::Number(static_cast<int64_t>(result.dead_rule_findings)));
+  body.Set("counts", std::move(counts));
+  body.Set("prunable", JsonValue::Number(static_cast<int64_t>(result.PrunableCount())));
+  return body;
+}
+
+std::string AnalyzeReportJson(const AnalysisResult& result) {
+  return AnalyzeReportJsonValue(result).Serialize(2);
+}
+
+std::string AnalyzeReportText(const AnalysisResult& result) {
+  std::ostringstream out;
+  for (const Finding& f : result.findings) {
+    out << FindingSeverityName(f.severity) << " " << f.rule << ": " << f.message
+        << "\n";
+    for (const std::string& key : f.keys) {
+      out << "    " << key << "\n";
+    }
+  }
+  out << "analyzed " << result.contracts_analyzed << " contract(s): "
+      << result.conflict_findings << " conflict, " << result.subsumption_findings
+      << " subsumption, " << result.dead_rule_findings << " dead-rule finding(s); "
+      << result.PrunableCount() << " prunable\n";
+  return out.str();
+}
+
 }  // namespace concord

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "src/analyze/analyzer.h"
 #include "src/check/checker.h"
 #include "src/contracts/contract.h"
 #include "src/format/json.h"
@@ -50,6 +51,19 @@ std::string ReportText(const CheckResult& result, const ContractSet& set,
 // contract categories or "untested". Guides the development of new contract
 // categories, as the paper suggests.
 std::string CoverageReportText(const CheckResult& result);
+
+// Analyzer findings (DESIGN.md §14) as a document value: contract count,
+// findings (rule/severity/message/contracts/keys), per-severity and per-pass
+// counts, and the prunable-contract count. The `analyze` serve verb embeds
+// this; serializing with indent 2 reproduces AnalyzeReportJson byte for byte.
+JsonValue AnalyzeReportJsonValue(const AnalysisResult& result);
+
+// JSON document for `concord analyze --json-out`.
+std::string AnalyzeReportJson(const AnalysisResult& result);
+
+// Terse terminal listing: one line per finding (severity, rule, message) with
+// the implicated contract keys indented beneath, then the summary counts.
+std::string AnalyzeReportText(const AnalysisResult& result);
 
 }  // namespace concord
 

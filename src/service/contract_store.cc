@@ -4,6 +4,7 @@
 #include <exception>
 #include <functional>
 
+#include "src/analyze/analyzer.h"
 #include "src/contracts/contract_io.h"
 #include "src/util/io.h"
 
@@ -42,6 +43,13 @@ bool ContractStore::Install(const std::string& name, const std::string& serializ
   entry->parse_options.embed_context = entry->set.embed_context;
   entry->parse_options.constants = entry->set.constants_mode;
   entry->checker = std::make_unique<const Checker>(&entry->set, &entry->table);
+  AnalyzeOptions analyze_options;
+  analyze_options.conflicts = false;
+  analyze_options.dead_rules = false;
+  AnalysisResult analysis =
+      AnalyzeContracts(entry->set, entry->table, analyze_options);
+  entry->prunable_count = analysis.PrunableCount();
+  entry->prune_mask = std::move(analysis.prunable);
 
   Shard& shard = ShardFor(name);
   MutexLock lock(shard.mu);

@@ -53,6 +53,11 @@ struct LoadedContractSet {
   // share it, passing per-request knobs via CheckOptions. Reads the table
   // lock-free (contract patterns are already interned; growth is append-only).
   std::unique_ptr<const Checker> checker;
+  // Subsumption verdict (DESIGN.md §14), computed once at install like the
+  // check plan. CheckOptions::prune_mask consumes it when the service runs
+  // with --prune-subsumed; the checker only honors it with coverage off.
+  std::vector<uint8_t> prune_mask;
+  size_t prunable_count = 0;
   ConfigCache cache;
   LruCache<CachedConfigIndex> index_cache;
   // Serializes table growth across requests. `table` itself is deliberately not

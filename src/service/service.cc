@@ -3,11 +3,13 @@
 #include <cstdint>
 #include <exception>
 #include <istream>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
 
+#include "src/analyze/analyzer.h"
 #include "src/check/checker.h"
 #include "src/contracts/contract_io.h"
 #include "src/contracts/describe.h"
@@ -57,6 +59,9 @@ bool VerbAllowsField(const std::string& verb, const std::string& field) {
   if (verb == "check_unique") {
     // Internal: the shard router's phase-2 replay of the merged unique log.
     return field == "contracts" || field == "log";
+  }
+  if (verb == "analyze") {
+    return field == "contracts" || field == "dataset" || field == "deadline_ms";
   }
   if (verb == "reload") {
     return field == "contracts" || field == "name" || field == "path";
@@ -250,8 +255,8 @@ std::string Service::HandleLine(const std::string& line) {
     if (!v) {
       throw ServiceError(
           ErrorCode::kMissingField,
-          "missing 'verb' (expected check|check_batch|coverage|reload|learn|"
-          "update|stats|metrics|shutdown)",
+          "missing 'verb' (expected check|check_batch|coverage|analyze|reload|"
+          "learn|update|stats|metrics|shutdown)",
           "verb");
     }
     verb = *v;
@@ -352,9 +357,9 @@ JsonValue Service::ResponseFor(const std::string& verb, const JsonValue& request
 JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   if (!options_.compat_v0) {
     bool known = verb == "check" || verb == "check_batch" || verb == "coverage" ||
-                 verb == "reload" || verb == "learn" || verb == "update" ||
-                 verb == "stats" || verb == "metrics" || verb == "shutdown" ||
-                 verb == "check_unique";
+                 verb == "analyze" || verb == "reload" || verb == "learn" ||
+                 verb == "update" || verb == "stats" || verb == "metrics" ||
+                 verb == "shutdown" || verb == "check_unique";
     if (known) {
       for (const auto& [field, value] : request.members()) {
         if (!VerbAllowsField(verb, field)) {
@@ -376,6 +381,9 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   }
   if (verb == "check_unique") {
     return HandleCheckUnique(request);
+  }
+  if (verb == "analyze") {
+    return HandleAnalyze(request);
   }
   if (verb == "reload") {
     return HandleReload(request);
@@ -426,8 +434,8 @@ JsonValue Service::Dispatch(const std::string& verb, const JsonValue& request) {
   }
   throw ServiceError(ErrorCode::kUnknownVerb,
                      "unknown verb '" + verb +
-                         "' (expected check|check_batch|coverage|reload|learn|"
-                         "update|stats|metrics|shutdown)",
+                         "' (expected check|check_batch|coverage|analyze|reload|"
+                         "learn|update|stats|metrics|shutdown)",
                      verb);
 }
 
@@ -615,6 +623,13 @@ JsonValue Service::HandleCheck(const JsonValue& request, bool coverage_listing) 
   check_options.collect_unique_log = shard_mode;
   check_options.parallelism = static_cast<int>(pool_.num_threads());
   check_options.pool = &pool_;
+  // Subsumption pruning (DESIGN.md §14). Not in shard mode: the worker's
+  // response carries the raw unique-observation log, whose entries for a
+  // pruned contract would visibly disappear. The checker itself refuses the
+  // mask when coverage is on.
+  if (options_.prune_subsumed && !shard_mode && !entry->prune_mask.empty()) {
+    check_options.prune_mask = &entry->prune_mask;
+  }
   CheckResult result;
   {
     TraceSpan span("serve", "check");
@@ -974,6 +989,87 @@ void ApplyMetadata(ArtifactStore& store, const JsonValue& request) {
 }
 
 }  // namespace
+
+JsonValue Service::HandleAnalyze(const JsonValue& request) {
+  AnalyzeOptions analyze_options;
+  analyze_options.deadline = RequestDeadline(request);
+
+  JsonValue body = JsonValue::Object();
+  body.Set("verb", JsonValue::String("analyze"));
+  AnalysisResult analysis;
+  if (auto dataset_name = request.GetString("dataset")) {
+    // Resident-dataset form: the dataset's indexed configs feed the
+    // dead-pattern sub-pass, so "this rule can never fire here" verdicts are
+    // grounded in what the dataset actually contains.
+    if (request.Find("contracts") != nullptr) {
+      throw ServiceError(ErrorCode::kInvalidField,
+                         "'contracts' and 'dataset' are mutually exclusive",
+                         "contracts");
+    }
+    std::shared_ptr<ResidentDataset> dataset;
+    {
+      MutexLock map_lock(datasets_mu_);
+      auto it = datasets_.find(*dataset_name);
+      if (it != datasets_.end()) {
+        dataset = it->second;
+      }
+    }
+    if (dataset == nullptr) {
+      throw ServiceError(ErrorCode::kUnknownDataset,
+                         "unknown dataset '" + *dataset_name +
+                             "' (define it with a learn request first)",
+                         *dataset_name);
+    }
+    MutexLock lock(dataset->mu);
+    if (!dataset->learned) {
+      throw ServiceError(ErrorCode::kUnknownDataset,
+                         "dataset '" + *dataset_name + "' has no learned contracts",
+                         *dataset_name);
+    }
+    analysis = AnalyzeContracts(dataset->contracts, dataset->store.patterns(),
+                                dataset->store.indexes(), analyze_options);
+    body.Set("dataset", JsonValue::String(*dataset_name));
+  } else {
+    // Contract-set form, resolved like `check` (name optional when exactly one
+    // set is loaded). No configs are at hand, so the analysis runs set-only.
+    std::string name;
+    if (auto n = request.GetString("contracts")) {
+      name = *n;
+    } else {
+      auto all = store_.All();
+      if (all.size() != 1) {
+        throw ServiceError(ErrorCode::kMissingField,
+                           "'contracts' is required when " + std::to_string(all.size()) +
+                               " contract sets are loaded",
+                           "contracts");
+      }
+      name = all[0]->name;
+    }
+    std::shared_ptr<LoadedContractSet> entry = store_.Get(name);
+    if (entry == nullptr) {
+      throw ServiceError(ErrorCode::kUnknownContractSet,
+                         "unknown contract set '" + name + "' (reload it with a path)",
+                         name);
+    }
+    analysis = AnalyzeContracts(entry->set, entry->table, analyze_options);
+    body.Set("contracts", JsonValue::String(name));
+  }
+
+  metrics_.registry().Count("concord_analyze_runs_total",
+                            "Contract-set analyzer runs.", {}, 1);
+  std::map<std::string, uint64_t> per_rule;
+  for (const Finding& finding : analysis.findings) {
+    ++per_rule[finding.rule];
+  }
+  for (const auto& [rule, count] : per_rule) {
+    metrics_.registry().Count("concord_analyze_findings_total",
+                              "Analyzer findings, by rule id.",
+                              {{"rule", rule}}, count);
+  }
+
+  body.Set("report", AnalyzeReportJsonValue(analysis));
+  return body;
+}
 
 JsonValue Service::HandleLearn(const JsonValue& request) {
   std::string name = request.GetString("dataset").value_or("default");

@@ -76,6 +76,10 @@ struct ServiceOptions {
   // persistence; non-empty warm-restarts every persisted contract set at
   // construction and persists learn/update results.
   std::string store_dir;
+  // Skip subsumption-dominated contracts in coverage-off checks (DESIGN.md
+  // §14). Response bytes are unchanged on clean inputs; dirty configs are
+  // still flagged (detection equivalence), via the dominating contract.
+  bool prune_subsumed = false;
 };
 
 class Service : public LineHandler {
@@ -163,6 +167,11 @@ class Service : public LineHandler {
   // §12). Faults are isolated per slot: one sub-request's parse failure or
   // deadline expiry yields an error envelope in its slot, never a failed batch.
   JsonValue HandleCheckBatch(const JsonValue& request);
+  // `analyze`: static analysis of a loaded contract set or a resident
+  // dataset's last-learned contracts (DESIGN.md §14). The dataset form feeds
+  // the dead-pattern sub-pass the dataset's indexed configs; the contract-set
+  // form runs set-only.
+  JsonValue HandleAnalyze(const JsonValue& request);
   JsonValue HandleReload(const JsonValue& request);
   JsonValue HandleLearn(const JsonValue& request);
   JsonValue HandleUpdate(const JsonValue& request);

@@ -1,0 +1,552 @@
+#include "src/analyze/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/check/checker.h"
+#include "src/contracts/contract_io.h"
+#include "src/datagen/corpus.h"
+#include "src/datagen/edge_gen.h"
+#include "src/datagen/wan_gen.h"
+#include "src/learn/index.h"
+#include "src/learn/learner.h"
+#include "src/report/report.h"
+#include "tests/test_util.h"
+
+namespace concord {
+namespace {
+
+// A small world with one config shape: every planted pass fixture draws its
+// patterns from here so ids bind to a real table (and postings exist for the
+// dead-pattern pass to contrast against).
+//
+//   line 0: vlan <num>           -> /vlan [a:num]
+//   line 1: rd <ip4>:<num>       -> /rd [a:ip4]:[b:num]
+//   line 2: mtu <num>            -> /mtu [a:num]
+//   line 3: hostname <str>       -> /hostname [a:str]
+struct World {
+  Dataset dataset;
+  PatternId vlan, rd, mtu, hostname;
+  std::vector<ConfigIndex> indexes;
+  std::vector<const ConfigIndex*> index_ptrs;
+
+  World() {
+    std::vector<std::string> texts;
+    for (int i = 0; i < 3; ++i) {
+      std::string text;
+      text += "vlan " + std::to_string(100 + i) + "\n";
+      text += "rd 10.0.0." + std::to_string(i + 1) + ":" + std::to_string(100 + i) + "\n";
+      text += "mtu 9000\n";
+      text += "hostname DEV" + std::to_string(i) + "\n";
+      texts.push_back(text);
+    }
+    dataset = BuildDataset(texts);
+    const auto& lines = dataset.configs[0].lines;
+    vlan = lines[0].pattern;
+    rd = lines[1].pattern;
+    mtu = lines[2].pattern;
+    hostname = lines[3].pattern;
+    indexes = BuildIndexes(dataset);
+    for (const ConfigIndex& index : indexes) {
+      index_ptrs.push_back(&index);
+    }
+  }
+};
+
+Contract Present(PatternId p) {
+  Contract c;
+  c.kind = ContractKind::kPresent;
+  c.pattern = p;
+  return c;
+}
+
+Contract Ordering(PatternId p1, PatternId p2, bool successor) {
+  Contract c;
+  c.kind = ContractKind::kOrdering;
+  c.pattern = p1;
+  c.pattern2 = p2;
+  c.successor = successor;
+  return c;
+}
+
+Contract Relational(PatternId p1, uint16_t param1, PatternId p2, uint16_t param2,
+                    Transform t1 = IdTransform(), Transform t2 = IdTransform(),
+                    RelationKind relation = RelationKind::kEquals) {
+  Contract c;
+  c.kind = ContractKind::kRelational;
+  c.pattern = p1;
+  c.param = param1;
+  c.pattern2 = p2;
+  c.param2 = param2;
+  c.transform1 = t1;
+  c.transform2 = t2;
+  c.relation = relation;
+  return c;
+}
+
+Contract TypeRule(std::string untyped, uint16_t param, ValueType invalid) {
+  Contract c;
+  c.kind = ContractKind::kType;
+  c.untyped_pattern = std::move(untyped);
+  c.param = param;
+  c.invalid_type = invalid;
+  return c;
+}
+
+Contract Sequence(PatternId p, uint16_t param) {
+  Contract c;
+  c.kind = ContractKind::kSequence;
+  c.pattern = p;
+  c.param = param;
+  return c;
+}
+
+Contract Unique(PatternId p, uint16_t param) {
+  Contract c;
+  c.kind = ContractKind::kUnique;
+  c.pattern = p;
+  c.param = param;
+  return c;
+}
+
+std::vector<size_t> SortedContracts(const Finding& f) {
+  std::vector<size_t> out = f.contracts;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<const Finding*> FindingsOf(const AnalysisResult& result,
+                                       const std::string& rule) {
+  std::vector<const Finding*> out;
+  for (const Finding& f : result.findings) {
+    if (f.rule == rule) {
+      out.push_back(&f);
+    }
+  }
+  return out;
+}
+
+// ---- Conflict pass: each rule fires on its planted fixture. -----------------
+
+TEST(AnalyzerConflict, SelfOrderingCycleIsAnError) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Ordering(world.vlan, world.vlan, true));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "ordering-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, FindingSeverity::kError);
+  EXPECT_EQ(SortedContracts(*findings[0]), std::vector<size_t>{0});
+  EXPECT_EQ(result.conflict_findings, 1u);
+  EXPECT_EQ(result.CountAtOrAbove(FindingSeverity::kError), 1u);
+}
+
+TEST(AnalyzerConflict, TwoContractCycleImplicatesBoth) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Ordering(world.vlan, world.rd, true));
+  set.contracts.push_back(Ordering(world.rd, world.vlan, true));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "ordering-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(SortedContracts(*findings[0]), (std::vector<size_t>{0, 1}));
+}
+
+TEST(AnalyzerConflict, MixedDirectionPairIsNotACycle) {
+  // "rd follows vlan" and "vlan precedes rd" state the same adjacency; the
+  // directions are analyzed separately, so no cycle is reported.
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Ordering(world.vlan, world.rd, true));
+  set.contracts.push_back(Ordering(world.vlan, world.rd, false));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  EXPECT_TRUE(FindingsOf(result, "ordering-cycle").empty());
+  EXPECT_TRUE(FindingsOf(result, "ordering-contradiction").empty());
+}
+
+TEST(AnalyzerConflict, ContradictorySuccessorsAreAnError) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Ordering(world.vlan, world.rd, true));
+  set.contracts.push_back(Ordering(world.vlan, world.mtu, true));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "ordering-contradiction");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, FindingSeverity::kError);
+  EXPECT_EQ(SortedContracts(*findings[0]), (std::vector<size_t>{0, 1}));
+}
+
+TEST(AnalyzerConflict, TypeRuleForbiddingEveryAcceptedTypeIsAnError) {
+  World world;
+  ContractSet set;
+  // hex only accepts num; forbidding num at the vlan slot starves it.
+  const std::string untyped = world.dataset.patterns.Get(world.vlan).untyped;
+  set.contracts.push_back(TypeRule(untyped, 0, ValueType::kNum));
+  set.contracts.push_back(Relational(world.vlan, 0, world.rd, 1,
+                                     Transform{TransformKind::kHex, 0}));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "type-relational-conflict");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(SortedContracts(*findings[0]), (std::vector<size_t>{0, 1}));
+}
+
+TEST(AnalyzerConflict, IdTransformEscapesTypeStarvation) {
+  // id accepts every type, so one forbidden type leaves others allowed.
+  World world;
+  ContractSet set;
+  const std::string untyped = world.dataset.patterns.Get(world.vlan).untyped;
+  set.contracts.push_back(TypeRule(untyped, 0, ValueType::kNum));
+  set.contracts.push_back(Relational(world.vlan, 0, world.rd, 1));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  EXPECT_TRUE(FindingsOf(result, "type-relational-conflict").empty());
+}
+
+TEST(AnalyzerConflict, SequenceUniqueClashIsAnError) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Sequence(world.vlan, 0));
+  set.contracts.push_back(Unique(world.vlan, 0));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "sequence-unique-conflict");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(SortedContracts(*findings[0]), (std::vector<size_t>{0, 1}));
+  // Different parameters do not clash.
+  ContractSet apart;
+  apart.contracts.push_back(Sequence(world.rd, 0));
+  apart.contracts.push_back(Unique(world.rd, 1));
+  EXPECT_TRUE(FindingsOf(AnalyzeContracts(apart, world.dataset.patterns),
+                         "sequence-unique-conflict")
+                  .empty());
+}
+
+// ---- Subsumption pass -------------------------------------------------------
+
+TEST(AnalyzerSubsumption, ExactDuplicateIsPrunableKeepingLowestIndex) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Present(world.vlan));
+  set.contracts.push_back(Present(world.rd));
+  set.contracts.push_back(Present(world.vlan));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "duplicate-contract");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, FindingSeverity::kInfo);
+  EXPECT_EQ(SortedContracts(*findings[0]), (std::vector<size_t>{0, 2}));
+  ASSERT_EQ(result.prunable.size(), 3u);
+  EXPECT_EQ(result.prunable[0], 0);
+  EXPECT_EQ(result.prunable[1], 0);
+  EXPECT_EQ(result.prunable[2], 1);
+  EXPECT_EQ(result.dominator[2], 0u);
+  EXPECT_EQ(result.PrunableCount(), 1u);
+}
+
+TEST(AnalyzerSubsumption, TransitiveChainPrunesTheImpliedEdge) {
+  World world;
+  ContractSet set;
+  // vlan.a == rd.b, rd.b == mtu.a, and the implied vlan.a == mtu.a.
+  set.contracts.push_back(Relational(world.vlan, 0, world.rd, 1));
+  set.contracts.push_back(Relational(world.rd, 1, world.mtu, 0));
+  set.contracts.push_back(Relational(world.vlan, 0, world.mtu, 0));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "subsumed-chain");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(result.PrunableCount(), 1u);
+  EXPECT_EQ(result.prunable[2], 1);
+  EXPECT_EQ(result.prunable[0], 0);
+  EXPECT_EQ(result.prunable[1], 0);
+}
+
+TEST(AnalyzerSubsumption, ChainAcrossDifferentTransformsDoesNotCompose) {
+  World world;
+  ContractSet set;
+  // The middle node differs: rd.b under id vs rd.b under hex are different
+  // nodes in the §3.6 model, so no path implies the third edge.
+  set.contracts.push_back(Relational(world.vlan, 0, world.rd, 1));
+  set.contracts.push_back(Relational(world.rd, 1, world.mtu, 0,
+                                     Transform{TransformKind::kHex, 0}));
+  set.contracts.push_back(Relational(world.vlan, 0, world.mtu, 0));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  EXPECT_TRUE(FindingsOf(result, "subsumed-chain").empty());
+  EXPECT_EQ(result.PrunableCount(), 0u);
+}
+
+TEST(AnalyzerSubsumption, PresentImpliedByRelationalIsPrunable) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Present(world.vlan));
+  set.contracts.push_back(Present(world.rd));
+  set.contracts.push_back(Relational(world.vlan, 0, world.rd, 1));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "subsumed-present");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(SortedContracts(*findings[0]), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(result.PrunableCount(), 1u);
+  EXPECT_EQ(result.prunable[1], 1);  // present(rd) is the dominated side.
+  EXPECT_EQ(result.dominator[1], 2u);
+}
+
+TEST(AnalyzerSubsumption, InapplicableForallSideCannotDominate) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Present(world.vlan));
+  set.contracts.push_back(Present(world.rd));
+  // octet(1) does not apply to vlan's num parameter: the checker would skip
+  // every forall line, so the relational cannot stand in for present(rd).
+  set.contracts.push_back(Relational(world.vlan, 0, world.rd, 1,
+                                     Transform{TransformKind::kIpOctet, 1}));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  EXPECT_TRUE(FindingsOf(result, "subsumed-present").empty());
+  EXPECT_EQ(result.PrunableCount(), 0u);
+}
+
+// ---- Dead-rule pass ---------------------------------------------------------
+
+TEST(AnalyzerDead, InapplicableTransformIsAWarning) {
+  World world;
+  ContractSet set;
+  // hex on rd's ip4 parameter: the forall side never evaluates.
+  set.contracts.push_back(Relational(world.rd, 0, world.vlan, 0,
+                                     Transform{TransformKind::kHex, 0}));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  auto findings = FindingsOf(result, "dead-transform");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, FindingSeverity::kWarning);
+  EXPECT_EQ(result.CountAtOrAbove(FindingSeverity::kWarning), 1u);
+  EXPECT_EQ(result.CountAtOrAbove(FindingSeverity::kError), 0u);
+}
+
+TEST(AnalyzerDead, OutOfRangeParameterIsAWarning) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Relational(world.vlan, 7, world.rd, 1));
+  AnalysisResult result = AnalyzeContracts(set, world.dataset.patterns);
+  ASSERT_EQ(FindingsOf(result, "dead-transform").size(), 1u);
+}
+
+TEST(AnalyzerDead, ZeroPostingPatternIsAWarningOnlyWithIndexes) {
+  World world;
+  PatternTable& table = world.dataset.patterns;
+  PatternId ghost = table.Intern("/ghost [a:num]", "ghost #", "ghost 0",
+                                 {ValueType::kNum});
+  ContractSet set;
+  set.contracts.push_back(Unique(ghost, 0));
+  set.contracts.push_back(TypeRule("ghost #", 0, ValueType::kStr));
+  // Set-only analysis has no postings to consult: the sub-pass is skipped.
+  AnalysisResult without = AnalyzeContracts(set, table);
+  EXPECT_TRUE(FindingsOf(without, "dead-pattern").empty());
+  AnalysisResult with_indexes = AnalyzeContracts(set, table, world.index_ptrs);
+  auto findings = FindingsOf(with_indexes, "dead-pattern");
+  ASSERT_EQ(findings.size(), 2u);  // The unique rule and the type rule.
+  EXPECT_EQ(findings[0]->severity, FindingSeverity::kWarning);
+  // Patterns that do occur stay silent.
+  ContractSet live;
+  live.contracts.push_back(Unique(world.vlan, 0));
+  EXPECT_TRUE(FindingsOf(AnalyzeContracts(live, table, world.index_ptrs),
+                         "dead-pattern")
+                  .empty());
+}
+
+// ---- Pass toggles -----------------------------------------------------------
+
+TEST(AnalyzerOptions, DisabledPassesStaySilent) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Ordering(world.vlan, world.vlan, true));  // conflict
+  set.contracts.push_back(Present(world.rd));
+  set.contracts.push_back(Present(world.rd));  // duplicate
+  set.contracts.push_back(Relational(world.rd, 0, world.vlan, 0,
+                                     Transform{TransformKind::kHex, 0}));  // dead
+  AnalyzeOptions only_subsumption;
+  only_subsumption.conflicts = false;
+  only_subsumption.dead_rules = false;
+  AnalysisResult result =
+      AnalyzeContracts(set, world.dataset.patterns, only_subsumption);
+  EXPECT_EQ(result.conflict_findings, 0u);
+  EXPECT_EQ(result.dead_rule_findings, 0u);
+  EXPECT_EQ(result.subsumption_findings, 1u);
+  EXPECT_EQ(result.PrunableCount(), 1u);
+}
+
+// ---- Silent on clean learned sets (the §14 acceptance property) -------------
+
+void ExpectCleanAtWarning(const GeneratedCorpus& corpus) {
+  Dataset dataset = ParseCorpus(corpus);
+  Learner learner{LearnOptions{}};
+  LearnResult learned = learner.Learn(dataset);
+  ASSERT_GT(learned.set.contracts.size(), 0u);
+  std::vector<ConfigIndex> indexes = BuildIndexes(dataset);
+  std::vector<const ConfigIndex*> index_ptrs;
+  for (const ConfigIndex& index : indexes) {
+    index_ptrs.push_back(&index);
+  }
+  AnalysisResult result =
+      AnalyzeContracts(learned.set, dataset.patterns, index_ptrs);
+  for (const Finding& f : result.findings) {
+    EXPECT_GE(f.severity, FindingSeverity::kWarning)
+        << f.rule << ": " << f.message;
+  }
+  EXPECT_EQ(result.CountAtOrAbove(FindingSeverity::kWarning), 0u);
+}
+
+TEST(AnalyzerClean, LearnedEdgeSetHasNoWarningOrWorseFindings) {
+  EdgeOptions options;
+  options.seed = 11;
+  ExpectCleanAtWarning(GenerateEdge(options));
+}
+
+TEST(AnalyzerClean, LearnedWanSetHasNoWarningOrWorseFindings) {
+  WanOptions options;
+  options.role = 3;
+  options.seed = 11;
+  ExpectCleanAtWarning(GenerateWan(options));
+}
+
+// ---- Properties: shuffle invariance and round-trip stability ----------------
+
+using FindingTuple = std::tuple<std::string, int, std::string,
+                                std::vector<std::string>>;
+
+std::vector<FindingTuple> Canonical(const AnalysisResult& result) {
+  std::vector<FindingTuple> out;
+  for (const Finding& f : result.findings) {
+    out.emplace_back(f.rule, static_cast<int>(f.severity), f.message, f.keys);
+  }
+  return out;
+}
+
+std::vector<std::string> PrunedKeys(const AnalysisResult& result,
+                                    const ContractSet& set,
+                                    const PatternTable& table) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < result.prunable.size(); ++i) {
+    if (result.prunable[i] != 0) {
+      out.push_back(set.contracts[i].Key(table));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AnalyzerProperty, FindingsAreInvariantUnderContractShuffle) {
+  EdgeOptions options;
+  options.seed = 5;
+  GeneratedCorpus corpus = GenerateEdge(options);
+  Dataset dataset = ParseCorpus(corpus);
+  Learner learner{LearnOptions{}};
+  ContractSet set = learner.Learn(dataset).set;
+  ASSERT_GT(set.contracts.size(), 10u);
+  // A planted mixed bag on top of the learned set so every pass has material.
+  PatternId p0 = dataset.configs[0].lines[0].pattern;
+  set.contracts.push_back(Ordering(p0, p0, true));
+  set.contracts.push_back(set.contracts[0]);  // Duplicate.
+
+  AnalysisResult reference = AnalyzeContracts(set, dataset.patterns);
+  ASSERT_FALSE(reference.findings.empty());
+
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 5; ++round) {
+    ContractSet shuffled = set;
+    std::shuffle(shuffled.contracts.begin(), shuffled.contracts.end(), rng);
+    AnalysisResult result = AnalyzeContracts(shuffled, dataset.patterns);
+    EXPECT_EQ(Canonical(result), Canonical(reference)) << "round " << round;
+    EXPECT_EQ(PrunedKeys(result, shuffled, dataset.patterns),
+              PrunedKeys(reference, set, dataset.patterns))
+        << "round " << round;
+  }
+}
+
+TEST(AnalyzerProperty, FindingsAreStableAcrossContractIoRoundTrip) {
+  EdgeOptions options;
+  options.seed = 9;
+  GeneratedCorpus corpus = GenerateEdge(options);
+  Dataset dataset = ParseCorpus(corpus);
+  Learner learner{LearnOptions{}};
+  ContractSet set = learner.Learn(dataset).set;
+  AnalysisResult reference = AnalyzeContracts(set, dataset.patterns);
+
+  // Round-trip through the contract file into a FRESH table: pattern ids are
+  // reassigned, but findings key on pattern text so they must not move.
+  std::string serialized = SerializeContracts(set, dataset.patterns);
+  PatternTable fresh;
+  std::optional<ContractSet> reparsed = ParseContracts(serialized, &fresh);
+  ASSERT_TRUE(reparsed.has_value());
+  ASSERT_EQ(reparsed->contracts.size(), set.contracts.size());
+  AnalysisResult result = AnalyzeContracts(*reparsed, fresh);
+  EXPECT_EQ(Canonical(result), Canonical(reference));
+  EXPECT_EQ(PrunedKeys(result, *reparsed, fresh),
+            PrunedKeys(reference, set, dataset.patterns));
+}
+
+// ---- Checker pruning contract (DESIGN.md §14) -------------------------------
+
+TEST(AnalyzerPrune, PrunedCheckIsByteIdenticalOnCleanConfigsWithCoverageOff) {
+  EdgeOptions options;
+  options.seed = 7;
+  options.drift_rate = 0;
+  options.type_noise_rate = 0;
+  options.optional_feature_rate = 1.0;
+  GeneratedCorpus corpus = GenerateEdge(options);
+  Dataset dataset = ParseCorpus(corpus);
+  LearnOptions learn_options;
+  learn_options.confidence = 1.0;  // Clean on its own corpus by construction.
+  Learner learner{learn_options};
+  ContractSet set = learner.Learn(dataset).set;
+  std::vector<ConfigIndex> indexes = BuildIndexes(dataset);
+  std::vector<const ConfigIndex*> index_ptrs;
+  for (const ConfigIndex& index : indexes) {
+    index_ptrs.push_back(&index);
+  }
+  AnalysisResult analysis =
+      AnalyzeContracts(set, dataset.patterns, index_ptrs);
+  ASSERT_GE(analysis.PrunableCount(), 1u)
+      << "fixture regressed: nothing to prune";
+
+  Checker checker(&set, &dataset.patterns);
+  CheckOptions plain_options;
+  plain_options.measure_coverage = false;
+  CheckResult plain = checker.Check(index_ptrs, plain_options);
+  ASSERT_TRUE(plain.violations.empty());
+
+  CheckOptions pruned_options = plain_options;
+  pruned_options.prune_mask = &analysis.prunable;
+  CheckResult pruned = checker.Check(index_ptrs, pruned_options);
+  EXPECT_EQ(pruned.contracts_pruned, analysis.PrunableCount());
+  EXPECT_LT(pruned.contracts_evaluated, plain.contracts_evaluated);
+  EXPECT_EQ(pruned.contracts_evaluated + pruned.contracts_pruned,
+            plain.contracts_evaluated);
+  EXPECT_EQ(ReportJson(pruned, set, dataset.patterns),
+            ReportJson(plain, set, dataset.patterns));
+
+  // Coverage on: the checker must refuse the mask (coverage marking from
+  // pruned contracts is not redundant), keeping reports untouched.
+  CheckOptions coverage_options;
+  coverage_options.measure_coverage = true;
+  CheckResult covered_plain = checker.Check(index_ptrs, coverage_options);
+  coverage_options.prune_mask = &analysis.prunable;
+  CheckResult covered_masked = checker.Check(index_ptrs, coverage_options);
+  EXPECT_EQ(covered_masked.contracts_pruned, 0u);
+  EXPECT_EQ(ReportJson(covered_masked, set, dataset.patterns),
+            ReportJson(covered_plain, set, dataset.patterns));
+}
+
+TEST(AnalyzerPrune, WrongSizeMaskIsIgnored) {
+  World world;
+  ContractSet set;
+  set.contracts.push_back(Present(world.vlan));
+  set.contracts.push_back(Present(world.vlan));
+  Checker checker(&set, &world.dataset.patterns);
+  std::vector<uint8_t> short_mask{1};  // Size mismatch: must be ignored.
+  CheckOptions options;
+  options.measure_coverage = false;
+  options.prune_mask = &short_mask;
+  CheckResult result = checker.Check(world.index_ptrs, options);
+  EXPECT_EQ(result.contracts_pruned, 0u);
+}
+
+}  // namespace
+}  // namespace concord

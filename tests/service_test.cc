@@ -1147,6 +1147,116 @@ TEST_F(ServiceTest, CheckBatchSharedResolutionFailureFailsTheBatch) {
   EXPECT_EQ(response.Find("results"), nullptr);
 }
 
+TEST_F(ServiceTest, AnalyzeVerbReportsOnLoadedContractSet) {
+  auto service = MakeService();
+  // With one loaded set the name is optional, like `check`.
+  JsonValue response = Respond(*service, R"({"v":1,"verb":"analyze"})");
+  EXPECT_EQ(response.GetBool("ok"), true);
+  EXPECT_EQ(response.GetString("verb"), "analyze");
+  EXPECT_EQ(response.GetString("contracts"), "edge");
+  const JsonValue* report = response.Find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_GT(report->GetInt("contracts").value_or(0), 0);
+  ASSERT_NE(report->Find("findings"), nullptr);
+  const JsonValue* counts = report->Find("counts");
+  ASSERT_NE(counts, nullptr);
+  // A learned set must be conflict-free on arrival.
+  EXPECT_EQ(counts->GetInt("error"), 0);
+
+  // The run and any findings land in the metrics exposition.
+  JsonValue metrics = Respond(*service, R"({"v":1,"verb":"metrics"})");
+  auto exposition = metrics.GetString("exposition");
+  ASSERT_TRUE(exposition.has_value());
+  EXPECT_NE(exposition->find("concord_analyze_runs_total 1"), std::string::npos);
+}
+
+TEST_F(ServiceTest, AnalyzeVerbOnResidentDatasetUsesItsConfigs) {
+  Service service(ServiceOptions{});
+  GeneratedCorpus corpus = GenerateEdge(EdgeOptions{});
+  JsonValue learned = Respond(
+      service, LearnRequest("learn", "edge-live", corpus.configs, corpus.metadata, "configs"));
+  ASSERT_EQ(learned.GetBool("ok"), true);
+  JsonValue response =
+      Respond(service, R"({"v":1,"verb":"analyze","dataset":"edge-live"})");
+  EXPECT_EQ(response.GetBool("ok"), true);
+  EXPECT_EQ(response.GetString("dataset"), "edge-live");
+  const JsonValue* report = response.Find("report");
+  ASSERT_NE(report, nullptr);
+  const JsonValue* counts = report->Find("counts");
+  ASSERT_NE(counts, nullptr);
+  // Dataset form runs the dead-pattern sub-pass against the dataset's own
+  // indexed configs; a set learned from those configs cannot be dead on them.
+  EXPECT_EQ(counts->GetInt("error"), 0);
+  EXPECT_EQ(counts->GetInt("warning"), 0);
+}
+
+TEST_F(ServiceTest, AnalyzeUnknownDatasetFails) {
+  auto service = MakeService();
+  JsonValue response =
+      Respond(*service, R"({"v":1,"verb":"analyze","dataset":"nope"})");
+  EXPECT_EQ(response.GetBool("ok"), false);
+  const JsonValue* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetString("code"), "unknown_dataset");
+  EXPECT_EQ(error->GetString("detail"), "nope");
+}
+
+TEST_F(ServiceTest, AnalyzeRejectsContractsAndDatasetTogether) {
+  auto service = MakeService();
+  JsonValue response = Respond(
+      *service, R"({"v":1,"verb":"analyze","contracts":"edge","dataset":"d"})");
+  EXPECT_EQ(response.GetBool("ok"), false);
+  const JsonValue* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetString("code"), "invalid_field");
+  EXPECT_NE(error->GetString("message")->find("mutually exclusive"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, AnalyzeRejectsUnknownFields) {
+  auto service = MakeService();
+  JsonValue response = Respond(
+      *service,
+      R"({"v":1,"verb":"analyze","configs":[{"name":"a","text":"b"}]})");
+  EXPECT_EQ(response.GetBool("ok"), false);
+  const JsonValue* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetString("code"), "unknown_field");
+  EXPECT_EQ(error->GetString("detail"), "configs");
+}
+
+TEST_F(ServiceTest, PruneSubsumedKeepsCoverageOffCheckReportsByteIdentical) {
+  auto plain = MakeService();
+  ServiceOptions options;
+  options.prune_subsumed = true;
+  Service pruned(options);
+  std::string error;
+  ASSERT_TRUE(pruned.LoadContracts("edge", ContractsPath(), &error)) << error;
+
+  // Coverage off is the only mode where the install-time prune mask is
+  // honored; the fixture configs are clean, so DESIGN.md §14 promises byte
+  // identity between the pruned and unpruned services.
+  auto parsed = JsonValue::Parse(CheckRequest("check", "edge", ConfigPaths()));
+  ASSERT_TRUE(parsed.has_value());
+  parsed->Set("coverage", JsonValue::Bool(false));
+  std::string request = parsed->Serialize(0);
+  JsonValue plain_response = Respond(*plain, request);
+  JsonValue pruned_response = Respond(pruned, request);
+  ASSERT_EQ(plain_response.GetBool("ok"), true);
+  ASSERT_EQ(pruned_response.GetBool("ok"), true);
+  ASSERT_NE(plain_response.Find("report"), nullptr);
+  ASSERT_NE(pruned_response.Find("report"), nullptr);
+  EXPECT_EQ(plain_response.Find("report")->Serialize(2),
+            pruned_response.Find("report")->Serialize(2));
+
+  // Coverage on (the default): the mask must stay inert, reports identical.
+  std::string covered = CheckRequest("check", "edge", ConfigPaths());
+  JsonValue plain_covered = Respond(*plain, covered);
+  JsonValue pruned_covered = Respond(pruned, covered);
+  EXPECT_EQ(plain_covered.Find("report")->Serialize(2),
+            pruned_covered.Find("report")->Serialize(2));
+}
+
 TEST_F(ServiceTest, CheckBatchRequiresNonEmptyRequests) {
   auto service = MakeService();
   for (const char* line :

@@ -43,6 +43,12 @@ contains this script. Rules (each with a stable id, shown in findings):
                   (src/util/flat_map.h) or flat vectors; node-based hashing
                   costs a pointer chase per probe. Annotate a line with
                   `// lint: allow hot-map` only with a measured justification.
+  closed-enum-switch
+                  switches over the closed enums ContractKind, RelationKind,
+                  and ErrorCode in src/ must not have a `default:` label: a
+                  defaulted switch silently swallows a newly added enumerator,
+                  while an exhaustive one turns the addition into a compiler
+                  diagnostic (-Wswitch) at every dispatch site.
   raw-socket      Berkeley socket calls (socket/bind/listen/accept/connect) and
                   epoll_* are banned in src/ outside the event-driven frontend
                   (src/service/socket_server.{h,cc} + event_loop.{h,cc}): all
@@ -270,6 +276,49 @@ def check_hot_map(rel, lines, raw_by_line, report):
                    "overrides with a measured justification")
 
 
+# --- rule: closed-enum-switch -----------------------------------------------
+
+CLOSED_ENUMS = {"ContractKind", "RelationKind", "ErrorCode"}
+SWITCH_TOKEN_RE = re.compile(
+    r"\bswitch\b|\{|\}|\bcase\s+((?:\w+::)*\w+)::k\w+\s*:|\bdefault\s*:"
+)
+
+
+def check_closed_enum_switch(rel, lines, report):
+    """Brace-depth scan, not a parser: a `switch` arms the next `{` as a switch
+    body; `case <Enum>::kX:` labels inside mark which enum it dispatches on."""
+    if not rel.startswith("src/"):
+        return
+    depth = 0
+    pending = 0   # `switch` seen, body brace not yet opened
+    stack = []    # open switch bodies: [entry_depth, enum_name, default_lineno]
+    for lineno, line in lines:
+        for m in SWITCH_TOKEN_RE.finditer(line):
+            token = m.group(0)
+            if token == "{":
+                depth += 1
+                if pending:
+                    pending -= 1
+                    stack.append([depth, None, None])
+            elif token == "}":
+                if stack and stack[-1][0] == depth:
+                    _, enum, default_lineno = stack.pop()
+                    if enum in CLOSED_ENUMS and default_lineno is not None:
+                        report("closed-enum-switch", rel, default_lineno,
+                               f"default: in a switch over closed enum {enum} — "
+                               "enumerate every case so adding an enumerator is "
+                               "a -Wswitch diagnostic at this dispatch site, "
+                               "not a silent fall-through")
+                depth = max(0, depth - 1)
+            elif token.startswith("switch"):
+                pending += 1
+            elif token.startswith("default") and stack:
+                stack[-1][2] = lineno
+            else:  # case <path>::kX:
+                if stack:
+                    stack[-1][1] = m.group(1).split("::")[-1]
+
+
 # --- rule: raw-socket -------------------------------------------------------
 
 # The lookahead skips manpage references like "listen(2)" in help strings and
@@ -346,6 +395,7 @@ def lint_tree(root):
         check_tsa_escape(rel, lines, report)
         check_store_io(rel, lines, report)
         check_hot_map(rel, lines, raw_by_line, report)
+        check_closed_enum_switch(rel, lines, report)
         check_raw_socket(rel, lines, report)
     return findings
 

@@ -1,0 +1,48 @@
+// Fixture: ContractKind, RelationKind, and ErrorCode are closed enums — a
+// defaulted switch swallows a newly added enumerator silently, while an
+// exhaustive switch makes the addition a -Wswitch diagnostic here.
+
+namespace concord {
+
+inline const char* BadKindName(ContractKind kind) {
+  switch (kind) {
+    case ContractKind::kPresent:
+      return "present";
+    case ContractKind::kOrdering:
+      return "ordering";
+    default:  // LINT-EXPECT: closed-enum-switch
+      return "unknown";
+  }
+}
+
+inline int BadRelationArity(RelationKind kind) {
+  switch (kind) {
+    case RelationKind::kEquals:
+      return 2;
+    default:  // LINT-EXPECT: closed-enum-switch
+      return 0;
+  }
+}
+
+inline const char* GoodKindName(ContractKind kind) {
+  // Exhaustive: every enumerator spelled out, no default. Legal.
+  switch (kind) {
+    case ContractKind::kPresent:
+      return "present";
+    case ContractKind::kOrdering:
+      return "ordering";
+  }
+  return "unreachable";
+}
+
+inline int OpenEnumSwitch(int mode) {
+  // Not a closed-enum switch: default over plain ints stays legal.
+  switch (mode) {
+    case 0:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace concord

@@ -17,6 +17,13 @@
 #                                            sweep, million-line scale sweep, and
 #                                            the socket-level batch=100 >= 3x
 #                                            gate, merged into BENCH_SERVE.json
+#        tools/run_benches.sh --analyze      contract-set analyzer acceptance:
+#                                            clean learned edge/WAN sets must
+#                                            analyze with zero warning-or-worse
+#                                            findings and the pruned check must
+#                                            stay byte-identical while evaluating
+#                                            strictly fewer contracts, merged
+#                                            into BENCH_SERVE.json
 set -u
 
 serve_smoke() {
@@ -112,6 +119,20 @@ if [ "${1:-}" = "--batch" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--analyze" ]; then
+  bench=build/bench/bench_analyze
+  if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (run: cmake --build build -j)" >&2
+    exit 2
+  fi
+  # Exits non-zero unless both learned sets analyzed with zero warning-or-worse
+  # findings and the --prune-subsumed coverage-off check was byte-identical to
+  # the unpruned one while evaluating strictly fewer contracts (merged into
+  # BENCH_SERVE.json under "analyze").
+  "$bench" || exit 1
+  exit 0
+fi
+
 if [ "${1:-}" = "--serve" ]; then
   serve_smoke
   exit 0
@@ -156,7 +177,7 @@ for b in build/bench/*; do
       fi
       [ -f BENCH_SERVE.json ] && cp -f BENCH_SERVE.json "$out/"
       ;;
-    bench_batch) continue ;;  # Deferred below: must run after bench_overload.
+    bench_batch|bench_analyze) continue ;;  # Deferred below: must run after bench_overload.
     *) "$b" > "$out/$name.txt" 2>&1 ;;
   esac
   echo "== $name -> $out/$name.txt"
@@ -170,4 +191,14 @@ if [ -x build/bench/bench_batch ]; then
   fi
   [ -f BENCH_SERVE.json ] && cp -f BENCH_SERVE.json "$out/"
   echo "== bench_batch -> $out/bench_batch.txt"
+fi
+if [ -x build/bench/bench_analyze ]; then
+  # Merges an "analyze" section into BENCH_SERVE.json (same deferral as
+  # bench_batch). Non-zero means a learned set analyzed dirty or the pruned
+  # check diverged from the unpruned one.
+  if ! build/bench/bench_analyze > "$out/bench_analyze.txt" 2>&1; then
+    echo "bench_analyze acceptance FAILED (see $out/bench_analyze.txt)" >&2
+  fi
+  [ -f BENCH_SERVE.json ] && cp -f BENCH_SERVE.json "$out/"
+  echo "== bench_analyze -> $out/bench_analyze.txt"
 fi
